@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/project_catalog.exe
+	dune exec examples/schema_driven.exe
+	dune exec examples/bibliography.exe -- 10000
+	dune exec examples/auction_site.exe -- 10000
+	dune exec examples/live_feed.exe
+
+clean:
+	dune clean

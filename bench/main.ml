@@ -1,0 +1,628 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6), plus bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 — all experiments, default scale
+     dune exec bench/main.exe -- fig14a table8
+     dune exec bench/main.exe -- --scale 2.0  — larger datasets
+     dune exec bench/main.exe -- micro        — bechamel micro-benches only
+
+   Dataset sizes are scaled down from the paper's (millions of records on
+   a 2005 server) to laptop-friendly sizes; the *shapes* — which strategy
+   wins, by what factor, how curves grow — are the reproduction target.
+   EXPERIMENTS.md records paper-vs-measured for every row. *)
+
+module T = Xmlcore.Xml_tree
+module S = Sequencing.Strategy
+module Syn = Xdatagen.Synthetic
+module Qgen = Xdatagen.Query_gen
+
+let scale = ref 1.0
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ms t = t *. 1e3
+let n_scaled base = max 100 (int_of_float (float_of_int base *. !scale))
+
+(* Build one index per sequencing method over the same documents and
+   report trie node counts (the quantity of Figures 14/15, Tables 5/6). *)
+let build_with sequencing docs =
+  Xseq.build
+    ~config:{ Xseq.default_config with sequencing; keep_documents = false }
+    docs
+
+let nodes_of sequencing docs = Xseq.node_count (build_with sequencing docs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: index size vs dataset size for four sequencing methods.  *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 name params =
+  header
+    (Printf.sprintf
+       "%s: index size (trie nodes) vs dataset size, dataset %s\n\
+        paper: random >> breadth-first > depth-first > constraint (CS), gaps \
+        widening with N"
+       name (Syn.name params));
+  let schema = Syn.schema params in
+  Printf.printf "%10s %12s %14s %12s %12s %9s %9s %9s\n" "#docs" "random"
+    "breadth-first" "depth-first" "constraint" "rnd/CS" "rnd:data" "CS:data";
+  List.iter
+    (fun base ->
+      let n = n_scaled base in
+      let docs = Syn.generate ~schema n in
+      let random = nodes_of (Xseq.Random 17) docs in
+      let bf = nodes_of (Xseq.Breadth_first { canonical = false }) docs in
+      let df = nodes_of (Xseq.Depth_first { canonical = false }) docs in
+      let cs = nodes_of Xseq.Probability docs in
+      (* The paper's Section 6.2 ratio: disk index size (4n + 8N bytes)
+         over the compressed data size (each sequence element ~2 bytes:
+         a dictionary-coded path id). *)
+      let elements =
+        Array.fold_left (fun a d -> a + T.node_count d) 0 docs
+      in
+      let data_bytes = 2 * elements in
+      let ratio nodes =
+        float_of_int ((4 * n) + (8 * nodes)) /. float_of_int data_bytes
+      in
+      Printf.printf "%10d %12d %14d %12d %12d %8.1fx %8.1f:1 %8.1f:1\n%!" n
+        random bf df cs
+        (float_of_int random /. float_of_int cs)
+        (ratio random) (ratio cs))
+    [ 2_500; 5_000; 10_000; 20_000; 40_000 ]
+
+let fig14a () = fig14 "Figure 14(a)" { Syn.l = 3; f = 5; a = 25; i = 0; p = 40 }
+let fig14b () = fig14 "Figure 14(b)" { Syn.l = 5; f = 3; a = 40; i = 0; p = 5 }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: impact of identical sibling nodes on index size.         *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  header
+    "Figure 15: index size vs identical-sibling percentage, dataset \
+     L3F5A25I?P40\n\
+     paper: CS degrades towards DF as I -> 100%, but stays smaller (values \
+     still probability-ordered)";
+  let n = n_scaled 10_000 in
+  Printf.printf "%6s %14s %14s %9s\n" "I(%)" "depth-first" "constraint" "DF/CS";
+  List.iter
+    (fun i ->
+      let params = { Syn.l = 3; f = 5; a = 25; i; p = 40 } in
+      let docs = Syn.dataset params n in
+      let df = nodes_of (Xseq.Depth_first { canonical = false }) docs in
+      let cs = nodes_of Xseq.Probability docs in
+      Printf.printf "%6d %14d %14d %8.2fx\n%!" i df cs
+        (float_of_int df /. float_of_int cs))
+    [ 0; 20; 40; 60; 80; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tables 5/6: XMark index size with/without identical siblings.       *)
+(* ------------------------------------------------------------------ *)
+
+let table56 name ~identical_siblings =
+  header
+    (Printf.sprintf
+       "%s: XMark-like index size (%s identical sibling nodes)\n\
+        paper: CS indexes roughly half the nodes of DF"
+       name
+       (if identical_siblings then "with" else "no"));
+  Printf.printf "%10s %12s %12s %12s %9s\n" "records" "XML nodes" "DF" "CS" "DF/CS";
+  List.iter
+    (fun base ->
+      let n = n_scaled base in
+      let docs = Xdatagen.Xmark_gen.generate ~identical_siblings n in
+      let xml_nodes = Array.fold_left (fun acc d -> acc + T.node_count d) 0 docs in
+      let df = nodes_of (Xseq.Depth_first { canonical = false }) docs in
+      let cs = nodes_of Xseq.Probability docs in
+      Printf.printf "%10d %12d %12d %12d %8.2fx\n%!" n xml_nodes df cs
+        (float_of_int df /. float_of_int cs))
+    [ 5_000; 10_000; 15_000; 20_000; 25_000 ]
+
+let table5 () = table56 "Table 5" ~identical_siblings:true
+let table6 () = table56 "Table 6" ~identical_siblings:false
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: query performance on XMark (Q1–Q3 of Table 4).             *)
+(* ------------------------------------------------------------------ *)
+
+let table7 () =
+  header
+    "Table 7: Q1-Q3 on the XMark-like dataset\n\
+     paper (65k records): Q1 len 6, 1 result, 23 accesses, 0.10s; Q2 len 3, \
+     167, 5, 0.02s; Q3 len 5, 6, 9, 0.07s";
+  let n = n_scaled 20_000 in
+  let docs = Xdatagen.Xmark_gen.generate ~identical_siblings:true n in
+  let index = Xseq.build docs in
+  let pager = Xstorage.Pager.create ~page_size:4096 () in
+  let queries =
+    [
+      ( "Q1",
+        Printf.sprintf
+          "/site//item[location='United States']/mail/date[text='%s']"
+          Xdatagen.Xmark_gen.q1_date );
+      ("Q2", "/site//person/*/age[text='32']");
+      ( "Q3",
+        Printf.sprintf "//closed_auction[seller/person='%s']/date[text='%s']"
+          (Xdatagen.Xmark_gen.a_person_id n)
+          Xdatagen.Xmark_gen.q3_date );
+    ]
+  in
+  Printf.printf "(%d records indexed, %d trie nodes)\n" n (Xseq.node_count index);
+  Printf.printf "%-4s %-13s %-12s %-15s %-9s\n" "" "query length" "result size"
+    "# disk accesses" "time (ms)";
+  List.iter
+    (fun (name, q) ->
+      let pat = Xseq.Xpath.parse q in
+      Xstorage.Pager.begin_query pager;
+      let ids, t = time (fun () -> Xseq.query ~pager index pat) in
+      Printf.printf "%-4s %-13d %-12d %-15d %-9.2f\n%!" name (Xseq.Pattern.size pat)
+        (List.length ids)
+        (Xstorage.Pager.pages_touched pager)
+        (ms t))
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Table 8: DBLP — constraint sequencing vs path and node indexes.     *)
+(* ------------------------------------------------------------------ *)
+
+let table8 () =
+  header
+    "Table 8: DBLP-like — query-by-paths (DataGuide) vs query-by-nodes \
+     (XISS) vs CS\n\
+     paper (407k records, seconds): Q1 0.01/1.4/0.02, Q2 2.1/2.5/0.30, Q3 \
+     1.9/4.9/0.31, Q4 1.8/4.2/0.31";
+  let n = n_scaled 40_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  let cs = Xseq.build docs in
+  let dg = Xbaseline.Dataguide.build docs in
+  let xi = Xbaseline.Xiss.build docs in
+  let queries =
+    [
+      ("Q1", "/inproceedings/title");
+      ("Q2", "/book[key='Maier']/author");
+      ("Q3", "/*/author[text='David Maier']");
+      ("Q4", "//author[text='David Maier']");
+    ]
+  in
+  Printf.printf "(%d records)\n" n;
+  Printf.printf "%-4s %-34s %10s %10s %10s %8s\n" "" "path expression" "paths(ms)"
+    "nodes(ms)" "CS(ms)" "results";
+  List.iter
+    (fun (name, q) ->
+      let pat = Xseq.Xpath.parse q in
+      let r_dg, t_dg = time (fun () -> Xbaseline.Dataguide.query dg pat) in
+      let r_xi, t_xi = time (fun () -> Xbaseline.Xiss.query xi pat) in
+      let r_cs, t_cs = time (fun () -> Xseq.query cs pat) in
+      assert (r_dg = r_cs && r_xi = r_cs);
+      Printf.printf "%-4s %-34s %10.2f %10.2f %10.2f %8d\n%!" name q (ms t_dg)
+        (ms t_xi) (ms t_cs) (List.length r_cs))
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: synthetic query performance.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Random exact queries of a given pattern size drawn from the corpus.
+   [value_prob] controls selectivity: 1.0 keeps every sampled value
+   predicate (highly selective); 0.0 yields element-only twigs (the
+   low-selectivity regime where cost grows with query length, as in the
+   paper's Figure 16). *)
+let queries_of_length ?(wide = false) ?(value_prob = 1.0) docs ~qlen ~count ~seed =
+  let opts = { Qgen.size = qlen; star_prob = 0.0; desc_prob = 0.0; value_prob; wide } in
+  let rec gather seed acc need guard =
+    if need <= 0 || guard > 40 then acc
+    else begin
+      let fresh =
+        List.filter
+          (fun q -> Xseq.Pattern.size q = qlen)
+          (Qgen.generate ~seed ~opts docs (2 * need))
+      in
+      let took = List.filteri (fun i _ -> i < need) fresh in
+      gather (seed + 1) (acc @ took) (need - List.length took) (guard + 1)
+    end
+  in
+  gather seed [] count 0
+
+let avg_query_time ?pager index queries =
+  let total = ref 0.0 in
+  let pages = ref 0 in
+  List.iter
+    (fun q ->
+      (match pager with Some p -> Xstorage.Pager.begin_query p | None -> ());
+      let _, t = time (fun () -> Xseq.query ?pager index q) in
+      (match pager with
+       | Some p -> pages := !pages + Xstorage.Pager.pages_touched p
+       | None -> ());
+      total := !total +. t)
+    queries;
+  let n = max 1 (List.length queries) in
+  (!total /. float_of_int n, !pages / n)
+
+let fig16a () =
+  header
+    "Figure 16(a): CS query time vs dataset size (L3F5A25I10P40, query \
+     length 5)\n\
+     paper: sub-linear growth with dataset size";
+  let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
+  let schema = Syn.schema params in
+  Printf.printf "%10s %14s\n" "#docs" "avg time (ms)";
+  List.iter
+    (fun base ->
+      let n = n_scaled base in
+      let docs = Syn.generate ~schema n in
+      let index = Xseq.build docs in
+      let queries = queries_of_length ~value_prob:0.5 docs ~qlen:5 ~count:20 ~seed:2 in
+      let t, _ = avg_query_time index queries in
+      Printf.printf "%10d %14.3f\n%!" n (ms t))
+    [ 5_000; 10_000; 20_000; 40_000; 80_000 ]
+
+let fig16b () =
+  header
+    "Figure 16(b): CS vs ViST query time vs query length (L3F5A25I10P40)\n\
+     paper: ViST (DF sequencing + naive match + joins) is consistently and \
+     increasingly slower";
+  let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
+  let n = n_scaled 50_000 in
+  let docs = Syn.dataset params n in
+  let cs = Xseq.build docs in
+  let vist = Xbaseline.Vist.build docs in
+  Printf.printf "(%d records)\n" n;
+  Printf.printf "%6s %12s %12s %10s\n" "qlen" "ViST (ms)" "CS (ms)" "ViST/CS";
+  List.iter
+    (fun qlen ->
+      let queries =
+        queries_of_length ~wide:true ~value_prob:0.0 docs ~qlen ~count:20 ~seed:3
+      in
+      if queries <> [] then begin
+        let t_cs, _ = avg_query_time cs queries in
+        let t_vist =
+          let total = ref 0.0 in
+          List.iter
+            (fun q ->
+              let _, t = time (fun () -> Xbaseline.Vist.query vist q) in
+              total := !total +. t)
+            queries;
+          !total /. float_of_int (List.length queries)
+        in
+        Printf.printf "%6d %12.3f %12.3f %9.1fx\n%!" qlen (ms t_vist) (ms t_cs)
+          (t_vist /. t_cs)
+      end)
+    [ 2; 4; 6; 8; 10; 12 ]
+
+let fig16cd name ~i =
+  header
+    (Printf.sprintf
+       "%s: I/O cost and query time vs query length (%s identical siblings)\n\
+        paper: index I/O grows with query length (less sharing deep down); \
+        identical siblings cost a large constant factor"
+       name
+       (if i = 0 then "no" else "with"));
+  let params = { Syn.l = 3; f = 5; a = 25; i; p = 40 } in
+  let n = n_scaled 25_000 in
+  let docs = Syn.dataset params n in
+  let index = Xseq.build docs in
+  let labeled = Xseq.labeled index in
+  let doc_base = Xindex.Labeled.doc_table_base labeled in
+  let doc_end = Xindex.Labeled.layout_bytes labeled in
+  let pager = Xstorage.Pager.create ~page_size:4096 () in
+  Printf.printf "(%d records)\n" n;
+  Printf.printf "%6s %14s %14s %14s\n" "qlen" "index (pages)" "result (pages)"
+    "time (ms)";
+  List.iter
+    (fun qlen ->
+      let queries = queries_of_length ~value_prob:0.0 docs ~qlen ~count:12 ~seed:4 in
+      if queries <> [] then begin
+        let total = ref 0.0 and idx_pages = ref 0 and res_pages = ref 0 in
+        List.iter
+          (fun q ->
+            Xstorage.Pager.begin_query pager;
+            let _, t = time (fun () -> Xseq.query ~pager index q) in
+            let res =
+              Xstorage.Pager.pages_touched_between pager ~lo:doc_base ~hi:doc_end
+            in
+            idx_pages := !idx_pages + (Xstorage.Pager.pages_touched pager - res);
+            res_pages := !res_pages + res;
+            total := !total +. t)
+          queries;
+        let k = List.length queries in
+        Printf.printf "%6d %14d %14d %14.3f\n%!" qlen (!idx_pages / k)
+          (!res_pages / k)
+          (ms (!total /. float_of_int k))
+      end)
+    [ 2; 4; 6; 8; 10; 12 ]
+
+let fig16c () = fig16cd "Figure 16(c)" ~i:0
+let fig16d () = fig16cd "Figure 16(d)" ~i:25
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out.                  *)
+(* ------------------------------------------------------------------ *)
+
+(* How much sampling does gbest need?  (Section 5.2 "approximate it by
+   data sampling".) *)
+let ablation_sampling () =
+  header
+    "Ablation: probability estimation sample fraction vs index size\n\
+     expectation: a small sample already yields near-optimal sharing";
+  let params = { Syn.l = 3; f = 5; a = 25; i = 0; p = 40 } in
+  let n = n_scaled 20_000 in
+  let docs = Syn.dataset params n in
+  Printf.printf "%10s %12s\n" "fraction" "trie nodes";
+  List.iter
+    (fun fraction ->
+      let config =
+        {
+          Xseq.default_config with
+          sample_fraction = fraction;
+          keep_documents = false;
+        }
+      in
+      let index = Xseq.build ~config docs in
+      Printf.printf "%10.2f %12d\n%!" fraction (Xseq.node_count index))
+    [ 0.01; 0.05; 0.20; 1.00 ]
+
+(* Eq. 6: weighting a frequently-queried, selective element. *)
+let ablation_weights () =
+  header
+    "Ablation: Eq. 6 weights on a selective element (Impact 2 of Section \
+     5.1)\n\
+     expectation: fewer candidates examined when the selective element \
+     moves earlier";
+  let n = n_scaled 20_000 in
+  let docs = Xdatagen.Xmark_gen.generate ~identical_siblings:true n in
+  let q =
+    Xseq.Xpath.parse
+      (Printf.sprintf
+         "/site//item[location='United States']/mail/date[text='%s']"
+         Xdatagen.Xmark_gen.q1_date)
+  in
+  Printf.printf "%14s %12s %12s %12s\n" "w(date)" "candidates" "probes" "time(ms)";
+  List.iter
+    (fun w ->
+      let stats = Xschema.Stats.of_documents_array docs in
+      if w <> 1.0 then
+        Xschema.Stats.set_tag_weight stats (Xmlcore.Designator.tag "date") w;
+      let index =
+        Xseq.build
+          ~config:
+            {
+              Xseq.default_config with
+              sequencing = Xseq.Custom (Xschema.Stats.strategy stats);
+              keep_documents = false;
+            }
+          docs
+      in
+      let mstats = Xquery.Matcher.create_stats () in
+      let _, t = time (fun () -> Xseq.query ~stats:mstats index q) in
+      Printf.printf "%14.1f %12d %12d %12.2f\n%!" w mstats.Xquery.Matcher.candidates
+        mstats.Xquery.Matcher.probes (ms t))
+    [ 1.0; 10.0; 100.0 ]
+
+(* LRU buffer pool: misses vs pool size over a query workload. *)
+let ablation_buffer () =
+  header
+    "Ablation: LRU buffer pool size vs page misses (query workload of 200 \
+     random queries)";
+  let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
+  let n = n_scaled 20_000 in
+  let docs = Syn.dataset params n in
+  let index = Xseq.build docs in
+  let queries = queries_of_length docs ~qlen:5 ~count:200 ~seed:11 in
+  Printf.printf "%14s %12s %12s\n" "buffer pages" "misses" "pages touched";
+  List.iter
+    (fun buffer_pages ->
+      let pager = Xstorage.Pager.create ~page_size:4096 ~buffer_pages () in
+      let misses = ref 0 and touched = ref 0 in
+      List.iter
+        (fun q ->
+          Xstorage.Pager.begin_query pager;
+          ignore (Xseq.query ~pager index q);
+          misses := !misses + Xstorage.Pager.misses pager;
+          touched := !touched + Xstorage.Pager.pages_touched pager)
+        queries;
+      Printf.printf "%14d %12d %12d\n%!" buffer_pages !misses !touched)
+    [ 0; 16; 64; 256; 1024 ]
+
+(* Bulk loading vs one-by-one insertion (Section 4.1). *)
+let ablation_bulk () =
+  header "Ablation: bulk load (sorted) vs incremental insertion build time";
+  let n = n_scaled 40_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  let build bulk =
+    let _, t =
+      time (fun () ->
+          Xseq.build
+            ~config:{ Xseq.default_config with bulk; keep_documents = false }
+            docs)
+    in
+    t
+  in
+  let t_inc = build false in
+  let t_bulk = build true in
+  Printf.printf "incremental: %.0f ms\nbulk:        %.0f ms\n%!" (ms t_inc)
+    (ms t_bulk)
+
+(* Hashed vs character-sequence value representation (Section 2.1). *)
+let ablation_valuemode () =
+  header
+    "Ablation: value representation — hashed designators vs character \
+     sequences\n\
+     expectation: text mode costs index size but supports prefix queries";
+  let n = n_scaled 10_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  List.iter
+    (fun (name, value_mode) ->
+      let index =
+        Xseq.build
+          ~config:{ Xseq.default_config with value_mode; keep_documents = false }
+          docs
+      in
+      Printf.printf "%-8s %10d trie nodes (avg seq length %.1f)\n%!" name
+        (Xseq.node_count index)
+        (Xseq.average_sequence_length index))
+    [ ("hashed", Sequencing.Encoder.Hashed); ("text", Sequencing.Encoder.Text) ]
+
+(* ------------------------------------------------------------------ *)
+(* Soak verification: engine vs brute-force oracle at bench scale.     *)
+(* ------------------------------------------------------------------ *)
+
+let verify () =
+  header
+    "Verification soak: constraint subsequence matching vs brute-force \
+     oracle (wildcards, //, values, identical siblings)";
+  let params = { Syn.l = 3; f = 4; a = 25; i = 30; p = 40 } in
+  let n = n_scaled 400 in
+  let docs = Syn.dataset params n in
+  let configs =
+    [
+      ("probability", Xseq.default_config);
+      ( "depth-first",
+        { Xseq.default_config with sequencing = Xseq.Depth_first { canonical = true } } );
+      ( "text-mode",
+        { Xseq.default_config with value_mode = Sequencing.Encoder.Text } );
+    ]
+  in
+  let opts =
+    { Qgen.size = 6; star_prob = 0.25; desc_prob = 0.25; value_prob = 0.5; wide = false }
+  in
+  let queries = Qgen.generate ~seed:123 ~opts docs (n_scaled 300) in
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (name, config) ->
+      let index = Xseq.build ~config docs in
+      List.iter
+        (fun q ->
+          incr checked;
+          let got = Xseq.query index q in
+          let want = Xquery.Embedding.filter q docs in
+          if got <> want then begin
+            incr failures;
+            Printf.printf "MISMATCH [%s] %s\n" name (Xquery.Pattern.to_string q)
+          end)
+        queries)
+    configs;
+  Printf.printf "%d checks across %d configurations: %s\n%!" !checked
+    (List.length configs)
+    (if !failures = 0 then "all PASS" else Printf.sprintf "%d FAILURES" !failures)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure domain.   *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "bechamel micro-benchmarks (ns per run)";
+  let open Bechamel in
+  let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
+  let docs = Syn.dataset params 2_000 in
+  let stats = Xschema.Stats.of_documents_array docs in
+  let strategy = Xschema.Stats.strategy stats in
+  let index = Xseq.build docs in
+  let xmark = Xdatagen.Xmark_gen.generate ~identical_siblings:true 2_000 in
+  let xmark_index = Xseq.build xmark in
+  let dblp = Xdatagen.Dblp_gen.generate 2_000 in
+  let dblp_index = Xseq.build dblp in
+  let dg = Xbaseline.Dataguide.build dblp in
+  let vist = Xbaseline.Vist.build docs in
+  let q_syn = List.hd (queries_of_length docs ~qlen:5 ~count:1 ~seed:5) in
+  let q1 =
+    Xseq.Xpath.parse
+      (Printf.sprintf
+         "/site//item[location='United States']/mail/date[text='%s']"
+         Xdatagen.Xmark_gen.q1_date)
+  in
+  let q_dblp = Xseq.Xpath.parse "/book[key='Maier']/author" in
+  let tests =
+    [
+      (* Figure 14: the cost of sequencing one document. *)
+      Test.make ~name:"fig14-encode-constraint"
+        (Staged.stage (fun () -> Sequencing.Encoder.encode ~strategy docs.(0)));
+      Test.make ~name:"fig14-encode-depth-first"
+        (Staged.stage (fun () ->
+             Sequencing.Encoder.encode ~strategy:Sequencing.Strategy.Depth_first
+               docs.(0)));
+      (* Figure 15 / Tables 5-6: trie insertion. *)
+      Test.make ~name:"table5-trie-insert"
+        (Staged.stage
+           (let seq = Sequencing.Encoder.encode ~strategy docs.(0) in
+            fun () ->
+              let t = Xindex.Trie.create () in
+              Xindex.Trie.insert t seq ~doc:0));
+      (* Table 7: one XMark query end to end. *)
+      Test.make ~name:"table7-Q1"
+        (Staged.stage (fun () -> Xseq.query xmark_index q1));
+      (* Table 8: CS vs the DataGuide baseline on one query. *)
+      Test.make ~name:"table8-CS"
+        (Staged.stage (fun () -> Xseq.query dblp_index q_dblp));
+      Test.make ~name:"table8-dataguide"
+        (Staged.stage (fun () -> Xbaseline.Dataguide.query dg q_dblp));
+      (* Figure 16: CS vs ViST on a random twig. *)
+      Test.make ~name:"fig16-CS" (Staged.stage (fun () -> Xseq.query index q_syn));
+      Test.make ~name:"fig16-ViST"
+        (Staged.stage (fun () -> Xbaseline.Vist.query vist q_syn));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"xseq" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw_results = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw_results in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-32s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig14a", fig14a);
+    ("fig14b", fig14b);
+    ("fig15", fig15);
+    ("table5", table5);
+    ("table6", table6);
+    ("table7", table7);
+    ("table8", table8);
+    ("fig16a", fig16a);
+    ("fig16b", fig16b);
+    ("fig16c", fig16c);
+    ("fig16d", fig16d);
+    ("ablation-sampling", ablation_sampling);
+    ("ablation-weights", ablation_weights);
+    ("ablation-buffer", ablation_buffer);
+    ("ablation-bulk", ablation_bulk);
+    ("ablation-valuemode", ablation_valuemode);
+    ("verify", verify);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse selected = function
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse selected rest
+    | name :: rest when List.mem_assoc name experiments ->
+      parse (name :: selected) rest
+    | [] -> List.rev selected
+    | junk :: _ ->
+      Printf.eprintf "unknown argument %S; experiments: %s\n" junk
+        (String.concat " " (List.map fst experiments));
+      exit 2
+  in
+  let selected = parse [] args in
+  let to_run = if selected = [] then List.map fst experiments else selected in
+  Printf.printf "xseq benchmark harness (scale %.2f)\n" !scale;
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  Printf.printf "\ntotal: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,331 @@
+(* xseq command-line tool.
+
+   Examples:
+     xseq gen --kind dblp -n 1000 -o records.xml
+     xseq stats records.xml
+     xseq sequence records.xml --strategy depth-first --limit 3
+     xseq query records.xml "//author[text='David Maier']" --show 2 --io *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* An input is either a saved index (magic prefix) or an XML record file. *)
+let is_index_file path =
+  let magic = "xseq-index-v1" in
+  match open_in_bin path with
+  | ic ->
+    let ok =
+      try really_input_string ic (String.length magic) = magic
+      with End_of_file -> false
+    in
+    close_in ic;
+    ok
+  | exception Sys_error _ -> false
+
+let load_documents path =
+  match Xmlcore.Xml_parser.parse_fragments (read_file path) with
+  | docs -> Array.of_list docs
+  | exception Xmlcore.Xml_parser.Parse_error { line; msg; _ } ->
+    Printf.eprintf "%s:%d: parse error: %s\n" path line msg;
+    exit 1
+
+let strategy_conv =
+  let parse = function
+    | "probability" | "prob" -> Ok `Probability
+    | "depth-first" | "df" -> Ok `Depth_first
+    | "breadth-first" | "bf" -> Ok `Breadth_first
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+       | `Probability -> "probability"
+       | `Depth_first -> "depth-first"
+       | `Breadth_first -> "breadth-first")
+  in
+  Arg.conv (parse, print)
+
+(* Load a saved index, or build one from XML records. *)
+let load_or_build path config =
+  if is_index_file path then Xseq.load path
+  else Xseq.build ~config (load_documents path)
+
+let config_of_strategy = function
+  | `Probability -> Xseq.default_config
+  | `Depth_first ->
+    { Xseq.default_config with sequencing = Xseq.Depth_first { canonical = true } }
+  | `Breadth_first ->
+    { Xseq.default_config with sequencing = Xseq.Breadth_first { canonical = true } }
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv `Probability
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Sequencing strategy: $(b,probability) (the paper's gbest, \
+           default), $(b,depth-first) or $(b,breadth-first).")
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"XML file containing one record per root element.")
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("synthetic", `Synthetic); ("dblp", `Dblp); ("xmark", `Xmark) ]) `Synthetic
+      & info [ "kind" ] ~doc:"Generator: $(b,synthetic), $(b,dblp) or $(b,xmark).")
+  in
+  let params =
+    Arg.(
+      value
+      & opt string "L3F5A25I0P40"
+      & info [ "params" ] ~docv:"LxFxAxIxPx"
+          ~doc:"Synthetic dataset parameters, e.g. $(b,L3F5A25I0P40).")
+  in
+  let n =
+    Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Number of records to generate.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  let ident =
+    Arg.(
+      value & flag
+      & info [ "identical-siblings" ]
+          ~doc:"XMark only: allow repeating children (identical siblings).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run kind params n seed ident output =
+    let docs =
+      match kind with
+      | `Synthetic ->
+        let p =
+          try Xdatagen.Synthetic.parse_name params
+          with Invalid_argument m ->
+            Printf.eprintf "%s\n" m;
+            exit 1
+        in
+        Xdatagen.Synthetic.dataset ~schema_seed:seed ~data_seed:(seed + 1) p n
+      | `Dblp -> Xdatagen.Dblp_gen.generate ~seed n
+      | `Xmark -> Xdatagen.Xmark_gen.generate ~seed ~identical_siblings:ident n
+    in
+    let out = match output with None -> stdout | Some f -> open_out f in
+    Array.iter
+      (fun d -> output_string out (Xmlcore.Xml_printer.to_string d ^ "\n"))
+      docs;
+    if output <> None then close_out out;
+    Printf.eprintf "wrote %d records\n" (Array.length docs)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic, DBLP-like or XMark-like dataset.")
+    Term.(const run $ kind $ params $ n $ seed $ ident $ output)
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run input strategy =
+    let t0 = Unix.gettimeofday () in
+    let index = load_or_build input (config_of_strategy strategy) in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "records:              %d\n" (Xseq.doc_count index);
+    Printf.printf "trie nodes:           %d\n" (Xseq.node_count index);
+    Printf.printf "distinct paths:       %d\n" (Xseq.distinct_paths index);
+    Printf.printf "avg sequence length:  %.1f\n" (Xseq.average_sequence_length index);
+    Printf.printf "size estimate (4n+cN): %d bytes\n" (Xseq.size_bytes index);
+    Printf.printf "page layout:          %d bytes\n" (Xseq.layout_bytes index);
+    Printf.printf "build time:           %.0f ms\n" (dt *. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Build an index over the records and print its statistics.")
+    Term.(const run $ input_arg $ strategy_arg)
+
+(* --- sequence ------------------------------------------------------------ *)
+
+let sequence_cmd =
+  let limit =
+    Arg.(value & opt int 5 & info [ "limit" ] ~doc:"Records to show (default 5).")
+  in
+  let run input strategy limit =
+    let docs = load_documents input in
+    let config = config_of_strategy strategy in
+    let index = Xseq.build ~config docs in
+    let strategy = Xseq.strategy index in
+    Array.iteri
+      (fun i doc ->
+        if i < limit then begin
+          let seq = Sequencing.Encoder.encode ~strategy doc in
+          Printf.printf "record %d: %s\n" i
+            (String.concat " "
+               (List.map Sequencing.Path.to_string (Array.to_list seq)))
+        end)
+      docs
+  in
+  Cmd.v
+    (Cmd.info "sequence"
+       ~doc:"Print the constraint-sequence representation of the first records.")
+    Term.(const run $ input_arg $ strategy_arg $ limit)
+
+(* --- query --------------------------------------------------------------- *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"Query in the supported XPath fragment.")
+  in
+  let show =
+    Arg.(
+      value & opt int 0
+      & info [ "show" ] ~doc:"Print the first N matching records as XML.")
+  in
+  let io =
+    Arg.(
+      value & flag
+      & info [ "io" ] ~doc:"Report simulated disk accesses for the query.")
+  in
+  let run input strategy q show io =
+    let index = load_or_build input (config_of_strategy strategy) in
+    let pattern =
+      try Xseq.Xpath.parse q
+      with Xquery.Xpath_parser.Syntax_error { pos; msg } ->
+        Printf.eprintf "query:%d: %s\n" pos msg;
+        exit 1
+    in
+    let pager = if io then Some (Xstorage.Pager.create ()) else None in
+    let t0 = Unix.gettimeofday () in
+    let ids = Xseq.query ?pager index pattern in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%d matching records (%.2f ms)%s\n" (List.length ids)
+      (dt *. 1000.)
+      (match pager with
+       | Some p -> Printf.sprintf ", %d disk accesses" (Xstorage.Pager.pages_touched p)
+       | None -> "");
+    List.iteri
+      (fun k id ->
+        if k < show then
+          Printf.printf "--- record %d ---\n%s\n" id
+            (Xmlcore.Xml_printer.to_string ~indent:true (Xseq.document index id))
+        else if k = show && show > 0 then print_endline "...")
+      ids;
+    if show = 0 then
+      Printf.printf "ids: %s\n" (String.concat " " (List.map string_of_int ids))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Index the records and answer a tree-pattern query holistically.")
+    Term.(const run $ input_arg $ strategy_arg $ query_arg $ show $ io)
+
+(* --- paths ----------------------------------------------------------------- *)
+
+let paths_cmd =
+  let top =
+    Arg.(value & opt int 20 & info [ "top" ] ~doc:"How many paths to list (default 20).")
+  in
+  let run input strategy top =
+    let index = load_or_build input (config_of_strategy strategy) in
+    match Xseq.stats index with
+    | None ->
+      Printf.eprintf "path statistics require the probability strategy\n";
+      exit 1
+    | Some stats ->
+      (* Enumerate the index's element paths with their estimates. *)
+      let labeled = Xseq.labeled index in
+      let rec walk acc p =
+        List.fold_left
+          (fun acc c ->
+            if Option.is_some (Xindex.Labeled.link labeled c) then
+              walk ((c, Xschema.Stats.p_root stats c) :: acc) c
+            else acc)
+          acc
+          (Sequencing.Path.element_children p)
+      in
+      let all = walk [] Sequencing.Path.epsilon in
+      let sorted = List.sort (fun (_, a) (_, b) -> Stdlib.compare b a) all in
+      Printf.printf "%-44s %10s %10s\n" "path" "p(C|root)" "duplicated";
+      List.iteri
+        (fun i (p, prob) ->
+          if i < top then
+            Printf.printf "%-44s %10.4f %10b\n" (Sequencing.Path.to_string p) prob
+              (Xindex.Labeled.path_multiple labeled p))
+        sorted
+  in
+  Cmd.v
+    (Cmd.info "paths"
+       ~doc:"List the most frequent element paths with their occurrence \
+             probabilities — the quantities that drive gbest sequencing.")
+    Term.(const run $ input_arg $ strategy_arg $ top)
+
+(* --- explain --------------------------------------------------------------- *)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"Query in the supported XPath fragment.")
+  in
+  let run input strategy q =
+    let index = load_or_build input (config_of_strategy strategy) in
+    let pattern = Xseq.Xpath.parse q in
+    let e = Xseq.explain index pattern in
+    Printf.printf "pattern:          %s\n" e.Xquery.Engine.pattern;
+    Printf.printf "instantiations:   %d\n" e.instantiations;
+    Printf.printf "query sequences:  %d\n" e.sequences;
+    List.iteri (fun i s -> Printf.printf "  [%d] %s\n" i s) e.sequence_texts;
+    Printf.printf "link probes:      %d\n" e.stats.Xquery.Matcher.probes;
+    Printf.printf "candidates:       %d\n" e.stats.Xquery.Matcher.candidates;
+    Printf.printf "rejected:         %d (forward-prefix check)\n"
+      e.stats.Xquery.Matcher.rejected;
+    Printf.printf "results:          %d\n" e.results
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show how a query is instantiated, sequenced and matched.")
+    Term.(const run $ input_arg $ strategy_arg $ query_arg)
+
+(* --- index (build + save) ------------------------------------------------ *)
+
+let index_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the index.")
+  in
+  let run input strategy output =
+    let docs = load_documents input in
+    let t0 = Unix.gettimeofday () in
+    let index = Xseq.build ~config:(config_of_strategy strategy) docs in
+    Xseq.save index output;
+    Printf.printf "indexed %d records into %d trie nodes; saved to %s (%.0f ms)\n"
+      (Xseq.doc_count index) (Xseq.node_count index) output
+      ((Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Build an index over the records and save it to disk; $(b,query) \
+             and $(b,stats) accept the saved file in place of the XML input.")
+    Term.(const run $ input_arg $ strategy_arg $ output)
+
+let () =
+  let doc = "sequence-based XML indexing with constraint sequences (ICDE 2005)" in
+  let info = Cmd.info "xseq" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+       [ gen_cmd; index_cmd; stats_cmd; paths_cmd; sequence_cmd; query_cmd; explain_cmd ]))

@@ -1,0 +1,52 @@
+(* Quickstart: parse a handful of XML records, build an index, ask
+   tree-pattern queries.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let records =
+  [|
+    {|<order id="1"><customer>alice</customer>
+       <item><sku>lamp</sku><qty>2</qty></item>
+       <item><sku>desk</sku><qty>1</qty></item></order>|};
+    {|<order id="2"><customer>bob</customer>
+       <item><sku>lamp</sku><qty>1</qty></item></order>|};
+    {|<order id="3"><customer>alice</customer>
+       <item><sku>chair</sku><qty>4</qty></item>
+       <item><sku>lamp</sku><qty>1</qty></item></order>|};
+  |]
+
+let () =
+  (* 1. Parse.  Attributes become @-tagged children. *)
+  let docs = Array.map Xmlcore.Xml_parser.parse_string records in
+
+  (* 2. Build.  The default configuration samples the documents to
+     estimate path probabilities and sequences every record with the
+     performance-oriented strategy (gbest). *)
+  let index = Xseq.build docs in
+  Printf.printf "indexed %d records into %d trie nodes (%d distinct paths)\n\n"
+    (Xseq.doc_count index) (Xseq.node_count index) (Xseq.distinct_paths index);
+
+  (* 3. Query with the XPath fragment.  Results are record ids. *)
+  let show q =
+    let ids = Xseq.query_xpath index q in
+    Printf.printf "%-48s -> [%s]\n" q
+      (String.concat "; " (List.map string_of_int ids))
+  in
+  show "/order[customer='alice']";
+  show "/order/item[sku='lamp']";
+  show "//item[qty='1']";
+  show "/order[customer='alice']/item[sku='lamp']";
+  (* Two *distinct* items in one order: *)
+  show "/order[item/sku='lamp'][item/sku='chair']";
+  (* Wildcards: *)
+  show "/order/*[sku='desk']";
+
+  (* 4. Or build patterns programmatically. *)
+  let p =
+    Xseq.Pattern.(
+      elt "order"
+        [ elt "item" [ elt "sku" [ text "lamp" ]; elt "qty" [ text "2" ] ] ])
+  in
+  Printf.printf "\nprogrammatic %s -> [%s]\n"
+    (Xseq.Pattern.to_string p)
+    (String.concat "; " (List.map string_of_int (Xseq.query index p)))

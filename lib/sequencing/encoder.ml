@@ -1,0 +1,119 @@
+module D = Xmlcore.Designator
+module T = Xmlcore.Xml_tree
+
+type value_mode = Hashed | Text
+
+let value_end_marker = D.value "\x00end"
+
+(* Internal expanded tree: values are turned into designator-labelled
+   nodes according to the value mode, so sequencing is uniform. *)
+type itree = { d : D.t; kids : itree list }
+
+let rec expand mode t =
+  match t with
+  | T.Element (d, cs) -> { d; kids = List.map (expand mode) cs }
+  | T.Value s ->
+    (match mode with
+     | Hashed -> { d = D.value s; kids = [] }
+     | Text ->
+       let rec chain i =
+         if i >= String.length s then { d = value_end_marker; kids = [] }
+         else { d = D.char_value s.[i]; kids = [ chain (i + 1) ] }
+       in
+       chain 0)
+
+(* Flattened node records in pre-order. *)
+type node = {
+  path : Path.t;
+  level : int;
+  children : int list; (* indices, document order *)
+  has_identical : bool; (* some sibling shares this node's path *)
+}
+
+let flatten root =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let rec walk parent_path level it =
+    let rank = !count in
+    incr count;
+    let path = Path.child parent_path it.d in
+    (* Count tags among the children of [it] to spot identical siblings. *)
+    let tag_counts = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let n = try Hashtbl.find tag_counts c.d with Not_found -> 0 in
+        Hashtbl.replace tag_counts c.d (n + 1))
+      it.kids;
+    (* Fold explicitly so children are walked left-to-right and get
+       increasing pre-order ranks. *)
+    let children =
+      List.rev
+        (List.fold_left (fun acc c -> walk path (level + 1) c :: acc) [] it.kids)
+    in
+    let children_ident =
+      List.map (fun c -> Hashtbl.find tag_counts c.d > 1) it.kids
+    in
+    nodes := (rank, path, level, children, children_ident) :: !nodes;
+    rank
+  in
+  let _root_rank = walk Path.epsilon 1 root in
+  let n = !count in
+  let arr =
+    Array.make n { path = Path.epsilon; level = 0; children = []; has_identical = false }
+  in
+  List.iter
+    (fun (rank, path, level, children, _) ->
+      arr.(rank) <- { path; level; children; has_identical = false })
+    !nodes;
+  (* Propagate the identical-sibling flag down to children. *)
+  List.iter
+    (fun (_, _, _, children, children_ident) ->
+      List.iter2
+        (fun c ident -> if ident then arr.(c) <- { (arr.(c)) with has_identical = true })
+        children children_ident)
+    !nodes;
+  arr
+
+let priority_fun strategy nodes =
+  match strategy with
+  | Strategy.Depth_first -> fun i -> -.float_of_int i
+  | Strategy.Breadth_first ->
+    fun i -> -.float_of_int ((nodes.(i).level * (1 lsl 26)) + i)
+  | Strategy.Random seed ->
+    let salt =
+      Array.fold_left (fun h n -> (h * 31) + Path.to_int n.path) 17 nodes
+    in
+    let rng = Random.State.make [| seed; salt |] in
+    let prios = Array.map (fun _ -> Random.State.float rng 1.0) nodes in
+    fun i -> prios.(i)
+  | Strategy.Probability f -> fun i -> f nodes.(i).path
+
+let encode ?(value_mode = Hashed) ?(ident = fun _ -> false) ~strategy t =
+  let nodes = flatten (expand value_mode t) in
+  let prio = priority_fun strategy nodes in
+  let spec =
+    {
+      Scheduler.prio;
+      path_id = (fun i -> Path.to_int nodes.(i).path);
+      rank = (fun i -> i);
+      children = (fun i -> nodes.(i).children);
+      has_identical = (fun i -> nodes.(i).has_identical || ident nodes.(i).path);
+    }
+  in
+  let order = Scheduler.emit spec ~root:0 in
+  let arr = Array.make (Array.length nodes) Path.epsilon in
+  List.iteri (fun k i -> arr.(k) <- nodes.(i).path) order;
+  arr
+
+let paths_of_tree ?(value_mode = Hashed) t =
+  let nodes = flatten (expand value_mode t) in
+  Array.map (fun n -> n.path) nodes
+
+let multiple_paths ?value_mode t =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      let n = try Hashtbl.find counts p with Not_found -> 0 in
+      Hashtbl.replace counts p (n + 1))
+    (paths_of_tree ?value_mode t);
+  Hashtbl.fold (fun p n acc -> if n > 1 then p :: acc else acc) counts []

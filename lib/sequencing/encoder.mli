@@ -1,0 +1,55 @@
+(** Constraint sequencing of XML trees (Section 2.4, Algorithm 2).
+
+    [encode] maps a document tree to a sequence of path-encoded nodes that
+    satisfies constraint [f2]: nodes are emitted ancestor-first in the
+    order chosen by the strategy, except that when the chosen node has
+    identical siblings its whole subtree is emitted before anything else
+    under the rule "no identical sibling of [x] may be selected until all
+    descendants of [x] have been" — Algorithm 2's recursive
+    [sequentialize]. *)
+
+type value_mode =
+  | Hashed
+      (** A value leaf becomes one node whose designator is [h(value)] —
+          the ViST option of Section 2.1. *)
+  | Text
+      (** A value leaf becomes a chain of character designators terminated
+          by an end marker — the Index-Fabric option, which allows
+          subsequence matching inside values. *)
+
+val encode :
+  ?value_mode:value_mode ->
+  ?ident:(Path.t -> bool) ->
+  strategy:Strategy.t ->
+  Xmlcore.Xml_tree.t ->
+  Path.t array
+(** [encode ~strategy t] is the constraint sequence of [t].  The result
+    always satisfies {!Seq_constraint.is_valid}.  Default [value_mode] is
+    {!Hashed}.
+
+    [ident] extends the identical-sibling rule to a {e global} path-level
+    trigger: the subtree recursion fires for any node whose path satisfies
+    [ident], in addition to nodes with in-document identical siblings.
+    This matters for query completeness: a dataset in which {e some}
+    documents duplicate a path must sequence that path's subtree
+    contiguously in {e every} document (and in every query), otherwise
+    the per-document deviation from pure priority order makes subsequence
+    matching miss valid embeddings.  {!Xseq} computes the flag set in a
+    pre-pass ("does any document contain this path twice?") and threads
+    it through both document encoding and query compilation. *)
+
+val multiple_paths :
+  ?value_mode:value_mode -> Xmlcore.Xml_tree.t -> Path.t list
+(** The paths occurring at least twice in the document — the per-document
+    contribution to the global [ident] flag set. *)
+
+val paths_of_tree :
+  ?value_mode:value_mode -> Xmlcore.Xml_tree.t -> Path.t array
+(** The multiset of path encodings of [t]'s nodes in document (pre-)order,
+    without any sequencing decision — the "set representation" of
+    Section 2.2, used by the DataGuide baseline and by statistics
+    collection. *)
+
+val value_end_marker : Xmlcore.Designator.t
+(** Terminator designator closing every {!Text}-mode value chain, so that
+    equality queries do not match proper prefixes. *)

@@ -1,0 +1,107 @@
+module D = Xmlcore.Designator
+
+type t = int
+
+(* Structure-of-arrays intern table.  Entry 0 is epsilon.  [kids] keeps the
+   element (non-value) children of each path so the table can be walked as
+   a schema path trie. *)
+
+let dummy_tag = D.tag ""
+let table : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+let parents = ref (Array.make 4096 (-1))
+let tags = ref (Array.make 4096 dummy_tag)
+let depths = ref (Array.make 4096 0)
+let kids : int list array ref = ref (Array.make 4096 [])
+let next = ref 1 (* entry 0 = epsilon *)
+
+let epsilon = 0
+
+let grow () =
+  let cap = Array.length !parents in
+  if !next >= cap then begin
+    let extend : 'a. 'a array ref -> 'a -> unit =
+     fun a fill ->
+      let a' = Array.make (cap * 2) fill in
+      Array.blit !a 0 a' 0 cap;
+      a := a'
+    in
+    extend parents (-1);
+    extend tags dummy_tag;
+    extend depths 0;
+    extend kids []
+  end
+
+let child p d =
+  let key = (p, D.to_int d) in
+  match Hashtbl.find_opt table key with
+  | Some id -> id
+  | None ->
+    grow ();
+    let id = !next in
+    incr next;
+    !parents.(id) <- p;
+    !tags.(id) <- d;
+    !depths.(id) <- !depths.(p) + 1;
+    Hashtbl.add table key id;
+    if not (D.is_value d) then !kids.(p) <- id :: !kids.(p);
+    id
+
+let find_child p d = Hashtbl.find_opt table (p, D.to_int d)
+
+let parent p =
+  if p = epsilon then invalid_arg "Path.parent: epsilon";
+  !parents.(p)
+
+let tag p : D.t =
+  if p = epsilon then invalid_arg "Path.tag: epsilon";
+  !tags.(p)
+
+let depth p = !depths.(p)
+let element_children p = List.rev !kids.(p)
+
+let rec ancestor_at_depth p d =
+  let dp = !depths.(p) in
+  if d < 0 || d > dp then invalid_arg "Path.ancestor_at_depth"
+  else if d = dp then p
+  else ancestor_at_depth !parents.(p) d
+
+let is_prefix p q =
+  depth p <= depth q && ancestor_at_depth q (depth p) = p
+
+let is_strict_prefix p q = depth p < depth q && is_prefix p q
+
+let of_list ds = List.fold_left child epsilon ds
+
+let to_list p =
+  let rec loop p acc = if p = epsilon then acc else loop (parent p) (tag p :: acc) in
+  loop p []
+
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+
+let lex_compare a b =
+  let rec prefix_at p d target =
+    (* designator of [p]'s ancestor at depth [target] *)
+    if d = target then tag p else prefix_at !parents.(p) (d - 1) target
+  in
+  let da = depth a and db = depth b in
+  let rec loop d =
+    if d > da || d > db then Stdlib.compare da db
+    else
+      let c = D.compare (prefix_at a da d) (prefix_at b db d) in
+      if c <> 0 then c else loop (d + 1)
+  in
+  if a = b then 0 else loop 1
+let hash (p : int) = p
+let to_int p = p
+let count () = !next
+
+let of_int i =
+  if i < 0 || i >= !next then invalid_arg "Path.of_int: unknown id";
+  i
+
+let to_string p =
+  if p = epsilon then "ε"
+  else String.concat "." (List.map (fun d -> Format.asprintf "%a" D.pp d) (to_list p))
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

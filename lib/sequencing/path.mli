@@ -1,0 +1,80 @@
+(** Hash-consed root paths.
+
+    Section 2.2 encodes every tree node by the designator path leading from
+    the root to it ([P], [PD], [PDL], [PDLv1], ...).  Paths are interned
+    into integers with parent pointers, so prefix tests, depth lookups and
+    child navigation are O(1)/O(depth) integer operations.  The global path
+    table doubles as the {e schema path trie} used to expand wildcard query
+    steps: each path knows its element children.
+
+    [epsilon] is the virtual empty path [ε], the parent of every document
+    root. *)
+
+type t = private int
+
+val epsilon : t
+(** The empty path [ε] (depth 0). *)
+
+val child : t -> Xmlcore.Designator.t -> t
+(** [child p d] is the path [p.d], interning it on first use. *)
+
+val find_child : t -> Xmlcore.Designator.t -> t option
+(** Like {!child} but returns [None] instead of interning a new path —
+    used by query instantiation, which must not invent paths that carry no
+    data. *)
+
+val parent : t -> t
+(** One-step prefix.  @raise Invalid_argument on {!epsilon}. *)
+
+val tag : t -> Xmlcore.Designator.t
+(** Last designator of the path.  @raise Invalid_argument on {!epsilon}. *)
+
+val depth : t -> int
+(** Number of designators; [depth epsilon = 0]. *)
+
+val element_children : t -> t list
+(** Interned one-step extensions of [p] by a {e tag} designator (value
+    extensions are excluded, as wildcards never match value nodes). *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p q] iff [p] is a (non-strict) prefix of [q], the paper's
+    [p ⊆ q]. *)
+
+val is_strict_prefix : t -> t -> bool
+(** The paper's [p ⊂ q]. *)
+
+val ancestor_at_depth : t -> int -> t
+(** [ancestor_at_depth p d] is the prefix of [p] of depth [d].
+    @raise Invalid_argument if [d] exceeds [depth p] or is negative. *)
+
+val of_list : Xmlcore.Designator.t list -> t
+(** Interns the path spelled by a designator list (starting at the root). *)
+
+val to_list : t -> Xmlcore.Designator.t list
+(** Designators from the root down. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on interned ids (fast, arbitrary). *)
+
+val lex_compare : t -> t -> int
+(** Lexicographic order on designator-id lists.  A prefix sorts before its
+    extensions; two paths order by their first differing designator.  For
+    a tag-sorted document this is exactly depth-first visit order, which
+    is what aligns ViST-style query sequences with data sequences. *)
+
+val hash : t -> int
+val to_int : t -> int
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  @raise Invalid_argument if the id has not been
+    interned. *)
+
+val count : unit -> int
+(** Number of paths interned so far (including [epsilon]). *)
+
+val to_string : t -> string
+(** Dotted rendering, e.g. ["P.D.L.v(boston)"]. *)
+
+val pp : Format.formatter -> t -> unit

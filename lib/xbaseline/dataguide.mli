@@ -1,0 +1,31 @@
+(** A strong-DataGuide-style path index — the paper's "query by paths"
+    baseline (Table 8; cf. Goldman & Widom [7]).
+
+    The index maps every distinct root path to the sorted list of
+    documents containing it.  A tree-pattern query is disassembled into
+    its root-to-leaf simple paths; the per-path document lists are
+    intersected, and — because a path index cannot see branching structure
+    (Figure 4's false alarm applies in full) — every surviving candidate
+    is verified against the stored document, the expensive per-document
+    post-processing the paper's approach avoids. *)
+
+type t
+
+type query_stats = {
+  mutable lookups : int;  (** path-list lookups *)
+  mutable scanned : int;  (** doc-list entries read during intersection *)
+  mutable verified : int;  (** candidate documents run through the oracle *)
+}
+
+val create_stats : unit -> query_stats
+
+val build : Xmlcore.Xml_tree.t array -> t
+(** Indexes the documents (ids are array indices) and retains them for
+    verification. *)
+
+val query : ?stats:query_stats -> t -> Xquery.Pattern.t -> int list
+(** Exact answers (sorted ids). *)
+
+val distinct_paths : t -> int
+val entry_count : t -> int
+(** Total (path, doc) postings. *)

@@ -1,0 +1,27 @@
+(** A ViST-style index — depth-first sequencing with naïve subsequence
+    matching (Wang et al. [18]), the closest competitor in Figure 16(b).
+
+    Documents are tag-sorted and depth-first sequenced into the same
+    trie/labelling machinery as the main index, but queries run in
+    {e naïve} mode: no forward-prefix check, so identical siblings produce
+    the false alarms of Figure 4, which ViST remedies with join-like
+    per-document verification — the cost this baseline exposes.  Results
+    are exact. *)
+
+type t
+
+type query_stats = {
+  matcher : Xquery.Matcher.stats;
+  mutable candidates : int;  (** documents reported by naïve matching *)
+  mutable verified : int;  (** candidate documents verified *)
+}
+
+val create_stats : unit -> query_stats
+
+val build : Xmlcore.Xml_tree.t array -> t
+
+val query : ?stats:query_stats -> t -> Xquery.Pattern.t -> int list
+(** Exact answers (sorted ids). *)
+
+val node_count : t -> int
+val labeled : t -> Xindex.Labeled.t

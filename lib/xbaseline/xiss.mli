@@ -1,0 +1,30 @@
+(** An XISS-style node index with structural joins — the paper's "query by
+    nodes" baseline (Table 8; cf. Li & Moon [11]).
+
+    Every element and value node is posted under its designator as a
+    [(doc, pre, post)] triple.  A tree-pattern query is evaluated by
+    bottom-up ancestor–descendant / parent–child {e merge joins} over the
+    per-designator lists (the paper's "expensive join operations"); the
+    surviving documents are then verified against the stored documents,
+    since binary joins cannot enforce the injective identical-sibling
+    semantics on their own. *)
+
+type t
+
+type query_stats = {
+  mutable scanned : int;  (** node-list entries read by the joins *)
+  mutable joined : int;  (** join output tuples produced *)
+  mutable verified : int;
+}
+
+val create_stats : unit -> query_stats
+
+val build : Xmlcore.Xml_tree.t array -> t
+
+val query : ?stats:query_stats -> t -> Xquery.Pattern.t -> int list
+(** Exact answers (sorted ids). *)
+
+val element_count : t -> int
+(** Total postings. *)
+
+val distinct_designators : t -> int

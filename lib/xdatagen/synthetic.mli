@@ -1,0 +1,34 @@
+(** The paper's synthetic tree-structure generator (Section 6.1).
+
+    Generation takes three steps.  First a random DTD schema is built from
+    the user parameters; second, each schema node receives an occurrence
+    probability uniform in [P%, 1.0]; third, N tree structures are
+    generated from the schema, each node's existence decided by its
+    probability.  Datasets are named by their parameters, e.g.
+    [L3F5A25I0P40]. *)
+
+type params = {
+  l : int;  (** maximum tree height *)
+  f : int;  (** maximum fanout of a node *)
+  a : int;  (** percentage of value child nodes *)
+  i : int;  (** percentage of identical sibling nodes *)
+  p : int;  (** lower bound (percent) of the occurrence probability *)
+}
+
+val name : params -> string
+(** E.g. [{l=3; f=5; a=25; i=0; p=40}] is ["L3F5A25I0P40"]. *)
+
+val parse_name : string -> params
+(** Inverse of {!name}.  @raise Invalid_argument on malformed input. *)
+
+val schema : ?seed:int -> params -> Xschema.Schema.t
+(** The random DTD with occurrence probabilities and value-slot domains.
+    Deterministic in (seed, params). *)
+
+val generate : ?seed:int -> schema:Xschema.Schema.t -> int -> Xmlcore.Xml_tree.t array
+(** [generate ~schema n] draws [n] documents from the schema.  Documents
+    where every optional child happened to be absent still contain the
+    root.  Deterministic in (seed, schema). *)
+
+val dataset : ?schema_seed:int -> ?data_seed:int -> params -> int -> Xmlcore.Xml_tree.t array
+(** Schema + documents in one call. *)

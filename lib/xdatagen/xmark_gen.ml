@@ -1,0 +1,173 @@
+module T = Xmlcore.Xml_tree
+
+let q1_date = "07/05/2000"
+let q3_date = "12/15/1999"
+
+let field name value = T.elt name [ T.text value ]
+
+let date rng =
+  (* Dates over 1998–2001, with the two query literals boosted so the
+     Table 4 / Table 7 queries return small non-empty answers. *)
+  let r = Random.State.int rng 100 in
+  if r < 2 then q1_date
+  else if r < 4 then q3_date
+  else
+    Printf.sprintf "%02d/%02d/%d"
+      (1 + Random.State.int rng 12)
+      (1 + Random.State.int rng 28)
+      (1998 + Random.State.int rng 4)
+
+let person_pool n = max 64 (n / 4)
+
+(* References are Zipf-skewed (as in real auction data), so low-numbered
+   persons are guaranteed to appear; Q3 asks about the most popular one. *)
+let a_person_id _n = "person0"
+
+let person_ref rng n =
+  Printf.sprintf "person%d" (Names.zipf_index rng ~s:1.1 (person_pool n))
+let item_ref rng n = Printf.sprintf "item%d" (Random.State.int rng (max 64 (n / 2)))
+let money rng = Printf.sprintf "%d.%02d" (1 + Random.State.int rng 500) (Random.State.int rng 100)
+
+let repeat rng ~identical_siblings f =
+  let k = if identical_siblings then 1 + Random.State.int rng 3 else 1 in
+  List.init k (fun _ -> f ())
+
+let regions = [| "namerica"; "europe"; "asia"; "africa"; "australia"; "samerica" |]
+
+let item rng ~identical_siblings n id =
+  let mail () =
+    T.elt "mail"
+      [
+        field "from" (person_ref rng n);
+        field "to" (person_ref rng n);
+        field "date" (date rng);
+      ]
+  in
+  let incategory () = field "incategory" (Names.pick rng Names.categories) in
+  T.elt "site"
+    [
+      T.elt "regions"
+        [
+          T.elt
+            (Names.pick rng regions)
+            [
+              T.elt "item"
+                ([
+                   field "id" (Printf.sprintf "item%d" id);
+                   field "location" (Names.pick rng Names.countries);
+                   field "quantity" (string_of_int (1 + Random.State.int rng 5));
+                   field "name"
+                     (Printf.sprintf "%s %s" (Names.pick rng Names.words)
+                        (Names.pick rng Names.words));
+                   field "payment" (Names.pick rng [| "Cash"; "Creditcard"; "Money order"; "Check" |]);
+                   field "shipping" (Names.pick rng [| "Will ship internationally"; "Buyer pays fixed shipping charges"; "See description" |]);
+                 ]
+                @ repeat rng ~identical_siblings incategory
+                @ repeat rng ~identical_siblings mail);
+            ];
+        ];
+    ]
+
+let person rng ~identical_siblings n id =
+  let interest () = field "interest" (Names.pick rng Names.categories) in
+  let watch () = field "watch" (item_ref rng n) in
+  T.elt "site"
+    [
+      T.elt "people"
+        [
+          T.elt "person"
+            [
+              field "id" (Printf.sprintf "person%d" (id mod person_pool n));
+              field "name"
+                (Printf.sprintf "%s %s" (Names.pick rng Names.first_names)
+                   (Names.pick rng Names.last_names));
+              field "emailaddress"
+                (Printf.sprintf "mailto:%s@%s.com"
+                   (String.lowercase_ascii (Names.pick rng Names.last_names))
+                   (Names.pick rng [| "acme"; "example"; "auction"; "mail" |]));
+              field "phone" (Printf.sprintf "+1 (%03d) %07d" (Random.State.int rng 999) (Random.State.int rng 9999999));
+              T.elt "address"
+                [
+                  field "street" (Printf.sprintf "%d %s St" (1 + Random.State.int rng 99) (Names.pick rng Names.last_names));
+                  field "city" (Names.pick rng Names.cities);
+                  field "country" (Names.pick rng Names.countries);
+                  field "zipcode" (string_of_int (10000 + Random.State.int rng 89999));
+                ];
+              field "creditcard"
+                (Printf.sprintf "%04d %04d %04d %04d" (Random.State.int rng 9999)
+                   (Random.State.int rng 9999) (Random.State.int rng 9999)
+                   (Random.State.int rng 9999));
+              T.elt "profile"
+                ([
+                   field "education" (Names.pick rng [| "High School"; "College"; "Graduate School"; "Other" |]);
+                   field "age" (string_of_int (18 + Random.State.int rng 52));
+                   field "income" (Printf.sprintf "%d.%02d" (20000 + Random.State.int rng 80000) 0);
+                 ]
+                @ repeat rng ~identical_siblings interest);
+              T.elt "watches" (repeat rng ~identical_siblings watch);
+            ];
+        ];
+    ]
+
+let open_auction rng ~identical_siblings n id =
+  let bidder () =
+    T.elt "bidder"
+      [
+        field "date" (date rng);
+        field "time" (Printf.sprintf "%02d:%02d:%02d" (Random.State.int rng 24) (Random.State.int rng 60) (Random.State.int rng 60));
+        field "increase" (money rng);
+      ]
+  in
+  T.elt "site"
+    [
+      T.elt "open_auctions"
+        [
+          T.elt "open_auction"
+            ([
+               field "id" (Printf.sprintf "open_auction%d" id);
+               field "initial" (money rng);
+               field "reserve" (money rng);
+               field "current" (money rng);
+               field "itemref" (item_ref rng n);
+               T.elt "seller" [ field "person" (person_ref rng n) ];
+               field "quantity" (string_of_int (1 + Random.State.int rng 5));
+               field "type" (Names.pick rng [| "Regular"; "Featured"; "Dutch" |]);
+             ]
+            @ repeat rng ~identical_siblings bidder);
+        ];
+    ]
+
+let closed_auction rng ~identical_siblings:_ n id =
+  T.elt "site"
+    [
+      T.elt "closed_auctions"
+        [
+          T.elt "closed_auction"
+            [
+              field "id" (Printf.sprintf "closed_auction%d" id);
+              T.elt "seller" [ field "person" (person_ref rng n) ];
+              T.elt "buyer" [ field "person" (person_ref rng n) ];
+              field "itemref" (item_ref rng n);
+              field "price" (money rng);
+              field "date" (date rng);
+              field "quantity" (string_of_int (1 + Random.State.int rng 5));
+              field "type" (Names.pick rng [| "Regular"; "Featured"; "Dutch" |]);
+              T.elt "annotation"
+                [
+                  T.elt "author" [ field "person" (person_ref rng n) ];
+                  field "description"
+                    (Printf.sprintf "%s %s %s" (Names.pick rng Names.words)
+                       (Names.pick rng Names.words) (Names.pick rng Names.words));
+                ];
+            ];
+        ];
+    ]
+
+let generate ?(seed = 31) ~identical_siblings n =
+  let rng = Random.State.make [| seed; n; (if identical_siblings then 1 else 0) |] in
+  Array.init n (fun id ->
+      let r = Random.State.int rng 8 in
+      if r < 4 then item rng ~identical_siblings n id
+      else if r < 6 then person rng ~identical_siblings n id
+      else if r < 7 then open_auction rng ~identical_siblings n id
+      else closed_auction rng ~identical_siblings n id)

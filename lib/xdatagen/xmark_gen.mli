@@ -1,0 +1,28 @@
+(** XMark-like auction-site records.
+
+    The paper runs on XMark documents decomposed into sub-structure
+    records ([item], [person], [open_auction], [closed_auction]), each
+    rooted at [site] so that queries like [/site//item...] apply
+    (Section 6.1, Tables 4–7).  This mini-xmlgen reproduces that record
+    stream with the same element vocabulary and value dictionaries; the
+    [identical_siblings] switch controls whether repeating children
+    ([incategory], [mail], [bidder], [interest], [watch]) may occur more
+    than once — the distinction between Tables 5 and 6. *)
+
+val generate :
+  ?seed:int -> identical_siblings:bool -> int -> Xmlcore.Xml_tree.t array
+(** [generate ~identical_siblings n] draws [n] records (≈50% items, 25%
+    persons, 12.5% open auctions, 12.5% closed auctions).  Deterministic
+    in (seed, n). *)
+
+val a_person_id : int -> string
+(** A person id guaranteed to occur as a seller in a dataset of [n]
+    records (person references are Zipf-skewed, so this is the most
+    popular person) — used to pose Table 4's Q3. *)
+
+val q1_date : string
+(** The date literal of Q1 ("07/05/2000"), generated with boosted
+    frequency so the query has a small non-empty answer. *)
+
+val q3_date : string
+(** The date literal of Q3 ("12/15/1999"). *)

@@ -1,0 +1,375 @@
+module Path = Sequencing.Path
+module Ivec = Xutil.Ivec
+module Bs = Xutil.Binsearch
+
+let entry_bytes = 8
+let page_bytes = 4096
+
+type link = {
+  lpath : Path.t;
+  pres : int array;
+  posts : int array;
+  ups : int array;
+  nodes : int array;
+  mutable base : int;
+}
+
+type t = {
+  n : int; (* nodes excluding virtual root *)
+  pre : int array; (* node id -> serial *)
+  post : int array;
+  node_paths : Path.t array;
+  links : (Path.t, link) Hashtbl.t;
+  doc_pres : int array; (* sorted *)
+  doc_ids : int array;
+  doc_base : int;
+  total_bytes : int;
+  multi_memo : (Path.t, bool) Hashtbl.t;
+}
+
+(* Mutable link accumulator used during the DFS. *)
+type accum = {
+  apath : Path.t;
+  apres : Ivec.t;
+  aposts : Ivec.t;
+  aups : Ivec.t;
+  anodes : Ivec.t;
+}
+
+let of_trie trie =
+  let nnodes = Trie.node_count trie + 1 in
+  (* Adjacency: children of each node, sorted by path id for a
+     deterministic labelling. *)
+  let children = Array.make nnodes [] in
+  Trie.iter_edges trie (fun parent child ->
+      children.(parent) <- child :: children.(parent));
+  Array.iteri
+    (fun i kids ->
+      children.(i) <-
+        List.sort
+          (fun a b -> Path.compare (Trie.path_of trie a) (Trie.path_of trie b))
+          kids)
+    children;
+  let pre = Array.make nnodes 0 in
+  let post = Array.make nnodes 0 in
+  let node_paths = Array.make nnodes Path.epsilon in
+  let accums : (Path.t, accum) Hashtbl.t = Hashtbl.create 1024 in
+  let stacks : (Path.t, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let accum_of p =
+    match Hashtbl.find_opt accums p with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          apath = p;
+          apres = Ivec.create ();
+          aposts = Ivec.create ();
+          aups = Ivec.create ();
+          anodes = Ivec.create ();
+        }
+      in
+      Hashtbl.replace accums p a;
+      a
+  in
+  let stack_of p =
+    match Hashtbl.find_opt stacks p with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.replace stacks p s;
+      s
+  in
+  let counter = ref 0 in
+  (* Iterative DFS with enter/exit events.  Exit frames carry the link
+     position to backfill the post label. *)
+  let stack = Stack.create () in
+  Stack.push (`Enter 0) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Enter node ->
+      let serial = !counter in
+      incr counter;
+      pre.(node) <- serial;
+      let p = Trie.path_of trie node in
+      node_paths.(node) <- p;
+      let link_pos =
+        if node = 0 then -1
+        else begin
+          let a = accum_of p in
+          let s = stack_of p in
+          let up = match !s with [] -> -1 | top :: _ -> top in
+          let pos = Ivec.length a.apres in
+          Ivec.push a.apres serial;
+          Ivec.push a.aposts 0;
+          Ivec.push a.aups up;
+          Ivec.push a.anodes node;
+          s := pos :: !s;
+          pos
+        end
+      in
+      Stack.push (`Exit (node, link_pos)) stack;
+      (* Push children reversed so the smallest path id is visited first. *)
+      List.iter (fun c -> Stack.push (`Enter c) stack) (List.rev children.(node))
+    | `Exit (node, link_pos) ->
+      let last = !counter - 1 in
+      post.(node) <- last;
+      if node <> 0 then begin
+        let p = node_paths.(node) in
+        let a = accum_of p in
+        Ivec.set a.aposts link_pos last;
+        let s = stack_of p in
+        (match !s with
+         | _ :: rest -> s := rest
+         | [] -> assert false)
+      end
+  done;
+  (* Freeze links and lay them out on pages. *)
+  let links = Hashtbl.create (Hashtbl.length accums) in
+  let next_base = ref 0 in
+  let alloc bytes =
+    let base = !next_base in
+    let pages = (max 1 bytes + page_bytes - 1) / page_bytes in
+    next_base := base + (pages * page_bytes);
+    base
+  in
+  (* Deterministic layout order: by path id. *)
+  let ordered =
+    List.sort
+      (fun a b -> Path.compare a.apath b.apath)
+      (Hashtbl.fold (fun _ a acc -> a :: acc) accums [])
+  in
+  List.iter
+    (fun a ->
+      let l =
+        {
+          lpath = a.apath;
+          pres = Ivec.to_array a.apres;
+          posts = Ivec.to_array a.aposts;
+          ups = Ivec.to_array a.aups;
+          nodes = Ivec.to_array a.anodes;
+          base = 0;
+        }
+      in
+      l.base <- alloc (Array.length l.pres * entry_bytes);
+      Hashtbl.replace links a.apath l)
+    ordered;
+  (* Document table sorted by end-node serial. *)
+  let entries = Trie.doc_entries trie in
+  let pairs = Array.map (fun (node, doc) -> (pre.(node), doc)) entries in
+  Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) pairs;
+  let doc_pres = Array.map fst pairs in
+  let doc_ids = Array.map snd pairs in
+  let doc_base = alloc (Array.length doc_pres * entry_bytes) in
+  {
+    n = nnodes - 1;
+    pre;
+    post;
+    node_paths;
+    links;
+    doc_pres;
+    doc_ids;
+    doc_base;
+    total_bytes = !next_base;
+    multi_memo = Hashtbl.create 64;
+  }
+
+let node_count t = t.n
+let doc_count t = Array.length t.doc_ids
+let root_pre t = t.pre.(0)
+let root_post t = t.post.(0)
+
+let size_bytes t ~record_count = (4 * record_count) + (8 * t.n)
+
+let link t p = Hashtbl.find_opt t.links p
+let link_length l = Array.length l.pres
+let link_pre l i = l.pres.(i)
+let link_post l i = l.posts.(i)
+let link_up l i = l.ups.(i)
+let link_node l i = l.nodes.(i)
+let link_base l = l.base
+
+let link_range l ~lo ~hi =
+  let len = Array.length l.pres in
+  let first = Bs.lower_bound l.pres ~len lo in
+  let last = Bs.upper_bound l.pres ~len hi - 1 in
+  (first, last)
+
+let link_floor l x = Bs.floor_index l.pres ~len:(Array.length l.pres) x
+
+(* Link entries are in pre-order, so an entry has a same-encoding
+   descendant iff the immediately following entry falls inside its range. *)
+let link_same_desc l i =
+  i + 1 < Array.length l.pres && l.pres.(i + 1) <= l.posts.(i)
+
+(* Deepest same-encoding ancestor of serial [x]: start from the floor
+   entry and climb [up] pointers until the range contains [x]. *)
+let nearest_in_link l x =
+  let rec climb i =
+    if i < 0 then -1 else if l.posts.(i) >= x then i else climb l.ups.(i)
+  in
+  climb (link_floor l x)
+
+let doc_span t ~lo ~hi =
+  let len = Array.length t.doc_pres in
+  let first = Bs.lower_bound t.doc_pres ~len lo in
+  let last = Bs.upper_bound t.doc_pres ~len hi - 1 in
+  (first, last)
+
+let docs_in_range t ~lo ~hi ~f =
+  let first, last = doc_span t ~lo ~hi in
+  for i = first to last do
+    f t.doc_ids.(i)
+  done
+
+let doc_table_base t = t.doc_base
+let layout_bytes t = t.total_bytes
+
+(* --- portability -------------------------------------------------------- *)
+
+(* Paths are referenced through a dictionary whose entries spell out the
+   designator (kind + source string) and point at their parent entry, in
+   depth order so parents precede children.  Entry 0 is epsilon. *)
+type dict_entry = { dparent : int; dkind : char; dname : string }
+
+type portable_link = {
+  s_path : int; (* dictionary index *)
+  s_pres : int array;
+  s_posts : int array;
+  s_ups : int array;
+  s_nodes : int array;
+  s_base : int;
+}
+
+type portable = {
+  s_version : int;
+  s_dict : dict_entry array;
+  s_n : int;
+  s_pre : int array;
+  s_post : int array;
+  s_node_paths : int array; (* dictionary indexes *)
+  s_links : portable_link array;
+  s_doc_pres : int array;
+  s_doc_ids : int array;
+  s_doc_base : int;
+  s_total_bytes : int;
+}
+
+let to_portable t =
+  (* Every path appearing anywhere is a trie-node path, and the trie is
+     prefix-closed, so node_paths covers the whole dictionary. *)
+  let paths = Hashtbl.create 256 in
+  Array.iter (fun p -> Hashtbl.replace paths p ()) t.node_paths;
+  Hashtbl.iter (fun p _ -> Hashtbl.replace paths p ()) t.links;
+  let ordered =
+    List.sort
+      (fun a b -> Stdlib.compare (Path.depth a) (Path.depth b))
+      (Hashtbl.fold (fun p () acc -> p :: acc) paths [])
+  in
+  let index_of = Hashtbl.create 256 in
+  List.iteri (fun i p -> Hashtbl.replace index_of p i) ordered;
+  let dict =
+    Array.of_list
+      (List.map
+         (fun p ->
+           if Path.equal p Path.epsilon then
+             { dparent = -1; dkind = 'T'; dname = "" }
+           else begin
+             let d = Path.tag p in
+             {
+               dparent = Hashtbl.find index_of (Path.parent p);
+               dkind = (if Xmlcore.Designator.is_value d then 'V' else 'T');
+               dname = Xmlcore.Designator.name d;
+             }
+           end)
+         ordered)
+  in
+  let idx p = Hashtbl.find index_of p in
+  let links =
+    List.sort
+      (fun a b -> Stdlib.compare a.s_path b.s_path)
+      (Hashtbl.fold
+         (fun p l acc ->
+           {
+             s_path = idx p;
+             s_pres = l.pres;
+             s_posts = l.posts;
+             s_ups = l.ups;
+             s_nodes = l.nodes;
+             s_base = l.base;
+           }
+           :: acc)
+         t.links [])
+  in
+  {
+    s_version = 1;
+    s_dict = dict;
+    s_n = t.n;
+    s_pre = t.pre;
+    s_post = t.post;
+    s_node_paths = Array.map idx t.node_paths;
+    s_links = Array.of_list links;
+    s_doc_pres = t.doc_pres;
+    s_doc_ids = t.doc_ids;
+    s_doc_base = t.doc_base;
+    s_total_bytes = t.total_bytes;
+  }
+
+let of_portable s =
+  if s.s_version <> 1 then invalid_arg "Labeled.of_portable: unknown version";
+  (* Re-intern the dictionary (parents precede children by construction). *)
+  let paths = Array.make (Array.length s.s_dict) Path.epsilon in
+  Array.iteri
+    (fun i e ->
+      if e.dparent < 0 then paths.(i) <- Path.epsilon
+      else begin
+        let d =
+          if e.dkind = 'V' then Xmlcore.Designator.value e.dname
+          else Xmlcore.Designator.tag e.dname
+        in
+        paths.(i) <- Path.child paths.(e.dparent) d
+      end)
+    s.s_dict;
+  let links = Hashtbl.create (Array.length s.s_links) in
+  Array.iter
+    (fun l ->
+      Hashtbl.replace links paths.(l.s_path)
+        {
+          lpath = paths.(l.s_path);
+          pres = l.s_pres;
+          posts = l.s_posts;
+          ups = l.s_ups;
+          nodes = l.s_nodes;
+          base = l.s_base;
+        })
+    s.s_links;
+  {
+    n = s.s_n;
+    pre = s.s_pre;
+    post = s.s_post;
+    node_paths = Array.map (fun i -> paths.(i)) s.s_node_paths;
+    links;
+    doc_pres = s.s_doc_pres;
+    doc_ids = s.s_doc_ids;
+    doc_base = s.s_doc_base;
+    total_bytes = s.s_total_bytes;
+    multi_memo = Hashtbl.create 64;
+  }
+
+let path_multiple t p =
+  match Hashtbl.find_opt t.links p with
+  | None -> false
+  | Some l ->
+    let n = Array.length l.pres in
+    let rec scan i = i < n && (link_same_desc l i || scan (i + 1)) in
+    (* The first nested pair, if any, involves consecutive pre-order
+       entries, so one linear scan decides it; memoise per path. *)
+    (match Hashtbl.find_opt t.multi_memo p with
+     | Some b -> b
+     | None ->
+       let b = scan 0 in
+       Hashtbl.replace t.multi_memo p b;
+       b)
+let pre_of_node t id = t.pre.(id)
+let post_of_node t id = t.post.(id)
+let path_of_node t id = t.node_paths.(id)
+let distinct_paths t = Hashtbl.length t.links

@@ -1,0 +1,121 @@
+(** The frozen, labelled index (Section 4.1, "Tree Labeling" and "Path
+    Linking").
+
+    Every trie node [n] is labelled with a pair [(n⊢, n⊣)]: its serial
+    number in a depth-first traversal and the largest serial number among
+    its descendants, so [x] is a descendant of [y] iff
+    [x⊢ ∈ (y⊢, y⊣]].  For each distinct path encoding, a {e horizontal
+    path link} holds the labels of all nodes with that encoding, in
+    ascending serial order, ready for binary search (Figure 8/9).
+
+    Additionally, each link entry stores the link position of its nearest
+    same-encoding ancestor ([up]); this is what makes the sibling-cover /
+    forward-prefix checks of Section 4.2 O(log) per candidate.
+
+    For I/O accounting, links and the document table are laid out on a
+    {!Xstorage.Pager}-compatible byte layout (8-byte entries, page-aligned
+    regions). *)
+
+module Path = Sequencing.Path
+
+type t
+
+type link
+(** A horizontal path link. *)
+
+val of_trie : Trie.t -> t
+(** Labels the trie (children visited in ascending path-id order, so the
+    labelling is deterministic) and builds links and the document table. *)
+
+val node_count : t -> int
+(** Trie nodes excluding the virtual root (the paper's [N]). *)
+
+val doc_count : t -> int
+
+val root_pre : t -> int
+(** Serial of the virtual root (0); its range spans the whole index. *)
+
+val root_post : t -> int
+
+val size_bytes : t -> record_count:int -> int
+(** The paper's disk-size estimate [4n + cN] with [c = 8] (Section 6.2). *)
+
+val link : t -> Path.t -> link option
+(** The path link for an encoding; [None] if no node carries it. *)
+
+val link_length : link -> int
+val link_pre : link -> int -> int
+val link_post : link -> int -> int
+
+val link_up : link -> int -> int
+(** Link position of the nearest same-encoding proper ancestor, or -1. *)
+
+val link_node : link -> int -> int
+(** Trie node id of a link entry. *)
+
+val link_base : link -> int
+(** Byte offset of the link's region in the simulated layout. *)
+
+val entry_bytes : int
+(** Bytes per link/doc entry in the layout (8). *)
+
+val link_range : link -> lo:int -> hi:int -> int * int
+(** [(first, last)] inclusive link positions with [lo <= pre <= hi];
+    [first > last] when empty. *)
+
+val link_floor : link -> int -> int
+(** Largest position with [pre <= x], or -1. *)
+
+val link_same_desc : link -> int -> bool
+(** Whether the entry at this position has a same-encoding descendant —
+    i.e. whether it "embeds identical siblings" in the sense of
+    Algorithm 1.  Only then can a later match be sibling-covered, so the
+    matcher skips the forward-prefix check otherwise. *)
+
+val nearest_in_link : link -> int -> int
+(** [nearest_in_link l pre] is the position of the deepest link entry
+    whose range contains serial [pre] (the forward prefix of the node with
+    that serial at this encoding's level), or -1.  Follows [up] pointers
+    from the floor entry. *)
+
+val docs_in_range : t -> lo:int -> hi:int -> f:(int -> unit) -> unit
+(** Applies [f] to the id of every document whose sequence ends at a node
+    with serial in [lo, hi].  Ids may repeat across calls but not within
+    one call. *)
+
+val doc_span : t -> lo:int -> hi:int -> int * int
+(** [(first, last)] inclusive positions in the document table covered by
+    the serial range — used for I/O accounting of the result fetch. *)
+
+val doc_table_base : t -> int
+(** Byte offset of the document table region. *)
+
+val layout_bytes : t -> int
+(** Total bytes of the layout (links + doc table), page-aligned. *)
+
+val pre_of_node : t -> int -> int
+val post_of_node : t -> int -> int
+val path_of_node : t -> int -> Path.t
+
+val distinct_paths : t -> int
+(** Number of horizontal links. *)
+
+type portable
+(** A process-independent snapshot of the index: interned path ids are
+    replaced by a self-contained path dictionary, so the snapshot can be
+    marshalled to disk and re-interned by {!of_portable} in a different
+    process (where designator/path ids differ). *)
+
+val to_portable : t -> portable
+
+val of_portable : portable -> t
+(** Re-interns every path of the snapshot into the current process's
+    tables and rebuilds the index.  [of_portable (to_portable t)] answers
+    every query exactly as [t] does. *)
+
+val path_multiple : t -> Path.t -> bool
+(** Whether some indexed document contains the path at least twice
+    (equivalently, whether some link entry has a same-encoding
+    descendant).  This is the global identical-sibling trigger that query
+    compilation must share with document encoding (see
+    {!Sequencing.Encoder.encode}'s [ident]). *)

@@ -1,0 +1,50 @@
+type t = int
+
+(* The intern table maps namespaced keys to ids.  Keys are the source
+   string prefixed with a namespace marker byte: 'T' for tags, 'V' for
+   values.  [names] keeps the reverse mapping; [kinds] records whether an
+   id denotes a value. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+let names : string array ref = ref (Array.make 1024 "")
+let kinds : Bytes.t ref = ref (Bytes.make 1024 'T')
+let next = ref 0
+
+let grow () =
+  let cap = Array.length !names in
+  if !next >= cap then begin
+    let names' = Array.make (cap * 2) "" in
+    Array.blit !names 0 names' 0 cap;
+    names := names';
+    let kinds' = Bytes.make (cap * 2) 'T' in
+    Bytes.blit !kinds 0 kinds' 0 cap;
+    kinds := kinds'
+  end
+
+let intern kind s =
+  let key = String.make 1 kind ^ s in
+  match Hashtbl.find_opt table key with
+  | Some id -> id
+  | None ->
+    grow ();
+    let id = !next in
+    incr next;
+    !names.(id) <- s;
+    Bytes.set !kinds id kind;
+    Hashtbl.add table key id;
+    id
+
+let tag s = intern 'T' s
+let value s = intern 'V' s
+let char_value c = intern 'V' (String.make 1 c)
+let is_value d = Bytes.get !kinds d = 'V'
+let name d = !names.(d)
+let equal (a : int) b = a = b
+let compare (a : int) b = Stdlib.compare a b
+let hash (d : int) = d
+let to_int d = d
+let count () = !next
+
+let pp ppf d =
+  if is_value d then Format.fprintf ppf "v(%s)" (name d)
+  else Format.pp_print_string ppf (name d)

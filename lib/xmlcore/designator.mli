@@ -1,0 +1,45 @@
+(** Designators: interned symbols naming XML elements, attributes and values.
+
+    The paper designates each element/attribute name by a {e designator}
+    (e.g. [P] for [Project]) and each attribute value by a value designator
+    derived by a hash function ([v1 = h("boston")], Section 2.1).  We intern
+    both into small integers so that paths, sequences and index structures
+    manipulate machine words only.
+
+    Tags and values live in disjoint namespaces: [tag "x"] and [value "x"]
+    are different designators.  Interning is global and append-only, which
+    keeps designator identity stable across every index built in a process. *)
+
+type t = private int
+
+val tag : string -> t
+(** [tag name] interns an element or attribute name. *)
+
+val value : string -> t
+(** [value text] interns an attribute/text value (the paper's [h(·)]
+    option for value nodes). *)
+
+val char_value : char -> t
+(** [char_value c] interns a single character used by the text-sequence
+    value representation (the paper's Index-Fabric-style option, where
+    ["boston"] becomes [b,o,s,t,o,n]). *)
+
+val is_value : t -> bool
+(** [is_value d] is [true] iff [d] was created by {!value} or
+    {!char_value}. *)
+
+val name : t -> string
+(** [name d] is the source string of [d] (without namespace marker). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_int : t -> int
+(** Stable integer identity of [d] within the current process. *)
+
+val count : unit -> int
+(** Number of designators interned so far. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints tags verbatim and values as [v(text)]. *)

@@ -1,0 +1,21 @@
+(** A small, dependency-free XML parser.
+
+    Covers the subset of XML needed for the paper's datasets: elements,
+    attributes, character data, comments, CDATA sections, processing
+    instructions, a (skipped) DOCTYPE declaration, the five predefined
+    entities and numeric character references.
+
+    Attributes become child elements tagged [@name] (see {!Xml_tree.attr});
+    whitespace-only text between elements is dropped unless
+    [keep_whitespace] is set. *)
+
+exception Parse_error of { pos : int; line : int; msg : string }
+(** Raised on malformed input, with a byte offset and 1-based line. *)
+
+val parse_string : ?keep_whitespace:bool -> string -> Xml_tree.t
+(** [parse_string s] parses one document and returns its root element.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val parse_fragments : ?keep_whitespace:bool -> string -> Xml_tree.t list
+(** [parse_fragments s] parses a sequence of sibling root elements, as in a
+    concatenated record file (DBLP-style). *)

@@ -1,0 +1,16 @@
+(** Serialisation of {!Xml_tree.t} back to XML text.
+
+    [@name]-tagged children produced by attribute normalisation are emitted
+    as real attributes again, so [parse_string (to_string t)] round-trips
+    the tree. *)
+
+val to_string : ?indent:bool -> Xml_tree.t -> string
+(** [to_string t] renders [t] as an XML document (no prolog).  With
+    [~indent:true], elements are pretty-printed two-space indented. *)
+
+val escape_text : string -> string
+(** Escapes [&], [<] and [>] for character data. *)
+
+val escape_attr : string -> string
+(** Escapes ampersand, angle brackets and double quote for double-quoted
+    attribute values. *)

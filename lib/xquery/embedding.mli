@@ -1,0 +1,15 @@
+(** Brute-force tree-pattern embedding — the correctness oracle.
+
+    [matches p d] decides whether there is an {e injective} mapping of the
+    pattern nodes into the document nodes that respects tests and axes
+    (see {!Pattern}).  This is the reference semantics that
+    constraint-sequence matching must reproduce exactly (Theorem 2); the
+    property-based tests compare every index implementation against it.
+    It is also the per-document verification step of the join-based
+    baselines (DataGuide, XISS, ViST), which cannot answer twig queries
+    with identical siblings on their own. *)
+
+val matches : Pattern.t -> Xmlcore.Xml_tree.t -> bool
+
+val filter : Pattern.t -> Xmlcore.Xml_tree.t array -> int list
+(** Ids (array indices) of the documents matching the pattern, ascending. *)

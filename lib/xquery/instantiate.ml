@@ -1,0 +1,127 @@
+module D = Xmlcore.Designator
+module Path = Sequencing.Path
+module Encoder = Sequencing.Encoder
+
+exception Too_many of int
+exception Unsupported of string
+
+type cnode = { path : Path.t; kids : cnode list }
+
+let rec cnode_size c = List.fold_left (fun n k -> n + cnode_size k) 1 c.kids
+
+let rec cnode_compare a b =
+  let c = Path.compare a.path b.path in
+  if c <> 0 then c else List.compare cnode_compare a.kids b.kids
+
+(* All element paths strictly below [p] (any depth) that satisfy [mem]. *)
+let descendants ~mem p =
+  let acc = ref [] in
+  let rec walk q =
+    List.iter
+      (fun c ->
+        if mem c then begin
+          acc := c :: !acc;
+          walk c
+        end)
+      (Path.element_children q)
+  in
+  walk p;
+  List.rev !acc
+
+let tag_matches test path =
+  match test with
+  | Pattern.Star -> true
+  | Pattern.Tag s -> String.equal (D.name (Path.tag path)) s
+  | Pattern.Text _ | Pattern.Text_prefix _ -> assert false
+
+(* Candidate paths for an element step relative to concrete parent [pp]. *)
+let element_candidates ~mem test axis pp =
+  match axis with
+  | Pattern.Child ->
+    List.filter (fun c -> mem c && tag_matches test c) (Path.element_children pp)
+  | Pattern.Descendant ->
+    List.filter (tag_matches test) (descendants ~mem pp)
+
+(* A value leaf under concrete parent [pp]: a single node (hashed) or a
+   chain of character nodes (text mode). *)
+let value_cnode ~mem ~value_mode pp test =
+  match value_mode, test with
+  | Encoder.Hashed, Pattern.Text s ->
+    (match Path.find_child pp (D.value s) with
+     | Some p when mem p -> [ { path = p; kids = [] } ]
+     | Some _ | None -> [])
+  | Encoder.Hashed, Pattern.Text_prefix _ ->
+    raise (Unsupported "Text_prefix requires a Text value-mode index")
+  | Encoder.Text, (Pattern.Text s | Pattern.Text_prefix s) ->
+    let terminated = match test with Pattern.Text _ -> true | _ -> false in
+    let rec chain pp i =
+      if i >= String.length s then
+        if terminated then
+          match Path.find_child pp Encoder.value_end_marker with
+          | Some p when mem p -> Some { path = p; kids = [] }
+          | Some _ | None -> None
+        else None (* prefix query: chain ends at the last character *)
+      else begin
+        match Path.find_child pp (D.char_value s.[i]) with
+        | Some p when mem p ->
+          if (not terminated) && i = String.length s - 1 then
+            Some { path = p; kids = [] }
+          else
+            (match chain p (i + 1) with
+             | Some k -> Some { path = p; kids = [ k ] }
+             | None -> None)
+        | Some _ | None -> None
+      end
+    in
+    if String.length s = 0 && not terminated then
+      raise (Unsupported "empty Text_prefix")
+    else (match chain pp 0 with Some c -> [ c ] | None -> [])
+  | _, (Pattern.Tag _ | Pattern.Star) -> assert false
+
+let run ?(limit = 4096) ~mem ~value_mode (pattern : Pattern.t) =
+  let count = ref 0 in
+  let budget n =
+    count := !count + n;
+    if !count > limit then raise (Too_many !count)
+  in
+  (* Instantiate [p] under concrete parent path [pp]; returns all cnodes. *)
+  let rec inst pp (p : Pattern.t) =
+    match p.test with
+    | Pattern.Text _ | Pattern.Text_prefix _ ->
+      if p.children <> [] then invalid_arg "Instantiate: value test with children";
+      (match p.axis with
+       | Pattern.Child -> value_cnode ~mem ~value_mode pp p.test
+       | Pattern.Descendant ->
+         (* text under // : attach under every descendant slot *)
+         List.concat_map
+           (fun anc -> value_cnode ~mem ~value_mode anc p.test)
+           (pp :: descendants ~mem pp)
+         |> fun l ->
+         (* also directly under pp's own children slots is included via
+            descendants; dedup identical paths *)
+         List.sort_uniq (fun a b -> Path.compare a.path b.path) l)
+    | Pattern.Tag _ | Pattern.Star ->
+      let candidates = element_candidates ~mem p.test p.axis pp in
+      List.concat_map
+        (fun path ->
+          let kid_choices = List.map (inst path) p.children in
+          if List.exists (fun l -> l = []) kid_choices then []
+          else begin
+            (* cartesian product of children instantiations *)
+            let product =
+              List.fold_left
+                (fun acc choices ->
+                  List.concat_map
+                    (fun partial -> List.map (fun c -> c :: partial) choices)
+                    acc)
+                [ [] ] kid_choices
+            in
+            let result =
+              List.map (fun rev_kids -> { path; kids = List.rev rev_kids }) product
+            in
+            budget (List.length result);
+            result
+          end)
+        candidates
+  in
+  inst Path.epsilon pattern

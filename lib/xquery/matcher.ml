@@ -1,0 +1,123 @@
+module Labeled = Xindex.Labeled
+module Pager = Xstorage.Pager
+
+type mode = Constraint | Naive
+
+type stats = {
+  mutable probes : int;
+  mutable candidates : int;
+  mutable rejected : int;
+  mutable matches : int;
+}
+
+let create_stats () = { probes = 0; candidates = 0; rejected = 0; matches = 0 }
+
+let no_stats = create_stats ()
+
+let run ?(mode = Constraint) ?pager ?(stats = no_stats) idx
+    (q : Query_seq.compiled) ~on_doc =
+  let qlen = Array.length q.paths in
+  assert (qlen > 0);
+  let links = Array.map (Labeled.link idx) q.paths in
+  if Array.for_all Option.is_some links then begin
+    let links = Array.map Option.get links in
+    let touch_entry l i =
+      stats.probes <- stats.probes + 1;
+      match pager with
+      | Some p ->
+        Pager.touch p (Labeled.link_base l + (i * Labeled.entry_bytes))
+      | None -> ()
+    in
+    (* Binary searches instrumented entry by entry. *)
+    let lower_bound l x =
+      let lo = ref 0 and hi = ref (Labeled.link_length l) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        touch_entry l mid;
+        if Labeled.link_pre l mid < x then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let upper_bound l x =
+      let lo = ref 0 and hi = ref (Labeled.link_length l) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        touch_entry l mid;
+        if Labeled.link_pre l mid <= x then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    (* Deepest same-encoding ancestor of serial [x] in link [l]. *)
+    let nearest l x =
+      let rec climb i =
+        if i < 0 then -1
+        else begin
+          touch_entry l i;
+          if Labeled.link_post l i >= x then i else climb (Labeled.link_up l i)
+        end
+      in
+      climb (upper_bound l x - 1)
+    in
+    let mpos = Array.make qlen (-1) in
+    let rec search i lo hi =
+      if i = qlen then begin
+        stats.matches <- stats.matches + 1;
+        (* Documents whose sequence ends under the last matched node:
+           serial range [lo - 1, hi]. *)
+        let dlo = lo - 1 and dhi = hi in
+        (match pager with
+         | Some p ->
+           let first, last = Labeled.doc_span idx ~lo:dlo ~hi:dhi in
+           if first <= last then
+             Pager.touch_range p
+               (Labeled.doc_table_base idx + (first * Labeled.entry_bytes))
+               (Labeled.doc_table_base idx + (last * Labeled.entry_bytes))
+         | None -> ());
+        Labeled.docs_in_range idx ~lo:dlo ~hi:dhi ~f:on_doc
+      end
+      else begin
+        let l = links.(i) in
+        let first = lower_bound l lo in
+        let stop = Labeled.link_length l in
+        let pos = ref first in
+        let continue = ref true in
+        while !continue && !pos < stop do
+          touch_entry l !pos;
+          let pre = Labeled.link_pre l !pos in
+          if pre > hi then continue := false
+          else begin
+            stats.candidates <- stats.candidates + 1;
+            let ok =
+              match mode with
+              | Naive -> true
+              | Constraint ->
+                let pi = q.parents.(i) in
+                pi < 0
+                ||
+                let pl = links.(pi) and ppos = mpos.(pi) in
+                (* Only identical siblings can break the forward-prefix
+                   relation (Algorithm 1's ins set). *)
+                (not (Labeled.link_same_desc pl ppos))
+                || nearest pl pre = ppos
+            in
+            if ok then begin
+              mpos.(i) <- !pos;
+              search (i + 1) (pre + 1) (Labeled.link_post l !pos)
+            end
+            else stats.rejected <- stats.rejected + 1;
+            incr pos
+          end
+        done
+      end
+    in
+    search 0 1 (Labeled.root_post idx)
+  end
+
+let run_collect ?mode ?pager ?stats idx compiled_list =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      run ?mode ?pager ?stats idx q ~on_doc:(fun d ->
+          if not (Hashtbl.mem seen d) then Hashtbl.replace seen d ()))
+    compiled_list;
+  List.sort Stdlib.compare (Hashtbl.fold (fun d () acc -> d :: acc) seen [])

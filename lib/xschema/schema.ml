@@ -1,0 +1,86 @@
+module D = Xmlcore.Designator
+module Path = Sequencing.Path
+
+type t = {
+  tag : string;
+  exist : float;
+  weight : float;
+  value : value option;
+  children : t list;
+}
+
+and value = { cardinality : int; known : (string * float) list }
+
+let node ?(exist = 1.0) ?(weight = 1.0) ?value tag children =
+  { tag; exist; weight; value; children }
+
+let uniform_values k = { cardinality = k; known = [] }
+
+let rec collect parent_path parent_p acc s =
+  let path = Path.child parent_path (D.tag s.tag) in
+  let p = parent_p *. s.exist in
+  let acc = (path, p) :: acc in
+  let acc =
+    match s.value with
+    | None -> acc
+    | Some v ->
+      List.fold_left
+        (fun acc (text, pv) -> (Path.child path (D.value text), p *. pv) :: acc)
+        acc v.known
+  in
+  List.fold_left (collect path p) acc s.children
+
+let p_root s = List.rev (collect Path.epsilon 1.0 [] s)
+
+(* Priority table: weighted probabilities for schema paths, plus the
+   per-slot fallback probability for anonymous domain values. *)
+type tables = {
+  prio : (Path.t, float) Hashtbl.t;
+  value_slot : (Path.t, float) Hashtbl.t; (* parent path -> prio of one anon value *)
+}
+
+let rec fill tables parent_path parent_p s =
+  let path = Path.child parent_path (D.tag s.tag) in
+  let p = parent_p *. s.exist in
+  Hashtbl.replace tables.prio path (p *. s.weight);
+  (match s.value with
+   | None -> ()
+   | Some v ->
+     List.iter
+       (fun (text, pv) ->
+         Hashtbl.replace tables.prio
+           (Path.child path (D.value text))
+           (p *. pv *. s.weight))
+       v.known;
+     let anon = p /. float_of_int (max 1 v.cardinality) in
+     Hashtbl.replace tables.value_slot path (anon *. s.weight));
+  List.iter (fill tables path p) s.children
+
+let tables_of s =
+  let tables = { prio = Hashtbl.create 256; value_slot = Hashtbl.create 64 } in
+  fill tables Path.epsilon 1.0 s;
+  tables
+
+let to_priority s =
+  let tables = tables_of s in
+  let memo : (Path.t, float) Hashtbl.t = Hashtbl.create 256 in
+  let rec lookup path =
+    if Path.equal path Path.epsilon then 1.0
+    else
+      match Hashtbl.find_opt tables.prio path with
+      | Some p -> p
+      | None ->
+        (match Hashtbl.find_opt memo path with
+         | Some p -> p
+         | None ->
+           let p =
+             match Hashtbl.find_opt tables.value_slot (Path.parent path) with
+             | Some anon when D.is_value (Path.tag path) -> anon
+             | _ -> lookup (Path.parent path) *. 0.1
+           in
+           Hashtbl.replace memo path p;
+           p)
+  in
+  lookup
+
+let strategy s = Sequencing.Strategy.Probability (to_priority s)

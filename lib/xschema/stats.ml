@@ -1,0 +1,86 @@
+module D = Xmlcore.Designator
+module Path = Sequencing.Path
+module Encoder = Sequencing.Encoder
+
+type t = {
+  mutable docs : int;
+  freq : (Path.t, int) Hashtbl.t; (* #docs containing the path *)
+  weights : (Path.t, float) Hashtbl.t;
+  memo : (Path.t, float) Hashtbl.t; (* fallback p_root cache *)
+}
+
+let create () =
+  {
+    docs = 0;
+    freq = Hashtbl.create 1024;
+    weights = Hashtbl.create 16;
+    memo = Hashtbl.create 64;
+  }
+
+let add_document ?value_mode t doc =
+  t.docs <- t.docs + 1;
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.replace seen p ();
+        let n = try Hashtbl.find t.freq p with Not_found -> 0 in
+        Hashtbl.replace t.freq p (n + 1)
+      end)
+    (Encoder.paths_of_tree ?value_mode doc)
+
+let of_documents ?value_mode docs =
+  let t = create () in
+  List.iter (add_document ?value_mode t) docs;
+  t
+
+let of_documents_array ?value_mode docs =
+  let t = create () in
+  Array.iter (add_document ?value_mode t) docs;
+  t
+
+let sample ?value_mode ~fraction ~seed docs =
+  let t = create () in
+  let rng = Random.State.make [| seed |] in
+  Array.iter
+    (fun d ->
+      if Random.State.float rng 1.0 < fraction then add_document ?value_mode t d)
+    docs;
+  if t.docs = 0 && Array.length docs > 0 then add_document ?value_mode t docs.(0);
+  t
+
+let doc_count t = t.docs
+
+let rec p_root t path =
+  if Path.equal path Path.epsilon then 1.0
+  else
+    match Hashtbl.find_opt t.freq path with
+    | Some n -> float_of_int n /. float_of_int (max 1 t.docs)
+    | None ->
+      (match Hashtbl.find_opt t.memo path with
+       | Some p -> p
+       | None ->
+         let p = p_root t (Path.parent path) *. 0.1 in
+         Hashtbl.replace t.memo path p;
+         p)
+
+let p_parent t path =
+  if Path.equal path Path.epsilon then 1.0
+  else begin
+    let pp = p_root t (Path.parent path) in
+    if pp <= 0. then 0. else p_root t path /. pp
+  end
+
+let set_weight t path w = Hashtbl.replace t.weights path w
+
+let set_tag_weight t d w =
+  Hashtbl.iter
+    (fun path _ ->
+      if (not (Path.equal path Path.epsilon)) && D.equal (Path.tag path) d then
+        Hashtbl.replace t.weights path w)
+    t.freq
+
+let weight t path = try Hashtbl.find t.weights path with Not_found -> 1.0
+let priority t path = p_root t path *. weight t path
+let strategy t = Sequencing.Strategy.Probability (priority t)
+let distinct_paths t = Hashtbl.length t.freq

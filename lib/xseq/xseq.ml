@@ -1,0 +1,347 @@
+module Pattern = Xquery.Pattern
+module Xpath = Xquery.Xpath_parser
+module T = Xmlcore.Xml_tree
+module Strategy = Sequencing.Strategy
+module Encoder = Sequencing.Encoder
+
+type sequencing =
+  | Depth_first of { canonical : bool }
+  | Breadth_first of { canonical : bool }
+  | Random of int
+  | Probability
+  | Probability_weighted of (Sequencing.Path.t -> float)
+  | Custom of Strategy.t
+
+type config = {
+  sequencing : sequencing;
+  value_mode : Encoder.value_mode;
+  sample_fraction : float;
+  sample_seed : int;
+  bulk : bool;
+  keep_documents : bool;
+}
+
+let default_config =
+  {
+    sequencing = Probability;
+    value_mode = Encoder.Hashed;
+    sample_fraction = 1.0;
+    sample_seed = 42;
+    bulk = true;
+    keep_documents = true;
+  }
+
+type t = {
+  labeled : Xindex.Labeled.t;
+  strategy : Strategy.t;
+  value_mode : Encoder.value_mode;
+  docs : T.t array option;
+  ndocs : int;
+  total_seq_len : int;
+  stats : Xschema.Stats.t option;
+  built_config : config; (* for persistence: how the strategy was derived *)
+}
+
+let resolve_strategy config docs =
+  match config.sequencing with
+  | Depth_first _ -> (Strategy.Depth_first, None)
+  | Breadth_first _ -> (Strategy.Breadth_first, None)
+  | Random seed -> (Strategy.Random seed, None)
+  | Custom s -> (s, None)
+  | Probability | Probability_weighted _ ->
+    let stats =
+      if config.sample_fraction >= 1.0 then
+        Xschema.Stats.of_documents_array ~value_mode:config.value_mode docs
+      else
+        Xschema.Stats.sample ~value_mode:config.value_mode
+          ~fraction:config.sample_fraction ~seed:config.sample_seed docs
+    in
+    let base = Xschema.Stats.priority stats in
+    let prio =
+      match config.sequencing with
+      | Probability_weighted w -> fun p -> base p *. w p
+      | _ -> base
+    in
+    (Strategy.Probability prio, Some stats)
+
+let canonicalize config doc =
+  match config.sequencing with
+  | Depth_first { canonical = true } | Breadth_first { canonical = true } ->
+    T.sort_by_tag doc
+  | Depth_first { canonical = false }
+  | Breadth_first { canonical = false }
+  | Random _ | Probability | Probability_weighted _ | Custom _ -> doc
+
+let build ?(config = default_config) docs =
+  let strategy, stats = resolve_strategy config docs in
+  (* Global identical-sibling flags: paths occurring twice in any
+     document must be sequenced subtree-contiguously everywhere, or query
+     sequences cannot align with data sequences (see Encoder.encode). *)
+  let ident_set = Hashtbl.create 256 in
+  Array.iter
+    (fun doc ->
+      List.iter
+        (fun p -> Hashtbl.replace ident_set p ())
+        (Encoder.multiple_paths ~value_mode:config.value_mode doc))
+    docs;
+  let ident p = Hashtbl.mem ident_set p in
+  let trie = Xindex.Trie.create () in
+  let total_seq_len = ref 0 in
+  let encode i doc =
+    let seq =
+      Encoder.encode ~value_mode:config.value_mode ~ident ~strategy
+        (canonicalize config doc)
+    in
+    total_seq_len := !total_seq_len + Array.length seq;
+    (seq, i)
+  in
+  if config.bulk then
+    Xindex.Trie.bulk_load trie (Array.mapi encode docs)
+  else
+    Array.iteri
+      (fun i doc ->
+        let seq, _ = encode i doc in
+        Xindex.Trie.insert trie seq ~doc:i)
+      docs;
+  let labeled = Xindex.Labeled.of_trie trie in
+  {
+    labeled;
+    strategy;
+    value_mode = config.value_mode;
+    docs = (if config.keep_documents then Some docs else None);
+    ndocs = Array.length docs;
+    total_seq_len = !total_seq_len;
+    stats;
+    built_config = config;
+  }
+
+let query ?pager ?stats t pattern =
+  match
+    Xquery.Engine.query ?pager ?stats ~strategy:t.strategy
+      ~value_mode:t.value_mode t.labeled pattern
+  with
+  | ids -> ids
+  | exception Xquery.Instantiate.Too_many _ ->
+    (* Pathological wildcard/expansion blow-up: degrade to an exact
+       linear scan rather than failing, when the records are at hand. *)
+    (match t.docs with
+     | Some docs -> Xquery.Embedding.filter pattern docs
+     | None -> raise (Xquery.Instantiate.Too_many 0))
+
+let query_xpath ?pager ?stats t s = query ?pager ?stats t (Xpath.parse s)
+let contains t pattern doc = List.mem doc (query t pattern)
+
+type prepared = Xquery.Query_seq.compiled list
+
+let prepare t pattern =
+  Xquery.Engine.compile ~strategy:t.strategy ~value_mode:t.value_mode t.labeled
+    pattern
+
+let run_prepared ?pager ?stats t prepared =
+  Xquery.Matcher.run_collect ?pager ?stats t.labeled prepared
+
+let explain t pattern =
+  Xquery.Engine.explain ~strategy:t.strategy ~value_mode:t.value_mode t.labeled
+    pattern
+
+let document t i =
+  match t.docs with
+  | Some docs when i >= 0 && i < Array.length docs -> docs.(i)
+  | Some _ -> invalid_arg "Xseq.document: unknown id"
+  | None -> invalid_arg "Xseq.document: documents were not kept"
+
+let doc_count t = t.ndocs
+let node_count t = Xindex.Labeled.node_count t.labeled
+let distinct_paths t = Xindex.Labeled.distinct_paths t.labeled
+let size_bytes t = Xindex.Labeled.size_bytes t.labeled ~record_count:t.ndocs
+let layout_bytes t = Xindex.Labeled.layout_bytes t.labeled
+let strategy t = t.strategy
+let value_mode t = t.value_mode
+let labeled t = t.labeled
+
+let average_sequence_length t =
+  if t.ndocs = 0 then 0.
+  else float_of_int t.total_seq_len /. float_of_int t.ndocs
+
+let stats t = t.stats
+
+(* --- persistence ---------------------------------------------------------- *)
+
+type saved_sequencing =
+  | S_depth_first of bool
+  | S_breadth_first of bool
+  | S_random of int
+  | S_probability
+
+(* Marshal-safe document form: designators are stored as strings, never
+   as process-specific interned ids. *)
+type ptree = P_elt of string * ptree list | P_val of string
+
+let rec to_ptree = function
+  | T.Element (d, cs) -> P_elt (Xmlcore.Designator.name d, List.map to_ptree cs)
+  | T.Value s -> P_val s
+
+let rec of_ptree = function
+  | P_elt (name, cs) -> T.Element (Xmlcore.Designator.tag name, List.map of_ptree cs)
+  | P_val s -> T.Value s
+
+type saved = {
+  sequencing : saved_sequencing;
+  s_value_mode : Encoder.value_mode;
+  sample_fraction : float;
+  sample_seed : int;
+  saved_docs : ptree array;
+  portable : Xindex.Labeled.portable;
+  s_total_seq_len : int;
+}
+
+let file_magic = "xseq-index-v1"
+
+let save t path =
+  let docs =
+    match t.docs with
+    | Some docs -> docs
+    | None ->
+      invalid_arg "Xseq.save: index was built with keep_documents = false"
+  in
+  let sequencing =
+    (* Only strategies that can be deterministically recomputed from the
+       records survive a round trip. *)
+    match t.built_config.sequencing with
+    | Depth_first { canonical } -> S_depth_first canonical
+    | Breadth_first { canonical } -> S_breadth_first canonical
+    | Random seed -> S_random seed
+    | Probability -> S_probability
+    | Probability_weighted _ | Custom _ ->
+      invalid_arg "Xseq.save: custom strategies cannot be persisted"
+  in
+  let saved =
+    {
+      sequencing;
+      s_value_mode = t.value_mode;
+      sample_fraction = t.built_config.sample_fraction;
+      sample_seed = t.built_config.sample_seed;
+      saved_docs = Array.map to_ptree docs;
+      portable = Xindex.Labeled.to_portable t.labeled;
+      s_total_seq_len = t.total_seq_len;
+    }
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (* The magic prefix is checked *before* unmarshalling, so a foreign
+         file is rejected without ever interpreting untrusted bytes. *)
+      output_string oc file_magic;
+      Marshal.to_channel oc saved [])
+
+let load path =
+  let ic = open_in_bin path in
+  let saved : saved =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let prefix =
+          try really_input_string ic (String.length file_magic)
+          with End_of_file -> ""
+        in
+        if prefix <> file_magic then
+          invalid_arg "Xseq.load: not an xseq index file";
+        match Marshal.from_channel ic with
+        | s -> s
+        | exception (Failure _ | End_of_file) ->
+          invalid_arg "Xseq.load: corrupt index file")
+  in
+  let docs = Array.map of_ptree saved.saved_docs in
+  let labeled = Xindex.Labeled.of_portable saved.portable in
+  let sequencing =
+    match saved.sequencing with
+    | S_depth_first canonical -> Depth_first { canonical }
+    | S_breadth_first canonical -> Breadth_first { canonical }
+    | S_random seed -> Random seed
+    | S_probability -> Probability
+  in
+  let config =
+    {
+      default_config with
+      sequencing;
+      value_mode = saved.s_value_mode;
+      sample_fraction = saved.sample_fraction;
+      sample_seed = saved.sample_seed;
+    }
+  in
+  (* Recompute the strategy exactly as [build] derived it. *)
+  let strategy, stats = resolve_strategy config docs in
+  {
+    labeled;
+    strategy;
+    value_mode = saved.s_value_mode;
+    docs = Some docs;
+    ndocs = Array.length docs;
+    total_seq_len = saved.s_total_seq_len;
+    stats;
+    built_config = config;
+  }
+
+(* --- incremental indexing -------------------------------------------------- *)
+
+module Dynamic = struct
+  type dyn = {
+    mutable base : t;
+    mutable tail : T.t list; (* newest first; ids continue after base *)
+    mutable tail_len : int;
+    threshold : int;
+    dconfig : config;
+  }
+
+  let create ?(config = default_config) ?(rebuild_threshold = 1024) docs =
+    let config = { config with keep_documents = true } in
+    {
+      base = build ~config docs;
+      tail = [];
+      tail_len = 0;
+      threshold = max 1 rebuild_threshold;
+      dconfig = config;
+    }
+
+  let all_docs d =
+    let base_docs =
+      match d.base.docs with Some a -> a | None -> assert false
+    in
+    Array.append base_docs (Array.of_list (List.rev d.tail))
+
+  let flush d =
+    if d.tail_len > 0 then begin
+      d.base <- build ~config:d.dconfig (all_docs d);
+      d.tail <- [];
+      d.tail_len <- 0
+    end
+
+  let add d doc =
+    let id = d.base.ndocs + d.tail_len in
+    d.tail <- doc :: d.tail;
+    d.tail_len <- d.tail_len + 1;
+    if d.tail_len >= d.threshold then flush d;
+    id
+
+  let query d pattern =
+    let base_hits = query d.base pattern in
+    (* The unindexed tail is scanned directly — it is bounded by the
+       rebuild threshold. *)
+    let tail_hits = ref [] in
+    List.iteri
+      (fun k doc ->
+        if Xquery.Embedding.matches pattern doc then
+          (* [tail] is newest-first: position k from the end. *)
+          tail_hits := (d.base.ndocs + d.tail_len - 1 - k) :: !tail_hits)
+      d.tail;
+    base_hits @ List.sort Stdlib.compare !tail_hits
+
+  let query_xpath d s = query d (Xpath.parse s)
+  let doc_count d = d.base.ndocs + d.tail_len
+  let pending d = d.tail_len
+
+  let snapshot d =
+    flush d;
+    d.base
+end

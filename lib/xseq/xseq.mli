@@ -1,0 +1,168 @@
+(** xseq — sequence-based XML indexing with performance-oriented
+    constraint sequencing (Wang & Meng, ICDE 2005).
+
+    Quickstart:
+    {[
+      let docs = Array.map Xmlcore.Xml_parser.parse_string raw_documents in
+      let index = Xseq.build docs in
+      let ids = Xseq.query_xpath index "/site//item[location='US']" in
+      ...
+    ]}
+
+    [build] sequences every document with the probability-based strategy
+    [gbest] (estimated by sampling the documents themselves), bulk-loads
+    the sequences into a labelled trie, and answers tree-pattern queries
+    holistically through constraint subsequence matching — no structural
+    joins, no per-document post-processing, no false alarms. *)
+
+module Pattern = Xquery.Pattern
+module Xpath = Xquery.Xpath_parser
+
+type sequencing =
+  | Depth_first of { canonical : bool }
+      (** Pre-order.  With [canonical = true] (required for querying)
+          documents are tag-sorted first; [false] is the paper-faithful
+          document order used in the index-size experiments. *)
+  | Breadth_first of { canonical : bool }
+  | Random of int  (** seed; size experiments only — queries raise *)
+  | Probability
+      (** [gbest] with probabilities sampled from the indexed documents
+          (the default). *)
+  | Probability_weighted of (Sequencing.Path.t -> float)
+      (** [gbest] with explicit weights [w(C)] (Eq. 6) multiplied into the
+          sampled probabilities. *)
+  | Custom of Sequencing.Strategy.t
+      (** Caller-supplied strategy, used as-is for both documents and
+          queries. *)
+
+type config = {
+  sequencing : sequencing;
+  value_mode : Sequencing.Encoder.value_mode;
+  sample_fraction : float;
+      (** fraction of documents sampled for probability estimation
+          (default 1.0) *)
+  sample_seed : int;
+  bulk : bool;  (** sort sequences before insertion (default true) *)
+  keep_documents : bool;
+      (** retain the parsed documents for retrieval / verification
+          (default true) *)
+}
+
+val default_config : config
+
+type t
+
+val build : ?config:config -> Xmlcore.Xml_tree.t array -> t
+(** Builds an index over the documents; ids are array indices. *)
+
+val query : ?pager:Xstorage.Pager.t -> ?stats:Xquery.Matcher.stats -> t -> Pattern.t -> int list
+(** Ids of the documents containing the pattern, sorted.  Queries whose
+    wildcard instantiation or isomorphism expansion would explode fall
+    back to an exact linear scan of the kept documents (so answers are
+    never wrong and never lost); with [keep_documents = false] such
+    queries raise {!Xquery.Instantiate.Too_many} instead.
+    @raise Xquery.Query_seq.Unsupported_strategy for a {!Random} index. *)
+
+val query_xpath : ?pager:Xstorage.Pager.t -> ?stats:Xquery.Matcher.stats -> t -> string -> int list
+(** Parses the XPath fragment and runs {!query}. *)
+
+val contains : t -> Pattern.t -> int -> bool
+(** Whether one particular document matches (via the index). *)
+
+type prepared
+(** A compiled query: wildcard instantiation and sequence expansion done
+    once, reusable across executions (and what the benchmarks amortise). *)
+
+val prepare : t -> Pattern.t -> prepared
+(** Compiles the pattern against this index.
+    @raise Xquery.Instantiate.Too_many when expansion explodes —
+    {!query}'s scan fallback does not apply to prepared queries. *)
+
+val run_prepared : ?pager:Xstorage.Pager.t -> ?stats:Xquery.Matcher.stats -> t -> prepared -> int list
+(** Executes a prepared query.  The index must be the one it was prepared
+    against. *)
+
+val explain : t -> Pattern.t -> Xquery.Engine.explanation
+(** Runs the query and reports the pipeline's work: wildcard
+    instantiations, sequence expansions, matcher counters
+    (see {!Xquery.Engine.explain}). *)
+
+val document : t -> int -> Xmlcore.Xml_tree.t
+(** The original document (requires [keep_documents]).
+    @raise Invalid_argument otherwise or for an unknown id. *)
+
+val doc_count : t -> int
+
+val node_count : t -> int
+(** Index trie nodes — the quantity plotted in Figure 14. *)
+
+val distinct_paths : t -> int
+
+val size_bytes : t -> int
+(** The paper's [4n + cN] disk-size estimate (Section 6.2). *)
+
+val layout_bytes : t -> int
+(** Bytes of the simulated page layout (links + document table). *)
+
+val strategy : t -> Sequencing.Strategy.t
+val value_mode : t -> Sequencing.Encoder.value_mode
+val labeled : t -> Xindex.Labeled.t
+(** The underlying labelled index, for low-level experimentation. *)
+
+val average_sequence_length : t -> float
+
+val stats : t -> Xschema.Stats.t option
+(** The sampled statistics (present for [Probability*] sequencing). *)
+
+(** {1 Persistence}
+
+    An index can be saved to disk and reloaded in another process.  The
+    snapshot stores the labelled trie in a process-independent form
+    (interned ids are re-created on load) together with the original
+    records, from which the probability model is deterministically
+    recomputed. *)
+
+val save : t -> string -> unit
+(** [save t path] writes the index to [path].
+    @raise Invalid_argument for indexes built with [keep_documents =
+    false] or with a [Custom]/[Probability_weighted] strategy (closures
+    cannot be persisted). *)
+
+val load : string -> t
+(** [load path] restores a saved index; queries answer exactly as on the
+    original.  @raise Invalid_argument on a corrupt or incompatible
+    file. *)
+
+(** {1 Incremental indexing}
+
+    The labelled index is rebuilt wholesale (labels are dense pre/post
+    ranges), so {!Dynamic} batches insertions: new records accumulate in
+    an unindexed tail that queries scan directly, and once the tail
+    exceeds a threshold the whole index is rebuilt — the classic
+    base-plus-delta pattern.  Results are always exact. *)
+
+module Dynamic : sig
+  type dyn
+
+  val create : ?config:config -> ?rebuild_threshold:int -> Xmlcore.Xml_tree.t array -> dyn
+  (** [rebuild_threshold] (default 1024) bounds the unindexed tail.
+      [config.keep_documents] is forced on (rebuilds need the records). *)
+
+  val add : dyn -> Xmlcore.Xml_tree.t -> int
+  (** Inserts a record and returns its id (ids are stable across
+      rebuilds). *)
+
+  val query : dyn -> Pattern.t -> int list
+  val query_xpath : dyn -> string -> int list
+
+  val doc_count : dyn -> int
+
+  val pending : dyn -> int
+  (** Records currently in the unindexed tail. *)
+
+  val flush : dyn -> unit
+  (** Forces a rebuild so that {!pending} becomes 0. *)
+
+  val snapshot : dyn -> t
+  (** The underlying index after a {!flush}. *)
+end

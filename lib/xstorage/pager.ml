@@ -1,0 +1,115 @@
+(* LRU pool over page ids: hashtable into an intrusive doubly-linked list. *)
+module Lru = struct
+  type node = { page : int; mutable prev : node option; mutable next : node option }
+
+  type t = {
+    capacity : int;
+    table : (int, node) Hashtbl.t;
+    mutable head : node option; (* most recently used *)
+    mutable tail : node option; (* least recently used *)
+    mutable size : int;
+  }
+
+  let create capacity = { capacity; table = Hashtbl.create 64; head = None; tail = None; size = 0 }
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    n.prev <- None;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  (* Returns [true] when the page was already resident. *)
+  let access t page =
+    match Hashtbl.find_opt t.table page with
+    | Some n ->
+      unlink t n;
+      push_front t n;
+      true
+    | None ->
+      if t.capacity > 0 then begin
+        if t.size >= t.capacity then begin
+          match t.tail with
+          | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.page;
+            t.size <- t.size - 1
+          | None -> ()
+        end;
+        let n = { page; prev = None; next = None } in
+        push_front t n;
+        Hashtbl.replace t.table page n;
+        t.size <- t.size + 1
+      end;
+      false
+
+  let clear t =
+    Hashtbl.reset t.table;
+    t.head <- None;
+    t.tail <- None;
+    t.size <- 0
+end
+
+type t = {
+  page_size : int;
+  lru : Lru.t;
+  mutable next_base : int;
+  mutable touched : (int, unit) Hashtbl.t;
+  mutable query_misses : int;
+  mutable accesses : int;
+}
+
+let create ?(page_size = 4096) ?(buffer_pages = 0) () =
+  {
+    page_size;
+    lru = Lru.create buffer_pages;
+    next_base = 0;
+    touched = Hashtbl.create 64;
+    query_misses = 0;
+    accesses = 0;
+  }
+
+let page_size t = t.page_size
+
+let alloc t ~bytes =
+  let base = t.next_base in
+  let pages = (max 1 bytes + t.page_size - 1) / t.page_size in
+  t.next_base <- base + (pages * t.page_size);
+  base
+
+let touch t offset =
+  t.accesses <- t.accesses + 1;
+  let page = offset / t.page_size in
+  let new_in_query = not (Hashtbl.mem t.touched page) in
+  if new_in_query then Hashtbl.replace t.touched page ();
+  let resident =
+    if t.lru.Lru.capacity > 0 then Lru.access t.lru page else not new_in_query
+  in
+  if not resident then t.query_misses <- t.query_misses + 1
+
+let touch_range t lo hi =
+  let first = lo / t.page_size and last = hi / t.page_size in
+  for page = first to last do
+    touch t (page * t.page_size)
+  done
+
+let begin_query t =
+  Hashtbl.reset t.touched;
+  t.query_misses <- 0
+
+let pages_touched t = Hashtbl.length t.touched
+
+let pages_touched_between t ~lo ~hi =
+  let first = lo / t.page_size in
+  let last = (hi - 1) / t.page_size in
+  Hashtbl.fold
+    (fun page () acc -> if page >= first && page <= last then acc + 1 else acc)
+    t.touched 0
+let misses t = t.query_misses
+let total_accesses t = t.accesses
+let reset_pool t = Lru.clear t.lru

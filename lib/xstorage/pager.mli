@@ -1,0 +1,51 @@
+(** A simulated page store with access accounting.
+
+    The paper reports "# disk accesses" (Table 7) and "I/O cost (# of
+    pages)" (Figure 16 c–d) on a 2005 Windows machine.  We replace the
+    physical disk with an explicit model: index regions (each horizontal
+    path link, the document-id table) are laid out on contiguous byte
+    ranges; every probe of an entry touches the page holding it.  The
+    pager counts distinct pages per query and, through an optional LRU
+    buffer pool, buffer misses — a deterministic, machine-independent
+    proxy for the paper's disk-access counts. *)
+
+type t
+
+val create : ?page_size:int -> ?buffer_pages:int -> unit -> t
+(** [page_size] defaults to 4096 bytes.  [buffer_pages] is the LRU pool
+    capacity; default 0 disables buffering (every new page in a query is a
+    miss). *)
+
+val page_size : t -> int
+
+val alloc : t -> bytes:int -> int
+(** Reserves a region of [bytes] bytes, aligned up to a page boundary so
+    distinct regions never share a page; returns its base offset. *)
+
+val touch : t -> int -> unit
+(** Records an access to the page holding the given byte offset. *)
+
+val touch_range : t -> int -> int -> unit
+(** [touch_range t lo hi] touches every page overlapping [lo, hi]
+    (inclusive byte offsets) — a sequential scan. *)
+
+val begin_query : t -> unit
+(** Resets the per-query counters (touched-page set and miss count). *)
+
+val pages_touched : t -> int
+(** Distinct pages accessed since the last {!begin_query}. *)
+
+val pages_touched_between : t -> lo:int -> hi:int -> int
+(** Distinct pages accessed since the last {!begin_query} whose byte
+    ranges overlap [lo, hi) — used to split index I/O from result-table
+    I/O in the experiments. *)
+
+val misses : t -> int
+(** LRU buffer misses since the last {!begin_query} (equals
+    {!pages_touched} when buffering is disabled). *)
+
+val total_accesses : t -> int
+(** Entry-level accesses since creation (never reset). *)
+
+val reset_pool : t -> unit
+(** Empties the LRU pool — a cold-cache restart. *)

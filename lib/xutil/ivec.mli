@@ -1,0 +1,14 @@
+(** Growable int vectors — the workhorse buffer of the index builder. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val to_array : t -> int array
+(** Fresh array of the current contents. *)
+
+val unsafe_data : t -> int array
+(** The backing array (length ≥ {!length}); valid until the next push. *)

@@ -1,0 +1,344 @@
+(* Paths, constraints, strategies, encoder/decoder, Prüfer codes. *)
+
+module T = Xmlcore.Xml_tree
+module D = Xmlcore.Designator
+module Path = Sequencing.Path
+module C = Sequencing.Seq_constraint
+module Enc = Sequencing.Encoder
+module Dec = Sequencing.Decoder
+module S = Sequencing.Strategy
+module Gen = QCheck.Gen
+
+let e = T.elt
+let v = T.text
+
+let p_of names = Path.of_list (List.map D.tag names)
+
+(* --- paths --------------------------------------------------------------- *)
+
+let test_path_intern () =
+  let a = p_of [ "P"; "D"; "L" ] in
+  let b = p_of [ "P"; "D"; "L" ] in
+  Alcotest.(check bool) "hash-consed" true (Path.equal a b);
+  Alcotest.(check int) "depth" 3 (Path.depth a);
+  Alcotest.(check string) "tag" "L" (D.name (Path.tag a));
+  Alcotest.(check bool) "parent" true (Path.equal (Path.parent a) (p_of [ "P"; "D" ]));
+  Alcotest.(check int) "epsilon depth" 0 (Path.depth Path.epsilon)
+
+let test_path_prefix () =
+  let pd = p_of [ "P"; "D" ] and pdl = p_of [ "P"; "D"; "L" ] in
+  let pr = p_of [ "P"; "R" ] in
+  Alcotest.(check bool) "prefix" true (Path.is_prefix pd pdl);
+  Alcotest.(check bool) "strict" true (Path.is_strict_prefix pd pdl);
+  Alcotest.(check bool) "not self-strict" false (Path.is_strict_prefix pd pd);
+  Alcotest.(check bool) "self prefix" true (Path.is_prefix pd pd);
+  Alcotest.(check bool) "not prefix" false (Path.is_prefix pr pdl);
+  Alcotest.(check bool) "ancestor at depth" true
+    (Path.equal (Path.ancestor_at_depth pdl 1) (p_of [ "P" ]));
+  Alcotest.(check bool) "epsilon prefix of all" true (Path.is_prefix Path.epsilon pdl)
+
+let test_path_roundtrip () =
+  let ds = [ D.tag "P"; D.tag "D"; D.value "boston" ] in
+  Alcotest.(check bool) "of_list/to_list" true
+    (List.equal D.equal ds (Path.to_list (Path.of_list ds)))
+
+let test_lex_compare () =
+  let cmp a b = Path.lex_compare (p_of a) (p_of b) in
+  Alcotest.(check bool) "prefix first" true (cmp [ "P" ] [ "P"; "D" ] < 0);
+  Alcotest.(check bool) "equal" true (cmp [ "P"; "D" ] [ "P"; "D" ] = 0);
+  (* first differing designator decides; intern zz and aa fresh in order *)
+  let t1 = D.tag "lex_first" and t2 = D.tag "lex_second" in
+  let a = Path.child (p_of [ "P" ]) t1 and b = Path.child (p_of [ "P" ]) t2 in
+  Alcotest.(check bool) "by designator id" true (Path.lex_compare a b < 0);
+  Alcotest.(check bool) "deep vs shallow divergence" true
+    (Path.lex_compare (Path.child a (D.tag "x")) b < 0)
+
+let test_element_children () =
+  let parent = p_of [ "EC" ] in
+  let c1 = Path.child parent (D.tag "ec_a") in
+  let _v = Path.child parent (D.value "ec_val") in
+  let kids = Path.element_children parent in
+  Alcotest.(check bool) "element child listed" true
+    (List.exists (Path.equal c1) kids);
+  Alcotest.(check bool) "value child excluded" true
+    (List.for_all (fun k -> not (D.is_value (Path.tag k))) kids);
+  Alcotest.(check bool) "find_child" true
+    (match Path.find_child parent (D.tag "ec_a") with
+     | Some p -> Path.equal p c1
+     | None -> false);
+  Alcotest.(check bool) "find_child misses" true
+    (Path.find_child parent (D.tag "ec_nonexistent") = None)
+
+(* --- constraints --------------------------------------------------------- *)
+
+(* The paper's forward-prefix example (Section 2.3): in
+   <P, PD, PDL, PDLv1, PD, PDM, PDMv3>, the second PD (index 4) is the
+   forward prefix of PDM (index 5), not the first PD (index 1). *)
+let fp_example =
+  [|
+    p_of [ "P" ];
+    p_of [ "P"; "D" ];
+    p_of [ "P"; "D"; "L" ];
+    Path.child (p_of [ "P"; "D"; "L" ]) (D.value "v1");
+    p_of [ "P"; "D" ];
+    p_of [ "P"; "D"; "M" ];
+    Path.child (p_of [ "P"; "D"; "M" ]) (D.value "v3");
+  |]
+
+let test_forward_prefix () =
+  Alcotest.(check (option int)) "PDM's fp is 2nd PD" (Some 4)
+    (C.forward_prefix fp_example 5);
+  Alcotest.(check (option int)) "PDL's fp is 1st PD" (Some 1)
+    (C.forward_prefix fp_example 2);
+  Alcotest.(check (option int)) "root has none" None (C.forward_prefix fp_example 0)
+
+let test_constraint_holds () =
+  Alcotest.(check bool) "f2: 2nd PD ancestor of PDM" true (C.holds C.F2 fp_example 4 5);
+  Alcotest.(check bool) "f2: 1st PD not ancestor of PDM" false
+    (C.holds C.F2 fp_example 1 5);
+  Alcotest.(check bool) "f1 can't tell them apart" true (C.holds C.F1 fp_example 1 5)
+
+let test_is_valid () =
+  Alcotest.(check bool) "example valid" true (C.is_valid fp_example);
+  Alcotest.(check bool) "empty invalid" false (C.is_valid [||]);
+  Alcotest.(check bool) "orphan invalid" false
+    (C.is_valid [| p_of [ "P" ]; p_of [ "P"; "D"; "L" ] |]);
+  Alcotest.(check bool) "deep first invalid" false
+    (C.is_valid [| p_of [ "P"; "D" ] |])
+
+(* --- encoder: paper's Table 1 -------------------------------------------- *)
+
+(* Figure 3(b): P(xml, D(L(boston)), D(M(johnson))) depth-first. *)
+let fig3b =
+  e "P" [ v "xml"; e "D" [ e "L" [ v "boston" ] ]; e "D" [ e "M" [ v "johnson" ] ] ]
+
+let fig3c =
+  e "P" [ v "xml"; e "D" []; e "D" [ e "L" [ v "boston" ]; e "M" [ v "johnson" ] ] ]
+
+let path_strings seq = List.map Path.to_string (Array.to_list seq)
+
+let test_table1_depth_first () =
+  Alcotest.(check (list string)) "fig 3(b)"
+    [
+      "P"; "P.v(xml)"; "P.D"; "P.D.L"; "P.D.L.v(boston)"; "P.D"; "P.D.M";
+      "P.D.M.v(johnson)";
+    ]
+    (path_strings (Enc.encode ~strategy:S.Depth_first fig3b));
+  Alcotest.(check (list string)) "fig 3(c)"
+    [
+      "P"; "P.v(xml)"; "P.D"; "P.D"; "P.D.L"; "P.D.L.v(boston)"; "P.D.M";
+      "P.D.M.v(johnson)";
+    ]
+    (path_strings (Enc.encode ~strategy:S.Depth_first fig3c))
+
+let test_breadth_first () =
+  let t = e "P" [ e "R" [ e "M" [] ]; e "D" [ e "U" [] ] ] in
+  Alcotest.(check (list string)) "level order"
+    [ "P"; "P.R"; "P.D"; "P.R.M"; "P.D.U" ]
+    (path_strings (Enc.encode ~strategy:S.Breadth_first t))
+
+let test_probability_order () =
+  (* Higher p' comes out earlier regardless of document order. *)
+  let t = e "P" [ e "Rare" [] ; e "Common" [] ] in
+  let prio p = if D.name (Path.tag p) = "Common" then 0.9 else 0.1 in
+  Alcotest.(check (list string)) "by probability"
+    [ "P"; "P.Common"; "P.Rare" ]
+    (path_strings (Enc.encode ~strategy:(S.Probability prio) t))
+
+let test_identical_sibling_recursion () =
+  (* With identical siblings, the first selected sibling's whole subtree is
+     emitted before the second sibling, even when a deep child has a low
+     priority (Algorithm 2). *)
+  let t =
+    e "P" [ e "D" [ e "Low" [] ]; e "D" [ e "High" [] ]; e "Mid" [] ]
+  in
+  let prio p =
+    match D.name (Path.tag p) with
+    | "D" -> 0.8
+    | "Mid" -> 0.5
+    | "High" -> 0.4
+    | "Low" -> 0.1
+    | _ -> 1.0
+  in
+  Alcotest.(check (list string)) "subtree contiguity"
+    [ "P"; "P.D"; "P.D.Low"; "P.D"; "P.D.High"; "P.Mid" ]
+    (path_strings (Enc.encode ~strategy:(S.Probability prio) t))
+
+let test_ident_flag_extends () =
+  (* The global flag forces contiguity even without local duplicates. *)
+  let t = e "P" [ e "D" [ e "Low" [] ]; e "Mid" [] ] in
+  let prio p =
+    match D.name (Path.tag p) with
+    | "D" -> 0.8
+    | "Mid" -> 0.5
+    | "Low" -> 0.1
+    | _ -> 1.0
+  in
+  let flagged = p_of [ "P"; "D" ] in
+  Alcotest.(check (list string)) "flag-triggered contiguity"
+    [ "P"; "P.D"; "P.D.Low"; "P.Mid" ]
+    (path_strings
+       (Enc.encode ~ident:(Path.equal flagged) ~strategy:(S.Probability prio) t));
+  Alcotest.(check (list string)) "without flag, priority order"
+    [ "P"; "P.D"; "P.Mid"; "P.D.Low" ]
+    (path_strings (Enc.encode ~strategy:(S.Probability prio) t))
+
+let test_multiple_paths () =
+  let ps = Enc.multiple_paths fig3c in
+  Alcotest.(check (list string)) "duplicated paths" [ "P.D" ]
+    (List.map Path.to_string ps)
+
+let test_text_mode () =
+  let t = e "L" [ v "ab" ] in
+  Alcotest.(check (list string)) "char chain"
+    [ "L"; "L.v(a)"; "L.v(a).v(b)"; "L.v(a).v(b).v(\x00end)" ]
+    (path_strings (Enc.encode ~value_mode:Enc.Text ~strategy:S.Depth_first t))
+
+(* --- decoder ------------------------------------------------------------- *)
+
+let test_decode_exact_df () =
+  let seq = Enc.encode ~strategy:S.Depth_first fig3b in
+  Alcotest.(check bool) "df round trip is exact" true (T.equal (Dec.decode seq) fig3b)
+
+let test_decode_invalid () =
+  (match Dec.decode [||] with
+   | exception Dec.Invalid_sequence _ -> ()
+   | _ -> Alcotest.fail "empty must fail");
+  match Dec.decode [| p_of [ "P" ]; p_of [ "Q" ] |] with
+  | exception Dec.Invalid_sequence _ -> ()
+  | _ -> Alcotest.fail "two roots must fail"
+
+(* --- properties ---------------------------------------------------------- *)
+
+let tags = [| "a"; "b"; "c" |]
+let vals = [| "v0"; "v1" |]
+
+let tree_gen : T.t Gen.t =
+  let open Gen in
+  let rec node depth st =
+    let fanout = if depth >= 4 then 0 else int_bound (4 - depth) st in
+    let kids =
+      List.init fanout (fun _ ->
+          if int_bound 3 st = 0 then T.Value (oneofa vals st) else node (depth + 1) st)
+    in
+    T.elt (oneofa tags st) kids
+  in
+  node 0
+
+let arb_tree = QCheck.make ~print:(Format.asprintf "%a" T.pp) tree_gen
+
+let strategies =
+  [
+    ("df", S.Depth_first);
+    ("bf", S.Breadth_first);
+    ("random", S.Random 1234);
+    ( "prob",
+      S.Probability (fun p -> 1.0 /. float_of_int (1 + (Path.to_int p mod 17))) );
+  ]
+
+let prop_valid name strategy =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "encode %s yields valid constraint sequence" name)
+    ~count:300 arb_tree (fun t ->
+      C.is_valid (Enc.encode ~strategy t))
+
+let prop_roundtrip name strategy =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "decode (encode %s) isomorphic" name)
+    ~count:300 arb_tree (fun t ->
+      T.isomorphic t (Dec.decode (Enc.encode ~strategy t)))
+
+let prop_multiset name strategy =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "encode %s preserves path multiset" name)
+    ~count:300 arb_tree (fun t ->
+      let sorted a =
+        let l = Array.to_list a in
+        List.sort Path.compare l
+      in
+      sorted (Enc.encode ~strategy t) = sorted (Enc.paths_of_tree t))
+
+let prop_ident_still_valid =
+  QCheck.Test.make ~name:"global ident flag keeps sequences valid" ~count:300
+    arb_tree (fun t ->
+      let seq =
+        Enc.encode ~ident:(fun p -> Path.to_int p mod 2 = 0)
+          ~strategy:S.Breadth_first t
+      in
+      C.is_valid seq && T.isomorphic t (Dec.decode seq))
+
+let prop_text_mode_roundtrip =
+  QCheck.Test.make ~name:"text mode sequences valid" ~count:200 arb_tree (fun t ->
+      C.is_valid (Enc.encode ~value_mode:Enc.Text ~strategy:S.Depth_first t))
+
+(* --- Prüfer -------------------------------------------------------------- *)
+
+let test_prufer_example () =
+  (* A 6-node tree: the code has length 5 and mentions only internal
+     nodes. *)
+  let t = e "P" [ e "R" []; e "D" [ e "L" [] ]; e "D" [ e "M" [] ] ] in
+  let code = Sequencing.Prufer.encode t in
+  Alcotest.(check int) "length n-1" 5 (Array.length code.parents);
+  Alcotest.(check int) "tags" 6 (Array.length code.tags);
+  Alcotest.(check bool) "roundtrip" true
+    (T.equal (Sequencing.Prufer.decode code) t);
+  Alcotest.(check bool) "to_string shape" true
+    (String.length (Sequencing.Prufer.to_string code) > 2)
+
+let test_prufer_single () =
+  let t = e "P" [] in
+  let code = Sequencing.Prufer.encode t in
+  Alcotest.(check int) "empty code" 0 (Array.length code.parents);
+  Alcotest.(check bool) "roundtrip" true (T.equal (Sequencing.Prufer.decode code) t)
+
+let prop_prufer_roundtrip =
+  QCheck.Test.make ~name:"prüfer roundtrip is exact" ~count:300 arb_tree (fun t ->
+      T.equal (Sequencing.Prufer.decode (Sequencing.Prufer.encode t)) t)
+
+let () =
+  Alcotest.run "sequencing"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "intern" `Quick test_path_intern;
+          Alcotest.test_case "prefix" `Quick test_path_prefix;
+          Alcotest.test_case "roundtrip" `Quick test_path_roundtrip;
+          Alcotest.test_case "lex compare" `Quick test_lex_compare;
+          Alcotest.test_case "element children" `Quick test_element_children;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "forward prefix" `Quick test_forward_prefix;
+          Alcotest.test_case "holds" `Quick test_constraint_holds;
+          Alcotest.test_case "is_valid" `Quick test_is_valid;
+        ] );
+      ( "encoder",
+        [
+          Alcotest.test_case "table 1 depth-first" `Quick test_table1_depth_first;
+          Alcotest.test_case "breadth-first" `Quick test_breadth_first;
+          Alcotest.test_case "probability order" `Quick test_probability_order;
+          Alcotest.test_case "identical sibling recursion" `Quick
+            test_identical_sibling_recursion;
+          Alcotest.test_case "global ident flag" `Quick test_ident_flag_extends;
+          Alcotest.test_case "multiple paths" `Quick test_multiple_paths;
+          Alcotest.test_case "text mode" `Quick test_text_mode;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "df exact" `Quick test_decode_exact_df;
+          Alcotest.test_case "invalid input" `Quick test_decode_invalid;
+        ] );
+      ( "prüfer",
+        [
+          Alcotest.test_case "example" `Quick test_prufer_example;
+          Alcotest.test_case "single node" `Quick test_prufer_single;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          (List.concat_map
+             (fun (name, s) ->
+               [ prop_valid name s; prop_roundtrip name s; prop_multiset name s ])
+             strategies
+          @ [ prop_ident_still_valid; prop_text_mode_roundtrip; prop_prufer_roundtrip ])
+      );
+    ]

@@ -1,0 +1,126 @@
+(* The simulated pager: layout, access accounting, LRU buffering. *)
+
+module Pager = Xstorage.Pager
+
+let test_alloc_alignment () =
+  let p = Pager.create ~page_size:4096 () in
+  let a = Pager.alloc p ~bytes:10 in
+  let b = Pager.alloc p ~bytes:5000 in
+  let c = Pager.alloc p ~bytes:1 in
+  Alcotest.(check int) "first at 0" 0 a;
+  Alcotest.(check int) "page aligned" 4096 b;
+  Alcotest.(check int) "two pages" (4096 * 3) c;
+  (* zero-byte regions still take a page so they never share *)
+  let d = Pager.alloc p ~bytes:0 in
+  Alcotest.(check int) "empty region" (4096 * 4) d
+
+let test_touch_counting () =
+  let p = Pager.create ~page_size:100 () in
+  Pager.begin_query p;
+  Pager.touch p 5;
+  Pager.touch p 50;
+  Pager.touch p 150;
+  Alcotest.(check int) "two distinct pages" 2 (Pager.pages_touched p);
+  Alcotest.(check int) "three accesses" 3 (Pager.total_accesses p);
+  Alcotest.(check int) "misses = pages without buffer" 2 (Pager.misses p);
+  Pager.begin_query p;
+  Alcotest.(check int) "reset" 0 (Pager.pages_touched p);
+  Alcotest.(check int) "accesses persist" 3 (Pager.total_accesses p)
+
+let test_touch_range () =
+  let p = Pager.create ~page_size:100 () in
+  Pager.begin_query p;
+  Pager.touch_range p 50 250;
+  Alcotest.(check int) "three pages" 3 (Pager.pages_touched p)
+
+let test_lru_hits () =
+  let p = Pager.create ~page_size:100 ~buffer_pages:2 () in
+  Pager.begin_query p;
+  Pager.touch p 0;
+  (* page 0: miss *)
+  Pager.touch p 0;
+  (* hit *)
+  Alcotest.(check int) "one miss" 1 (Pager.misses p);
+  Pager.begin_query p;
+  Pager.touch p 0;
+  (* still resident: hit *)
+  Alcotest.(check int) "cross-query hit" 0 (Pager.misses p)
+
+let test_lru_eviction () =
+  let p = Pager.create ~page_size:100 ~buffer_pages:2 () in
+  Pager.begin_query p;
+  Pager.touch p 0;
+  (* page 0 *)
+  Pager.touch p 100;
+  (* page 1 *)
+  Pager.touch p 200;
+  (* page 2 evicts page 0 (LRU) *)
+  Pager.touch p 0;
+  (* page 0: miss again *)
+  Alcotest.(check int) "four misses" 4 (Pager.misses p);
+  (* page 2 was recently used: hit *)
+  Pager.touch p 200;
+  Alcotest.(check int) "still four" 4 (Pager.misses p)
+
+let test_lru_recency_update () =
+  let p = Pager.create ~page_size:100 ~buffer_pages:2 () in
+  Pager.begin_query p;
+  Pager.touch p 0;
+  Pager.touch p 100;
+  Pager.touch p 0;
+  (* refresh page 0; page 1 is now LRU *)
+  Pager.touch p 200;
+  (* evicts page 1 *)
+  Pager.touch p 0;
+  (* hit *)
+  Pager.touch p 100;
+  (* miss: was evicted *)
+  Alcotest.(check int) "misses" 4 (Pager.misses p)
+
+let test_reset_pool () =
+  let p = Pager.create ~page_size:100 ~buffer_pages:4 () in
+  Pager.begin_query p;
+  Pager.touch p 0;
+  Pager.reset_pool p;
+  Pager.begin_query p;
+  Pager.touch p 0;
+  Alcotest.(check int) "cold again" 1 (Pager.misses p)
+
+(* Property: for any access trace, pages_touched <= misses-without-buffer,
+   and misses with an infinite buffer across one query equals distinct
+   pages. *)
+let prop_accounting =
+  QCheck.Test.make ~name:"accounting invariants" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun offsets ->
+      let unbuffered = Pager.create ~page_size:128 () in
+      let buffered = Pager.create ~page_size:128 ~buffer_pages:1_000_000 () in
+      Pager.begin_query unbuffered;
+      Pager.begin_query buffered;
+      List.iter
+        (fun o ->
+          Pager.touch unbuffered o;
+          Pager.touch buffered o)
+        offsets;
+      let distinct =
+        List.sort_uniq Stdlib.compare (List.map (fun o -> o / 128) offsets)
+      in
+      Pager.pages_touched unbuffered = List.length distinct
+      && Pager.misses unbuffered = List.length distinct
+      && Pager.misses buffered = List.length distinct)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "pager",
+        [
+          Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment;
+          Alcotest.test_case "touch counting" `Quick test_touch_counting;
+          Alcotest.test_case "touch range" `Quick test_touch_range;
+          Alcotest.test_case "lru hits" `Quick test_lru_hits;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "lru recency" `Quick test_lru_recency_update;
+          Alcotest.test_case "reset pool" `Quick test_reset_pool;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_accounting ]);
+    ]

@@ -1,0 +1,231 @@
+(* XML data model and parser/printer tests. *)
+
+module T = Xmlcore.Xml_tree
+module D = Xmlcore.Designator
+module P = Xmlcore.Xml_parser
+module Pr = Xmlcore.Xml_printer
+module Gen = QCheck.Gen
+
+let e = T.elt
+let v = T.text
+
+(* --- designators -------------------------------------------------------- *)
+
+let test_designator_identity () =
+  Alcotest.(check bool) "same tag same id" true
+    (D.equal (D.tag "project") (D.tag "project"));
+  Alcotest.(check bool) "tag <> value" false
+    (D.equal (D.tag "boston") (D.value "boston"));
+  Alcotest.(check bool) "value is value" true (D.is_value (D.value "x"));
+  Alcotest.(check bool) "tag is not value" false (D.is_value (D.tag "x"));
+  Alcotest.(check string) "name round trip" "boston" (D.name (D.value "boston"));
+  Alcotest.(check bool) "char value" true (D.is_value (D.char_value 'q'));
+  Alcotest.(check string) "char name" "q" (D.name (D.char_value 'q'))
+
+(* --- tree operations ----------------------------------------------------- *)
+
+let sample = e "P" [ v "xml"; e "R" [ e "L" [ v "boston" ] ]; e "D" [] ]
+
+let test_tree_measures () =
+  Alcotest.(check int) "node count" 6 (T.node_count sample);
+  Alcotest.(check int) "depth" 4 (T.depth sample);
+  Alcotest.(check int) "fanout" 3 (T.max_fanout sample);
+  Alcotest.(check bool) "no identical sibs" false (T.has_identical_siblings sample);
+  let dup = e "P" [ e "D" []; e "D" [] ] in
+  Alcotest.(check bool) "identical sibs" true (T.has_identical_siblings dup)
+
+let test_isomorphism () =
+  let a = e "P" [ e "L" [ e "S" [] ]; e "L" [ e "B" [] ] ] in
+  let b = e "P" [ e "L" [ e "B" [] ]; e "L" [ e "S" [] ] ] in
+  Alcotest.(check bool) "isomorphic" true (T.isomorphic a b);
+  Alcotest.(check bool) "not equal" false (T.equal a b);
+  let c = e "P" [ e "L" [ e "S" []; e "B" [] ] ] in
+  Alcotest.(check bool) "different shape" false (T.isomorphic a c)
+
+let test_sort_by_tag_stable () =
+  (* Equal tags keep document order; subtree contents must not matter. *)
+  let t = e "P" [ e "L" [ e "Z" [] ]; e "L" [ e "A" [] ] ] in
+  match T.sort_by_tag t with
+  | T.Element
+      (_, [ T.Element (_, [ T.Element (z, _) ]); T.Element (_, [ T.Element (a, _) ]) ])
+    ->
+    Alcotest.(check string) "first kept" "Z" (D.name z);
+    Alcotest.(check string) "second kept" "A" (D.name a)
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* --- parser -------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let t = P.parse_string "<P><R><L>boston</L></R><D/></P>" in
+  Alcotest.(check bool) "structure" true
+    (T.equal t (e "P" [ e "R" [ e "L" [ v "boston" ] ]; e "D" [] ]))
+
+let test_parse_attributes () =
+  let t = P.parse_string {|<item id="42" loc="US"><name>lamp</name></item>|} in
+  Alcotest.(check bool) "attrs become @-children" true
+    (T.equal t
+       (e "item" [ T.attr "id" "42"; T.attr "loc" "US"; e "name" [ v "lamp" ] ]))
+
+let test_parse_entities () =
+  let t = P.parse_string "<a>x &lt;&amp;&gt; &quot;y&quot; &#65;&#x42;</a>" in
+  match t with
+  | T.Element (_, [ T.Value s ]) ->
+    Alcotest.(check string) "decoded" "x <&> \"y\" AB" s
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_cdata_comment_pi () =
+  let t =
+    P.parse_string
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><a><!-- hi \
+       --><![CDATA[1 < 2 & 3]]><?target data?></a>"
+  in
+  match t with
+  | T.Element (_, [ T.Value s ]) -> Alcotest.(check string) "cdata" "1 < 2 & 3" s
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_whitespace () =
+  let t = P.parse_string "<a>\n  <b/>\n  <c/>\n</a>" in
+  Alcotest.(check int) "whitespace dropped" 3 (T.node_count t);
+  let t2 = P.parse_string ~keep_whitespace:true "<a>\n  <b/>\n</a>" in
+  Alcotest.(check bool) "whitespace kept" true (T.node_count t2 > 2)
+
+let test_parse_errors () =
+  let fails s =
+    match P.parse_string s with
+    | exception P.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %s" s
+  in
+  fails "";
+  fails "<a>";
+  fails "<a></b>";
+  fails "<a><b></a></b>";
+  fails "<a>&unknown;</a>";
+  fails "<a attr=unquoted></a>";
+  fails "<a/><b/>";
+  fails "text only"
+
+let test_parse_error_position () =
+  match P.parse_string "<a>\n<b>\n</c>\n</a>" with
+  | exception P.Parse_error { line; _ } -> Alcotest.(check int) "line" 3 line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_fragments () =
+  let ts = P.parse_fragments "<a/><b>x</b> <c/>" in
+  Alcotest.(check int) "three roots" 3 (List.length ts)
+
+(* --- printer ------------------------------------------------------------- *)
+
+let test_print_roundtrip () =
+  let t =
+    e "item"
+      [ T.attr "id" "1&2"; e "name" [ v "a <lamp>" ]; e "empty" []; v "tail" ]
+  in
+  let s = Pr.to_string t in
+  Alcotest.(check bool) "roundtrip" true (T.equal (P.parse_string s) t)
+
+let test_escapes () =
+  Alcotest.(check string) "text" "a&amp;b&lt;c&gt;d" (Pr.escape_text "a&b<c>d");
+  Alcotest.(check string) "attr" "&quot;x&quot;" (Pr.escape_attr "\"x\"")
+
+(* --- properties ---------------------------------------------------------- *)
+
+let tag_gen = Gen.oneofa [| "a"; "b"; "cc"; "dd-e"; "f_g" |]
+let text_gen = Gen.oneofa [| "x"; "a&b"; "1 < 2"; "\"quoted\""; "plain text" |]
+
+let tree_gen : T.t Gen.t =
+  let open Gen in
+  let rec node depth st =
+    let fanout = if depth >= 3 then 0 else int_bound (3 - depth) st in
+    let kids =
+      List.init fanout (fun _ ->
+          if int_bound 3 st = 0 then T.Value (text_gen st) else node (depth + 1) st)
+    in
+    T.elt (tag_gen st) kids
+  in
+  node 0
+
+let arb_tree = QCheck.make ~print:(Format.asprintf "%a" T.pp) tree_gen
+
+(* Adjacent text nodes are indistinguishable after serialisation, so the
+   round-trip is up to merging them. *)
+let rec merge_adjacent_text t =
+  match t with
+  | T.Value _ -> t
+  | T.Element (d, cs) ->
+    let rec merge = function
+      | T.Value a :: T.Value b :: rest -> merge (T.Value (a ^ b) :: rest)
+      | c :: rest -> merge_adjacent_text c :: merge rest
+      | [] -> []
+    in
+    T.Element (d, merge cs)
+
+let prop_print_parse =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arb_tree (fun t ->
+      let t = merge_adjacent_text t in
+      T.equal (P.parse_string (Pr.to_string t)) t)
+
+let prop_print_parse_indent =
+  (* Indented output adds whitespace; with values stripped the structure
+     must survive exactly. *)
+  QCheck.Test.make ~name:"indented roundtrip (no values)" ~count:200 arb_tree
+    (fun t ->
+      let rec strip = function
+        | T.Element (d, cs) ->
+          T.Element
+            ( d,
+              List.filter_map
+                (fun c -> match c with T.Value _ -> None | e -> Some (strip e))
+                cs )
+        | leaf -> leaf
+      in
+      let t = strip t in
+      T.equal (P.parse_string ~keep_whitespace:false (Pr.to_string ~indent:true t)) t)
+
+let prop_canonical_sort_isomorphic =
+  QCheck.Test.make ~name:"canonical_sort is isomorphic" ~count:300 arb_tree
+    (fun t -> T.isomorphic t (T.canonical_sort t))
+
+let prop_sort_by_tag_isomorphic =
+  QCheck.Test.make ~name:"sort_by_tag is isomorphic" ~count:300 arb_tree (fun t ->
+      T.isomorphic t (T.sort_by_tag t))
+
+let prop_fold_counts =
+  QCheck.Test.make ~name:"fold visits every node" ~count:300 arb_tree (fun t ->
+      T.fold (fun n _ -> n + 1) 0 t = T.node_count t)
+
+let () =
+  Alcotest.run "xmlcore"
+    [
+      ("designator", [ Alcotest.test_case "identity" `Quick test_designator_identity ]);
+      ( "tree",
+        [
+          Alcotest.test_case "measures" `Quick test_tree_measures;
+          Alcotest.test_case "isomorphism" `Quick test_isomorphism;
+          Alcotest.test_case "sort_by_tag stable" `Quick test_sort_by_tag_stable;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata/comment/pi" `Quick test_parse_cdata_comment_pi;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "fragments" `Quick test_fragments;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_print_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_print_parse;
+            prop_print_parse_indent;
+            prop_canonical_sort_isomorphic;
+            prop_sort_by_tag_isomorphic;
+            prop_fold_counts;
+          ] );
+    ]

@@ -1,0 +1,388 @@
+(* End-to-end tests of the Xseq facade, including the paper's worked
+   examples (Figures 1–5). *)
+
+module T = Xmlcore.Xml_tree
+
+let e = T.elt
+let v = T.text
+
+(* Figure 1's project document. *)
+let project_doc =
+  e "P"
+    [
+      v "xml";
+      e "R" [ e "M" [ v "tom" ]; e "L" [ v "newyork" ] ];
+      e "D"
+        [
+          e "M" [ v "johnson" ];
+          e "U" [ e "M" [ v "mary" ]; e "N" [ v "GUI" ] ];
+          e "U" [ e "N" [ v "engine" ] ];
+          e "L" [ v "boston" ];
+        ];
+    ]
+
+(* Figure 4: D = P(L(S), L(B)) must NOT match Q = P(L(S,B)). *)
+let fig4_doc = e "P" [ e "L" [ e "S" [] ]; e "L" [ e "B" [] ] ]
+let fig4_doc_conj = e "P" [ e "L" [ e "S" []; e "B" [] ] ]
+
+let build ?config docs = Xseq.build ?config (Array.of_list docs)
+
+let check_query ?(msg = "query") index xpath expected =
+  Alcotest.(check (list int)) msg expected (Xseq.query_xpath index xpath)
+
+let test_false_alarm () =
+  (* Index both documents; the conjunctive query must only return the
+     document where one L has both S and B. *)
+  let index = build [ fig4_doc; fig4_doc_conj ] in
+  let q = Xseq.Pattern.(elt "P" [ elt "L" [ elt "S" []; elt "B" [] ] ]) in
+  Alcotest.(check (list int)) "no false alarm" [ 1 ] (Xseq.query index q);
+  (* The split query P(L(S), L(B)) requires two distinct L siblings. *)
+  let q2 = Xseq.Pattern.(elt "P" [ elt "L" [ elt "S" [] ]; elt "L" [ elt "B" [] ] ]) in
+  Alcotest.(check (list int)) "identical siblings" [ 0 ] (Xseq.query index q2)
+
+let test_false_dismissal () =
+  (* Figure 5: isomorphic forms must both be found. *)
+  let d1 = e "P" [ e "L" [ e "S" [] ]; e "L" [ e "B" [] ] ] in
+  let d2 = e "P" [ e "L" [ e "B" [] ]; e "L" [ e "S" [] ] ] in
+  let index = build [ d1; d2 ] in
+  let q = Xseq.Pattern.(elt "P" [ elt "L" [ elt "S" [] ]; elt "L" [ elt "B" [] ] ]) in
+  Alcotest.(check (list int)) "both isomorphic forms" [ 0; 1 ] (Xseq.query index q)
+
+let test_project_queries () =
+  let index = build [ project_doc ] in
+  check_query index "/P/R/L" [ 0 ];
+  check_query index "/P/D/U/N" [ 0 ];
+  check_query index "/P//N" [ 0 ];
+  check_query index "/P/*/L" [ 0 ];
+  check_query index "/P/R[L='newyork']" [ 0 ];
+  check_query index "/P/R[L='boston']" [];
+  check_query index "/P/D[L='boston']/U[N='GUI']" [ 0 ];
+  check_query index "//U[M='mary']" [ 0 ];
+  check_query index "//U[M='tom']" [];
+  (* The paper's Section 3.1 example: branching query with two value
+     predicates. *)
+  check_query index "/P[R/L='newyork']/D[L='boston']" [ 0 ];
+  check_query index "/P[R/L='boston']/D[L='newyork']" []
+
+let test_wildcard_star_descendant () =
+  let index = build [ project_doc ] in
+  check_query index "/P/*[N='engine']" [];
+  (* U is two levels below P *)
+  check_query index "/P//*[N='engine']" [ 0 ];
+  check_query index "/P/D/*[N='engine']" [ 0 ]
+
+let test_two_identical_units () =
+  (* The document has two U units under D; ask for both in one query. *)
+  let index = build [ project_doc ] in
+  check_query index "/P/D[U/N='GUI'][U/N='engine']" [ 0 ];
+  (* A single U with both names does not exist. *)
+  let q =
+    Xseq.Pattern.(
+      elt "P" [ elt "D" [ elt "U" [ elt "N" [ text "GUI" ]; elt "N" [ text "engine" ] ] ] ])
+  in
+  Alcotest.(check (list int)) "conjunctive unit" [] (Xseq.query index q)
+
+let test_multi_doc () =
+  let docs =
+    [
+      e "P" [ e "R" [ e "L" [ v "boston" ] ] ];
+      e "P" [ e "R" [ e "L" [ v "newyork" ] ] ];
+      e "P" [ e "D" [ e "L" [ v "boston" ] ] ];
+      e "P" [ e "R" [ e "L" [ v "boston" ] ]; e "D" [ e "L" [ v "boston" ] ] ];
+    ]
+  in
+  let index = build docs in
+  check_query index "/P/R[L='boston']" [ 0; 3 ];
+  check_query index "/P/D[L='boston']" [ 2; 3 ];
+  check_query index "/P[R/L='boston']/D[L='boston']" [ 3 ];
+  check_query index "//L[text='boston']" [ 0; 2; 3 ];
+  check_query index "/P/R" [ 0; 1; 3 ]
+
+let test_strategies_agree () =
+  (* All queryable sequencing strategies must return identical answers. *)
+  let docs =
+    [
+      project_doc;
+      fig4_doc;
+      fig4_doc_conj;
+      e "P" [ e "R" [ e "M" [ v "tom" ] ]; e "D" [ e "L" [ v "boston" ] ] ];
+    ]
+  in
+  let queries =
+    [ "/P//L"; "/P/D[L='boston']"; "/P[L/S]"; "//M[text='tom']"; "/P/L/B" ]
+  in
+  let configs =
+    [
+      ("probability", Xseq.default_config);
+      ( "depth-first",
+        { Xseq.default_config with sequencing = Xseq.Depth_first { canonical = true } } );
+      ( "breadth-first",
+        { Xseq.default_config with sequencing = Xseq.Breadth_first { canonical = true } } );
+      ( "text-mode",
+        { Xseq.default_config with value_mode = Sequencing.Encoder.Text } );
+    ]
+  in
+  let reference = build docs in
+  List.iter
+    (fun (name, config) ->
+      let index = build ~config docs in
+      List.iter
+        (fun q ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: %s" name q)
+            (Xseq.query_xpath reference q) (Xseq.query_xpath index q))
+        queries)
+    configs
+
+let test_text_prefix () =
+  let config = { Xseq.default_config with value_mode = Sequencing.Encoder.Text } in
+  let docs =
+    [
+      e "P" [ e "L" [ v "boston" ] ];
+      e "P" [ e "L" [ v "bost" ] ];
+      e "P" [ e "L" [ v "b" ] ];
+      e "P" [ e "L" [ v "newyork" ] ];
+    ]
+  in
+  let index = build ~config docs in
+  check_query index "/P[L='boston']" [ 0 ];
+  check_query index "/P[L='bost']" [ 1 ];
+  check_query index "/P[L^='bost']" [ 0; 1 ];
+  check_query index "/P[L^='b']" [ 0; 1; 2 ];
+  check_query index "/P[L^='x']" []
+
+let test_size_accessors () =
+  let index = build [ project_doc; fig4_doc ] in
+  Alcotest.(check int) "doc count" 2 (Xseq.doc_count index);
+  Alcotest.(check bool) "nodes > 0" true (Xseq.node_count index > 0);
+  Alcotest.(check bool) "size formula" true
+    (Xseq.size_bytes index = (4 * 2) + (8 * Xseq.node_count index));
+  Alcotest.(check bool) "avg seq len" true (Xseq.average_sequence_length index > 0.);
+  Alcotest.(check bool) "paths > 0" true (Xseq.distinct_paths index > 0);
+  Alcotest.(check bool) "layout > 0" true (Xseq.layout_bytes index > 0)
+
+let test_document_roundtrip () =
+  let index = build [ project_doc ] in
+  Alcotest.(check bool) "kept document" true
+    (T.equal (Xseq.document index 0) project_doc);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Xseq.document: unknown id") (fun () ->
+      ignore (Xseq.document index 7))
+
+(* --- persistence ---------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "xseq_test" ".idx" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let save_load_roundtrip config docs queries () =
+  with_temp_file (fun path ->
+      let original = build ~config docs in
+      Xseq.save original path;
+      let restored = Xseq.load path in
+      Alcotest.(check int) "doc count" (Xseq.doc_count original)
+        (Xseq.doc_count restored);
+      Alcotest.(check int) "node count" (Xseq.node_count original)
+        (Xseq.node_count restored);
+      Alcotest.(check bool) "documents kept" true
+        (T.equal (Xseq.document restored 0) (Xseq.document original 0));
+      List.iter
+        (fun q ->
+          Alcotest.(check (list int)) q (Xseq.query_xpath original q)
+            (Xseq.query_xpath restored q))
+        queries)
+
+let roundtrip_docs = [ project_doc; fig4_doc; fig4_doc_conj ]
+
+let roundtrip_queries =
+  [ "/P//L"; "/P/D[L='boston']"; "/P[L/S]"; "//M[text='tom']"; "/P/D/U/N" ]
+
+let test_save_load_default =
+  save_load_roundtrip Xseq.default_config roundtrip_docs roundtrip_queries
+
+let test_save_load_df =
+  save_load_roundtrip
+    { Xseq.default_config with sequencing = Xseq.Depth_first { canonical = true } }
+    roundtrip_docs roundtrip_queries
+
+let test_save_load_text =
+  save_load_roundtrip
+    { Xseq.default_config with value_mode = Sequencing.Encoder.Text }
+    roundtrip_docs roundtrip_queries
+
+let test_save_load_sampled =
+  save_load_roundtrip
+    { Xseq.default_config with sample_fraction = 0.5; sample_seed = 9 }
+    roundtrip_docs roundtrip_queries
+
+let test_save_rejects () =
+  let index =
+    build ~config:{ Xseq.default_config with keep_documents = false } [ project_doc ]
+  in
+  Alcotest.check_raises "no docs"
+    (Invalid_argument "Xseq.save: index was built with keep_documents = false")
+    (fun () -> Xseq.save index "/tmp/never-written.idx");
+  let custom =
+    build
+      ~config:
+        {
+          Xseq.default_config with
+          sequencing = Xseq.Custom Sequencing.Strategy.Depth_first;
+        }
+      [ project_doc ]
+  in
+  Alcotest.check_raises "custom strategy"
+    (Invalid_argument "Xseq.save: custom strategies cannot be persisted")
+    (fun () -> Xseq.save custom "/tmp/never-written.idx")
+
+let test_load_rejects_garbage () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      Marshal.to_channel oc (1, "not an index") [];
+      close_out oc;
+      match Xseq.load path with
+      | _ -> Alcotest.fail "expected failure"
+      | exception _ -> ())
+
+(* --- invariances ----------------------------------------------------------- *)
+
+let test_weights_do_not_change_results () =
+  (* Eq. 6 weights reorder sequences but must never change answers. *)
+  let docs = Array.of_list [ project_doc; fig4_doc; fig4_doc_conj ] in
+  let weighted =
+    Xseq.build
+      ~config:
+        {
+          Xseq.default_config with
+          sequencing =
+            Xseq.Probability_weighted
+              (fun p -> 1.0 +. float_of_int (Sequencing.Path.to_int p mod 7));
+        }
+      docs
+  in
+  let plain = Xseq.build docs in
+  List.iter
+    (fun q ->
+      Alcotest.(check (list int)) q (Xseq.query_xpath plain q)
+        (Xseq.query_xpath weighted q))
+    roundtrip_queries
+
+let test_random_index_rejects_queries () =
+  let index =
+    build ~config:{ Xseq.default_config with sequencing = Xseq.Random 3 } [ project_doc ]
+  in
+  match Xseq.query_xpath index "/P/R" with
+  | _ -> Alcotest.fail "expected Unsupported_strategy"
+  | exception Xquery.Query_seq.Unsupported_strategy _ -> ()
+
+let test_empty_corpus () =
+  let index = Xseq.build [||] in
+  Alcotest.(check int) "no docs" 0 (Xseq.doc_count index);
+  Alcotest.(check (list int)) "no results" [] (Xseq.query_xpath index "/P/R")
+
+let test_prepared_queries () =
+  let index = build [ project_doc; fig4_doc; fig4_doc_conj ] in
+  List.iter
+    (fun q ->
+      let pattern = Xseq.Xpath.parse q in
+      let prepared = Xseq.prepare index pattern in
+      Alcotest.(check (list int)) q (Xseq.query index pattern)
+        (Xseq.run_prepared index prepared);
+      (* prepared queries are reusable *)
+      Alcotest.(check (list int)) (q ^ " (again)") (Xseq.query index pattern)
+        (Xseq.run_prepared index prepared))
+    [ "/P//L"; "/P/D[L='boston']"; "/P[L/S]"; "/P/*/M" ]
+
+let test_contains () =
+  let index = build [ project_doc; fig4_doc ] in
+  let p = Xseq.Xpath.parse "/P/L/S" in
+  Alcotest.(check bool) "doc 1 matches" true (Xseq.contains index p 1);
+  Alcotest.(check bool) "doc 0 does not" false (Xseq.contains index p 0)
+
+(* --- dynamic index ---------------------------------------------------------- *)
+
+let test_dynamic_basics () =
+  let d = Xseq.Dynamic.create ~rebuild_threshold:3 [| project_doc |] in
+  Alcotest.(check int) "initial count" 1 (Xseq.Dynamic.doc_count d);
+  let id1 = Xseq.Dynamic.add d fig4_doc in
+  let id2 = Xseq.Dynamic.add d fig4_doc_conj in
+  Alcotest.(check int) "id1" 1 id1;
+  Alcotest.(check int) "id2" 2 id2;
+  Alcotest.(check int) "pending" 2 (Xseq.Dynamic.pending d);
+  (* queries see base + tail, with correct ids *)
+  Alcotest.(check (list int)) "tail visible" [ 1; 2 ]
+    (Xseq.Dynamic.query_xpath d "/P/L/S");
+  Alcotest.(check (list int)) "base visible" [ 0 ]
+    (Xseq.Dynamic.query_xpath d "/P/D[L='boston']");
+  (* the third add crosses the threshold and triggers a rebuild *)
+  let id3 = Xseq.Dynamic.add d (T.elt "P" [ T.elt "L" [ T.elt "S" [] ] ]) in
+  Alcotest.(check int) "id3" 3 id3;
+  Alcotest.(check int) "flushed" 0 (Xseq.Dynamic.pending d);
+  Alcotest.(check (list int)) "after rebuild" [ 1; 2; 3 ]
+    (Xseq.Dynamic.query_xpath d "/P/L/S")
+
+let test_dynamic_matches_batch () =
+  (* Incrementally built answers = batch-built answers at every step. *)
+  let docs = Xdatagen.Synthetic.dataset { Xdatagen.Synthetic.l = 3; f = 4; a = 25; i = 20; p = 40 } 40 in
+  let d = Xseq.Dynamic.create ~rebuild_threshold:7 [||] in
+  Array.iteri
+    (fun k doc ->
+      ignore (Xseq.Dynamic.add d doc);
+      if k mod 13 = 0 then begin
+        let batch = Xseq.build (Array.sub docs 0 (k + 1)) in
+        let opts =
+          { Xdatagen.Query_gen.default_opts with size = 4; value_prob = 0.5 }
+        in
+        List.iter
+          (fun q ->
+            Alcotest.(check (list int))
+              (Xquery.Pattern.to_string q)
+              (Xseq.query batch q) (Xseq.Dynamic.query d q))
+          (Xdatagen.Query_gen.generate ~seed:k ~opts (Array.sub docs 0 (k + 1)) 4)
+      end)
+    docs;
+  let snap = Xseq.Dynamic.snapshot d in
+  Alcotest.(check int) "snapshot complete" 40 (Xseq.doc_count snap);
+  Alcotest.(check int) "nothing pending" 0 (Xseq.Dynamic.pending d)
+
+let () =
+  Alcotest.run "xseq"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "fig4 false alarm" `Quick test_false_alarm;
+          Alcotest.test_case "fig5 false dismissal" `Quick test_false_dismissal;
+          Alcotest.test_case "project queries" `Quick test_project_queries;
+          Alcotest.test_case "wildcards" `Quick test_wildcard_star_descendant;
+          Alcotest.test_case "identical units" `Quick test_two_identical_units;
+          Alcotest.test_case "multi doc" `Quick test_multi_doc;
+          Alcotest.test_case "strategies agree" `Quick test_strategies_agree;
+          Alcotest.test_case "text prefix" `Quick test_text_prefix;
+          Alcotest.test_case "size accessors" `Quick test_size_accessors;
+          Alcotest.test_case "document roundtrip" `Quick test_document_roundtrip;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load default" `Quick test_save_load_default;
+          Alcotest.test_case "save/load depth-first" `Quick test_save_load_df;
+          Alcotest.test_case "save/load text mode" `Quick test_save_load_text;
+          Alcotest.test_case "save/load sampled" `Quick test_save_load_sampled;
+          Alcotest.test_case "save rejections" `Quick test_save_rejects;
+          Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+        ] );
+      ( "invariances",
+        [
+          Alcotest.test_case "weights preserve results" `Quick
+            test_weights_do_not_change_results;
+          Alcotest.test_case "random index rejects queries" `Quick
+            test_random_index_rejects_queries;
+          Alcotest.test_case "empty corpus" `Quick test_empty_corpus;
+          Alcotest.test_case "prepared queries" `Quick test_prepared_queries;
+          Alcotest.test_case "contains" `Quick test_contains;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "basics" `Quick test_dynamic_basics;
+          Alcotest.test_case "matches batch build" `Quick test_dynamic_matches_batch;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(* The utility layer: growable vectors and binary searches. *)
+
+module Ivec = Xutil.Ivec
+module Bs = Xutil.Binsearch
+
+let test_ivec_basics () =
+  let v = Ivec.create () in
+  Alcotest.(check int) "empty" 0 (Ivec.length v);
+  for i = 0 to 99 do
+    Ivec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Ivec.length v);
+  Alcotest.(check int) "get" 84 (Ivec.get v 42);
+  Ivec.set v 42 7;
+  Alcotest.(check int) "set" 7 (Ivec.get v 42);
+  Alcotest.(check int) "to_array" 100 (Array.length (Ivec.to_array v));
+  Alcotest.(check bool) "backing array big enough" true
+    (Array.length (Ivec.unsafe_data v) >= 100)
+
+let test_ivec_bounds () =
+  let v = Ivec.create ~capacity:2 () in
+  Ivec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Ivec.get") (fun () ->
+      ignore (Ivec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Ivec.set") (fun () ->
+      Ivec.set v (-1) 0)
+
+let test_binsearch () =
+  let a = [| 1; 3; 3; 3; 7; 9 |] in
+  let len = Array.length a in
+  Alcotest.(check int) "lower_bound hit" 1 (Bs.lower_bound a ~len 3);
+  Alcotest.(check int) "lower_bound miss" 4 (Bs.lower_bound a ~len 4);
+  Alcotest.(check int) "lower_bound before" 0 (Bs.lower_bound a ~len 0);
+  Alcotest.(check int) "lower_bound after" 6 (Bs.lower_bound a ~len 100);
+  Alcotest.(check int) "upper_bound hit" 4 (Bs.upper_bound a ~len 3);
+  Alcotest.(check int) "upper_bound after" 6 (Bs.upper_bound a ~len 9);
+  Alcotest.(check int) "floor hit" 3 (Bs.floor_index a ~len 3);
+  Alcotest.(check int) "floor miss" 3 (Bs.floor_index a ~len 6);
+  Alcotest.(check int) "floor before" (-1) (Bs.floor_index a ~len 0);
+  (* len smaller than the physical array restricts the view *)
+  Alcotest.(check int) "restricted len" 2 (Bs.upper_bound a ~len:2 5)
+
+let prop_bounds =
+  QCheck.Test.make ~name:"bounds agree with linear scans" ~count:500
+    QCheck.(pair (list small_nat) small_nat)
+    (fun (l, x) ->
+      let a = Array.of_list (List.sort Stdlib.compare l) in
+      let len = Array.length a in
+      let lb = ref len and ub = ref len in
+      (try
+         for i = 0 to len - 1 do
+           if a.(i) >= x then begin
+             lb := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (try
+         for i = 0 to len - 1 do
+           if a.(i) > x then begin
+             ub := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Xutil.Binsearch.lower_bound a ~len x = !lb
+      && Xutil.Binsearch.upper_bound a ~len x = !ub
+      && Xutil.Binsearch.floor_index a ~len x = !ub - 1)
+
+let () =
+  Alcotest.run "xutil"
+    [
+      ( "ivec",
+        [
+          Alcotest.test_case "basics" `Quick test_ivec_basics;
+          Alcotest.test_case "bounds" `Quick test_ivec_bounds;
+        ] );
+      ("binsearch", [ Alcotest.test_case "cases" `Quick test_binsearch ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_bounds ]);
+    ]
