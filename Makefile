@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test bench bench-json examples doc clean
 
 all: build
 
@@ -12,6 +12,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Parallel build / batched-query throughput; writes BENCH_parallel.json.
+bench-json:
+	dune exec bench/main.exe -- parallel
 
 examples:
 	dune exec examples/quickstart.exe

@@ -468,6 +468,85 @@ let ablation_valuemode () =
     [ ("hashed", Sequencing.Encoder.Hashed); ("text", Sequencing.Encoder.Text) ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel: domain-parallel build & batched query throughput.         *)
+(* ------------------------------------------------------------------ *)
+
+let parallel () =
+  header
+    "Parallel: domain-parallel build and batched query execution\n\
+     build must be label-identical at every domain count; speedups depend \
+     on available cores (see `cores` in BENCH_parallel.json)";
+  let cores = Domain.recommended_domain_count () in
+  let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
+  let n = n_scaled 8_000 in
+  let docs = Syn.dataset params n in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let baseline = Xseq.build docs in
+  let fingerprint index =
+    Marshal.to_string (Xindex.Labeled.to_portable (Xseq.labeled index)) []
+  in
+  let base_fp = fingerprint baseline in
+  let queries =
+    Array.of_list
+      (queries_of_length ~value_prob:0.5 docs ~qlen:5 ~count:200 ~seed:9)
+  in
+  let base_answers = Array.map (fun q -> Xseq.query baseline q) queries in
+  Printf.printf "(%d records, %d queries, %d recommended domains)\n" n
+    (Array.length queries) cores;
+  Printf.printf "%8s %14s %10s %16s %12s\n" "domains" "build (ms)" "identical"
+    "batch (ms)" "queries/s";
+  let rows =
+    List.map
+      (fun domains ->
+        let index, t_build = time (fun () -> Xseq.build ~domains docs) in
+        let identical = String.equal (fingerprint index) base_fp in
+        if not identical then
+          Printf.printf "!! build with %d domains diverged from sequential\n"
+            domains;
+        let answers, t_batch =
+          time (fun () -> Xseq.query_batch ~domains index queries)
+        in
+        assert (answers = base_answers);
+        let qps =
+          if t_batch > 0. then float_of_int (Array.length queries) /. t_batch
+          else 0.
+        in
+        Printf.printf "%8d %14.0f %10b %16.1f %12.0f\n%!" domains (ms t_build)
+          identical (ms t_batch) qps;
+        (domains, t_build, identical, t_batch, qps))
+      domain_counts
+  in
+  let find k =
+    let _, b, _, q, _ = List.find (fun (d, _, _, _, _) -> d = k) rows in
+    (b, q)
+  in
+  let b1, q1 = find 1 and b4, q4 = find 4 in
+  let build_speedup = if b4 > 0. then b1 /. b4 else 0. in
+  let query_speedup = if q4 > 0. then q1 /. q4 else 0. in
+  Printf.printf "speedup 4 vs 1 domains: build %.2fx, query batch %.2fx\n%!"
+    build_speedup query_speedup;
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"cores\": %d,\n  \"records\": %d,\n  \"queries\": %d,\n" cores n
+        (Array.length queries);
+      Printf.fprintf oc "  \"runs\": [\n";
+      List.iteri
+        (fun i (domains, t_build, identical, t_batch, qps) ->
+          Printf.fprintf oc
+            "    {\"domains\": %d, \"build_ms\": %.2f, \"identical\": %b, \
+             \"query_batch_ms\": %.2f, \"queries_per_s\": %.0f}%s\n"
+            domains (ms t_build) identical (ms t_batch) qps
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"build_speedup_4v1\": %.3f,\n" build_speedup;
+      Printf.fprintf oc "  \"query_speedup_4v1\": %.3f\n}\n" query_speedup);
+  Printf.printf "wrote BENCH_parallel.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -602,6 +681,7 @@ let experiments =
     ("ablation-buffer", ablation_buffer);
     ("ablation-bulk", ablation_bulk);
     ("ablation-valuemode", ablation_valuemode);
+    ("parallel", parallel);
     ("verify", verify);
     ("micro", micro);
   ]

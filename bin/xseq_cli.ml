@@ -230,6 +230,100 @@ let query_cmd =
        ~doc:"Index the records and answer a tree-pattern query holistically.")
     Term.(const run $ input_arg $ strategy_arg $ query_arg $ show $ io)
 
+(* --- query-batch ---------------------------------------------------------- *)
+
+let query_batch_cmd =
+  let queries_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"QUERIES"
+          ~doc:
+            "File with one XPath query per line; blank lines and lines \
+             starting with $(b,#) are skipped.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the batch (default 1 = sequential).")
+  in
+  let io =
+    Arg.(
+      value & flag
+      & info [ "io" ] ~doc:"Report summed simulated disk accesses for the batch.")
+  in
+  let ids_flag =
+    Arg.(value & flag & info [ "ids" ] ~doc:"Print matching ids per query.")
+  in
+  let run input strategy queries_file domains io ids_flag =
+    if domains < 1 then begin
+      Printf.eprintf "--domains must be at least 1\n";
+      exit 1
+    end;
+    let index =
+      if is_index_file input then Xseq.load input
+      else
+        Xseq.build ~domains
+          ~config:(config_of_strategy strategy)
+          (load_documents input)
+    in
+    let lines = String.split_on_char '\n' (read_file queries_file) in
+    let texts =
+      List.filter
+        (fun l ->
+          String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
+        (List.map String.trim lines)
+    in
+    let patterns =
+      Array.of_list
+        (List.map
+           (fun q ->
+             try Xseq.Xpath.parse q
+             with Xquery.Xpath_parser.Syntax_error { pos; msg } ->
+               Printf.eprintf "%S:%d: %s\n" q pos msg;
+               exit 1)
+           texts)
+    in
+    let stats = Xquery.Matcher.create_stats () in
+    let t0 = Unix.gettimeofday () in
+    let results, batch_io =
+      if io then
+        let results, bio = Xseq.query_batch_io ~domains ~stats index patterns in
+        (results, Some bio)
+      else (Xseq.query_batch ~domains ~stats index patterns, None)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Array.iteri
+      (fun i ids ->
+        Printf.printf "[%d] %-48s %6d matches%s\n" i (List.nth texts i)
+          (List.length ids)
+          (if ids_flag then
+             ": " ^ String.concat " " (List.map string_of_int ids)
+           else ""))
+      results;
+    Printf.printf "%d queries on %d domains in %.2f ms (%.0f queries/s)\n"
+      (Array.length patterns) domains (dt *. 1000.)
+      (if dt > 0. then float_of_int (Array.length patterns) /. dt else 0.);
+    Printf.printf "link probes: %d, candidates: %d, rejected: %d\n"
+      stats.Xquery.Matcher.probes stats.Xquery.Matcher.candidates
+      stats.Xquery.Matcher.rejected;
+    match batch_io with
+    | Some b ->
+      Printf.printf "pages touched: %d, entry accesses: %d\n"
+        b.Xseq.io_pages_touched b.Xseq.io_accesses
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "query-batch"
+       ~doc:
+         "Answer a file of queries concurrently over one shared index. \
+          Results are identical to running $(b,query) once per line, for \
+          any $(b,--domains).")
+    Term.(
+      const run $ input_arg $ strategy_arg $ queries_arg $ domains $ io
+      $ ids_flag)
+
 (* --- paths ----------------------------------------------------------------- *)
 
 let paths_cmd =
@@ -328,4 +422,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-       [ gen_cmd; index_cmd; stats_cmd; paths_cmd; sequence_cmd; query_cmd; explain_cmd ]))
+       [ gen_cmd; index_cmd; stats_cmd; paths_cmd; sequence_cmd; query_cmd;
+         query_batch_cmd; explain_cmd ]))

@@ -24,8 +24,25 @@ type t = {
   doc_ids : int array;
   doc_base : int;
   total_bytes : int;
-  multi_memo : (Path.t, bool) Hashtbl.t;
+  multi : (Path.t, bool) Hashtbl.t;
+      (* Precomputed "some document carries this path twice" flags.
+         Computed eagerly at construction (one linear scan per link) so
+         the frozen index is strictly read-only afterwards — query
+         compilation probes this table from several domains at once. *)
 }
+
+(* Link entries are in pre-order, so an entry has a same-encoding
+   descendant iff the immediately following entry falls inside its
+   range; a link is "multiple" iff any entry does. *)
+let link_has_nested l =
+  let n = Array.length l.pres in
+  let rec scan i = i + 1 < n && (l.pres.(i + 1) <= l.posts.(i) || scan (i + 1)) in
+  scan 0
+
+let multi_of_links links =
+  let multi = Hashtbl.create (Hashtbl.length links) in
+  Hashtbl.iter (fun p l -> Hashtbl.replace multi p (link_has_nested l)) links;
+  multi
 
 (* Mutable link accumulator used during the DFS. *)
 type accum = {
@@ -170,7 +187,7 @@ let of_trie trie =
     doc_ids;
     doc_base;
     total_bytes = !next_base;
-    multi_memo = Hashtbl.create 64;
+    multi = multi_of_links links;
   }
 
 let node_count t = t.n
@@ -352,23 +369,11 @@ let of_portable s =
     doc_ids = s.s_doc_ids;
     doc_base = s.s_doc_base;
     total_bytes = s.s_total_bytes;
-    multi_memo = Hashtbl.create 64;
+    multi = multi_of_links links;
   }
 
 let path_multiple t p =
-  match Hashtbl.find_opt t.links p with
-  | None -> false
-  | Some l ->
-    let n = Array.length l.pres in
-    let rec scan i = i < n && (link_same_desc l i || scan (i + 1)) in
-    (* The first nested pair, if any, involves consecutive pre-order
-       entries, so one linear scan decides it; memoise per path. *)
-    (match Hashtbl.find_opt t.multi_memo p with
-     | Some b -> b
-     | None ->
-       let b = scan 0 in
-       Hashtbl.replace t.multi_memo p b;
-       b)
+  match Hashtbl.find_opt t.multi p with Some b -> b | None -> false
 let pre_of_node t id = t.pre.(id)
 let post_of_node t id = t.post.(id)
 let path_of_node t id = t.node_paths.(id)

@@ -37,6 +37,7 @@ let intern kind s =
 let tag s = intern 'T' s
 let value s = intern 'V' s
 let char_value c = intern 'V' (String.make 1 c)
+let find_value s = Hashtbl.find_opt table ("V" ^ s)
 let is_value d = Bytes.get !kinds d = 'V'
 let name d = !names.(d)
 let equal (a : int) b = a = b

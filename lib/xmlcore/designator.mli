@@ -8,7 +8,20 @@
 
     Tags and values live in disjoint namespaces: [tag "x"] and [value "x"]
     are different designators.  Interning is global and append-only, which
-    keeps designator identity stable across every index built in a process. *)
+    keeps designator identity stable across every index built in a process.
+
+    {2 Thread-safety}
+
+    The intern table is {e not} synchronised: {!tag}, {!value} and
+    {!char_value} may mutate it and must only be called while a single
+    domain is running (parsing, index construction's sequential phases).
+    Parallel phases — [Xseq.build]'s chunked encode and
+    [Xseq.query_batch] — are arranged so that they never intern:
+    construction pre-interns every designator in a deterministic
+    sequential pass, and query instantiation uses the non-interning
+    {!find_value} lookup.  Read-only accessors ({!name}, {!is_value},
+    {!find_value}, …) are safe from any number of domains as long as no
+    interning runs concurrently.  See DESIGN.md §9. *)
 
 type t = private int
 
@@ -23,6 +36,12 @@ val char_value : char -> t
 (** [char_value c] interns a single character used by the text-sequence
     value representation (the paper's Index-Fabric-style option, where
     ["boston"] becomes [b,o,s,t,o,n]). *)
+
+val find_value : string -> t option
+(** [find_value text] is the designator previously interned by
+    {!value}/{!char_value} for [text], or [None].  A pure lookup — never
+    interns — so it is safe to call from concurrent query domains (where
+    a probed value may legitimately be absent from every document). *)
 
 val is_value : t -> bool
 (** [is_value d] is [true] iff [d] was created by {!value} or

@@ -43,11 +43,22 @@ let element_candidates ~mem test axis pp =
     List.filter (tag_matches test) (descendants ~mem pp)
 
 (* A value leaf under concrete parent [pp]: a single node (hashed) or a
-   chain of character nodes (text mode). *)
+   chain of character nodes (text mode).
+
+   Value designators are resolved with the non-interning
+   [D.find_value]: a probed value that no document contains simply has
+   no designator and yields no candidate.  This keeps query compilation
+   strictly read-only on the global intern tables, which is what makes
+   [Xseq.query_batch] safe to run on several domains at once. *)
+let find_value_child pp s =
+  match D.find_value s with
+  | None -> None
+  | Some d -> Path.find_child pp d
+
 let value_cnode ~mem ~value_mode pp test =
   match value_mode, test with
   | Encoder.Hashed, Pattern.Text s ->
-    (match Path.find_child pp (D.value s) with
+    (match find_value_child pp s with
      | Some p when mem p -> [ { path = p; kids = [] } ]
      | Some _ | None -> [])
   | Encoder.Hashed, Pattern.Text_prefix _ ->
@@ -62,7 +73,7 @@ let value_cnode ~mem ~value_mode pp test =
           | Some _ | None -> None
         else None (* prefix query: chain ends at the last character *)
       else begin
-        match Path.find_child pp (D.char_value s.[i]) with
+        match find_value_child pp (String.make 1 s.[i]) with
         | Some p when mem p ->
           if (not terminated) && i = String.length s - 1 then
             Some { path = p; kids = [] }

@@ -12,10 +12,18 @@ type stats = {
 
 let create_stats () = { probes = 0; candidates = 0; rejected = 0; matches = 0 }
 
-let no_stats = create_stats ()
+let merge_stats ~into s =
+  into.probes <- into.probes + s.probes;
+  into.candidates <- into.candidates + s.candidates;
+  into.rejected <- into.rejected + s.rejected;
+  into.matches <- into.matches + s.matches
 
-let run ?(mode = Constraint) ?pager ?(stats = no_stats) idx
-    (q : Query_seq.compiled) ~on_doc =
+let run ?(mode = Constraint) ?pager ?stats idx (q : Query_seq.compiled) ~on_doc
+    =
+  (* A fresh sink per call when the caller does not supply one: a shared
+     mutable default would be a data race once queries run on several
+     domains. *)
+  let stats = match stats with Some s -> s | None -> create_stats () in
   let qlen = Array.length q.paths in
   assert (qlen > 0);
   let links = Array.map (Labeled.link idx) q.paths in

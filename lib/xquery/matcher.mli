@@ -17,7 +17,16 @@
     verification).
 
     When a {!Xstorage.Pager} is supplied, every link-entry probe and
-    document-table read is charged to the page layout. *)
+    document-table read is charged to the page layout.
+
+    {2 Thread-safety}
+
+    The index itself is read-only and may be shared across domains, but a
+    [stats] record and a {!Xstorage.Pager.t} are single-domain mutable
+    accumulators: each concurrent worker must own a private instance and
+    the owners' results can be combined afterwards with {!merge_stats}
+    (resp. by summing the pager's per-query counters).  [Xseq.query_batch]
+    follows exactly this per-worker-then-merge discipline. *)
 
 type mode = Constraint | Naive
 
@@ -29,6 +38,11 @@ type stats = {
 }
 
 val create_stats : unit -> stats
+
+val merge_stats : into:stats -> stats -> unit
+(** [merge_stats ~into s] adds every counter of [s] into [into].  Used to
+    combine the private per-worker records of a batched run into one
+    aggregate; [s] is left unchanged. *)
 
 val run :
   ?mode:mode ->

@@ -7,6 +7,11 @@ type t = {
   freq : (Path.t, int) Hashtbl.t; (* #docs containing the path *)
   weights : (Path.t, float) Hashtbl.t;
   memo : (Path.t, float) Hashtbl.t; (* fallback p_root cache *)
+  memo_lock : Mutex.t;
+      (* [freq] and [weights] are frozen once sequencing starts, but the
+         fallback cache is written lazily from whatever domain happens to
+         price an unseen path first — during parallel encoding or batched
+         query compilation — so its accesses are serialised. *)
 }
 
 let create () =
@@ -15,6 +20,7 @@ let create () =
     freq = Hashtbl.create 1024;
     weights = Hashtbl.create 16;
     memo = Hashtbl.create 64;
+    memo_lock = Mutex.create ();
   }
 
 let add_document ?value_mode t doc =
@@ -57,11 +63,18 @@ let rec p_root t path =
     match Hashtbl.find_opt t.freq path with
     | Some n -> float_of_int n /. float_of_int (max 1 t.docs)
     | None ->
-      (match Hashtbl.find_opt t.memo path with
+      (* The cache read and write are individually locked; the recursive
+         estimate itself runs unlocked (no deadlock, and a racing domain
+         at worst recomputes the same deterministic value). *)
+      let cached =
+        Mutex.protect t.memo_lock (fun () -> Hashtbl.find_opt t.memo path)
+      in
+      (match cached with
        | Some p -> p
        | None ->
          let p = p_root t (Path.parent path) *. 0.1 in
-         Hashtbl.replace t.memo path p;
+         Mutex.protect t.memo_lock (fun () ->
+             if not (Hashtbl.mem t.memo path) then Hashtbl.replace t.memo path p);
          p)
 
 let p_parent t path =

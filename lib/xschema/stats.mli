@@ -5,7 +5,14 @@
     contain at least one node with path [C].  A parent's estimate is
     therefore never smaller than a child's, which is the property the
     simple sequencing procedure of Section 2.4 relies on (ancestors come
-    out first under the probability strategy). *)
+    out first under the probability strategy).
+
+    Thread-safety: collection ({!of_documents}, {!sample}, {!set_weight},
+    …) must run on a single domain.  Once collection is done, {!p_root},
+    {!p_parent} and {!priority} may be called from many domains
+    concurrently — the internal fallback cache for unseen paths is
+    mutex-protected, so pricing is safe during parallel encoding and
+    batched query compilation. *)
 
 type t
 

@@ -3,6 +3,8 @@ module Xpath = Xquery.Xpath_parser
 module T = Xmlcore.Xml_tree
 module Strategy = Sequencing.Strategy
 module Encoder = Sequencing.Encoder
+module Domain_pool = Xutil.Domain_pool
+module Pager = Xstorage.Pager
 
 type sequencing =
   | Depth_first of { canonical : bool }
@@ -72,11 +74,31 @@ let canonicalize config doc =
   | Breadth_first { canonical = false }
   | Random _ | Probability | Probability_weighted _ | Custom _ -> doc
 
-let build ?(config = default_config) docs =
+(* Runs [f] with the caller's pool when one is supplied, otherwise with a
+   transient pool of [domains] workers (default 1 = inline, no domains
+   spawned — the exact sequential code path). *)
+let with_pool_opt ?domains ?pool f =
+  match pool with
+  | Some p -> f p
+  | None ->
+    let domains = match domains with Some d -> d | None -> 1 in
+    Domain_pool.with_pool ~domains f
+
+let build ?domains ?pool ?(config = default_config) docs =
+  (* Deterministic phase discipline (DESIGN.md): the global designator and
+     path intern tables are unsynchronised, so every phase that can intern
+     runs sequentially first — in exactly the order the pure sequential
+     build interns — and the parallel phase below performs only read-only
+     lookups.  That makes the parallel build both safe and label-identical
+     to the sequential one. *)
+  (* Phase 1 (sequential, interns): probability statistics. *)
   let strategy, stats = resolve_strategy config docs in
-  (* Global identical-sibling flags: paths occurring twice in any
-     document must be sequenced subtree-contiguously everywhere, or query
-     sequences cannot align with data sequences (see Encoder.encode). *)
+  (* Phase 2 (sequential, interns): global identical-sibling flags, in
+     document order.  Paths occurring twice in any document must be
+     sequenced subtree-contiguously everywhere, or query sequences cannot
+     align with data sequences (see Encoder.encode).  As a side effect
+     this pass interns every designator and path the encoder will touch —
+     [multiple_paths] and [encode] expand and flatten the same tree. *)
   let ident_set = Hashtbl.create 256 in
   Array.iter
     (fun doc ->
@@ -85,24 +107,34 @@ let build ?(config = default_config) docs =
         (Encoder.multiple_paths ~value_mode:config.value_mode doc))
     docs;
   let ident p = Hashtbl.mem ident_set p in
-  let trie = Xindex.Trie.create () in
-  let total_seq_len = ref 0 in
-  let encode i doc =
-    let seq =
-      Encoder.encode ~value_mode:config.value_mode ~ident ~strategy
-        (canonicalize config doc)
-    in
-    total_seq_len := !total_seq_len + Array.length seq;
-    (seq, i)
+  (* Phase 3 (sequential, interns): canonicalisation.  Tag-sorting
+     interns whole-string value designators — new ones under the Text
+     value mode, whose encoder only interns per-character designators —
+     so it too must stay sequential and in document order. *)
+  let canon =
+    match config.sequencing with
+    | Depth_first { canonical = true } | Breadth_first { canonical = true } ->
+      Array.map (canonicalize config) docs
+    | Depth_first _ | Breadth_first _ | Random _ | Probability
+    | Probability_weighted _ | Custom _ ->
+      docs
   in
+  (* Phase 4 (parallel, read-only): encoding.  Pure per document — it
+     reads the now-frozen intern tables, ident set and statistics. *)
+  let seqs =
+    with_pool_opt ?domains ?pool (fun p ->
+        Domain_pool.map p
+          (Encoder.encode ~value_mode:config.value_mode ~ident ~strategy)
+          canon)
+  in
+  let total_seq_len = Array.fold_left (fun n s -> n + Array.length s) 0 seqs in
+  (* Phase 5 (sequential): loading.  [bulk_load] sorts the sequences, so
+     it is insertion-order-independent; the non-bulk path replays the
+     sequential insertion order exactly. *)
+  let trie = Xindex.Trie.create () in
   if config.bulk then
-    Xindex.Trie.bulk_load trie (Array.mapi encode docs)
-  else
-    Array.iteri
-      (fun i doc ->
-        let seq, _ = encode i doc in
-        Xindex.Trie.insert trie seq ~doc:i)
-      docs;
+    Xindex.Trie.bulk_load trie (Array.mapi (fun i seq -> (seq, i)) seqs)
+  else Array.iteri (fun i seq -> Xindex.Trie.insert trie seq ~doc:i) seqs;
   let labeled = Xindex.Labeled.of_trie trie in
   {
     labeled;
@@ -110,7 +142,7 @@ let build ?(config = default_config) docs =
     value_mode = config.value_mode;
     docs = (if config.keep_documents then Some docs else None);
     ndocs = Array.length docs;
-    total_seq_len = !total_seq_len;
+    total_seq_len;
     stats;
     built_config = config;
   }
@@ -130,6 +162,102 @@ let query ?pager ?stats t pattern =
 
 let query_xpath ?pager ?stats t s = query ?pager ?stats t (Xpath.parse s)
 let contains t pattern doc = List.mem doc (query t pattern)
+
+(* --- batched execution ---------------------------------------------------- *)
+
+type batch_io = {
+  io_pages_touched : int;
+  io_misses : int;
+  io_accesses : int;
+}
+
+(* Contiguous ranges of [n] items split into at most [chunks] pieces. *)
+let chunk_ranges n chunks =
+  let chunks = max 1 (min n chunks) in
+  Array.init chunks (fun c ->
+      let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+      (lo, hi - lo))
+
+let query_batch ?domains ?pool ?stats t patterns =
+  let n = Array.length patterns in
+  let chunked =
+    with_pool_opt ?domains ?pool (fun p ->
+        (* One worker-private stats record per chunk: the matcher's
+           counters are unsynchronised, so concurrent queries must never
+           share one (see Xquery.Matcher's thread-safety note). *)
+        let ranges = chunk_ranges n (4 * Domain_pool.size p) in
+        Domain_pool.run p
+          (Array.map
+             (fun (lo, len) () ->
+               let s = Xquery.Matcher.create_stats () in
+               let ids =
+                 Array.init len (fun k -> query ~stats:s t patterns.(lo + k))
+               in
+               (ids, s))
+             ranges))
+  in
+  (match stats with
+   | Some into ->
+     Array.iter
+       (fun (_, s) -> Xquery.Matcher.merge_stats ~into s)
+       chunked
+   | None -> ());
+  Array.concat (Array.to_list (Array.map fst chunked))
+
+let query_batch_io ?domains ?pool ?stats ?page_size ?(buffer_pages = 0) t
+    patterns =
+  let n = Array.length patterns in
+  let chunked =
+    with_pool_opt ?domains ?pool (fun p ->
+        (* Each worker owns a private pager; per-query counts are summed
+           afterwards.  With the default [buffer_pages = 0] every page
+           that a query touches is a miss, so the totals are independent
+           of how queries were assigned to chunks. *)
+        let ranges = chunk_ranges n (4 * Domain_pool.size p) in
+        Domain_pool.run p
+          (Array.map
+             (fun (lo, len) () ->
+               let pager = Pager.create ?page_size ~buffer_pages () in
+               let s = Xquery.Matcher.create_stats () in
+               let ids =
+                 Array.init len (fun k ->
+                     Pager.begin_query pager;
+                     let ids = query ~pager ~stats:s t patterns.(lo + k) in
+                     let io =
+                       {
+                         io_pages_touched = Pager.pages_touched pager;
+                         io_misses = Pager.misses pager;
+                         io_accesses = 0;
+                       }
+                     in
+                     (ids, io))
+               in
+               (ids, s, Pager.total_accesses pager))
+             ranges))
+  in
+  (match stats with
+   | Some into ->
+     Array.iter (fun (_, s, _) -> Xquery.Matcher.merge_stats ~into s) chunked
+   | None -> ());
+  let per_query =
+    Array.concat (Array.to_list (Array.map (fun (ids, _, _) -> ids) chunked))
+  in
+  let io =
+    Array.fold_left
+      (fun acc (qs, _, accesses) ->
+        Array.fold_left
+          (fun acc (_, io) ->
+            {
+              io_pages_touched = acc.io_pages_touched + io.io_pages_touched;
+              io_misses = acc.io_misses + io.io_misses;
+              io_accesses = acc.io_accesses;
+            })
+          { acc with io_accesses = acc.io_accesses + accesses }
+          qs)
+      { io_pages_touched = 0; io_misses = 0; io_accesses = 0 }
+      chunked
+  in
+  (Array.map fst per_query, io)
 
 type prepared = Xquery.Query_seq.compiled list
 
@@ -292,16 +420,19 @@ module Dynamic = struct
     mutable tail_len : int;
     threshold : int;
     dconfig : config;
+    ddomains : int;
   }
 
-  let create ?(config = default_config) ?(rebuild_threshold = 1024) docs =
+  let create ?(domains = 1) ?(config = default_config)
+      ?(rebuild_threshold = 1024) docs =
     let config = { config with keep_documents = true } in
     {
-      base = build ~config docs;
+      base = build ~domains ~config docs;
       tail = [];
       tail_len = 0;
       threshold = max 1 rebuild_threshold;
       dconfig = config;
+      ddomains = domains;
     }
 
   let all_docs d =
@@ -312,7 +443,7 @@ module Dynamic = struct
 
   let flush d =
     if d.tail_len > 0 then begin
-      d.base <- build ~config:d.dconfig (all_docs d);
+      d.base <- build ~domains:d.ddomains ~config:d.dconfig (all_docs d);
       d.tail <- [];
       d.tail_len <- 0
     end

@@ -52,8 +52,22 @@ val default_config : config
 
 type t
 
-val build : ?config:config -> Xmlcore.Xml_tree.t array -> t
-(** Builds an index over the documents; ids are array indices. *)
+val build :
+  ?domains:int ->
+  ?pool:Xutil.Domain_pool.t ->
+  ?config:config ->
+  Xmlcore.Xml_tree.t array ->
+  t
+(** Builds an index over the documents; ids are array indices.
+
+    With [~domains:n] (or an existing [~pool]) the per-document encoding
+    phase is chunked across [n] worker domains.  The result is {e
+    label-identical} to the sequential build for every sequencing
+    strategy: all interning phases (statistics, identical-sibling
+    pre-pass, canonicalisation) run sequentially first, the parallel
+    phase only reads, and the trie bulk load is insertion-order
+    independent — see DESIGN.md, "Parallel construction".  The default
+    [domains = 1] spawns no domains and is the sequential code path. *)
 
 val query : ?pager:Xstorage.Pager.t -> ?stats:Xquery.Matcher.stats -> t -> Pattern.t -> int list
 (** Ids of the documents containing the pattern, sorted.  Queries whose
@@ -68,6 +82,55 @@ val query_xpath : ?pager:Xstorage.Pager.t -> ?stats:Xquery.Matcher.stats -> t ->
 
 val contains : t -> Pattern.t -> int -> bool
 (** Whether one particular document matches (via the index). *)
+
+(** {1 Batched execution}
+
+    Many queries against one frozen index, executed concurrently.  The
+    labelled index is strictly read-only after construction and query
+    compilation never writes the global intern tables (value lookups use
+    {!Xmlcore.Designator.find_value}), so workers share [t] directly;
+    each worker owns a private {!Xquery.Matcher.stats} record and
+    {!Xstorage.Pager.t} which are merged once the batch completes. *)
+
+val query_batch :
+  ?domains:int ->
+  ?pool:Xutil.Domain_pool.t ->
+  ?stats:Xquery.Matcher.stats ->
+  t ->
+  Pattern.t array ->
+  int list array
+(** [query_batch ~domains t patterns] answers every pattern, with the
+    patterns chunked across [domains] worker domains (default 1 =
+    sequential; pass [~pool] to reuse a pool).  Result [i] is exactly
+    [query t patterns.(i)] — same ids, same order, same fallback
+    behaviour — for any number of domains.  When [stats] is supplied the
+    per-worker counters are {!Xquery.Matcher.merge_stats}'d into it, so
+    totals match a sequential run over the same patterns.
+    @raise Xquery.Query_seq.Unsupported_strategy for a {!Random} index
+    (the whole batch fails, like the equivalent sequential loop). *)
+
+type batch_io = {
+  io_pages_touched : int;  (** sum over queries of distinct pages touched *)
+  io_misses : int;  (** sum over queries of buffer misses *)
+  io_accesses : int;  (** entry-level accesses across the whole batch *)
+}
+
+val query_batch_io :
+  ?domains:int ->
+  ?pool:Xutil.Domain_pool.t ->
+  ?stats:Xquery.Matcher.stats ->
+  ?page_size:int ->
+  ?buffer_pages:int ->
+  t ->
+  Pattern.t array ->
+  int list array * batch_io
+(** Like {!query_batch} but charges every probe to a per-worker
+    {!Xstorage.Pager} and returns the summed I/O accounting.  With the
+    default [buffer_pages = 0] each query's page count is independent of
+    how queries were assigned to workers, so the totals are deterministic
+    across domain counts; with a warm LRU ([buffer_pages > 0]) miss
+    counts depend on the per-worker access interleaving and only
+    [io_pages_touched] stays assignment-independent. *)
 
 type prepared
 (** A compiled query: wildcard instantiation and sequence expansion done
@@ -144,9 +207,16 @@ val load : string -> t
 module Dynamic : sig
   type dyn
 
-  val create : ?config:config -> ?rebuild_threshold:int -> Xmlcore.Xml_tree.t array -> dyn
+  val create :
+    ?domains:int ->
+    ?config:config ->
+    ?rebuild_threshold:int ->
+    Xmlcore.Xml_tree.t array ->
+    dyn
   (** [rebuild_threshold] (default 1024) bounds the unindexed tail.
-      [config.keep_documents] is forced on (rebuilds need the records). *)
+      [config.keep_documents] is forced on (rebuilds need the records).
+      [domains] (default 1) is passed to every {!Xseq.build} the
+      accumulator performs, including threshold-triggered rebuilds. *)
 
   val add : dyn -> Xmlcore.Xml_tree.t -> int
   (** Inserts a record and returns its id (ids are stable across

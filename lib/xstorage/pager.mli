@@ -7,7 +7,13 @@
     ranges; every probe of an entry touches the page holding it.  The
     pager counts distinct pages per query and, through an optional LRU
     buffer pool, buffer misses — a deterministic, machine-independent
-    proxy for the paper's disk-access counts. *)
+    proxy for the paper's disk-access counts.
+
+    Thread-safety: a pager is a single-domain mutable accumulator (its
+    touched-page set, LRU pool and counters are unsynchronised).  Batched
+    multi-domain execution gives each worker a private pager and sums the
+    per-query counts afterwards; with [buffer_pages = 0] the per-query
+    numbers are independent of how queries were assigned to workers. *)
 
 type t
 

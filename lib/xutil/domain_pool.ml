@@ -1,0 +1,140 @@
+(* A fixed-size pool of worker domains fed from one mutex-protected job
+   queue.  Results and exceptions are collected into per-batch slot
+   arrays indexed by task position, so completion order never leaks into
+   the observable outcome: results come back in input order and the
+   re-raised exception is the one of the lowest-indexed failing task. *)
+
+type t = {
+  size : int;
+  jobs : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.jobs && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.jobs then (* closed *)
+    Mutex.unlock t.m
+  else begin
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.m;
+    (* Jobs are wrappers built by [run]; they never raise. *)
+    job ();
+    worker_loop t
+  end
+
+let create ?(domains = Domain.recommended_domain_count ()) () =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let t =
+    {
+      size = domains;
+      jobs = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  (* Workers close over [t] itself (not a copy), so the [closed] flag
+     they watch is the one [shutdown] sets. *)
+  if domains > 1 then
+    t.workers <-
+      List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let run t (thunks : (unit -> 'a) array) : 'a array =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else if t.size = 1 || n = 1 then Array.map (fun f -> f ()) thunks
+  else begin
+    let results : 'a option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let bm = Mutex.create () in
+    let done_cv = Condition.create () in
+    let pending = ref n in
+    let job i () =
+      (match thunks.(i) () with
+       | v -> results.(i) <- Some v
+       | exception e -> errors.(i) <- Some e);
+      Mutex.lock bm;
+      decr pending;
+      if !pending = 0 then Condition.signal done_cv;
+      Mutex.unlock bm
+    in
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push (job i) t.jobs
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    (* The batch mutex orders every worker's slot writes before the
+       caller's reads below (release on the worker's unlock, acquire on
+       the caller's lock). *)
+    Mutex.lock bm;
+    while !pending > 0 do
+      Condition.wait done_cv bm
+    done;
+    Mutex.unlock bm;
+    let first_error = Array.find_map Fun.id errors in
+    match first_error with
+    | Some e -> raise e
+    | None ->
+      Array.map
+        (function Some v -> v | None -> assert false (* all slots filled *))
+        results
+  end
+
+(* Contiguous chunk boundaries: [nchunks] ranges differing in length by
+   at most one, in input order. *)
+let chunk_ranges n nchunks =
+  let base = n / nchunks and extra = n mod nchunks in
+  Array.init nchunks (fun c ->
+      let lo = (c * base) + min c extra in
+      let len = base + (if c < extra then 1 else 0) in
+      (lo, len))
+
+let mapi ?chunks t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.size = 1 then Array.mapi f arr
+  else begin
+    let nchunks =
+      max 1 (min n (match chunks with Some c -> c | None -> 4 * t.size))
+    in
+    let ranges = chunk_ranges n nchunks in
+    let thunks =
+      Array.map
+        (fun (lo, len) () -> Array.init len (fun k -> f (lo + k) arr.(lo + k)))
+        ranges
+    in
+    Array.concat (Array.to_list (run t thunks))
+  end
+
+let map ?chunks t f arr = mapi ?chunks t (fun _ x -> f x) arr
+
+let iter ?chunks t f arr =
+  if Array.length arr > 0 then
+    ignore (mapi ?chunks t (fun _ x -> f x) arr : unit array)
+
+let shutdown t =
+  Mutex.lock t.m;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  if not was_closed then List.iter Domain.join t.workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,331 @@
+(* Determinism and oracle properties for the domain-parallel paths:
+
+   - [Xseq.build ~domains] must produce an index byte-identical (in its
+     portable form: labels, links, layout, document table) to the
+     sequential build, for every sequencing strategy;
+   - [Xseq.query_batch] must agree with the sequential [Xseq.query] and
+     with the brute-force embedding oracle under 1, 2 and 8 domains;
+   - merged per-worker matcher stats and pager totals must equal the
+     sequential totals (no lost or double-counted work).
+
+   Worker domains are shared across properties: spawning is the expensive
+   part, so the 2- and 8-domain pools are created lazily once and shut
+   down at exit. *)
+
+module Pool = Xutil.Domain_pool
+module Syn = Xdatagen.Synthetic
+module Qgen = Xdatagen.Query_gen
+
+let pool2 = lazy (Pool.create ~domains:2 ())
+let pool8 = lazy (Pool.create ~domains:8 ())
+
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun p -> if Lazy.is_val p then Pool.shutdown (Lazy.force p))
+        [ pool2; pool8 ])
+
+(* The full portable form covers pre/post labels, node paths, horizontal
+   links (entries, up-pointers, page bases) and the document table, so
+   fingerprint equality is label-and-link identity, not just equal
+   sizes. *)
+let fingerprint index =
+  Marshal.to_string (Xindex.Labeled.to_portable (Xseq.labeled index)) []
+
+(* --- parallel build = sequential build, per strategy ---------------------- *)
+
+let build_configs =
+  [
+    ("probability", Xseq.default_config);
+    ( "probability sampled",
+      { Xseq.default_config with sample_fraction = 0.4; sample_seed = 5 } );
+    ( "depth-first canonical",
+      { Xseq.default_config with sequencing = Xseq.Depth_first { canonical = true } } );
+    ( "breadth-first canonical",
+      { Xseq.default_config with
+        sequencing = Xseq.Breadth_first { canonical = true }
+      } );
+    ( "depth-first raw",
+      { Xseq.default_config with sequencing = Xseq.Depth_first { canonical = false } } );
+    ( "text mode",
+      { Xseq.default_config with value_mode = Sequencing.Encoder.Text } );
+    ( "text canonical",
+      { Xseq.default_config with
+        sequencing = Xseq.Depth_first { canonical = true };
+        value_mode = Sequencing.Encoder.Text
+      } );
+    ( "random",
+      { Xseq.default_config with sequencing = Xseq.Random 11 } );
+    ( "incremental insert",
+      { Xseq.default_config with bulk = false } );
+  ]
+
+let small_corpus seed =
+  let params = { Syn.l = 3; f = 3; a = 15; i = 30; p = 40 } in
+  Syn.dataset ~schema_seed:7 ~data_seed:seed params 25
+
+let prop_parallel_build_identical =
+  QCheck.Test.make ~name:"parallel build = sequential build (all strategies)"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let docs = small_corpus seed in
+      List.for_all
+        (fun (name, config) ->
+          let seq = Xseq.build ~config docs in
+          let par2 = Xseq.build ~pool:(Lazy.force pool2) ~config docs in
+          let par8 = Xseq.build ~pool:(Lazy.force pool8) ~config docs in
+          let fp = fingerprint seq in
+          let ok =
+            Xseq.node_count seq = Xseq.node_count par2
+            && Xseq.node_count seq = Xseq.node_count par8
+            && String.equal fp (fingerprint par2)
+            && String.equal fp (fingerprint par8)
+          in
+          if not ok then
+            QCheck.Test.fail_reportf "config %S diverges (seed %d)" name seed;
+          ok)
+        build_configs)
+
+let prop_parallel_build_identical_xmark =
+  QCheck.Test.make
+    ~name:"parallel build = sequential build (XMark-like corpora)" ~count:15
+    QCheck.(pair (int_range 0 10_000) bool)
+    (fun (seed, identical_siblings) ->
+      let docs = Xdatagen.Xmark_gen.generate ~seed ~identical_siblings 30 in
+      List.for_all
+        (fun (name, config) ->
+          let seq = Xseq.build ~config docs in
+          let par = Xseq.build ~pool:(Lazy.force pool8) ~config docs in
+          let ok =
+            Xseq.node_count seq = Xseq.node_count par
+            && String.equal (fingerprint seq) (fingerprint par)
+          in
+          if not ok then
+            QCheck.Test.fail_reportf "config %S diverges on xmark (seed %d)"
+              name seed;
+          ok)
+        [
+          ("probability", Xseq.default_config);
+          ( "depth-first canonical",
+            { Xseq.default_config with
+              sequencing = Xseq.Depth_first { canonical = true }
+            } );
+          ( "text mode",
+            { Xseq.default_config with value_mode = Sequencing.Encoder.Text } );
+        ])
+
+let prop_parallel_build_same_answers =
+  QCheck.Test.make ~name:"parallel build answers queries like sequential"
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let docs = small_corpus seed in
+      let seq = Xseq.build docs in
+      let par = Xseq.build ~domains:2 docs in
+      let opts = { Qgen.default_opts with size = 4; value_prob = 0.5 } in
+      List.for_all
+        (fun q -> Xseq.query seq q = Xseq.query par q)
+        (Qgen.generate ~seed ~opts docs 5))
+
+(* --- query_batch vs sequential query vs oracle ----------------------------- *)
+
+(* One shared ≥200-document corpus and index; properties vary the query
+   workload.  [i = 30] gives identical siblings, the regime where the
+   constraint check actually rejects candidates. *)
+let corpus =
+  lazy
+    (Syn.dataset ~schema_seed:3 ~data_seed:4
+       { Syn.l = 3; f = 3; a = 20; i = 30; p = 40 }
+       240)
+
+let corpus_index = lazy (Xseq.build (Lazy.force corpus))
+
+let workload seed =
+  let docs = Lazy.force corpus in
+  let opts =
+    {
+      Qgen.size = 4 + (seed mod 3);
+      star_prob = 0.15;
+      desc_prob = 0.2;
+      value_prob = 0.5;
+      wide = false;
+    }
+  in
+  Array.of_list (Qgen.generate ~seed ~opts docs 8)
+
+let prop_query_batch_oracle =
+  QCheck.Test.make
+    ~name:"query_batch = sequential query = oracle (1/2/8 domains)"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let docs = Lazy.force corpus in
+      let index = Lazy.force corpus_index in
+      let patterns = workload seed in
+      let sequential = Array.map (fun q -> Xseq.query index q) patterns in
+      let oracle =
+        Array.map (fun q -> Xquery.Embedding.filter q docs) patterns
+      in
+      if sequential <> oracle then
+        QCheck.Test.fail_reportf "engine disagrees with oracle (seed %d)" seed;
+      List.for_all
+        (fun run ->
+          let got = run index patterns in
+          if got <> sequential then
+            QCheck.Test.fail_reportf "batch diverges (seed %d)" seed
+          else true)
+        [
+          (fun i p -> Xseq.query_batch ~domains:1 i p);
+          (fun i p -> Xseq.query_batch ~pool:(Lazy.force pool2) i p);
+          (fun i p -> Xseq.query_batch ~pool:(Lazy.force pool8) i p);
+        ])
+
+let prop_batch_stats_totals =
+  QCheck.Test.make
+    ~name:"merged batch stats = sequential stats totals" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let index = Lazy.force corpus_index in
+      let patterns = workload seed in
+      let seq_stats = Xquery.Matcher.create_stats () in
+      Array.iter
+        (fun q -> ignore (Xseq.query ~stats:seq_stats index q))
+        patterns;
+      List.for_all
+        (fun run ->
+          let stats = Xquery.Matcher.create_stats () in
+          ignore (run ~stats index patterns : int list array);
+          stats.Xquery.Matcher.probes = seq_stats.Xquery.Matcher.probes
+          && stats.Xquery.Matcher.candidates
+             = seq_stats.Xquery.Matcher.candidates
+          && stats.Xquery.Matcher.rejected = seq_stats.Xquery.Matcher.rejected
+          && stats.Xquery.Matcher.matches = seq_stats.Xquery.Matcher.matches)
+        [
+          (fun ~stats i p -> Xseq.query_batch ~domains:1 ~stats i p);
+          (fun ~stats i p ->
+            Xseq.query_batch ~pool:(Lazy.force pool2) ~stats i p);
+          (fun ~stats i p ->
+            Xseq.query_batch ~pool:(Lazy.force pool8) ~stats i p);
+        ])
+
+let prop_batch_io_totals =
+  QCheck.Test.make
+    ~name:"batch I/O totals are domain-count independent" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let index = Lazy.force corpus_index in
+      let patterns = workload seed in
+      (* Sequential reference: one pager, per-query accounting summed by
+         hand.  [buffer_pages = 0] makes every per-query count
+         assignment-independent. *)
+      let pager = Xstorage.Pager.create () in
+      let seq_pages = ref 0 and seq_misses = ref 0 in
+      Array.iter
+        (fun q ->
+          Xstorage.Pager.begin_query pager;
+          ignore (Xseq.query ~pager index q);
+          seq_pages := !seq_pages + Xstorage.Pager.pages_touched pager;
+          seq_misses := !seq_misses + Xstorage.Pager.misses pager)
+        patterns;
+      let seq_accesses = Xstorage.Pager.total_accesses pager in
+      let results, _ = Xseq.query_batch_io ~domains:1 index patterns in
+      let sequential = Array.map (fun q -> Xseq.query index q) patterns in
+      if results <> sequential then
+        QCheck.Test.fail_reportf "query_batch_io changes answers (seed %d)"
+          seed;
+      List.for_all
+        (fun run ->
+          let _, (io : Xseq.batch_io) = run index patterns in
+          io.Xseq.io_pages_touched = !seq_pages
+          && io.Xseq.io_misses = !seq_misses
+          && io.Xseq.io_accesses = seq_accesses)
+        [
+          (fun i p -> Xseq.query_batch_io ~domains:1 i p);
+          (fun i p -> Xseq.query_batch_io ~pool:(Lazy.force pool2) i p);
+          (fun i p -> Xseq.query_batch_io ~pool:(Lazy.force pool8) i p);
+        ])
+
+(* Regression: N copies of one query run concurrently must count exactly
+   N times the single-query work — a shared mutable stats record (the old
+   [no_stats] default) or a shared pager would double-count or lose
+   updates under domains. *)
+let test_no_double_count () =
+  let index = Lazy.force corpus_index in
+  let q = (workload 77).(0) in
+  let single = Xquery.Matcher.create_stats () in
+  ignore (Xseq.query ~stats:single index q);
+  let n = 32 in
+  let stats = Xquery.Matcher.create_stats () in
+  let results =
+    Xseq.query_batch ~pool:(Lazy.force pool8) ~stats index (Array.make n q)
+  in
+  Array.iter
+    (fun ids ->
+      Alcotest.(check (list int)) "same answer" (Xseq.query index q) ids)
+    results;
+  Alcotest.(check int) "probes scale exactly"
+    (n * single.Xquery.Matcher.probes)
+    stats.Xquery.Matcher.probes;
+  Alcotest.(check int) "matches scale exactly"
+    (n * single.Xquery.Matcher.matches)
+    stats.Xquery.Matcher.matches
+
+let test_merge_stats () =
+  let a = Xquery.Matcher.create_stats () in
+  a.Xquery.Matcher.probes <- 3;
+  a.Xquery.Matcher.matches <- 1;
+  let b = Xquery.Matcher.create_stats () in
+  b.Xquery.Matcher.probes <- 4;
+  b.Xquery.Matcher.candidates <- 2;
+  Xquery.Matcher.merge_stats ~into:a b;
+  Alcotest.(check int) "probes" 7 a.Xquery.Matcher.probes;
+  Alcotest.(check int) "candidates" 2 a.Xquery.Matcher.candidates;
+  Alcotest.(check int) "matches" 1 a.Xquery.Matcher.matches;
+  Alcotest.(check int) "source unchanged" 4 b.Xquery.Matcher.probes
+
+let test_dynamic_parallel () =
+  (* A Dynamic accumulator with parallel rebuilds answers exactly like a
+     sequential one. *)
+  let docs = Lazy.force corpus in
+  let slice = Array.sub docs 0 60 in
+  let d1 = Xseq.Dynamic.create ~rebuild_threshold:16 [||] in
+  let d2 = Xseq.Dynamic.create ~domains:2 ~rebuild_threshold:16 [||] in
+  Array.iter
+    (fun doc ->
+      ignore (Xseq.Dynamic.add d1 doc);
+      ignore (Xseq.Dynamic.add d2 doc))
+    slice;
+  let opts = { Qgen.default_opts with size = 4; value_prob = 0.5 } in
+  List.iter
+    (fun q ->
+      Alcotest.(check (list int))
+        (Xquery.Pattern.to_string q)
+        (Xseq.Dynamic.query d1 q) (Xseq.Dynamic.query d2 q))
+    (Qgen.generate ~seed:21 ~opts slice 6);
+  Alcotest.(check int) "snapshot identical" (Xseq.node_count (Xseq.Dynamic.snapshot d1))
+    (Xseq.node_count (Xseq.Dynamic.snapshot d2))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "build determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_parallel_build_identical;
+          QCheck_alcotest.to_alcotest prop_parallel_build_identical_xmark;
+          QCheck_alcotest.to_alcotest prop_parallel_build_same_answers;
+        ] );
+      ( "batched queries",
+        [
+          QCheck_alcotest.to_alcotest prop_query_batch_oracle;
+          QCheck_alcotest.to_alcotest prop_batch_stats_totals;
+          QCheck_alcotest.to_alcotest prop_batch_io_totals;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "no double counting" `Quick test_no_double_count;
+          Alcotest.test_case "merge_stats" `Quick test_merge_stats;
+        ] );
+      ( "dynamic",
+        [ Alcotest.test_case "parallel rebuilds" `Quick test_dynamic_parallel ] );
+    ]

@@ -271,9 +271,19 @@ let test_random_index_rejects_queries () =
   let index =
     build ~config:{ Xseq.default_config with sequencing = Xseq.Random 3 } [ project_doc ]
   in
-  match Xseq.query_xpath index "/P/R" with
-  | _ -> Alcotest.fail "expected Unsupported_strategy"
-  | exception Xquery.Query_seq.Unsupported_strategy _ -> ()
+  (match Xseq.query_xpath index "/P/R" with
+   | _ -> Alcotest.fail "expected Unsupported_strategy"
+   | exception Xquery.Query_seq.Unsupported_strategy _ -> ());
+  (* Batched execution must reject identically — the whole batch fails
+     with the same exception a sequential loop would hit first, for any
+     number of domains. *)
+  let patterns = Array.map Xseq.Xpath.parse [| "/P/R"; "/P//L" |] in
+  List.iter
+    (fun domains ->
+      match Xseq.query_batch ~domains index patterns with
+      | _ -> Alcotest.failf "expected Unsupported_strategy (%d domains)" domains
+      | exception Xquery.Query_seq.Unsupported_strategy _ -> ())
+    [ 1; 2 ]
 
 let test_empty_corpus () =
   let index = Xseq.build [||] in

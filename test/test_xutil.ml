@@ -1,7 +1,9 @@
-(* The utility layer: growable vectors and binary searches. *)
+(* The utility layer: growable vectors, binary searches and the domain
+   pool. *)
 
 module Ivec = Xutil.Ivec
 module Bs = Xutil.Binsearch
+module Pool = Xutil.Domain_pool
 
 let test_ivec_basics () =
   let v = Ivec.create () in
@@ -67,6 +69,89 @@ let prop_bounds =
       && Xutil.Binsearch.upper_bound a ~len x = !ub
       && Xutil.Binsearch.floor_index a ~len x = !ub - 1)
 
+(* --- domain pool ----------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_pool_ordering () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          Alcotest.(check int) "size" domains (Pool.size p);
+          let thunks = Array.init 37 (fun i () -> i * i) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "run order (%d domains)" domains)
+            (Array.init 37 (fun i -> i * i))
+            (Pool.run p thunks);
+          (* several batches on the same pool *)
+          Alcotest.(check (array int))
+            "second batch"
+            (Array.init 5 (fun i -> i + 1))
+            (Pool.run p (Array.init 5 (fun i () -> i + 1)))))
+    [ 1; 2; 4 ]
+
+let test_pool_map_matches_sequential () =
+  let arr = Array.init 101 (fun i -> i - 50) in
+  let f x = (x * 3) + 1 in
+  let expect = Array.map f arr in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          Alcotest.(check (array int)) "map" expect (Pool.map p f arr);
+          Alcotest.(check (array int))
+            "map, 3 chunks" expect
+            (Pool.map ~chunks:3 p f arr);
+          Alcotest.(check (array int))
+            "mapi"
+            (Array.mapi (fun i x -> i + x) arr)
+            (Pool.mapi p (fun i x -> i + x) arr);
+          Alcotest.(check (array int)) "empty" [||] (Pool.map p f [||])))
+    [ 1; 2; 4 ]
+
+let test_pool_iter () =
+  Pool.with_pool ~domains:3 (fun p ->
+      let hits = Array.make 20 0 in
+      (* Distinct slots per element: no two domains write the same cell. *)
+      Pool.iter p (fun i -> hits.(i) <- hits.(i) + 1) (Array.init 20 Fun.id);
+      Alcotest.(check (array int)) "each exactly once" (Array.make 20 1) hits)
+
+let test_pool_exception_lowest_index () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          let thunks =
+            Array.init 16 (fun i () ->
+                if i mod 5 = 3 then raise (Boom i) else i)
+          in
+          (* Failing tasks are 3, 8, 13; the lowest index must win
+             regardless of completion order. *)
+          match Pool.run p thunks with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom i ->
+            Alcotest.(check int)
+              (Printf.sprintf "lowest failing index (%d domains)" domains)
+              3 i))
+    [ 1; 2; 4 ]
+
+let test_pool_shutdown () =
+  let p = Pool.create ~domains:2 () in
+  Alcotest.(check (array int)) "works" [| 1 |] (Pool.run p [| (fun () -> 1) |]);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "closed" (Invalid_argument "Domain_pool.run: pool is shut down")
+    (fun () -> ignore (Pool.run p [| (fun () -> 1); (fun () -> 2) |]));
+  Alcotest.check_raises "bad size" (Invalid_argument "Domain_pool.create: domains < 1")
+    (fun () -> ignore (Pool.create ~domains:0 ()))
+
+let prop_pool_map =
+  QCheck.Test.make ~name:"pool map agrees with Array.map" ~count:60
+    QCheck.(pair (list small_int) (int_range 1 4))
+    (fun (l, domains) ->
+      let arr = Array.of_list l in
+      let f x = (x * 7) mod 13 in
+      Pool.with_pool ~domains (fun p -> Pool.map p f arr = Array.map f arr))
+
 let () =
   Alcotest.run "xutil"
     [
@@ -77,4 +162,15 @@ let () =
         ] );
       ("binsearch", [ Alcotest.test_case "cases" `Quick test_binsearch ]);
       ("properties", [ QCheck_alcotest.to_alcotest prop_bounds ]);
+      ( "domain pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "map matches sequential" `Quick
+            test_pool_map_matches_sequential;
+          Alcotest.test_case "iter" `Quick test_pool_iter;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          QCheck_alcotest.to_alcotest prop_pool_map;
+        ] );
     ]
