@@ -13,9 +13,11 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Parallel build / batched-query throughput; writes BENCH_parallel.json.
+# Machine-readable benchmarks: parallel build / batched-query throughput
+# (BENCH_parallel.json) and storage-backend probe throughput
+# (BENCH_storage.json).
 bench-json:
-	dune exec bench/main.exe -- parallel
+	dune exec bench/main.exe -- parallel storage
 
 examples:
 	dune exec examples/quickstart.exe

@@ -547,6 +547,104 @@ let parallel () =
   Printf.printf "wrote BENCH_parallel.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Storage: probe throughput across physical column backends.          *)
+(* ------------------------------------------------------------------ *)
+
+let storage () =
+  header
+    "Storage: heap arrays vs columnar flat buffers vs disk pages\n\
+     one index, three physical backings, identical answers required \
+     (see BENCH_storage.json)";
+  let n = n_scaled 8_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  let index = Xseq.build docs in
+  let queries =
+    Array.of_list
+      (queries_of_length ~value_prob:0.5 docs ~qlen:4 ~count:(n_scaled 300)
+         ~seed:31)
+  in
+  let tmp = Filename.temp_file "xseq_storage" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Xseq.save index tmp;
+      let paged = Xseq.load ~mode:Xstorage.Store.Paged ~pool_pages:64 tmp in
+      let file_bytes =
+        match Xseq.backing_store paged with
+        | Some s -> Xstorage.Store.file_bytes s
+        | None -> 0
+      in
+      (* All variants run the very same compiled pipeline; only the
+         physical column backing differs. *)
+      let variants =
+        [
+          ( "heap",
+            Xindex.Labeled.remap ~backend:Xindex.Labeled.Heap_arrays
+              (Xseq.labeled index),
+            Xseq.strategy index, Xseq.value_mode index, None );
+          ( "columnar", Xseq.labeled index, Xseq.strategy index,
+            Xseq.value_mode index, None );
+          ( "paged", Xseq.labeled paged, Xseq.strategy paged,
+            Xseq.value_mode paged, Xseq.backing_store paged );
+        ]
+      in
+      Printf.printf "(%d records, %d queries, snapshot %d bytes)\n" n
+        (Array.length queries) file_bytes;
+      Printf.printf "%10s %12s %12s %14s %12s %12s\n" "backend" "batch (ms)"
+        "probes" "probes/s" "page reads" "pool hits";
+      let reference = ref None in
+      let rows =
+        List.map
+          (fun (name, labeled, strategy, value_mode, store) ->
+            let stats = Xquery.Matcher.create_stats () in
+            let answers, t =
+              time (fun () ->
+                  Array.map
+                    (fun q ->
+                      Xquery.Engine.query ~stats ~strategy ~value_mode labeled
+                        q)
+                    queries)
+            in
+            (match !reference with
+             | None -> reference := Some answers
+             | Some r ->
+               if answers <> r then
+                 Printf.printf "!! backend %s diverged from heap answers\n"
+                   name);
+            let probes = stats.Xquery.Matcher.probes in
+            let pps = if t > 0. then float_of_int probes /. t else 0. in
+            let reads, hits =
+              match store with
+              | Some s ->
+                (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
+              | None -> (0, 0)
+            in
+            Printf.printf "%10s %12.1f %12d %14.0f %12d %12d\n%!" name (ms t)
+              probes pps reads hits;
+            (name, t, probes, pps, reads, hits))
+          variants
+      in
+      let oc = open_out "BENCH_storage.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Printf.fprintf oc
+            "{\n  \"records\": %d,\n  \"queries\": %d,\n  \"snapshot_bytes\": \
+             %d,\n  \"runs\": [\n"
+            n (Array.length queries) file_bytes;
+          List.iteri
+            (fun i (name, t, probes, pps, reads, hits) ->
+              Printf.fprintf oc
+                "    {\"backend\": %S, \"batch_ms\": %.2f, \"probes\": %d, \
+                 \"probes_per_s\": %.0f, \"page_reads\": %d, \"pool_hits\": \
+                 %d}%s\n"
+                name (ms t) probes pps reads hits
+                (if i = List.length rows - 1 then "" else ","))
+            rows;
+          Printf.fprintf oc "  ]\n}\n");
+      Printf.printf "wrote BENCH_storage.json\n%!")
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -682,6 +780,7 @@ let experiments =
     ("ablation-bulk", ablation_bulk);
     ("ablation-valuemode", ablation_valuemode);
     ("parallel", parallel);
+    ("storage", storage);
     ("verify", verify);
     ("micro", micro);
   ]

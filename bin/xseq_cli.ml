@@ -14,9 +14,10 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* An input is either a saved index (magic prefix) or an XML record file. *)
+(* An input is either a saved index (columnar store magic) or an XML
+   record file. *)
 let is_index_file path =
-  let magic = "xseq-index-v1" in
+  let magic = "xseqcol1" in
   match open_in_bin path with
   | ic ->
     let ok =
@@ -198,8 +199,28 @@ let query_cmd =
       value & flag
       & info [ "io" ] ~doc:"Report simulated disk accesses for the query.")
   in
-  let run input strategy q show io =
-    let index = load_or_build input (config_of_strategy strategy) in
+  let paged =
+    Arg.(
+      value & flag
+      & info [ "paged" ]
+          ~doc:
+            "When FILE is a saved index, leave its columns on disk and \
+             answer through the buffer pool; reports real page reads.")
+  in
+  let run input strategy q show io paged =
+    let index =
+      if is_index_file input then
+        Xseq.load
+          ~mode:(if paged then Xstorage.Store.Paged else Xstorage.Store.Resident)
+          input
+      else begin
+        if paged then begin
+          Printf.eprintf "--paged requires a saved index file\n";
+          exit 1
+        end;
+        Xseq.build ~config:(config_of_strategy strategy) (load_documents input)
+      end
+    in
     let pattern =
       try Xseq.Xpath.parse q
       with Xquery.Xpath_parser.Syntax_error { pos; msg } ->
@@ -215,6 +236,12 @@ let query_cmd =
       (match pager with
        | Some p -> Printf.sprintf ", %d disk accesses" (Xstorage.Pager.pages_touched p)
        | None -> "");
+    (match (paged, Xseq.backing_store index) with
+     | true, Some store ->
+       Printf.printf "buffer pool: %d page reads, %d hits\n"
+         (Xstorage.Store.page_reads store)
+         (Xstorage.Store.page_hits store)
+     | _ -> ());
     List.iteri
       (fun k id ->
         if k < show then
@@ -228,7 +255,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Index the records and answer a tree-pattern query holistically.")
-    Term.(const run $ input_arg $ strategy_arg $ query_arg $ show $ io)
+    Term.(const run $ input_arg $ strategy_arg $ query_arg $ show $ io $ paged)
 
 (* --- query-batch ---------------------------------------------------------- *)
 
@@ -392,6 +419,53 @@ let explain_cmd =
        ~doc:"Show how a query is instantiated, sequenced and matched.")
     Term.(const run $ input_arg $ strategy_arg $ query_arg)
 
+(* --- info (on-disk snapshot TOC) ----------------------------------------- *)
+
+let info_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SNAPSHOT"
+          ~doc:"A saved index written by $(b,xseq index) (xseqcol1 format).")
+  in
+  let run input =
+    if not (is_index_file input) then begin
+      Printf.eprintf "%s: not an xseq index snapshot (bad magic)\n" input;
+      exit 1
+    end;
+    let module Store = Xstorage.Store in
+    let store = Store.open_file input in
+    (* Counts straight from the regions — no document re-interning. *)
+    let xmeta = Store.to_array (Store.ints store "xseq_meta") in
+    let imeta = Store.to_array (Store.ints store "meta") in
+    Printf.printf "file:            %s\n" input;
+    Printf.printf "format:          xseqcol1 v1, %d-byte pages, %d bytes\n"
+      (Store.page_size store) (Store.file_bytes store);
+    Printf.printf "records:         %d\n" xmeta.(8);
+    Printf.printf "trie nodes:      %d\n" imeta.(0);
+    Printf.printf "distinct paths:  %d\n"
+      (Store.length (Store.ints store "link_off"));
+    Printf.printf "doc entries:     %d\n"
+      (Store.length (Store.ints store "doc_pre"));
+    Printf.printf "query layout:    %d bytes (links + doc table, simulated)\n"
+      imeta.(2);
+    Printf.printf "\n%-16s %-5s %12s %12s %8s %12s\n" "region" "kind"
+      "elements" "bytes" "pages" "offset";
+    List.iter
+      (fun r ->
+        Printf.printf "%-16s %-5s %12d %12d %8d %12d\n" r.Store.r_name
+          (match r.Store.r_kind with `Ints -> "ints" | `Blob -> "blob")
+          r.Store.r_count r.Store.r_bytes r.Store.r_pages r.Store.r_offset)
+      (Store.regions store);
+    Store.close store
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Print a saved index's on-disk table of contents: every region \
+             with its element count, byte size, page count and file offset.")
+    Term.(const run $ input)
+
 (* --- index (build + save) ------------------------------------------------ *)
 
 let index_cmd =
@@ -422,5 +496,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-       [ gen_cmd; index_cmd; stats_cmd; paths_cmd; sequence_cmd; query_cmd;
-         query_batch_cmd; explain_cmd ]))
+       [ gen_cmd; index_cmd; info_cmd; stats_cmd; paths_cmd; sequence_cmd;
+         query_cmd; query_batch_cmd; explain_cmd ]))

@@ -12,9 +12,21 @@
     same-encoding ancestor ([up]); this is what makes the sibling-cover /
     forward-prefix checks of Section 4.2 O(log) per candidate.
 
+    {2 Columnar representation}
+
+    The index is stored as flat columns (structure of arrays): per-node
+    label columns, the concatenated link-entry columns ([l_pre] /
+    [l_post] / [l_up] / [l_node], slot-major in deterministic path
+    order), the sorted document table, and a small in-memory link
+    directory of offsets into them.  Each column is an
+    {!Xstorage.Store.column}, so one view serves three physical
+    representations: heap [int array]s (the original pointer-rich
+    backend, kept for A/B comparison), unboxed flat buffers, and pages
+    of an open snapshot file read through the buffer pool.
+
     For I/O accounting, links and the document table are laid out on a
     {!Xstorage.Pager}-compatible byte layout (8-byte entries, page-aligned
-    regions). *)
+    regions); the layout math is identical across backends. *)
 
 module Path = Sequencing.Path
 
@@ -23,9 +35,19 @@ type t
 type link
 (** A horizontal path link. *)
 
-val of_trie : Trie.t -> t
+type backend =
+  | Heap_arrays  (** plain OCaml [int array] columns (the seed layout) *)
+  | Columnar  (** unboxed flat buffers (structure of arrays) *)
+
+val of_trie : ?backend:backend -> Trie.t -> t
 (** Labels the trie (children visited in ascending path-id order, so the
-    labelling is deterministic) and builds links and the document table. *)
+    labelling is deterministic) and builds links and the document table.
+    [backend] (default [Columnar]) picks the physical column
+    representation; query answers are identical either way. *)
+
+val remap : ?backend:backend -> t -> t
+(** The same index over different physical columns (default [Columnar]).
+    Used by the storage benchmarks and backend-equivalence tests. *)
 
 val node_count : t -> int
 (** Trie nodes excluding the virtual root (the paper's [N]). *)
@@ -87,6 +109,21 @@ val doc_span : t -> lo:int -> hi:int -> int * int
 (** [(first, last)] inclusive positions in the document table covered by
     the serial range — used for I/O accounting of the result fetch. *)
 
+val doc_len : t -> int
+(** Entries in the document table. *)
+
+val doc_pre_at : t -> int -> int
+(** End-node serial of document-table entry [i] (sorted ascending). *)
+
+val doc_id_at : t -> int -> int
+(** Document id of document-table entry [i]. *)
+
+val docs_between : t -> first:int -> last:int -> f:(int -> unit) -> unit
+(** Applies [f] to the doc id of every table position in
+    [[first, last]] — the iteration half of {!docs_in_range}, for
+    callers that located the span themselves (e.g. with instrumented
+    probes). *)
+
 val doc_table_base : t -> int
 (** Byte offset of the document table region. *)
 
@@ -100,15 +137,47 @@ val path_of_node : t -> int -> Path.t
 val distinct_paths : t -> int
 (** Number of horizontal links. *)
 
+(** {1 Columnar snapshots}
+
+    The index serialises to an {!Xstorage.Store} as a bag of named
+    regions (label columns, link columns, link directory, document
+    table, and a spelled-out path dictionary), so a snapshot written by
+    {!Xstorage.Store.write} re-interns cleanly in any process — and, in
+    paged mode, answers queries straight off disk. *)
+
+val add_to_store : t -> Xstorage.Store.t -> unit
+(** Registers every index region with the store.  Region names are
+    reserved; combine with other regions freely as long as names do not
+    clash. *)
+
+val of_store : Xstorage.Store.t -> t
+(** Rebuilds the index view over the store's regions, re-interning the
+    path dictionary into the current process.  Columns keep whatever
+    backing the store has — resident buffers or disk pages behind the
+    buffer pool — so opening a snapshot in paged mode yields an index
+    that reads pages on demand.
+
+    @raise Invalid_argument naming the inconsistency if the regions are
+    missing, mis-sized, or internally contradictory.  Validation covers
+    every cross-region invariant (sizes, dictionary parent order, id
+    ranges, link-slice bounds), so a structurally valid file that passed
+    checksums cannot produce out-of-bounds reads here. *)
+
+val backing_store : t -> Xstorage.Store.t option
+(** The open snapshot behind an index built by {!of_store}, for
+    buffer-pool statistics; [None] for in-memory indexes. *)
+
 type portable
 (** A process-independent snapshot of the index: interned path ids are
     replaced by a self-contained path dictionary, so the snapshot can be
-    marshalled to disk and re-interned by {!of_portable} in a different
-    process (where designator/path ids differ). *)
+    marshalled and re-interned by {!of_portable} in a different process
+    (where designator/path ids differ).  Superseded by the columnar
+    snapshot for persistence; kept for structural fingerprinting in
+    tests and benchmarks. *)
 
 val to_portable : t -> portable
 
-val of_portable : portable -> t
+val of_portable : ?backend:backend -> portable -> t
 (** Re-interns every path of the snapshot into the current process's
     tables and rebuilds the index.  [of_portable (to_portable t)] answers
     every query exactly as [t] does. *)

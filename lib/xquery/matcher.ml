@@ -66,6 +66,40 @@ let run ?(mode = Constraint) ?pager ?stats idx (q : Query_seq.compiled) ~on_doc
       in
       climb (upper_bound l x - 1)
     in
+    (* The identical-sibling test reads the entry and its successor — both
+       are charged, exactly like any other probe. *)
+    let same_desc l i =
+      touch_entry l i;
+      if i + 1 < Labeled.link_length l then touch_entry l (i + 1);
+      Labeled.link_same_desc l i
+    in
+    (* The document table is located by binary search too, so its probes
+       hit the pager entry by entry like link probes do. *)
+    let touch_doc i =
+      stats.probes <- stats.probes + 1;
+      match pager with
+      | Some p ->
+        Pager.touch p (Labeled.doc_table_base idx + (i * Labeled.entry_bytes))
+      | None -> ()
+    in
+    let doc_lower x =
+      let lo = ref 0 and hi = ref (Labeled.doc_len idx) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        touch_doc mid;
+        if Labeled.doc_pre_at idx mid < x then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let doc_upper x =
+      let lo = ref 0 and hi = ref (Labeled.doc_len idx) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        touch_doc mid;
+        if Labeled.doc_pre_at idx mid <= x then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
     let mpos = Array.make qlen (-1) in
     let rec search i lo hi =
       if i = qlen then begin
@@ -73,15 +107,19 @@ let run ?(mode = Constraint) ?pager ?stats idx (q : Query_seq.compiled) ~on_doc
         (* Documents whose sequence ends under the last matched node:
            serial range [lo - 1, hi]. *)
         let dlo = lo - 1 and dhi = hi in
-        (match pager with
-         | Some p ->
-           let first, last = Labeled.doc_span idx ~lo:dlo ~hi:dhi in
-           if first <= last then
+        let first = doc_lower dlo in
+        let last = doc_upper dhi - 1 in
+        if first <= last then begin
+          (match pager with
+           | Some p ->
+             (* Result fetch scans the located span: half-open byte range
+                over entries [first, last]. *)
              Pager.touch_range p
                (Labeled.doc_table_base idx + (first * Labeled.entry_bytes))
-               (Labeled.doc_table_base idx + (last * Labeled.entry_bytes))
-         | None -> ());
-        Labeled.docs_in_range idx ~lo:dlo ~hi:dhi ~f:on_doc
+               (Labeled.doc_table_base idx + ((last + 1) * Labeled.entry_bytes))
+           | None -> ());
+          Labeled.docs_between idx ~first ~last ~f:on_doc
+        end
       end
       else begin
         let l = links.(i) in
@@ -105,7 +143,7 @@ let run ?(mode = Constraint) ?pager ?stats idx (q : Query_seq.compiled) ~on_doc
                 let pl = links.(pi) and ppos = mpos.(pi) in
                 (* Only identical siblings can break the forward-prefix
                    relation (Algorithm 1's ins set). *)
-                (not (Labeled.link_same_desc pl ppos))
+                (not (same_desc pl ppos))
                 || nearest pl pre = ppos
             in
             if ok then begin

@@ -295,35 +295,81 @@ let stats t = t.stats
 
 (* --- persistence ---------------------------------------------------------- *)
 
-type saved_sequencing =
-  | S_depth_first of bool
-  | S_breadth_first of bool
-  | S_random of int
-  | S_probability
+module Store = Xstorage.Store
 
-(* Marshal-safe document form: designators are stored as strings, never
-   as process-specific interned ids. *)
-type ptree = P_elt of string * ptree list | P_val of string
+(* Snapshots are columnar {!Xstorage.Store} files: the labelled index as
+   flat int-column regions (see Xindex.Labeled.add_to_store), the
+   original records as a structural blob, and a small [xseq_meta] region
+   recording how the strategy was derived.  Nothing is marshalled — every
+   byte is decoded through bounds-checked readers, so a foreign or
+   damaged file is rejected with a diagnostic, never interpreted. *)
 
-let rec to_ptree = function
-  | T.Element (d, cs) -> P_elt (Xmlcore.Designator.name d, List.map to_ptree cs)
-  | T.Value s -> P_val s
+let snapshot_version = 1
 
-let rec of_ptree = function
-  | P_elt (name, cs) -> T.Element (Xmlcore.Designator.tag name, List.map of_ptree cs)
-  | P_val s -> T.Value s
+(* Documents serialise as a pre-order walk with explicit child counts:
+   u8 kind (0 = element, 1 = value), u32 LE name/text length, bytes, and
+   for elements a u32 LE child count.  Designators are stored as their
+   source strings, never as process-specific interned ids. *)
+let encode_docs docs =
+  let b = Buffer.create 4096 in
+  let add_str s =
+    Buffer.add_int32_le b (Int32.of_int (String.length s));
+    Buffer.add_string b s
+  in
+  let rec node = function
+    | T.Element (d, cs) ->
+      Buffer.add_uint8 b 0;
+      add_str (Xmlcore.Designator.name d);
+      Buffer.add_int32_le b (Int32.of_int (List.length cs));
+      List.iter node cs
+    | T.Value s ->
+      Buffer.add_uint8 b 1;
+      add_str s
+  in
+  Array.iter node docs;
+  Buffer.contents b
 
-type saved = {
-  sequencing : saved_sequencing;
-  s_value_mode : Encoder.value_mode;
-  sample_fraction : float;
-  sample_seed : int;
-  saved_docs : ptree array;
-  portable : Xindex.Labeled.portable;
-  s_total_seq_len : int;
-}
-
-let file_magic = "xseq-index-v1"
+let decode_docs blob ndocs =
+  let corrupt () = invalid_arg "Xseq.load: corrupt document region" in
+  let len = String.length blob in
+  if ndocs < 0 || ndocs > len then corrupt ();
+  let pos = ref 0 in
+  let u8 () =
+    if !pos >= len then corrupt ();
+    let v = Char.code blob.[!pos] in
+    incr pos;
+    v
+  in
+  let u32 () =
+    if !pos + 4 > len then corrupt ();
+    let v = Int32.to_int (String.get_int32_le blob !pos) in
+    pos := !pos + 4;
+    if v < 0 || v > len then corrupt ();
+    v
+  in
+  let str () =
+    let n = u32 () in
+    if !pos + n > len then corrupt ();
+    let s = String.sub blob !pos n in
+    pos := !pos + n;
+    s
+  in
+  let rec node () =
+    match u8 () with
+    | 0 ->
+      let name = str () in
+      let n = u32 () in
+      T.Element (Xmlcore.Designator.tag name, children n [])
+    | 1 -> T.Value (str ())
+    | _ -> corrupt ()
+  and children n acc =
+    (* Every child consumes at least one byte, so a lying count runs out
+       of input and fails the bounds checks above. *)
+    if n = 0 then List.rev acc else children (n - 1) (node () :: acc)
+  in
+  let docs = Array.init ndocs (fun _ -> node ()) in
+  if !pos <> len then corrupt ();
+  docs
 
 let save t path =
   let docs =
@@ -332,70 +378,82 @@ let save t path =
     | None ->
       invalid_arg "Xseq.save: index was built with keep_documents = false"
   in
-  let sequencing =
-    (* Only strategies that can be deterministically recomputed from the
-       records survive a round trip. *)
+  (* Only strategies that can be deterministically recomputed from the
+     records survive a round trip. *)
+  let seq_tag, seq_arg =
     match t.built_config.sequencing with
-    | Depth_first { canonical } -> S_depth_first canonical
-    | Breadth_first { canonical } -> S_breadth_first canonical
-    | Random seed -> S_random seed
-    | Probability -> S_probability
+    | Depth_first { canonical } -> (0, Bool.to_int canonical)
+    | Breadth_first { canonical } -> (1, Bool.to_int canonical)
+    | Random seed -> (2, seed)
+    | Probability -> (3, 0)
     | Probability_weighted _ | Custom _ ->
       invalid_arg "Xseq.save: custom strategies cannot be persisted"
   in
-  let saved =
-    {
-      sequencing;
-      s_value_mode = t.value_mode;
-      sample_fraction = t.built_config.sample_fraction;
-      sample_seed = t.built_config.sample_seed;
-      saved_docs = Array.map to_ptree docs;
-      portable = Xindex.Labeled.to_portable t.labeled;
-      s_total_seq_len = t.total_seq_len;
-    }
-  in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      (* The magic prefix is checked *before* unmarshalling, so a foreign
-         file is rejected without ever interpreting untrusted bytes. *)
-      output_string oc file_magic;
-      Marshal.to_channel oc saved [])
+  let vm = match t.value_mode with Encoder.Hashed -> 0 | Encoder.Text -> 1 in
+  (* The sampling fraction must survive bit-exactly, or the reloaded
+     probability model could diverge from the stored labels. *)
+  let bits = Int64.bits_of_float t.built_config.sample_fraction in
+  let frac_lo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+  let frac_hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+  let store = Store.memory () in
+  Store.add_ints store "xseq_meta"
+    (Store.heap
+       [|
+         snapshot_version;
+         seq_tag;
+         seq_arg;
+         vm;
+         frac_lo;
+         frac_hi;
+         t.built_config.sample_seed;
+         t.total_seq_len;
+         t.ndocs;
+       |]);
+  Store.add_blob store "docs" (encode_docs docs);
+  Xindex.Labeled.add_to_store t.labeled store;
+  Store.write store path
 
-let load path =
-  let ic = open_in_bin path in
-  let saved : saved =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let prefix =
-          try really_input_string ic (String.length file_magic)
-          with End_of_file -> ""
-        in
-        if prefix <> file_magic then
-          invalid_arg "Xseq.load: not an xseq index file";
-        match Marshal.from_channel ic with
-        | s -> s
-        | exception (Failure _ | End_of_file) ->
-          invalid_arg "Xseq.load: corrupt index file")
-  in
-  let docs = Array.map of_ptree saved.saved_docs in
-  let labeled = Xindex.Labeled.of_portable saved.portable in
+let load ?mode ?pool_pages ?verify path =
+  let store = Store.open_file ?mode ?pool_pages ?verify path in
+  let bad msg = invalid_arg ("Xseq.load: " ^ msg) in
+  if not (Store.mem store "xseq_meta" && Store.mem store "docs") then
+    bad "not an xseq index snapshot (missing xseq_meta/docs regions)";
+  let meta = Store.to_array (Store.ints store "xseq_meta") in
+  if Array.length meta <> 9 then bad "malformed xseq_meta region";
+  if meta.(0) <> snapshot_version then
+    bad (Printf.sprintf "unsupported snapshot version %d" meta.(0));
   let sequencing =
-    match saved.sequencing with
-    | S_depth_first canonical -> Depth_first { canonical }
-    | S_breadth_first canonical -> Breadth_first { canonical }
-    | S_random seed -> Random seed
-    | S_probability -> Probability
+    match (meta.(1), meta.(2)) with
+    | 0, c -> Depth_first { canonical = c <> 0 }
+    | 1, c -> Breadth_first { canonical = c <> 0 }
+    | 2, seed -> Random seed
+    | 3, _ -> Probability
+    | _ -> bad "unknown sequencing strategy tag"
   in
+  let value_mode =
+    match meta.(3) with
+    | 0 -> Encoder.Hashed
+    | 1 -> Encoder.Text
+    | _ -> bad "unknown value mode"
+  in
+  let sample_fraction =
+    Int64.float_of_bits
+      (Int64.logor
+         (Int64.logand (Int64.of_int meta.(4)) 0xFFFFFFFFL)
+         (Int64.shift_left (Int64.of_int meta.(5)) 32))
+  in
+  (* Documents are decoded first: record parsing interns designators in
+     exactly the order [build] would, before the index dictionary
+     re-interns the paths. *)
+  let docs = decode_docs (Store.blob store "docs") meta.(8) in
+  let labeled = Xindex.Labeled.of_store store in
   let config =
     {
       default_config with
       sequencing;
-      value_mode = saved.s_value_mode;
-      sample_fraction = saved.sample_fraction;
-      sample_seed = saved.sample_seed;
+      value_mode;
+      sample_fraction;
+      sample_seed = meta.(6);
     }
   in
   (* Recompute the strategy exactly as [build] derived it. *)
@@ -403,13 +461,15 @@ let load path =
   {
     labeled;
     strategy;
-    value_mode = saved.s_value_mode;
+    value_mode;
     docs = Some docs;
     ndocs = Array.length docs;
-    total_seq_len = saved.s_total_seq_len;
+    total_seq_len = meta.(7);
     stats;
     built_config = config;
   }
+
+let backing_store t = Xindex.Labeled.backing_store t.labeled
 
 (* --- incremental indexing -------------------------------------------------- *)
 

@@ -179,22 +179,39 @@ val stats : t -> Xschema.Stats.t option
 
 (** {1 Persistence}
 
-    An index can be saved to disk and reloaded in another process.  The
-    snapshot stores the labelled trie in a process-independent form
-    (interned ids are re-created on load) together with the original
-    records, from which the probability model is deterministically
-    recomputed. *)
+    An index saves to a columnar {!Xstorage.Store} snapshot: the labelled
+    trie as flat int-column regions, the original records as a structural
+    blob, and a small metadata region recording how the probability model
+    was derived (so the strategy is deterministically recomputed on
+    load).  Nothing is marshalled — every region is checksummed and
+    decoded through bounds-checked readers, so a corrupt, truncated or
+    foreign file is rejected with a diagnostic naming the failure.
+
+    A snapshot opened with [~mode:Paged] answers queries straight off
+    disk: index columns stay in the file and are read page by page
+    through the store's buffer pool. *)
 
 val save : t -> string -> unit
-(** [save t path] writes the index to [path].
+(** [save t path] writes the index to [path] in the
+    {!Xstorage.Store} file format.
     @raise Invalid_argument for indexes built with [keep_documents =
     false] or with a [Custom]/[Probability_weighted] strategy (closures
     cannot be persisted). *)
 
-val load : string -> t
+val load :
+  ?mode:Xstorage.Store.mode -> ?pool_pages:int -> ?verify:bool -> string -> t
 (** [load path] restores a saved index; queries answer exactly as on the
-    original.  @raise Invalid_argument on a corrupt or incompatible
-    file. *)
+    original.  [mode] (default [Resident]) materialises every column in
+    memory; [Paged] leaves the index columns on disk behind a buffer pool
+    of [pool_pages] pages (default 256).  [verify] (default [true])
+    checks every region checksum up front.
+    @raise Invalid_argument on a corrupt or incompatible file, naming
+    the failing part (magic, version, checksum, region). *)
+
+val backing_store : t -> Xstorage.Store.t option
+(** The open snapshot behind an index restored with [~mode:Paged] —
+    exposes buffer-pool statistics ({!Xstorage.Store.page_reads} /
+    {!Xstorage.Store.page_hits}); [None] for in-memory indexes. *)
 
 (** {1 Incremental indexing}
 

@@ -4,13 +4,25 @@ module Lru = struct
 
   type t = {
     capacity : int;
+    on_evict : int -> unit;
     table : (int, node) Hashtbl.t;
     mutable head : node option; (* most recently used *)
     mutable tail : node option; (* least recently used *)
     mutable size : int;
   }
 
-  let create capacity = { capacity; table = Hashtbl.create 64; head = None; tail = None; size = 0 }
+  let create ?(on_evict = fun _ -> ()) capacity =
+    {
+      capacity;
+      on_evict;
+      table = Hashtbl.create 64;
+      head = None;
+      tail = None;
+      size = 0;
+    }
+
+  let capacity t = t.capacity
+  let size t = t.size
 
   let unlink t n =
     (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -38,7 +50,8 @@ module Lru = struct
           | Some victim ->
             unlink t victim;
             Hashtbl.remove t.table victim.page;
-            t.size <- t.size - 1
+            t.size <- t.size - 1;
+            t.on_evict victim.page
           | None -> ()
         end;
         let n = { page; prev = None; next = None } in
@@ -47,6 +60,8 @@ module Lru = struct
         t.size <- t.size + 1
       end;
       false
+
+  let mem t page = Hashtbl.mem t.table page
 
   let clear t =
     Hashtbl.reset t.table;
@@ -88,15 +103,20 @@ let touch t offset =
   let new_in_query = not (Hashtbl.mem t.touched page) in
   if new_in_query then Hashtbl.replace t.touched page ();
   let resident =
-    if t.lru.Lru.capacity > 0 then Lru.access t.lru page else not new_in_query
+    if Lru.capacity t.lru > 0 then Lru.access t.lru page else not new_in_query
   in
   if not resident then t.query_misses <- t.query_misses + 1
 
+(* Half-open byte range [lo, hi): the last page touched is the one holding
+   byte [hi - 1].  An empty range touches nothing.  This matches
+   [pages_touched_between]'s convention exactly (see pager.mli). *)
 let touch_range t lo hi =
-  let first = lo / t.page_size and last = hi / t.page_size in
-  for page = first to last do
-    touch t (page * t.page_size)
-  done
+  if hi > lo then begin
+    let first = lo / t.page_size and last = (hi - 1) / t.page_size in
+    for page = first to last do
+      touch t (page * t.page_size)
+    done
+  end
 
 let begin_query t =
   Hashtbl.reset t.touched;
@@ -105,11 +125,15 @@ let begin_query t =
 let pages_touched t = Hashtbl.length t.touched
 
 let pages_touched_between t ~lo ~hi =
-  let first = lo / t.page_size in
-  let last = (hi - 1) / t.page_size in
-  Hashtbl.fold
-    (fun page () acc -> if page >= first && page <= last then acc + 1 else acc)
-    t.touched 0
+  if hi <= lo then 0
+  else begin
+    let first = lo / t.page_size in
+    let last = (hi - 1) / t.page_size in
+    Hashtbl.fold
+      (fun page () acc -> if page >= first && page <= last then acc + 1 else acc)
+      t.touched 0
+  end
+
 let misses t = t.query_misses
 let total_accesses t = t.accesses
 let reset_pool t = Lru.clear t.lru

@@ -9,11 +9,48 @@
     buffer pool, buffer misses — a deterministic, machine-independent
     proxy for the paper's disk-access counts.
 
+    {2 Range convention}
+
+    Every byte-range argument in this interface is {e half-open}:
+    [lo, hi) covers bytes [lo] to [hi - 1] inclusive, so [hi = lo] is the
+    empty range.  {!touch_range} and {!pages_touched_between} share this
+    convention — a range covering exactly one page ends at the next page
+    boundary, never on it.
+
     Thread-safety: a pager is a single-domain mutable accumulator (its
     touched-page set, LRU pool and counters are unsynchronised).  Batched
     multi-domain execution gives each worker a private pager and sums the
     per-query counts afterwards; with [buffer_pages = 0] the per-query
     numbers are independent of how queries were assigned to workers. *)
+
+(** LRU eviction policy over integer page ids.  This is the recency
+    machinery shared by the pager's simulated buffer pool and the real
+    buffer pool of {!Store}'s file backend: the LRU tracks {e which} pages
+    are resident, an optional [on_evict] callback lets the owner drop the
+    evicted page's buffer. *)
+module Lru : sig
+  type t
+
+  val create : ?on_evict:(int -> unit) -> int -> t
+  (** [create ~on_evict capacity] makes an empty pool.  [capacity <= 0]
+      disables residency tracking entirely ({!access} always returns
+      [false]).  [on_evict page] fires exactly when [page] leaves the pool
+      to make room for another. *)
+
+  val access : t -> int -> bool
+  (** Records an access; returns [true] iff the page was already resident.
+      A non-resident page is inserted (evicting the least recently used
+      page when at capacity). *)
+
+  val mem : t -> int -> bool
+  (** Whether a page is currently resident (no recency update). *)
+
+  val capacity : t -> int
+  val size : t -> int
+
+  val clear : t -> unit
+  (** Empties the pool {e without} firing [on_evict]. *)
+end
 
 type t
 
@@ -32,8 +69,9 @@ val touch : t -> int -> unit
 (** Records an access to the page holding the given byte offset. *)
 
 val touch_range : t -> int -> int -> unit
-(** [touch_range t lo hi] touches every page overlapping [lo, hi]
-    (inclusive byte offsets) — a sequential scan. *)
+(** [touch_range t lo hi] touches every page overlapping the half-open
+    byte range [lo, hi) — a sequential scan.  [hi <= lo] touches
+    nothing. *)
 
 val begin_query : t -> unit
 (** Resets the per-query counters (touched-page set and miss count). *)
@@ -43,8 +81,9 @@ val pages_touched : t -> int
 
 val pages_touched_between : t -> lo:int -> hi:int -> int
 (** Distinct pages accessed since the last {!begin_query} whose byte
-    ranges overlap [lo, hi) — used to split index I/O from result-table
-    I/O in the experiments. *)
+    ranges overlap the half-open range [lo, hi) — used to split index I/O
+    from result-table I/O in the experiments.  Same convention as
+    {!touch_range}. *)
 
 val misses : t -> int
 (** LRU buffer misses since the last {!begin_query} (equals

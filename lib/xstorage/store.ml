@@ -1,0 +1,452 @@
+(* Columnar flat-buffer storage engine: see store.mli for the format. *)
+
+let magic = "xseqcol1"
+let format_version = 1
+let header_fixed = 40 (* bytes before the TOC *)
+let toc_entry_bytes = 64
+let name_max = 31
+
+(* --- checksums ---------------------------------------------------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let checksum_bytes b off len =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)))) fnv_prime
+  done;
+  !h
+
+(* --- columns ------------------------------------------------------------ *)
+
+type flat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type reader = {
+  ic : in_channel;
+  r_page_size : int;
+  file_len : int;
+  pages : (int, bytes) Hashtbl.t;
+  pool : Pager.Lru.t;
+  lock : Mutex.t;
+  mutable reads : int;
+  mutable hits : int;
+  mutable closed : bool;
+}
+
+type column =
+  | Heap of int array
+  | Flat of flat
+  | Paged of { r : reader; off : int; len : int }
+
+let heap a = Heap a
+
+let flat_of_array a =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i x -> Bigarray.Array1.unsafe_set b i x) a;
+  Flat b
+
+let length = function
+  | Heap a -> Array.length a
+  | Flat b -> Bigarray.Array1.dim b
+  | Paged { len; _ } -> len
+
+let is_paged = function Paged _ -> true | Heap _ | Flat _ -> false
+
+(* Fetch the page holding byte [pos] of the file, through the buffer pool.
+   Serialised: a paged store may be shared across query domains. *)
+let page_bytes r page =
+  Mutex.lock r.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock r.lock)
+    (fun () ->
+      if r.closed then invalid_arg "Store: store is closed";
+      match Hashtbl.find_opt r.pages page with
+      | Some b ->
+        r.hits <- r.hits + 1;
+        ignore (Pager.Lru.access r.pool page);
+        b
+      | None ->
+        r.reads <- r.reads + 1;
+        let pos = page * r.r_page_size in
+        let avail = min r.r_page_size (r.file_len - pos) in
+        if avail <= 0 then invalid_arg "Store: page read past end of file";
+        let b = Bytes.make r.r_page_size '\000' in
+        seek_in r.ic pos;
+        (try really_input r.ic b 0 avail
+         with End_of_file -> invalid_arg "Store: truncated file (page read)");
+        if Pager.Lru.capacity r.pool > 0 then begin
+          Hashtbl.replace r.pages page b;
+          ignore (Pager.Lru.access r.pool page)
+        end;
+        b)
+
+let get c i =
+  match c with
+  | Heap a -> a.(i)
+  | Flat b -> Bigarray.Array1.get b i
+  | Paged { r; off; len } ->
+    if i < 0 || i >= len then invalid_arg "Store.get: index out of bounds";
+    let byte = off + (i * 8) in
+    let page = byte / r.r_page_size in
+    let b = page_bytes r page in
+    Int64.to_int (Bytes.get_int64_le b (byte - (page * r.r_page_size)))
+
+let to_array c =
+  match c with
+  | Heap a -> Array.copy a
+  | Flat b -> Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+  | Paged { len; _ } -> Array.init len (fun i -> get c i)
+
+(* --- stores ------------------------------------------------------------- *)
+
+type region = R_ints of column | R_blob of string
+
+type t = {
+  mutable order : string list; (* reverse registration order *)
+  tbl : (string, region) Hashtbl.t;
+  infos : (string, region_info) Hashtbl.t; (* file stores only *)
+  reader : reader option;
+  s_page_size : int;
+  mutable s_file_bytes : int; (* -1 = recompute (memory store) *)
+}
+
+and region_info = {
+  r_name : string;
+  r_kind : [ `Ints | `Blob ];
+  r_count : int;
+  r_bytes : int;
+  r_offset : int;
+  r_pages : int;
+}
+
+let memory () =
+  {
+    order = [];
+    tbl = Hashtbl.create 16;
+    infos = Hashtbl.create 16;
+    reader = None;
+    s_page_size = 4096;
+    s_file_bytes = -1;
+  }
+
+let add t name region =
+  if Hashtbl.mem t.tbl name then
+    invalid_arg (Printf.sprintf "Store: duplicate region %S" name);
+  if String.length name = 0 || String.length name > name_max then
+    invalid_arg (Printf.sprintf "Store: region name %S must be 1..%d bytes" name name_max);
+  Hashtbl.replace t.tbl name region;
+  t.order <- name :: t.order;
+  t.s_file_bytes <- -1
+
+let add_ints t name col = add t name (R_ints col)
+let add_blob t name s = add t name (R_blob s)
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Store: no region %S" name)
+
+let ints t name =
+  match find t name with
+  | R_ints c -> c
+  | R_blob _ -> invalid_arg (Printf.sprintf "Store: region %S is a blob, not ints" name)
+
+let blob t name =
+  match find t name with
+  | R_blob s -> s
+  | R_ints _ -> invalid_arg (Printf.sprintf "Store: region %S is ints, not a blob" name)
+
+let mem t name = Hashtbl.mem t.tbl name
+let names t = List.rev t.order
+
+let region_raw_bytes = function
+  | R_ints c -> 8 * length c
+  | R_blob s -> String.length s
+
+let round_up page_size n = (n + page_size - 1) / page_size * page_size
+
+(* --- writing ------------------------------------------------------------ *)
+
+let serialise_region page_size region =
+  let raw = region_raw_bytes region in
+  let padded = max page_size (round_up page_size raw) in
+  let b = Bytes.make padded '\000' in
+  (match region with
+   | R_ints c ->
+     for i = 0 to length c - 1 do
+       Bytes.set_int64_le b (8 * i) (Int64.of_int (get c i))
+     done
+   | R_blob s -> Bytes.blit_string s 0 b 0 (String.length s));
+  b
+
+let layout ?(page_size = 4096) t =
+  if page_size <= 0 || page_size mod 8 <> 0 then
+    invalid_arg "Store.write: page_size must be a positive multiple of 8";
+  let names = names t in
+  let payload_off =
+    round_up page_size (header_fixed + (toc_entry_bytes * List.length names))
+  in
+  let off = ref payload_off in
+  let placed =
+    List.map
+      (fun name ->
+        let region = find t name in
+        let raw = region_raw_bytes region in
+        let padded = max page_size (round_up page_size raw) in
+        let o = !off in
+        off := o + padded;
+        (name, region, o, padded))
+      names
+  in
+  (payload_off, placed, !off)
+
+let write ?(page_size = 4096) t path =
+  let payload_off, placed, total = layout ~page_size t in
+  (* Serialise and checksum every region first. *)
+  let payloads =
+    List.map
+      (fun (name, region, off, _padded) ->
+        let b = serialise_region page_size region in
+        (name, region, off, b, checksum_bytes b 0 (Bytes.length b)))
+      placed
+  in
+  (* Header block: fixed fields + TOC, zero-padded to the payload. *)
+  let header = Bytes.make payload_off '\000' in
+  Bytes.blit_string magic 0 header 0 8;
+  Bytes.set_int32_le header 8 (Int32.of_int format_version);
+  Bytes.set_int32_le header 12 (Int32.of_int page_size);
+  Bytes.set_int32_le header 16 (Int32.of_int (List.length placed));
+  Bytes.set_int32_le header 20 (Int32.of_int payload_off);
+  Bytes.set_int64_le header 24 (Int64.of_int total);
+  List.iteri
+    (fun i (name, region, off, _b, crc) ->
+      let e = header_fixed + (i * toc_entry_bytes) in
+      Bytes.set_uint8 header e (String.length name);
+      Bytes.blit_string name 0 header (e + 1) (String.length name);
+      Bytes.set_uint8 header (e + 32)
+        (match region with R_ints _ -> 0 | R_blob _ -> 1);
+      Bytes.set_int64_le header (e + 40) (Int64.of_int off);
+      Bytes.set_int64_le header (e + 48)
+        (Int64.of_int
+           (match region with R_ints c -> length c | R_blob s -> String.length s));
+      Bytes.set_int64_le header (e + 56) crc)
+    payloads;
+  (* Header checksum covers everything but its own slot [32, 40). *)
+  let crc =
+    Int64.logxor
+      (checksum_bytes header 0 32)
+      (checksum_bytes header 40 (payload_off - 40))
+  in
+  Bytes.set_int64_le header 32 crc;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_bytes oc header;
+      List.iter (fun (_, _, _, b, _) -> output_bytes oc b) payloads)
+
+(* [file_bytes] of a memory store: what [write] would produce. *)
+let file_bytes t =
+  if t.s_file_bytes >= 0 then t.s_file_bytes
+  else begin
+    let _, _, total = layout ~page_size:t.s_page_size t in
+    t.s_file_bytes <- total;
+    total
+  end
+
+let page_size t = t.s_page_size
+
+(* --- opening ------------------------------------------------------------ *)
+
+type mode = Resident | Paged
+
+let fail fmt = Printf.ksprintf invalid_arg ("Store.open_file: " ^^ fmt)
+
+let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
+  let ic = open_in_bin path in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then close_in_noerr ic)
+    (fun () ->
+      let actual_len = in_channel_length ic in
+      if actual_len < header_fixed then fail "truncated file (no header)";
+      let header_prefix = Bytes.create header_fixed in
+      really_input ic header_prefix 0 header_fixed;
+      if Bytes.sub_string header_prefix 0 8 <> magic then
+        fail "bad magic (not an xseq columnar snapshot)";
+      let version = Int32.to_int (Bytes.get_int32_le header_prefix 8) in
+      if version <> format_version then
+        fail "unsupported version %d (this build reads version %d)" version
+          format_version;
+      let page_size = Int32.to_int (Bytes.get_int32_le header_prefix 12) in
+      if page_size <= 0 || page_size mod 8 <> 0 || page_size > 1 lsl 24 then
+        fail "invalid page size %d" page_size;
+      let count = Int32.to_int (Bytes.get_int32_le header_prefix 16) in
+      if count < 0 || count > 100_000 then fail "invalid region count %d" count;
+      let payload_off = Int32.to_int (Bytes.get_int32_le header_prefix 20) in
+      if
+        payload_off < header_fixed + (toc_entry_bytes * count)
+        || payload_off mod page_size <> 0
+      then fail "invalid payload offset %d" payload_off;
+      let file_len = Int64.to_int (Bytes.get_int64_le header_prefix 24) in
+      if file_len <> actual_len then
+        fail "truncated file (header says %d bytes, file has %d)" file_len
+          actual_len;
+      if payload_off > actual_len then fail "truncated file (header cut short)";
+      (* Re-read the whole header block to verify its checksum. *)
+      let header = Bytes.create payload_off in
+      seek_in ic 0;
+      (try really_input ic header 0 payload_off
+       with End_of_file -> fail "truncated file (header cut short)");
+      let stored_crc = Bytes.get_int64_le header 32 in
+      let crc =
+        Int64.logxor
+          (checksum_bytes header 0 32)
+          (checksum_bytes header 40 (payload_off - 40))
+      in
+      if not (Int64.equal crc stored_crc) then fail "header checksum mismatch";
+      (* Parse the TOC. *)
+      let entries =
+        List.init count (fun i ->
+            let e = header_fixed + (i * toc_entry_bytes) in
+            let name_len = Bytes.get_uint8 header e in
+            if name_len = 0 || name_len > name_max then
+              fail "malformed TOC entry %d (name length %d)" i name_len;
+            let name = Bytes.sub_string header (e + 1) name_len in
+            let kind =
+              match Bytes.get_uint8 header (e + 32) with
+              | 0 -> `Ints
+              | 1 -> `Blob
+              | k -> fail "malformed TOC entry %S (unknown kind %d)" name k
+            in
+            let off = Int64.to_int (Bytes.get_int64_le header (e + 40)) in
+            let cnt = Int64.to_int (Bytes.get_int64_le header (e + 48)) in
+            let crc = Bytes.get_int64_le header (e + 56) in
+            let raw = match kind with `Ints -> 8 * cnt | `Blob -> cnt in
+            let padded = max page_size (round_up page_size raw) in
+            if cnt < 0 || off < payload_off || off mod page_size <> 0 then
+              fail "malformed TOC entry %S (offset %d)" name off;
+            if off + padded > file_len then
+              fail "truncated file (region %S extends past the end)" name;
+            (name, kind, off, cnt, raw, padded, crc))
+      in
+      (* Verify / load region payloads.  Blobs are always materialised. *)
+      let reader =
+        lazy
+          (let pages = Hashtbl.create 64 in
+           {
+             ic;
+             r_page_size = page_size;
+             file_len;
+             pages;
+             pool =
+               Pager.Lru.create
+                 ~on_evict:(fun p -> Hashtbl.remove pages p)
+                 (max 1 pool_pages);
+             lock = Mutex.create ();
+             reads = 0;
+             hits = 0;
+             closed = false;
+           })
+      in
+      let t =
+        {
+          order = [];
+          tbl = Hashtbl.create 16;
+          infos = Hashtbl.create 16;
+          reader = (if mode = Paged then Some (Lazy.force reader) else None);
+          s_page_size = page_size;
+          s_file_bytes = file_len;
+        }
+      in
+      List.iter
+        (fun (name, kind, off, cnt, raw, padded, crc) ->
+          let want_bytes = verify || mode = Resident || kind = `Blob in
+          let payload =
+            if want_bytes then begin
+              let b = Bytes.create padded in
+              seek_in ic off;
+              (try really_input ic b 0 padded
+               with End_of_file ->
+                 fail "truncated file (region %S cut short)" name);
+              if verify && not (Int64.equal (checksum_bytes b 0 padded) crc)
+              then fail "region %S checksum mismatch" name;
+              Some b
+            end
+            else None
+          in
+          let region =
+            match kind, mode with
+            | `Blob, _ ->
+              R_blob (Bytes.sub_string (Option.get payload) 0 raw)
+            | `Ints, Resident ->
+              let b = Option.get payload in
+              let fb = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cnt in
+              for i = 0 to cnt - 1 do
+                Bigarray.Array1.unsafe_set fb i
+                  (Int64.to_int (Bytes.get_int64_le b (8 * i)))
+              done;
+              R_ints (Flat fb)
+            | `Ints, Paged ->
+              R_ints (Paged { r = Lazy.force reader; off; len = cnt })
+          in
+          add t name region;
+          Hashtbl.replace t.infos name
+            {
+              r_name = name;
+              r_kind = kind;
+              r_count = cnt;
+              r_bytes = raw;
+              r_offset = off;
+              r_pages = padded / page_size;
+            })
+        entries;
+      (* Registration mutated the cached size; restore the real file size. *)
+      t.s_file_bytes <- file_len;
+      ok := mode = Paged;
+      (* Resident stores no longer need the channel. *)
+      if mode = Resident then close_in_noerr ic;
+      t)
+
+(* --- introspection ------------------------------------------------------ *)
+
+let regions t =
+  List.map
+    (fun name ->
+      match Hashtbl.find_opt t.infos name with
+      | Some info -> info
+      | None ->
+        (* Memory store: synthesise the info [write] would produce. *)
+        let region = find t name in
+        let raw = region_raw_bytes region in
+        let padded = max t.s_page_size (round_up t.s_page_size raw) in
+        {
+          r_name = name;
+          r_kind = (match region with R_ints _ -> `Ints | R_blob _ -> `Blob);
+          r_count =
+            (match region with
+             | R_ints c -> length c
+             | R_blob s -> String.length s);
+          r_bytes = raw;
+          r_offset = -1;
+          r_pages = padded / t.s_page_size;
+        })
+    (names t)
+
+let page_reads t = match t.reader with Some r -> r.reads | None -> 0
+let page_hits t = match t.reader with Some r -> r.hits | None -> 0
+
+let close t =
+  match t.reader with
+  | None -> ()
+  | Some r ->
+    Mutex.lock r.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock r.lock)
+      (fun () ->
+        if not r.closed then begin
+          r.closed <- true;
+          Hashtbl.reset r.pages;
+          close_in_noerr r.ic
+        end)

@@ -1,0 +1,150 @@
+(** Columnar flat-buffer storage engine.
+
+    One format for memory, disk, and the pager: an index is a bag of named
+    {e regions} — typed int columns (64-bit little-endian elements) and raw
+    byte blobs — laid out page-aligned.  The same column handle serves
+    three physical representations:
+
+    - {b Heap}: a plain OCaml [int array] (the seed's pointer-rich
+      representation, kept for A/B comparison);
+    - {b Flat}: an unboxed [Bigarray] buffer — cache-friendly
+      structure-of-arrays, and exactly the bytes that go to disk;
+    - {b Paged}: a region of an open snapshot file, read on demand through
+      a real buffer pool (page cache + {!Pager.Lru} eviction), so queries
+      can run straight off disk without materialising the column.
+
+    {2 File format (version 1)}
+
+    {v
+    offset  size  field
+    0       8     magic "xseqcol1"
+    8       4     version (u32 LE) = 1
+    12      4     page size (u32 LE, multiple of 8)
+    16      4     region count (u32 LE)
+    20      4     payload offset (u32 LE, page-aligned)
+    24      8     file length (u64 LE) — total bytes, truncation check
+    32      8     header checksum (FNV-1a 64 over [0,32) ++ [40,payload))
+    40      64×k  table of contents, one fixed-width entry per region:
+                    name     32 bytes (u8 length + bytes, zero padded)
+                    kind     8 bytes (u8: 0 = ints, 1 = blob; zero padded)
+                    offset   u64 LE (absolute, page-aligned)
+                    count    u64 LE (elements for ints, bytes for blob)
+                    checksum u64 LE (FNV-1a 64 of the padded region bytes)
+            ...   zero padding to the payload offset
+    payload ...   regions, each page-aligned and zero-padded to a page
+                  boundary; ints regions store each element as 8 bytes LE
+    v}
+
+    Every byte of the file is covered by a checksum (header + per-region),
+    so bit flips and truncations are detected at {!open_file} and reported
+    as [Invalid_argument] with the failing part named — never decoded as
+    garbage.
+
+    {2 Buffer-pool discipline}
+
+    The file backend reads whole pages ({!open_file}'s [page_size] is
+    fixed at write time), caches up to [pool_pages] of them under LRU
+    eviction, and counts hits and misses ({!page_reads} / {!page_hits}).
+    Page fetches are serialised by a mutex, so a paged store may be shared
+    across domains (reads are otherwise pure). *)
+
+type column
+(** A handle to an int column, independent of its physical backing. *)
+
+val heap : int array -> column
+(** Wraps a heap array (no copy). *)
+
+val flat_of_array : int array -> column
+(** Copies into a fresh unboxed flat buffer. *)
+
+val get : column -> int -> int
+(** [get c i] is element [i].  @raise Invalid_argument out of bounds. *)
+
+val length : column -> int
+
+val to_array : column -> int array
+(** Materialises the column (reads a paged column in full). *)
+
+val is_paged : column -> bool
+
+(** {1 Stores} *)
+
+type t
+(** An open store: named regions.  Memory stores are built region by
+    region and written with {!write}; file stores come from
+    {!open_file}. *)
+
+val memory : unit -> t
+(** An empty in-memory store. *)
+
+val add_ints : t -> string -> column -> unit
+(** Registers an int column region.  Region names are unique, at most 31
+    bytes.  @raise Invalid_argument on duplicates or oversized names. *)
+
+val add_blob : t -> string -> string -> unit
+(** Registers a raw byte region. *)
+
+val ints : t -> string -> column
+(** Looks a column region up by name.
+    @raise Invalid_argument if absent or a blob. *)
+
+val blob : t -> string -> string
+(** Looks a blob region up by name (blobs are always materialised, even in
+    paged mode).  @raise Invalid_argument if absent or an int column. *)
+
+val mem : t -> string -> bool
+
+(** {1 Persistence} *)
+
+val write : ?page_size:int -> t -> string -> unit
+(** [write t path] serialises every region to [path] in the format above.
+    [page_size] defaults to 4096 and must be a positive multiple of 8 (so
+    an 8-byte element never straddles a page). *)
+
+type mode =
+  | Resident  (** copy every region into flat in-memory buffers *)
+  | Paged  (** leave int columns on disk behind the buffer pool *)
+
+val open_file : ?mode:mode -> ?pool_pages:int -> ?verify:bool -> string -> t
+(** [open_file path] validates the header and table of contents and
+    returns the store.  [mode] defaults to [Resident].  [pool_pages]
+    (default 256) bounds the paged backend's buffer pool.  [verify]
+    (default [true]) additionally streams every region once to check its
+    checksum — with [false], paged opens skip the scan and trust the
+    (always-verified) header.
+
+    @raise Invalid_argument naming the failure: bad magic, unsupported
+    version, header or region checksum mismatch, truncated file,
+    malformed table of contents. *)
+
+(** {1 Introspection} *)
+
+type region_info = {
+  r_name : string;
+  r_kind : [ `Ints | `Blob ];
+  r_count : int;  (** elements for ints, bytes for blobs *)
+  r_bytes : int;  (** raw payload bytes (before page padding) *)
+  r_offset : int;  (** byte offset in the file; -1 for memory stores *)
+  r_pages : int;  (** pages the padded region occupies *)
+}
+
+val regions : t -> region_info list
+(** In registration (= file TOC) order. *)
+
+val page_size : t -> int
+val file_bytes : t -> int
+(** Total serialised size: actual file size for file stores, the exact
+    size {!write} would produce for memory stores. *)
+
+val page_reads : t -> int
+(** Pages fetched from disk by the paged backend (buffer-pool misses)
+    since open; 0 for memory/resident stores. *)
+
+val page_hits : t -> int
+(** Buffer-pool hits since open. *)
+
+val close : t -> unit
+(** Closes the underlying file, if any.  Further paged reads raise. *)
+
+val checksum_bytes : Bytes.t -> int -> int -> int64
+(** FNV-1a 64 over [len] bytes at [off] — exposed for tests. *)

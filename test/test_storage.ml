@@ -33,6 +33,60 @@ let test_touch_range () =
   Pager.touch_range p 50 250;
   Alcotest.(check int) "three pages" 3 (Pager.pages_touched p)
 
+(* Regression: touch_range and pages_touched_between share one half-open
+   [lo, hi) convention, so a range ending exactly on a page boundary must
+   not leak a touch of the next page. *)
+let test_range_boundaries () =
+  let p = Pager.create ~page_size:100 () in
+  Pager.begin_query p;
+  Pager.touch_range p 100 200;
+  Alcotest.(check int) "[100,200) is one page" 1 (Pager.pages_touched p);
+  Alcotest.(check int) "accounted inside [100,200)" 1
+    (Pager.pages_touched_between p ~lo:100 ~hi:200);
+  Alcotest.(check int) "nothing in [200,300)" 0
+    (Pager.pages_touched_between p ~lo:200 ~hi:300);
+  Alcotest.(check int) "nothing in [0,100)" 0
+    (Pager.pages_touched_between p ~lo:0 ~hi:100);
+  Pager.begin_query p;
+  Pager.touch_range p 100 201;
+  Alcotest.(check int) "[100,201) spills into the next page" 2
+    (Pager.pages_touched p);
+  Pager.begin_query p;
+  Pager.touch_range p 150 150;
+  Alcotest.(check int) "empty range touches nothing" 0 (Pager.pages_touched p);
+  Alcotest.(check int) "empty accounting range" 0
+    (Pager.pages_touched_between p ~lo:150 ~hi:150)
+
+(* Property: for any [lo, hi), touch_range touches exactly the pages the
+   accounting reports for the same range — the two sides can never
+   disagree at a boundary again. *)
+let prop_range_convention =
+  QCheck.Test.make ~name:"touch_range matches pages_touched_between"
+    ~count:500
+    QCheck.(pair (int_bound 5_000) (int_bound 5_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let p = Pager.create ~page_size:128 () in
+      Pager.begin_query p;
+      Pager.touch_range p lo hi;
+      let expected =
+        if hi > lo then ((hi - 1) / 128) - (lo / 128) + 1 else 0
+      in
+      Pager.pages_touched p = expected
+      && Pager.pages_touched_between p ~lo ~hi = Pager.pages_touched p)
+
+let test_lru_on_evict () =
+  let evicted = ref [] in
+  let l = Pager.Lru.create ~on_evict:(fun pg -> evicted := pg :: !evicted) 2 in
+  ignore (Pager.Lru.access l 1);
+  ignore (Pager.Lru.access l 2);
+  ignore (Pager.Lru.access l 3);
+  (* capacity 2: page 1 is the LRU victim *)
+  Alcotest.(check (list int)) "evicted LRU page" [ 1 ] !evicted;
+  Alcotest.(check bool) "new page resident" true (Pager.Lru.mem l 3);
+  Alcotest.(check bool) "victim gone" false (Pager.Lru.mem l 1);
+  Alcotest.(check int) "size at capacity" 2 (Pager.Lru.size l)
+
 let test_lru_hits () =
   let p = Pager.create ~page_size:100 ~buffer_pages:2 () in
   Pager.begin_query p;
@@ -117,10 +171,16 @@ let () =
           Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment;
           Alcotest.test_case "touch counting" `Quick test_touch_counting;
           Alcotest.test_case "touch range" `Quick test_touch_range;
+          Alcotest.test_case "range boundaries" `Quick test_range_boundaries;
+          Alcotest.test_case "lru on_evict" `Quick test_lru_on_evict;
           Alcotest.test_case "lru hits" `Quick test_lru_hits;
           Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
           Alcotest.test_case "lru recency" `Quick test_lru_recency_update;
           Alcotest.test_case "reset pool" `Quick test_reset_pool;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_accounting ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_accounting;
+          QCheck_alcotest.to_alcotest prop_range_convention;
+        ] );
     ]

@@ -1,0 +1,422 @@
+(* The columnar storage engine: write/open round trips, exhaustive
+   corruption detection, the paged buffer pool, and the backend-equivalence
+   oracle — heap arrays, flat buffers, and disk pages must answer every
+   query identically, counter for counter. *)
+
+module Store = Xstorage.Store
+module Labeled = Xindex.Labeled
+module T = Xmlcore.Xml_tree
+module Gen = QCheck.Gen
+module Pattern = Xquery.Pattern
+
+let with_temp name f =
+  let path = Filename.temp_file name ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_all path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let tiny_store () =
+  let s = Store.memory () in
+  Store.add_ints s "col" (Store.heap [| 1; 2; 3; 42; 1000; -7; max_int |]);
+  Store.add_ints s "flat" (Store.flat_of_array [| 9; 8; 7 |]);
+  Store.add_blob s "blob" "hello, store";
+  s
+
+(* --- round trips --------------------------------------------------------- *)
+
+let test_roundtrip_resident () =
+  with_temp "store_rt" (fun path ->
+      Store.write ~page_size:16 (tiny_store ()) path;
+      let s = Store.open_file path in
+      let col = Store.ints s "col" in
+      Alcotest.(check (list int))
+        "int column survives"
+        [ 1; 2; 3; 42; 1000; -7; max_int ]
+        (Array.to_list (Store.to_array col));
+      Alcotest.(check (list int))
+        "flat column survives" [ 9; 8; 7 ]
+        (Array.to_list (Store.to_array (Store.ints s "flat")));
+      Alcotest.(check string) "blob survives" "hello, store"
+        (Store.blob s "blob");
+      Alcotest.(check bool) "resident columns are not paged" false
+        (Store.is_paged col);
+      Alcotest.(check int)
+        "file_bytes matches the file" (String.length (read_all path))
+        (Store.file_bytes s);
+      (* A memory store predicts the size write would produce at the
+         default page size. *)
+      with_temp "store_rt_default" (fun path2 ->
+          Store.write (tiny_store ()) path2;
+          Alcotest.(check int)
+            "memory store predicts the same size"
+            (String.length (read_all path2))
+            (Store.file_bytes (tiny_store ())));
+      let names = List.map (fun r -> r.Store.r_name) (Store.regions s) in
+      Alcotest.(check (list string))
+        "TOC order = registration order" [ "col"; "flat"; "blob" ] names;
+      Store.close s)
+
+let test_roundtrip_paged () =
+  with_temp "store_paged" (fun path ->
+      Store.write ~page_size:16 (tiny_store ()) path;
+      let s = Store.open_file ~mode:Store.Paged ~pool_pages:2 path in
+      let col = Store.ints s "col" in
+      Alcotest.(check bool) "paged column" true (Store.is_paged col);
+      Alcotest.(check int) "length" 7 (Store.length col);
+      for i = 0 to 6 do
+        Alcotest.(check int)
+          (Printf.sprintf "element %d" i)
+          [| 1; 2; 3; 42; 1000; -7; max_int |].(i)
+          (Store.get col i)
+      done;
+      Alcotest.(check bool) "pages were read" true (Store.page_reads s > 0);
+      let reads = Store.page_reads s in
+      (* Rereading inside a 2-page pool: element 0 must be a hit. *)
+      ignore (Store.get col 0);
+      ignore (Store.get col 0);
+      Alcotest.(check bool) "pool hits recorded" true (Store.page_hits s > 0);
+      Alcotest.(check bool)
+        "tiny pool evicts and refetches" true
+        (Store.page_reads s >= reads);
+      Alcotest.(check (list int))
+        "to_array materialises" [ 9; 8; 7 ]
+        (Array.to_list (Store.to_array (Store.ints s "flat")));
+      Alcotest.(check string) "blobs are always resident" "hello, store"
+        (Store.blob s "blob");
+      Store.close s;
+      (* Paged reads after close must raise, never crash. *)
+      match Store.get col 3 with
+      | _ -> Alcotest.fail "read after close succeeded"
+      | exception Invalid_argument _ -> ())
+
+let test_api_errors () =
+  let s = Store.memory () in
+  Store.add_ints s "dup" (Store.heap [| 1 |]);
+  (match Store.add_ints s "dup" (Store.heap [| 2 |]) with
+  | () -> Alcotest.fail "duplicate region accepted"
+  | exception Invalid_argument _ -> ());
+  (match Store.add_blob s (String.make 40 'x') "b" with
+  | () -> Alcotest.fail "oversized region name accepted"
+  | exception Invalid_argument _ -> ());
+  (match Store.ints s "missing" with
+  | _ -> Alcotest.fail "missing region found"
+  | exception Invalid_argument _ -> ());
+  with_temp "store_badpage" (fun path ->
+      match Store.write ~page_size:12 s path with
+      | () -> Alcotest.fail "page size 12 accepted"
+      | exception Invalid_argument _ -> ())
+
+(* --- corruption ---------------------------------------------------------- *)
+
+(* Every byte of the file is covered by a checksum (header + per-region),
+   so flipping any single bit anywhere must be rejected at open. *)
+let test_bitflip_every_byte () =
+  with_temp "store_flip" (fun path ->
+      Store.write ~page_size:16 (tiny_store ()) path;
+      let pristine = read_all path in
+      let n = String.length pristine in
+      with_temp "store_flip_mut" (fun mut ->
+          for i = 0 to n - 1 do
+            let b = Bytes.of_string pristine in
+            Bytes.set b i
+              (Char.chr (Char.code pristine.[i] lxor (1 lsl (i mod 8))));
+            write_all mut (Bytes.to_string b);
+            match Store.open_file mut with
+            | s ->
+              Store.close s;
+              Alcotest.failf "bit flip at byte %d went undetected" i
+            | exception Invalid_argument _ -> ()
+          done))
+
+let test_truncations () =
+  with_temp "store_trunc" (fun path ->
+      Store.write ~page_size:16 (tiny_store ()) path;
+      let pristine = read_all path in
+      let n = String.length pristine in
+      with_temp "store_trunc_mut" (fun mut ->
+          let lens = List.init ((n + 6) / 7) (fun k -> k * 7) in
+          List.iter
+            (fun len ->
+              write_all mut (String.sub pristine 0 len);
+              match Store.open_file mut with
+              | s ->
+                Store.close s;
+                Alcotest.failf "truncation to %d bytes went undetected" len
+              | exception Invalid_argument _ -> ())
+            (lens @ [ n - 1 ])))
+
+let check_diagnostic name mutate expect =
+  with_temp ("store_" ^ name) (fun path ->
+      Store.write ~page_size:16 (tiny_store ()) path;
+      let b = Bytes.of_string (read_all path) in
+      mutate b;
+      write_all path (Bytes.to_string b);
+      match Store.open_file path with
+      | s ->
+        Store.close s;
+        Alcotest.failf "%s not rejected" name
+      | exception Invalid_argument msg ->
+        if
+          not
+            (List.exists
+               (fun needle ->
+                 let rec find i =
+                   i + String.length needle <= String.length msg
+                   && (String.sub msg i (String.length needle) = needle
+                      || find (i + 1))
+                 in
+                 find 0)
+               expect)
+        then Alcotest.failf "%s: diagnostic %S names none of %s" name msg
+               (String.concat "/" expect))
+
+let test_diagnostics () =
+  check_diagnostic "bad magic"
+    (fun b -> Bytes.set b 0 'Z')
+    [ "magic" ];
+  check_diagnostic "wrong version"
+    (fun b -> Bytes.set_int32_le b 8 99l)
+    [ "version" ];
+  check_diagnostic "flipped region byte"
+    (fun b -> Bytes.set b (Bytes.length b - 1) '\xff')
+    [ "checksum" ]
+
+(* --- backend-equivalence oracle ------------------------------------------ *)
+
+let tags = [| "a"; "b"; "c"; "d" |]
+let vals = [| "v0"; "v1"; "v2" |]
+
+let doc_gen : T.t Gen.t =
+  let open Gen in
+  let rec tree depth st =
+    let fanout = if depth >= 4 then 0 else int_bound (4 - depth) st in
+    let kids =
+      List.init fanout (fun _ ->
+          if depth >= 1 && int_bound 3 st = 0 then T.text (oneofa vals st)
+          else tree (depth + 1) st)
+    in
+    T.elt (oneofa tags st) kids
+  in
+  tree 0
+
+let case_gen = Gen.pair Gen.(list_size (int_range 1 12) doc_gen) (Gen.int_bound 10_000)
+
+let case_print (docs, seed) =
+  Printf.sprintf "seed=%d docs=[%s]" seed
+    (String.concat "; " (List.map (Format.asprintf "%a" T.pp) docs))
+
+let queries_of ~seed docs =
+  let opts =
+    {
+      Xdatagen.Query_gen.size = 5;
+      star_prob = 0.2;
+      desc_prob = 0.2;
+      value_prob = 0.5;
+      wide = false;
+    }
+  in
+  Xdatagen.Query_gen.generate ~seed ~opts docs 6
+
+type probe_trace = {
+  ids : int list;
+  probes : int;
+  candidates : int;
+  rejected : int;
+  matches : int;
+  pages : int;
+}
+
+let run_variant labeled ~strategy ~value_mode q =
+  match Xquery.Engine.compile ~strategy ~value_mode labeled q with
+  | exception Xquery.Instantiate.Too_many _ -> None
+  | compiled ->
+    let stats = Xquery.Matcher.create_stats () in
+    let pager = Xstorage.Pager.create ~page_size:256 () in
+    Xstorage.Pager.begin_query pager;
+    let ids = Xquery.Matcher.run_collect ~pager ~stats labeled compiled in
+    Some
+      {
+        ids;
+        probes = stats.Xquery.Matcher.probes;
+        candidates = stats.Xquery.Matcher.candidates;
+        rejected = stats.Xquery.Matcher.rejected;
+        matches = stats.Xquery.Matcher.matches;
+        pages = Xstorage.Pager.pages_touched pager;
+      }
+
+(* Every physical backend — heap arrays, flat buffers, a reloaded resident
+   snapshot, and a paged snapshot read through the buffer pool — must
+   produce identical ids, identical matcher counters and identical
+   simulated page counts; and the ids must agree with the brute-force
+   embedding oracle. *)
+let prop_backend_oracle (docs, seed) =
+  let docs = Array.of_list docs in
+  let index = Xseq.build docs in
+  let path = Filename.temp_file "xseq_oracle" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Xseq.save index path;
+      let resident = Xseq.load path in
+      let paged = Xseq.load ~mode:Store.Paged ~pool_pages:4 path in
+      let variants =
+        [
+          ( "heap",
+            Labeled.remap ~backend:Labeled.Heap_arrays (Xseq.labeled index),
+            Xseq.strategy index, Xseq.value_mode index );
+          ("columnar", Xseq.labeled index, Xseq.strategy index,
+           Xseq.value_mode index);
+          ("resident", Xseq.labeled resident, Xseq.strategy resident,
+           Xseq.value_mode resident);
+          ("paged", Xseq.labeled paged, Xseq.strategy paged,
+           Xseq.value_mode paged);
+        ]
+      in
+      List.for_all
+        (fun q ->
+          let runs =
+            List.map
+              (fun (name, labeled, strategy, value_mode) ->
+                (name, run_variant labeled ~strategy ~value_mode q))
+              variants
+          in
+          match runs with
+          | (_, reference) :: rest ->
+            let agree =
+              List.for_all (fun (_, r) -> r = reference) rest
+              &&
+              match reference with
+              | None -> true
+              | Some t -> t.ids = Xquery.Embedding.filter q docs
+            in
+            if not agree then
+              QCheck.Test.fail_reportf "backends diverged on %s: %s"
+                (Pattern.to_string q)
+                (String.concat "; "
+                   (List.map
+                      (fun (name, r) ->
+                        match r with
+                        | None -> name ^ "=<too many>"
+                        | Some t ->
+                          Printf.sprintf
+                            "%s={ids=[%s] probes=%d cand=%d rej=%d match=%d \
+                             pages=%d}"
+                            name
+                            (String.concat ","
+                               (List.map string_of_int t.ids))
+                            t.probes t.candidates t.rejected t.matches
+                            t.pages)
+                      runs))
+            else true
+          | [] -> true)
+        (queries_of ~seed docs))
+
+(* Snapshot round trip across both value modes: a reloaded index — resident
+   or paged — answers exactly like the one that was saved. *)
+let test_roundtrip_value_modes () =
+  let docs = Xdatagen.Dblp_gen.generate 60 in
+  List.iter
+    (fun (name, value_mode) ->
+      let index =
+        Xseq.build ~config:{ Xseq.default_config with value_mode } docs
+      in
+      let queries = queries_of ~seed:17 docs in
+      with_temp ("xseq_vm_" ^ name) (fun path ->
+          Xseq.save index path;
+          let resident = Xseq.load path in
+          let paged = Xseq.load ~mode:Store.Paged ~pool_pages:16 path in
+          List.iter
+            (fun q ->
+              let want = Xseq.query index q in
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s resident %s" name (Pattern.to_string q))
+                want (Xseq.query resident q);
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s paged %s" name (Pattern.to_string q))
+                want (Xseq.query paged q))
+            queries;
+          match Xseq.backing_store paged with
+          | Some store ->
+            Alcotest.(check bool)
+              "paged index actually read pages" true
+              (Store.page_reads store > 0)
+          | None -> Alcotest.fail "paged index lost its store"))
+    [ ("hashed", Sequencing.Encoder.Hashed); ("text", Sequencing.Encoder.Text) ]
+
+(* Loading rejects snapshots whose regions disagree with each other even
+   when every checksum is valid. *)
+let test_inconsistent_snapshot () =
+  let docs = Xdatagen.Dblp_gen.generate 10 in
+  let index = Xseq.build docs in
+  with_temp "xseq_inconsistent" (fun path ->
+      (* Rebuild the snapshot with a lying node count. *)
+      let s = Store.memory () in
+      let tmp = Filename.temp_file "xseq_src" ".idx" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          Xseq.save index tmp;
+          let src = Store.open_file tmp in
+          List.iter
+            (fun r ->
+              match (r.Store.r_name, r.Store.r_kind) with
+              | "meta", _ ->
+                let m = Store.to_array (Store.ints src "meta") in
+                m.(0) <- m.(0) + 1;
+                Store.add_ints s "meta" (Store.heap m)
+              | name, `Ints -> Store.add_ints s name (Store.ints src name)
+              | name, `Blob -> Store.add_blob s name (Store.blob src name))
+            (Store.regions src);
+          Store.write s path;
+          Store.close src);
+      match Xseq.load path with
+      | _ -> Alcotest.fail "inconsistent snapshot accepted"
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          "diagnostic names the inconsistency" true
+          (String.length msg > 0))
+
+let mk_prop name ~count f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count (QCheck.make ~print:case_print case_gen) f)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "resident round trip" `Quick
+            test_roundtrip_resident;
+          Alcotest.test_case "paged round trip" `Quick test_roundtrip_paged;
+          Alcotest.test_case "api errors" `Quick test_api_errors;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "bit flip in every byte" `Quick
+            test_bitflip_every_byte;
+          Alcotest.test_case "truncations" `Quick test_truncations;
+          Alcotest.test_case "diagnostics name the failure" `Quick
+            test_diagnostics;
+          Alcotest.test_case "inconsistent regions" `Quick
+            test_inconsistent_snapshot;
+        ] );
+      ( "oracle",
+        [
+          mk_prop "heap = columnar = resident = paged (ids, counters, pages)"
+            ~count:60 prop_backend_oracle;
+          Alcotest.test_case "value-mode round trips" `Quick
+            test_roundtrip_value_modes;
+        ] );
+    ]
