@@ -14,10 +14,11 @@ bench:
 	dune exec bench/main.exe
 
 # Machine-readable benchmarks: parallel build / batched-query throughput
-# (BENCH_parallel.json) and storage-backend probe throughput
-# (BENCH_storage.json).
+# (BENCH_parallel.json), storage-backend probe throughput
+# (BENCH_storage.json), and query-server throughput/latency with the
+# plan cache A/B'd (BENCH_server.json).
 bench-json:
-	dune exec bench/main.exe -- parallel storage
+	dune exec bench/main.exe -- parallel storage server
 
 examples:
 	dune exec examples/quickstart.exe

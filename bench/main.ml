@@ -645,6 +645,192 @@ let storage () =
       Printf.printf "wrote BENCH_storage.json\n%!")
 
 (* ------------------------------------------------------------------ *)
+(* Server: the concurrent query service under closed-loop load.        *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+(* Closed-loop load generator: [conc] client threads, each with its own
+   connection, each firing its share of [requests] back to back over a
+   repeated-shape workload.  Returns (elapsed, sorted latencies, cache
+   hits, cache misses, all answers correct). *)
+let server_run ~index ~workers ~cache ~sock ~xpaths ~offline ~requests conc =
+  let config =
+    {
+      Xserver.Server.default_config with
+      workers;
+      max_pending = 4096;
+      plan_cache_capacity = (if cache then 512 else 0);
+    }
+  in
+  let server = Xserver.Server.create ~config (Xserver.Server.Static index) in
+  Xserver.Server.start server [ Xserver.Server.Unix_sock sock ];
+  Fun.protect
+    ~finally:(fun () -> Xserver.Server.stop server)
+    (fun () ->
+      let per_thread = max 1 (requests / conc) in
+      let latencies = Array.make_matrix conc per_thread 0. in
+      let ok = Atomic.make true in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init conc (fun ti ->
+            Thread.create
+              (fun () ->
+                Xserver.Client.with_connection
+                  (Xserver.Server.Unix_sock sock)
+                  (fun c ->
+                    for k = 0 to per_thread - 1 do
+                      let qi = (ti + (k * conc)) mod Array.length xpaths in
+                      let q0 = Unix.gettimeofday () in
+                      let ids = Xserver.Client.query c xpaths.(qi) in
+                      latencies.(ti).(k) <- Unix.gettimeofday () -. q0;
+                      if ids <> offline.(qi) then Atomic.set ok false
+                    done))
+              ())
+      in
+      List.iter Thread.join threads;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let cache_t = Xserver.Server.plan_cache server in
+      let hits = Xserver.Plan_cache.hits cache_t in
+      let misses = Xserver.Plan_cache.misses cache_t in
+      let lat = Array.concat (Array.to_list latencies) in
+      Array.sort Stdlib.compare lat;
+      (elapsed, lat, hits, misses, Atomic.get ok))
+
+let server_bench () =
+  header
+    "Server: concurrent query service over the wire protocol\n\
+     closed-loop load, repeated query shapes; the prepared-plan cache \
+     should lift throughput by skipping wildcard instantiation (see \
+     BENCH_server.json)";
+  let n = n_scaled 4_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  let index = Xseq.build docs in
+  (* Prepare-heavy shapes: wildcards and // make compilation the part the
+     plan cache amortises.  Keep only shapes whose XPath rendering
+     round-trips through the parser to the same answer, so the wire run
+     can be checked against the offline oracle verbatim — then rank by
+     prepare/run cost ratio and serve the most compile-dominated ones:
+     that is the workload the plan cache exists for, and it keeps the
+     experiment meaningful at every --scale (at large corpus sizes an
+     unselective query's match time would otherwise swamp the fixed
+     compilation cost and flatten the A/B). *)
+  let opts =
+    { Qgen.size = 6; star_prob = 0.45; desc_prob = 0.40; value_prob = 0.5;
+      wide = false }
+  in
+  let candidates =
+    List.filter_map
+      (fun p ->
+        let xpath = Xseq.Pattern.to_string p in
+        match Xseq.Xpath.parse xpath with
+        | reparsed when Xseq.query index reparsed = Xseq.query index p ->
+          (match Xseq.prepare index reparsed with
+           | plans ->
+             let t0 = Unix.gettimeofday () in
+             let plans' = Xseq.prepare index reparsed in
+             let t1 = Unix.gettimeofday () in
+             let ids = Xseq.run_prepared index plans' in
+             let t2 = Unix.gettimeofday () in
+             ignore plans;
+             Some (xpath, ids, (t1 -. t0) /. Float.max 1e-7 (t2 -. t1))
+           | exception Xquery.Instantiate.Too_many _ -> None)
+        | _ -> None
+        | exception Xquery.Xpath_parser.Syntax_error _ -> None)
+      (Qgen.generate ~seed:77 ~opts docs 160)
+  in
+  let shapes =
+    candidates
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+    |> List.filteri (fun i _ -> i < 16)
+    |> List.map (fun (xpath, ids, _) -> (xpath, ids))
+  in
+  let xpaths = Array.of_list (List.map fst shapes) in
+  let offline = Array.of_list (List.map snd shapes) in
+  let requests = max 200 (int_of_float (2_000. *. !scale)) in
+  let workers = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let conc_levels = [ 1; 2; 4; 8 ] in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xseq_bench_%d.sock" (Unix.getpid ()))
+  in
+  Printf.printf
+    "(%d records, %d distinct shapes, %d requests per run, %d workers)\n" n
+    (Array.length xpaths) requests workers;
+  Printf.printf "%6s %6s %12s %10s %10s %10s %10s %6s\n" "cache" "conc"
+    "throughput" "p50 (ms)" "p95 (ms)" "p99 (ms)" "hit rate" "ok";
+  let rows =
+    List.concat_map
+      (fun cache ->
+        List.map
+          (fun conc ->
+            let elapsed, lat, hits, misses, ok =
+              server_run ~index ~workers ~cache ~sock ~xpaths ~offline
+                ~requests conc
+            in
+            let total = Array.length lat in
+            let rps =
+              if elapsed > 0. then float_of_int total /. elapsed else 0.
+            in
+            let p50 = ms (percentile lat 0.50)
+            and p95 = ms (percentile lat 0.95)
+            and p99 = ms (percentile lat 0.99) in
+            let looked = hits + misses in
+            let hit_rate =
+              if looked = 0 then 0.
+              else float_of_int hits /. float_of_int looked
+            in
+            if not ok then
+              Printf.printf "!! server answers diverged from Xseq.query\n";
+            Printf.printf "%6s %6d %10.0f/s %10.3f %10.3f %10.3f %9.1f%% %6b\n%!"
+              (if cache then "on" else "off")
+              conc rps p50 p95 p99 (100. *. hit_rate) ok;
+            (cache, conc, rps, p50, p95, p99, hit_rate, ok))
+          conc_levels)
+      [ true; false ]
+  in
+  let best pred =
+    List.fold_left
+      (fun acc (c, _, rps, _, _, _, _, _) -> if c = pred then max acc rps else acc)
+      0. rows
+  in
+  let on = best true and off = best false in
+  Printf.printf
+    "best throughput: plan cache on %.0f/s, off %.0f/s (%.2fx); repeated \
+     shapes hit the cache %.1f%% of lookups\n%!"
+    on off
+    (if off > 0. then on /. off else 0.)
+    (100.
+    *. (match List.find_opt (fun (c, _, _, _, _, _, _, _) -> c) rows with
+        | Some (_, _, _, _, _, _, hr, _) -> hr
+        | None -> 0.));
+  let oc = open_out "BENCH_server.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"records\": %d,\n  \"distinct_queries\": %d,\n  \"requests\": \
+         %d,\n  \"workers\": %d,\n  \"runs\": [\n"
+        n (Array.length xpaths) requests workers;
+      List.iteri
+        (fun i (cache, conc, rps, p50, p95, p99, hit_rate, ok) ->
+          Printf.fprintf oc
+            "    {\"plan_cache\": %b, \"concurrency\": %d, \
+             \"throughput_rps\": %.0f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+             \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f, \"answers_ok\": \
+             %b}%s\n"
+            cache conc rps p50 p95 p99 hit_rate ok
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n  \"cache_speedup_best\": %.3f\n}\n"
+        (if off > 0. then on /. off else 0.));
+  Printf.printf "wrote BENCH_server.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -781,6 +967,7 @@ let experiments =
     ("ablation-valuemode", ablation_valuemode);
     ("parallel", parallel);
     ("storage", storage);
+    ("server", server_bench);
     ("verify", verify);
     ("micro", micro);
   ]

@@ -182,12 +182,144 @@ let sequence_cmd =
 
 (* --- query --------------------------------------------------------------- *)
 
+let parse_xpath_or_exit q =
+  try Xseq.Xpath.parse q
+  with Xquery.Xpath_parser.Syntax_error { pos; msg } ->
+    Printf.eprintf "query:%d: %s\n" pos msg;
+    exit 1
+
+let connect_or_exit addr_s =
+  match Xserver.Server.addr_of_string addr_s with
+  | Error msg ->
+    Printf.eprintf "--connect: %s\n" msg;
+    exit 1
+  | Ok addr ->
+    (try Xserver.Client.connect addr
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "cannot connect to %s: %s\n"
+         (Xserver.Server.addr_to_string addr)
+         (Unix.error_message e);
+       exit 1)
+
+(* Queries against a live server over the wire protocol. *)
+let run_remote addr_s queries verbose server_stats reload timeout_ms =
+  let client = connect_or_exit addr_s in
+  Fun.protect
+    ~finally:(fun () -> Xserver.Client.close client)
+    (fun () ->
+      let handle_server_errors f =
+        try f () with
+        | Xserver.Client.Server_error (code, msg) ->
+          Printf.eprintf "server error (%s): %s\n"
+            (Xserver.Protocol.error_code_to_string code)
+            msg;
+          exit 1
+        | Xserver.Client.Protocol_error msg ->
+          Printf.eprintf "protocol error: %s\n" msg;
+          exit 1
+      in
+      (match reload with
+       | Some path ->
+         handle_server_errors (fun () ->
+             let path = if path = "" then None else Some path in
+             let gen = Xserver.Client.reload ?path client in
+             Printf.printf "reloaded; serving generation %d\n" gen)
+       | None -> ());
+      if server_stats then
+        handle_server_errors (fun () ->
+            print_endline (Xserver.Client.stats client));
+      if queries = [] && not server_stats && reload = None then begin
+        Printf.eprintf "no query given (and neither --server-stats nor --reload)\n";
+        exit 1
+      end;
+      List.iter
+        (fun q ->
+          handle_server_errors (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let gen, ids = Xserver.Client.query_full ~timeout_ms client q in
+              let dt = Unix.gettimeofday () -. t0 in
+              if verbose || List.length queries > 1 then
+                Printf.printf "%-48s %6d matches (%.2f ms, generation %d)\n" q
+                  (List.length ids) (dt *. 1000.) gen
+              else
+                Printf.printf "%d matching records (%.2f ms)\n"
+                  (List.length ids) (dt *. 1000.);
+              if not verbose || List.length queries = 1 then
+                Printf.printf "ids: %s\n"
+                  (String.concat " " (List.map string_of_int ids))))
+        queries)
+
+(* Several patterns against one locally built index: compile each once
+   ([prepare]) and execute the compiled plan, instead of re-running the
+   whole pipeline per pattern the way repeated [query] calls would. *)
+let run_local_multi index queries verbose =
+  let patterns = List.map parse_xpath_or_exit queries in
+  let stats = Xquery.Matcher.create_stats () in
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map2
+      (fun q pattern ->
+        let c0 = Unix.gettimeofday () in
+        let prep =
+          try Some (Xseq.prepare index pattern)
+          with Xquery.Instantiate.Too_many _ -> None
+        in
+        let c1 = Unix.gettimeofday () in
+        let ids =
+          match prep with
+          | Some p -> Xseq.run_prepared ~stats index p
+          | None -> Xseq.query ~stats index pattern (* exact-scan fallback *)
+        in
+        (q, ids, c1 -. c0, Unix.gettimeofday () -. c1))
+      queries patterns
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (q, ids, t_prep, t_run) ->
+      if verbose then
+        Printf.printf "%-48s %6d matches (prepare %.2f ms, run %.2f ms)\n" q
+          (List.length ids) (t_prep *. 1000.) (t_run *. 1000.)
+      else Printf.printf "%-48s %6d matches\n" q (List.length ids))
+    rows;
+  Printf.printf "%d queries in %.2f ms; link probes: %d, candidates: %d\n"
+    (List.length rows) (dt *. 1000.) stats.Xquery.Matcher.probes
+    stats.Xquery.Matcher.candidates
+
+let run_local_single index q show io paged =
+  let pattern = parse_xpath_or_exit q in
+  let pager = if io then Some (Xstorage.Pager.create ()) else None in
+  let t0 = Unix.gettimeofday () in
+  let ids = Xseq.query ?pager index pattern in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%d matching records (%.2f ms)%s\n" (List.length ids)
+    (dt *. 1000.)
+    (match pager with
+     | Some p -> Printf.sprintf ", %d disk accesses" (Xstorage.Pager.pages_touched p)
+     | None -> "");
+  (match (paged, Xseq.backing_store index) with
+   | true, Some store ->
+     Printf.printf "buffer pool: %d page reads, %d hits\n"
+       (Xstorage.Store.page_reads store)
+       (Xstorage.Store.page_hits store)
+   | _ -> ());
+  List.iteri
+    (fun k id ->
+      if k < show then
+        Printf.printf "--- record %d ---\n%s\n" id
+          (Xmlcore.Xml_printer.to_string ~indent:true (Xseq.document index id))
+      else if k = show && show > 0 then print_endline "...")
+    ids;
+  if show = 0 then
+    Printf.printf "ids: %s\n" (String.concat " " (List.map string_of_int ids))
+
 let query_cmd =
-  let query_arg =
+  let args =
     Arg.(
-      required
-      & pos 1 (some string) None
-      & info [] ~docv:"XPATH" ~doc:"Query in the supported XPath fragment.")
+      value & pos_all string []
+      & info [] ~docv:"FILE XPATH..."
+          ~doc:
+            "The records (or saved index) followed by one or more queries; \
+             with $(b,--connect), every positional argument is a query.")
   in
   let show =
     Arg.(
@@ -207,55 +339,238 @@ let query_cmd =
             "When FILE is a saved index, leave its columns on disk and \
              answer through the buffer pool; reports real page reads.")
   in
-  let run input strategy q show io paged =
-    let index =
-      if is_index_file input then
-        Xseq.load
-          ~mode:(if paged then Xstorage.Store.Paged else Xstorage.Store.Resident)
-          input
-      else begin
-        if paged then begin
-          Printf.eprintf "--paged requires a saved index file\n";
-          exit 1
-        end;
-        Xseq.build ~config:(config_of_strategy strategy) (load_documents input)
-      end
-    in
-    let pattern =
-      try Xseq.Xpath.parse q
-      with Xquery.Xpath_parser.Syntax_error { pos; msg } ->
-        Printf.eprintf "query:%d: %s\n" pos msg;
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Send the queries to a running $(b,xseq serve) instead of \
+             indexing locally.  ADDR is $(b,unix:PATH) or $(b,HOST:PORT).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Print per-query compile/run timing.")
+  in
+  let server_stats =
+    Arg.(
+      value & flag
+      & info [ "server-stats" ]
+          ~doc:"With $(b,--connect): print the server's metrics JSON.")
+  in
+  let reload =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "reload" ] ~docv:"SNAPSHOT"
+          ~doc:
+            "With $(b,--connect): hot-swap the served index — to the given \
+             snapshot file, or (with no value) by refreshing the server's \
+             own source.")
+  in
+  let timeout =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ]
+          ~doc:"With $(b,--connect): per-request deadline (0 = none).")
+  in
+  let run args strategy show io paged connect verbose server_stats reload
+      timeout =
+    match connect with
+    | Some addr ->
+      if show > 0 || io || paged then begin
+        Printf.eprintf "--show/--io/--paged do not apply with --connect\n";
         exit 1
-    in
-    let pager = if io then Some (Xstorage.Pager.create ()) else None in
-    let t0 = Unix.gettimeofday () in
-    let ids = Xseq.query ?pager index pattern in
-    let dt = Unix.gettimeofday () -. t0 in
-    Printf.printf "%d matching records (%.2f ms)%s\n" (List.length ids)
-      (dt *. 1000.)
-      (match pager with
-       | Some p -> Printf.sprintf ", %d disk accesses" (Xstorage.Pager.pages_touched p)
-       | None -> "");
-    (match (paged, Xseq.backing_store index) with
-     | true, Some store ->
-       Printf.printf "buffer pool: %d page reads, %d hits\n"
-         (Xstorage.Store.page_reads store)
-         (Xstorage.Store.page_hits store)
-     | _ -> ());
-    List.iteri
-      (fun k id ->
-        if k < show then
-          Printf.printf "--- record %d ---\n%s\n" id
-            (Xmlcore.Xml_printer.to_string ~indent:true (Xseq.document index id))
-        else if k = show && show > 0 then print_endline "...")
-      ids;
-    if show = 0 then
-      Printf.printf "ids: %s\n" (String.concat " " (List.map string_of_int ids))
+      end;
+      run_remote addr args verbose server_stats reload timeout
+    | None ->
+      (match args with
+       | [] ->
+         Printf.eprintf "missing FILE (and at least one XPATH)\n";
+         exit 1
+       | input :: queries ->
+         if queries = [] then begin
+           Printf.eprintf "missing XPATH query\n";
+           exit 1
+         end;
+         if not (Sys.file_exists input) then begin
+           Printf.eprintf "%s: no such file\n" input;
+           exit 1
+         end;
+         let index =
+           if is_index_file input then
+             Xseq.load
+               ~mode:
+                 (if paged then Xstorage.Store.Paged else Xstorage.Store.Resident)
+               input
+           else begin
+             if paged then begin
+               Printf.eprintf "--paged requires a saved index file\n";
+               exit 1
+             end;
+             Xseq.build ~config:(config_of_strategy strategy)
+               (load_documents input)
+           end
+         in
+         (match queries with
+          | [ q ] -> run_local_single index q show io paged
+          | _ ->
+            if show > 0 || io then begin
+              Printf.eprintf "--show/--io apply to a single query only\n";
+              exit 1
+            end;
+            run_local_multi index queries verbose))
   in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"Index the records and answer a tree-pattern query holistically.")
-    Term.(const run $ input_arg $ strategy_arg $ query_arg $ show $ io $ paged)
+       ~doc:
+         "Answer tree-pattern queries — against a locally built index, or \
+          against a running server with $(b,--connect).  Several queries \
+          share one index and are compiled once each.")
+    Term.(
+      const run $ args $ strategy_arg $ show $ io $ paged $ connect $ verbose
+      $ server_stats $ reload $ timeout)
+
+(* --- serve ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Interface for $(b,--port).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing queries (default 2).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests in flight beyond this answer an \
+             $(b,overloaded) error frame (default 64).")
+  in
+  let plan_cache =
+    Arg.(
+      value & opt int 256
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Prepared-plan LRU capacity (default 256).")
+  in
+  let no_plan_cache =
+    Arg.(
+      value & flag
+      & info [ "no-plan-cache" ]
+          ~doc:"Disable the prepared-plan cache (every query recompiles).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ]
+          ~doc:"Default per-request deadline for requests carrying none (0 = none).")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt float 0.
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"Dump the metrics JSON to stderr every SECONDS (0 = never).")
+  in
+  let dynamic =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dynamic" ] ~docv:"THRESHOLD"
+          ~doc:
+            "Serve a base-plus-delta Dynamic index with this rebuild \
+             threshold; $(b,--reload) (the Reload op) then flushes and \
+             hot-swaps the rebuilt snapshot.")
+  in
+  let run input strategy socket port host workers max_pending plan_cache
+      no_plan_cache timeout_ms metrics_interval dynamic =
+    let addrs =
+      (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
+      @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
+    in
+    if addrs = [] then begin
+      Printf.eprintf "serve: need --socket PATH and/or --port N\n";
+      exit 1
+    end;
+    let source =
+      if is_index_file input then Xserver.Server.Snapshot input
+      else begin
+        let docs = load_documents input in
+        let config = config_of_strategy strategy in
+        match dynamic with
+        | Some threshold ->
+          Xserver.Server.Dynamic
+            (Xseq.Dynamic.create ~config ~rebuild_threshold:threshold docs)
+        | None -> Xserver.Server.Static (Xseq.build ~config docs)
+      end
+    in
+    let config =
+      {
+        Xserver.Server.default_config with
+        workers;
+        max_pending;
+        plan_cache_capacity = (if no_plan_cache then 0 else plan_cache);
+        default_timeout_ms = timeout_ms;
+      }
+    in
+    let server = Xserver.Server.create ~config source in
+    Xserver.Server.start server addrs;
+    Printf.eprintf
+      "xseq serve: generation %d on %s (%d workers, %d max pending, plan \
+       cache %d)\n\
+       %!"
+      (Xserver.Server.generation server)
+      (String.concat ", " (List.map Xserver.Server.addr_to_string addrs))
+      workers max_pending
+      (if no_plan_cache then 0 else plan_cache);
+    let stop _ = Xserver.Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    if metrics_interval > 0. then
+      ignore
+        (Thread.create
+           (fun () ->
+             let rec loop () =
+               Thread.delay metrics_interval;
+               prerr_endline (Xserver.Server.stats_json server);
+               loop ()
+             in
+             loop ())
+           ());
+    Xserver.Server.wait server;
+    Printf.eprintf "xseq serve: stopped cleanly\n"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries over the xseq wire protocol from a long-lived \
+          process: index once, answer many — with a prepared-plan cache, \
+          admission control, live metrics and hot index swap ($(b,query \
+          --connect) is the matching client).")
+    Term.(
+      const run $ input_arg $ strategy_arg $ socket $ port $ host $ workers
+      $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
+      $ metrics_interval $ dynamic)
 
 (* --- query-batch ---------------------------------------------------------- *)
 
@@ -497,4 +812,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ gen_cmd; index_cmd; info_cmd; stats_cmd; paths_cmd; sequence_cmd;
-         query_cmd; query_batch_cmd; explain_cmd ]))
+         query_cmd; query_batch_cmd; explain_cmd; serve_cmd ]))

@@ -42,7 +42,16 @@ type t = {
   total_seq_len : int;
   stats : Xschema.Stats.t option;
   built_config : config; (* for persistence: how the strategy was derived *)
+  generation : int; (* process-unique stamp; see [generation] in the mli *)
 }
+
+(* Every index constructed in this process — built, loaded, or rebuilt by
+   [Dynamic] — gets a distinct generation, so a prepared query can prove
+   it belongs to the index it is run against.  The counter is atomic
+   because [Dynamic] rebuilds may race with concurrent builds (e.g. a
+   server hot-swapping snapshots while another domain builds). *)
+let generation_counter = Atomic.make 1
+let next_generation () = Atomic.fetch_and_add generation_counter 1
 
 let resolve_strategy config docs =
   match config.sequencing with
@@ -145,6 +154,7 @@ let build ?domains ?pool ?(config = default_config) docs =
     total_seq_len;
     stats;
     built_config = config;
+    generation = next_generation ();
   }
 
 let query ?pager ?stats t pattern =
@@ -259,14 +269,31 @@ let query_batch_io ?domains ?pool ?stats ?page_size ?(buffer_pages = 0) t
   in
   (Array.map fst per_query, io)
 
-type prepared = Xquery.Query_seq.compiled list
+type prepared = {
+  plans : Xquery.Query_seq.compiled list;
+  prepared_gen : int; (* generation of the index this was compiled for *)
+}
 
 let prepare t pattern =
-  Xquery.Engine.compile ~strategy:t.strategy ~value_mode:t.value_mode t.labeled
-    pattern
+  {
+    plans =
+      Xquery.Engine.compile ~strategy:t.strategy ~value_mode:t.value_mode
+        t.labeled pattern;
+    prepared_gen = t.generation;
+  }
 
 let run_prepared ?pager ?stats t prepared =
-  Xquery.Matcher.run_collect ?pager ?stats t.labeled prepared
+  (* Compiled sequences embed label ranges of one specific index; running
+     them elsewhere would silently return garbage ids.  The generation
+     stamp turns that into a checked error — the server's plan cache
+     relies on this to invalidate entries across [Reload] hot swaps. *)
+  if prepared.prepared_gen <> t.generation then
+    invalid_arg
+      (Printf.sprintf
+         "Xseq.run_prepared: prepared query belongs to index generation %d, \
+          not %d"
+         prepared.prepared_gen t.generation);
+  Xquery.Matcher.run_collect ?pager ?stats t.labeled prepared.plans
 
 let explain t pattern =
   Xquery.Engine.explain ~strategy:t.strategy ~value_mode:t.value_mode t.labeled
@@ -286,6 +313,7 @@ let layout_bytes t = Xindex.Labeled.layout_bytes t.labeled
 let strategy t = t.strategy
 let value_mode t = t.value_mode
 let labeled t = t.labeled
+let generation t = t.generation
 
 let average_sequence_length t =
   if t.ndocs = 0 then 0.
@@ -467,6 +495,7 @@ let load ?mode ?pool_pages ?verify path =
     total_seq_len = meta.(7);
     stats;
     built_config = config;
+    generation = next_generation ();
   }
 
 let backing_store t = Xindex.Labeled.backing_store t.labeled

@@ -134,7 +134,9 @@ val query_batch_io :
 
 type prepared
 (** A compiled query: wildcard instantiation and sequence expansion done
-    once, reusable across executions (and what the benchmarks amortise). *)
+    once, reusable across executions (and what the benchmarks amortise).
+    A prepared query is stamped with the {!generation} of the index it
+    was compiled for. *)
 
 val prepare : t -> Pattern.t -> prepared
 (** Compiles the pattern against this index.
@@ -143,7 +145,16 @@ val prepare : t -> Pattern.t -> prepared
 
 val run_prepared : ?pager:Xstorage.Pager.t -> ?stats:Xquery.Matcher.stats -> t -> prepared -> int list
 (** Executes a prepared query.  The index must be the one it was prepared
-    against. *)
+    against: the compiled sequences embed that index's label ranges, so
+    [run_prepared] checks the generation stamp and raises
+    [Invalid_argument] on a mismatch instead of returning garbage ids.
+    [Xserver]'s plan cache leans on this check to invalidate cached plans
+    across [Reload] hot swaps. *)
+
+val generation : t -> int
+(** A process-unique stamp distinguishing this index from every other
+    index constructed (built, loaded or rebuilt) in the same process.
+    Monotonically increasing; never reused. *)
 
 val explain : t -> Pattern.t -> Xquery.Engine.explanation
 (** Runs the query and reports the pipeline's work: wildcard

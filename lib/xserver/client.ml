@@ -1,0 +1,78 @@
+module P = Protocol
+
+exception Server_error of P.error_code * string
+exception Protocol_error of string
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect (addr : Server.addr) =
+  match addr with
+  | Server.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ ->
+        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+         with Not_found -> Unix.inet_addr_loopback)
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; closed = false }
+  | Server.Unix_sock path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let roundtrip t req =
+  if t.closed then raise (Protocol_error "connection is closed");
+  P.write_frame t.fd (P.encode_request req);
+  match P.read_frame t.fd with
+  | Error P.Eof -> raise (Protocol_error "server closed the connection")
+  | Error P.Truncated -> raise (Protocol_error "truncated response frame")
+  | Error (P.Bad_header m) -> raise (Protocol_error ("bad response frame: " ^ m))
+  | Ok frame ->
+    (match P.decode_response frame with
+     | Error m -> raise (Protocol_error ("malformed response: " ^ m))
+     | Ok (P.Error { code; message }) -> raise (Server_error (code, message))
+     | Ok resp -> resp)
+
+let unexpected what = raise (Protocol_error ("unexpected response to " ^ what))
+
+let ping t = match roundtrip t P.Ping with P.Pong -> () | _ -> unexpected "ping"
+
+let query_full ?(timeout_ms = 0) t xpath =
+  match roundtrip t (P.Query { xpath; timeout_ms }) with
+  | P.Result { generation; ids } -> (generation, ids)
+  | _ -> unexpected "query"
+
+let query ?timeout_ms t xpath = snd (query_full ?timeout_ms t xpath)
+
+let query_batch ?(timeout_ms = 0) t xpaths =
+  match roundtrip t (P.Query_batch { xpaths; timeout_ms }) with
+  | P.Batch_result { ids; _ } -> ids
+  | _ -> unexpected "query_batch"
+
+let stats t =
+  match roundtrip t P.Stats with
+  | P.Stats_json s -> s
+  | _ -> unexpected "stats"
+
+let reload ?path t =
+  match roundtrip t (P.Reload path) with
+  | P.Reloaded { generation } -> generation
+  | _ -> unexpected "reload"
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,42 @@
+(** Blocking client for the xseq query service.
+
+    One connection, synchronous request/response (the closed-loop shape
+    the bench's load generator and the CLI both want).  A client is {b
+    not} thread-safe: give each thread its own connection. *)
+
+exception Server_error of Protocol.error_code * string
+(** The server answered an error frame ([Bad_request], [Overloaded],
+    [Timeout], [Server_error]). *)
+
+exception Protocol_error of string
+(** The byte stream was not a valid response frame, or the response kind
+    did not match the request (a server bug, a version skew, or not an
+    xseq server at all). *)
+
+type t
+
+val connect : Server.addr -> t
+(** @raise Unix.Unix_error when the endpoint is unreachable. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val ping : t -> unit
+
+val query : ?timeout_ms:int -> t -> string -> int list
+(** Matching document ids for one XPath, sorted (exactly
+    [Xseq.query_xpath] against the served index). *)
+
+val query_full : ?timeout_ms:int -> t -> string -> int * int list
+(** Like {!query} but also returns the generation of the index that
+    answered — the hot-swap consistency tests key on it. *)
+
+val query_batch : ?timeout_ms:int -> t -> string array -> int list array
+
+val stats : t -> string
+(** The server's metrics registry as JSON. *)
+
+val reload : ?path:string -> t -> int
+(** Asks for a hot swap; returns the new generation. *)
+
+val with_connection : Server.addr -> (t -> 'a) -> 'a

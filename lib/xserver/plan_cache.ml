@@ -1,0 +1,100 @@
+(* Classic hash-map + doubly-linked-list LRU, one mutex around the lot.
+   Contention is negligible next to query execution, and a single lock
+   keeps the promote-on-hit path trivially correct across the server's
+   connection threads and worker domains. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable gen : int;
+  mutable prev : 'a node option; (* towards most-recently-used *)
+  mutable next : 'a node option; (* towards least-recently-used *)
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  m : Mutex.t;
+}
+
+let create ~capacity =
+  {
+    cap = max 0 capacity;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    m = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* --- intrusive list ------------------------------------------------------- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key
+
+(* --- public operations ---------------------------------------------------- *)
+
+let find t ~generation key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n when n.gen = generation ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_front t n;
+        Some n.value
+      | Some n ->
+        (* Compiled for a previous index generation (pre-hot-swap):
+           useless now, and keeping it would only delay the rebuild of a
+           fresh plan.  Evict on touch. *)
+        drop t n;
+        t.misses <- t.misses + 1;
+        None
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t ~generation key value =
+  if t.cap > 0 then
+    with_lock t (fun () ->
+        (match Hashtbl.find_opt t.table key with
+         | Some n -> drop t n
+         | None -> ());
+        if Hashtbl.length t.table >= t.cap then
+          Option.iter (drop t) t.tail;
+        let n = { key; value; gen = generation; prev = None; next = None } in
+        Hashtbl.replace t.table key n;
+        push_front t n)
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)

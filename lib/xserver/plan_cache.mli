@@ -1,0 +1,40 @@
+(** A mutex-guarded LRU cache of prepared query plans, keyed by the
+    normalized query text and stamped with the index generation the plan
+    was compiled for.
+
+    The server wraps [Xseq.prepare]/[Xseq.run_prepared] with this cache
+    so repeated query shapes skip wildcard instantiation and isomorphism
+    expansion entirely.  Entries are {e generation-checked} on every
+    lookup: after a [Reload] hot swap the served index has a new
+    {!Xseq.generation}, so every stale plan misses (and is dropped on
+    touch) rather than being run against the wrong index — the
+    [run_prepared] generation guard backstops this at the execution
+    layer.
+
+    The cache is polymorphic in the plan type so the codec-free logic is
+    testable without building indexes. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] creates a disabled cache: every lookup misses, every
+    insert is dropped (that is what [--no-plan-cache] serves with, so hit
+    and miss counters still tell the story). *)
+
+val capacity : 'a t -> int
+
+val find : 'a t -> generation:int -> string -> 'a option
+(** [find t ~generation key] returns the cached plan and promotes it to
+    most-recently-used — but only if it was cached under the same
+    [generation]; a stale entry is evicted and counted as a miss. *)
+
+val add : 'a t -> generation:int -> string -> 'a -> unit
+(** Inserts (or replaces) the plan for [key], evicting the
+    least-recently-used entry when the cache is full. *)
+
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drops every entry (counters are kept). *)

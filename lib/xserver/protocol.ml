@@ -1,0 +1,310 @@
+(* Wire codec.  Encoding goes through Buffer; decoding goes through a
+   bounds-checked cursor that raises a private [Malformed] exception,
+   converted to [Error] at the two public entry points — so no malformed
+   input, whatever its shape, can raise out of the codec. *)
+
+let magic = "xQ"
+let version = 1
+let header_size = 8
+let max_payload = 16 * 1024 * 1024
+
+type error_code = Bad_request | Overloaded | Timeout | Server_error
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Server_error -> "server_error"
+
+type request =
+  | Ping
+  | Query of { xpath : string; timeout_ms : int }
+  | Query_batch of { xpaths : string array; timeout_ms : int }
+  | Stats
+  | Reload of string option
+
+type response =
+  | Pong
+  | Result of { generation : int; ids : int list }
+  | Batch_result of { generation : int; ids : int list array }
+  | Stats_json of string
+  | Reloaded of { generation : int }
+  | Error of { code : error_code; message : string }
+
+(* --- opcodes -------------------------------------------------------------- *)
+
+let op_ping = 0x00
+let op_query = 0x01
+let op_query_batch = 0x02
+let op_stats = 0x03
+let op_reload = 0x04
+let op_pong = 0x80
+let op_result = 0x81
+let op_batch_result = 0x82
+let op_stats_json = 0x83
+let op_reloaded = 0x84
+let op_error = 0x85
+
+let code_to_int = function
+  | Bad_request -> 0
+  | Overloaded -> 1
+  | Timeout -> 2
+  | Server_error -> 3
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_ids b ids =
+  add_u32 b (List.length ids);
+  List.iter (fun id -> add_u32 b id) ids
+
+let frame op payload =
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Protocol: payload of %d bytes exceeds the %d cap" n
+         max_payload);
+  let b = Buffer.create (header_size + n) in
+  Buffer.add_string b magic;
+  Buffer.add_uint8 b version;
+  Buffer.add_uint8 b op;
+  add_u32 b n;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let payload_of f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let encode_request = function
+  | Ping -> frame op_ping ""
+  | Query { xpath; timeout_ms } ->
+    frame op_query
+      (payload_of (fun b ->
+           add_u32 b timeout_ms;
+           add_str b xpath))
+  | Query_batch { xpaths; timeout_ms } ->
+    frame op_query_batch
+      (payload_of (fun b ->
+           add_u32 b timeout_ms;
+           add_u32 b (Array.length xpaths);
+           Array.iter (add_str b) xpaths))
+  | Stats -> frame op_stats ""
+  | Reload path ->
+    frame op_reload
+      (payload_of (fun b ->
+           match path with
+           | None -> Buffer.add_uint8 b 0
+           | Some p ->
+             Buffer.add_uint8 b 1;
+             add_str b p))
+
+let encode_response = function
+  | Pong -> frame op_pong ""
+  | Result { generation; ids } ->
+    frame op_result
+      (payload_of (fun b ->
+           add_u32 b generation;
+           add_ids b ids))
+  | Batch_result { generation; ids } ->
+    frame op_batch_result
+      (payload_of (fun b ->
+           add_u32 b generation;
+           add_u32 b (Array.length ids);
+           Array.iter (add_ids b) ids))
+  | Stats_json s -> frame op_stats_json (payload_of (fun b -> add_str b s))
+  | Reloaded { generation } ->
+    frame op_reloaded (payload_of (fun b -> add_u32 b generation))
+  | Error { code; message } ->
+    frame op_error
+      (payload_of (fun b ->
+           Buffer.add_uint8 b (code_to_int code);
+           add_str b message))
+
+(* --- decoding ------------------------------------------------------------- *)
+
+exception Malformed of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+type cursor = { s : string; mutable pos : int; limit : int }
+
+let u8 c =
+  if c.pos >= c.limit then bad "truncated frame (u8 at %d)" c.pos;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c =
+  if c.pos + 4 > c.limit then bad "truncated frame (u32 at %d)" c.pos;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  (* Int32 sign bit maps to negative OCaml ints: never a valid length,
+     count, id, generation or timeout in this protocol. *)
+  if v < 0 then bad "negative field %d at %d" v (c.pos - 4);
+  v
+
+let str c =
+  let n = u32 c in
+  if n > c.limit - c.pos then
+    bad "string of %d bytes overruns frame at %d" n c.pos;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let ids c =
+  let n = u32 c in
+  (* Each id costs 4 bytes: reject lying counts before allocating. *)
+  if n > (c.limit - c.pos) / 4 then bad "id count %d overruns frame" n;
+  List.init n (fun _ -> u32 c)
+
+let check_header ~dir s =
+  let len = String.length s in
+  if len < header_size then bad "frame shorter than its %d-byte header" header_size;
+  if String.sub s 0 2 <> magic then bad "bad magic %S" (String.sub s 0 2);
+  let v = Char.code s.[2] in
+  if v <> version then bad "unsupported protocol version %d" v;
+  let op = Char.code s.[3] in
+  (match dir with
+   | `Request -> if op >= 0x80 then bad "response opcode 0x%02x in a request" op
+   | `Response -> if op < 0x80 then bad "request opcode 0x%02x in a response" op);
+  let n = Int32.to_int (String.get_int32_le s 4) in
+  if n < 0 || n > max_payload then bad "payload length %d exceeds the cap" n;
+  if header_size + n <> len then
+    bad "payload length field says %d bytes, frame carries %d" n
+      (len - header_size);
+  (op, { s; pos = header_size; limit = len })
+
+let finish c v =
+  if c.pos <> c.limit then
+    bad "%d trailing bytes after a well-formed payload" (c.limit - c.pos);
+  v
+
+let decode_request s =
+  match
+    let op, c = check_header ~dir:`Request s in
+    if op = op_ping then finish c Ping
+    else if op = op_query then begin
+      let timeout_ms = u32 c in
+      let xpath = str c in
+      finish c (Query { xpath; timeout_ms })
+    end
+    else if op = op_query_batch then begin
+      let timeout_ms = u32 c in
+      let n = u32 c in
+      (* Each query costs at least its 4-byte length prefix. *)
+      if n > (c.limit - c.pos) / 4 then bad "query count %d overruns frame" n;
+      let xpaths = Array.init n (fun _ -> str c) in
+      finish c (Query_batch { xpaths; timeout_ms })
+    end
+    else if op = op_stats then finish c Stats
+    else if op = op_reload then begin
+      match u8 c with
+      | 0 -> finish c (Reload None)
+      | 1 -> finish c (Reload (Some (str c)))
+      | t -> bad "bad option tag %d in Reload" t
+    end
+    else bad "unknown request opcode 0x%02x" op
+  with
+  | v -> Ok v
+  | exception Malformed m -> Error m
+
+let decode_response s =
+  match
+    let op, c = check_header ~dir:`Response s in
+    if op = op_pong then finish c Pong
+    else if op = op_result then begin
+      let generation = u32 c in
+      let l = ids c in
+      finish c (Result { generation; ids = l })
+    end
+    else if op = op_batch_result then begin
+      let generation = u32 c in
+      let n = u32 c in
+      if n > (c.limit - c.pos) / 4 then bad "result count %d overruns frame" n;
+      let arr = Array.init n (fun _ -> ids c) in
+      finish c (Batch_result { generation; ids = arr })
+    end
+    else if op = op_stats_json then finish c (Stats_json (str c))
+    else if op = op_reloaded then begin
+      let generation = u32 c in
+      finish c (Reloaded { generation })
+    end
+    else if op = op_error then begin
+      let code =
+        match u8 c with
+        | 0 -> Bad_request
+        | 1 -> Overloaded
+        | 2 -> Timeout
+        | 3 -> Server_error
+        | k -> bad "unknown error code %d" k
+      in
+      let message = str c in
+      finish c (Error { code; message })
+    end
+    else bad "unknown response opcode 0x%02x" op
+  with
+  | v -> Ok v
+  | exception Malformed m -> Error m
+
+(* --- framed I/O ----------------------------------------------------------- *)
+
+type read_error = Eof | Truncated | Bad_header of string
+
+(* Reads exactly [n] bytes, tolerating short reads and EINTR.  [`Eof k]
+   reports how many bytes arrived before the stream ended. *)
+let really_read fd buf off n =
+  let rec go off remaining =
+    if remaining = 0 then `Ok
+    else
+      match Unix.read fd buf off remaining with
+      | 0 -> `Eof (n - remaining)
+      | k -> go (off + k) (remaining - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+  in
+  go off n
+
+let read_frame fd =
+  let header = Bytes.create header_size in
+  match really_read fd header 0 header_size with
+  | `Eof 0 -> Result.Error Eof
+  | `Eof _ -> Result.Error Truncated
+  | `Ok ->
+    let h = Bytes.to_string header in
+    if String.sub h 0 2 <> magic then
+      Result.Error (Bad_header (Printf.sprintf "bad magic %S" (String.sub h 0 2)))
+    else begin
+      let v = Char.code h.[2] in
+      if v <> version then
+        Result.Error (Bad_header (Printf.sprintf "unsupported version %d" v))
+      else begin
+        let n = Int32.to_int (String.get_int32_le h 4) in
+        if n < 0 || n > max_payload then
+          Result.Error
+            (Bad_header (Printf.sprintf "payload length %d exceeds the cap" n))
+        else begin
+          let payload = Bytes.create n in
+          match really_read fd payload 0 n with
+          | `Eof _ -> Result.Error Truncated
+          | `Ok -> Result.Ok (h ^ Bytes.to_string payload)
+        end
+      end
+    end
+
+let write_frame fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then begin
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0

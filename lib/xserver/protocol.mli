@@ -1,0 +1,93 @@
+(** The xseq wire protocol: versioned, length-prefixed binary frames.
+
+    Every message — request or response — is one frame:
+
+    {v
+      offset  size  field
+      0       2     magic "xQ"
+      2       1     protocol version (1)
+      3       1     opcode (requests 0x00-0x7F, responses 0x80-0xFF)
+      4       4     payload length, u32 LE, at most {!max_payload}
+      8       len   payload (opcode-specific, little-endian throughout)
+    v}
+
+    Strings serialise as [u32 length + bytes]; integer lists as
+    [u32 count + count × u32].  Decoding is defensive end to end: every
+    read is bounds-checked, every frame must be consumed exactly, and
+    malformed input of any shape — bad magic, unknown version or opcode,
+    a length field larger than the cap or than the data, truncation at
+    any byte, trailing bytes — yields [Error], never an exception.  The
+    server answers a [Bad_request]/[Frame_too_large] error frame (or
+    closes) on such input; it never lets it reach the accept loop. *)
+
+val magic : string
+(** ["xQ"] — two bytes. *)
+
+val version : int
+(** Current protocol version (1). *)
+
+val header_size : int
+(** Bytes before the payload (8). *)
+
+val max_payload : int
+(** Hard cap on a frame payload (16 MiB).  Frames announcing more are
+    rejected without allocating. *)
+
+type error_code =
+  | Bad_request  (** unparsable frame or XPath; unknown opcode *)
+  | Overloaded  (** admission control rejected the request *)
+  | Timeout  (** the per-request deadline expired before execution *)
+  | Server_error  (** unexpected failure while serving the request *)
+
+val error_code_to_string : error_code -> string
+
+type request =
+  | Ping
+  | Query of { xpath : string; timeout_ms : int }
+      (** [timeout_ms = 0] means no deadline. *)
+  | Query_batch of { xpaths : string array; timeout_ms : int }
+  | Stats  (** metrics registry as JSON *)
+  | Reload of string option
+      (** hot-swap the served index: [Some path] loads a new snapshot,
+          [None] refreshes the server's configured source *)
+
+type response =
+  | Pong
+  | Result of { generation : int; ids : int list }
+  | Batch_result of { generation : int; ids : int list array }
+  | Stats_json of string
+  | Reloaded of { generation : int }
+  | Error of { code : error_code; message : string }
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+(** The complete frame, header included. *)
+
+val encode_response : response -> string
+
+val decode_request : string -> (request, string) result
+(** Decodes one complete frame.  [Error msg] describes the first defect
+    (bad magic, bad version, response opcode in a request, length lies,
+    truncation, trailing bytes, …). *)
+
+val decode_response : string -> (response, string) result
+
+(** {1 Framed I/O}
+
+    Blocking helpers over [Unix] file descriptors, used by both the
+    server's connection loops and the client library. *)
+
+type read_error =
+  | Eof  (** clean end of stream before any byte of a frame *)
+  | Truncated  (** end of stream inside a frame *)
+  | Bad_header of string  (** bad magic / version / oversized length *)
+
+val read_frame : Unix.file_descr -> (string, read_error) result
+(** Reads exactly one frame (header + payload).  The header is validated
+    {e before} the payload is allocated, so a hostile length field never
+    costs more than {!header_size} bytes of reading. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Writes the whole string, looping over partial writes.
+    @raise Unix.Unix_error as the underlying writes do. *)

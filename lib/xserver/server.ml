@@ -1,0 +1,560 @@
+(* The query daemon.  See server.mli for the architecture overview.
+
+   Thread/domain layout:
+   - the accept thread (a systhread on the caller's domain) selects over
+     the listener sockets with a short tick so shutdown requests are
+     noticed promptly;
+   - one systhread per connection reads frames, dispatches, writes
+     responses.  Connection threads never execute queries themselves
+     (except on a 1-worker pool, where [Domain_pool.async] runs inline);
+   - [config.workers] worker domains execute queries pulled from the
+     pool's queue.
+
+   Shared state and its discipline:
+   - the served index is an [Atomic.t] of an immutable record: readers
+     [Atomic.get] once per request and use that snapshot throughout, so a
+     concurrent [Reload] can never tear a request across two indexes;
+   - the plan cache, metrics registry and admission counter each carry
+     their own mutex;
+   - [stop_requested] is an [Atomic.t bool] so a signal handler can set
+     it without taking locks. *)
+
+module Pool = Xutil.Domain_pool
+module P = Protocol
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let addr_to_string = function
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+  | Unix_sock p -> "unix:" ^ p
+
+let addr_of_string s =
+  let unix_prefix = "unix:" in
+  if String.length s > String.length unix_prefix
+     && String.sub s 0 (String.length unix_prefix) = unix_prefix
+  then
+    Ok (Unix_sock (String.sub s (String.length unix_prefix)
+                     (String.length s - String.length unix_prefix)))
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "cannot parse address %S (want unix:PATH or HOST:PORT)" s)
+    | Some i ->
+      let host = if i = 0 then "127.0.0.1" else String.sub s 0 i in
+      (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+       | Some port when port > 0 && port < 65536 -> Ok (Tcp (host, port))
+       | _ -> Error (Printf.sprintf "bad port in address %S" s))
+
+type source =
+  | Static of Xseq.t
+  | Snapshot of string
+  | Dynamic of Xseq.Dynamic.dyn
+
+type config = {
+  workers : int;
+  max_pending : int;
+  plan_cache_capacity : int;
+  default_timeout_ms : int;
+  drain_timeout_s : float;
+  debug_delay_ms : int;
+}
+
+let default_config =
+  {
+    workers = 2;
+    max_pending = 64;
+    plan_cache_capacity = 256;
+    default_timeout_ms = 0;
+    drain_timeout_s = 5.0;
+    debug_delay_ms = 0;
+  }
+
+type serving = { index : Xseq.t; gen : int }
+
+type t = {
+  config : config;
+  mutable source : source; (* guarded by [reload_m] *)
+  serving : serving Atomic.t;
+  cache : Xseq.prepared Plan_cache.t;
+  metrics : Metrics.t;
+  pool : Pool.t;
+  (* admission *)
+  adm_m : Mutex.t;
+  mutable in_flight : int;
+  (* lifecycle *)
+  stop_requested : bool Atomic.t;
+  state_m : Mutex.t;
+  state_cv : Condition.t;
+  mutable started : bool;
+  mutable stopped : bool;
+  mutable listeners : (Unix.file_descr * addr) list;
+  mutable accept_thread : Thread.t option;
+  conns : (int, Unix.file_descr) Hashtbl.t; (* guarded by state_m *)
+  mutable conn_seq : int;
+  mutable conn_threads : Thread.t list; (* guarded by state_m *)
+  reload_m : Mutex.t;
+  started_at : float;
+}
+
+let serving_of_source = function
+  | Static index -> { index; gen = Xseq.generation index }
+  | Snapshot path ->
+    let index = Xseq.load path in
+    { index; gen = Xseq.generation index }
+  | Dynamic dyn ->
+    let index = Xseq.Dynamic.snapshot dyn in
+    { index; gen = Xseq.generation index }
+
+let create ?(config = default_config) source =
+  if config.workers < 1 then invalid_arg "Server.create: workers < 1";
+  if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  {
+    config;
+    source;
+    serving = Atomic.make (serving_of_source source);
+    cache = Plan_cache.create ~capacity:config.plan_cache_capacity;
+    metrics = Metrics.create ();
+    pool = Pool.create ~domains:config.workers ();
+    adm_m = Mutex.create ();
+    in_flight = 0;
+    stop_requested = Atomic.make false;
+    state_m = Mutex.create ();
+    state_cv = Condition.create ();
+    started = false;
+    stopped = false;
+    listeners = [];
+    accept_thread = None;
+    conns = Hashtbl.create 32;
+    conn_seq = 0;
+    conn_threads = [];
+    reload_m = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+  }
+
+let metrics t = t.metrics
+let plan_cache t = t.cache
+let generation t = (Atomic.get t.serving).gen
+
+let pending t =
+  Mutex.lock t.adm_m;
+  let n = t.in_flight in
+  Mutex.unlock t.adm_m;
+  n
+
+(* --- admission ------------------------------------------------------------- *)
+
+let try_admit t =
+  Mutex.lock t.adm_m;
+  let ok = t.in_flight < t.config.max_pending in
+  if ok then t.in_flight <- t.in_flight + 1;
+  Mutex.unlock t.adm_m;
+  ok
+
+let release t =
+  Mutex.lock t.adm_m;
+  t.in_flight <- t.in_flight - 1;
+  Mutex.unlock t.adm_m
+
+(* --- query execution ------------------------------------------------------- *)
+
+(* Compile-or-reuse: normalized pattern text keys the LRU; the entry's
+   generation stamp guarantees the plan belongs to [sv.index].  Queries
+   whose expansion explodes ([Too_many]) bypass the cache and take
+   [Xseq.query]'s exact-scan fallback. *)
+let answer_pattern t sv stats pattern =
+  let key = Xquery.Pattern.to_string pattern in
+  match Plan_cache.find t.cache ~generation:sv.gen key with
+  | Some plans -> Xseq.run_prepared ~stats sv.index plans
+  | None ->
+    (match Xseq.prepare sv.index pattern with
+     | plans ->
+       Plan_cache.add t.cache ~generation:sv.gen key plans;
+       Xseq.run_prepared ~stats sv.index plans
+     | exception Xquery.Instantiate.Too_many _ ->
+       Xseq.query ~stats sv.index pattern)
+
+let parse_xpath xpath =
+  match Xquery.Xpath_parser.parse xpath with
+  | p -> Ok p
+  | exception Xquery.Xpath_parser.Syntax_error { pos; msg } ->
+    Error (Printf.sprintf "%s at position %d in %S" msg pos xpath)
+
+(* Runs [f] on a pool worker and blocks the calling connection thread
+   until the result is back.  The job itself never raises (exceptions are
+   materialised into the slot), honouring the pool's job contract. *)
+let run_on_pool t f =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let slot = ref None in
+  Pool.async t.pool (fun () ->
+      let r = match f () with v -> Ok v | exception e -> Error e in
+      Mutex.lock m;
+      slot := Some r;
+      Condition.signal cv;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while Option.is_none !slot do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  match Option.get !slot with Ok v -> v | Error e -> raise e
+
+let err code fmt =
+  Printf.ksprintf (fun message -> P.Error { code; message }) fmt
+
+(* The deadline is fixed when the frame is admitted; workers re-check it
+   when they dequeue the job, so a request that starved in the queue
+   answers [Timeout] instead of executing late. *)
+let deadline_of t timeout_ms =
+  let ms = if timeout_ms > 0 then timeout_ms else t.config.default_timeout_ms in
+  if ms > 0 then Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+  else None
+
+let expired = function
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
+let exec_queries t ~timeout_ms (xpaths : string array) :
+    (int * int list array, P.response) result =
+  (* Parse before admission: a malformed query is a [Bad_request], not
+     load. *)
+  let patterns = Array.map parse_xpath xpaths in
+  match
+    Array.find_map (function Error m -> Some m | Ok _ -> None) patterns
+  with
+  | Some m -> Error (err P.Bad_request "%s" m)
+  | None ->
+    let patterns =
+      Array.map (function Ok p -> p | Error _ -> assert false) patterns
+    in
+    if not (try_admit t) then
+      Error
+        (err P.Overloaded "server at capacity (%d requests in flight)"
+           t.config.max_pending)
+    else
+      Fun.protect ~finally:(fun () -> release t)
+        (fun () ->
+          let deadline = deadline_of t timeout_ms in
+          run_on_pool t (fun () ->
+              if t.config.debug_delay_ms > 0 then
+                Thread.delay (float_of_int t.config.debug_delay_ms /. 1000.);
+              if expired deadline then
+                Error (err P.Timeout "deadline expired before execution")
+              else begin
+                let sv = Atomic.get t.serving in
+                let stats = Xquery.Matcher.create_stats () in
+                let ids = Array.map (answer_pattern t sv stats) patterns in
+                Metrics.merge_matcher t.metrics stats;
+                Ok (sv.gen, ids)
+              end))
+
+(* --- reload ---------------------------------------------------------------- *)
+
+let reload ?path t =
+  Mutex.lock t.reload_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.reload_m)
+    (fun () ->
+      let source =
+        match (path, t.source) with
+        | Some p, _ -> Snapshot p
+        | None, src -> src
+      in
+      (* Build the replacement entirely off to the side; only the final
+         pointer swap is visible to queries.  [Static] with no path keeps
+         serving the resident index (nothing to rebuild from). *)
+      let sv =
+        match source with
+        | Static _ when path = None -> Atomic.get t.serving
+        | s -> serving_of_source s
+      in
+      t.source <- source;
+      Atomic.set t.serving sv;
+      sv.gen)
+
+(* --- stats ----------------------------------------------------------------- *)
+
+let stats_json t =
+  let sv = Atomic.get t.serving in
+  let hits = Plan_cache.hits t.cache and misses = Plan_cache.misses t.cache in
+  let looked = hits + misses in
+  let page_reads, page_hits =
+    match Xseq.backing_store sv.index with
+    | Some s -> (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
+    | None -> (0, 0)
+  in
+  Metrics.to_json
+    ~extra:
+      [
+        ("generation", string_of_int sv.gen);
+        ("uptime_s",
+         Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
+        ("pending", string_of_int (pending t));
+        ("max_pending", string_of_int t.config.max_pending);
+        ("workers", string_of_int t.config.workers);
+        ( "plan_cache",
+          Printf.sprintf
+            "{\"capacity\": %d, \"entries\": %d, \"hits\": %d, \"misses\": \
+             %d, \"hit_rate\": %.4f}"
+            (Plan_cache.capacity t.cache)
+            (Plan_cache.length t.cache)
+            hits misses
+            (if looked = 0 then 0. else float_of_int hits /. float_of_int looked) );
+        ( "store",
+          Printf.sprintf "{\"page_reads\": %d, \"page_hits\": %d}" page_reads
+            page_hits );
+      ]
+    t.metrics
+
+(* --- dispatch -------------------------------------------------------------- *)
+
+let dispatch t (req : P.request) : string * P.response =
+  match req with
+  | P.Ping -> ("ping", P.Pong)
+  | P.Stats -> ("stats", P.Stats_json (stats_json t))
+  | P.Reload path ->
+    ( "reload",
+      (match reload ?path t with
+       | gen -> P.Reloaded { generation = gen }
+       | exception e ->
+         err P.Server_error "reload failed: %s" (Printexc.to_string e)) )
+  | P.Query { xpath; timeout_ms } ->
+    ( "query",
+      (match exec_queries t ~timeout_ms [| xpath |] with
+       | Ok (generation, ids) -> P.Result { generation; ids = ids.(0) }
+       | Error e -> e
+       | exception e ->
+         err P.Server_error "%s" (Printexc.to_string e)) )
+  | P.Query_batch { xpaths; timeout_ms } ->
+    ( "query_batch",
+      (match exec_queries t ~timeout_ms xpaths with
+       | Ok (generation, ids) -> P.Batch_result { generation; ids }
+       | Error e -> e
+       | exception e ->
+         err P.Server_error "%s" (Printexc.to_string e)) )
+
+(* --- connection handling --------------------------------------------------- *)
+
+let tick = 0.25 (* seconds between stop-flag checks in blocking loops *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_response t fd resp =
+  let frame = P.encode_response resp in
+  Metrics.add_bytes t.metrics ~received:0 ~sent:(String.length frame);
+  (match resp with
+   | P.Error { code; _ } ->
+     Metrics.record_error t.metrics ~code:(P.error_code_to_string code)
+   | _ -> ());
+  P.write_frame fd frame
+
+(* Waits until [fd] is readable, checking the stop flag every [tick]; a
+   server shutting down stops waiting for the next request (in-flight
+   requests were already answered by the time we are back here). *)
+let rec wait_readable t fd =
+  if Atomic.get t.stop_requested then `Stop
+  else
+    match Unix.select [ fd ] [] [] tick with
+    | [], _, _ -> wait_readable t fd
+    | _ :: _, _, _ -> `Readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable t fd
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> `Stop
+
+let handle_connection t fd =
+  Metrics.connection_opened t.metrics;
+  let rec loop () =
+    match wait_readable t fd with
+    | `Stop -> ()
+    | `Readable ->
+      (match P.read_frame fd with
+       | Error P.Eof -> ()
+       | Error P.Truncated ->
+         (* The peer died mid-frame; nobody is listening for an error. *)
+         ()
+       | Error (P.Bad_header msg) ->
+         (* Garbage or an oversized length field: answer an error frame
+            (best effort — the peer may be gone) and drop the connection;
+            the stream cannot be resynchronised. *)
+         (try send_response t fd (err P.Bad_request "bad frame: %s" msg)
+          with Unix.Unix_error _ -> ())
+       | Ok frame ->
+         Metrics.add_bytes t.metrics ~received:(String.length frame) ~sent:0;
+         (match P.decode_request frame with
+          | Error msg ->
+            (try send_response t fd (err P.Bad_request "bad frame: %s" msg)
+             with Unix.Unix_error _ -> ())
+          | Ok req ->
+            let t0 = Unix.gettimeofday () in
+            let op, resp = dispatch t req in
+            Metrics.record_request t.metrics ~op
+              ~latency_s:(Unix.gettimeofday () -. t0);
+            (match send_response t fd resp with
+             | () -> loop ()
+             | exception Unix.Unix_error _ -> ())))
+  in
+  (try loop () with _ -> ());
+  close_quietly fd;
+  Metrics.connection_closed t.metrics
+
+(* --- accept loop / lifecycle ---------------------------------------------- *)
+
+let register_conn t fd =
+  Mutex.lock t.state_m;
+  let id = t.conn_seq in
+  t.conn_seq <- id + 1;
+  Hashtbl.replace t.conns id fd;
+  Mutex.unlock t.state_m;
+  id
+
+let unregister_conn t id =
+  Mutex.lock t.state_m;
+  Hashtbl.remove t.conns id;
+  Condition.broadcast t.state_cv;
+  Mutex.unlock t.state_m
+
+let spawn_connection t fd =
+  let id = register_conn t fd in
+  let th =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () -> unregister_conn t id)
+          (fun () -> handle_connection t fd))
+      ()
+  in
+  Mutex.lock t.state_m;
+  t.conn_threads <- th :: t.conn_threads;
+  Mutex.unlock t.state_m
+
+let shutdown_sequence t =
+  (* 1. Stop accepting: close every listener. *)
+  List.iter (fun (fd, _) -> close_quietly fd) t.listeners;
+  (* 2. Drain: connection threads notice [stop_requested] at their next
+     tick and exit once their current request is answered.  Bounded by
+     [drain_timeout_s]; stragglers get their sockets shut down under
+     them, which turns their blocking reads into EOF. *)
+  let deadline = Unix.gettimeofday () +. t.config.drain_timeout_s in
+  let rec drain () =
+    Mutex.lock t.state_m;
+    let n = Hashtbl.length t.conns in
+    Mutex.unlock t.state_m;
+    if n > 0 && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.02;
+      drain ()
+    end
+  in
+  drain ();
+  Mutex.lock t.state_m;
+  let stragglers = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+  let threads = t.conn_threads in
+  t.conn_threads <- [];
+  Mutex.unlock t.state_m;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    stragglers;
+  List.iter (fun th -> try Thread.join th with _ -> ()) threads;
+  (* 3. Unlink Unix socket files so a clean shutdown leaves nothing
+     behind (the CI smoke checks exactly this). *)
+  List.iter
+    (fun (_, addr) ->
+      match addr with
+      | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ())
+    t.listeners;
+  (* 4. Let in-pool work finish and join the worker domains. *)
+  Pool.shutdown t.pool;
+  Mutex.lock t.state_m;
+  t.stopped <- true;
+  Condition.broadcast t.state_cv;
+  Mutex.unlock t.state_m
+
+let accept_loop t =
+  let fds = List.map fst t.listeners in
+  let rec loop () =
+    if Atomic.get t.stop_requested then ()
+    else begin
+      (match Unix.select fds [] [] tick with
+       | ready, _, _ ->
+         List.iter
+           (fun lfd ->
+             match Unix.accept ~cloexec:true lfd with
+             | fd, _ -> spawn_connection t fd
+             | exception
+                 Unix.Unix_error
+                   ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+               ()
+             | exception Unix.Unix_error (Unix.EBADF, _, _) -> ())
+           ready
+       | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  shutdown_sequence t
+
+let bind_listener addr =
+  match addr with
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ ->
+        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+         with Not_found -> Unix.inet_addr_loopback)
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 128
+     with e ->
+       close_quietly fd;
+       raise e);
+    (fd, addr)
+  | Unix_sock path ->
+    (* A previous unclean shutdown may have left the socket file; binding
+       over it is the operator-friendly behaviour. *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 128
+     with e ->
+       close_quietly fd;
+       raise e);
+    (fd, addr)
+
+let start t addrs =
+  if addrs = [] then invalid_arg "Server.start: no addresses";
+  Mutex.lock t.state_m;
+  if t.started then begin
+    Mutex.unlock t.state_m;
+    invalid_arg "Server.start: already started"
+  end;
+  t.started <- true;
+  Mutex.unlock t.state_m;
+  t.listeners <- List.map bind_listener addrs;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ())
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let wait t =
+  match t.accept_thread with
+  | None -> ()
+  | Some th ->
+    Mutex.lock t.state_m;
+    while not t.stopped do
+      Condition.wait t.state_cv t.state_m
+    done;
+    Mutex.unlock t.state_m;
+    (try Thread.join th with _ -> ())
+
+let stop t =
+  (match t.accept_thread with
+   | None ->
+     (* Never started: there is nothing to drain, but the pool still owns
+        worker domains. *)
+     request_stop t;
+     Pool.shutdown t.pool
+   | Some _ ->
+     request_stop t;
+     wait t)

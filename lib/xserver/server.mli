@@ -1,0 +1,110 @@
+(** The xseq query daemon: a long-lived concurrent service answering
+    {!Protocol} frames over TCP and Unix-domain sockets.
+
+    {2 Architecture}
+
+    One accept loop (a [select] tick over every listener) hands each
+    connection to a dedicated systhread; connection threads decode
+    frames and feed query execution into a shared
+    {!Xutil.Domain_pool} of worker domains via {!Xutil.Domain_pool.async}
+    (so matching runs in parallel on real cores while connection threads
+    only block on I/O and completion signalling).  Everything else is
+    bookkeeping:
+
+    - {b Admission control}: at most [max_pending] query requests may be
+      in flight (queued or executing) at once.  A request arriving beyond
+      that answers an [Overloaded] error frame immediately — connections
+      are never silently dropped.  Per-request deadlines ([timeout_ms] in
+      the frame, else [default_timeout_ms]) are checked when a worker
+      picks the job up: an expired request answers [Timeout] without
+      touching the index.
+    - {b Plan cache}: query compilation (wildcard instantiation +
+      isomorphism expansion) is cached in a {!Plan_cache} LRU keyed by
+      the {e normalized} pattern text, stamped with the index generation.
+    - {b Hot swap}: the served index lives in an [Atomic.t]; [Reload]
+      builds/loads the replacement off to the side and swaps the pointer,
+      so concurrent queries answer against a consistent index — old until
+      the swap commits, new after — and stale cached plans die on their
+      generation stamp.
+    - {b Robustness}: garbage, truncated or oversized frames answer an
+      error frame (or close the connection) and never raise past the
+      connection thread; the accept loop cannot be crashed by a client.
+    - {b Graceful shutdown}: {!stop} stops accepting, lets in-flight
+      requests finish (bounded by [drain_timeout_s]), closes every
+      connection, unlinks Unix socket files, and shuts the worker pool
+      down. *)
+
+type addr =
+  | Tcp of string * int  (** host (interface to bind), port *)
+  | Unix_sock of string  (** filesystem path *)
+
+val addr_to_string : addr -> string
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"] or a bare path containing ['/'] → {!Unix_sock};
+    ["HOST:PORT"] or [":PORT"] (localhost) → {!Tcp}. *)
+
+type source =
+  | Static of Xseq.t
+      (** a resident index; [Reload None] is a no-op, [Reload (Some p)]
+          swaps to the snapshot at [p] *)
+  | Snapshot of string
+      (** serve the snapshot at this path; [Reload None] re-loads the
+          same path (picking up a newly written file), [Reload (Some p)]
+          loads and switches to [p] *)
+  | Dynamic of Xseq.Dynamic.dyn
+      (** base-plus-delta index; [Reload None] flushes the tail and
+          serves the rebuilt snapshot *)
+
+type config = {
+  workers : int;  (** worker domains executing queries (default 2) *)
+  max_pending : int;  (** admission bound on in-flight queries (default 64) *)
+  plan_cache_capacity : int;  (** 0 disables the prepared-plan cache *)
+  default_timeout_ms : int;  (** deadline for requests that carry none; 0 = none *)
+  drain_timeout_s : float;  (** graceful-shutdown drain bound (default 5s) *)
+  debug_delay_ms : int;
+      (** artificial per-query delay before the deadline check — test
+          instrumentation for overload/timeout scenarios (default 0) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> source -> t
+
+val start : t -> addr list -> unit
+(** Binds every address (Unix socket paths are unlinked first, so a
+    stale file from a crashed server never blocks a restart), spawns the
+    accept thread, and returns immediately.
+    @raise Invalid_argument if [addrs] is empty or the server was
+    already started.
+    @raise Unix.Unix_error if a bind fails. *)
+
+val request_stop : t -> unit
+(** Asks the server to shut down and returns immediately — safe to call
+    from a signal handler.  The accept thread performs the actual
+    drain/close/unlink sequence. *)
+
+val stop : t -> unit
+(** {!request_stop} then {!wait}. *)
+
+val wait : t -> unit
+(** Blocks until the server has fully shut down. *)
+
+val metrics : t -> Metrics.t
+val plan_cache : t -> Xseq.prepared Plan_cache.t
+val generation : t -> int
+(** Generation of the index currently being served. *)
+
+val pending : t -> int
+(** Queries currently admitted (queued or executing). *)
+
+val reload : ?path:string -> t -> int
+(** Server-side hot swap (what the [Reload] wire op calls); returns the
+    new generation.  Serialised: concurrent reloads queue.
+    @raise Invalid_argument / Sys_error as the underlying load does. *)
+
+val stats_json : t -> string
+(** What the [Stats] op answers: {!Metrics.to_json} plus generation,
+    uptime, plan-cache and admission gauges. *)

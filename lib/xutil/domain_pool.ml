@@ -127,6 +127,26 @@ let iter ?chunks t f arr =
   if Array.length arr > 0 then
     ignore (mapi ?chunks t (fun _ x -> f x) arr : unit array)
 
+(* Fire-and-forget submission, used by long-lived services (the query
+   server's accept loop feeds connection work into the pool this way).
+   The job is wrapped so it can never raise into [worker_loop]; on a
+   size-1 pool there are no worker domains and the job runs inline in
+   the caller — systhreads on the calling domain still interleave, so a
+   single-worker server remains responsive. *)
+let async t job =
+  let wrapped () = try job () with _ -> () in
+  if t.workers = [] then wrapped ()
+  else begin
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool.async: pool is shut down"
+    end;
+    Queue.push wrapped t.jobs;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+  end
+
 let shutdown t =
   Mutex.lock t.m;
   let was_closed = t.closed in

@@ -57,6 +57,14 @@ val mapi : ?chunks:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val iter : ?chunks:int -> t -> ('a -> unit) -> 'a array -> unit
 (** [iter t f arr] applies [f] to every element, in parallel chunks. *)
 
+val async : t -> (unit -> unit) -> unit
+(** [async t job] submits a single fire-and-forget job and returns
+    immediately.  Exceptions raised by [job] are swallowed (completion
+    signalling is the caller's business — see [Xserver.Server], whose
+    jobs fill a mutex-guarded response slot).  On a size-1 pool the job
+    runs inline in the caller before [async] returns.
+    @raise Invalid_argument if the pool has been {!shutdown}. *)
+
 val shutdown : t -> unit
 (** Drains nothing: waits only for in-flight jobs, then joins every
     worker.  Idempotent; subsequent batch submissions raise

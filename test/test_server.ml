@@ -1,0 +1,533 @@
+(* End-to-end tests of the query server: an in-process daemon on a
+   temp Unix socket, exercised by real clients over the wire.
+
+   Covers the full acceptance surface: wire answers equal offline
+   [Xseq.query]; concurrent clients (including a slow writer/reader and
+   a garbage sender) never crash the accept loop; metrics reconcile
+   against the requests actually sent; overload answers [Overloaded]
+   frames while the server stays up; deadlines answer [Timeout]; and
+   [Reload] hot swap yields only old-consistent or new-consistent
+   answers. *)
+
+module T = Xmlcore.Xml_tree
+module P = Xserver.Protocol
+module Server = Xserver.Server
+module Client = Xserver.Client
+module Plan_cache = Xserver.Plan_cache
+
+let e = T.elt
+let v = T.text
+
+let docs_a =
+  [|
+    e "P"
+      [
+        v "xml";
+        e "R" [ e "M" [ v "tom" ]; e "L" [ v "newyork" ] ];
+        e "D"
+          [
+            e "M" [ v "johnson" ];
+            e "U" [ e "M" [ v "mary" ]; e "N" [ v "GUI" ] ];
+            e "U" [ e "N" [ v "engine" ] ];
+            e "L" [ v "boston" ];
+          ];
+      ];
+    e "P" [ e "L" [ e "S" [] ]; e "L" [ e "B" [] ] ];
+    e "P" [ e "L" [ e "S" []; e "B" [] ] ];
+    e "P" [ e "R" [ e "L" [ v "boston" ] ] ];
+  |]
+
+let extra_doc = e "P" [ e "L" [ e "S" [] ] ]
+
+let xpaths =
+  [ "/P/R/L"; "/P//N"; "/P/L/S"; "/P/R[L='newyork']"; "//U[M='mary']"; "/P/*/L" ]
+
+let index_a = Xseq.build docs_a
+let expected = List.map (fun q -> (q, Xseq.query_xpath index_a q)) xpaths
+
+(* --- scaffolding ----------------------------------------------------------- *)
+
+let tmp_sock () =
+  let path = Filename.temp_file "xseq_srv" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?config source f =
+  let path = tmp_sock () in
+  let srv = Server.create ?config source in
+  Server.start srv [ Server.Unix_sock path ];
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv (Server.Unix_sock path))
+
+let raw_connect (addr : Server.addr) =
+  match addr with
+  | Server.Unix_sock path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Server.Tcp _ -> Alcotest.fail "tests use unix sockets"
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* JSON scraping, enough for the flat integers the stats op emits.
+   [key] must be the bare field name; matches the first occurrence. *)
+let index_of hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub hay i n = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_int_opt json key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  match index_of json pat with
+  | None -> None
+  | Some i ->
+    let j = ref (i + String.length pat) in
+    while !j < String.length json && json.[!j] = ' ' do
+      incr j
+    done;
+    let k = ref !j in
+    while
+      !k < String.length json
+      && (match json.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr k
+    done;
+    if !k = !j then None else Some (int_of_string (String.sub json !j (!k - !j)))
+
+let find_int json key =
+  match find_int_opt json key with
+  | Some n -> n
+  | None -> Alcotest.failf "stats JSON lacks %S:\n%s" key json
+
+(* --- basic round trips ----------------------------------------------------- *)
+
+let test_roundtrip () =
+  with_server (Server.Static index_a) (fun srv addr ->
+      Client.with_connection addr (fun c ->
+          Client.ping c;
+          List.iter
+            (fun (q, want) ->
+              Alcotest.(check (list int)) q want (Client.query c q))
+            expected;
+          let gen, ids = Client.query_full c "/P/L/S" in
+          Alcotest.(check int) "generation" (Server.generation srv) gen;
+          Alcotest.(check (list int)) "query_full ids" [ 1; 2 ] ids;
+          let batch = Client.query_batch c (Array.of_list xpaths) in
+          Array.iteri
+            (fun i ids ->
+              Alcotest.(check (list int))
+                ("batch " ^ List.nth xpaths i)
+                (List.assoc (List.nth xpaths i) expected)
+                ids)
+            batch;
+          let json = Client.stats c in
+          Alcotest.(check bool) "stats json shaped" true
+            (String.length json > 2 && json.[0] = '{'
+            && json.[String.length json - 1] = '}')))
+
+let test_bad_xpath () =
+  with_server (Server.Static index_a) (fun _srv addr ->
+      Client.with_connection addr (fun c ->
+          (match Client.query c "/P[unclosed" with
+           | _ -> Alcotest.fail "expected Bad_request"
+           | exception Client.Server_error (P.Bad_request, _) -> ());
+          (* the connection survives an application-level error *)
+          Client.ping c;
+          Alcotest.(check (list int)) "still correct"
+            (List.assoc "/P/L/S" expected)
+            (Client.query c "/P/L/S")))
+
+(* --- concurrency and hostile peers ----------------------------------------- *)
+
+let test_concurrent_and_hostile () =
+  with_server (Server.Static index_a) (fun _srv addr ->
+      let failures = ref [] in
+      let fm = Mutex.create () in
+      let fail_msg m =
+        Mutex.lock fm;
+        failures := m :: !failures;
+        Mutex.unlock fm
+      in
+      let querier k () =
+        try
+          Client.with_connection addr (fun c ->
+              for i = 0 to 24 do
+                let q = List.nth xpaths ((i + k) mod List.length xpaths) in
+                if Client.query c q <> List.assoc q expected then
+                  fail_msg (Printf.sprintf "thread %d: %s wrong" k q);
+                if i mod 5 = 0 then begin
+                  let arr = Array.of_list xpaths in
+                  let got = Client.query_batch c arr in
+                  Array.iteri
+                    (fun j ids ->
+                      if ids <> List.assoc arr.(j) expected then
+                        fail_msg
+                          (Printf.sprintf "thread %d: batch %s wrong" k arr.(j)))
+                    got
+                end
+              done)
+        with ex -> fail_msg (Printf.sprintf "thread %d: %s" k (Printexc.to_string ex))
+      in
+      let slow_peer () =
+        (* Dribbles a valid Query frame one byte at a time, then dawdles
+           before reading the response. *)
+        try
+          let fd = raw_connect addr in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let frame =
+                P.encode_request (P.Query { xpath = "/P/L/S"; timeout_ms = 0 })
+              in
+              String.iter
+                (fun ch ->
+                  send_all fd (String.make 1 ch);
+                  Thread.delay 0.001)
+                frame;
+              Thread.delay 0.05;
+              match P.read_frame fd with
+              | Ok f ->
+                (match P.decode_response f with
+                 | Ok (P.Result { ids; _ }) ->
+                   if ids <> List.assoc "/P/L/S" expected then
+                     fail_msg "slow peer: wrong ids"
+                 | _ -> fail_msg "slow peer: unexpected response")
+              | Error _ -> fail_msg "slow peer: no response")
+        with ex -> fail_msg ("slow peer: " ^ Printexc.to_string ex)
+      in
+      let garbage_peer () =
+        (* Exactly [header_size] bytes of garbage: the server must answer
+           a Bad_request frame and close — never crash. *)
+        try
+          let fd = raw_connect addr in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              send_all fd "BADBYTES";
+              (match P.read_frame fd with
+               | Ok f ->
+                 (match P.decode_response f with
+                  | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+                  | _ -> fail_msg "garbage peer: expected Bad_request frame")
+               | Error _ -> fail_msg "garbage peer: expected an error frame");
+              match P.read_frame fd with
+              | Error P.Eof -> ()
+              | _ -> fail_msg "garbage peer: connection should be closed")
+        with ex -> fail_msg ("garbage peer: " ^ Printexc.to_string ex)
+      in
+      let oversized_peer () =
+        (* A header announcing a 4 GiB payload must be rejected before
+           any allocation. *)
+        try
+          let fd = raw_connect addr in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let b = Bytes.create 8 in
+              Bytes.blit_string P.magic 0 b 0 2;
+              Bytes.set b 2 (Char.chr P.version);
+              Bytes.set b 3 '\x00';
+              Bytes.set_int32_le b 4 0xFFFFFF0l;
+              send_all fd (Bytes.to_string b);
+              match P.read_frame fd with
+              | Ok f ->
+                (match P.decode_response f with
+                 | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+                 | _ -> fail_msg "oversized peer: expected Bad_request")
+              | Error _ -> fail_msg "oversized peer: expected an error frame")
+        with ex -> fail_msg ("oversized peer: " ^ Printexc.to_string ex)
+      in
+      let truncated_peer () =
+        (* Dies mid-frame; the server must shrug it off. *)
+        try
+          let fd = raw_connect addr in
+          let frame = P.encode_request P.Ping in
+          send_all fd (String.sub frame 0 5);
+          Unix.close fd
+        with ex -> fail_msg ("truncated peer: " ^ Printexc.to_string ex)
+      in
+      let threads =
+        List.map
+          (fun job -> Thread.create job ())
+          ([ slow_peer; garbage_peer; oversized_peer; truncated_peer ]
+          @ List.init 4 (fun k -> querier k))
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string)) "no failures" [] !failures;
+      (* the accept loop is still alive *)
+      Client.with_connection addr (fun c ->
+          Client.ping c;
+          Alcotest.(check (list int)) "still correct"
+            (List.assoc "/P/R/L" expected)
+            (Client.query c "/P/R/L")))
+
+(* --- metrics reconciliation ------------------------------------------------ *)
+
+let test_metrics_reconcile () =
+  with_server (Server.Static index_a) (fun _srv addr ->
+      Client.with_connection addr (fun c ->
+          for _ = 1 to 3 do
+            Client.ping c
+          done;
+          for i = 1 to 5 do
+            ignore (Client.query c (List.nth xpaths (i mod List.length xpaths)))
+          done;
+          for _ = 1 to 2 do
+            ignore (Client.query_batch c [| "/P/R/L"; "/P/L/S" |])
+          done;
+          (match Client.query c "/P[oops" with
+           | _ -> Alcotest.fail "expected Bad_request"
+           | exception Client.Server_error (P.Bad_request, _) -> ());
+          let json = Client.stats c in
+          Alcotest.(check int) "ping count" 3 (find_int json "ping");
+          Alcotest.(check int) "query count" 6 (find_int json "query");
+          Alcotest.(check int) "batch count" 2 (find_int json "query_batch");
+          (* the stats response is generated before it is recorded, so the
+             first stats call does not count itself *)
+          Alcotest.(check (option int)) "stats not self-counted"
+            None (find_int_opt json "stats");
+          Alcotest.(check int) "errors_total" 1 (find_int json "errors_total");
+          Alcotest.(check int) "bad_request errors" 1
+            (find_int json "bad_request");
+          Alcotest.(check bool) "bytes received > 0" true
+            (find_int json "bytes_received" > 0);
+          Alcotest.(check bool) "bytes sent > 0" true
+            (find_int json "bytes_sent" > 0);
+          Alcotest.(check bool) "connections opened" true
+            (find_int json "connections_opened" >= 1);
+          Alcotest.(check bool) "matcher probes counted" true
+            (find_int json "probes" > 0);
+          let json2 = Client.stats c in
+          Alcotest.(check int) "second stats sees the first" 1
+            (find_int json2 "stats");
+          Alcotest.(check int) "requests_total" (3 + 6 + 2 + 1)
+            (find_int json2 "requests_total")))
+
+(* --- plan cache ------------------------------------------------------------ *)
+
+let test_plan_cache () =
+  with_server (Server.Static index_a) (fun srv addr ->
+      Client.with_connection addr (fun c ->
+          for _ = 1 to 5 do
+            ignore (Client.query c "/P/D[L='boston']/U[N='GUI']")
+          done;
+          let cache = Server.plan_cache srv in
+          Alcotest.(check int) "one compilation" 1 (Plan_cache.misses cache);
+          Alcotest.(check int) "four hits" 4 (Plan_cache.hits cache);
+          let json = Client.stats c in
+          Alcotest.(check int) "hits surface in stats" 4 (find_int json "hits")))
+
+let test_plan_cache_invalidated_by_reload () =
+  let path = Filename.temp_file "xseq_snap" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Xseq.save index_a path;
+      with_server (Server.Snapshot path) (fun srv addr ->
+          Client.with_connection addr (fun c ->
+              let q = "/P/D[L='boston']/U[N='GUI']" in
+              ignore (Client.query c q);
+              ignore (Client.query c q);
+              let cache = Server.plan_cache srv in
+              Alcotest.(check int) "warm" 1 (Plan_cache.hits cache);
+              let gen0 = Server.generation srv in
+              let gen1 = Client.reload c in
+              Alcotest.(check bool) "fresh generation" true (gen1 <> gen0);
+              (* the cached plan is stamped with the old generation: the
+                 next lookup drops it and recompiles *)
+              Alcotest.(check (list int)) "still correct" [ 0 ]
+                (Client.query c q);
+              Alcotest.(check int) "recompiled" 2 (Plan_cache.misses cache))))
+
+(* --- admission control ----------------------------------------------------- *)
+
+let test_overload () =
+  let config =
+    { Server.default_config with max_pending = 2; debug_delay_ms = 300 }
+  in
+  with_server ~config (Server.Static index_a) (fun srv addr ->
+      let ok = Atomic.make 0
+      and overloaded = Atomic.make 0
+      and other = Atomic.make 0 in
+      let worker () =
+        match
+          Client.with_connection addr (fun c -> Client.query c "/P/L/S")
+        with
+        | ids when ids = List.assoc "/P/L/S" expected -> Atomic.incr ok
+        | _ -> Atomic.incr other
+        | exception Client.Server_error (P.Overloaded, _) ->
+          Atomic.incr overloaded
+        | exception _ -> Atomic.incr other
+      in
+      let threads = List.init 8 (fun _ -> Thread.create worker ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no stray outcomes" 0 (Atomic.get other);
+      Alcotest.(check int) "all accounted for" 8
+        (Atomic.get ok + Atomic.get overloaded);
+      Alcotest.(check bool) "some served" true (Atomic.get ok >= 1);
+      Alcotest.(check bool) "some shed" true (Atomic.get overloaded >= 1);
+      (* the server survived the storm *)
+      Client.with_connection addr (fun c -> Client.ping c);
+      Alcotest.(check int) "nothing stuck in flight" 0 (Server.pending srv))
+
+let test_timeout () =
+  let config = { Server.default_config with debug_delay_ms = 80 } in
+  with_server ~config (Server.Static index_a) (fun _srv addr ->
+      Client.with_connection addr (fun c ->
+          (match Client.query ~timeout_ms:20 c "/P/L/S" with
+           | _ -> Alcotest.fail "expected Timeout"
+           | exception Client.Server_error (P.Timeout, _) -> ());
+          (* no deadline: the same query succeeds despite the delay *)
+          Alcotest.(check (list int)) "no deadline"
+            (List.assoc "/P/L/S" expected)
+            (Client.query c "/P/L/S")))
+
+(* --- hot swap --------------------------------------------------------------- *)
+
+let test_reload_hot_swap () =
+  let path_a = Filename.temp_file "xseq_snap_a" ".idx" in
+  let path_b = Filename.temp_file "xseq_snap_b" ".idx" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path_a; path_b ])
+    (fun () ->
+      let q = "/P/L/S" in
+      Xseq.save index_a path_a;
+      let index_b = Xseq.build (Array.append docs_a [| extra_doc |]) in
+      Xseq.save index_b path_b;
+      let want_a = Xseq.query_xpath index_a q in
+      let want_b = Xseq.query_xpath index_b q in
+      Alcotest.(check bool) "answers differ across swap" true (want_a <> want_b);
+      with_server (Server.Snapshot path_a) (fun srv addr ->
+          let gen_a = Server.generation srv in
+          let obs = ref [] in
+          let om = Mutex.create () in
+          let stop_at = Unix.gettimeofday () +. 0.45 in
+          let querier () =
+            try
+              Client.with_connection addr (fun c ->
+                  while Unix.gettimeofday () < stop_at do
+                    let o = Client.query_full c q in
+                    Mutex.lock om;
+                    obs := o :: !obs;
+                    Mutex.unlock om
+                  done)
+            with ex ->
+              Mutex.lock om;
+              obs := (-1, [ -1 ]) :: !obs;
+              Mutex.unlock om;
+              ignore ex
+          in
+          let threads = List.init 3 (fun _ -> Thread.create querier ()) in
+          Thread.delay 0.15;
+          let gen_b = Client.with_connection addr (fun c -> Client.reload ~path:path_b c) in
+          Alcotest.(check bool) "new generation" true (gen_b <> gen_a);
+          List.iter Thread.join threads;
+          Alcotest.(check bool) "observed something" true (!obs <> []);
+          List.iter
+            (fun (gen, ids) ->
+              if not
+                   ((gen = gen_a && ids = want_a) || (gen = gen_b && ids = want_b))
+              then
+                Alcotest.failf
+                  "torn observation: generation %d with ids [%s]" gen
+                  (String.concat ";" (List.map string_of_int ids)))
+            !obs;
+          (* post-swap queries answer against the new index *)
+          Client.with_connection addr (fun c ->
+              let gen, ids = Client.query_full c q in
+              Alcotest.(check int) "serving b" gen_b gen;
+              Alcotest.(check (list int)) "b's answer" want_b ids)))
+
+let test_dynamic_reload () =
+  let dyn = Xseq.Dynamic.create ~rebuild_threshold:1000 docs_a in
+  with_server (Server.Dynamic dyn) (fun srv addr ->
+      Client.with_connection addr (fun c ->
+          Alcotest.(check (list int)) "initial" [ 1; 2 ] (Client.query c "/P/L/S");
+          let id = Xseq.Dynamic.add dyn extra_doc in
+          Alcotest.(check int) "appended id" 4 id;
+          (* the server keeps answering against its snapshot... *)
+          Alcotest.(check (list int)) "snapshot isolation" [ 1; 2 ]
+            (Client.query c "/P/L/S");
+          (* ...until a reload folds the tail in *)
+          let gen0 = Server.generation srv in
+          let gen1 = Client.reload c in
+          Alcotest.(check bool) "generation advanced" true (gen1 <> gen0);
+          Alcotest.(check (list int)) "tail visible" [ 1; 2; 4 ]
+            (Client.query c "/P/L/S")))
+
+(* --- lifecycle -------------------------------------------------------------- *)
+
+let test_clean_shutdown () =
+  let path = tmp_sock () in
+  let srv = Server.create (Server.Static index_a) in
+  Server.start srv [ Server.Unix_sock path ];
+  Client.with_connection (Server.Unix_sock path) (fun c ->
+      Client.ping c;
+      ignore (Client.query c "/P/R/L"));
+  Server.stop srv;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
+let test_addr_parse () =
+  let check s want =
+    match Server.addr_of_string s with
+    | Ok got -> Alcotest.(check string) s want (Server.addr_to_string got)
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  check "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  check "/tmp/x.sock" "unix:/tmp/x.sock";
+  check "localhost:7070" "localhost:7070";
+  check ":7070" "127.0.0.1:7070";
+  List.iter
+    (fun s ->
+      match Server.addr_of_string s with
+      | Ok _ -> Alcotest.failf "%s should not parse" s
+      | Error _ -> ())
+    [ "nonsense"; "host:notaport"; "host:0"; "host:99999" ]
+
+let () =
+  Alcotest.run "xserver"
+    [
+      ( "round trips",
+        [
+          Alcotest.test_case "wire = offline" `Quick test_roundtrip;
+          Alcotest.test_case "bad xpath" `Quick test_bad_xpath;
+          Alcotest.test_case "address parsing" `Quick test_addr_parse;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "clients + hostile peers" `Quick
+            test_concurrent_and_hostile;
+          Alcotest.test_case "overload sheds, stays up" `Quick test_overload;
+          Alcotest.test_case "deadline answers Timeout" `Quick test_timeout;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics reconcile" `Quick test_metrics_reconcile;
+          Alcotest.test_case "plan cache hits" `Quick test_plan_cache;
+          Alcotest.test_case "reload invalidates plans" `Quick
+            test_plan_cache_invalidated_by_reload;
+        ] );
+      ( "hot swap",
+        [
+          Alcotest.test_case "snapshot swap is consistent" `Quick
+            test_reload_hot_swap;
+          Alcotest.test_case "dynamic source reload" `Quick test_dynamic_reload;
+        ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "clean shutdown" `Quick test_clean_shutdown ] );
+    ]

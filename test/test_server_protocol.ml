@@ -1,0 +1,295 @@
+(* Wire-protocol codec tests: QCheck round trips of every frame kind,
+   plus exhaustive rejection — truncation at every byte boundary, bad
+   magic/version, oversized or lying length fields, unknown opcodes,
+   trailing bytes — mirroring test_store.ml's corruption style.  The
+   invariant under attack: no input of any shape makes the codec raise;
+   malformed frames decode to [Error _]. *)
+
+module P = Xserver.Protocol
+module Gen = QCheck.Gen
+
+(* --- generators ---------------------------------------------------------- *)
+
+let gen_string = Gen.(string_size ~gen:printable (int_bound 40))
+let gen_small_int = Gen.int_bound 1_000_000
+
+let gen_request =
+  Gen.oneof
+    [
+      Gen.return P.Ping;
+      Gen.map2
+        (fun xpath timeout_ms -> P.Query { xpath; timeout_ms })
+        gen_string gen_small_int;
+      Gen.map2
+        (fun xs timeout_ms ->
+          P.Query_batch { xpaths = Array.of_list xs; timeout_ms })
+        Gen.(list_size (int_bound 8) gen_string)
+        gen_small_int;
+      Gen.return P.Stats;
+      Gen.map (fun p -> P.Reload p) (Gen.opt gen_string);
+    ]
+
+let gen_ids = Gen.(list_size (int_bound 20) gen_small_int)
+
+let gen_response =
+  Gen.oneof
+    [
+      Gen.return P.Pong;
+      Gen.map2
+        (fun generation ids -> P.Result { generation; ids })
+        gen_small_int gen_ids;
+      Gen.map2
+        (fun generation ids ->
+          P.Batch_result { generation; ids = Array.of_list ids })
+        gen_small_int
+        Gen.(list_size (int_bound 6) gen_ids);
+      Gen.map (fun s -> P.Stats_json s) gen_string;
+      Gen.map (fun generation -> P.Reloaded { generation }) gen_small_int;
+      Gen.map2
+        (fun code message -> P.Error { code; message })
+        (Gen.oneofl [ P.Bad_request; P.Overloaded; P.Timeout; P.Server_error ])
+        gen_string;
+    ]
+
+let arb_request = QCheck.make ~print:(fun r -> P.encode_request r |> String.escaped) gen_request
+let arb_response = QCheck.make ~print:(fun r -> P.encode_response r |> String.escaped) gen_response
+
+(* --- round trips --------------------------------------------------------- *)
+
+let qcheck_roundtrip_request =
+  QCheck.Test.make ~count:500 ~name:"request round trip" arb_request (fun r ->
+      P.decode_request (P.encode_request r) = Ok r)
+
+let qcheck_roundtrip_response =
+  QCheck.Test.make ~count:500 ~name:"response round trip" arb_response
+    (fun r -> P.decode_response (P.encode_response r) = Ok r)
+
+let sample_requests =
+  [
+    P.Ping;
+    P.Query { xpath = "//author[text='X']"; timeout_ms = 0 };
+    P.Query { xpath = ""; timeout_ms = 250 };
+    P.Query_batch { xpaths = [||]; timeout_ms = 0 };
+    P.Query_batch { xpaths = [| "//a"; "/b/c"; "" |]; timeout_ms = 9 };
+    P.Stats;
+    P.Reload None;
+    P.Reload (Some "/tmp/snapshot.xseq");
+  ]
+
+let sample_responses =
+  [
+    P.Pong;
+    P.Result { generation = 3; ids = [] };
+    P.Result { generation = 0; ids = [ 0; 1; 17; 123456 ] };
+    P.Batch_result { generation = 1; ids = [||] };
+    P.Batch_result { generation = 7; ids = [| [ 1 ]; []; [ 2; 3 ] |] };
+    P.Stats_json "{\"requests_total\": 0}";
+    P.Reloaded { generation = 12 };
+    P.Error { code = P.Bad_request; message = "no" };
+    P.Error { code = P.Overloaded; message = "" };
+    P.Error { code = P.Timeout; message = "deadline" };
+    P.Error { code = P.Server_error; message = "boom" };
+  ]
+
+let test_roundtrip_exhaustive () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "request round trips" true
+        (P.decode_request (P.encode_request r) = Ok r))
+    sample_requests;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "response round trips" true
+        (P.decode_response (P.encode_response r) = Ok r))
+    sample_responses
+
+(* --- rejection ----------------------------------------------------------- *)
+
+let is_error = function Error _ -> true | Ok _ -> false
+
+(* Truncation at every byte boundary must be rejected, never raise. *)
+let test_truncation_everywhere () =
+  List.iter
+    (fun r ->
+      let frame = P.encode_request r in
+      for k = 0 to String.length frame - 1 do
+        let cut = String.sub frame 0 k in
+        Alcotest.(check bool)
+          (Printf.sprintf "request cut at %d rejected" k)
+          true
+          (is_error (P.decode_request cut))
+      done)
+    sample_requests;
+  List.iter
+    (fun r ->
+      let frame = P.encode_response r in
+      for k = 0 to String.length frame - 1 do
+        let cut = String.sub frame 0 k in
+        Alcotest.(check bool)
+          (Printf.sprintf "response cut at %d rejected" k)
+          true
+          (is_error (P.decode_response cut))
+      done)
+    sample_responses
+
+(* Flip one byte of the header in every position/value class. *)
+let test_bad_header () =
+  let frame = P.encode_request (P.Query { xpath = "//a"; timeout_ms = 0 }) in
+  let with_byte i c =
+    let b = Bytes.of_string frame in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "bad magic byte 0" true
+    (is_error (P.decode_request (with_byte 0 'Z')));
+  Alcotest.(check bool) "bad magic byte 1" true
+    (is_error (P.decode_request (with_byte 1 'z')));
+  Alcotest.(check bool) "bad version" true
+    (is_error (P.decode_request (with_byte 2 '\x07')));
+  Alcotest.(check bool) "unknown request opcode" true
+    (is_error (P.decode_request (with_byte 3 '\x7f')));
+  Alcotest.(check bool) "response opcode in a request" true
+    (is_error (P.decode_request (P.encode_response P.Pong)));
+  Alcotest.(check bool) "request opcode in a response" true
+    (is_error (P.decode_response frame));
+  (* Trailing garbage after a well-formed frame. *)
+  Alcotest.(check bool) "appended bytes rejected" true
+    (is_error (P.decode_request (frame ^ "x")))
+
+let test_length_lies () =
+  (* A header announcing more payload than the cap. *)
+  let huge = Bytes.create P.header_size in
+  Bytes.blit_string P.magic 0 huge 0 2;
+  Bytes.set huge 2 (Char.chr P.version);
+  Bytes.set huge 3 '\x01' (* Query *);
+  Bytes.set_int32_le huge 4 (Int32.of_int (P.max_payload + 1));
+  Alcotest.(check bool) "length above the cap rejected" true
+    (is_error (P.decode_request (Bytes.to_string huge)));
+  (* A negative length field. *)
+  Bytes.set_int32_le huge 4 (-1l);
+  Alcotest.(check bool) "negative length rejected" true
+    (is_error (P.decode_request (Bytes.to_string huge)));
+  (* A length field disagreeing with the actual payload. *)
+  let frame = P.encode_request (P.Query { xpath = "//a"; timeout_ms = 0 }) in
+  let b = Bytes.of_string frame in
+  Bytes.set_int32_le b 4 (Int32.of_int (String.length frame));
+  Alcotest.(check bool) "length/payload disagreement rejected" true
+    (is_error (P.decode_request (Bytes.to_string b)));
+  (* An inner count lying about how many items follow. *)
+  let batch = P.encode_request (P.Query_batch { xpaths = [| "a" |]; timeout_ms = 0 }) in
+  let b = Bytes.of_string batch in
+  (* count sits after header (8) + timeout (4) *)
+  Bytes.set_int32_le b 12 1000l;
+  Alcotest.(check bool) "lying batch count rejected" true
+    (is_error (P.decode_request (Bytes.to_string b)));
+  let result = P.encode_response (P.Result { generation = 1; ids = [ 1; 2 ] }) in
+  let b = Bytes.of_string result in
+  (* id count sits after header (8) + generation (4) *)
+  Bytes.set_int32_le b 12 1_000_000l;
+  Alcotest.(check bool) "lying id count rejected" true
+    (is_error (P.decode_response (Bytes.to_string b)))
+
+(* No byte string of any shape may make the decoder raise. *)
+let qcheck_never_raises =
+  QCheck.Test.make ~count:2000 ~name:"garbage never raises"
+    QCheck.(string_gen Gen.char)
+    (fun junk ->
+      (match P.decode_request junk with Ok _ | Error _ -> ());
+      (match P.decode_response junk with Ok _ | Error _ -> ());
+      true)
+
+(* Single-byte mutations of valid frames either decode or reject — never
+   raise (checksum-free format: some mutations inside string payloads
+   legitimately still parse). *)
+let qcheck_mutations_never_raise =
+  QCheck.Test.make ~count:800 ~name:"bit flips never raise"
+    QCheck.(pair arb_request (pair small_nat small_nat))
+    (fun (r, (pos, byte)) ->
+      let frame = Bytes.of_string (P.encode_request r) in
+      let pos = pos mod Bytes.length frame in
+      Bytes.set frame pos (Char.chr (byte mod 256));
+      (match P.decode_request (Bytes.to_string frame) with
+       | Ok _ | Error _ -> ());
+      true)
+
+(* --- framed I/O over a real socketpair ----------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_read_frame () =
+  (* A valid frame round-trips through the fd layer. *)
+  with_socketpair (fun a b ->
+      let frame = P.encode_request (P.Query { xpath = "//x"; timeout_ms = 1 }) in
+      P.write_frame a frame;
+      (match P.read_frame b with
+       | Ok got -> Alcotest.(check string) "frame survives the fd" frame got
+       | Error _ -> Alcotest.fail "valid frame rejected"));
+  (* EOF before any byte. *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match P.read_frame b with
+      | Error P.Eof -> ()
+      | _ -> Alcotest.fail "want Eof");
+  (* EOF inside the header and inside the payload. *)
+  with_socketpair (fun a b ->
+      let frame = P.encode_request (P.Query { xpath = "//x"; timeout_ms = 1 }) in
+      ignore (Unix.write_substring a frame 0 5);
+      Unix.close a;
+      match P.read_frame b with
+      | Error P.Truncated -> ()
+      | _ -> Alcotest.fail "want Truncated (header)");
+  with_socketpair (fun a b ->
+      let frame = P.encode_request (P.Query { xpath = "//xyz"; timeout_ms = 1 }) in
+      ignore (Unix.write_substring a frame 0 (String.length frame - 2));
+      Unix.close a;
+      match P.read_frame b with
+      | Error P.Truncated -> ()
+      | _ -> Alcotest.fail "want Truncated (payload)");
+  (* Garbage magic is rejected from the header alone. *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "GARBAGE!" 0 8);
+      Unix.close a;
+      match P.read_frame b with
+      | Error (P.Bad_header _) -> ()
+      | _ -> Alcotest.fail "want Bad_header");
+  (* A hostile length field is rejected before any payload allocation. *)
+  with_socketpair (fun a b ->
+      let h = Bytes.create P.header_size in
+      Bytes.blit_string P.magic 0 h 0 2;
+      Bytes.set h 2 (Char.chr P.version);
+      Bytes.set h 3 '\x01';
+      Bytes.set_int32_le h 4 0x7fffffffl;
+      ignore (Unix.write a h 0 P.header_size);
+      match P.read_frame b with
+      | Error (P.Bad_header _) -> ()
+      | _ -> Alcotest.fail "want Bad_header for oversized length")
+
+let () =
+  Alcotest.run "xserver protocol"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "exhaustive round trips" `Quick
+            test_roundtrip_exhaustive;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip_request;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip_response;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "truncation at every boundary" `Quick
+            test_truncation_everywhere;
+          Alcotest.test_case "bad magic/version/opcode" `Quick test_bad_header;
+          Alcotest.test_case "length field lies" `Quick test_length_lies;
+          QCheck_alcotest.to_alcotest qcheck_never_raises;
+          QCheck_alcotest.to_alcotest qcheck_mutations_never_raise;
+        ] );
+      ("framed io", [ Alcotest.test_case "read_frame" `Quick test_read_frame ]);
+    ]

@@ -303,6 +303,34 @@ let test_prepared_queries () =
         (Xseq.run_prepared index prepared))
     [ "/P//L"; "/P/D[L='boston']"; "/P[L/S]"; "/P/*/M" ]
 
+let test_generation_stamp () =
+  (* Every index gets a distinct generation; prepared queries are pinned
+     to the index they were compiled against. *)
+  let a = build [ project_doc ] in
+  let b = build [ project_doc ] in
+  Alcotest.(check bool) "generations distinct" true
+    (Xseq.generation a <> Xseq.generation b);
+  let p = Xseq.prepare a (Xseq.Xpath.parse "/P/R/L") in
+  Alcotest.(check (list int)) "runs on its own index" [ 0 ]
+    (Xseq.run_prepared a p);
+  (match Xseq.run_prepared b p with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument msg ->
+     (* "Xseq.run_prepared: prepared query belongs to index generation
+        %d, not %d" *)
+     Alcotest.(check bool) "message names the mismatch" true
+       (String.length msg >= 17
+        && String.sub msg 0 17 = "Xseq.run_prepared"));
+  (* load produces a fresh generation too *)
+  with_temp_file (fun path ->
+      Xseq.save a path;
+      let restored = Xseq.load path in
+      Alcotest.(check bool) "load gets fresh generation" true
+        (Xseq.generation restored <> Xseq.generation a);
+      match Xseq.run_prepared restored p with
+      | _ -> Alcotest.fail "expected Invalid_argument after load"
+      | exception Invalid_argument _ -> ())
+
 let test_contains () =
   let index = build [ project_doc; fig4_doc ] in
   let p = Xseq.Xpath.parse "/P/L/S" in
@@ -388,6 +416,7 @@ let () =
             test_random_index_rejects_queries;
           Alcotest.test_case "empty corpus" `Quick test_empty_corpus;
           Alcotest.test_case "prepared queries" `Quick test_prepared_queries;
+          Alcotest.test_case "generation stamp" `Quick test_generation_stamp;
           Alcotest.test_case "contains" `Quick test_contains;
         ] );
       ( "dynamic",
