@@ -15,10 +15,12 @@ bench:
 
 # Machine-readable benchmarks: parallel build / batched-query throughput
 # (BENCH_parallel.json), storage-backend probe throughput
-# (BENCH_storage.json), and query-server throughput/latency with the
-# plan cache A/B'd (BENCH_server.json).
+# (BENCH_storage.json), query-server throughput/latency with the
+# plan cache A/B'd (BENCH_server.json), and the durable ingestion path —
+# fsync batching, query latency under concurrent ingest, recovery time
+# (BENCH_ingest.json).
 bench-json:
-	dune exec bench/main.exe -- parallel storage server
+	dune exec bench/main.exe -- parallel storage server ingest
 
 examples:
 	dune exec examples/quickstart.exe

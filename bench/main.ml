@@ -831,6 +831,179 @@ let server_bench () =
   Printf.printf "wrote BENCH_server.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Ingest: the durable write path — WAL fsync batching, query latency  *)
+(* under concurrent ingestion, crash-recovery (replay) time.           *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_store_dir name f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xseq-bench-%s-%d" name (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let ingest_bench () =
+  header
+    "Ingest: durable write path — WAL fsync batching vs throughput, \
+     query latency under concurrent ingestion, recovery time (see \
+     BENCH_ingest.json)";
+  let n = n_scaled 2_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  (* A: insert throughput per fsync policy.  sync-every 1 is the durable
+     default (one fsync per acknowledged record); larger batches are the
+     group-commit trade-off; 0 never syncs (OS page cache only). *)
+  let sync_levels = [ 1; 8; 64; 0 ] in
+  Printf.printf "%12s %12s %14s %12s\n" "sync-every" "inserts/s" "wall (ms)"
+    "WAL bytes";
+  let insert_rows =
+    List.map
+      (fun sync_every ->
+        with_store_dir "ingest-a" (fun dir ->
+            let log = Xlog.open_ ~sync_every ~memtable_limit:128 dir in
+            let (), dt =
+              time (fun () ->
+                  Array.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+                  Xlog.sync log)
+            in
+            let wal_bytes = Xlog.wal_offset log in
+            Xlog.close log;
+            let rate = if dt > 0. then float_of_int n /. dt else 0. in
+            Printf.printf "%12s %12.0f %14.1f %12d\n%!"
+              (if sync_every = 0 then "never"
+               else string_of_int sync_every)
+              rate (ms dt) wal_bytes;
+            (sync_every, rate, dt, wal_bytes)))
+      sync_levels
+  in
+  (* B: query latency while an ingester hammers the same store,
+     vs the same queries against the quiesced store afterwards.
+     memtable seals and background compactions happen mid-measurement —
+     that interference is exactly what is being measured. *)
+  let xpaths = [| "//author"; "//title"; "/article/author" |] in
+  let concurrent_lat, quiesced_lat, answers_ok =
+    with_store_dir "ingest-b" (fun dir ->
+        let log = Xlog.open_ ~sync_every:8 ~memtable_limit:128 dir in
+        let seed = n / 2 in
+        for i = 0 to seed - 1 do
+          ignore (Xlog.insert log docs.(i) : int)
+        done;
+        Xlog.flush log;
+        ignore (Xlog.compact ~wait:true log : bool);
+        let done_ = Atomic.make false in
+        let ingester =
+          Thread.create
+            (fun () ->
+              for i = seed to n - 1 do
+                ignore (Xlog.insert log docs.(i) : int)
+              done;
+              Xlog.flush log;
+              Atomic.set done_ true)
+            ()
+        in
+        let concurrent = ref [] in
+        while not (Atomic.get done_) do
+          Array.iter
+            (fun q ->
+              let q0 = Unix.gettimeofday () in
+              ignore (Xlog.query_xpath log q : int list);
+              concurrent := (Unix.gettimeofday () -. q0) :: !concurrent)
+            xpaths
+        done;
+        Thread.join ingester;
+        let rounds = max 1 (List.length !concurrent / Array.length xpaths) in
+        let quiesced = ref [] in
+        for _ = 1 to rounds do
+          Array.iter
+            (fun q ->
+              let q0 = Unix.gettimeofday () in
+              ignore (Xlog.query_xpath log q : int list);
+              quiesced := (Unix.gettimeofday () -. q0) :: !quiesced)
+            xpaths
+        done;
+        (* Final answers must be id-for-id a from-scratch build's. *)
+        let oracle = Xseq.build docs in
+        let ok =
+          Array.for_all
+            (fun q ->
+              Xlog.query_xpath log q
+              = Xseq.query oracle (Xseq.Xpath.parse q))
+            xpaths
+        in
+        Xlog.close log;
+        let sorted l =
+          let a = Array.of_list l in
+          Array.sort Stdlib.compare a;
+          a
+        in
+        (sorted !concurrent, sorted !quiesced, ok))
+  in
+  let c50 = ms (percentile concurrent_lat 0.5)
+  and c95 = ms (percentile concurrent_lat 0.95)
+  and q50 = ms (percentile quiesced_lat 0.5)
+  and q95 = ms (percentile quiesced_lat 0.95) in
+  Printf.printf
+    "query latency: under ingest p50 %.3f ms p95 %.3f ms (%d queries); \
+     quiesced p50 %.3f ms p95 %.3f ms; answers_ok %b\n%!"
+    c50 c95
+    (Array.length concurrent_lat)
+    q50 q95 answers_ok;
+  (* C: recovery time — reopen cost with a full WAL to replay, then
+     again after a compaction checkpoint absorbed it. *)
+  let replay_ms, replayed, ckp_ms, ckp_replayed =
+    with_store_dir "ingest-c" (fun dir ->
+        let log = Xlog.open_ ~sync_every:8 dir in
+        Array.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+        Xlog.close log;
+        let log, t_replay = time (fun () -> Xlog.open_ dir) in
+        let replayed = (Xlog.recovery log).Xlog.replayed in
+        ignore (Xlog.compact ~wait:true log : bool);
+        Xlog.close log;
+        let log, t_ckp = time (fun () -> Xlog.open_ dir) in
+        let ckp_replayed = (Xlog.recovery log).Xlog.replayed in
+        Xlog.close log;
+        (ms t_replay, replayed, ms t_ckp, ckp_replayed))
+  in
+  Printf.printf
+    "recovery: WAL replay of %d records in %.1f ms; checkpointed open \
+     replays %d in %.1f ms\n%!"
+    replayed replay_ms ckp_replayed ckp_ms;
+  let oc = open_out "BENCH_ingest.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"records\": %d,\n  \"insert_runs\": [\n" n;
+      List.iteri
+        (fun i (sync_every, rate, dt, wal_bytes) ->
+          Printf.fprintf oc
+            "    {\"sync_every\": %d, \"inserts_per_s\": %.0f, \"wall_ms\": \
+             %.1f, \"wal_bytes\": %d}%s\n"
+            sync_every rate (ms dt) wal_bytes
+            (if i = List.length insert_rows - 1 then "" else ","))
+        insert_rows;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"query_under_ingest\": {\"concurrent_p50_ms\": %.3f, \
+         \"concurrent_p95_ms\": %.3f, \"quiesced_p50_ms\": %.3f, \
+         \"quiesced_p95_ms\": %.3f, \"queries\": %d, \"answers_ok\": %b},\n"
+        c50 c95 q50 q95
+        (Array.length concurrent_lat)
+        answers_ok;
+      Printf.fprintf oc
+        "  \"recovery\": {\"replayed\": %d, \"wal_replay_ms\": %.1f, \
+         \"checkpoint_replayed\": %d, \"checkpoint_open_ms\": %.1f}\n}\n"
+        replayed replay_ms ckp_replayed ckp_ms);
+  Printf.printf "wrote BENCH_ingest.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -968,6 +1141,7 @@ let experiments =
     ("parallel", parallel);
     ("storage", storage);
     ("server", server_bench);
+    ("ingest", ingest_bench);
     ("verify", verify);
     ("micro", micro);
   ]

@@ -312,6 +312,42 @@ let run_local_single index q show io paged =
   if show = 0 then
     Printf.printf "ids: %s\n" (String.concat " " (List.map string_of_int ids))
 
+(* Queries answered directly from a durable Xlog store directory
+   (crash-recovering it first) — the offline twin of [serve --live]. *)
+let run_live_queries dir strategy queries =
+  if queries = [] then begin
+    Printf.eprintf "missing XPATH query\n";
+    exit 1
+  end;
+  let log =
+    try Xlog.open_ ~config:(config_of_strategy strategy) dir
+    with Invalid_argument msg ->
+      Printf.eprintf "query: cannot open live store %s: %s\n" dir msg;
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> Xlog.close log)
+    (fun () ->
+      let r = Xlog.recovery log in
+      if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
+        Printf.eprintf "xseq query: recovered %d WAL records%s\n"
+          r.Xlog.replayed
+          (String.concat ""
+             (List.map
+                (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d)
+                r.Xlog.torn));
+      List.iter
+        (fun q ->
+          let pattern = parse_xpath_or_exit q in
+          let t0 = Unix.gettimeofday () in
+          let ids = Xlog.query log pattern in
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.printf "%d matching records (%.2f ms)\n" (List.length ids)
+            (dt *. 1000.);
+          Printf.printf "ids: %s\n"
+            (String.concat " " (List.map string_of_int ids)))
+        queries)
+
 let query_cmd =
   let args =
     Arg.(
@@ -375,16 +411,37 @@ let query_cmd =
       & info [ "timeout-ms" ]
           ~doc:"With $(b,--connect): per-request deadline (0 = none).")
   in
+  let live =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live" ] ~docv:"DIR"
+          ~doc:
+            "Answer the queries directly from the durable Xlog store in \
+             DIR (crash-recovering it first); every positional argument \
+             is a query.")
+  in
   let run args strategy show io paged connect verbose server_stats reload
-      timeout =
-    match connect with
-    | Some addr ->
+      timeout live =
+    match (live, connect) with
+    | Some _, Some _ ->
+      Printf.eprintf "--live and --connect are mutually exclusive\n";
+      exit 1
+    | Some dir, None ->
+      if show > 0 || io || paged || server_stats || reload <> None then begin
+        Printf.eprintf
+          "--show/--io/--paged/--server-stats/--reload do not apply with \
+           --live\n";
+        exit 1
+      end;
+      run_live_queries dir strategy args
+    | None, Some addr ->
       if show > 0 || io || paged then begin
         Printf.eprintf "--show/--io/--paged do not apply with --connect\n";
         exit 1
       end;
       run_remote addr args verbose server_stats reload timeout
-    | None ->
+    | None, None ->
       (match args with
        | [] ->
          Printf.eprintf "missing FILE (and at least one XPATH)\n";
@@ -430,7 +487,7 @@ let query_cmd =
           share one index and are compiled once each.")
     Term.(
       const run $ args $ strategy_arg $ show $ io $ paged $ connect $ verbose
-      $ server_stats $ reload $ timeout)
+      $ server_stats $ reload $ timeout $ live)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -498,10 +555,49 @@ let serve_cmd =
           ~doc:
             "Serve a base-plus-delta Dynamic index with this rebuild \
              threshold; $(b,--reload) (the Reload op) then flushes and \
-             hot-swaps the rebuilt snapshot.")
+             hot-swaps the rebuilt snapshot.  Deprecated: prefer \
+             $(b,--live).")
+  in
+  let live =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live" ] ~docv:"DIR"
+          ~doc:
+            "Serve a durable Xlog store living in DIR (created and \
+             crash-recovered on open).  The Insert/Delete/Flush wire ops \
+             — $(b,xseq ingest --connect) — mutate it; queries answer \
+             over base + deltas minus tombstones.  If FILE is also given \
+             and the store is empty, FILE's records seed it.")
+  in
+  let sync_every =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--live): fsync the WAL after every Nth record (1 = \
+             every record, 0 = never).")
+  in
+  let memtable_limit =
+    Arg.(
+      value & opt int 256
+      & info [ "memtable-limit" ] ~docv:"N"
+          ~doc:
+            "With $(b,--live): seal the unindexed memtable into a delta \
+             segment once it holds N documents (default 256).")
+  in
+  let serve_input =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "XML records or a saved index to serve (optional with \
+             $(b,--live)).")
   in
   let run input strategy socket port host workers max_pending plan_cache
-      no_plan_cache timeout_ms metrics_interval dynamic =
+      no_plan_cache timeout_ms metrics_interval dynamic live sync_every
+      memtable_limit =
     let addrs =
       (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
       @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
@@ -510,17 +606,55 @@ let serve_cmd =
       Printf.eprintf "serve: need --socket PATH and/or --port N\n";
       exit 1
     end;
+    let log_store = ref None in
     let source =
-      if is_index_file input then Xserver.Server.Snapshot input
-      else begin
-        let docs = load_documents input in
-        let config = config_of_strategy strategy in
-        match dynamic with
-        | Some threshold ->
-          Xserver.Server.Dynamic
-            (Xseq.Dynamic.create ~config ~rebuild_threshold:threshold docs)
-        | None -> Xserver.Server.Static (Xseq.build ~config docs)
-      end
+      match live with
+      | Some dir ->
+        let log =
+          try
+            Xlog.open_ ~sync_every ~memtable_limit
+              ~config:(config_of_strategy strategy)
+              dir
+          with Invalid_argument msg ->
+            Printf.eprintf "serve: cannot open live store %s: %s\n" dir msg;
+            exit 1
+        in
+        log_store := Some log;
+        let r = Xlog.recovery log in
+        if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
+          Printf.eprintf "xseq serve: recovered %d WAL records%s\n"
+            r.Xlog.replayed
+            (String.concat ""
+               (List.map
+                  (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d)
+                  r.Xlog.torn));
+        (match input with
+         | Some file when Xlog.next_id log = 0 ->
+           let docs = load_documents file in
+           Array.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+           Xlog.flush log;
+           Printf.eprintf "xseq serve: seeded live store with %d records\n"
+             (Array.length docs)
+         | _ -> ());
+        Xserver.Server.Live log
+      | None ->
+        let input =
+          match input with
+          | Some f -> f
+          | None ->
+            Printf.eprintf "serve: need FILE (or --live DIR)\n";
+            exit 1
+        in
+        if is_index_file input then Xserver.Server.Snapshot input
+        else begin
+          let docs = load_documents input in
+          let config = config_of_strategy strategy in
+          match dynamic with
+          | Some threshold ->
+            Xserver.Server.Dynamic
+              (Xseq.Dynamic.create ~config ~rebuild_threshold:threshold docs)
+          | None -> Xserver.Server.Static (Xseq.build ~config docs)
+        end
     in
     let config =
       {
@@ -558,6 +692,7 @@ let serve_cmd =
              loop ())
            ());
     Xserver.Server.wait server;
+    (match !log_store with Some log -> Xlog.close log | None -> ());
     Printf.eprintf "xseq serve: stopped cleanly\n"
   in
   Cmd.v
@@ -568,9 +703,207 @@ let serve_cmd =
           admission control, live metrics and hot index swap ($(b,query \
           --connect) is the matching client).")
     Term.(
-      const run $ input_arg $ strategy_arg $ socket $ port $ host $ workers
+      const run $ serve_input $ strategy_arg $ socket $ port $ host $ workers
       $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
-      $ metrics_interval $ dynamic)
+      $ metrics_interval $ dynamic $ live $ sync_every $ memtable_limit)
+
+(* --- ingest ---------------------------------------------------------------- *)
+
+let ingest_cmd =
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILES"
+          ~doc:"XML record files to ingest (one record per root element).")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Send the records to a running $(b,xseq serve --live) over the \
+             wire protocol.  ADDR is $(b,unix:PATH) or $(b,HOST:PORT).")
+  in
+  let live =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live" ] ~docv:"DIR"
+          ~doc:"Write directly into the durable Xlog store in DIR.")
+  in
+  let sync_every =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--live): fsync the WAL after every Nth record (1 = \
+             every record, 0 = never).")
+  in
+  let throttle_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "throttle-ms" ] ~docv:"MS"
+          ~doc:
+            "Sleep MS milliseconds between records — ingestion pacing; \
+             the CI crash-recovery test uses it to widen its kill \
+             window.")
+  in
+  let do_flush =
+    Arg.(
+      value & flag
+      & info [ "flush" ]
+          ~doc:
+            "After ingesting, seal the memtable into a delta segment and \
+             fsync the WAL (over the wire this is the Flush op).")
+  in
+  let do_compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "With $(b,--live): after ingesting, rebuild base and deltas \
+             into a fresh snapshot and truncate the WAL (a server does \
+             this on the Reload op).")
+  in
+  let deletes =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "delete" ] ~docv:"IDS"
+          ~doc:"Comma-separated document ids to tombstone after the inserts.")
+  in
+  let run files strategy connect live sync_every throttle_ms do_flush
+      do_compact deletes =
+    let throttle () =
+      if throttle_ms > 0 then Unix.sleepf (float_of_int throttle_ms /. 1000.)
+    in
+    let docs =
+      List.concat_map (fun f -> Array.to_list (load_documents f)) files
+    in
+    if docs = [] && deletes = [] && (not do_flush) && not do_compact then begin
+      Printf.eprintf "nothing to do: no FILES, --delete, --flush or --compact\n";
+      exit 1
+    end;
+    let report n first last dt =
+      if n > 0 then
+        Printf.printf
+          "ingested %d records in %.2f ms (%.0f records/s), ids %d..%d\n" n
+          (dt *. 1000.)
+          (if dt > 0. then float_of_int n /. dt else 0.)
+          first last
+    in
+    match (connect, live) with
+    | Some _, Some _ ->
+      Printf.eprintf "--connect and --live are mutually exclusive\n";
+      exit 1
+    | None, None ->
+      Printf.eprintf "ingest: need --connect ADDR or --live DIR\n";
+      exit 1
+    | Some addr, None ->
+      if do_compact then begin
+        Printf.eprintf
+          "--compact applies to --live only (a live server compacts on the \
+           Reload op)\n";
+        exit 1
+      end;
+      let client = connect_or_exit addr in
+      Fun.protect
+        ~finally:(fun () -> Xserver.Client.close client)
+        (fun () ->
+          try
+            let t0 = Unix.gettimeofday () in
+            let first = ref (-1) and last = ref (-1) and n = ref 0 in
+            List.iter
+              (fun d ->
+                let id =
+                  Xserver.Client.insert client (Xmlcore.Xml_printer.to_string d)
+                in
+                if !first < 0 then first := id;
+                last := id;
+                incr n;
+                throttle ())
+              docs;
+            report !n !first !last (Unix.gettimeofday () -. t0);
+            List.iter
+              (fun id ->
+                let existed = Xserver.Client.delete client id in
+                Printf.printf "delete %d: %s\n" id
+                  (if existed then "ok" else "absent"))
+              deletes;
+            if do_flush then begin
+              let gen = Xserver.Client.flush client in
+              Printf.printf "flushed; structure generation %d\n" gen
+            end
+          with
+          | Xserver.Client.Server_error (code, msg) ->
+            Printf.eprintf "server error (%s): %s\n"
+              (Xserver.Protocol.error_code_to_string code)
+              msg;
+            exit 1
+          | Xserver.Client.Protocol_error msg ->
+            Printf.eprintf "protocol error: %s\n" msg;
+            exit 1)
+    | None, Some dir ->
+      let log =
+        try
+          Xlog.open_ ~sync_every ~config:(config_of_strategy strategy) dir
+        with Invalid_argument msg ->
+          Printf.eprintf "ingest: cannot open live store %s: %s\n" dir msg;
+          exit 1
+      in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log)
+        (fun () ->
+          let r = Xlog.recovery log in
+          if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
+            Printf.eprintf "xseq ingest: recovered %d WAL records%s\n"
+              r.Xlog.replayed
+              (String.concat ""
+                 (List.map
+                    (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d)
+                    r.Xlog.torn));
+          let t0 = Unix.gettimeofday () in
+          let first = ref (-1) and last = ref (-1) and n = ref 0 in
+          List.iter
+            (fun d ->
+              let id = Xlog.insert log d in
+              if !first < 0 then first := id;
+              last := id;
+              incr n;
+              throttle ())
+            docs;
+          report !n !first !last (Unix.gettimeofday () -. t0);
+          List.iter
+            (fun id ->
+              let existed = Xlog.remove log id in
+              Printf.printf "delete %d: %s\n" id
+                (if existed then "ok" else "absent"))
+            deletes;
+          if do_flush then Xlog.flush log;
+          if do_compact then begin
+            ignore (Xlog.compact ~wait:true log : bool);
+            Printf.printf "compacted; structure generation %d\n"
+              (Xlog.generation log)
+          end;
+          Printf.printf
+            "store: %d live documents, %d segments, %d pending, %d \
+             tombstones\n"
+            (Xlog.doc_count log) (Xlog.segments log) (Xlog.pending log)
+            (Xlog.tombstones log))
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Append records to a durable live store — directly into an Xlog \
+          directory with $(b,--live), or over the wire protocol to a \
+          running $(b,xseq serve --live) with $(b,--connect).  Every \
+          record is WAL-logged before it is acknowledged; $(b,--delete) \
+          tombstones ids and $(b,--flush)/$(b,--compact) drive the \
+          maintenance ops by hand.")
+    Term.(
+      const run $ files $ strategy_arg $ connect $ live $ sync_every
+      $ throttle_ms $ do_flush $ do_compact $ deletes)
 
 (* --- query-batch ---------------------------------------------------------- *)
 
@@ -812,4 +1145,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ gen_cmd; index_cmd; info_cmd; stats_cmd; paths_cmd; sequence_cmd;
-         query_cmd; query_batch_cmd; explain_cmd; serve_cmd ]))
+         query_cmd; query_batch_cmd; explain_cmd; serve_cmd; ingest_cmd ]))

@@ -16,6 +16,25 @@ let next = ref 1 (* entry 0 = epsilon *)
 
 let epsilon = 0
 
+(* Same synchronisation story as [Designator]: the table is mutated by
+   builds and read by query compiles, possibly from different domains at
+   once (background compaction in `Xlog` builds while server workers
+   compile plans).  All hashtable access goes through [m]; the reverse
+   arrays ([parents]/[tags]/[depths]) stay lock-free on the read side
+   because a path id only reaches another thread through a synchronising
+   publication (an installed index, a compiled plan). *)
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
 let grow () =
   let cap = Array.length !parents in
   if !next >= cap then begin
@@ -33,20 +52,21 @@ let grow () =
 
 let child p d =
   let key = (p, D.to_int d) in
-  match Hashtbl.find_opt table key with
-  | Some id -> id
-  | None ->
-    grow ();
-    let id = !next in
-    incr next;
-    !parents.(id) <- p;
-    !tags.(id) <- d;
-    !depths.(id) <- !depths.(p) + 1;
-    Hashtbl.add table key id;
-    if not (D.is_value d) then !kids.(p) <- id :: !kids.(p);
-    id
+  locked (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some id -> id
+      | None ->
+        grow ();
+        let id = !next in
+        incr next;
+        !parents.(id) <- p;
+        !tags.(id) <- d;
+        !depths.(id) <- !depths.(p) + 1;
+        Hashtbl.add table key id;
+        if not (D.is_value d) then !kids.(p) <- id :: !kids.(p);
+        id)
 
-let find_child p d = Hashtbl.find_opt table (p, D.to_int d)
+let find_child p d = locked (fun () -> Hashtbl.find_opt table (p, D.to_int d))
 
 let parent p =
   if p = epsilon then invalid_arg "Path.parent: epsilon";
@@ -57,7 +77,7 @@ let tag p : D.t =
   !tags.(p)
 
 let depth p = !depths.(p)
-let element_children p = List.rev !kids.(p)
+let element_children p = locked (fun () -> List.rev !kids.(p))
 
 let rec ancestor_at_depth p d =
   let dp = !depths.(p) in

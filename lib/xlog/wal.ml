@@ -1,0 +1,257 @@
+(* Write-ahead log codec and appender: see wal.mli for the format. *)
+
+module T = Xmlcore.Xml_tree
+
+type op =
+  | Insert of int * T.t
+  | Remove of int
+
+let magic = "xlogwal1"
+let header_size = 12 (* u32 length + u64 checksum *)
+let max_record = 16 * 1024 * 1024
+let max_depth = 10_000
+let checksum = Xstorage.Store.checksum_string
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let add_doc b doc =
+  let add_str s =
+    Buffer.add_int32_le b (Int32.of_int (String.length s));
+    Buffer.add_string b s
+  in
+  let rec node = function
+    | T.Element (d, cs) ->
+      Buffer.add_uint8 b 0;
+      add_str (Xmlcore.Designator.name d);
+      Buffer.add_int32_le b (Int32.of_int (List.length cs));
+      List.iter node cs
+    | T.Value s ->
+      Buffer.add_uint8 b 1;
+      add_str s
+  in
+  node doc
+
+let encode_op op =
+  let b = Buffer.create 256 in
+  (match op with
+  | Insert (id, doc) ->
+    Buffer.add_uint8 b 1;
+    Buffer.add_int64_le b (Int64.of_int id);
+    add_doc b doc
+  | Remove id ->
+    Buffer.add_uint8 b 2;
+    Buffer.add_int64_le b (Int64.of_int id));
+  Buffer.contents b
+
+let encode_record op =
+  let payload = encode_op op in
+  let n = String.length payload in
+  if n > max_record then
+    invalid_arg (Printf.sprintf "Xlog.Wal.encode_record: payload %d exceeds cap" n);
+  let b = Buffer.create (header_size + n) in
+  Buffer.add_int32_le b (Int32.of_int n);
+  Buffer.add_int64_le b (checksum payload 0 n);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* --- defensive decoding ------------------------------------------------- *)
+
+exception Malformed of string
+(* Private to this module: every entry point catches it. *)
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+type cursor = { s : string; mutable pos : int; limit : int }
+
+let u8 c =
+  if c.pos >= c.limit then bad "truncated at byte %d" c.pos;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c =
+  if c.pos + 4 > c.limit then bad "truncated u32 at byte %d" c.pos;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then bad "negative u32 at byte %d" (c.pos - 4);
+  v
+
+let i64_id c =
+  if c.pos + 8 > c.limit then bad "truncated id at byte %d" c.pos;
+  let raw = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  let v = Int64.to_int raw in
+  if (not (Int64.equal (Int64.of_int v) raw)) || v < 0 then
+    bad "id out of range at byte %d" (c.pos - 8);
+  v
+
+let str c =
+  let n = u32 c in
+  if n > c.limit - c.pos then bad "string length %d overruns payload" n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let rec doc c depth =
+  if depth > max_depth then bad "nesting deeper than %d" max_depth;
+  match u8 c with
+  | 0 ->
+    let name = str c in
+    let n = u32 c in
+    (* Each child consumes at least one byte, so a lying count runs out
+       of payload and fails the bounds checks above. *)
+    if n > c.limit - c.pos then bad "child count %d overruns payload" n;
+    T.Element (Xmlcore.Designator.tag name, children c depth n [])
+  | 1 -> T.Value (str c)
+  | k -> bad "unknown node kind %d" k
+
+and children c depth n acc =
+  if n = 0 then List.rev acc else children c depth (n - 1) (doc c (depth + 1) :: acc)
+
+let decode_op payload =
+  let c = { s = payload; pos = 0; limit = String.length payload } in
+  match
+    let op =
+      match u8 c with
+      | 1 ->
+        let id = i64_id c in
+        let d = doc c 1 in
+        Insert (id, d)
+      | 2 -> Remove (i64_id c)
+      | k -> bad "unknown op %d" k
+    in
+    if c.pos <> c.limit then bad "%d trailing bytes after op" (c.limit - c.pos);
+    op
+  with
+  | op -> Ok op
+  | exception Malformed msg -> Error msg
+
+(* --- scanning ----------------------------------------------------------- *)
+
+type scan = { ops : op list; good_bytes : int; torn : string option }
+
+let scan_string ?offset s =
+  let len = String.length s in
+  let start = match offset with Some o -> o | None -> String.length magic in
+  if start < String.length magic || start > len then
+    Error (Printf.sprintf "scan offset %d out of bounds" start)
+  else if len < String.length magic || not (String.equal (String.sub s 0 8) magic)
+  then Error "bad WAL magic"
+  else begin
+    let ops = ref [] in
+    let pos = ref start in
+    let torn = ref None in
+    let stop msg = torn := Some (Printf.sprintf "%s at offset %d" msg !pos) in
+    (try
+       while !pos < len && !torn = None do
+         if !pos + header_size > len then begin
+           stop "truncated record header";
+           raise Exit
+         end;
+         let n = Int32.to_int (String.get_int32_le s !pos) in
+         if n < 1 || n > max_record then begin
+           stop (Printf.sprintf "implausible record length %d" n);
+           raise Exit
+         end;
+         if n > len - !pos - header_size then begin
+           stop (Printf.sprintf "truncated record payload (%d declared)" n);
+           raise Exit
+         end;
+         let stored = String.get_int64_le s (!pos + 4) in
+         if not (Int64.equal stored (checksum s (!pos + header_size) n)) then begin
+           stop "record checksum mismatch";
+           raise Exit
+         end;
+         match decode_op (String.sub s (!pos + header_size) n) with
+         | Ok op ->
+           ops := op :: !ops;
+           pos := !pos + header_size + n
+         | Error msg ->
+           stop (Printf.sprintf "undecodable record (%s)" msg);
+           raise Exit
+       done
+     with Exit -> ());
+    Ok { ops = List.rev !ops; good_bytes = !pos; torn = !torn }
+  end
+
+let scan_file ?offset path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> scan_string ?offset s
+  | exception Sys_error msg -> Error msg
+
+(* --- appending ---------------------------------------------------------- *)
+
+type writer = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  sync_every : int;
+  mutable unsynced : int; (* records appended since the last fsync *)
+  mutable off : int; (* logical end of log, buffered bytes included *)
+  mutable closed : bool;
+}
+
+let flush_buf w =
+  if Buffer.length w.buf > 0 then begin
+    let s = Buffer.contents w.buf in
+    Buffer.clear w.buf;
+    let n = String.length s in
+    let written = ref 0 in
+    while !written < n do
+      written := !written + Unix.write_substring w.fd s !written (n - !written)
+    done
+  end
+
+let create ?(sync_every = 1) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let off =
+    if size = 0 then begin
+      let n = Unix.write_substring fd magic 0 (String.length magic) in
+      if n <> String.length magic then begin
+        Unix.close fd;
+        invalid_arg "Xlog.Wal.create: short magic write"
+      end;
+      Unix.fsync fd;
+      String.length magic
+    end
+    else begin
+      let hdr = Bytes.create (String.length magic) in
+      let n = Unix.read fd hdr 0 (Bytes.length hdr) in
+      if n <> Bytes.length hdr || not (String.equal (Bytes.to_string hdr) magic)
+      then begin
+        Unix.close fd;
+        invalid_arg (Printf.sprintf "Xlog.Wal.create: %s is not a WAL file" path)
+      end;
+      ignore (Unix.lseek fd 0 Unix.SEEK_END : int);
+      size
+    end
+  in
+  { fd; buf = Buffer.create 4096; sync_every; unsynced = 0; off; closed = false }
+
+let sync w =
+  flush_buf w;
+  Unix.fsync w.fd;
+  w.unsynced <- 0
+
+let append w op =
+  if w.closed then invalid_arg "Xlog.Wal.append: closed";
+  let r = encode_record op in
+  Buffer.add_string w.buf r;
+  w.off <- w.off + String.length r;
+  w.unsynced <- w.unsynced + 1;
+  if w.sync_every > 0 && w.unsynced >= w.sync_every then sync w
+  else if Buffer.length w.buf >= 1 lsl 20 then flush_buf w
+
+let offset w = w.off
+
+let close w =
+  if not w.closed then begin
+    sync w;
+    w.closed <- true;
+    Unix.close w.fd
+  end

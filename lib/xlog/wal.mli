@@ -1,0 +1,94 @@
+(** Write-ahead log for the durable ingestion subsystem.
+
+    {1 File format}
+
+    A WAL file is a fixed 8-byte magic ["xlogwal1"] followed by a flat
+    run of records:
+
+    {v
+      offset  size  field
+      0       4     payload length u32 LE  (1 .. max_record)
+      4       8     checksum u64 LE — FNV-1a 64 of the payload bytes
+      12      len   payload
+    v}
+
+    The payload's first byte is the operation:
+
+    {v
+      op 1  Insert:  u8 1 | i64 LE id | document
+      op 2  Remove:  u8 2 | i64 LE id
+    v}
+
+    Documents serialise exactly like {!Xseq.save}'s record region: a
+    pre-order walk of [u8 kind] (0 element, 1 value), [u32 LE] length +
+    bytes for names/text, and a [u32 LE] child count for elements.
+    Designators are stored as source strings, never process-interned ids.
+
+    {1 Defensive decoding}
+
+    Like [Xserver.Protocol], the decoder never lets an exception escape:
+    truncation anywhere (including mid-header), a lying length, a
+    checksum mismatch, an unknown op, a hostile child count or a
+    pathological nesting depth all yield [Error] — the basis of crash
+    recovery's "replay until the first bad record, keep what came
+    before" contract. *)
+
+type op =
+  | Insert of int * Xmlcore.Xml_tree.t  (** [id], document *)
+  | Remove of int  (** [id] *)
+
+val magic : string
+(** ["xlogwal1"]. *)
+
+val max_record : int
+(** Upper bound on an encoded payload (matches the server frame cap). *)
+
+val encode_op : op -> string
+(** Payload bytes for one operation (no header). *)
+
+val encode_record : op -> string
+(** Full record: length + checksum header followed by the payload.
+    @raise Invalid_argument if the payload exceeds {!max_record}. *)
+
+val decode_op : string -> (op, string) result
+(** Decodes one payload.  Total: every byte participates, trailing
+    garbage is an error. *)
+
+type scan = {
+  ops : op list;  (** decoded records, in file order *)
+  good_bytes : int;  (** file offset just past the last good record *)
+  torn : string option;  (** diagnostic if the tail was unreadable *)
+}
+
+val scan_string : ?offset:int -> string -> (scan, string) result
+(** Scans WAL bytes starting at [offset] (default just past the magic).
+    A bad magic is [Error]; a torn or corrupt tail is {e not} — the scan
+    stops there and reports it in [torn], because an interrupted final
+    write is the expected crash shape.  Never raises. *)
+
+val scan_file : ?offset:int -> string -> (scan, string) result
+(** {!scan_string} over a file's contents.  Missing file is [Error]. *)
+
+(** {1 Appending} *)
+
+type writer
+
+val create : ?sync_every:int -> string -> writer
+(** Opens [path] for appending, writing the magic if the file is new (or
+    validating it otherwise — a foreign file raises [Invalid_argument]).
+    [sync_every] batches [fsync]: [1] (the default) syncs after every
+    record, [n > 1] after every [n]th, [<= 0] never — callers can still
+    {!sync} explicitly. *)
+
+val append : writer -> op -> unit
+(** Appends one record and applies the [sync_every] policy. *)
+
+val sync : writer -> unit
+(** Flushes buffered records and [fsync]s the file. *)
+
+val offset : writer -> int
+(** Current end-of-log offset (magic + records appended or recovered),
+    i.e. the replay position a checkpoint should record. *)
+
+val close : writer -> unit
+(** {!sync} then close the fd.  Idempotent. *)

@@ -1,0 +1,609 @@
+(* Durable ingestion store: WAL + delta segments + tombstones + compaction.
+   See xlog.mli for the design contract. *)
+
+module T = Xmlcore.Xml_tree
+module Pattern = Xquery.Pattern
+module Wal = Wal
+module Iset = Set.Make (Int)
+
+let ckp_magic = "xlogckp1"
+let ckp_version = 1
+let wal_file dir i = Filename.concat dir (Printf.sprintf "wal-%06d.log" i)
+let base_file i = Printf.sprintf "base-%06d.xseq" i
+
+(* --- view --------------------------------------------------------------- *)
+
+(* A sealed segment: a real index over a batch of documents plus the map
+   from its local ids (dense array indices) to global ids.  [ids] is
+   strictly increasing, and across base :: segs the id ranges are
+   disjoint and ascending, so per-segment sorted answers concatenate
+   into a globally sorted answer. *)
+type seg = { index : Xseq.t; ids : int array }
+
+type view = {
+  base : seg option;  (** compacted base (ids may have gaps) *)
+  segs : seg list;  (** sealed deltas, oldest first *)
+  pending : (int * T.t) list;  (** memtable, newest first; contiguous ids *)
+  npending : int;
+  tombs : Iset.t;
+  stamp : int;  (** changes on seal/compaction install, not on writes *)
+}
+
+type recovery = {
+  replayed : int;
+  recovered_pending : int;
+  torn : (string * string) list;
+}
+
+type t = {
+  dirname : string;
+  view : view Atomic.t;
+  writer_m : Mutex.t;
+  mutable wal : Wal.writer;
+  mutable wal_index : int;
+  mutable next_id : int;
+  mutable compacting : bool;
+  mutable bg : Thread.t option;
+  mutable closed : bool;
+  sync_every : int;
+  memtable_limit : int;
+  max_segments : int;
+  domains : int;
+  pool : Xutil.Domain_pool.t option;
+  config : Xseq.config;
+  recovery_info : recovery;
+}
+
+type prepared = {
+  p_stamp : int;
+  p_plans : (seg * Xseq.prepared) list;
+  p_pattern : Pattern.t;
+}
+
+let locked t f =
+  Mutex.lock t.writer_m;
+  match f () with
+  | v ->
+    Mutex.unlock t.writer_m;
+    v
+  | exception e ->
+    Mutex.unlock t.writer_m;
+    raise e
+
+(* --- checkpoint codec --------------------------------------------------- *)
+
+type checkpoint = {
+  c_wal_index : int;
+  c_wal_offset : int;
+  c_next_id : int;
+  c_base : string;  (** "" = no base snapshot *)
+  c_ids : int array;
+}
+
+let write_file_sync path s =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length s in
+      let w = ref 0 in
+      while !w < n do
+        w := !w + Unix.write_substring fd s !w (n - !w)
+      done;
+      Unix.fsync fd)
+
+let fsync_path path =
+  (* Best-effort directory/file fsync: some filesystems refuse it. *)
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_checkpoint dir c =
+  let body = Buffer.create (64 + (8 * Array.length c.c_ids)) in
+  Buffer.add_int32_le body (Int32.of_int ckp_version);
+  Buffer.add_int32_le body (Int32.of_int c.c_wal_index);
+  Buffer.add_int64_le body (Int64.of_int c.c_wal_offset);
+  Buffer.add_int64_le body (Int64.of_int c.c_next_id);
+  Buffer.add_int32_le body (Int32.of_int (String.length c.c_base));
+  Buffer.add_string body c.c_base;
+  Buffer.add_int64_le body (Int64.of_int (Array.length c.c_ids));
+  Array.iter (fun id -> Buffer.add_int64_le body (Int64.of_int id)) c.c_ids;
+  let body = Buffer.contents body in
+  let b = Buffer.create (16 + String.length body) in
+  Buffer.add_string b ckp_magic;
+  Buffer.add_int64_le b (Xstorage.Store.checksum_string body 0 (String.length body));
+  Buffer.add_string b body;
+  let tmp = Filename.concat dir "checkpoint.tmp" in
+  write_file_sync tmp (Buffer.contents b);
+  Sys.rename tmp (Filename.concat dir "checkpoint");
+  fsync_path dir
+
+let read_checkpoint path =
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error m -> fail "unreadable (%s)" m
+    | s ->
+      let len = String.length s in
+      if len < 16 || not (String.equal (String.sub s 0 8) ckp_magic) then
+        fail "bad magic"
+      else begin
+        let crc = String.get_int64_le s 8 in
+        if not (Int64.equal crc (Xstorage.Store.checksum_string s 16 (len - 16)))
+        then fail "checksum mismatch"
+        else begin
+          let pos = ref 16 in
+          let exception Bad of string in
+          let u32 () =
+            if !pos + 4 > len then raise (Bad "truncated");
+            let v = Int32.to_int (String.get_int32_le s !pos) in
+            pos := !pos + 4;
+            if v < 0 then raise (Bad "negative field");
+            v
+          in
+          let i64 () =
+            if !pos + 8 > len then raise (Bad "truncated");
+            let raw = String.get_int64_le s !pos in
+            pos := !pos + 8;
+            let v = Int64.to_int raw in
+            if (not (Int64.equal (Int64.of_int v) raw)) || v < 0 then
+              raise (Bad "field out of range");
+            v
+          in
+          match
+            let version = u32 () in
+            if version <> ckp_version then
+              raise (Bad (Printf.sprintf "unsupported version %d" version));
+            let c_wal_index = u32 () in
+            let c_wal_offset = i64 () in
+            let c_next_id = i64 () in
+            let blen = u32 () in
+            if blen > len - !pos then raise (Bad "base name overruns");
+            let c_base = String.sub s !pos blen in
+            pos := !pos + blen;
+            let nids = i64 () in
+            if nids > (len - !pos) / 8 then raise (Bad "id table overruns");
+            let c_ids = Array.init nids (fun _ -> i64 ()) in
+            if !pos <> len then raise (Bad "trailing bytes");
+            { c_wal_index; c_wal_offset; c_next_id; c_base; c_ids }
+          with
+          | c -> Ok (Some c)
+          | exception Bad m -> fail "%s" m
+        end
+      end
+  end
+
+(* --- segments ----------------------------------------------------------- *)
+
+let build_seg t ids docs =
+  let index = Xseq.build ~domains:t.domains ?pool:t.pool ~config:t.config docs in
+  { index; ids }
+
+let fresh_stamp () = Xseq.next_generation ()
+
+let seg_query ?stats seg pattern =
+  List.map (fun local -> seg.ids.(local)) (Xseq.query ?stats seg.index pattern)
+
+let sealed v = match v.base with Some b -> b :: v.segs | None -> v.segs
+
+let mem_sorted (ids : int array) id =
+  let lo = ref 0 and hi = ref (Array.length ids) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ids.(mid) < id then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length ids && ids.(!lo) = id
+
+(* --- queries ------------------------------------------------------------ *)
+
+let pending_hits v pattern =
+  List.rev
+    (List.filter_map
+       (fun (id, doc) ->
+         if (not (Iset.mem id v.tombs)) && Xquery.Embedding.matches pattern doc
+         then Some id
+         else None)
+       v.pending)
+
+let answer_view ?stats v pattern =
+  let sealed_hits =
+    List.concat_map
+      (fun seg ->
+        List.filter
+          (fun id -> not (Iset.mem id v.tombs))
+          (seg_query ?stats seg pattern))
+      (sealed v)
+  in
+  sealed_hits @ pending_hits v pattern
+
+let query ?stats t pattern = answer_view ?stats (Atomic.get t.view) pattern
+let query_xpath ?stats t s = query ?stats t (Xquery.Xpath_parser.parse s)
+
+let prepare t pattern =
+  let v = Atomic.get t.view in
+  let p_plans =
+    List.map (fun seg -> (seg, Xseq.prepare seg.index pattern)) (sealed v)
+  in
+  { p_stamp = v.stamp; p_plans; p_pattern = pattern }
+
+let run_prepared ?stats t p =
+  let v = Atomic.get t.view in
+  if v.stamp <> p.p_stamp then
+    invalid_arg
+      (Printf.sprintf
+         "Xlog.run_prepared: plan for structure %d run against structure %d"
+         p.p_stamp v.stamp);
+  let sealed_hits =
+    List.concat_map
+      (fun (seg, plan) ->
+        List.filter_map
+          (fun local ->
+            let id = seg.ids.(local) in
+            if Iset.mem id v.tombs then None else Some id)
+          (Xseq.run_prepared ?stats seg.index plan))
+      p.p_plans
+  in
+  sealed_hits @ pending_hits v p.p_pattern
+
+(* --- mutations ---------------------------------------------------------- *)
+
+let check_open t = if t.closed then invalid_arg "Xlog: store is closed"
+
+let seal_locked t =
+  let v = Atomic.get t.view in
+  if v.npending > 0 then begin
+    let batch = Array.of_list (List.rev v.pending) in
+    let ids = Array.map fst batch in
+    let docs = Array.map snd batch in
+    let seg = build_seg t ids docs in
+    Atomic.set t.view
+      {
+        v with
+        segs = v.segs @ [ seg ];
+        pending = [];
+        npending = 0;
+        stamp = fresh_stamp ();
+      }
+  end
+
+let rotate_locked t =
+  Wal.close t.wal;
+  t.wal_index <- t.wal_index + 1;
+  t.wal <- Wal.create ~sync_every:t.sync_every (wal_file t.dirname t.wal_index)
+
+type snapshot = {
+  s_view : view;
+  s_wal_index : int;  (** replay starts here: the freshly rotated WAL *)
+  s_next_id : int;
+}
+
+(* Must be called with [writer_m] held.  Seals the memtable and rotates
+   the WAL so that every record in files >= [s_wal_index] post-dates the
+   snapshot, then hands the cut to the (possibly backgrounded) rebuild. *)
+let compact_cut_locked t =
+  if t.compacting then None
+  else begin
+    t.compacting <- true;
+    seal_locked t;
+    rotate_locked t;
+    Some
+      {
+        s_view = Atomic.get t.view;
+        s_wal_index = t.wal_index;
+        s_next_id = t.next_id;
+      }
+  end
+
+let rec drop_prefix prefix l =
+  match (prefix, l) with
+  | [], rest -> rest
+  | p :: prefix', x :: l' when p == x -> drop_prefix prefix' l'
+  | _ -> invalid_arg "Xlog: segment list diverged from compaction snapshot"
+
+let prune_files t keep_wal_from keep_base =
+  Array.iter
+    (fun name ->
+      let doomed =
+        (match Scanf.sscanf_opt name "wal-%06d.log%!" Fun.id with
+        | Some i -> i < keep_wal_from
+        | None -> false)
+        || String.length name > 5
+           && String.equal (String.sub name 0 5) "base-"
+           && Filename.check_suffix name ".xseq"
+           && not (String.equal name keep_base)
+      in
+      if doomed then try Sys.remove (Filename.concat t.dirname name) with Sys_error _ -> ())
+    (Sys.readdir t.dirname)
+
+let compact_finish t snap =
+  Fun.protect
+    ~finally:(fun () -> locked t (fun () -> t.compacting <- false))
+    (fun () ->
+      let v = snap.s_view in
+      (* Collect the live documents of the snapshot, in id order. *)
+      let live = ref [] in
+      List.iter
+        (fun seg ->
+          Array.iteri
+            (fun local id ->
+              if not (Iset.mem id v.tombs) then
+                live := (id, Xseq.document seg.index local) :: !live)
+            seg.ids)
+        (sealed v);
+      let live = Array.of_list (List.rev !live) in
+      let base, name, ids =
+        if Array.length live = 0 then (None, "", [||])
+        else begin
+          let ids = Array.map fst live in
+          let seg = build_seg t ids (Array.map snd live) in
+          let name = base_file snap.s_wal_index in
+          let path = Filename.concat t.dirname name in
+          Xseq.save seg.index path;
+          fsync_path path;
+          (Some seg, name, ids)
+        end
+      in
+      (* Commit point: once the checkpoint renames into place, WALs before
+         the rotation and older base snapshots are garbage. *)
+      write_checkpoint t.dirname
+        {
+          c_wal_index = snap.s_wal_index;
+          c_wal_offset = String.length Wal.magic;
+          c_next_id = snap.s_next_id;
+          c_base = name;
+          c_ids = ids;
+        };
+      prune_files t snap.s_wal_index name;
+      (* Install: keep whatever sealed or tombstoned after the cut. *)
+      locked t (fun () ->
+          let cur = Atomic.get t.view in
+          (match (cur.base, v.base) with
+          | Some a, Some b when a == b -> ()
+          | None, None -> ()
+          | _ -> invalid_arg "Xlog: base diverged from compaction snapshot");
+          Atomic.set t.view
+            {
+              base;
+              segs = drop_prefix v.segs cur.segs;
+              pending = cur.pending;
+              npending = cur.npending;
+              tombs = Iset.diff cur.tombs v.tombs;
+              stamp = fresh_stamp ();
+            }))
+
+let spawn_compaction t snap =
+  t.bg <-
+    Some
+      (Thread.create
+         (fun () ->
+           try compact_finish t snap
+           with e ->
+             Printf.eprintf "xlog: background compaction failed: %s\n%!"
+               (Printexc.to_string e))
+         ())
+
+let compact ?(wait = true) t =
+  match
+    locked t (fun () ->
+        check_open t;
+        let cut = compact_cut_locked t in
+        (match cut with
+        | Some snap when not wait -> spawn_compaction t snap
+        | _ -> ());
+        cut)
+  with
+  | None -> false
+  | Some snap ->
+    if wait then compact_finish t snap;
+    true
+
+let insert t doc =
+  locked t (fun () ->
+      check_open t;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Wal.append t.wal (Wal.Insert (id, doc));
+      let v = Atomic.get t.view in
+      Atomic.set t.view
+        { v with pending = (id, doc) :: v.pending; npending = v.npending + 1 };
+      if v.npending + 1 >= t.memtable_limit then begin
+        seal_locked t;
+        if
+          List.length (Atomic.get t.view).segs > t.max_segments
+          && not t.compacting
+        then
+          match compact_cut_locked t with
+          | Some snap -> spawn_compaction t snap
+          | None -> ()
+      end;
+      id)
+
+let live_locked t v id =
+  (* Is [id] a live document of [v]?  (writer_m held: next_id is stable.) *)
+  (not (Iset.mem id v.tombs))
+  && (id >= t.next_id - v.npending
+     || List.exists (fun seg -> mem_sorted seg.ids id) (sealed v))
+
+let remove t id =
+  locked t (fun () ->
+      check_open t;
+      let v = Atomic.get t.view in
+      if id < 0 || id >= t.next_id || not (live_locked t v id) then false
+      else begin
+        Wal.append t.wal (Wal.Remove id);
+        Atomic.set t.view { v with tombs = Iset.add id v.tombs };
+        true
+      end)
+
+let flush t =
+  locked t (fun () ->
+      check_open t;
+      seal_locked t;
+      Wal.sync t.wal)
+
+let sync t =
+  locked t (fun () ->
+      check_open t;
+      Wal.sync t.wal)
+
+let close t =
+  let bg = locked t (fun () ->
+      let bg = t.bg in
+      t.bg <- None;
+      bg)
+  in
+  (match bg with Some th -> Thread.join th | None -> ());
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Wal.close t.wal
+      end)
+
+(* --- introspection ------------------------------------------------------ *)
+
+let doc_count t =
+  let v = Atomic.get t.view in
+  let sealed_docs =
+    List.fold_left (fun acc seg -> acc + Array.length seg.ids) 0 (sealed v)
+  in
+  sealed_docs + v.npending - Iset.cardinal v.tombs
+
+let next_id t = locked t (fun () -> t.next_id)
+let pending t = (Atomic.get t.view).npending
+let segments t = List.length (Atomic.get t.view).segs
+let tombstones t = Iset.cardinal (Atomic.get t.view).tombs
+let generation t = (Atomic.get t.view).stamp
+let wal_offset t = locked t (fun () -> Wal.offset t.wal)
+let dir t = t.dirname
+let recovery t = t.recovery_info
+
+(* --- open / recovery ---------------------------------------------------- *)
+
+let list_wals dirname =
+  Sys.readdir dirname |> Array.to_list
+  |> List.filter_map (fun name ->
+         match Scanf.sscanf_opt name "wal-%06d.log%!" Fun.id with
+         | Some i -> Some (i, Filename.concat dirname name)
+         | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
+    ?(domains = 1) ?pool ?(config = Xseq.default_config) dirname =
+  let config = { config with Xseq.keep_documents = true } in
+  (try Unix.mkdir dirname 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let ckp =
+    match read_checkpoint (Filename.concat dirname "checkpoint") with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Xlog.open_: checkpoint: " ^ msg)
+  in
+  let base, ckp_wal_index, ckp_wal_offset, next_id0 =
+    match ckp with
+    | None -> (None, 0, String.length Wal.magic, 0)
+    | Some c ->
+      let base =
+        if String.equal c.c_base "" then None
+        else begin
+          let index = Xseq.load (Filename.concat dirname c.c_base) in
+          if Xseq.doc_count index <> Array.length c.c_ids then
+            invalid_arg "Xlog.open_: base snapshot disagrees with checkpoint";
+          Some { index; ids = c.c_ids }
+        end
+      in
+      (base, c.c_wal_index, c.c_wal_offset, c.c_next_id)
+  in
+  (* Replay the WAL suffix. *)
+  let replayed = ref 0 in
+  let torn = ref [] in
+  let pending = ref [] in
+  let npending = ref 0 in
+  let tombs = ref Iset.empty in
+  let next_id = ref next_id0 in
+  let wals =
+    List.filter (fun (i, _) -> i >= ckp_wal_index) (list_wals dirname)
+  in
+  List.iter
+    (fun (i, path) ->
+      let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+      if size < String.length Wal.magic then begin
+        (* The magic itself was torn: recover to an empty log. *)
+        torn := (Filename.basename path, "truncated magic") :: !torn;
+        Unix.truncate path 0;
+        (* Wal.create rewrites the magic on a zero-length file. *)
+        Wal.close (Wal.create path)
+      end
+      else begin
+        let offset =
+          if i = ckp_wal_index then ckp_wal_offset else String.length Wal.magic
+        in
+        match Wal.scan_file ~offset path with
+        | Error msg ->
+          invalid_arg
+            (Printf.sprintf "Xlog.open_: %s: %s" (Filename.basename path) msg)
+        | Ok scan ->
+          (match scan.Wal.torn with
+          | Some diag ->
+            torn := (Filename.basename path, diag) :: !torn;
+            Unix.truncate path scan.Wal.good_bytes
+          | None -> ());
+          List.iter
+            (fun op ->
+              incr replayed;
+              match op with
+              | Wal.Insert (id, doc) ->
+                pending := (id, doc) :: !pending;
+                incr npending;
+                if id >= !next_id then next_id := id + 1
+              | Wal.Remove id -> tombs := Iset.add id !tombs)
+            scan.Wal.ops
+      end)
+    wals;
+  let wal_index =
+    match List.rev wals with (i, _) :: _ -> i | [] -> ckp_wal_index
+  in
+  let wal = Wal.create ~sync_every (wal_file dirname wal_index) in
+  let t =
+    {
+      dirname;
+      view =
+        Atomic.make
+          {
+            base;
+            segs = [];
+            pending = !pending;
+            npending = !npending;
+            tombs = !tombs;
+            stamp = fresh_stamp ();
+          };
+      writer_m = Mutex.create ();
+      wal;
+      wal_index;
+      next_id = !next_id;
+      compacting = false;
+      bg = None;
+      closed = false;
+      sync_every;
+      memtable_limit = max 1 memtable_limit;
+      max_segments = max 1 max_segments;
+      domains;
+      pool;
+      config;
+      recovery_info =
+        {
+          replayed = !replayed;
+          recovered_pending = !npending;
+          torn = List.rev !torn;
+        };
+    }
+  in
+  (* A long replay should not leave queries scanning a huge memtable. *)
+  if !npending >= t.memtable_limit then locked t (fun () -> seal_locked t);
+  t

@@ -1,0 +1,157 @@
+(** Durable ingestion: an LSM-shaped write path under {!Xseq}.
+
+    A store lives in a directory:
+
+    {v
+      wal-000017.log    current write-ahead log (see {!Wal})
+      wal-000016.log    older logs awaiting the next checkpoint
+      base-000016.xseq  columnar snapshot of the compacted base index
+      checkpoint        commit record naming the snapshot + replay point
+    v}
+
+    Every [insert]/[remove] appends a WAL record before becoming
+    visible; [sync_every] batches the [fsync]s.  Pending inserts
+    accumulate in a memtable until [memtable_limit], then are {e sealed}
+    into a real (small) {!Xseq.t} delta segment — queries never scan
+    more than one memtable's worth of unindexed documents.  Deletes are
+    tombstones: ids are stable forever and never reused.
+
+    Queries read one immutable {e view} (base + delta segments +
+    memtable + tombstones) obtained with a single atomic load, so they
+    never lock and never observe a half-applied mutation.  Because ids
+    are allocated monotonically and segments seal in order, per-segment
+    sorted answers concatenate into a globally sorted answer — no merge.
+
+    {e Compaction} rebuilds base ⊎ deltas (minus tombstones) off-thread
+    on the shared domain pool, persists the result as a columnar
+    snapshot, commits a checkpoint (tmp + fsync + rename), deletes the
+    WAL files the snapshot absorbed, and atomically installs the new
+    base — concurrent queries keep answering against the old view until
+    the swap, and the structure stamp change invalidates cached plans
+    through the same generation check {!Xseq.run_prepared} performs for
+    the server's plan cache.
+
+    {e Recovery} ([open_] on an existing directory) loads the
+    checkpoint's snapshot and replays the WAL suffix, truncating a torn
+    tail with a diagnostic instead of failing — the contract the
+    kill-at-random-point tests exercise. *)
+
+module Pattern = Xquery.Pattern
+
+module Wal = Wal
+(** The write-ahead-log codec and appender (re-exported so tests and
+    tools can scan log files without going through a store). *)
+
+type t
+
+type recovery = {
+  replayed : int;  (** WAL records applied during open *)
+  recovered_pending : int;  (** documents restored into the memtable *)
+  torn : (string * string) list;
+      (** (wal file, diagnostic) for every truncated torn tail *)
+}
+
+val open_ :
+  ?sync_every:int ->
+  ?memtable_limit:int ->
+  ?max_segments:int ->
+  ?domains:int ->
+  ?pool:Xutil.Domain_pool.t ->
+  ?config:Xseq.config ->
+  string ->
+  t
+(** Opens (creating if needed) the store directory and recovers its
+    contents.  [sync_every] (default 1) is the WAL fsync batch — see
+    {!Wal.create}; acknowledged writes inside an unsynced batch can be
+    lost by a crash, exactly the group-commit trade-off.
+    [memtable_limit] (default 256) bounds the unindexed memtable;
+    [max_segments] (default 8) triggers background compaction once
+    enough deltas pile up.  [domains]/[pool] parallelise every
+    {!Xseq.build} the store performs; [config.keep_documents] is forced
+    on (compaction rebuilds from the kept records).
+    @raise Invalid_argument on a corrupt checkpoint or base snapshot,
+    naming the failure — a torn WAL tail is recovered, not an error. *)
+
+val recovery : t -> recovery
+(** What {!open_} found. *)
+
+val insert : t -> Xmlcore.Xml_tree.t -> int
+(** Appends to the WAL, then makes the document visible.  Returns its
+    id; ids are dense, monotone and stable forever. *)
+
+val remove : t -> int -> bool
+(** Tombstones a live document.  [false] if the id was never allocated
+    or is already removed (nothing is logged in that case). *)
+
+val flush : t -> unit
+(** Seals the memtable into a delta segment (if non-empty) and fsyncs
+    the WAL. *)
+
+val compact : ?wait:bool -> t -> bool
+(** Rebuilds base ⊎ deltas minus tombstones, checkpoints, prunes WALs
+    and installs the result.  With [wait = false] the heavy rebuild runs
+    on a background thread (the memtable seal and WAL rotation still
+    happen synchronously, so the snapshot cut is well defined).  [false]
+    if a compaction was already in flight — at most one runs at a
+    time. *)
+
+val query : ?stats:Xquery.Matcher.stats -> t -> Pattern.t -> int list
+(** Live ids of the documents containing the pattern, sorted — answers
+    are id-for-id what a from-scratch {!Xseq.build} over the live
+    document set would give. *)
+
+val query_xpath : ?stats:Xquery.Matcher.stats -> t -> string -> int list
+
+(** {1 Prepared queries}
+
+    Mirror of {!Xseq.prepare}/{!Xseq.run_prepared} for the server's plan
+    cache: a plan compiles one sub-plan per sealed index and is stamped
+    with the view's structure {!generation}.  Inserts, removes and even
+    memtable growth do {e not} invalidate plans (the run reads the
+    current tombstones and memtable); sealing a segment or installing a
+    compaction does. *)
+
+type prepared
+
+val prepare : t -> Pattern.t -> prepared
+(** @raise Xquery.Instantiate.Too_many when expansion explodes (the
+    caller falls back to {!query}, whose scan fallback is exact). *)
+
+val run_prepared : ?stats:Xquery.Matcher.stats -> t -> prepared -> int list
+(** @raise Invalid_argument if the store's sealed structure changed
+    since {!prepare} — re-prepare, exactly as for {!Xseq.run_prepared}
+    across a hot swap. *)
+
+val generation : t -> int
+(** Stamp of the current sealed structure, from the same process-wide
+    sequence as {!Xseq.generation}.  Changes on open, seal and
+    compaction install; {e not} on insert/remove. *)
+
+(** {1 Introspection} *)
+
+val doc_count : t -> int
+(** Live documents (inserted minus tombstoned). *)
+
+val next_id : t -> int
+(** Ids allocated so far (the next insert's id). *)
+
+val pending : t -> int
+(** Documents in the unindexed memtable. *)
+
+val segments : t -> int
+(** Sealed delta segments (the compacted base not included). *)
+
+val tombstones : t -> int
+(** Tombstones carried by the current view (compaction reclaims them). *)
+
+val wal_offset : t -> int
+(** End-of-log offset of the current WAL file. *)
+
+val dir : t -> string
+
+val sync : t -> unit
+(** Flushes and fsyncs the WAL without sealing. *)
+
+val close : t -> unit
+(** Waits for any background compaction, syncs and closes the WAL.
+    Idempotent; further mutations raise [Invalid_argument]. *)

@@ -10,6 +10,25 @@ let names : string array ref = ref (Array.make 1024 "")
 let kinds : Bytes.t ref = ref (Bytes.make 1024 'T')
 let next = ref 0
 
+(* The table is written by every build and read by every query compile,
+   potentially from different domains at once (e.g. `Xlog`'s background
+   compaction building while server workers answer queries).  All table
+   mutation and lookup goes through [m]; the reverse arrays stay
+   lock-free on the read side because an id can only reach another
+   thread through a synchronising channel (a published index, a compiled
+   plan), which orders the array writes before the reads. *)
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
 let grow () =
   let cap = Array.length !names in
   if !next >= cap then begin
@@ -23,21 +42,22 @@ let grow () =
 
 let intern kind s =
   let key = String.make 1 kind ^ s in
-  match Hashtbl.find_opt table key with
-  | Some id -> id
-  | None ->
-    grow ();
-    let id = !next in
-    incr next;
-    !names.(id) <- s;
-    Bytes.set !kinds id kind;
-    Hashtbl.add table key id;
-    id
+  locked (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some id -> id
+      | None ->
+        grow ();
+        let id = !next in
+        incr next;
+        !names.(id) <- s;
+        Bytes.set !kinds id kind;
+        Hashtbl.add table key id;
+        id)
 
 let tag s = intern 'T' s
 let value s = intern 'V' s
 let char_value c = intern 'V' (String.make 1 c)
-let find_value s = Hashtbl.find_opt table ("V" ^ s)
+let find_value s = locked (fun () -> Hashtbl.find_opt table ("V" ^ s))
 let is_value d = Bytes.get !kinds d = 'V'
 let name d = !names.(d)
 let equal (a : int) b = a = b

@@ -507,10 +507,18 @@ module Dynamic = struct
     mutable base : t;
     mutable tail : T.t list; (* newest first; ids continue after base *)
     mutable tail_len : int;
+    mutable tail_index : t option;
+        (* memoised index over the current tail (ids are tail positions);
+           invalidated by [add]/[flush], rebuilt lazily at query time once
+           the tail is big enough for indexing to beat scanning *)
     threshold : int;
     dconfig : config;
     ddomains : int;
   }
+
+  (* Below this many tail documents an exact scan is cheaper than
+     building even a small index. *)
+  let index_tail_from = 32
 
   let create ?(domains = 1) ?(config = default_config)
       ?(rebuild_threshold = 1024) docs =
@@ -519,6 +527,7 @@ module Dynamic = struct
       base = build ~domains ~config docs;
       tail = [];
       tail_len = 0;
+      tail_index = None;
       threshold = max 1 rebuild_threshold;
       dconfig = config;
       ddomains = domains;
@@ -534,28 +543,51 @@ module Dynamic = struct
     if d.tail_len > 0 then begin
       d.base <- build ~domains:d.ddomains ~config:d.dconfig (all_docs d);
       d.tail <- [];
-      d.tail_len <- 0
+      d.tail_len <- 0;
+      d.tail_index <- None
     end
 
   let add d doc =
     let id = d.base.ndocs + d.tail_len in
     d.tail <- doc :: d.tail;
     d.tail_len <- d.tail_len + 1;
+    d.tail_index <- None;
     if d.tail_len >= d.threshold then flush d;
     id
 
   let query d pattern =
     let base_hits = query d.base pattern in
-    (* The unindexed tail is scanned directly — it is bounded by the
-       rebuild threshold. *)
-    let tail_hits = ref [] in
-    List.iteri
-      (fun k doc ->
-        if Xquery.Embedding.matches pattern doc then
-          (* [tail] is newest-first: position k from the end. *)
-          tail_hits := (d.base.ndocs + d.tail_len - 1 - k) :: !tail_hits)
-      d.tail;
-    base_hits @ List.sort Stdlib.compare !tail_hits
+    let tail_hits =
+      if d.tail_len = 0 then []
+      else if d.tail_len < index_tail_from then begin
+        (* Small tail: exact scan, no sequence re-encoding at all. *)
+        let hits = ref [] in
+        List.iteri
+          (fun k doc ->
+            if Xquery.Embedding.matches pattern doc then
+              (* [tail] is newest-first: position k from the end. *)
+              hits := (d.base.ndocs + d.tail_len - 1 - k) :: !hits)
+          d.tail;
+        List.sort Stdlib.compare !hits
+      end
+      else begin
+        (* Big tail: index it once and reuse across queries, instead of
+           re-encoding every tail document on every query. *)
+        let ti =
+          match d.tail_index with
+          | Some ti -> ti
+          | None ->
+            let ti =
+              build ~domains:d.ddomains ~config:d.dconfig
+                (Array.of_list (List.rev d.tail))
+            in
+            d.tail_index <- Some ti;
+            ti
+        in
+        List.map (fun i -> d.base.ndocs + i) (query ti pattern)
+      end
+    in
+    base_hits @ tail_hits
 
   let query_xpath d s = query d (Xpath.parse s)
   let doc_count d = d.base.ndocs + d.tail_len

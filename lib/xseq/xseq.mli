@@ -156,6 +156,12 @@ val generation : t -> int
     index constructed (built, loaded or rebuilt) in the same process.
     Monotonically increasing; never reused. *)
 
+val next_generation : unit -> int
+(** Allocates a stamp from the same process-wide sequence as index
+    generations.  [Xlog] stamps its merged base+delta views with these,
+    so one namespace covers every plan-cache key regardless of whether
+    the plan was compiled against a frozen index or a live store. *)
+
 val explain : t -> Pattern.t -> Xquery.Engine.explanation
 (** Runs the query and reports the pipeline's work: wildcard
     instantiations, sequence expansions, matcher counters
@@ -226,11 +232,21 @@ val backing_store : t -> Xstorage.Store.t option
 
 (** {1 Incremental indexing}
 
+    {b Deprecated} in favour of the [Xlog] subsystem, which is this idea
+    grown up: durable (write-ahead logged, crash-recoverable), with
+    deletes (tombstones), delta {e segments} instead of one unindexed
+    tail, and non-blocking background compaction instead of a blocking
+    full rebuild.  [Dynamic] is kept as a volatile in-process
+    accumulator for existing callers; new code should use
+    [Xlog.open_]/[insert]/[query].
+
     The labelled index is rebuilt wholesale (labels are dense pre/post
     ranges), so {!Dynamic} batches insertions: new records accumulate in
-    an unindexed tail that queries scan directly, and once the tail
-    exceeds a threshold the whole index is rebuilt — the classic
-    base-plus-delta pattern.  Results are always exact. *)
+    a tail, and once the tail exceeds a threshold the whole index is
+    rebuilt — the classic base-plus-delta pattern.  A small tail is
+    scanned exactly; a larger one is indexed once and the tail index
+    memoised across queries (it used to be re-encoded per query).
+    Results are always exact. *)
 
 module Dynamic : sig
   type dyn

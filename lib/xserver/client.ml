@@ -73,6 +73,21 @@ let reload ?path t =
   | P.Reloaded { generation } -> generation
   | _ -> unexpected "reload"
 
+let insert t xml =
+  match roundtrip t (P.Insert { xml }) with
+  | P.Inserted { id } -> id
+  | _ -> unexpected "insert"
+
+let delete t id =
+  match roundtrip t (P.Delete { id }) with
+  | P.Deleted { existed } -> existed
+  | _ -> unexpected "delete"
+
+let flush t =
+  match roundtrip t P.Flush with
+  | P.Flushed { generation } -> generation
+  | _ -> unexpected "flush"
+
 let with_connection addr f =
   let t = connect addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -39,4 +39,21 @@ val stats : t -> string
 val reload : ?path:string -> t -> int
 (** Asks for a hot swap; returns the new generation. *)
 
+(** {1 Live ingestion}
+
+    Only valid against a server serving an [Xlog] store ([xseq serve
+    --live]); other backends answer [Bad_request], raised here as
+    {!Server_error}. *)
+
+val insert : t -> string -> int
+(** Sends one XML document; returns the stable id it was assigned. *)
+
+val delete : t -> int -> bool
+(** Tombstones a document; [false] if the id was unknown or already
+    removed. *)
+
+val flush : t -> int
+(** Seals the server's memtable and fsyncs its WAL; returns the new
+    structure generation. *)
+
 val with_connection : Server.addr -> (t -> 'a) -> 'a

@@ -22,6 +22,9 @@ type request =
   | Query_batch of { xpaths : string array; timeout_ms : int }
   | Stats
   | Reload of string option
+  | Insert of { xml : string }
+  | Delete of { id : int }
+  | Flush
 
 type response =
   | Pong
@@ -30,6 +33,9 @@ type response =
   | Stats_json of string
   | Reloaded of { generation : int }
   | Error of { code : error_code; message : string }
+  | Inserted of { id : int }
+  | Deleted of { existed : bool }
+  | Flushed of { generation : int }
 
 (* --- opcodes -------------------------------------------------------------- *)
 
@@ -38,12 +44,18 @@ let op_query = 0x01
 let op_query_batch = 0x02
 let op_stats = 0x03
 let op_reload = 0x04
+let op_insert = 0x05
+let op_delete = 0x06
+let op_flush = 0x07
 let op_pong = 0x80
 let op_result = 0x81
 let op_batch_result = 0x82
 let op_stats_json = 0x83
 let op_reloaded = 0x84
 let op_error = 0x85
+let op_inserted = 0x86
+let op_deleted = 0x87
+let op_flushed = 0x88
 
 let code_to_int = function
   | Bad_request -> 0
@@ -104,6 +116,9 @@ let encode_request = function
            | Some p ->
              Buffer.add_uint8 b 1;
              add_str b p))
+  | Insert { xml } -> frame op_insert (payload_of (fun b -> add_str b xml))
+  | Delete { id } -> frame op_delete (payload_of (fun b -> add_u32 b id))
+  | Flush -> frame op_flush ""
 
 let encode_response = function
   | Pong -> frame op_pong ""
@@ -126,6 +141,12 @@ let encode_response = function
       (payload_of (fun b ->
            Buffer.add_uint8 b (code_to_int code);
            add_str b message))
+  | Inserted { id } -> frame op_inserted (payload_of (fun b -> add_u32 b id))
+  | Deleted { existed } ->
+    frame op_deleted
+      (payload_of (fun b -> Buffer.add_uint8 b (if existed then 1 else 0)))
+  | Flushed { generation } ->
+    frame op_flushed (payload_of (fun b -> add_u32 b generation))
 
 (* --- decoding ------------------------------------------------------------- *)
 
@@ -210,6 +231,9 @@ let decode_request s =
       | 1 -> finish c (Reload (Some (str c)))
       | t -> bad "bad option tag %d in Reload" t
     end
+    else if op = op_insert then finish c (Insert { xml = str c })
+    else if op = op_delete then finish c (Delete { id = u32 c })
+    else if op = op_flush then finish c Flush
     else bad "unknown request opcode 0x%02x" op
   with
   | v -> Ok v
@@ -247,6 +271,17 @@ let decode_response s =
       in
       let message = str c in
       finish c (Error { code; message })
+    end
+    else if op = op_inserted then finish c (Inserted { id = u32 c })
+    else if op = op_deleted then begin
+      match u8 c with
+      | 0 -> finish c (Deleted { existed = false })
+      | 1 -> finish c (Deleted { existed = true })
+      | t -> bad "bad boolean tag %d in Deleted" t
+    end
+    else if op = op_flushed then begin
+      let generation = u32 c in
+      finish c (Flushed { generation })
     end
     else bad "unknown response opcode 0x%02x" op
   with

@@ -50,6 +50,11 @@ type request =
   | Reload of string option
       (** hot-swap the served index: [Some path] loads a new snapshot,
           [None] refreshes the server's configured source *)
+  | Insert of { xml : string }
+      (** live ingestion: parse one XML document and insert it into the
+          served [Xlog] store (an error on frozen backends) *)
+  | Delete of { id : int }  (** tombstone a live document *)
+  | Flush  (** seal the memtable and fsync the WAL *)
 
 type response =
   | Pong
@@ -58,6 +63,11 @@ type response =
   | Stats_json of string
   | Reloaded of { generation : int }
   | Error of { code : error_code; message : string }
+  | Inserted of { id : int }  (** the stable id the document got *)
+  | Deleted of { existed : bool }
+      (** [false]: the id was never allocated or already tombstoned *)
+  | Flushed of { generation : int }
+      (** structure generation after the seal *)
 
 (** {1 Codec} *)
 

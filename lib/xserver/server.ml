@@ -49,6 +49,7 @@ type source =
   | Static of Xseq.t
   | Snapshot of string
   | Dynamic of Xseq.Dynamic.dyn
+  | Live of Xlog.t
 
 type config = {
   workers : int;
@@ -69,13 +70,28 @@ let default_config =
     debug_delay_ms = 0;
   }
 
-type serving = { index : Xseq.t; gen : int }
+(* What a request executes against: one [Atomic.get] pins the backend
+   for the whole request.  A frozen backend's generation is fixed at
+   swap time; a live store's structure generation moves underneath us
+   (seals, compaction installs), so it is read per request. *)
+type backend = B_index of Xseq.t | B_live of Xlog.t
+
+type serving = { backend : backend; gen : int }
+
+let serving_gen sv =
+  match sv.backend with B_index _ -> sv.gen | B_live log -> Xlog.generation log
+
+(* Cached plans carry which compiler produced them; generations are
+   allocated from one process-wide sequence ({!Xseq.next_generation}),
+   so a key collision across backend kinds cannot happen — the variant
+   check is defence in depth. *)
+type plan = Plan_index of Xseq.prepared | Plan_live of Xlog.prepared
 
 type t = {
   config : config;
   mutable source : source; (* guarded by [reload_m] *)
   serving : serving Atomic.t;
-  cache : Xseq.prepared Plan_cache.t;
+  cache : plan Plan_cache.t;
   metrics : Metrics.t;
   pool : Pool.t;
   (* admission *)
@@ -97,13 +113,14 @@ type t = {
 }
 
 let serving_of_source = function
-  | Static index -> { index; gen = Xseq.generation index }
+  | Static index -> { backend = B_index index; gen = Xseq.generation index }
   | Snapshot path ->
     let index = Xseq.load path in
-    { index; gen = Xseq.generation index }
+    { backend = B_index index; gen = Xseq.generation index }
   | Dynamic dyn ->
     let index = Xseq.Dynamic.snapshot dyn in
-    { index; gen = Xseq.generation index }
+    { backend = B_index index; gen = Xseq.generation index }
+  | Live log -> { backend = B_live log; gen = Xlog.generation log }
 
 let create ?(config = default_config) source =
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
@@ -133,7 +150,7 @@ let create ?(config = default_config) source =
 
 let metrics t = t.metrics
 let plan_cache t = t.cache
-let generation t = (Atomic.get t.serving).gen
+let generation t = serving_gen (Atomic.get t.serving)
 
 let pending t =
   Mutex.lock t.adm_m;
@@ -158,20 +175,40 @@ let release t =
 (* --- query execution ------------------------------------------------------- *)
 
 (* Compile-or-reuse: normalized pattern text keys the LRU; the entry's
-   generation stamp guarantees the plan belongs to [sv.index].  Queries
-   whose expansion explodes ([Too_many]) bypass the cache and take
-   [Xseq.query]'s exact-scan fallback. *)
+   generation stamp guarantees the plan belongs to the backend snapshot.
+   Queries whose expansion explodes ([Too_many]) bypass the cache and
+   take the exact-scan fallback.  On a live store the structure can seal
+   between the cache probe and the run — [Xlog.run_prepared] raises on
+   its stamp check and the query falls back to the uncached (always
+   current) path rather than answering from a stale plan. *)
 let answer_pattern t sv stats pattern =
   let key = Xquery.Pattern.to_string pattern in
-  match Plan_cache.find t.cache ~generation:sv.gen key with
-  | Some plans -> Xseq.run_prepared ~stats sv.index plans
-  | None ->
-    (match Xseq.prepare sv.index pattern with
-     | plans ->
-       Plan_cache.add t.cache ~generation:sv.gen key plans;
-       Xseq.run_prepared ~stats sv.index plans
-     | exception Xquery.Instantiate.Too_many _ ->
-       Xseq.query ~stats sv.index pattern)
+  match sv.backend with
+  | B_index index ->
+    (match Plan_cache.find t.cache ~generation:sv.gen key with
+     | Some (Plan_index plans) -> Xseq.run_prepared ~stats index plans
+     | Some (Plan_live _) | None ->
+       (match Xseq.prepare index pattern with
+        | plans ->
+          Plan_cache.add t.cache ~generation:sv.gen key (Plan_index plans);
+          Xseq.run_prepared ~stats index plans
+        | exception Xquery.Instantiate.Too_many _ ->
+          Xseq.query ~stats index pattern))
+  | B_live log ->
+    let gen = Xlog.generation log in
+    let run plan =
+      try Xlog.run_prepared ~stats log plan
+      with Invalid_argument _ -> Xlog.query ~stats log pattern
+    in
+    (match Plan_cache.find t.cache ~generation:gen key with
+     | Some (Plan_live plan) -> run plan
+     | Some (Plan_index _) | None ->
+       (match Xlog.prepare log pattern with
+        | plan ->
+          Plan_cache.add t.cache ~generation:gen key (Plan_live plan);
+          run plan
+        | exception Xquery.Instantiate.Too_many _ ->
+          Xlog.query ~stats log pattern))
 
 let parse_xpath xpath =
   match Xquery.Xpath_parser.parse xpath with
@@ -245,7 +282,7 @@ let exec_queries t ~timeout_ms (xpaths : string array) :
                 let stats = Xquery.Matcher.create_stats () in
                 let ids = Array.map (answer_pattern t sv stats) patterns in
                 Metrics.merge_matcher t.metrics stats;
-                Ok (sv.gen, ids)
+                Ok (serving_gen sv, ids)
               end))
 
 (* --- reload ---------------------------------------------------------------- *)
@@ -262,15 +299,22 @@ let reload ?path t =
       in
       (* Build the replacement entirely off to the side; only the final
          pointer swap is visible to queries.  [Static] with no path keeps
-         serving the resident index (nothing to rebuild from). *)
+         serving the resident index (nothing to rebuild from); [Live]
+         with no path flushes the memtable and compacts the store in
+         place — concurrent queries keep answering throughout, against
+         whichever view is installed when they pin it. *)
       let sv =
         match source with
         | Static _ when path = None -> Atomic.get t.serving
+        | Live log when path = None ->
+          Xlog.flush log;
+          ignore (Xlog.compact log : bool);
+          serving_of_source source
         | s -> serving_of_source s
       in
       t.source <- source;
       Atomic.set t.serving sv;
-      sv.gen)
+      serving_gen sv)
 
 (* --- stats ----------------------------------------------------------------- *)
 
@@ -279,14 +323,30 @@ let stats_json t =
   let hits = Plan_cache.hits t.cache and misses = Plan_cache.misses t.cache in
   let looked = hits + misses in
   let page_reads, page_hits =
-    match Xseq.backing_store sv.index with
-    | Some s -> (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
-    | None -> (0, 0)
+    match sv.backend with
+    | B_index index ->
+      (match Xseq.backing_store index with
+       | Some s -> (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
+       | None -> (0, 0))
+    | B_live _ -> (0, 0)
+  in
+  let live_extra =
+    match sv.backend with
+    | B_index _ -> []
+    | B_live log ->
+      [
+        ( "live",
+          Printf.sprintf
+            "{\"doc_count\": %d, \"pending\": %d, \"segments\": %d, \
+             \"tombstones\": %d, \"next_id\": %d, \"wal_offset\": %d}"
+            (Xlog.doc_count log) (Xlog.pending log) (Xlog.segments log)
+            (Xlog.tombstones log) (Xlog.next_id log) (Xlog.wal_offset log) );
+      ]
   in
   Metrics.to_json
     ~extra:
-      [
-        ("generation", string_of_int sv.gen);
+      ([
+        ("generation", string_of_int (serving_gen sv));
         ("uptime_s",
          Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
         ("pending", string_of_int (pending t));
@@ -304,9 +364,15 @@ let stats_json t =
           Printf.sprintf "{\"page_reads\": %d, \"page_hits\": %d}" page_reads
             page_hits );
       ]
+      @ live_extra)
     t.metrics
 
 (* --- dispatch -------------------------------------------------------------- *)
+
+let live_store t =
+  match (Atomic.get t.serving).backend with
+  | B_live log -> Some log
+  | B_index _ -> None
 
 let dispatch t (req : P.request) : string * P.response =
   match req with
@@ -332,6 +398,42 @@ let dispatch t (req : P.request) : string * P.response =
        | Error e -> e
        | exception e ->
          err P.Server_error "%s" (Printexc.to_string e)) )
+  (* Mutations run on the connection thread: the write path is a WAL
+     append under the store's writer lock (plus an occasional bounded
+     memtable seal), so shipping it to a worker domain would only add a
+     handoff to the serialisation already imposed by the log. *)
+  | P.Insert { xml } ->
+    ( "insert",
+      (match live_store t with
+       | None -> err P.Bad_request "server is not serving a live store"
+       | Some log ->
+         (match Xmlcore.Xml_parser.parse_string xml with
+          | doc ->
+            (match Xlog.insert log doc with
+             | id -> P.Inserted { id }
+             | exception e ->
+               err P.Server_error "insert failed: %s" (Printexc.to_string e))
+          | exception Xmlcore.Xml_parser.Parse_error { pos; line; msg } ->
+            err P.Bad_request "XML parse error at line %d (byte %d): %s" line
+              pos msg)) )
+  | P.Delete { id } ->
+    ( "delete",
+      (match live_store t with
+       | None -> err P.Bad_request "server is not serving a live store"
+       | Some log ->
+         (match Xlog.remove log id with
+          | existed -> P.Deleted { existed }
+          | exception e ->
+            err P.Server_error "delete failed: %s" (Printexc.to_string e))) )
+  | P.Flush ->
+    ( "flush",
+      (match live_store t with
+       | None -> err P.Bad_request "server is not serving a live store"
+       | Some log ->
+         (match Xlog.flush log with
+          | () -> P.Flushed { generation = Xlog.generation log }
+          | exception e ->
+            err P.Server_error "flush failed: %s" (Printexc.to_string e))) )
 
 (* --- connection handling --------------------------------------------------- *)
 

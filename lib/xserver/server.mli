@@ -54,7 +54,15 @@ type source =
           loads and switches to [p] *)
   | Dynamic of Xseq.Dynamic.dyn
       (** base-plus-delta index; [Reload None] flushes the tail and
-          serves the rebuilt snapshot *)
+          serves the rebuilt snapshot.  Deprecated — serve a {!Live}
+          store instead. *)
+  | Live of Xlog.t
+      (** durable ingestion store: queries answer over base + delta
+          segments + memtable minus tombstones, and the [Insert] /
+          [Delete] / [Flush] wire ops mutate it.  [Reload None] flushes
+          the memtable and compacts in place (queries keep answering
+          throughout); [Reload (Some p)] switches to the snapshot at
+          [p]. *)
 
 type config = {
   workers : int;  (** worker domains executing queries (default 2) *)
@@ -93,9 +101,19 @@ val wait : t -> unit
 (** Blocks until the server has fully shut down. *)
 
 val metrics : t -> Metrics.t
-val plan_cache : t -> Xseq.prepared Plan_cache.t
+
+type plan
+(** A cached compiled query: an {!Xseq.prepared} for frozen backends or
+    an [Xlog.prepared] for live stores.  Generation stamps come from one
+    process-wide sequence, so the two kinds never collide on a cache key
+    — and dispatch still checks the variant defensively. *)
+
+val plan_cache : t -> plan Plan_cache.t
+
 val generation : t -> int
-(** Generation of the index currently being served. *)
+(** Generation of the index currently being served.  For a {!Live}
+    source this is the store's structure generation: it advances on
+    memtable seals and compaction installs, not on every insert. *)
 
 val pending : t -> int
 (** Queries currently admitted (queued or executing). *)

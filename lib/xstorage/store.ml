@@ -18,6 +18,13 @@ let checksum_bytes b off len =
   done;
   !h
 
+let checksum_string s off len =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (String.get s i)))) fnv_prime
+  done;
+  !h
+
 (* --- columns ------------------------------------------------------------ *)
 
 type flat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t

@@ -148,3 +148,7 @@ val close : t -> unit
 
 val checksum_bytes : Bytes.t -> int -> int -> int64
 (** FNV-1a 64 over [len] bytes at [off] — exposed for tests. *)
+
+val checksum_string : string -> int -> int -> int64
+(** Same hash over an immutable string — shared with the [Xlog] WAL codec
+    so every durable byte in the system uses one checksum. *)

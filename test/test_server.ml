@@ -470,6 +470,136 @@ let test_dynamic_reload () =
           Alcotest.(check (list int)) "tail visible" [ 1; 2; 4 ]
             (Client.query c "/P/L/S")))
 
+(* --- live ingestion ---------------------------------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_live_server ?config ?(memtable_limit = 256) f =
+  let dir = Filename.temp_file "xseq_live" ".store" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let log = Xlog.open_ ~memtable_limit dir in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log)
+        (fun () ->
+          with_server ?config (Server.Live log) (fun srv addr ->
+              f srv addr log)))
+
+let xml_of = Xmlcore.Xml_printer.to_string
+
+(* The full wire surface of a live store: insert, query (equal to the
+   offline oracle), delete, flush, stats gauges. *)
+let test_live_wire_ops () =
+  with_live_server (fun srv addr _log ->
+      Client.with_connection addr (fun c ->
+          let ids = Array.map (fun d -> Client.insert c (xml_of d)) docs_a in
+          Alcotest.(check (list int)) "dense ids" [ 0; 1; 2; 3 ]
+            (Array.to_list ids);
+          (* Answers equal offline Xseq over the same documents —
+             including the unindexed memtable. *)
+          List.iter
+            (fun (q, want) ->
+              Alcotest.(check (list int)) ("live " ^ q) want (Client.query c q))
+            expected;
+          (* Batch goes through the same path. *)
+          let batch = Client.query_batch c (Array.of_list xpaths) in
+          List.iteri
+            (fun i (q, want) ->
+              Alcotest.(check (list int)) ("batch " ^ q) want batch.(i))
+            expected;
+          (* Tombstone one document: answers drop exactly that id. *)
+          Alcotest.(check bool) "delete" true (Client.delete c 1);
+          Alcotest.(check bool) "delete again" false (Client.delete c 1);
+          Alcotest.(check (list int)) "tombstone visible" [ 2 ]
+            (Client.query c "/P/L/S");
+          (* Flush seals the memtable: the structure generation advances
+             and answers are unchanged. *)
+          let gen0 = Server.generation srv in
+          let gen1 = Client.flush c in
+          Alcotest.(check bool) "flush advances generation" true (gen1 <> gen0);
+          Alcotest.(check (list int)) "sealed answers" [ 2 ]
+            (Client.query c "/P/L/S");
+          (* The stats JSON carries the live gauges. *)
+          let json = Client.stats c in
+          Alcotest.(check int) "doc_count gauge" 3 (find_int json "doc_count");
+          Alcotest.(check int) "tombstones gauge" 1
+            (find_int json "tombstones")))
+
+(* Mutation ops against a frozen backend answer Bad_request (and a
+   malformed document is the client's fault, not a server crash). *)
+let test_live_ops_rejected () =
+  with_server (Server.Static index_a) (fun _srv addr ->
+      Client.with_connection addr (fun c ->
+          let check_bad what f =
+            match f () with
+            | _ -> Alcotest.failf "%s accepted by a static server" what
+            | exception Client.Server_error (P.Bad_request, _) -> ()
+          in
+          check_bad "insert" (fun () -> Client.insert c "<a/>");
+          check_bad "delete" (fun () -> ignore (Client.delete c 0 : bool));
+          check_bad "flush" (fun () -> ignore (Client.flush c : int));
+          (* the server is still fine *)
+          Client.ping c));
+  with_live_server (fun _srv addr _log ->
+      Client.with_connection addr (fun c ->
+          (match Client.insert c "<open><unclosed>" with
+           | _ -> Alcotest.fail "malformed XML accepted"
+           | exception Client.Server_error (P.Bad_request, _) -> ());
+          (* parse errors poison nothing *)
+          Alcotest.(check int) "still ingesting" 0 (Client.insert c "<P/>")))
+
+(* Reload against a live source flushes and compacts in place while
+   queries keep answering — every observation must be the oracle's
+   answer, before, during and after. *)
+let test_live_reload_compacts () =
+  with_live_server ~memtable_limit:4 (fun srv addr log ->
+      Client.with_connection addr (fun c ->
+          Array.iter (fun d -> ignore (Client.insert c (xml_of d) : int)) docs_a;
+          let q = "/P/L/S" in
+          let want = List.assoc q expected in
+          let stop = Atomic.make false in
+          let failures = ref [] in
+          let fm = Mutex.create () in
+          let querier () =
+            try
+              Client.with_connection addr (fun c ->
+                  while not (Atomic.get stop) do
+                    let ids = Client.query c q in
+                    if ids <> want then begin
+                      Mutex.lock fm;
+                      failures :=
+                        Printf.sprintf "saw [%s]"
+                          (String.concat ";" (List.map string_of_int ids))
+                        :: !failures;
+                      Mutex.unlock fm
+                    end
+                  done)
+            with ex ->
+              Mutex.lock fm;
+              failures := Printexc.to_string ex :: !failures;
+              Mutex.unlock fm
+          in
+          let threads = List.init 3 (fun _ -> Thread.create querier ()) in
+          let gen0 = Server.generation srv in
+          let gen1 = Client.reload c in
+          Atomic.set stop true;
+          List.iter Thread.join threads;
+          (match !failures with
+           | [] -> ()
+           | f :: _ -> Alcotest.failf "inconsistent observation: %s" f);
+          Alcotest.(check bool) "generation advanced" true (gen1 <> gen0);
+          Alcotest.(check int) "compacted away" 0 (Xlog.segments log);
+          Alcotest.(check (list int)) "post-compaction answer" want
+            (Client.query c q)))
+
 (* --- lifecycle -------------------------------------------------------------- *)
 
 let test_clean_shutdown () =
@@ -527,6 +657,15 @@ let () =
           Alcotest.test_case "snapshot swap is consistent" `Quick
             test_reload_hot_swap;
           Alcotest.test_case "dynamic source reload" `Quick test_dynamic_reload;
+        ] );
+      ( "live ingestion",
+        [
+          Alcotest.test_case "wire ops mutate the store" `Quick
+            test_live_wire_ops;
+          Alcotest.test_case "mutations rejected when not live" `Quick
+            test_live_ops_rejected;
+          Alcotest.test_case "reload compacts under queries" `Quick
+            test_live_reload_compacts;
         ] );
       ( "lifecycle",
         [ Alcotest.test_case "clean shutdown" `Quick test_clean_shutdown ] );

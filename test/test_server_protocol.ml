@@ -27,6 +27,9 @@ let gen_request =
         gen_small_int;
       Gen.return P.Stats;
       Gen.map (fun p -> P.Reload p) (Gen.opt gen_string);
+      Gen.map (fun xml -> P.Insert { xml }) gen_string;
+      Gen.map (fun id -> P.Delete { id }) gen_small_int;
+      Gen.return P.Flush;
     ]
 
 let gen_ids = Gen.(list_size (int_bound 20) gen_small_int)
@@ -45,6 +48,9 @@ let gen_response =
         Gen.(list_size (int_bound 6) gen_ids);
       Gen.map (fun s -> P.Stats_json s) gen_string;
       Gen.map (fun generation -> P.Reloaded { generation }) gen_small_int;
+      Gen.map (fun id -> P.Inserted { id }) gen_small_int;
+      Gen.map (fun existed -> P.Deleted { existed }) Gen.bool;
+      Gen.map (fun generation -> P.Flushed { generation }) gen_small_int;
       Gen.map2
         (fun code message -> P.Error { code; message })
         (Gen.oneofl [ P.Bad_request; P.Overloaded; P.Timeout; P.Server_error ])
@@ -74,6 +80,11 @@ let sample_requests =
     P.Stats;
     P.Reload None;
     P.Reload (Some "/tmp/snapshot.xseq");
+    P.Insert { xml = "<article><author>X</author></article>" };
+    P.Insert { xml = "" };
+    P.Delete { id = 0 };
+    P.Delete { id = 123456 };
+    P.Flush;
   ]
 
 let sample_responses =
@@ -85,6 +96,10 @@ let sample_responses =
     P.Batch_result { generation = 7; ids = [| [ 1 ]; []; [ 2; 3 ] |] };
     P.Stats_json "{\"requests_total\": 0}";
     P.Reloaded { generation = 12 };
+    P.Inserted { id = 42 };
+    P.Deleted { existed = true };
+    P.Deleted { existed = false };
+    P.Flushed { generation = 9 };
     P.Error { code = P.Bad_request; message = "no" };
     P.Error { code = P.Overloaded; message = "" };
     P.Error { code = P.Timeout; message = "deadline" };

@@ -1,0 +1,610 @@
+(* Durable-ingestion tests: the WAL codec under QCheck round trips,
+   truncation at every byte and bit flips (no input may raise); the
+   store's merged base+delta+tombstone answers checked id-for-id against
+   a from-scratch [Xseq.build] oracle across randomized
+   insert/delete/flush/compact schedules; kill-at-a-random-point crash
+   recovery (simulated by truncating the WAL at arbitrary byte offsets)
+   against the oracle over the prefix of acknowledged operations; and
+   compaction racing live queries. *)
+
+module T = Xmlcore.Xml_tree
+module Wal = Xlog.Wal
+module Gen = QCheck.Gen
+
+let e = T.elt
+let v = T.text
+
+(* --- scratch directories --------------------------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let dir_seq = ref 0
+
+let with_dir f =
+  incr dir_seq;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xlog-test-%d-%d" (Unix.getpid ()) !dir_seq)
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- document / op generators ---------------------------------------------- *)
+
+let gen_label = Gen.oneofl [ "L"; "S"; "B"; "M" ]
+
+let gen_subtree =
+  Gen.(
+    sized_size (int_bound 10)
+      (fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [
+                 map (fun l -> e l []) gen_label;
+                 map (fun s -> v s) (oneofl [ "x"; "y" ]);
+               ]
+           else
+             map2
+               (fun l kids -> e l kids)
+               gen_label
+               (list_size (int_bound 3) (self (n / 2))))))
+
+(* Documents: an element root (mostly "P" so the /P patterns bite). *)
+let gen_doc =
+  Gen.(
+    map2
+      (fun root kids -> e root kids)
+      (frequency [ (4, return "P"); (1, return "Q") ])
+      (list_size (int_bound 4) gen_subtree))
+
+let gen_wal_op =
+  Gen.(
+    frequency
+      [
+        (4, map2 (fun id d -> Wal.Insert (id, d)) (int_bound 1_000_000) gen_doc);
+        (1, map (fun id -> Wal.Remove id) (int_bound 1_000_000));
+      ])
+
+let arb_wal_op =
+  QCheck.make ~print:(fun o -> String.escaped (Wal.encode_op o)) gen_wal_op
+
+let arb_wal_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat "|" (List.map (fun o -> String.escaped (Wal.encode_op o)) ops))
+    Gen.(list_size (int_bound 12) gen_wal_op)
+
+let wal_bytes ops = Wal.magic ^ String.concat "" (List.map Wal.encode_record ops)
+
+(* End offset of each record in [wal_bytes ops]. *)
+let record_ends ops =
+  let off = ref (String.length Wal.magic) in
+  List.map
+    (fun o ->
+      off := !off + String.length (Wal.encode_record o);
+      !off)
+    ops
+
+(* --- WAL codec: round trips ------------------------------------------------ *)
+
+let qcheck_op_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"op payload round trip" arb_wal_op
+    (fun op -> Wal.decode_op (Wal.encode_op op) = Ok op)
+
+let qcheck_scan_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"scan round trip" arb_wal_ops (fun ops ->
+      let s = wal_bytes ops in
+      match Wal.scan_string s with
+      | Ok { Wal.ops = got; good_bytes; torn } ->
+        got = ops && good_bytes = String.length s && torn = None
+      | Error _ -> false)
+
+(* --- WAL codec: rejection --------------------------------------------------- *)
+
+let sample_ops =
+  [
+    Wal.Insert (0, e "P" [ e "L" [ v "x" ] ]);
+    Wal.Remove 0;
+    Wal.Insert (1, e "P" []);
+    Wal.Insert (2, e "Q" [ e "S" []; e "B" [ v "y" ]; v "t" ]);
+    Wal.Remove 999;
+  ]
+
+(* Truncation at every byte: never raises; the scan keeps exactly the
+   records that fit, reports a torn tail iff the cut is mid-record. *)
+let test_truncation_everywhere () =
+  let file = wal_bytes sample_ops in
+  let ends = record_ends sample_ops in
+  for k = 0 to String.length file - 1 do
+    let cut = String.sub file 0 k in
+    if k < String.length Wal.magic then
+      match Wal.scan_string cut with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "cut %d: truncated magic accepted" k
+    else
+      match Wal.scan_string cut with
+      | Error m -> Alcotest.failf "cut %d: rejected outright (%s)" k m
+      | Ok { Wal.ops; good_bytes; torn } ->
+        let want =
+          List.filteri (fun i _ -> List.nth ends i <= k) sample_ops
+        in
+        if ops <> want then Alcotest.failf "cut %d: wrong op prefix" k;
+        let boundary = k = String.length Wal.magic || List.mem k ends in
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d torn iff mid-record" k)
+          (not boundary) (torn <> None);
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d good_bytes at a boundary" k)
+          true
+          (good_bytes = String.length Wal.magic || List.mem good_bytes ends)
+  done
+
+(* Bit flips anywhere after the magic: never raise, and whatever
+   survives is a prefix of the original op sequence. *)
+let qcheck_bit_flips =
+  QCheck.Test.make ~count:600 ~name:"bit flips yield a clean prefix"
+    QCheck.(pair arb_wal_ops (pair small_nat small_nat))
+    (fun (ops, (pos, bit)) ->
+      QCheck.assume (ops <> []);
+      let file = Bytes.of_string (wal_bytes ops) in
+      let m = String.length Wal.magic in
+      let pos = m + (pos mod (Bytes.length file - m)) in
+      let b = Char.code (Bytes.get file pos) in
+      Bytes.set file pos (Char.chr (b lxor (1 lsl (bit mod 8))));
+      match Wal.scan_string (Bytes.to_string file) with
+      | Error _ -> true (* never for a good magic, but never raises *)
+      | Ok { Wal.ops = got; _ } ->
+        let rec is_prefix a b =
+          match (a, b) with
+          | [], _ -> true
+          | x :: a', y :: b' -> x = y && is_prefix a' b'
+          | _ :: _, [] -> false
+        in
+        is_prefix got ops)
+
+let qcheck_garbage_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"garbage never raises"
+    QCheck.(string_gen Gen.char)
+    (fun junk ->
+      (match Wal.scan_string (Wal.magic ^ junk) with Ok _ | Error _ -> ());
+      (match Wal.scan_string junk with Ok _ | Error _ -> ());
+      (match Wal.decode_op junk with Ok _ | Error _ -> ());
+      true)
+
+(* --- WAL writer ------------------------------------------------------------- *)
+
+let test_writer_roundtrip () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "w.log" in
+      Unix.mkdir dir 0o755;
+      let w = Wal.create ~sync_every:2 path in
+      List.iter (Wal.append w) sample_ops;
+      Wal.close w;
+      (match Wal.scan_file path with
+       | Ok { Wal.ops; torn = None; _ } ->
+         Alcotest.(check bool) "all records back" true (ops = sample_ops)
+       | _ -> Alcotest.fail "scan failed");
+      (* Re-opening appends after the existing records. *)
+      let w = Wal.create path in
+      Wal.append w (Wal.Remove 1);
+      Wal.close w;
+      (match Wal.scan_file path with
+       | Ok { Wal.ops; _ } ->
+         Alcotest.(check int) "appended" (List.length sample_ops + 1)
+           (List.length ops)
+       | Error m -> Alcotest.fail m);
+      (* A foreign file is refused. *)
+      let alien = Filename.concat dir "alien.log" in
+      let oc = open_out_bin alien in
+      output_string oc "not a wal at all";
+      close_out oc;
+      match Wal.create alien with
+      | exception Invalid_argument _ -> ()
+      | w ->
+        Wal.close w;
+        Alcotest.fail "foreign file accepted")
+
+(* --- store vs from-scratch oracle ------------------------------------------ *)
+
+let patterns =
+  List.map Xseq.Xpath.parse
+    [ "/P/L"; "//S"; "/P//B"; "/P/*/S"; "//L[M='x']"; "//Q" ]
+
+(* The model: acknowledged live documents in id order. *)
+let expected_answers live pat =
+  match live with
+  | [] -> []
+  | _ ->
+    let ids = Array.of_list (List.map fst live) in
+    let oracle = Xseq.build (Array.of_list (List.map snd live)) in
+    List.map (fun i -> ids.(i)) (Xseq.query oracle pat)
+
+let check_against_oracle what log live =
+  List.iter
+    (fun pat ->
+      let got = Xlog.query log pat in
+      let want = expected_answers live pat in
+      if got <> want then
+        Alcotest.failf "%s: answers diverge from oracle (got [%s], want [%s])"
+          what
+          (String.concat ";" (List.map string_of_int got))
+          (String.concat ";" (List.map string_of_int want)))
+    patterns;
+  Alcotest.(check int)
+    (what ^ ": doc_count")
+    (List.length live) (Xlog.doc_count log)
+
+let test_basic_store () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~memtable_limit:3 dir in
+      let d0 = e "P" [ e "L" [ e "S" [] ] ] in
+      let d1 = e "P" [ e "B" [ v "x" ] ] in
+      let d2 = e "Q" [ e "L" [] ] in
+      Alcotest.(check int) "first id" 0 (Xlog.insert log d0);
+      Alcotest.(check int) "second id" 1 (Xlog.insert log d1);
+      Alcotest.(check int) "third id" 2 (Xlog.insert log d2);
+      check_against_oracle "pending only" log [ (0, d0); (1, d1); (2, d2) ];
+      (* Seal + tombstone. *)
+      Xlog.flush log;
+      Alcotest.(check bool) "remove live" true (Xlog.remove log 1);
+      Alcotest.(check bool) "double remove" false (Xlog.remove log 1);
+      Alcotest.(check bool) "remove unknown" false (Xlog.remove log 99);
+      check_against_oracle "sealed + tombstone" log [ (0, d0); (2, d2) ];
+      (* Compaction reclaims the tombstone, answers are unchanged. *)
+      Alcotest.(check bool) "compact ran" true (Xlog.compact ~wait:true log);
+      Alcotest.(check int) "tombstones reclaimed" 0 (Xlog.tombstones log);
+      check_against_oracle "compacted" log [ (0, d0); (2, d2) ];
+      (* Ids are never reused. *)
+      let d3 = e "P" [ e "S" [] ] in
+      Alcotest.(check int) "id after compaction" 3 (Xlog.insert log d3);
+      check_against_oracle "post-compaction insert" log
+        [ (0, d0); (2, d2); (3, d3) ];
+      Xlog.close log;
+      (* Recovery: everything back, ids stable. *)
+      let log = Xlog.open_ dir in
+      check_against_oracle "reopened" log [ (0, d0); (2, d2); (3, d3) ];
+      Xlog.close log)
+
+(* Randomized schedules of insert / remove / flush / compact, each
+   checked against the oracle mid-run and after a close/reopen. *)
+type sched_op = S_insert of T.t | S_remove of int | S_flush | S_compact
+
+let gen_schedule =
+  Gen.(
+    list_size (int_bound 35)
+      (frequency
+         [
+           (6, map (fun d -> S_insert d) gen_doc);
+           (2, map (fun k -> S_remove k) (int_bound 64));
+           (1, return S_flush);
+           (1, return S_compact);
+         ]))
+
+let arb_schedule =
+  QCheck.make
+    ~print:(fun s ->
+      String.concat ","
+        (List.map
+           (function
+             | S_insert _ -> "I"
+             | S_remove k -> Printf.sprintf "R%d" k
+             | S_flush -> "F"
+             | S_compact -> "C")
+           s))
+    gen_schedule
+
+let qcheck_schedules_match_oracle =
+  QCheck.Test.make ~count:30 ~name:"schedules match a from-scratch build"
+    arb_schedule (fun sched ->
+      with_dir (fun dir ->
+          let log =
+            Xlog.open_ ~sync_every:1 ~memtable_limit:4 ~max_segments:3 dir
+          in
+          let live = ref [] in
+          let next = ref 0 in
+          let step = ref 0 in
+          List.iter
+            (fun op ->
+              (match op with
+               | S_insert d ->
+                 let id = Xlog.insert log d in
+                 if id <> !next then
+                   Alcotest.failf "id %d, want %d" id !next;
+                 incr next;
+                 live := !live @ [ (id, d) ]
+               | S_remove k ->
+                 let id = if !next = 0 then k else k mod !next in
+                 let want = List.mem_assoc id !live in
+                 let got = Xlog.remove log id in
+                 if got <> want then
+                   Alcotest.failf "remove %d acknowledged %b, want %b" id got
+                     want;
+                 live := List.remove_assoc id !live
+               | S_flush -> Xlog.flush log
+               | S_compact -> ignore (Xlog.compact ~wait:true log : bool));
+              incr step;
+              (* Oracle-check every few steps (a full build per step is
+                 too slow, and the final + reopened checks cover the
+                 end state). *)
+              if !step mod 7 = 0 then
+                check_against_oracle
+                  (Printf.sprintf "step %d" !step)
+                  log !live)
+            sched;
+          check_against_oracle "final" log !live;
+          Xlog.close log;
+          let log = Xlog.open_ ~memtable_limit:4 dir in
+          check_against_oracle "reopened" log !live;
+          Xlog.close log;
+          true))
+
+(* --- kill-at-a-random-point crash recovery ---------------------------------- *)
+
+(* One ingest workload, fully synced, with the WAL offset recorded after
+   every acknowledged operation.  "Killing the process" at byte [c] is
+   simulated by truncating a copy of the WAL to [c] bytes: everything
+   the WAL held at that point survives, the torn tail does not —
+   exactly what kill -9 leaves behind with sync_every 1. *)
+let crash_workload () =
+  let rand = Random.State.make [| 42 |] in
+  let doc i =
+    e "P"
+      [
+        e "L" [ v (if i mod 3 = 0 then "x" else "y") ];
+        (if i mod 2 = 0 then e "S" [] else e "B" [ e "M" [ v "x" ] ]);
+      ]
+  in
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~sync_every:1 ~memtable_limit:1024 dir in
+      let model = ref [] in
+      (* (wal offset after op, live set after op) in op order *)
+      let steps = ref [] in
+      for i = 0 to 39 do
+        let d = doc i in
+        let id = Xlog.insert log d in
+        model := !model @ [ (id, d) ];
+        steps := (Xlog.wal_offset log, !model) :: !steps;
+        if i mod 5 = 4 then begin
+          let victim = Random.State.int rand (id + 1) in
+          ignore (Xlog.remove log victim : bool);
+          model := List.remove_assoc victim !model;
+          steps := (Xlog.wal_offset log, !model) :: !steps
+        end
+      done;
+      Xlog.close log;
+      let wal = Filename.concat dir "wal-000000.log" in
+      let ic = open_in_bin wal in
+      let bytes = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (bytes, List.rev !steps))
+
+let live_at_cut steps cut =
+  List.fold_left
+    (fun acc (off, live) -> if off <= cut then live else acc)
+    [] steps
+
+let reopen_and_check what bytes expected_live =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let oc = open_out_bin (Filename.concat dir "wal-000000.log") in
+      output_string oc bytes;
+      close_out oc;
+      let log = Xlog.open_ ~memtable_limit:1024 dir in
+      check_against_oracle what log expected_live;
+      let r = Xlog.recovery log in
+      Xlog.close log;
+      r)
+
+let test_kill_at_random_point () =
+  let bytes, steps = crash_workload () in
+  let n = String.length bytes in
+  let rand = Random.State.make [| 7 |] in
+  (* Every record boundary plus a spread of arbitrary byte offsets. *)
+  let cuts =
+    (0 :: 3 :: List.map fst steps)
+    @ List.init 60 (fun _ -> Random.State.int rand (n + 1))
+  in
+  List.iter
+    (fun cut ->
+      let cut = min cut n in
+      let expected = live_at_cut steps cut in
+      let r =
+        reopen_and_check
+          (Printf.sprintf "cut at %d/%d" cut n)
+          (String.sub bytes 0 cut) expected
+      in
+      (* A mid-record cut must be reported as a torn tail. *)
+      let boundary =
+        cut = 0 || cut = String.length Wal.magic
+        || List.exists (fun (off, _) -> off = cut) steps
+      in
+      if (not boundary) && r.Xlog.torn = [] then
+        Alcotest.failf "cut at %d: torn tail not diagnosed" cut)
+    cuts
+
+(* A flipped byte in the middle of the log must cost only the records
+   from the flipped one onward — recovery keeps the clean prefix. *)
+let test_corrupt_record_recovery () =
+  let bytes, steps = crash_workload () in
+  let offsets = List.map fst steps in
+  let rand = Random.State.make [| 19 |] in
+  for _ = 1 to 25 do
+    let r = Random.State.int rand (List.length offsets) in
+    let rec_start =
+      if r = 0 then String.length Wal.magic else List.nth offsets (r - 1)
+    in
+    let rec_end = List.nth offsets r in
+    let pos = rec_start + Random.State.int rand (rec_end - rec_start) in
+    let b = Bytes.of_string bytes in
+    Bytes.set b pos
+      (Char.chr (Char.code (Bytes.get b pos) lxor (1 + Random.State.int rand 255)));
+    let expected = if r = 0 then [] else snd (List.nth steps (r - 1)) in
+    let rcv =
+      reopen_and_check
+        (Printf.sprintf "flip in record %d at byte %d" r pos)
+        (Bytes.to_string b) expected
+    in
+    if rcv.Xlog.torn = [] then
+      Alcotest.failf "flip at %d: corruption not diagnosed" pos
+  done
+
+(* A corrupt checkpoint is refused loudly (it is the commit record —
+   silently ignoring it could serve an index missing acknowledged
+   writes that compaction already pruned from the WAL). *)
+let test_corrupt_checkpoint_refused () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ dir in
+      for i = 0 to 9 do
+        ignore (Xlog.insert log (e "P" [ e "L" [ v (string_of_int i) ] ]) : int)
+      done;
+      ignore (Xlog.compact ~wait:true log : bool);
+      Xlog.close log;
+      let ckp = Filename.concat dir "checkpoint" in
+      let ic = open_in_bin ckp in
+      let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      Bytes.set s (Bytes.length s - 3)
+        (Char.chr (Char.code (Bytes.get s (Bytes.length s - 3)) lxor 0x40));
+      let oc = open_out_bin ckp in
+      output_string oc (Bytes.to_string s);
+      close_out oc;
+      match Xlog.open_ dir with
+      | exception Invalid_argument _ -> ()
+      | log ->
+        Xlog.close log;
+        Alcotest.fail "corrupt checkpoint accepted")
+
+(* --- prepared plans ---------------------------------------------------------- *)
+
+let test_prepared_stamps () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~memtable_limit:100 dir in
+      let d = e "P" [ e "L" [ e "S" [] ] ] in
+      ignore (Xlog.insert log d : int);
+      let pat = Xseq.Xpath.parse "/P/L/S" in
+      let plan = Xlog.prepare log pat in
+      Alcotest.(check (list int)) "prepared answers" [ 0 ]
+        (Xlog.run_prepared log plan);
+      (* Inserts and removes do not invalidate the plan — and the run
+         sees them. *)
+      ignore (Xlog.insert log d : int);
+      Alcotest.(check (list int)) "sees the new doc" [ 0; 1 ]
+        (Xlog.run_prepared log plan);
+      Alcotest.(check bool) "tombstone" true (Xlog.remove log 0);
+      Alcotest.(check (list int)) "sees the tombstone" [ 1 ]
+        (Xlog.run_prepared log plan);
+      (* Sealing changes the structure: the stamp must trip. *)
+      Xlog.flush log;
+      (match Xlog.run_prepared log plan with
+       | _ -> Alcotest.fail "stale plan ran after a seal"
+       | exception Invalid_argument _ -> ());
+      let plan = Xlog.prepare log pat in
+      Alcotest.(check (list int)) "re-prepared" [ 1 ]
+        (Xlog.run_prepared log plan);
+      ignore (Xlog.compact ~wait:true log : bool);
+      (match Xlog.run_prepared log plan with
+       | _ -> Alcotest.fail "stale plan ran after a compaction"
+       | exception Invalid_argument _ -> ());
+      Xlog.close log)
+
+(* --- compaction racing live queries ------------------------------------------ *)
+
+let test_compaction_race () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~memtable_limit:8 dir in
+      let docs =
+        Array.init 64 (fun i ->
+            e "P"
+              [
+                e "L" [ v (if i mod 2 = 0 then "x" else "y") ];
+                (if i mod 3 = 0 then e "S" [] else e "B" []);
+              ])
+      in
+      Array.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+      for i = 0 to 15 do
+        ignore (Xlog.remove log (i * 4) : bool)
+      done;
+      let live =
+        List.filter
+          (fun (i, _) -> i mod 4 <> 0)
+          (List.mapi (fun i d -> (i, d)) (Array.to_list docs))
+      in
+      let wants = List.map (fun p -> expected_answers live p) patterns in
+      let failures = ref 0 in
+      let fm = Mutex.create () in
+      let stop = Atomic.make false in
+      let querier () =
+        while not (Atomic.get stop) do
+          List.iter2
+            (fun pat want ->
+              let got = Xlog.query log pat in
+              if got <> want then begin
+                Mutex.lock fm;
+                incr failures;
+                Mutex.unlock fm
+              end)
+            patterns wants
+        done
+      in
+      let threads = List.init 3 (fun _ -> Thread.create querier ()) in
+      (* Several background compactions while the queriers hammer.  The
+         churn document has a label no pattern mentions, so every
+         intermediate state answers identically. *)
+      for _ = 1 to 3 do
+        ignore (Xlog.compact ~wait:false log : bool);
+        while Xlog.segments log > 0 || Xlog.tombstones log > 0 do
+          ignore (Xlog.compact ~wait:false log : bool);
+          Thread.delay 0.001
+        done;
+        ignore (Xlog.insert log (e "Z" []) : int);
+        ignore (Xlog.remove log (Xlog.next_id log - 1) : bool);
+        Xlog.flush log
+      done;
+      Atomic.set stop true;
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no inconsistent answer observed" 0 !failures;
+      check_against_oracle "after the dust settles" log live;
+      Xlog.close log)
+
+let () =
+  Alcotest.run "xlog"
+    [
+      ( "wal codec",
+        [
+          QCheck_alcotest.to_alcotest qcheck_op_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_scan_roundtrip;
+          Alcotest.test_case "truncation at every byte" `Quick
+            test_truncation_everywhere;
+          QCheck_alcotest.to_alcotest qcheck_bit_flips;
+          QCheck_alcotest.to_alcotest qcheck_garbage_never_raises;
+          Alcotest.test_case "writer round trip" `Quick test_writer_roundtrip;
+        ] );
+      ( "store oracle",
+        [
+          Alcotest.test_case "insert/remove/flush/compact/reopen" `Quick
+            test_basic_store;
+          QCheck_alcotest.to_alcotest qcheck_schedules_match_oracle;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "kill at a random point" `Quick
+            test_kill_at_random_point;
+          Alcotest.test_case "corrupt mid-log record" `Quick
+            test_corrupt_record_recovery;
+          Alcotest.test_case "corrupt checkpoint refused" `Quick
+            test_corrupt_checkpoint_refused;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "prepared plans stamp out seals" `Quick
+            test_prepared_stamps;
+          Alcotest.test_case "compaction races queries" `Quick
+            test_compaction_race;
+        ] );
+    ]
