@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json examples doc clean
+.PHONY: all build test bench bench-json chaos examples doc clean
 
 all: build
 
@@ -16,11 +16,18 @@ bench:
 # Machine-readable benchmarks: parallel build / batched-query throughput
 # (BENCH_parallel.json), storage-backend probe throughput
 # (BENCH_storage.json), query-server throughput/latency with the
-# plan cache A/B'd (BENCH_server.json), and the durable ingestion path —
+# plan cache A/B'd (BENCH_server.json), the durable ingestion path —
 # fsync batching, query latency under concurrent ingest, recovery time
-# (BENCH_ingest.json).
+# (BENCH_ingest.json) — and the fault-injection shim's overhead plus
+# the degrade/recover cycle cost (BENCH_faults.json).
 bench-json:
-	dune exec bench/main.exe -- parallel storage server ingest
+	dune exec bench/main.exe -- parallel storage server ingest faults
+
+# Seeded fault-injection torture suite at chaos intensity: many more
+# randomized (seed, schedule) runs than the default test pass.
+# Failures print the (seed, schedule) pair to replay them.
+chaos:
+	XSEQ_CHAOS_ITERS=400 dune exec test/test_fault.exe -- test torture
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1004,6 +1004,107 @@ let ingest_bench () =
   Printf.printf "wrote BENCH_ingest.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Faultline: what the fault-injection shim costs on the hot write     *)
+(* path, and what a degrade/recover cycle costs end to end.            *)
+(* ------------------------------------------------------------------ *)
+
+let faults_bench () =
+  header
+    "Faultline: I/O shim overhead on the durable ingest path, and the \
+     cost of a full degrade -> read-only -> recover cycle (see \
+     BENCH_faults.json)";
+  let n = n_scaled 2_000 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  (* A: inserts/s with the shim in its three states.  "off" is the
+     production configuration (one atomic load per I/O call); "armed,
+     idle" has an injector installed whose rules never fire (the full
+     counter/mutex path); "armed, delayed" fires tiny latency spikes to
+     bound the cost of an active schedule. *)
+  let run_ingest label arm =
+    with_store_dir "faults-a" (fun dir ->
+        let log = Xlog.open_ ~sync_every:8 ~memtable_limit:128 dir in
+        arm ();
+        let (), dt =
+          Fun.protect ~finally:Xfault.uninstall (fun () ->
+              time (fun () ->
+                  Array.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+                  Xlog.sync log))
+        in
+        Xlog.close log;
+        let rate = if dt > 0. then float_of_int n /. dt else 0. in
+        Printf.printf "%16s %12.0f inserts/s %12.1f ms\n%!" label rate (ms dt);
+        (label, rate, dt))
+  in
+  let row_off = run_ingest "off" (fun () -> Xfault.uninstall ()) in
+  let row_idle =
+    run_ingest "armed, idle" (fun () ->
+        Xfault.install (Xfault.Injector.create []))
+  in
+  let row_delayed =
+    run_ingest "armed, delayed" (fun () ->
+        Xfault.install
+          (Xfault.Injector.create
+             (List.init 8 (fun i ->
+                  {
+                    Xfault.at = (i + 1) * 50;
+                    on = Xfault.Write;
+                    fault = Xfault.Delay 0.0005;
+                  }))))
+  in
+  let shim_rows = [ row_off; row_idle; row_delayed ] in
+  (* B: the degrade/recover cycle.  Seed the store, trip ENOSPC on the
+     next WAL write, then measure (1) how long the write path is down
+     before [try_recover] is called, approximated by the failing insert
+     itself; (2) the recovery call — WAL rotation plus a full
+     synchronous compaction; (3) query latency while degraded vs
+     healthy, since reads must not care. *)
+  let degrade_ms, recover_ms, q_healthy_ms, q_degraded_ms =
+    with_store_dir "faults-b" (fun dir ->
+        let log = Xlog.open_ ~sync_every:1 ~probe_interval:infinity dir in
+        Array.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+        let q = "//author" in
+        let (_ : int list), t_h = time (fun () -> Xlog.query_xpath log q) in
+        Xfault.install
+          (Xfault.Injector.create
+             [ { Xfault.at = 0; on = Xfault.Write; fault = Xfault.Enospc } ]);
+        let (), t_degrade =
+          time (fun () ->
+              match Xlog.insert log docs.(0) with
+              | _ -> failwith "insert should degrade"
+              | exception Xlog.Degraded _ -> ())
+        in
+        Xfault.uninstall ();
+        let (_ : int list), t_qd = time (fun () -> Xlog.query_xpath log q) in
+        let ok, t_recover = time (fun () -> Xlog.try_recover log) in
+        if not ok then failwith "recovery failed in the bench";
+        ignore (Xlog.insert log docs.(0) : int);
+        Xlog.close log;
+        (ms t_degrade, ms t_recover, ms t_h, ms t_qd))
+  in
+  Printf.printf
+    "degrade on ENOSPC: %.3f ms; recover (rotate + compact %d docs): %.1f \
+     ms; query healthy %.3f ms vs degraded %.3f ms\n%!"
+    degrade_ms n recover_ms q_healthy_ms q_degraded_ms;
+  let oc = open_out "BENCH_faults.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"records\": %d,\n  \"shim_overhead\": [\n" n;
+      List.iteri
+        (fun i (label, rate, dt) ->
+          Printf.fprintf oc
+            "    {\"shim\": %S, \"inserts_per_s\": %.0f, \"wall_ms\": %.1f}%s\n"
+            label rate (ms dt)
+            (if i = List.length shim_rows - 1 then "" else ","))
+        shim_rows;
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"degrade_recover\": {\"degrade_ms\": %.3f, \"recover_ms\": %.1f, \
+         \"query_healthy_ms\": %.3f, \"query_degraded_ms\": %.3f}\n}\n"
+        degrade_ms recover_ms q_healthy_ms q_degraded_ms);
+  Printf.printf "wrote BENCH_faults.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1142,6 +1243,7 @@ let experiments =
     ("storage", storage);
     ("server", server_bench);
     ("ingest", ingest_bench);
+    ("faults", faults_bench);
     ("verify", verify);
     ("micro", micro);
   ]

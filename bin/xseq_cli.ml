@@ -188,36 +188,107 @@ let parse_xpath_or_exit q =
     Printf.eprintf "query:%d: %s\n" pos msg;
     exit 1
 
+(* Network-facing commands exit with distinct codes so scripts and the
+   CI chaos harness can tell failure modes apart without scraping
+   stderr:
+
+     0  success
+     1  usage / server application error (bad query, unknown snapshot, ...)
+     2  cannot reach the server, or the transport/protocol broke
+     3  the request deadline expired
+     4  the server is up but degraded (read-only store refused a write)
+
+   Documented in each command's EXIT STATUS man section and in the
+   README. *)
+let exit_unreachable = 2
+let exit_timeout = 3
+let exit_degraded = 4
+
+let remote_exits =
+  Cmd.Exit.info ~doc:"on success." 0
+  :: Cmd.Exit.info
+       ~doc:
+         "on usage errors and server application errors (bad query, \
+          unknown snapshot, unsupported operation)."
+       1
+  :: Cmd.Exit.info
+       ~doc:
+         "when the server is unreachable (connection refused, no such \
+          socket) or the connection/protocol broke beyond the client's \
+          retries."
+       exit_unreachable
+  :: Cmd.Exit.info ~doc:"when the request deadline expired." exit_timeout
+  :: Cmd.Exit.info
+       ~doc:
+         "when the server answered $(b,degraded): its store is \
+          read-only after a disk fault and refused the write.  Probe \
+          with $(b,xseq query --connect ADDR --health)."
+       exit_degraded
+  :: Cmd.Exit.defaults
+
+(* Map a failed client call onto the exit-code scheme above.  Wraps
+   every remote operation in both [query --connect] and [ingest
+   --connect]. *)
+let handle_client_errors f =
+  try f () with
+  | Xserver.Client.Server_error (Xserver.Protocol.Degraded, msg) ->
+    Printf.eprintf "server degraded (store is read-only): %s\n" msg;
+    exit exit_degraded
+  | Xserver.Client.Server_error (Xserver.Protocol.Timeout, msg) ->
+    Printf.eprintf "server timeout: %s\n" msg;
+    exit exit_timeout
+  | Xserver.Client.Server_error (code, msg) ->
+    Printf.eprintf "server error (%s): %s\n"
+      (Xserver.Protocol.error_code_to_string code)
+      msg;
+    exit 1
+  | Xserver.Client.Timeout msg ->
+    Printf.eprintf "timeout: %s\n" msg;
+    exit exit_timeout
+  | Xserver.Client.Protocol_error msg ->
+    Printf.eprintf "protocol error: %s\n" msg;
+    exit exit_unreachable
+  | Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "connection error: %s\n" (Unix.error_message e);
+    exit exit_unreachable
+
 let connect_or_exit addr_s =
   match Xserver.Server.addr_of_string addr_s with
   | Error msg ->
     Printf.eprintf "--connect: %s\n" msg;
     exit 1
   | Ok addr ->
-    (try Xserver.Client.connect addr
-     with Unix.Unix_error (e, _, _) ->
+    (try Xserver.Client.connect addr with
+     | Unix.Unix_error (e, _, _) ->
        Printf.eprintf "cannot connect to %s: %s\n"
          (Xserver.Server.addr_to_string addr)
          (Unix.error_message e);
-       exit 1)
+       exit exit_unreachable
+     | Xserver.Client.Timeout msg ->
+       Printf.eprintf "cannot connect to %s: %s\n"
+         (Xserver.Server.addr_to_string addr)
+         msg;
+       exit exit_timeout)
 
 (* Queries against a live server over the wire protocol. *)
-let run_remote addr_s queries verbose server_stats reload timeout_ms =
+let run_remote addr_s queries verbose server_stats reload timeout_ms health =
   let client = connect_or_exit addr_s in
   Fun.protect
     ~finally:(fun () -> Xserver.Client.close client)
     (fun () ->
-      let handle_server_errors f =
-        try f () with
-        | Xserver.Client.Server_error (code, msg) ->
-          Printf.eprintf "server error (%s): %s\n"
-            (Xserver.Protocol.error_code_to_string code)
-            msg;
-          exit 1
-        | Xserver.Client.Protocol_error msg ->
-          Printf.eprintf "protocol error: %s\n" msg;
-          exit 1
-      in
+      let handle_server_errors = handle_client_errors in
+      if health then
+        handle_server_errors (fun () ->
+            let h = Xserver.Client.health client in
+            Printf.printf "status:     %s\n"
+              (if h.Xserver.Client.degraded then "degraded (read-only)"
+               else "healthy");
+            if h.Xserver.Client.reason <> "" then
+              Printf.printf "reason:     %s\n" h.Xserver.Client.reason;
+            Printf.printf "generation: %d\n" h.Xserver.Client.generation;
+            Printf.printf "documents:  %d\n" h.Xserver.Client.doc_count;
+            if queries = [] && not server_stats && reload = None then
+              exit (if h.Xserver.Client.degraded then exit_degraded else 0));
       (match reload with
        | Some path ->
          handle_server_errors (fun () ->
@@ -411,6 +482,16 @@ let query_cmd =
       & info [ "timeout-ms" ]
           ~doc:"With $(b,--connect): per-request deadline (0 = none).")
   in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "With $(b,--connect): print the server's health — degraded \
+             or not, the reason, its generation and document count.  \
+             Alone (no queries), the exit status reflects the state: 0 \
+             healthy, 4 degraded.")
+  in
   let live =
     Arg.(
       value
@@ -422,16 +503,17 @@ let query_cmd =
              is a query.")
   in
   let run args strategy show io paged connect verbose server_stats reload
-      timeout live =
+      timeout health live =
     match (live, connect) with
     | Some _, Some _ ->
       Printf.eprintf "--live and --connect are mutually exclusive\n";
       exit 1
     | Some dir, None ->
-      if show > 0 || io || paged || server_stats || reload <> None then begin
+      if show > 0 || io || paged || server_stats || reload <> None || health
+      then begin
         Printf.eprintf
-          "--show/--io/--paged/--server-stats/--reload do not apply with \
-           --live\n";
+          "--show/--io/--paged/--server-stats/--reload/--health do not \
+           apply with --live\n";
         exit 1
       end;
       run_live_queries dir strategy args
@@ -440,8 +522,12 @@ let query_cmd =
         Printf.eprintf "--show/--io/--paged do not apply with --connect\n";
         exit 1
       end;
-      run_remote addr args verbose server_stats reload timeout
+      run_remote addr args verbose server_stats reload timeout health
     | None, None ->
+      if health then begin
+        Printf.eprintf "--health requires --connect\n";
+        exit 1
+      end;
       (match args with
        | [] ->
          Printf.eprintf "missing FILE (and at least one XPATH)\n";
@@ -480,14 +566,14 @@ let query_cmd =
             run_local_multi index queries verbose))
   in
   Cmd.v
-    (Cmd.info "query"
+    (Cmd.info "query" ~exits:remote_exits
        ~doc:
          "Answer tree-pattern queries — against a locally built index, or \
           against a running server with $(b,--connect).  Several queries \
           share one index and are compiled once each.")
     Term.(
       const run $ args $ strategy_arg $ show $ io $ paged $ connect $ verbose
-      $ server_stats $ reload $ timeout $ live)
+      $ server_stats $ reload $ timeout $ health $ live)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -811,7 +897,7 @@ let ingest_cmd =
       Fun.protect
         ~finally:(fun () -> Xserver.Client.close client)
         (fun () ->
-          try
+          handle_client_errors (fun () ->
             let t0 = Unix.gettimeofday () in
             let first = ref (-1) and last = ref (-1) and n = ref 0 in
             List.iter
@@ -834,16 +920,7 @@ let ingest_cmd =
             if do_flush then begin
               let gen = Xserver.Client.flush client in
               Printf.printf "flushed; structure generation %d\n" gen
-            end
-          with
-          | Xserver.Client.Server_error (code, msg) ->
-            Printf.eprintf "server error (%s): %s\n"
-              (Xserver.Protocol.error_code_to_string code)
-              msg;
-            exit 1
-          | Xserver.Client.Protocol_error msg ->
-            Printf.eprintf "protocol error: %s\n" msg;
-            exit 1)
+            end))
     | None, Some dir ->
       let log =
         try
@@ -893,7 +970,7 @@ let ingest_cmd =
             (Xlog.tombstones log))
   in
   Cmd.v
-    (Cmd.info "ingest"
+    (Cmd.info "ingest" ~exits:remote_exits
        ~doc:
          "Append records to a durable live store — directly into an Xlog \
           directory with $(b,--live), or over the wire protocol to a \

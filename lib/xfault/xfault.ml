@@ -1,0 +1,228 @@
+(* Deterministic fault injection for the I/O stack.  See xfault.mli. *)
+
+type op = Open | Read | Write | Fsync | Rename | Send | Recv | Connect
+
+type fault =
+  | Short of int
+  | Eintr of int
+  | Enospc
+  | Eio
+  | Conn_reset
+  | Delay of float
+  | Fail_stop
+
+type rule = { at : int; on : op; fault : fault }
+type schedule = rule list
+
+exception Crashed
+
+let op_index = function
+  | Open -> 0
+  | Read -> 1
+  | Write -> 2
+  | Fsync -> 3
+  | Rename -> 4
+  | Send -> 5
+  | Recv -> 6
+  | Connect -> 7
+
+let n_ops = 8
+
+let op_to_string = function
+  | Open -> "open"
+  | Read -> "read"
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Send -> "send"
+  | Recv -> "recv"
+  | Connect -> "connect"
+
+let fault_to_string = function
+  | Short n -> Printf.sprintf "short:%d" n
+  | Eintr n -> Printf.sprintf "eintr:%d" n
+  | Enospc -> "enospc"
+  | Eio -> "eio"
+  | Conn_reset -> "conn_reset"
+  | Delay s -> Printf.sprintf "delay:%g" s
+  | Fail_stop -> "fail_stop"
+
+let rule_to_string { at; on; fault } =
+  Printf.sprintf "%s@%d:%s" (op_to_string on) at (fault_to_string fault)
+
+let schedule_to_string sched =
+  if sched = [] then "(empty)" else String.concat " " (List.map rule_to_string sched)
+
+let default_ops = [ Open; Read; Write; Fsync; Rename ]
+
+let random_schedule ~seed ?(ops = default_ops) ?(horizon = 200) ?(faults = 4) ()
+    =
+  if ops = [] then invalid_arg "Xfault.random_schedule: empty op list";
+  let st = Random.State.make [| seed; 0x5eed; horizon |] in
+  let pick_op () = List.nth ops (Random.State.int st (List.length ops)) in
+  let pick_fault on =
+    (* Weighted over faults that make sense for the class.  Fail_stop is
+       rare (it ends the run); Delay is kept tiny so tests stay fast. *)
+    let socket = match on with Send | Recv | Connect -> true | _ -> false in
+    match Random.State.int st 100 with
+    | n when n < 25 -> Short (1 + Random.State.int st 7)
+    | n when n < 45 -> Eintr (1 + Random.State.int st 3)
+    | n when n < 65 -> if socket then Conn_reset else Enospc
+    | n when n < 80 -> if socket then Conn_reset else Eio
+    | n when n < 92 -> Delay (0.001 +. (Random.State.float st 0.004))
+    | _ -> Fail_stop
+  in
+  let rules =
+    List.init (max 0 faults) (fun _ ->
+        let on = pick_op () in
+        let at = Random.State.int st (max 1 horizon) in
+        { at; on; fault = pick_fault on })
+  in
+  (* Sort for a stable printed form; order is irrelevant to semantics
+     (rules key on per-class counters, not list position). *)
+  List.sort
+    (fun a b ->
+      match compare (op_index a.on) (op_index b.on) with
+      | 0 -> compare a.at b.at
+      | c -> c)
+    rules
+
+(* ------------------------------------------------------------------ *)
+
+module Injector = struct
+  type t = {
+    schedule : schedule;  (** as given, for [describe] *)
+    mutable pending : rule list;  (** rules not yet fired *)
+    counts : int array;  (** per-class operations seen *)
+    storms : int array;  (** per-class EINTR calls still owed *)
+    mutable fired_n : int;
+    mutable crashed_f : bool;
+    m : Mutex.t;
+  }
+
+  type action = Pass | Clamp of int | Die  (* Die = raise Crashed *)
+
+  let create schedule =
+    {
+      schedule;
+      pending = schedule;
+      counts = Array.make n_ops 0;
+      storms = Array.make n_ops 0;
+      fired_n = 0;
+      crashed_f = false;
+      m = Mutex.create ();
+    }
+
+  let describe t = schedule_to_string t.schedule
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let op_count t op = locked t (fun () -> t.counts.(op_index op))
+  let fired t = locked t (fun () -> t.fired_n)
+  let crashed t = locked t (fun () -> t.crashed_f)
+
+  let unix_err e name = raise (Unix.Unix_error (e, name, ""))
+
+  (* Count the operation, fire at most one matching rule.  Faults that
+     are exceptions are raised from inside (with the mutex released by
+     Fun.protect); [Clamp]/[Pass] are returned for the caller to apply.
+     [Delay] sleeps outside the lock. *)
+  let decide t op =
+    let name = op_to_string op in
+    let delay, action =
+      locked t (fun () ->
+          if t.crashed_f then raise Crashed;
+          let i = op_index op in
+          let k = t.counts.(i) in
+          t.counts.(i) <- k + 1;
+          if t.storms.(i) > 0 then begin
+            t.storms.(i) <- t.storms.(i) - 1;
+            unix_err Unix.EINTR name
+          end;
+          let rec split acc = function
+            | [] -> (None, List.rev acc)
+            | r :: rest when r.on = op && r.at = k ->
+                (Some r, List.rev_append acc rest)
+            | r :: rest -> split (r :: acc) rest
+          in
+          match split [] t.pending with
+          | None, _ -> (None, Pass)
+          | Some r, rest -> (
+              t.pending <- rest;
+              t.fired_n <- t.fired_n + 1;
+              match r.fault with
+              | Short n -> (None, Clamp (max 1 n))
+              | Eintr n ->
+                  (* This call plus the next n-1 of the class. *)
+                  t.storms.(i) <- max 0 (n - 1);
+                  unix_err Unix.EINTR name
+              | Enospc -> unix_err Unix.ENOSPC name
+              | Eio -> unix_err Unix.EIO name
+              | Conn_reset -> unix_err Unix.ECONNRESET name
+              | Delay s -> (Some s, Pass)
+              | Fail_stop ->
+                  t.crashed_f <- true;
+                  (None, Die)))
+    in
+    (match delay with Some s -> Thread.delay s | None -> ());
+    match action with Die -> raise Crashed | a -> a
+end
+
+(* ------------------------------------------------------------------ *)
+
+let current : Injector.t option Atomic.t = Atomic.make None
+let install inj = Atomic.set current (Some inj)
+let uninstall () = Atomic.set current None
+let active () = Atomic.get current
+
+let with_injector inj f =
+  install inj;
+  Fun.protect ~finally:uninstall f
+
+(* ------------------------------------------------------------------ *)
+
+module Io = struct
+  let consult op =
+    match Atomic.get current with
+    | None -> Injector.Pass
+    | Some inj -> Injector.decide inj op
+
+  let clamp action len =
+    match action with
+    | Injector.Pass -> len
+    | Injector.Clamp n -> min len n
+    | Injector.Die -> assert false (* decide raised *)
+
+  let openfile path flags perm =
+    match consult Open with
+    | Pass | Clamp _ -> Unix.openfile path flags perm
+    | Die -> assert false
+
+  let read fd buf pos len = Unix.read fd buf pos (clamp (consult Read) len)
+  let write fd buf pos len = Unix.write fd buf pos (clamp (consult Write) len)
+
+  let write_substring fd s pos len =
+    Unix.write_substring fd s pos (clamp (consult Write) len)
+
+  let fsync fd =
+    match consult Fsync with Pass | Clamp _ -> Unix.fsync fd | Die -> assert false
+
+  let rename src dst =
+    match consult Rename with
+    | Pass | Clamp _ -> Unix.rename src dst
+    | Die -> assert false
+
+  let connect fd addr =
+    match consult Connect with
+    | Pass | Clamp _ -> Unix.connect fd addr
+    | Die -> assert false
+
+  let send fd buf pos len = Unix.write fd buf pos (clamp (consult Send) len)
+
+  let send_substring fd s pos len =
+    Unix.write_substring fd s pos (clamp (consult Send) len)
+
+  let recv fd buf pos len = Unix.read fd buf pos (clamp (consult Recv) len)
+end

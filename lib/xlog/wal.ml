@@ -174,15 +174,34 @@ let scan_string ?offset s =
     Ok { ops = List.rev !ops; good_bytes = !pos; torn = !torn }
   end
 
+(* All physical I/O below goes through the {!Xfault.Io} shim so the
+   fault-injection harness can hit it.  [EINTR] is absorbed here — an
+   interrupt storm must never surface to the store. *)
+
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let read_file path =
+  let fd = Xfault.Io.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      let buf = Bytes.create size in
+      let pos = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !pos < size do
+        let n = retry_eintr (fun () -> Xfault.Io.read fd buf !pos (size - !pos)) in
+        if n = 0 then eof := true else pos := !pos + n
+      done;
+      Bytes.sub_string buf 0 !pos)
+
 let scan_file ?offset path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
+  match read_file path with
   | s -> scan_string ?offset s
   | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 
 (* --- appending ---------------------------------------------------------- *)
 
@@ -195,47 +214,63 @@ type writer = {
   mutable closed : bool;
 }
 
+let write_all fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written :=
+      !written
+      + retry_eintr (fun () -> Xfault.Io.write_substring fd s !written (n - !written))
+  done
+
 let flush_buf w =
   if Buffer.length w.buf > 0 then begin
+    (* The buffer is cleared before the write: if the disk fails mid-way
+       the records are gone from the writer.  The store's degraded-state
+       machinery owns that window — the records are still in its
+       memtable and the recovery compaction re-persists them. *)
     let s = Buffer.contents w.buf in
     Buffer.clear w.buf;
-    let n = String.length s in
-    let written = ref 0 in
-    while !written < n do
-      written := !written + Unix.write_substring w.fd s !written (n - !written)
-    done
+    write_all w.fd s
   end
 
 let create ?(sync_every = 1) path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  let off =
+  let fd = Xfault.Io.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  match
+    let size = (Unix.fstat fd).Unix.st_size in
     if size = 0 then begin
-      let n = Unix.write_substring fd magic 0 (String.length magic) in
-      if n <> String.length magic then begin
-        Unix.close fd;
-        invalid_arg "Xlog.Wal.create: short magic write"
-      end;
-      Unix.fsync fd;
+      (* The magic write doubles as the disk-health probe the store's
+         recovery path relies on: it must actually reach the platter. *)
+      write_all fd magic;
+      retry_eintr (fun () -> Xfault.Io.fsync fd);
       String.length magic
     end
     else begin
       let hdr = Bytes.create (String.length magic) in
-      let n = Unix.read fd hdr 0 (Bytes.length hdr) in
-      if n <> Bytes.length hdr || not (String.equal (Bytes.to_string hdr) magic)
-      then begin
-        Unix.close fd;
-        invalid_arg (Printf.sprintf "Xlog.Wal.create: %s is not a WAL file" path)
-      end;
+      let pos = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !pos < Bytes.length hdr do
+        let n =
+          retry_eintr (fun () ->
+              Xfault.Io.read fd hdr !pos (Bytes.length hdr - !pos))
+        in
+        if n = 0 then eof := true else pos := !pos + n
+      done;
+      if !pos <> Bytes.length hdr || not (String.equal (Bytes.to_string hdr) magic)
+      then invalid_arg (Printf.sprintf "Xlog.Wal.create: %s is not a WAL file" path);
       ignore (Unix.lseek fd 0 Unix.SEEK_END : int);
       size
     end
-  in
-  { fd; buf = Buffer.create 4096; sync_every; unsynced = 0; off; closed = false }
+  with
+  | off ->
+    { fd; buf = Buffer.create 4096; sync_every; unsynced = 0; off; closed = false }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
 
 let sync w =
   flush_buf w;
-  Unix.fsync w.fd;
+  retry_eintr (fun () -> Xfault.Io.fsync w.fd);
   w.unsynced <- 0
 
 let append w op =
@@ -254,4 +289,11 @@ let close w =
     sync w;
     w.closed <- true;
     Unix.close w.fd
+  end
+
+let abort w =
+  if not w.closed then begin
+    w.closed <- true;
+    Buffer.clear w.buf;
+    (try Unix.close w.fd with Unix.Unix_error _ -> ())
   end

@@ -69,7 +69,13 @@ val scan_string : ?offset:int -> string -> (scan, string) result
 val scan_file : ?offset:int -> string -> (scan, string) result
 (** {!scan_string} over a file's contents.  Missing file is [Error]. *)
 
-(** {1 Appending} *)
+(** {1 Appending}
+
+    Every physical read, write and fsync below (and in {!scan_file})
+    goes through the {!Xfault.Io} shim, so fault-injection schedules
+    reach the WAL.  [EINTR] and short writes are absorbed internally;
+    everything else ([ENOSPC], [EIO], fsync failure, {!Xfault.Crashed})
+    escapes to the caller — the store's degraded-state machinery. *)
 
 type writer
 
@@ -92,3 +98,10 @@ val offset : writer -> int
 
 val close : writer -> unit
 (** {!sync} then close the fd.  Idempotent. *)
+
+val abort : writer -> unit
+(** Closes the fd {e without} flushing or syncing, dropping any buffered
+    records, and never raises.  For tearing down a writer whose disk has
+    already failed (the store's degraded path) or whose process has
+    "crashed" under fault injection — {!close} would re-attempt the
+    write and re-raise.  Idempotent. *)

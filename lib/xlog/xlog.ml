@@ -52,7 +52,15 @@ type t = {
   pool : Xutil.Domain_pool.t option;
   config : Xseq.config;
   recovery_info : recovery;
+  degraded : string option Atomic.t;
+      (** [Some reason]: the write path hit a disk fault and the store is
+          read-only until {!try_recover} succeeds.  Read without the
+          writer lock (health checks must not contend with writers). *)
+  last_probe : float Atomic.t;
+  probe_interval : float;
 }
+
+exception Degraded of string
 
 type prepared = {
   p_stamp : int;
@@ -80,25 +88,44 @@ type checkpoint = {
   c_ids : int array;
 }
 
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
 let write_file_sync path s =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let fd =
+    Xfault.Io.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> Unix.close fd)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       let n = String.length s in
       let w = ref 0 in
       while !w < n do
-        w := !w + Unix.write_substring fd s !w (n - !w)
+        w :=
+          !w + retry_eintr (fun () -> Xfault.Io.write_substring fd s !w (n - !w))
       done;
-      Unix.fsync fd)
+      retry_eintr (fun () -> Xfault.Io.fsync fd))
+
+(* Errors a filesystem uses to refuse fsync-on-this-kind-of-handle
+   outright (directories on some filesystems, fds without fsync support,
+   permission shapes).  These are the only "best-effort" cases; a real
+   I/O failure — [EIO], [ENOSPC] — means the commit may not have reached
+   the platter and must escape into the degraded-state path. *)
+let fsync_refusal = function
+  | Unix.EINVAL | Unix.EOPNOTSUPP | Unix.ENOSYS | Unix.EBADF | Unix.EROFS
+  | Unix.EACCES | Unix.EPERM | Unix.EISDIR | Unix.ENOENT | Unix.ENOTDIR ->
+    true
+  | _ -> false
 
 let fsync_path path =
-  (* Best-effort directory/file fsync: some filesystems refuse it. *)
-  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
+  match Xfault.Io.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) when fsync_refusal e -> ()
   | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    Unix.close fd
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try retry_eintr (fun () -> Xfault.Io.fsync fd)
+        with Unix.Unix_error (e, _, _) when fsync_refusal e -> ())
 
 let write_checkpoint dir c =
   let body = Buffer.create (64 + (8 * Array.length c.c_ids)) in
@@ -117,7 +144,7 @@ let write_checkpoint dir c =
   Buffer.add_string b body;
   let tmp = Filename.concat dir "checkpoint.tmp" in
   write_file_sync tmp (Buffer.contents b);
-  Sys.rename tmp (Filename.concat dir "checkpoint");
+  Xfault.Io.rename tmp (Filename.concat dir "checkpoint");
   fsync_path dir
 
 let read_checkpoint path =
@@ -257,6 +284,44 @@ let run_prepared ?stats t p =
 
 let check_open t = if t.closed then invalid_arg "Xlog: store is closed"
 
+(* --- degraded state ------------------------------------------------------
+
+   Any disk fault on the write path (WAL append/sync, checkpoint commit,
+   snapshot save) flips [t.degraded] to [Some reason]: mutations raise
+   {!Degraded}, queries keep serving the installed view.  [try_recover]
+   probes the disk by rotating to a fresh WAL (whose magic write+fsync
+   must reach the platter) and, on success, re-persists everything
+   visible with a full synchronous compaction — closing the window of
+   acknowledged records whose WAL bytes were lost when the disk died. *)
+
+let degraded_reason t = Atomic.get t.degraded
+
+let check_writable t =
+  check_open t;
+  match Atomic.get t.degraded with
+  | Some reason -> raise (Degraded reason)
+  | None -> ()
+
+(* [EINTR]/[EAGAIN] never escape {!Wal}; any other [Unix_error] on the
+   write path means bytes may be lost — degrade rather than guess. *)
+let degrade_and_raise t ~what e fn =
+  let reason =
+    Printf.sprintf "%s: %s%s" what (Unix.error_message e)
+      (if String.equal fn "" then "" else " (" ^ fn ^ ")")
+  in
+  Atomic.set t.degraded (Some reason);
+  raise (Degraded reason)
+
+(* writer_m held. *)
+let wal_append t op =
+  try Wal.append t.wal op
+  with Unix.Unix_error (e, fn, _) -> degrade_and_raise t ~what:"wal append" e fn
+
+(* writer_m held. *)
+let wal_sync t =
+  try Wal.sync t.wal
+  with Unix.Unix_error (e, fn, _) -> degrade_and_raise t ~what:"wal sync" e fn
+
 let seal_locked t =
   let v = Atomic.get t.view in
   if v.npending > 0 then begin
@@ -275,9 +340,16 @@ let seal_locked t =
   end
 
 let rotate_locked t =
-  Wal.close t.wal;
+  (try Wal.close t.wal
+   with Unix.Unix_error (e, fn, _) ->
+     (* The final flush failed: the old fd is useless.  Drop it (the
+        records are still in the view) and degrade. *)
+     Wal.abort t.wal;
+     degrade_and_raise t ~what:"wal rotate (close)" e fn);
   t.wal_index <- t.wal_index + 1;
-  t.wal <- Wal.create ~sync_every:t.sync_every (wal_file t.dirname t.wal_index)
+  try t.wal <- Wal.create ~sync_every:t.sync_every (wal_file t.dirname t.wal_index)
+  with Unix.Unix_error (e, fn, _) ->
+    degrade_and_raise t ~what:"wal rotate (create)" e fn
 
 type snapshot = {
   s_view : view;
@@ -292,14 +364,20 @@ let compact_cut_locked t =
   if t.compacting then None
   else begin
     t.compacting <- true;
-    seal_locked t;
-    rotate_locked t;
-    Some
-      {
-        s_view = Atomic.get t.view;
-        s_wal_index = t.wal_index;
-        s_next_id = t.next_id;
-      }
+    match
+      seal_locked t;
+      rotate_locked t
+    with
+    | () ->
+      Some
+        {
+          s_view = Atomic.get t.view;
+          s_wal_index = t.wal_index;
+          s_next_id = t.next_id;
+        }
+    | exception e ->
+      t.compacting <- false;
+      raise e
   end
 
 let rec drop_prefix prefix l =
@@ -379,13 +457,30 @@ let compact_finish t snap =
               stamp = fresh_stamp ();
             }))
 
+(* Translate a disk fault during the rebuild/checkpoint into degraded
+   state.  {!Xfault.Crashed} (simulated power loss) passes through
+   untouched: the harness owns recovery and nothing may touch the disk. *)
+let compact_finish_guarded t snap =
+  try compact_finish t snap with
+  | Xfault.Crashed as e -> raise e
+  | Unix.Unix_error (e, fn, _) -> degrade_and_raise t ~what:"checkpoint" e fn
+  | Sys_error msg -> (
+    let reason = "checkpoint: " ^ msg in
+    Atomic.set t.degraded (Some reason);
+    raise (Degraded reason))
+
 let spawn_compaction t snap =
   t.bg <-
     Some
       (Thread.create
          (fun () ->
-           try compact_finish t snap
-           with e ->
+           try compact_finish_guarded t snap with
+           | Xfault.Crashed -> ()
+           | Degraded reason ->
+             Printf.eprintf
+               "xlog: store degraded during background compaction: %s\n%!"
+               reason
+           | e ->
              Printf.eprintf "xlog: background compaction failed: %s\n%!"
                (Printexc.to_string e))
          ())
@@ -393,7 +488,7 @@ let spawn_compaction t snap =
 let compact ?(wait = true) t =
   match
     locked t (fun () ->
-        check_open t;
+        check_writable t;
         let cut = compact_cut_locked t in
         (match cut with
         | Some snap when not wait -> spawn_compaction t snap
@@ -402,15 +497,68 @@ let compact ?(wait = true) t =
   with
   | None -> false
   | Some snap ->
-    if wait then compact_finish t snap;
+    if wait then compact_finish_guarded t snap;
     true
 
+(* --- recovery probe ------------------------------------------------------ *)
+
+let try_recover t =
+  let attempt =
+    locked t (fun () ->
+        check_open t;
+        match Atomic.get t.degraded with
+        | None -> `Healthy
+        | Some _ when t.compacting -> `Busy
+        | Some _ -> (
+          (* Probe the disk: rotate to a fresh WAL file.  {!Wal.create}
+             writes and fsyncs the magic, so success means appends reach
+             stable storage again. *)
+          Wal.abort t.wal;
+          t.wal_index <- t.wal_index + 1;
+          match
+            Wal.create ~sync_every:t.sync_every (wal_file t.dirname t.wal_index)
+          with
+          | wal ->
+            t.wal <- wal;
+            Atomic.set t.degraded None;
+            `Recovered
+          | exception Xfault.Crashed -> raise Xfault.Crashed
+          | exception (Unix.Unix_error _ | Sys_error _ | Invalid_argument _) ->
+            `Still_degraded))
+  in
+  match attempt with
+  | `Healthy -> true
+  | `Busy | `Still_degraded -> false
+  | `Recovered -> (
+    (* The WAL records buffered when the disk died are gone from disk
+       but still visible in the view; a full synchronous compaction
+       re-persists everything before we report the store writable. *)
+    try
+      ignore (compact ~wait:true t : bool);
+      true
+    with
+    | Xfault.Crashed as e -> raise e
+    | Degraded _ -> false)
+
+(* Rate-limited: write paths call this before taking the lock (never
+   from inside it — [try_recover]'s compaction needs the lock). *)
+let maybe_probe t =
+  match Atomic.get t.degraded with
+  | None -> ()
+  | Some _ ->
+    let now = Unix.gettimeofday () in
+    if now -. Atomic.get t.last_probe >= t.probe_interval then begin
+      Atomic.set t.last_probe now;
+      ignore (try_recover t : bool)
+    end
+
 let insert t doc =
+  maybe_probe t;
   locked t (fun () ->
-      check_open t;
+      check_writable t;
       let id = t.next_id in
+      wal_append t (Wal.Insert (id, doc));
       t.next_id <- id + 1;
-      Wal.append t.wal (Wal.Insert (id, doc));
       let v = Atomic.get t.view in
       Atomic.set t.view
         { v with pending = (id, doc) :: v.pending; npending = v.npending + 1 };
@@ -433,26 +581,28 @@ let live_locked t v id =
      || List.exists (fun seg -> mem_sorted seg.ids id) (sealed v))
 
 let remove t id =
+  maybe_probe t;
   locked t (fun () ->
-      check_open t;
+      check_writable t;
       let v = Atomic.get t.view in
       if id < 0 || id >= t.next_id || not (live_locked t v id) then false
       else begin
-        Wal.append t.wal (Wal.Remove id);
+        wal_append t (Wal.Remove id);
         Atomic.set t.view { v with tombs = Iset.add id v.tombs };
         true
       end)
 
 let flush t =
+  maybe_probe t;
   locked t (fun () ->
-      check_open t;
+      check_writable t;
       seal_locked t;
-      Wal.sync t.wal)
+      wal_sync t)
 
 let sync t =
   locked t (fun () ->
-      check_open t;
-      Wal.sync t.wal)
+      check_writable t;
+      wal_sync t)
 
 let close t =
   let bg = locked t (fun () ->
@@ -464,7 +614,27 @@ let close t =
   locked t (fun () ->
       if not t.closed then begin
         t.closed <- true;
-        Wal.close t.wal
+        if Atomic.get t.degraded <> None then Wal.abort t.wal
+        else
+          try Wal.close t.wal
+          with Unix.Unix_error _ | Xfault.Crashed -> Wal.abort t.wal
+      end)
+
+let abandon t =
+  (* Tear down without touching the disk: for callers that just took a
+     simulated {!Xfault.Crashed} power loss and will recover from the
+     directory.  Buffered WAL records are dropped — exactly what the
+     crash being simulated would have done. *)
+  let bg = locked t (fun () ->
+      let bg = t.bg in
+      t.bg <- None;
+      bg)
+  in
+  (match bg with Some th -> Thread.join th | None -> ());
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Wal.abort t.wal
       end)
 
 (* --- introspection ------------------------------------------------------ *)
@@ -496,7 +666,8 @@ let list_wals dirname =
   |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 
 let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
-    ?(domains = 1) ?pool ?(config = Xseq.default_config) dirname =
+    ?(domains = 1) ?pool ?(config = Xseq.default_config)
+    ?(probe_interval = 1.0) dirname =
   let config = { config with Xseq.keep_documents = true } in
   (try Unix.mkdir dirname 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -602,6 +773,9 @@ let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
           recovered_pending = !npending;
           torn = List.rev !torn;
         };
+      degraded = Atomic.make None;
+      last_probe = Atomic.make 0.0;
+      probe_interval = Stdlib.max 0.0 probe_interval;
     }
   in
   (* A long replay should not leave queries scanning a huge memtable. *)

@@ -51,6 +51,14 @@ type recovery = {
       (** (wal file, diagnostic) for every truncated torn tail *)
 }
 
+exception Degraded of string
+(** The write path is out of service: a WAL append/sync or a checkpoint
+    hit a disk fault ([ENOSPC], [EIO], …).  The store stays up read-only
+    — queries keep answering against the installed view — and every
+    mutation ({!insert}, {!remove}, {!flush}, {!sync}, {!compact})
+    raises this until {!try_recover} succeeds.  The payload names the
+    failing operation and errno. *)
+
 val open_ :
   ?sync_every:int ->
   ?memtable_limit:int ->
@@ -58,6 +66,7 @@ val open_ :
   ?domains:int ->
   ?pool:Xutil.Domain_pool.t ->
   ?config:Xseq.config ->
+  ?probe_interval:float ->
   string ->
   t
 (** Opens (creating if needed) the store directory and recovers its
@@ -68,7 +77,9 @@ val open_ :
     [max_segments] (default 8) triggers background compaction once
     enough deltas pile up.  [domains]/[pool] parallelise every
     {!Xseq.build} the store performs; [config.keep_documents] is forced
-    on (compaction rebuilds from the kept records).
+    on (compaction rebuilds from the kept records).  [probe_interval]
+    (default 1s) rate-limits the automatic recovery probe a degraded
+    store runs before each mutation attempt.
     @raise Invalid_argument on a corrupt checkpoint or base snapshot,
     naming the failure — a torn WAL tail is recovered, not an error. *)
 
@@ -77,11 +88,14 @@ val recovery : t -> recovery
 
 val insert : t -> Xmlcore.Xml_tree.t -> int
 (** Appends to the WAL, then makes the document visible.  Returns its
-    id; ids are dense, monotone and stable forever. *)
+    id; ids are dense, monotone and stable forever.
+    @raise Degraded if the write path is out of service — the document
+    is {e not} inserted and its id is not consumed. *)
 
 val remove : t -> int -> bool
 (** Tombstones a live document.  [false] if the id was never allocated
-    or is already removed (nothing is logged in that case). *)
+    or is already removed (nothing is logged in that case).
+    @raise Degraded if the write path is out of service. *)
 
 val flush : t -> unit
 (** Seals the memtable into a delta segment (if non-empty) and fsyncs
@@ -126,6 +140,35 @@ val generation : t -> int
 (** Stamp of the current sealed structure, from the same process-wide
     sequence as {!Xseq.generation}.  Changes on open, seal and
     compaction install; {e not} on insert/remove. *)
+
+(** {1 Degraded state}
+
+    The graceful-degradation contract: disk faults on the write path
+    never crash the store or silently drop acknowledged data — they flip
+    it read-only ({!Degraded} on every mutation) while queries keep
+    serving the installed view.  Recovery rotates to a fresh WAL (the
+    magic write + fsync is the disk-health probe) and then re-persists
+    everything visible with a full synchronous compaction, closing the
+    window of records whose buffered WAL bytes died with the fault. *)
+
+val degraded_reason : t -> string option
+(** [Some reason] while the store is read-only.  Lock-free — health
+    checks never contend with writers. *)
+
+val try_recover : t -> bool
+(** Probes the disk and, if writes reach stable storage again,
+    checkpoints the full in-memory state and re-arms the write path.
+    [true] if the store is writable on return (including "was never
+    degraded"); [false] if still degraded or a compaction is in flight.
+    Mutations also probe automatically, rate-limited by
+    [probe_interval], so a recovered disk re-arms without any explicit
+    call. *)
+
+val abandon : t -> unit
+(** Closes the handle {e without} flushing, syncing or checkpointing —
+    no disk I/O beyond closing fds.  For tests that simulated a crash
+    ({!Xfault.Crashed}) and will reopen from the directory: {!close}
+    would write, which a crashed process cannot.  Idempotent. *)
 
 (** {1 Introspection} *)
 

@@ -1,0 +1,26 @@
+(* Decorrelated-jitter backoff.  See backoff.mli. *)
+
+type t = { base_ms : int; cap_ms : int; factor : float }
+
+let default = { base_ms = 25; cap_ms = 2000; factor = 3.0 }
+
+let next p st ~prev_ms =
+  let base = max 1 p.base_ms in
+  let cap = max base p.cap_ms in
+  let prev = if prev_ms <= 0 then base else min prev_ms cap in
+  let hi = int_of_float (float_of_int prev *. p.factor) in
+  let span = max 0 (hi - base) in
+  let v = base + if span = 0 then 0 else Random.State.int st (span + 1) in
+  min cap v
+
+let schedule p ~seed n =
+  let st = Random.State.make [| seed; 0xb4c0 |] in
+  let rec go prev k acc =
+    if k = 0 then List.rev acc
+    else
+      let s = next p st ~prev_ms:prev in
+      go s (k - 1) (s :: acc)
+  in
+  go 0 (max 0 n) []
+
+let total_ms = List.fold_left ( + ) 0

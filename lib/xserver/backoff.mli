@@ -1,0 +1,30 @@
+(** Retry backoff with decorrelated jitter.
+
+    The schedule follows the "decorrelated jitter" recipe: each sleep is
+    drawn uniformly from [[base, prev × factor]] and clamped to [cap],
+    so concurrent clients hammered by the same outage spread out instead
+    of retrying in lockstep, while the expected sleep still grows
+    geometrically.  All randomness comes from an explicit
+    [Random.State.t], so a fixed seed yields a fixed schedule — the unit
+    tests assert exact sequences and bounded totals. *)
+
+type t = {
+  base_ms : int;  (** first / minimum sleep *)
+  cap_ms : int;  (** per-sleep clamp *)
+  factor : float;  (** upper-bound growth per step (3.0 is canonical) *)
+}
+
+val default : t
+(** [base 25ms, cap 2000ms, factor 3.0]. *)
+
+val next : t -> Random.State.t -> prev_ms:int -> int
+(** The next sleep given the previous one ([prev_ms <= 0] means "this is
+    the first retry").  Always within [[base_ms, cap_ms]]. *)
+
+val schedule : t -> seed:int -> int -> int list
+(** The first [n] sleeps a client seeded with [seed] would take — a pure
+    preview of what {!next} produces, for tests and capacity math. *)
+
+val total_ms : int list -> int
+(** Sum of a schedule: the worst-case time spent sleeping (not counting
+    the attempts themselves). *)

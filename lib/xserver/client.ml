@@ -1,93 +1,289 @@
+(* Self-healing blocking client.  See client.mli for the retry and
+   idempotency contract. *)
+
 module P = Protocol
 
 exception Server_error of P.error_code * string
 exception Protocol_error of string
+exception Timeout of string
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type policy = {
+  attempts : int;
+  connect_timeout_ms : int;
+  request_timeout_ms : int;
+  backoff : Backoff.t;
+}
 
-let connect (addr : Server.addr) =
-  match addr with
+let default_policy =
+  {
+    attempts = 4;
+    connect_timeout_ms = 5000;
+    request_timeout_ms = 0;
+    backoff = Backoff.default;
+  }
+
+type t = {
+  addr : Server.addr;
+  policy : policy;
+  rng : Random.State.t;
+  mutable prev_sleep_ms : int;  (** decorrelated-jitter state *)
+  mutable fd : Unix.file_descr option;
+  mutable closed : bool;
+}
+
+type health = {
+  degraded : bool;
+  reason : string;
+  generation : int;
+  doc_count : int;
+}
+
+(* --- connection plumbing ------------------------------------------------- *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let sockaddr_of = function
   | Server.Tcp (host, port) ->
     let inet =
       try Unix.inet_addr_of_string host
-      with Failure _ ->
-        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-         with Not_found -> Unix.inet_addr_loopback)
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback)
     in
-    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_INET (inet, port))
-     with e ->
-       (try Unix.close fd with Unix.Unix_error _ -> ());
-       raise e);
-    { fd; closed = false }
-  | Server.Unix_sock path ->
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
-     with e ->
-       (try Unix.close fd with Unix.Unix_error _ -> ());
-       raise e);
-    { fd; closed = false }
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  | Server.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+(* Non-blocking connect + select: a sharp connect timeout instead of the
+   kernel's minutes-long default.  [timeout_ms <= 0] waits forever. *)
+let connect_fd ~timeout_ms addr =
+  let dom, sa = sockaddr_of addr in
+  let fd = Unix.socket ~cloexec:true dom Unix.SOCK_STREAM 0 in
+  match
+    Unix.set_nonblock fd;
+    let wait () =
+      let tmo = if timeout_ms > 0 then float_of_int timeout_ms /. 1000. else -1. in
+      match retry_eintr (fun () -> Unix.select [] [ fd ] [] tmo) with
+      | _, [], _ ->
+        raise (Timeout (Printf.sprintf "connect: no answer within %dms" timeout_ms))
+      | _ -> (
+        match Unix.getsockopt_error fd with
+        | None -> ()
+        | Some err ->
+          raise (Unix.Unix_error (err, "connect", Server.addr_to_string addr)))
+    in
+    (match Xfault.Io.connect fd sa with
+    | () -> ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      wait ());
+    Unix.clear_nonblock fd
+  with
+  | () -> fd
+  | exception e ->
+    close_fd fd;
+    raise e
+
+let kill t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    close_fd fd
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    kill t
   end
 
-let roundtrip t req =
+let connect ?(policy = default_policy) ?seed (addr : Server.addr) =
+  let rng =
+    Random.State.make
+      (match seed with
+      | Some s -> [| s; 0xc11e |]
+      | None -> [| Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) |])
+  in
+  let t = { addr; policy; rng; prev_sleep_ms = 0; fd = None; closed = false } in
+  (* Eager and single-shot: an unreachable endpoint raises here, not on
+     the first request — callers distinguish "cannot connect" from
+     "connection died" (automatic reconnection covers the latter). *)
+  t.fd <- Some (connect_fd ~timeout_ms:policy.connect_timeout_ms addr);
+  t
+
+(* --- retry machinery ------------------------------------------------------ *)
+
+(* Safe to replay after the request may have reached the server: pure
+   reads.  [Unknown] is dispatched to an [Unsupported] answer without
+   touching any state, so it rides along.  Everything else (Insert,
+   Delete, Flush, Reload) must never be sent twice. *)
+let idempotent = function
+  | P.Ping | P.Query _ | P.Query_batch _ | P.Stats | P.Health | P.Unknown _ ->
+    true
+  | P.Reload _ | P.Insert _ | P.Delete _ | P.Flush -> false
+
+(* Transport failures worth a reconnect-and-retry; anything else (bad
+   frames, wrong peer) is a protocol bug and propagates immediately. *)
+let retryable_errno = function
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ECONNREFUSED
+  | Unix.ENOENT | Unix.ENOTCONN | Unix.ESHUTDOWN | Unix.ETIMEDOUT
+  | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ENETDOWN | Unix.ENETRESET ->
+    true
+  | _ -> false
+
+exception Transport of string (* internal: mapped before escaping *)
+
+let set_io_timeout fd remaining_ms =
+  if remaining_ms < max_int then begin
+    let s = float_of_int (max 1 remaining_ms) /. 1000. in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+    with Unix.Unix_error _ | Invalid_argument _ -> ()
+  end
+
+let roundtrip ?(timeout_ms = 0) t req =
   if t.closed then raise (Protocol_error "connection is closed");
-  P.write_frame t.fd (P.encode_request req);
-  match P.read_frame t.fd with
-  | Error P.Eof -> raise (Protocol_error "server closed the connection")
-  | Error P.Truncated -> raise (Protocol_error "truncated response frame")
-  | Error (P.Bad_header m) -> raise (Protocol_error ("bad response frame: " ^ m))
-  | Ok frame ->
-    (match P.decode_response frame with
-     | Error m -> raise (Protocol_error ("malformed response: " ^ m))
-     | Ok (P.Error { code; message }) -> raise (Server_error (code, message))
-     | Ok resp -> resp)
+  let timeout_ms =
+    if timeout_ms > 0 then timeout_ms else t.policy.request_timeout_ms
+  in
+  let deadline =
+    if timeout_ms > 0 then Some (now_ms () +. float_of_int timeout_ms) else None
+  in
+  let remaining_ms () =
+    match deadline with
+    | None -> max_int
+    | Some d ->
+      let r = int_of_float (d -. now_ms ()) in
+      if r <= 0 then begin
+        kill t;
+        raise
+          (Timeout (Printf.sprintf "deadline of %dms exhausted by retries" timeout_ms))
+      end;
+      r
+  in
+  let idem = idempotent req in
+  let frame = P.encode_request req in
+  let rec attempt used =
+    let sent = ref false in
+    match
+      let fd =
+        match t.fd with
+        | Some fd -> fd
+        | None ->
+          let budget = min t.policy.connect_timeout_ms (remaining_ms ()) in
+          let fd = connect_fd ~timeout_ms:budget t.addr in
+          t.fd <- Some fd;
+          fd
+      in
+      set_io_timeout fd (remaining_ms ());
+      sent := true;
+      P.write_frame fd frame;
+      (match P.read_frame fd with
+      | Error P.Eof -> raise (Transport "server closed the connection")
+      | Error P.Truncated -> raise (Transport "truncated response frame")
+      | Error (P.Bad_header m) -> raise (Protocol_error ("bad response frame: " ^ m))
+      | Ok resp ->
+        (match P.decode_response resp with
+        | Error m -> raise (Protocol_error ("malformed response: " ^ m))
+        | Ok (P.Error { code; message }) -> raise (Server_error (code, message))
+        | Ok resp -> resp))
+    with
+    | resp ->
+      t.prev_sleep_ms <- 0;
+      resp
+    | exception e -> (
+      let retryable, describe =
+        match e with
+        | Transport msg -> (true, fun () -> Protocol_error msg)
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          when deadline <> None ->
+          (* The SO_RCVTIMEO/SO_SNDTIMEO we armed from the deadline
+             expired mid-frame; the stream position is unknown. *)
+          ( false,
+            fun () ->
+              Timeout (Printf.sprintf "deadline of %dms expired mid-request" timeout_ms)
+          )
+        | Unix.Unix_error (errno, _, _) when retryable_errno errno -> (true, fun () -> e)
+        | _ -> (false, fun () -> e)
+      in
+      (match e with
+      | Transport _ | Unix.Unix_error _ | Timeout _ -> kill t
+      | _ -> ());
+      let may_retry =
+        retryable && (idem || not !sent) && used + 1 < t.policy.attempts
+      in
+      if not may_retry then raise (describe ())
+      else begin
+        let sleep = Backoff.next t.policy.backoff t.rng ~prev_ms:t.prev_sleep_ms in
+        t.prev_sleep_ms <- sleep;
+        let sleep =
+          match deadline with
+          | None -> sleep
+          | Some d -> min sleep (max 0 (int_of_float (d -. now_ms ())))
+        in
+        if sleep > 0 then Thread.delay (float_of_int sleep /. 1000.);
+        ignore (remaining_ms () : int);
+        attempt (used + 1)
+      end)
+  in
+  attempt 0
+
+(* --- public operations ----------------------------------------------------- *)
 
 let unexpected what = raise (Protocol_error ("unexpected response to " ^ what))
 
-let ping t = match roundtrip t P.Ping with P.Pong -> () | _ -> unexpected "ping"
+let ping ?timeout_ms t =
+  match roundtrip ?timeout_ms t P.Ping with P.Pong -> () | _ -> unexpected "ping"
 
 let query_full ?(timeout_ms = 0) t xpath =
-  match roundtrip t (P.Query { xpath; timeout_ms }) with
+  match roundtrip ~timeout_ms t (P.Query { xpath; timeout_ms }) with
   | P.Result { generation; ids } -> (generation, ids)
   | _ -> unexpected "query"
 
 let query ?timeout_ms t xpath = snd (query_full ?timeout_ms t xpath)
 
 let query_batch ?(timeout_ms = 0) t xpaths =
-  match roundtrip t (P.Query_batch { xpaths; timeout_ms }) with
+  match roundtrip ~timeout_ms t (P.Query_batch { xpaths; timeout_ms }) with
   | P.Batch_result { ids; _ } -> ids
   | _ -> unexpected "query_batch"
 
-let stats t =
-  match roundtrip t P.Stats with
+let stats ?timeout_ms t =
+  match roundtrip ?timeout_ms t P.Stats with
   | P.Stats_json s -> s
   | _ -> unexpected "stats"
 
-let reload ?path t =
-  match roundtrip t (P.Reload path) with
+let health ?timeout_ms t =
+  match roundtrip ?timeout_ms t P.Health with
+  | P.Health_status { degraded; reason; generation; doc_count } ->
+    { degraded; reason; generation; doc_count }
+  | _ -> unexpected "health"
+
+let reload ?timeout_ms ?path t =
+  match roundtrip ?timeout_ms t (P.Reload path) with
   | P.Reloaded { generation } -> generation
   | _ -> unexpected "reload"
 
-let insert t xml =
-  match roundtrip t (P.Insert { xml }) with
+let insert ?timeout_ms t xml =
+  match roundtrip ?timeout_ms t (P.Insert { xml }) with
   | P.Inserted { id } -> id
   | _ -> unexpected "insert"
 
-let delete t id =
-  match roundtrip t (P.Delete { id }) with
+let delete ?timeout_ms t id =
+  match roundtrip ?timeout_ms t (P.Delete { id }) with
   | P.Deleted { existed } -> existed
   | _ -> unexpected "delete"
 
-let flush t =
-  match roundtrip t P.Flush with
+let flush ?timeout_ms t =
+  match roundtrip ?timeout_ms t P.Flush with
   | P.Flushed { generation } -> generation
   | _ -> unexpected "flush"
 
-let with_connection addr f =
-  let t = connect addr in
+let with_connection ?policy ?seed addr f =
+  let t = connect ?policy ?seed addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,31 +1,92 @@
-(** Blocking client for the xseq query service.
+(** Self-healing blocking client for the xseq query service.
 
     One connection, synchronous request/response (the closed-loop shape
     the bench's load generator and the CLI both want).  A client is {b
-    not} thread-safe: give each thread its own connection. *)
+    not} thread-safe: give each thread its own connection.
+
+    {1 Fault handling}
+
+    The client rides through transient transport trouble on its own:
+
+    - {b Connect timeout}: connection establishment uses a non-blocking
+      connect bounded by [policy.connect_timeout_ms] instead of the
+      kernel's default (minutes).
+    - {b Automatic reconnect}: a connection that dies mid-stream
+      ([ECONNRESET], [EPIPE], EOF, a truncated frame) is closed and
+      discarded — the handle is {e never} left holding an unusable fd —
+      and the next eligible attempt dials a fresh one.
+    - {b Retries, idempotent only}: a request that failed in transport is
+      re-sent only if replaying it is safe ([ping]/[query]/
+      [query_batch]/[stats]/[health]) or if the failure happened before
+      anything was sent (connection establishment).  [insert], [delete],
+      [flush] and [reload] are never re-sent once they may have reached
+      the server — at-most-once, enforced here.
+    - {b Backoff}: retries sleep per {!Backoff} (decorrelated jitter),
+      bounded by [policy.attempts] and by the request deadline.
+    - {b Deadlines across retries}: [timeout_ms] (per call, falling back
+      to [policy.request_timeout_ms]) bounds the {e total} time spent on
+      the call — connects, sends, reads, sleeps, all attempts included —
+      raising {!Timeout} when exhausted.
+
+    Server {e answers} are never retried: an error frame (including
+    [Degraded] and [Overloaded]) raises {!Server_error} immediately —
+    the server is alive and has spoken. *)
 
 exception Server_error of Protocol.error_code * string
 (** The server answered an error frame ([Bad_request], [Overloaded],
-    [Timeout], [Server_error]). *)
+    [Timeout], [Server_error], [Degraded], [Unsupported]). *)
 
 exception Protocol_error of string
 (** The byte stream was not a valid response frame, or the response kind
     did not match the request (a server bug, a version skew, or not an
-    xseq server at all). *)
+    xseq server at all); also the final verdict when transport retries
+    are exhausted. *)
+
+exception Timeout of string
+(** The per-request deadline was exhausted — by a connect, a read/write,
+    or the retry loop's sleeps. *)
+
+type policy = {
+  attempts : int;  (** max tries per eligible call (>= 1) *)
+  connect_timeout_ms : int;  (** per connection attempt; <= 0 = forever *)
+  request_timeout_ms : int;
+      (** default total budget per call; 0 = none.  Overridden per call
+          by [?timeout_ms]. *)
+  backoff : Backoff.t;  (** sleep schedule between retries *)
+}
+
+val default_policy : policy
+(** 4 attempts, 5s connect timeout, no request deadline,
+    {!Backoff.default}. *)
 
 type t
 
-val connect : Server.addr -> t
-(** @raise Unix.Unix_error when the endpoint is unreachable. *)
+type health = {
+  degraded : bool;
+  reason : string;  (** "" when healthy *)
+  generation : int;
+  doc_count : int;
+}
+
+val connect : ?policy:policy -> ?seed:int -> Server.addr -> t
+(** Dials eagerly (single attempt, so "unreachable" is reported here and
+    not on the first request).  [seed] fixes the backoff jitter stream —
+    tests replay exact schedules with it.
+    @raise Unix.Unix_error when the endpoint is unreachable.
+    @raise Timeout when the connect timeout expires. *)
 
 val close : t -> unit
-(** Idempotent. *)
+(** Closes the connection if one is open.  {b Idempotent}: safe to call
+    any number of times, at any point — including after a transport
+    failure mid-request or a raised exception — and never raises.  Any
+    operation on a closed client raises {!Protocol_error}. *)
 
-val ping : t -> unit
+val ping : ?timeout_ms:int -> t -> unit
 
 val query : ?timeout_ms:int -> t -> string -> int list
 (** Matching document ids for one XPath, sorted (exactly
-    [Xseq.query_xpath] against the served index). *)
+    [Xseq.query_xpath] against the served index).  [timeout_ms] is both
+    the server-side deadline and the client-side total budget. *)
 
 val query_full : ?timeout_ms:int -> t -> string -> int * int list
 (** Like {!query} but also returns the generation of the index that
@@ -33,27 +94,33 @@ val query_full : ?timeout_ms:int -> t -> string -> int * int list
 
 val query_batch : ?timeout_ms:int -> t -> string array -> int list array
 
-val stats : t -> string
+val stats : ?timeout_ms:int -> t -> string
 (** The server's metrics registry as JSON. *)
 
-val reload : ?path:string -> t -> int
-(** Asks for a hot swap; returns the new generation. *)
+val health : ?timeout_ms:int -> t -> health
+(** The server's degradation state: always answered, degraded or not —
+    the probe for diagnosing a read-only store. *)
+
+val reload : ?timeout_ms:int -> ?path:string -> t -> int
+(** Asks for a hot swap; returns the new generation.  Not retried. *)
 
 (** {1 Live ingestion}
 
     Only valid against a server serving an [Xlog] store ([xseq serve
     --live]); other backends answer [Bad_request], raised here as
-    {!Server_error}. *)
+    {!Server_error}.  While the store is degraded (disk fault) these
+    raise {!Server_error} with [Protocol.Degraded]; they are {e never}
+    replayed by the retry machinery. *)
 
-val insert : t -> string -> int
+val insert : ?timeout_ms:int -> t -> string -> int
 (** Sends one XML document; returns the stable id it was assigned. *)
 
-val delete : t -> int -> bool
+val delete : ?timeout_ms:int -> t -> int -> bool
 (** Tombstones a document; [false] if the id was unknown or already
     removed. *)
 
-val flush : t -> int
+val flush : ?timeout_ms:int -> t -> int
 (** Seals the server's memtable and fsyncs its WAL; returns the new
     structure generation. *)
 
-val with_connection : Server.addr -> (t -> 'a) -> 'a
+val with_connection : ?policy:policy -> ?seed:int -> Server.addr -> (t -> 'a) -> 'a

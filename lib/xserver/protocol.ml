@@ -8,13 +8,21 @@ let version = 1
 let header_size = 8
 let max_payload = 16 * 1024 * 1024
 
-type error_code = Bad_request | Overloaded | Timeout | Server_error
+type error_code =
+  | Bad_request
+  | Overloaded
+  | Timeout
+  | Server_error
+  | Degraded
+  | Unsupported
 
 let error_code_to_string = function
   | Bad_request -> "bad_request"
   | Overloaded -> "overloaded"
   | Timeout -> "timeout"
   | Server_error -> "server_error"
+  | Degraded -> "degraded"
+  | Unsupported -> "unsupported"
 
 type request =
   | Ping
@@ -25,6 +33,8 @@ type request =
   | Insert of { xml : string }
   | Delete of { id : int }
   | Flush
+  | Health
+  | Unknown of { op : int }
 
 type response =
   | Pong
@@ -36,6 +46,12 @@ type response =
   | Inserted of { id : int }
   | Deleted of { existed : bool }
   | Flushed of { generation : int }
+  | Health_status of {
+      degraded : bool;
+      reason : string;
+      generation : int;
+      doc_count : int;
+    }
 
 (* --- opcodes -------------------------------------------------------------- *)
 
@@ -47,6 +63,7 @@ let op_reload = 0x04
 let op_insert = 0x05
 let op_delete = 0x06
 let op_flush = 0x07
+let op_health = 0x08
 let op_pong = 0x80
 let op_result = 0x81
 let op_batch_result = 0x82
@@ -56,12 +73,15 @@ let op_error = 0x85
 let op_inserted = 0x86
 let op_deleted = 0x87
 let op_flushed = 0x88
+let op_health_status = 0x89
 
 let code_to_int = function
   | Bad_request -> 0
   | Overloaded -> 1
   | Timeout -> 2
   | Server_error -> 3
+  | Degraded -> 4
+  | Unsupported -> 5
 
 (* --- encoding ------------------------------------------------------------- *)
 
@@ -119,6 +139,13 @@ let encode_request = function
   | Insert { xml } -> frame op_insert (payload_of (fun b -> add_str b xml))
   | Delete { id } -> frame op_delete (payload_of (fun b -> add_u32 b id))
   | Flush -> frame op_flush ""
+  | Health -> frame op_health ""
+  | Unknown { op } ->
+    (* Mostly for tests probing forward-compatibility: a well-formed
+       frame carrying an opcode this build does not dispatch. *)
+    if op < 0 || op > 0x7f then
+      invalid_arg (Printf.sprintf "Protocol: request opcode 0x%x out of range" op);
+    frame op ""
 
 let encode_response = function
   | Pong -> frame op_pong ""
@@ -147,6 +174,13 @@ let encode_response = function
       (payload_of (fun b -> Buffer.add_uint8 b (if existed then 1 else 0)))
   | Flushed { generation } ->
     frame op_flushed (payload_of (fun b -> add_u32 b generation))
+  | Health_status { degraded; reason; generation; doc_count } ->
+    frame op_health_status
+      (payload_of (fun b ->
+           Buffer.add_uint8 b (if degraded then 1 else 0);
+           add_str b reason;
+           add_u32 b generation;
+           add_u32 b doc_count))
 
 (* --- decoding ------------------------------------------------------------- *)
 
@@ -234,7 +268,14 @@ let decode_request s =
     else if op = op_insert then finish c (Insert { xml = str c })
     else if op = op_delete then finish c (Delete { id = u32 c })
     else if op = op_flush then finish c Flush
-    else bad "unknown request opcode 0x%02x" op
+    else if op = op_health then finish c Health
+    else
+      (* Forward compatibility: a well-formed frame with a request
+         opcode this build does not know is NOT malformed — the server
+         answers [Unsupported] and keeps the connection, so newer
+         clients degrade per-operation instead of losing the session.
+         The payload is opaque to us and deliberately not validated. *)
+      Unknown { op }
   with
   | v -> Ok v
   | exception Malformed m -> Error m
@@ -267,6 +308,8 @@ let decode_response s =
         | 1 -> Overloaded
         | 2 -> Timeout
         | 3 -> Server_error
+        | 4 -> Degraded
+        | 5 -> Unsupported
         | k -> bad "unknown error code %d" k
       in
       let message = str c in
@@ -283,6 +326,18 @@ let decode_response s =
       let generation = u32 c in
       finish c (Flushed { generation })
     end
+    else if op = op_health_status then begin
+      let degraded =
+        match u8 c with
+        | 0 -> false
+        | 1 -> true
+        | t -> bad "bad boolean tag %d in Health_status" t
+      in
+      let reason = str c in
+      let generation = u32 c in
+      let doc_count = u32 c in
+      finish c (Health_status { degraded; reason; generation; doc_count })
+    end
     else bad "unknown response opcode 0x%02x" op
   with
   | v -> Ok v
@@ -298,7 +353,7 @@ let really_read fd buf off n =
   let rec go off remaining =
     if remaining = 0 then `Ok
     else
-      match Unix.read fd buf off remaining with
+      match Xfault.Io.recv fd buf off remaining with
       | 0 -> `Eof (n - remaining)
       | k -> go (off + k) (remaining - k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
@@ -333,11 +388,10 @@ let read_frame fd =
     end
 
 let write_frame fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
+  let n = String.length s in
   let rec go off =
     if off < n then begin
-      match Unix.write fd b off (n - off) with
+      match Xfault.Io.send_substring fd s off (n - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
     end

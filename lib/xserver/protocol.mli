@@ -34,10 +34,17 @@ val max_payload : int
     rejected without allocating. *)
 
 type error_code =
-  | Bad_request  (** unparsable frame or XPath; unknown opcode *)
+  | Bad_request  (** unparsable frame or XPath *)
   | Overloaded  (** admission control rejected the request *)
   | Timeout  (** the per-request deadline expired before execution *)
   | Server_error  (** unexpected failure while serving the request *)
+  | Degraded
+      (** the store's write path is out of service (disk fault); queries
+          still work — retrying the write without operator action is
+          useless until {!response.Health_status} clears *)
+  | Unsupported
+      (** well-formed frame, but an opcode this build does not dispatch
+          — the connection stays open *)
 
 val error_code_to_string : error_code -> string
 
@@ -55,6 +62,16 @@ type request =
           served [Xlog] store (an error on frozen backends) *)
   | Delete of { id : int }  (** tombstone a live document *)
   | Flush  (** seal the memtable and fsync the WAL *)
+  | Health
+      (** liveness + degradation probe: always answered, even (and
+          especially) while the write path is down *)
+  | Unknown of { op : int }
+      (** a {e well-formed} frame whose request opcode this build does
+          not know.  Decoding yields this rather than [Error] so the
+          server can answer {!error_code.Unsupported} and keep the
+          connection — forward compatibility with newer clients.  The
+          payload is opaque and not validated.  [encode_request] on it
+          emits an empty payload (test use). *)
 
 type response =
   | Pong
@@ -68,6 +85,12 @@ type response =
       (** [false]: the id was never allocated or already tombstoned *)
   | Flushed of { generation : int }
       (** structure generation after the seal *)
+  | Health_status of {
+      degraded : bool;
+      reason : string;  (** "" when healthy; the failing op + errno else *)
+      generation : int;
+      doc_count : int;
+    }  (** answer to {!request.Health} *)
 
 (** {1 Codec} *)
 
@@ -86,7 +109,10 @@ val decode_response : string -> (response, string) result
 (** {1 Framed I/O}
 
     Blocking helpers over [Unix] file descriptors, used by both the
-    server's connection loops and the client library. *)
+    server's connection loops and the client library.  Socket reads and
+    writes go through the {!Xfault.Io} shim ([Recv]/[Send] classes), so
+    fault schedules can stall, shorten or reset protocol traffic;
+    [EINTR] and short counts are absorbed here. *)
 
 type read_error =
   | Eof  (** clean end of stream before any byte of a frame *)

@@ -334,13 +334,20 @@ let stats_json t =
     match sv.backend with
     | B_index _ -> []
     | B_live log ->
+      let degraded, reason =
+        match Xlog.degraded_reason log with
+        | Some r -> (true, r)
+        | None -> (false, "")
+      in
       [
         ( "live",
           Printf.sprintf
             "{\"doc_count\": %d, \"pending\": %d, \"segments\": %d, \
-             \"tombstones\": %d, \"next_id\": %d, \"wal_offset\": %d}"
+             \"tombstones\": %d, \"next_id\": %d, \"wal_offset\": %d, \
+             \"degraded\": %b, \"degraded_reason\": %S}"
             (Xlog.doc_count log) (Xlog.pending log) (Xlog.segments log)
-            (Xlog.tombstones log) (Xlog.next_id log) (Xlog.wal_offset log) );
+            (Xlog.tombstones log) (Xlog.next_id log) (Xlog.wal_offset log)
+            degraded reason );
       ]
   in
   Metrics.to_json
@@ -382,6 +389,8 @@ let dispatch t (req : P.request) : string * P.response =
     ( "reload",
       (match reload ?path t with
        | gen -> P.Reloaded { generation = gen }
+       | exception Xlog.Degraded reason ->
+         err P.Degraded "store is read-only: %s" reason
        | exception e ->
          err P.Server_error "reload failed: %s" (Printexc.to_string e)) )
   | P.Query { xpath; timeout_ms } ->
@@ -411,6 +420,8 @@ let dispatch t (req : P.request) : string * P.response =
           | doc ->
             (match Xlog.insert log doc with
              | id -> P.Inserted { id }
+             | exception Xlog.Degraded reason ->
+               err P.Degraded "store is read-only: %s" reason
              | exception e ->
                err P.Server_error "insert failed: %s" (Printexc.to_string e))
           | exception Xmlcore.Xml_parser.Parse_error { pos; line; msg } ->
@@ -423,6 +434,8 @@ let dispatch t (req : P.request) : string * P.response =
        | Some log ->
          (match Xlog.remove log id with
           | existed -> P.Deleted { existed }
+          | exception Xlog.Degraded reason ->
+            err P.Degraded "store is read-only: %s" reason
           | exception e ->
             err P.Server_error "delete failed: %s" (Printexc.to_string e))) )
   | P.Flush ->
@@ -432,8 +445,46 @@ let dispatch t (req : P.request) : string * P.response =
        | Some log ->
          (match Xlog.flush log with
           | () -> P.Flushed { generation = Xlog.generation log }
+          | exception Xlog.Degraded reason ->
+            err P.Degraded "store is read-only: %s" reason
           | exception e ->
             err P.Server_error "flush failed: %s" (Printexc.to_string e))) )
+  | P.Health ->
+    ( "health",
+      (let sv = Atomic.get t.serving in
+       match sv.backend with
+       | B_index index ->
+         P.Health_status
+           {
+             degraded = false;
+             reason = "";
+             generation = sv.gen;
+             doc_count = Xseq.doc_count index;
+           }
+       | B_live log ->
+         (* The health probe doubles as the recovery probe: if the store
+            is degraded, test the disk and re-arm the write path when it
+            has healed — so operators watching Health see the recovery
+            happen without waiting for the next write attempt. *)
+         (match Xlog.degraded_reason log with
+          | Some _ -> ignore (Xlog.try_recover log : bool)
+          | None -> ());
+         let degraded, reason =
+           match Xlog.degraded_reason log with
+           | Some reason -> (true, reason)
+           | None -> (false, "")
+         in
+         P.Health_status
+           {
+             degraded;
+             reason;
+             generation = Xlog.generation log;
+             doc_count = Xlog.doc_count log;
+           }) )
+  | P.Unknown { op } ->
+    ( "unknown",
+      err P.Unsupported "request opcode 0x%02x is not supported by this server"
+        op )
 
 (* --- connection handling --------------------------------------------------- *)
 
@@ -627,6 +678,10 @@ let bind_listener addr =
 
 let start t addrs =
   if addrs = [] then invalid_arg "Server.start: no addresses";
+  (* A peer that vanishes mid-response must surface as EPIPE on the
+     write, not kill the process.  Idempotent; no-op off Unix. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   Mutex.lock t.state_m;
   if t.started then begin
     Mutex.unlock t.state_m;

@@ -246,12 +246,27 @@ let write ?(page_size = 4096) t path =
       (checksum_bytes header 40 (payload_off - 40))
   in
   Bytes.set_int64_le header 32 crc;
-  let oc = open_out_bin path in
+  (* Physical writes go through the {!Xfault.Io} shim so fault-injection
+     schedules reach snapshot saves; EINTR and short writes are absorbed
+     here, real faults (ENOSPC, EIO, Crashed) escape to the caller. *)
+  let rec retry_eintr f =
+    try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+  in
+  let fd =
+    Xfault.Io.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      output_bytes oc header;
-      List.iter (fun (_, _, _, b, _) -> output_bytes oc b) payloads)
+      let write_all b =
+        let n = Bytes.length b in
+        let w = ref 0 in
+        while !w < n do
+          w := !w + retry_eintr (fun () -> Xfault.Io.write fd b !w (n - !w))
+        done
+      in
+      write_all header;
+      List.iter (fun (_, _, _, b, _) -> write_all b) payloads)
 
 (* [file_bytes] of a memory store: what [write] would produce. *)
 let file_bytes t =
@@ -271,7 +286,12 @@ type mode = Resident | Paged
 let fail fmt = Printf.ksprintf invalid_arg ("Store.open_file: " ^^ fmt)
 
 let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
-  let ic = open_in_bin path in
+  (* The open is routed through {!Xfault.Io} (so schedules can refuse or
+     delay it); subsequent reads use a buffered channel over the fd. *)
+  let ic =
+    Unix.in_channel_of_descr (Xfault.Io.openfile path [ Unix.O_RDONLY ] 0)
+  in
+  set_binary_mode_in ic true;
   let ok = ref false in
   Fun.protect
     ~finally:(fun () -> if not !ok then close_in_noerr ic)

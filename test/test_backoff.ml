@@ -1,0 +1,119 @@
+(* Deterministic tests of the client's decorrelated-jitter backoff:
+   fixed seeds yield fixed schedules, every sleep stays within
+   [base, cap], growth is bounded by [factor], and the exported
+   [schedule] preview equals what repeated [next] calls produce. *)
+
+module B = Xserver.Backoff
+
+let default = B.default
+
+let test_determinism () =
+  (* The same seed must produce byte-identical schedules -- that is
+     what lets a failing client run be replayed exactly. *)
+  List.iter
+    (fun seed ->
+      let a = B.schedule default ~seed 16 in
+      let b = B.schedule default ~seed 16 in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d replays" seed)
+        a b)
+    [ 0; 1; 7; 42; 123456 ];
+  (* And different seeds should not all collapse onto one schedule. *)
+  let distinct =
+    List.sort_uniq compare
+      (List.map (fun seed -> B.schedule default ~seed 8) [ 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check bool) "seeds diversify" true (List.length distinct > 1)
+
+let test_bounds () =
+  List.iter
+    (fun seed ->
+      let sleeps = B.schedule default ~seed 64 in
+      List.iter
+        (fun s ->
+          if s < default.B.base_ms || s > default.B.cap_ms then
+            Alcotest.failf "sleep %dms escapes [%d, %d] (seed %d)" s
+              default.B.base_ms default.B.cap_ms seed)
+        sleeps)
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let test_growth_bounded_by_factor () =
+  (* Each sleep is drawn from [base, prev * factor] clamped to cap:
+     verify the upper bound pairwise on many seeded schedules. *)
+  List.iter
+    (fun seed ->
+      let sleeps = B.schedule default ~seed 32 in
+      let rec walk prev = function
+        | [] -> ()
+        | s :: rest ->
+          let hi =
+            min default.B.cap_ms
+              (int_of_float (float_of_int (max default.B.base_ms prev) *. default.B.factor))
+          in
+          if s > hi then
+            Alcotest.failf "sleep %dms exceeds prev %dms x factor (seed %d)" s
+              prev seed;
+          walk s rest
+      in
+      walk 0 sleeps)
+    [ 11; 12; 13; 14; 15 ]
+
+let test_schedule_matches_next () =
+  (* [schedule] is a pure preview of the [next] iteration. *)
+  let seed = 77 in
+  let st = Random.State.make [| seed; 0xb4c0 |] in
+  let rec by_next prev k acc =
+    if k = 0 then List.rev acc
+    else
+      let s = B.next default st ~prev_ms:prev in
+      by_next s (k - 1) (s :: acc)
+  in
+  Alcotest.(check (list int))
+    "schedule = iterated next" (by_next 0 12 [])
+    (B.schedule default ~seed 12)
+
+let test_degenerate_policies () =
+  (* factor 1.0 pins every sleep to base; cap below base clamps to a
+     constant; zero-length schedules are empty. *)
+  let flat = { B.base_ms = 10; cap_ms = 10_000; factor = 1.0 } in
+  List.iter
+    (fun s -> Alcotest.(check int) "factor 1.0 is constant" 10 s)
+    (B.schedule flat ~seed:3 20);
+  let clamped = { B.base_ms = 50; cap_ms = 20; factor = 3.0 } in
+  List.iter
+    (fun s -> Alcotest.(check int) "cap<base clamps to base" 50 s)
+    (B.schedule clamped ~seed:3 20);
+  Alcotest.(check (list int)) "empty schedule" [] (B.schedule default ~seed:1 0);
+  Alcotest.(check (list int))
+    "negative length is empty" []
+    (B.schedule default ~seed:1 (-3))
+
+let test_total () =
+  Alcotest.(check int) "total of empty" 0 (B.total_ms []);
+  Alcotest.(check int) "total sums" 60 (B.total_ms [ 10; 20; 30 ]);
+  (* The worst case for the default policy over 4 retries is bounded by
+     4 x cap -- the capacity-planning number the client docs cite. *)
+  List.iter
+    (fun seed ->
+      let t = B.total_ms (B.schedule default ~seed 4) in
+      Alcotest.(check bool)
+        "4 retries sleep at most 4 x cap" true
+        (t <= 4 * default.B.cap_ms))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "backoff"
+    [
+      ( "decorrelated jitter",
+        [
+          Alcotest.test_case "seeded schedules replay" `Quick test_determinism;
+          Alcotest.test_case "sleeps within [base, cap]" `Quick test_bounds;
+          Alcotest.test_case "growth bounded by factor" `Quick
+            test_growth_bounded_by_factor;
+          Alcotest.test_case "schedule = iterated next" `Quick
+            test_schedule_matches_next;
+          Alcotest.test_case "degenerate policies" `Quick
+            test_degenerate_policies;
+          Alcotest.test_case "totals" `Quick test_total;
+        ] );
+    ]

@@ -1,0 +1,454 @@
+(* Faultline tests: the deterministic fault-injection layer itself
+   (counters, rule firing, EINTR storms, short writes, sticky
+   fail-stop), the store's graceful degradation to read-only on
+   ENOSPC/EIO with recovery once the fault clears, and a randomized
+   crash-consistency torture harness: ingest under a seeded fault
+   schedule (including fail-stop), reopen, and check the recovered
+   answers id-for-id against an oracle over the acknowledged records.
+   Every randomized failure reprints its (seed, schedule). *)
+
+module F = Xfault
+module T = Xmlcore.Xml_tree
+module Gen = QCheck.Gen
+
+let e = T.elt
+let v = T.text
+
+(* --- scratch ---------------------------------------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let dir_seq = ref 0
+
+let with_dir f =
+  incr dir_seq;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xfault-test-%d-%d" (Unix.getpid ()) !dir_seq)
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      F.uninstall ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+let with_tmp_fd f =
+  let path = Filename.temp_file "xfault" ".bin" in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f fd)
+
+(* --- the injector itself ---------------------------------------------------- *)
+
+let test_passthrough () =
+  (* No injector: the shim is the raw call. *)
+  F.uninstall ();
+  with_tmp_fd (fun fd ->
+      let n = F.Io.write_substring fd "hello" 0 5 in
+      Alcotest.(check int) "write passes through" 5 n;
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET : int);
+      let buf = Bytes.create 5 in
+      Alcotest.(check int) "read passes through" 5 (F.Io.read fd buf 0 5);
+      Alcotest.(check string) "bytes round trip" "hello" (Bytes.to_string buf))
+
+let test_counters_and_rules () =
+  with_tmp_fd (fun fd ->
+      let inj = F.Injector.create [ { F.at = 2; on = F.Write; fault = F.Enospc } ] in
+      F.with_injector inj (fun () ->
+          ignore (F.Io.write_substring fd "a" 0 1 : int);
+          ignore (F.Io.write_substring fd "b" 0 1 : int);
+          (match F.Io.write_substring fd "c" 0 1 with
+           | _ -> Alcotest.fail "third write should hit ENOSPC"
+           | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+          (* The rule fired once; later writes are clean again. *)
+          ignore (F.Io.write_substring fd "d" 0 1 : int);
+          Alcotest.(check int) "4 writes counted" 4
+            (F.Injector.op_count inj F.Write);
+          Alcotest.(check int) "1 rule fired" 1 (F.Injector.fired inj);
+          (* Other classes have independent counters. *)
+          Alcotest.(check int) "no reads counted" 0
+            (F.Injector.op_count inj F.Read)))
+
+let test_short_write_clamped () =
+  with_tmp_fd (fun fd ->
+      let inj = F.Injector.create [ { F.at = 0; on = F.Write; fault = F.Short 2 } ] in
+      F.with_injector inj (fun () ->
+          Alcotest.(check int) "clamped to 2" 2
+            (F.Io.write_substring fd "abcdef" 0 6);
+          Alcotest.(check int) "next is full" 4
+            (F.Io.write_substring fd "cdef" 0 4)))
+
+let test_eintr_storm () =
+  with_tmp_fd (fun fd ->
+      let inj = F.Injector.create [ { F.at = 0; on = F.Write; fault = F.Eintr 3 } ] in
+      F.with_injector inj (fun () ->
+          (* Three consecutive EINTRs, then success: the canonical retry
+             loop must absorb the storm. *)
+          let eintrs = ref 0 in
+          let rec write_all off len =
+            if len > 0 then
+              match F.Io.write_substring fd "xyz" off len with
+              | n -> write_all (off + n) (len - n)
+              | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                incr eintrs;
+                write_all off len
+          in
+          write_all 0 3;
+          Alcotest.(check int) "three interrupts" 3 !eintrs;
+          Alcotest.(check int) "storm + success counted" 4
+            (F.Injector.op_count inj F.Write)))
+
+let test_fail_stop_sticky () =
+  with_tmp_fd (fun fd ->
+      let inj =
+        F.Injector.create [ { F.at = 1; on = F.Write; fault = F.Fail_stop } ]
+      in
+      F.with_injector inj (fun () ->
+          ignore (F.Io.write_substring fd "a" 0 1 : int);
+          (match F.Io.write_substring fd "b" 0 1 with
+           | _ -> Alcotest.fail "second write should crash"
+           | exception F.Crashed -> ());
+          Alcotest.(check bool) "injector crashed" true (F.Injector.crashed inj);
+          (* Every later operation of any class refuses too. *)
+          List.iter
+            (fun f ->
+              match f () with
+              | _ -> Alcotest.fail "post-crash I/O must raise Crashed"
+              | exception F.Crashed -> ())
+            [
+              (fun () -> ignore (F.Io.write_substring fd "c" 0 1 : int));
+              (fun () -> ignore (F.Io.read fd (Bytes.create 1) 0 1 : int));
+              (fun () -> F.Io.fsync fd);
+              (fun () -> F.Io.rename "/nonexistent-a" "/nonexistent-b");
+            ]))
+
+let test_schedule_replay () =
+  (* The same seed yields the same schedule -- the replay contract. *)
+  List.iter
+    (fun seed ->
+      let a = F.random_schedule ~seed ~horizon:100 ~faults:6 () in
+      let b = F.random_schedule ~seed ~horizon:100 ~faults:6 () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d replays" seed)
+        (F.schedule_to_string a) (F.schedule_to_string b))
+    [ 0; 1; 7; 99; 123456 ];
+  let distinct =
+    List.sort_uniq compare
+      (List.map
+         (fun seed ->
+           F.schedule_to_string (F.random_schedule ~seed ~horizon:100 ~faults:6 ()))
+         [ 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check bool) "seeds diversify" true (List.length distinct > 1);
+  (* The printed form is the documented one-line format. *)
+  Alcotest.(check string) "printed form" "write@17:enospc fsync@3:eio"
+    (F.schedule_to_string
+       [
+         { F.at = 17; on = F.Write; fault = F.Enospc };
+         { F.at = 3; on = F.Fsync; fault = F.Eio };
+       ]);
+  Alcotest.(check string) "empty schedule prints" "(empty)"
+    (F.schedule_to_string [])
+
+(* --- graceful degradation --------------------------------------------------- *)
+
+let doc_pool =
+  [|
+    e "P" [ e "L" [ v "a" ] ];
+    e "P" [ e "L" [ e "S" [] ] ];
+    e "P" [ e "R" [ e "M" [ v "b" ] ] ];
+    e "P" [ e "L" [ e "S" [] ]; e "R" [ v "c" ] ];
+    e "P" [ e "D" [ e "U" [ e "N" [ v "gui" ] ] ] ];
+    e "P" [];
+  |]
+
+let patterns = [ "/P"; "/P/L"; "/P/L/S" ]
+let parsed_patterns = List.map Xseq.Xpath.parse patterns
+
+(* matches.(doc).(pat): does pool document [doc] match pattern [pat]?
+   The oracle for the per-pattern answer checks below. *)
+let matches =
+  Array.map
+    (fun d ->
+      let idx = Xseq.build [| d |] in
+      Array.of_list
+        (List.map (fun p -> Xseq.query idx p <> []) parsed_patterns))
+    doc_pool
+
+let no_probe = infinity (* disable the automatic recovery probe: tests drive it *)
+
+let degrade_check name log =
+  match Xlog.insert log doc_pool.(0) with
+  | _ -> Alcotest.failf "%s: insert accepted by a degraded store" name
+  | exception Xlog.Degraded _ -> ()
+
+let test_enospc_degrades_and_recovers () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~probe_interval:no_probe ~max_segments:1000 dir in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log)
+        (fun () ->
+          let id0 = Xlog.insert log doc_pool.(1) in
+          Alcotest.(check int) "first id" 0 id0;
+          (* Disk full on the next WAL write. *)
+          let inj =
+            F.Injector.create [ { F.at = 0; on = F.Write; fault = F.Enospc } ]
+          in
+          F.install inj;
+          degrade_check "enospc" log;
+          Alcotest.(check bool) "degraded reason set" true
+            (Xlog.degraded_reason log <> None);
+          (* Reads keep serving while the store is read-only. *)
+          Alcotest.(check (list int)) "queries still answer" [ 0 ]
+            (Xlog.query log (Xseq.Xpath.parse "/P/L/S"));
+          (* Still degraded on the next write (the rule is spent, but no
+             probe ran: writes stay refused until recovery). *)
+          degrade_check "still degraded" log;
+          (* Fault clears; the probe re-arms the write path. *)
+          F.uninstall ();
+          Alcotest.(check bool) "recovery succeeds" true (Xlog.try_recover log);
+          Alcotest.(check bool) "reason cleared" true
+            (Xlog.degraded_reason log = None);
+          (* The failed insert consumed no id. *)
+          let id1 = Xlog.insert log doc_pool.(0) in
+          Alcotest.(check int) "no id leaked by the failed insert" 1 id1;
+          Alcotest.(check (list int)) "both docs answer" [ 0; 1 ]
+            (Xlog.query log (Xseq.Xpath.parse "/P"))))
+
+let test_fsync_failure_degrades () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~probe_interval:no_probe ~max_segments:1000 dir in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log)
+        (fun () ->
+          ignore (Xlog.insert log doc_pool.(0) : int);
+          let inj = F.Injector.create [ { F.at = 0; on = F.Fsync; fault = F.Eio } ] in
+          F.install inj;
+          degrade_check "fsync EIO" log;
+          F.uninstall ();
+          Alcotest.(check bool) "recovers" true (Xlog.try_recover log);
+          ignore (Xlog.insert log doc_pool.(0) : int);
+          Alcotest.(check int) "both live" 2 (Xlog.doc_count log)))
+
+let test_absorbed_faults_do_not_degrade () =
+  (* Short writes and EINTR storms are absorbed by the write loops:
+     no degradation, and the records replay after reopen. *)
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~probe_interval:no_probe ~max_segments:1000 dir in
+      let inj =
+        F.Injector.create
+          [
+            { F.at = 0; on = F.Write; fault = F.Short 1 };
+            { F.at = 2; on = F.Write; fault = F.Eintr 3 };
+            { F.at = 7; on = F.Write; fault = F.Short 3 };
+            { F.at = 1; on = F.Fsync; fault = F.Eintr 2 };
+          ]
+      in
+      F.install inj;
+      for i = 0 to 4 do
+        Alcotest.(check int) "acked in order" i (Xlog.insert log doc_pool.(i))
+      done;
+      F.uninstall ();
+      Alcotest.(check bool) "never degraded" true
+        (Xlog.degraded_reason log = None);
+      Xlog.close log;
+      let log2 = Xlog.open_ ~max_segments:1000 dir in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log2)
+        (fun () ->
+          Alcotest.(check int) "all five replay" 5 (Xlog.doc_count log2)))
+
+let test_fail_stop_then_recover () =
+  (* Power loss at the k-th write: everything acknowledged before the
+     crash point replays on reopen. *)
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~probe_interval:no_probe ~max_segments:1000 dir in
+      let inj =
+        F.Injector.create [ { F.at = 6; on = F.Write; fault = F.Fail_stop } ]
+      in
+      F.install inj;
+      let acked = ref [] in
+      (try
+         for i = 0 to 19 do
+           let id = Xlog.insert log doc_pool.(i mod Array.length doc_pool) in
+           acked := id :: !acked
+         done;
+         Alcotest.fail "the schedule should have crashed the run"
+       with F.Crashed -> ());
+      F.uninstall ();
+      Xlog.abandon log;
+      Alcotest.(check bool) "some records acked before the crash" true
+        (!acked <> []);
+      let log2 = Xlog.open_ ~max_segments:1000 dir in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log2)
+        (fun () ->
+          let got = List.sort compare (Xlog.query log2 (Xseq.Xpath.parse "/P")) in
+          let want = List.sort compare !acked in
+          Alcotest.(check (list int)) "acked records replay exactly" want got))
+
+(* --- randomized torture: ingest under faults, reopen, diff vs oracle ------- *)
+
+let torture_schedule seed =
+  F.random_schedule ~seed ~ops:[ F.Write; F.Fsync; F.Rename; F.Open ]
+    ~horizon:60 ~faults:5 ()
+
+(* One torture run under [seed]'s schedule.  Returns unit; raises (via
+   Alcotest) on any oracle violation. *)
+let torture_run seed =
+  let sched = torture_schedule seed in
+  let ctx msg =
+    Printf.sprintf "%s (seed=%d schedule=[%s])" msg seed
+      (F.schedule_to_string sched)
+  in
+  with_dir (fun dir ->
+      let rng = Random.State.make [| seed; 0x70a7 |] in
+      let log = Xlog.open_ ~probe_interval:no_probe ~max_segments:1000 dir in
+      let acked = ref [] in          (* (id, pool index) acknowledged inserts *)
+      let removed = ref [] in        (* ids of acknowledged removes *)
+      let attempted = ref [] in      (* every id an insert may have written *)
+      let crashed = ref false in
+      let degraded_once = ref false in
+      (* First disk fault: the store goes read-only.  Clear the fault
+         and recover -- the rest of the run must behave normally. *)
+      let on_degraded () =
+        degraded_once := true;
+        F.uninstall ();
+        if not (Xlog.try_recover log) then
+          Alcotest.fail (ctx "recovery failed with the fault cleared")
+      in
+      F.install (F.Injector.create sched);
+      (try
+         for _ = 1 to 40 do
+           match Random.State.int rng 10 with
+           | 0 when !acked <> [] ->
+             let id, _ =
+               List.nth !acked (Random.State.int rng (List.length !acked))
+             in
+             (try
+                ignore (Xlog.remove log id : bool);
+                removed := id :: !removed
+              with Xlog.Degraded _ -> on_degraded ())
+           | 1 -> ( try Xlog.flush log with Xlog.Degraded _ -> on_degraded ())
+           | 2 -> (
+             try ignore (Xlog.compact ~wait:true log : bool)
+             with Xlog.Degraded _ -> on_degraded ())
+           | _ ->
+             let k = Random.State.int rng (Array.length doc_pool) in
+             let next = Xlog.next_id log in
+             attempted := next :: !attempted;
+             (try
+                let id = Xlog.insert log doc_pool.(k) in
+                if id <> next then
+                  Alcotest.fail (ctx "insert consumed an unexpected id");
+                acked := (id, k) :: !acked
+              with Xlog.Degraded _ -> on_degraded ())
+         done
+       with F.Crashed -> crashed := true);
+      F.uninstall ();
+      if !crashed then Xlog.abandon log else Xlog.close log;
+      (* Reopen fault-free: crash recovery replays the WAL. *)
+      let log2 = Xlog.open_ ~max_segments:1000 dir in
+      Fun.protect
+        ~finally:(fun () -> Xlog.close log2)
+        (fun () ->
+          let module IS = Set.Make (Int) in
+          let acked_ids = IS.of_list (List.map fst !acked) in
+          let removed_ids = IS.of_list !removed in
+          let live_acked = IS.diff acked_ids removed_ids in
+          let attempted_ids = IS.of_list !attempted in
+          let recovered = IS.of_list (Xlog.query log2 (Xseq.Xpath.parse "/P")) in
+          (* Durability: every acknowledged-live record survived. *)
+          if not (IS.subset live_acked recovered) then
+            Alcotest.fail
+              (ctx
+                 (Printf.sprintf "acked ids lost: {%s}"
+                    (String.concat ","
+                       (List.map string_of_int
+                          (IS.elements (IS.diff live_acked recovered))))));
+          (* No phantoms: nothing the run never wrote. *)
+          if not (IS.subset recovered attempted_ids) then
+            Alcotest.fail (ctx "recovered ids never attempted");
+          (* Per-pattern answers agree with the oracle id-for-id over
+             the acknowledged records. *)
+          List.iteri
+            (fun pi pat ->
+              let ans = IS.of_list (Xlog.query log2 pat) in
+              List.iter
+                (fun (id, k) ->
+                  if IS.mem id live_acked then begin
+                    let want = matches.(k).(pi) in
+                    if IS.mem id ans <> want then
+                      Alcotest.fail
+                        (ctx
+                           (Printf.sprintf
+                              "pattern %s disagrees with the oracle on id %d"
+                              (List.nth patterns pi) id))
+                  end)
+                !acked)
+            parsed_patterns;
+          ignore !degraded_once))
+
+let chaos_iters =
+  match Sys.getenv_opt "XSEQ_CHAOS_ITERS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 40)
+  | None -> 40
+
+let qcheck_torture =
+  QCheck.Test.make ~count:chaos_iters ~name:"torture: recovery equals oracle"
+    (QCheck.make
+       ~print:(fun seed ->
+         Printf.sprintf "seed=%d schedule=[%s]" seed
+           (F.schedule_to_string (torture_schedule seed)))
+       Gen.(int_bound 1_000_000))
+    (fun seed ->
+      torture_run seed;
+      true)
+
+(* A few pinned seeds so the suite exercises known-interesting schedules
+   (including fail-stop) even when the QCheck draw is unlucky. *)
+let test_pinned_seeds () =
+  List.iter torture_run [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89 ]
+
+let () =
+  Alcotest.run "xfault"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "pass-through without injector" `Quick
+            test_passthrough;
+          Alcotest.test_case "counters and one-shot rules" `Quick
+            test_counters_and_rules;
+          Alcotest.test_case "short write clamped" `Quick test_short_write_clamped;
+          Alcotest.test_case "EINTR storm" `Quick test_eintr_storm;
+          Alcotest.test_case "fail-stop is sticky" `Quick test_fail_stop_sticky;
+          Alcotest.test_case "schedules replay from seeds" `Quick
+            test_schedule_replay;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "ENOSPC degrades, probe recovers" `Quick
+            test_enospc_degrades_and_recovers;
+          Alcotest.test_case "fsync EIO degrades" `Quick
+            test_fsync_failure_degrades;
+          Alcotest.test_case "short writes / EINTR absorbed" `Quick
+            test_absorbed_faults_do_not_degrade;
+          Alcotest.test_case "fail-stop then recover" `Quick
+            test_fail_stop_then_recover;
+        ] );
+      ( "torture",
+        [
+          Alcotest.test_case "pinned seeds" `Quick test_pinned_seeds;
+          QCheck_alcotest.to_alcotest qcheck_torture;
+        ] );
+    ]

@@ -18,6 +18,12 @@ module Plan_cache = Xserver.Plan_cache
 let e = T.elt
 let v = T.text
 
+(* The fault-tolerance tests write into sockets whose peer has already
+   hung up; that must be EPIPE, not a process-killing signal. *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
 let docs_a =
   [|
     e "P"
@@ -385,10 +391,30 @@ let test_overload () =
 let test_timeout () =
   let config = { Server.default_config with debug_delay_ms = 80 } in
   with_server ~config (Server.Static index_a) (fun _srv addr ->
+      (* The server's own deadline: a raw frame carrying a 20ms budget
+         (and no client-side deadline racing it) answers a Timeout
+         error frame. *)
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          P.write_frame fd
+            (P.encode_request (P.Query { xpath = "/P/L/S"; timeout_ms = 20 }));
+          match P.read_frame fd with
+          | Ok r -> (
+            match P.decode_response r with
+            | Ok (P.Error { code = P.Timeout; _ }) -> ()
+            | Ok _ -> Alcotest.fail "expected a Timeout error frame"
+            | Error m -> Alcotest.failf "bad response: %s" m)
+          | Error _ -> Alcotest.fail "no response to the deadlined query");
       Client.with_connection addr (fun c ->
+          (* Through the client, [timeout_ms] also bounds the call
+             locally: one side fires — the server's answer or the
+             client's own deadline — and both surface as a timeout. *)
           (match Client.query ~timeout_ms:20 c "/P/L/S" with
            | _ -> Alcotest.fail "expected Timeout"
-           | exception Client.Server_error (P.Timeout, _) -> ());
+           | exception Client.Server_error (P.Timeout, _) -> ()
+           | exception Client.Timeout _ -> ());
           (* no deadline: the same query succeeds despite the delay *)
           Alcotest.(check (list int)) "no deadline"
             (List.assoc "/P/L/S" expected)
@@ -480,13 +506,13 @@ let rec rm_rf path =
   | _ -> Sys.remove path
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let with_live_server ?config ?(memtable_limit = 256) f =
+let with_live_server ?config ?(memtable_limit = 256) ?(probe_interval = 1.0) f =
   let dir = Filename.temp_file "xseq_live" ".store" in
   Sys.remove dir;
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
-      let log = Xlog.open_ ~memtable_limit dir in
+      let log = Xlog.open_ ~memtable_limit ~probe_interval dir in
       Fun.protect
         ~finally:(fun () -> Xlog.close log)
         (fun () ->
@@ -600,6 +626,187 @@ let test_live_reload_compacts () =
           Alcotest.(check (list int)) "post-compaction answer" want
             (Client.query c q)))
 
+(* --- health, degradation, fault tolerance ----------------------------------- *)
+
+(* The Health op round-trips: a static backend is never degraded and
+   reports its true generation and document count. *)
+let test_health_roundtrip () =
+  with_server (Server.Static index_a) (fun srv addr ->
+      Client.with_connection addr (fun c ->
+          let h = Client.health c in
+          Alcotest.(check bool) "not degraded" false h.Client.degraded;
+          Alcotest.(check string) "no reason" "" h.Client.reason;
+          Alcotest.(check int) "doc count" (Array.length docs_a)
+            h.Client.doc_count;
+          Alcotest.(check int) "generation" (Server.generation srv)
+            h.Client.generation))
+
+(* Disk full under a live server: writes answer [Degraded] frames,
+   queries keep serving the exact oracle answers, Health and the stats
+   JSON expose the state, and once the fault clears the health probe
+   re-arms the write path — all over the wire. *)
+let test_degraded_serving () =
+  with_live_server ~probe_interval:infinity (fun _srv addr log ->
+      Client.with_connection addr (fun c ->
+          Array.iter (fun d -> ignore (Client.insert c (xml_of d) : int)) docs_a;
+          (* The disk goes bad: every file write / fsync / open refuses
+             with ENOSPC (sockets are a separate fault class, so the
+             wire stays healthy). *)
+          let rules =
+            List.init 10 (fun i ->
+                { Xfault.at = i; on = Xfault.Write; fault = Xfault.Enospc })
+            @ List.init 5 (fun i ->
+                  { Xfault.at = i; on = Xfault.Fsync; fault = Xfault.Enospc })
+            @ List.init 5 (fun i ->
+                  { Xfault.at = i; on = Xfault.Open; fault = Xfault.Enospc })
+          in
+          Xfault.install (Xfault.Injector.create rules);
+          Fun.protect ~finally:Xfault.uninstall (fun () ->
+              (match Client.insert c "<P/>" with
+               | _ -> Alcotest.fail "insert accepted on a full disk"
+               | exception Client.Server_error (P.Degraded, _) -> ());
+              (* Queries keep answering, and correctly. *)
+              List.iter
+                (fun (q, want) ->
+                  Alcotest.(check (list int)) ("degraded " ^ q) want
+                    (Client.query c q))
+                expected;
+              (* Health reports the state (its in-handler recovery probe
+                 fails while the disk is still refusing). *)
+              let h = Client.health c in
+              Alcotest.(check bool) "reported degraded" true h.Client.degraded;
+              Alcotest.(check bool) "reason present" true (h.Client.reason <> "");
+              Alcotest.(check bool) "stats gauge" true
+                (index_of (Client.stats c) "\"degraded\": true" <> None);
+              (match Client.delete c 0 with
+               | _ -> Alcotest.fail "delete accepted on a full disk"
+               | exception Client.Server_error (P.Degraded, _) -> ()));
+          (* Space freed: the next health probe recovers the store. *)
+          let h = Client.health c in
+          Alcotest.(check bool) "recovered" false h.Client.degraded;
+          Alcotest.(check bool) "store healthy" true
+            (Xlog.degraded_reason log = None);
+          (* Ingestion resumes, and the refused insert consumed no id. *)
+          Alcotest.(check int) "ingestion resumed, no id leaked"
+            (Array.length docs_a)
+            (Client.insert c "<P><L><S/></L></P>");
+          Alcotest.(check (list int)) "new doc answers" [ 1; 2; 4 ]
+            (Client.query c "/P/L/S")))
+
+(* An unknown request opcode answers [Unsupported] without dropping the
+   connection: old servers survive new clients. *)
+let test_unknown_op_keeps_connection () =
+  with_server (Server.Static index_a) (fun _srv addr ->
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          P.write_frame fd (P.encode_request (P.Unknown { op = 0x42 }));
+          (match P.read_frame fd with
+           | Ok r -> (
+             match P.decode_response r with
+             | Ok (P.Error { code = P.Unsupported; _ }) -> ()
+             | Ok _ -> Alcotest.fail "expected an Unsupported error frame"
+             | Error m -> Alcotest.failf "bad response: %s" m)
+           | Error _ -> Alcotest.fail "no response to the unknown op");
+          (* The same connection still answers. *)
+          P.write_frame fd (P.encode_request P.Ping);
+          match P.read_frame fd with
+          | Ok r -> (
+            match P.decode_response r with
+            | Ok P.Pong -> ()
+            | _ -> Alcotest.fail "expected Pong after the unknown op")
+          | Error _ -> Alcotest.fail "connection dropped after the unknown op"))
+
+let quick_policy =
+  {
+    Client.default_policy with
+    Client.attempts = 6;
+    backoff = { Xserver.Backoff.base_ms = 1; cap_ms = 10; factor = 2.0 };
+  }
+
+(* The self-healing client rides through a full server restart: the
+   connection dies, the client reconnects and replays the (idempotent)
+   query against the new instance. *)
+let test_client_rides_restart () =
+  let path = tmp_sock () in
+  let srv1 = Server.create (Server.Static index_a) in
+  Server.start srv1 [ Server.Unix_sock path ];
+  let c = Client.connect ~policy:quick_policy ~seed:7 (Server.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let q = "/P/R/L" in
+      let want = List.assoc q expected in
+      Alcotest.(check (list int)) "before restart" want (Client.query c q);
+      Server.stop srv1;
+      let srv2 = Server.create (Server.Static index_a) in
+      Server.start srv2 [ Server.Unix_sock path ];
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv2;
+          try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          (* The old fd is dead; the query must transparently reconnect. *)
+          Alcotest.(check (list int)) "after restart" want (Client.query c q);
+          Client.ping c))
+
+(* At-most-once for mutations: a server that dies after reading the
+   request must see an Insert exactly once (the client refuses to
+   replay it), while a Query is replayed on a fresh connection. *)
+let test_at_most_once_mutations () =
+  let path = tmp_sock () in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 8;
+  let frames = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Unix.accept listener with
+          | fd, _ ->
+            (* Read one frame, count it, slam the door: the worst kind
+               of peer — it may have applied the request. *)
+            (match P.read_frame fd with
+             | Ok _ -> Atomic.incr frames
+             | Error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if not (Atomic.get stop) then loop ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        loop ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (* Wake the acceptor with a throwaway connection, then reap it. *)
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (try Unix.connect fd (Unix.ADDR_UNIX path)
+          with Unix.Unix_error _ -> ());
+         Unix.close fd
+       with Unix.Unix_error _ -> ());
+      Thread.join acceptor;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c = Client.connect ~policy:quick_policy ~seed:11 (Server.Unix_sock path) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.insert c "<P/>" with
+           | _ -> Alcotest.fail "insert cannot succeed against this peer"
+           | exception Client.Protocol_error _ -> ());
+          Alcotest.(check int) "insert sent exactly once" 1 (Atomic.get frames);
+          (match Client.query c "/P" with
+           | _ -> Alcotest.fail "query cannot succeed against this peer"
+           | exception Client.Protocol_error _ -> ());
+          Alcotest.(check bool) "query was replayed" true
+            (Atomic.get frames - 1 >= 2)))
+
 (* --- lifecycle -------------------------------------------------------------- *)
 
 let test_clean_shutdown () =
@@ -666,6 +873,18 @@ let () =
             test_live_ops_rejected;
           Alcotest.test_case "reload compacts under queries" `Quick
             test_live_reload_compacts;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "health round trip" `Quick test_health_roundtrip;
+          Alcotest.test_case "disk full serves read-only" `Quick
+            test_degraded_serving;
+          Alcotest.test_case "unknown op keeps the connection" `Quick
+            test_unknown_op_keeps_connection;
+          Alcotest.test_case "client rides a server restart" `Quick
+            test_client_rides_restart;
+          Alcotest.test_case "mutations are at-most-once" `Quick
+            test_at_most_once_mutations;
         ] );
       ( "lifecycle",
         [ Alcotest.test_case "clean shutdown" `Quick test_clean_shutdown ] );

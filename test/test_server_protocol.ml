@@ -30,6 +30,10 @@ let gen_request =
       Gen.map (fun xml -> P.Insert { xml }) gen_string;
       Gen.map (fun id -> P.Delete { id }) gen_small_int;
       Gen.return P.Flush;
+      Gen.return P.Health;
+      (* Opcodes this build does not know: 0x09..0x7f are all currently
+         unassigned on the request side. *)
+      Gen.map (fun op -> P.Unknown { op }) (Gen.int_range 0x09 0x7f);
     ]
 
 let gen_ids = Gen.(list_size (int_bound 20) gen_small_int)
@@ -53,8 +57,21 @@ let gen_response =
       Gen.map (fun generation -> P.Flushed { generation }) gen_small_int;
       Gen.map2
         (fun code message -> P.Error { code; message })
-        (Gen.oneofl [ P.Bad_request; P.Overloaded; P.Timeout; P.Server_error ])
+        (Gen.oneofl
+           [
+             P.Bad_request;
+             P.Overloaded;
+             P.Timeout;
+             P.Server_error;
+             P.Degraded;
+             P.Unsupported;
+           ])
         gen_string;
+      Gen.map2
+        (fun (degraded, reason) (generation, doc_count) ->
+          P.Health_status { degraded; reason; generation; doc_count })
+        Gen.(pair bool gen_string)
+        Gen.(pair gen_small_int gen_small_int);
     ]
 
 let arb_request = QCheck.make ~print:(fun r -> P.encode_request r |> String.escaped) gen_request
@@ -85,6 +102,8 @@ let sample_requests =
     P.Delete { id = 0 };
     P.Delete { id = 123456 };
     P.Flush;
+    P.Health;
+    P.Unknown { op = 0x42 };
   ]
 
 let sample_responses =
@@ -104,6 +123,17 @@ let sample_responses =
     P.Error { code = P.Overloaded; message = "" };
     P.Error { code = P.Timeout; message = "deadline" };
     P.Error { code = P.Server_error; message = "boom" };
+    P.Error { code = P.Degraded; message = "wal append: No space left on device" };
+    P.Error { code = P.Unsupported; message = "opcode 0x42" };
+    P.Health_status
+      { degraded = false; reason = ""; generation = 4; doc_count = 100 };
+    P.Health_status
+      {
+        degraded = true;
+        reason = "wal append: I/O error";
+        generation = 9;
+        doc_count = 3;
+      };
   ]
 
 let test_roundtrip_exhaustive () =
@@ -163,8 +193,11 @@ let test_bad_header () =
     (is_error (P.decode_request (with_byte 1 'z')));
   Alcotest.(check bool) "bad version" true
     (is_error (P.decode_request (with_byte 2 '\x07')));
-  Alcotest.(check bool) "unknown request opcode" true
-    (is_error (P.decode_request (with_byte 3 '\x7f')));
+  (* An unknown request opcode in a well-formed frame is forward
+     compatibility, not corruption: it decodes to [Unknown] so the
+     server can answer [Unsupported] and keep the connection. *)
+  Alcotest.(check bool) "unknown request opcode decodes as Unknown" true
+    (P.decode_request (with_byte 3 '\x7f') = Ok (P.Unknown { op = 0x7f }));
   Alcotest.(check bool) "response opcode in a request" true
     (is_error (P.decode_request (P.encode_response P.Pong)));
   Alcotest.(check bool) "request opcode in a response" true
