@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json chaos examples doc clean
+.PHONY: all build test bench bench-json bench-gate chaos examples doc clean
 
 all: build
 
@@ -21,7 +21,17 @@ bench:
 # (BENCH_ingest.json) — and the fault-injection shim's overhead plus
 # the degrade/recover cycle cost (BENCH_faults.json).
 bench-json:
-	dune exec bench/main.exe -- parallel storage server ingest faults
+	dune exec bench/main.exe -- parallel shard storage server ingest faults
+
+# Perf regression gate: rerun the parallel + shard experiments at their
+# default (env-tunable) sizes and hold the speedups to the checked-in
+# floors in bench/floors.json, diffing against the committed
+# BENCH_parallel.json / BENCH_shard.json.  Core-count-aware: scaling
+# floors on >=4 cores, parity floors (catching serialization
+# regressions) on smaller boxes.
+bench-gate:
+	dune exec bench/main.exe -- parallel shard
+	python3 bench/gate.py
 
 # Seeded fault-injection torture suite at chaos intensity: many more
 # randomized (seed, schedule) runs than the default test pass.

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Reads the fresh BENCH_parallel.json and BENCH_shard.json produced by
+`dune exec bench/main.exe -- parallel shard`, applies the checked-in
+floors from bench/floors.json, and diffs the speedups against the
+committed BENCH_*.json baselines so perf regressions fail loudly
+instead of drifting.
+
+Floors are core-count-aware: on a runner with at least
+`min_cores_for_scaling` cores the 'scaling' floors apply (parallelism
+must actually pay); on smaller boxes the 'parity' floors apply — real
+speedup is physically impossible there, but the multi-domain and
+multi-shard paths must not serialize the work, which is exactly the
+0.33x/0.27x regression this gate exists to catch.
+
+The committed-baseline diff only *enforces* when the fresh run and the
+committed file were measured on the same core count (comparing a
+laptop baseline against a CI runner is meaningless); otherwise it is
+reported for the log only.
+
+Exit status: 0 = all gates pass, 1 = regression, 2 = missing/bad input.
+"""
+
+import json
+import subprocess
+import sys
+
+FLOORS_PATH = "bench/floors.json"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"gate: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def committed(path):
+    """The committed baseline for `path`, or None if git has none."""
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:{path}"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(out)
+    except (subprocess.CalledProcessError, FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def gate(name, fresh_path, floors_cfg, keys, correctness_key, failures):
+    fresh = load(fresh_path)
+    cores = fresh.get("cores", 1)
+    tier = (
+        "scaling" if cores >= floors_cfg["min_cores_for_scaling"] else "parity"
+    )
+    floors = floors_cfg[name][tier]
+    print(f"== {name}: {cores} cores -> '{tier}' floors {floors}")
+
+    # Correctness flags recorded by the bench itself (identical parallel
+    # builds / identical per-query answer counts across shard counts).
+    for run in fresh.get("runs", []):
+        if not run.get(correctness_key, True):
+            failures.append(
+                f"{name}: run {run} has {correctness_key}=false — "
+                "the parallel path changed answers"
+            )
+
+    for key in keys:
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{name}: {fresh_path} lacks {key}")
+            continue
+        floor = floors[key]
+        status = "ok" if got >= floor else "FAIL"
+        print(f"   {key}: {got:.3f} (floor {floor:.2f}) {status}")
+        if got < floor:
+            failures.append(
+                f"{name}: {key} = {got:.3f} is below the {tier} floor "
+                f"{floor:.2f} (cores={cores})"
+            )
+
+    base = committed(fresh_path)
+    if base is None:
+        print(f"   no committed {fresh_path} baseline; floor-only gate")
+        return
+    same_cores = base.get("cores") == cores
+    frac = floors_cfg.get("regression_fraction", 0.5)
+    for key in keys:
+        got, was = fresh.get(key), base.get(key)
+        if got is None or was is None or was <= 0:
+            continue
+        rel = got / was
+        note = "" if same_cores else " (different cores: informational)"
+        print(f"   {key}: committed {was:.3f} -> fresh {got:.3f} ({rel:.2f}x){note}")
+        if same_cores and rel < frac:
+            failures.append(
+                f"{name}: {key} fell to {rel:.2f}x of the committed baseline "
+                f"({was:.3f} -> {got:.3f}); floor is {frac:.2f}x"
+            )
+
+
+def main():
+    floors_cfg = load(FLOORS_PATH)
+    failures = []
+    gate(
+        "parallel",
+        "BENCH_parallel.json",
+        floors_cfg,
+        ["build_speedup_4v1", "query_speedup_4v1"],
+        "identical",
+        failures,
+    )
+    gate(
+        "shard",
+        "BENCH_shard.json",
+        floors_cfg,
+        ["ingest_speedup_4v1", "query_speedup_4v1"],
+        "answers_ok",
+        failures,
+    )
+    if failures:
+        print("\nbench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nbench gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,42 @@ let time f =
 let ms t = t *. 1e3
 let n_scaled base = max 100 (int_of_float (float_of_int base *. !scale))
 
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> default)
+  | None -> default
+
+(* M14 harness convention (hxhx): every machine-readable result lands
+   three times — the stable BENCH_<name>.json at the repo root that CI
+   diffs against the committed copy, and
+   bench/results/<name>-<timestamp>.json plus <name>-latest.json so
+   local runs accumulate a replayable history. *)
+let write_json name render =
+  let render_to path =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> render oc)
+  in
+  let stable = Printf.sprintf "BENCH_%s.json" name in
+  render_to stable;
+  let dir = Filename.concat "bench" "results" in
+  (try Unix.mkdir "bench" 0o755
+   with Unix.Unix_error ((Unix.EEXIST | Unix.ENOENT), _, _) -> ());
+  match Unix.mkdir dir 0o755 with
+  | () | (exception Unix.Unix_error (Unix.EEXIST, _, _)) ->
+    let tm = Unix.gmtime (Unix.gettimeofday ()) in
+    let ts =
+      Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    in
+    render_to (Filename.concat dir (Printf.sprintf "%s-%s.json" name ts));
+    render_to (Filename.concat dir (Printf.sprintf "%s-latest.json" name));
+    Printf.printf "wrote %s (+ %s/%s-{%s,latest}.json)\n%!" stable dir name ts
+  | exception Unix.Unix_error _ ->
+    (* No bench/ directory here (run from an odd cwd): the stable file
+       is still written, only the history is skipped. *)
+    Printf.printf "wrote %s\n%!" stable
+
 (* Build one index per sequencing method over the same documents and
    report trie node counts (the quantity of Figures 14/15, Tables 5/6). *)
 let build_with sequencing docs =
@@ -478,7 +514,11 @@ let parallel () =
      on available cores (see `cores` in BENCH_parallel.json)";
   let cores = Domain.recommended_domain_count () in
   let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
-  let n = n_scaled 8_000 in
+  (* Sizes are env-tunable: the defaults are large enough that a build
+     takes whole seconds and the 1→8 domain trend is signal, not timer
+     noise; CI or a laptop can dial them down. *)
+  let n = env_int "XSEQ_BENCH_RECORDS" (n_scaled 8_000) in
+  let n_queries = env_int "XSEQ_BENCH_QUERIES" 400 in
   let docs = Syn.dataset params n in
   let domain_counts = [ 1; 2; 4; 8 ] in
   let baseline = Xseq.build docs in
@@ -488,7 +528,7 @@ let parallel () =
   let base_fp = fingerprint baseline in
   let queries =
     Array.of_list
-      (queries_of_length ~value_prob:0.5 docs ~qlen:5 ~count:200 ~seed:9)
+      (queries_of_length ~value_prob:0.5 docs ~qlen:5 ~count:n_queries ~seed:9)
   in
   let base_answers = Array.map (fun q -> Xseq.query baseline q) queries in
   Printf.printf "(%d records, %d queries, %d recommended domains)\n" n
@@ -525,10 +565,7 @@ let parallel () =
   let query_speedup = if q4 > 0. then q1 /. q4 else 0. in
   Printf.printf "speedup 4 vs 1 domains: build %.2fx, query batch %.2fx\n%!"
     build_speedup query_speedup;
-  let oc = open_out "BENCH_parallel.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  write_json "parallel" (fun oc ->
       Printf.fprintf oc
         "{\n  \"cores\": %d,\n  \"records\": %d,\n  \"queries\": %d,\n" cores n
         (Array.length queries);
@@ -543,8 +580,7 @@ let parallel () =
         rows;
       Printf.fprintf oc "  ],\n";
       Printf.fprintf oc "  \"build_speedup_4v1\": %.3f,\n" build_speedup;
-      Printf.fprintf oc "  \"query_speedup_4v1\": %.3f\n}\n" query_speedup);
-  Printf.printf "wrote BENCH_parallel.json\n%!"
+      Printf.fprintf oc "  \"query_speedup_4v1\": %.3f\n}\n" query_speedup)
 
 (* ------------------------------------------------------------------ *)
 (* Storage: probe throughput across physical column backends.          *)
@@ -1105,6 +1141,105 @@ let faults_bench () =
   Printf.printf "wrote BENCH_faults.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Shard: K-shard hash-routed ingest and scatter-gather queries.       *)
+(* ------------------------------------------------------------------ *)
+
+let shard_bench () =
+  header
+    "Shard: K-shard hash-routed ingest + scatter-gather batched queries\n\
+     per-shard WALs and compactions are independent; speedups depend on \
+     available cores (see BENCH_shard.json)";
+  let cores = Domain.recommended_domain_count () in
+  let n = env_int "XSEQ_BENCH_RECORDS" (n_scaled 4_000) in
+  let n_queries = env_int "XSEQ_BENCH_QUERIES" 200 in
+  let params = { Syn.l = 3; f = 5; a = 25; i = 10; p = 40 } in
+  let docs = Syn.dataset params n in
+  let queries =
+    Array.of_list
+      (queries_of_length ~value_prob:0.5 docs ~qlen:5 ~count:n_queries ~seed:9)
+  in
+  Printf.printf "(%d records, %d queries, %d recommended domains)\n" n
+    (Array.length queries) cores;
+  Printf.printf "%8s %14s %14s %16s %12s %10s\n" "shards" "ingest (ms)"
+    "inserts/s" "batch (ms)" "queries/s" "answers";
+  let base_counts = ref [||] in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun k ->
+        with_store_dir (Printf.sprintf "shard-%d" k) (fun dir ->
+            (* sync_every 64 keeps the measurement about routing and
+               per-shard parallelism, not fsync latency (the ingest
+               bench owns that axis). *)
+            let sh =
+              Xshard.open_ ~shards:k ~sync_every:64 ~domains:cores dir
+            in
+            Fun.protect
+              ~finally:(fun () -> Xshard.close sh)
+              (fun () ->
+                let ids, t_ingest =
+                  time (fun () ->
+                      let ids = Xshard.insert_batch sh docs in
+                      Xshard.flush sh;
+                      ids)
+                in
+                assert (Array.length ids = n);
+                let answers, t_batch =
+                  time (fun () -> Xshard.query_batch sh queries)
+                in
+                (* Ids differ across shard counts by construction; the
+                   per-query answer cardinalities must not. *)
+                let counts = Array.map List.length answers in
+                let answers_ok =
+                  if k = 1 then begin
+                    base_counts := counts;
+                    true
+                  end
+                  else counts = !base_counts
+                in
+                if not answers_ok then
+                  Printf.printf "!! %d-shard answers diverge from 1-shard\n" k;
+                let ips =
+                  if t_ingest > 0. then float_of_int n /. t_ingest else 0.
+                in
+                let qps =
+                  if t_batch > 0. then
+                    float_of_int (Array.length queries) /. t_batch
+                  else 0.
+                in
+                Printf.printf "%8d %14.1f %14.0f %16.1f %12.0f %10b\n%!" k
+                  (ms t_ingest) ips (ms t_batch) qps answers_ok;
+                (k, t_ingest, ips, t_batch, qps, answers_ok))))
+      shard_counts
+  in
+  let find k =
+    let _, i, _, q, _, _ = List.find (fun (d, _, _, _, _, _) -> d = k) rows in
+    (i, q)
+  in
+  let i1, q1 = find 1 and i4, q4 = find 4 in
+  let ingest_speedup = if i4 > 0. then i1 /. i4 else 0. in
+  let query_speedup = if q4 > 0. then q1 /. q4 else 0. in
+  Printf.printf "speedup 4 vs 1 shards: ingest %.2fx, query batch %.2fx\n%!"
+    ingest_speedup query_speedup;
+  write_json "shard" (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"cores\": %d,\n  \"records\": %d,\n  \"queries\": %d,\n" cores n
+        (Array.length queries);
+      Printf.fprintf oc "  \"runs\": [\n";
+      List.iteri
+        (fun i (k, t_ingest, ips, t_batch, qps, answers_ok) ->
+          Printf.fprintf oc
+            "    {\"shards\": %d, \"ingest_ms\": %.2f, \"inserts_per_s\": \
+             %.0f, \"query_batch_ms\": %.2f, \"queries_per_s\": %.0f, \
+             \"answers_ok\": %b}%s\n"
+            k (ms t_ingest) ips (ms t_batch) qps answers_ok
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"ingest_speedup_4v1\": %.3f,\n" ingest_speedup;
+      Printf.fprintf oc "  \"query_speedup_4v1\": %.3f\n}\n" query_speedup)
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1240,6 +1375,7 @@ let experiments =
     ("ablation-bulk", ablation_bulk);
     ("ablation-valuemode", ablation_valuemode);
     ("parallel", parallel);
+    ("shard", shard_bench);
     ("storage", storage);
     ("server", server_bench);
     ("ingest", ingest_bench);

@@ -383,41 +383,71 @@ let run_local_single index q show io paged =
   if show = 0 then
     Printf.printf "ids: %s\n" (String.concat " " (List.map string_of_int ids))
 
-(* Queries answered directly from a durable Xlog store directory
-   (crash-recovering it first) — the offline twin of [serve --live]. *)
+let recovery_suffix (r : Xlog.recovery) =
+  String.concat ""
+    (List.map (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d) r.Xlog.torn)
+
+let report_log_recovery cmd log =
+  let r = Xlog.recovery log in
+  if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
+    Printf.eprintf "xseq %s: recovered %d WAL records%s\n" cmd r.Xlog.replayed
+      (recovery_suffix r)
+
+let report_shard_recovery cmd sh =
+  List.iter
+    (fun (i, r) ->
+      if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
+        Printf.eprintf "xseq %s: shard %d recovered %d WAL records%s\n" cmd i
+          r.Xlog.replayed (recovery_suffix r))
+    (Xshard.recovery sh)
+
+(* Queries answered directly from a durable store directory
+   (crash-recovering it first) — the offline twin of [serve --live].
+   A directory carrying an xshard.meta opens as the sharded engine. *)
 let run_live_queries dir strategy queries =
   if queries = [] then begin
     Printf.eprintf "missing XPATH query\n";
     exit 1
   end;
-  let log =
-    try Xlog.open_ ~config:(config_of_strategy strategy) dir
-    with Invalid_argument msg ->
-      Printf.eprintf "query: cannot open live store %s: %s\n" dir msg;
-      exit 1
+  let answer_all query_one =
+    List.iter
+      (fun q ->
+        let pattern = parse_xpath_or_exit q in
+        let t0 = Unix.gettimeofday () in
+        let ids = query_one pattern in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "%d matching records (%.2f ms)\n" (List.length ids)
+          (dt *. 1000.);
+        Printf.printf "ids: %s\n"
+          (String.concat " " (List.map string_of_int ids)))
+      queries
   in
-  Fun.protect
-    ~finally:(fun () -> Xlog.close log)
-    (fun () ->
-      let r = Xlog.recovery log in
-      if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
-        Printf.eprintf "xseq query: recovered %d WAL records%s\n"
-          r.Xlog.replayed
-          (String.concat ""
-             (List.map
-                (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d)
-                r.Xlog.torn));
-      List.iter
-        (fun q ->
-          let pattern = parse_xpath_or_exit q in
-          let t0 = Unix.gettimeofday () in
-          let ids = Xlog.query log pattern in
-          let dt = Unix.gettimeofday () -. t0 in
-          Printf.printf "%d matching records (%.2f ms)\n" (List.length ids)
-            (dt *. 1000.);
-          Printf.printf "ids: %s\n"
-            (String.concat " " (List.map string_of_int ids)))
-        queries)
+  if Xshard.is_sharded_dir dir then begin
+    let sh =
+      try Xshard.open_ ~config:(config_of_strategy strategy) dir
+      with Invalid_argument msg ->
+        Printf.eprintf "query: cannot open sharded store %s: %s\n" dir msg;
+        exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> Xshard.close sh)
+      (fun () ->
+        report_shard_recovery "query" sh;
+        answer_all (fun pattern -> Xshard.query sh pattern))
+  end
+  else begin
+    let log =
+      try Xlog.open_ ~config:(config_of_strategy strategy) dir
+      with Invalid_argument msg ->
+        Printf.eprintf "query: cannot open live store %s: %s\n" dir msg;
+        exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> Xlog.close log)
+      (fun () ->
+        report_log_recovery "query" log;
+        answer_all (fun pattern -> Xlog.query log pattern))
+  end
 
 let query_cmd =
   let args =
@@ -672,6 +702,19 @@ let serve_cmd =
             "With $(b,--live): seal the unindexed memtable into a delta \
              segment once it holds N documents (default 256).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "With $(b,--live): serve an N-shard store — each shard an \
+             independent WAL + delta-segment store, inserts hash-routed, \
+             queries scatter-gathered.  N is fixed at creation and \
+             recorded in the directory; re-opening an existing sharded \
+             directory picks its count up automatically (a conflicting \
+             explicit N is an error).")
+  in
   let serve_input =
     Arg.(
       value
@@ -683,7 +726,7 @@ let serve_cmd =
   in
   let run input strategy socket port host workers max_pending plan_cache
       no_plan_cache timeout_ms metrics_interval dynamic live sync_every
-      memtable_limit =
+      memtable_limit shards =
     let addrs =
       (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
       @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
@@ -692,9 +735,36 @@ let serve_cmd =
       Printf.eprintf "serve: need --socket PATH and/or --port N\n";
       exit 1
     end;
+    if shards <> None && live = None then begin
+      Printf.eprintf "serve: --shards applies to --live only\n";
+      exit 1
+    end;
     let log_store = ref None in
+    let shard_store = ref None in
     let source =
       match live with
+      | Some dir when shards <> None || Xshard.is_sharded_dir dir ->
+        let sh =
+          try
+            Xshard.open_ ?shards ~sync_every ~memtable_limit
+              ~config:(config_of_strategy strategy)
+              dir
+          with Invalid_argument msg ->
+            Printf.eprintf "serve: cannot open sharded store %s: %s\n" dir msg;
+            exit 1
+        in
+        shard_store := Some sh;
+        report_shard_recovery "serve" sh;
+        (match input with
+         | Some file when Xshard.doc_count sh = 0 ->
+           let docs = load_documents file in
+           ignore (Xshard.insert_batch sh docs : int array);
+           Xshard.flush sh;
+           Printf.eprintf
+             "xseq serve: seeded %d-shard store with %d records\n"
+             (Xshard.shard_count sh) (Array.length docs)
+         | _ -> ());
+        Xserver.Server.Sharded sh
       | Some dir ->
         let log =
           try
@@ -706,14 +776,7 @@ let serve_cmd =
             exit 1
         in
         log_store := Some log;
-        let r = Xlog.recovery log in
-        if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
-          Printf.eprintf "xseq serve: recovered %d WAL records%s\n"
-            r.Xlog.replayed
-            (String.concat ""
-               (List.map
-                  (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d)
-                  r.Xlog.torn));
+        report_log_recovery "serve" log;
         (match input with
          | Some file when Xlog.next_id log = 0 ->
            let docs = load_documents file in
@@ -779,6 +842,7 @@ let serve_cmd =
            ());
     Xserver.Server.wait server;
     (match !log_store with Some log -> Xlog.close log | None -> ());
+    (match !shard_store with Some sh -> Xshard.close sh | None -> ());
     Printf.eprintf "xseq serve: stopped cleanly\n"
   in
   Cmd.v
@@ -791,7 +855,8 @@ let serve_cmd =
     Term.(
       const run $ serve_input $ strategy_arg $ socket $ port $ host $ workers
       $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
-      $ metrics_interval $ dynamic $ live $ sync_every $ memtable_limit)
+      $ metrics_interval $ dynamic $ live $ sync_every $ memtable_limit
+      $ shards)
 
 (* --- ingest ---------------------------------------------------------------- *)
 
@@ -859,8 +924,18 @@ let ingest_cmd =
       & info [ "delete" ] ~docv:"IDS"
           ~doc:"Comma-separated document ids to tombstone after the inserts.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "With $(b,--live): create (or open) the store as an N-shard \
+             engine; inserts hash-route across the shards.  An existing \
+             sharded directory is detected without this flag.")
+  in
   let run files strategy connect live sync_every throttle_ms do_flush
-      do_compact deletes =
+      do_compact deletes shards =
     let throttle () =
       if throttle_ms > 0 then Unix.sleepf (float_of_int throttle_ms /. 1000.)
     in
@@ -871,11 +946,19 @@ let ingest_cmd =
       Printf.eprintf "nothing to do: no FILES, --delete, --flush or --compact\n";
       exit 1
     end;
-    let report n first last dt =
+    (* [range] claims a dense id interval — only true for an unsharded
+       store, where ids are contiguous.  A sharded server hands out
+       shard-tagged ids (shard in the high bits), so the wire path
+       reports first/last without implying density. *)
+    let report ?(range = false) n first last dt =
       if n > 0 then
         Printf.printf
-          "ingested %d records in %.2f ms (%.0f records/s), ids %d..%d\n" n
-          (dt *. 1000.)
+          (if range then
+             "ingested %d records in %.2f ms (%.0f records/s), ids %d..%d\n"
+           else
+             "ingested %d records in %.2f ms (%.0f records/s), first id %d, \
+              last id %d\n")
+          n (dt *. 1000.)
           (if dt > 0. then float_of_int n /. dt else 0.)
           first last
     in
@@ -921,6 +1004,62 @@ let ingest_cmd =
               let gen = Xserver.Client.flush client in
               Printf.printf "flushed; structure generation %d\n" gen
             end))
+    | None, Some dir when shards <> None || Xshard.is_sharded_dir dir ->
+      let sh =
+        try
+          Xshard.open_ ?shards ~sync_every
+            ~config:(config_of_strategy strategy)
+            dir
+        with Invalid_argument msg ->
+          Printf.eprintf "ingest: cannot open sharded store %s: %s\n" dir msg;
+          exit 1
+      in
+      Fun.protect
+        ~finally:(fun () -> Xshard.close sh)
+        (fun () ->
+          report_shard_recovery "ingest" sh;
+          let t0 = Unix.gettimeofday () in
+          let n = ref 0 in
+          List.iter
+            (fun d ->
+              ignore (Xshard.insert sh d : int);
+              incr n;
+              throttle ())
+            docs;
+          (* Shard-tagged ids are not contiguous (the shard number lives
+             in the high bits), so a first..last range would be
+             misleading here; report the routing fan-out instead. *)
+          (let dt = Unix.gettimeofday () -. t0 in
+           if !n > 0 then
+             Printf.printf
+               "ingested %d records in %.2f ms (%.0f records/s) across %d \
+                shards\n"
+               !n (dt *. 1000.)
+               (if dt > 0. then float_of_int !n /. dt else 0.)
+               (Xshard.shard_count sh));
+          List.iter
+            (fun id ->
+              let existed = Xshard.remove sh id in
+              Printf.printf "delete %d: %s\n" id
+                (if existed then "ok" else "absent"))
+            deletes;
+          if do_flush then Xshard.flush sh;
+          if do_compact then begin
+            ignore (Xshard.compact ~wait:true sh : bool);
+            Printf.printf "compacted; structure generation %d\n"
+              (Xshard.generation sh)
+          end;
+          let infos = Xshard.shard_infos sh in
+          Printf.printf "store: %d shards, %d live documents\n"
+            (Xshard.shard_count sh) (Xshard.doc_count sh);
+          Array.iter
+            (fun (i : Xshard.shard_info) ->
+              Printf.printf
+                "  shard %d: %d live documents, %d segments, %d pending, \
+                 %d tombstones\n"
+                i.Xshard.shard i.Xshard.docs i.Xshard.segments
+                i.Xshard.pending i.Xshard.tombstones)
+            infos)
     | None, Some dir ->
       let log =
         try
@@ -932,14 +1071,7 @@ let ingest_cmd =
       Fun.protect
         ~finally:(fun () -> Xlog.close log)
         (fun () ->
-          let r = Xlog.recovery log in
-          if r.Xlog.replayed > 0 || r.Xlog.torn <> [] then
-            Printf.eprintf "xseq ingest: recovered %d WAL records%s\n"
-              r.Xlog.replayed
-              (String.concat ""
-                 (List.map
-                    (fun (f, d) -> Printf.sprintf "; torn %s (%s)" f d)
-                    r.Xlog.torn));
+          report_log_recovery "ingest" log;
           let t0 = Unix.gettimeofday () in
           let first = ref (-1) and last = ref (-1) and n = ref 0 in
           List.iter
@@ -950,7 +1082,7 @@ let ingest_cmd =
               incr n;
               throttle ())
             docs;
-          report !n !first !last (Unix.gettimeofday () -. t0);
+          report ~range:true !n !first !last (Unix.gettimeofday () -. t0);
           List.iter
             (fun id ->
               let existed = Xlog.remove log id in
@@ -980,7 +1112,7 @@ let ingest_cmd =
           maintenance ops by hand.")
     Term.(
       const run $ files $ strategy_arg $ connect $ live $ sync_every
-      $ throttle_ms $ do_flush $ do_compact $ deletes)
+      $ throttle_ms $ do_flush $ do_compact $ deletes $ shards)
 
 (* --- query-batch ---------------------------------------------------------- *)
 

@@ -4,45 +4,57 @@ type t = int
 
 (* Structure-of-arrays intern table.  Entry 0 is epsilon.  [kids] keeps the
    element (non-value) children of each path so the table can be walked as
-   a schema path trie. *)
+   a schema path trie.
 
-let dummy_tag = D.tag ""
-let table : (int * int, int) Hashtbl.t = Hashtbl.create 4096
-let parents = ref (Array.make 4096 (-1))
-let tags = ref (Array.make 4096 dummy_tag)
-let depths = ref (Array.make 4096 0)
-let kids : int list array ref = ref (Array.make 4096 [])
-let next = ref 1 (* entry 0 = epsilon *)
-
-let epsilon = 0
-
-(* Same synchronisation story as [Designator]: the table is mutated by
+   Same synchronisation story as [Designator]: the table is mutated by
    builds and read by query compiles, possibly from different domains at
    once (background compaction in `Xlog` builds while server workers
-   compile plans).  All hashtable access goes through [m]; the reverse
-   arrays ([parents]/[tags]/[depths]) stay lock-free on the read side
-   because a path id only reaches another thread through a synchronising
-   publication (an installed index, a compiled plan). *)
+   compile plans).  The read path is lock-free — [find_child] and the
+   already-interned fast path of [child] probe an immutable persistent
+   map published through an [Atomic.t], and the reverse arrays
+   ([parents]/[tags]/[depths]/[kids]) are atomically published so grows
+   never tear under a reader.  Only interning a genuinely new path takes
+   [m]; the parallel encode phase of [Xseq.build] and batched query
+   compilation run entirely on the lock-free path (DESIGN.md §9/§14). *)
+
+let dummy_tag = D.tag ""
+
+module PMap = Map.Make (struct
+  type t = int * int
+
+  let compare (a1, a2) (b1, b2) =
+    let c = Stdlib.compare a1 b1 in
+    if c <> 0 then c else Stdlib.compare a2 b2
+end)
+
+let map : int PMap.t Atomic.t = Atomic.make PMap.empty
+let parents : int array Atomic.t = Atomic.make (Array.make 4096 (-1))
+let tags : D.t array Atomic.t = Atomic.make (Array.make 4096 dummy_tag)
+let depths : int array Atomic.t = Atomic.make (Array.make 4096 0)
+
+let kids : int list array Atomic.t = Atomic.make (Array.make 4096 [])
+(* [kids] slots mutate on insert (prepend), unlike the write-once slots
+   of the other arrays.  All slot updates happen under [m]; a lock-free
+   reader may observe a list missing children interned concurrently
+   with its read — benign, because query compilation only walks paths
+   of an index published before the compile began, and a path's
+   children are fully interned before any index over them is
+   published. *)
+
+let next = Atomic.make 1 (* entry 0 = epsilon *)
+let epsilon = 0
 let m = Mutex.create ()
 
-let locked f =
-  Mutex.lock m;
-  match f () with
-  | v ->
-    Mutex.unlock m;
-    v
-  | exception e ->
-    Mutex.unlock m;
-    raise e
-
-let grow () =
-  let cap = Array.length !parents in
-  if !next >= cap then begin
-    let extend : 'a. 'a array ref -> 'a -> unit =
+let grow id =
+  let ps = Atomic.get parents in
+  let cap = Array.length ps in
+  if id >= cap then begin
+    let extend : 'a. 'a array Atomic.t -> 'a -> unit =
      fun a fill ->
+      let old = Atomic.get a in
       let a' = Array.make (cap * 2) fill in
-      Array.blit !a 0 a' 0 cap;
-      a := a'
+      Array.blit old 0 a' 0 cap;
+      Atomic.set a a'
     in
     extend parents (-1);
     extend tags dummy_tag;
@@ -52,57 +64,66 @@ let grow () =
 
 let child p d =
   let key = (p, D.to_int d) in
-  locked (fun () ->
-      match Hashtbl.find_opt table key with
-      | Some id -> id
-      | None ->
-        grow ();
-        let id = !next in
-        incr next;
-        !parents.(id) <- p;
-        !tags.(id) <- d;
-        !depths.(id) <- !depths.(p) + 1;
-        Hashtbl.add table key id;
-        if not (D.is_value d) then !kids.(p) <- id :: !kids.(p);
-        id)
+  (* Lock-free fast path: the path is already interned. *)
+  match PMap.find_opt key (Atomic.get map) with
+  | Some id -> id
+  | None ->
+    Mutex.protect m (fun () ->
+        match PMap.find_opt key (Atomic.get map) with
+        | Some id -> id
+        | None ->
+          let id = Atomic.get next in
+          grow id;
+          (* Reverse-array writes precede the map publication: a reader
+             that acquires [id] through the map sees them. *)
+          (Atomic.get parents).(id) <- p;
+          (Atomic.get tags).(id) <- d;
+          (Atomic.get depths).(id) <- (Atomic.get depths).(p) + 1;
+          if not (D.is_value d) then begin
+            let ks = Atomic.get kids in
+            ks.(p) <- id :: ks.(p)
+          end;
+          Atomic.set map (PMap.add key id (Atomic.get map));
+          Atomic.set next (id + 1);
+          id)
 
-let find_child p d = locked (fun () -> Hashtbl.find_opt table (p, D.to_int d))
+let find_child p d = PMap.find_opt (p, D.to_int d) (Atomic.get map)
 
 let parent p =
   if p = epsilon then invalid_arg "Path.parent: epsilon";
-  !parents.(p)
+  (Atomic.get parents).(p)
 
 let tag p : D.t =
   if p = epsilon then invalid_arg "Path.tag: epsilon";
-  !tags.(p)
+  (Atomic.get tags).(p)
 
-let depth p = !depths.(p)
-let element_children p = locked (fun () -> List.rev !kids.(p))
+let depth p = (Atomic.get depths).(p)
+let element_children p = List.rev (Atomic.get kids).(p)
 
 let rec ancestor_at_depth p d =
-  let dp = !depths.(p) in
+  let dp = depth p in
   if d < 0 || d > dp then invalid_arg "Path.ancestor_at_depth"
   else if d = dp then p
-  else ancestor_at_depth !parents.(p) d
+  else ancestor_at_depth (Atomic.get parents).(p) d
 
-let is_prefix p q =
-  depth p <= depth q && ancestor_at_depth q (depth p) = p
-
+let is_prefix p q = depth p <= depth q && ancestor_at_depth q (depth p) = p
 let is_strict_prefix p q = depth p < depth q && is_prefix p q
-
 let of_list ds = List.fold_left child epsilon ds
 
 let to_list p =
-  let rec loop p acc = if p = epsilon then acc else loop (parent p) (tag p :: acc) in
+  let rec loop p acc =
+    if p = epsilon then acc else loop (parent p) (tag p :: acc)
+  in
   loop p []
 
 let equal (a : int) b = a = b
 let compare (a : int) b = Stdlib.compare a b
 
 let lex_compare a b =
+  let ps = Atomic.get parents in
   let rec prefix_at p d target =
     (* designator of [p]'s ancestor at depth [target] *)
-    if d = target then tag p else prefix_at !parents.(p) (d - 1) target
+    if d = target then tag p else prefix_at ps.(p) (d - 1) target
   in
   let da = depth a and db = depth b in
   let rec loop d =
@@ -112,16 +133,19 @@ let lex_compare a b =
       if c <> 0 then c else loop (d + 1)
   in
   if a = b then 0 else loop 1
+
 let hash (p : int) = p
 let to_int p = p
-let count () = !next
+let count () = Atomic.get next
 
 let of_int i =
-  if i < 0 || i >= !next then invalid_arg "Path.of_int: unknown id";
+  if i < 0 || i >= Atomic.get next then invalid_arg "Path.of_int: unknown id";
   i
 
 let to_string p =
   if p = epsilon then "ε"
-  else String.concat "." (List.map (fun d -> Format.asprintf "%a" D.pp d) (to_list p))
+  else
+    String.concat "."
+      (List.map (fun d -> Format.asprintf "%a" D.pp d) (to_list p))
 
 let pp ppf p = Format.pp_print_string ppf (to_string p)

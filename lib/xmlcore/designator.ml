@@ -3,68 +3,74 @@ type t = int
 (* The intern table maps namespaced keys to ids.  Keys are the source
    string prefixed with a namespace marker byte: 'T' for tags, 'V' for
    values.  [names] keeps the reverse mapping; [kinds] records whether an
-   id denotes a value. *)
+   id denotes a value.
 
-let table : (string, int) Hashtbl.t = Hashtbl.create 1024
-let names : string array ref = ref (Array.make 1024 "")
-let kinds : Bytes.t ref = ref (Bytes.make 1024 'T')
-let next = ref 0
-
-(* The table is written by every build and read by every query compile,
+   The table is written by every build and read by every query compile,
    potentially from different domains at once (e.g. `Xlog`'s background
-   compaction building while server workers answer queries).  All table
-   mutation and lookup goes through [m]; the reverse arrays stay
-   lock-free on the read side because an id can only reach another
-   thread through a synchronising channel (a published index, a compiled
-   plan), which orders the array writes before the reads. *)
+   compaction building while server workers answer queries).  The read
+   path is lock-free: lookups go against an immutable persistent-map
+   snapshot published through an [Atomic.t], and the reverse arrays are
+   themselves atomically published so a concurrent grow can never hand a
+   reader a torn or stale-capacity array.  Only interning a genuinely
+   new designator takes [m] — and interning is confined to sequential
+   phases (DESIGN.md §9), so the hot parallel paths (query compilation's
+   [find_value], the encoder's lookups) never contend on a mutex. *)
+
+module SMap = Map.Make (String)
+
+let map : int SMap.t Atomic.t = Atomic.make SMap.empty
+let names : string array Atomic.t = Atomic.make (Array.make 1024 "")
+let kinds : Bytes.t Atomic.t = Atomic.make (Bytes.make 1024 'T')
+let next = Atomic.make 0
+
+(* Serialises writers only; readers never touch it. *)
 let m = Mutex.create ()
 
-let locked f =
-  Mutex.lock m;
-  match f () with
-  | v ->
-    Mutex.unlock m;
-    v
-  | exception e ->
-    Mutex.unlock m;
-    raise e
-
-let grow () =
-  let cap = Array.length !names in
-  if !next >= cap then begin
+let grow id =
+  let ns = Atomic.get names in
+  let cap = Array.length ns in
+  if id >= cap then begin
     let names' = Array.make (cap * 2) "" in
-    Array.blit !names 0 names' 0 cap;
-    names := names';
+    Array.blit ns 0 names' 0 cap;
+    Atomic.set names names';
     let kinds' = Bytes.make (cap * 2) 'T' in
-    Bytes.blit !kinds 0 kinds' 0 cap;
-    kinds := kinds'
+    Bytes.blit (Atomic.get kinds) 0 kinds' 0 cap;
+    Atomic.set kinds kinds'
   end
 
 let intern kind s =
   let key = String.make 1 kind ^ s in
-  locked (fun () ->
-      match Hashtbl.find_opt table key with
-      | Some id -> id
-      | None ->
-        grow ();
-        let id = !next in
-        incr next;
-        !names.(id) <- s;
-        Bytes.set !kinds id kind;
-        Hashtbl.add table key id;
-        id)
+  (* Lock-free fast path: already interned. *)
+  match SMap.find_opt key (Atomic.get map) with
+  | Some id -> id
+  | None ->
+    Mutex.protect m (fun () ->
+        (* Re-check under the lock: another writer may have won. *)
+        match SMap.find_opt key (Atomic.get map) with
+        | Some id -> id
+        | None ->
+          let id = Atomic.get next in
+          grow id;
+          (* Element writes land before the map publication below: the
+             [Atomic.set] on [map] is a release, and a reader that finds
+             [id] in the map acquired it — so it sees the name/kind. *)
+          (Atomic.get names).(id) <- s;
+          Bytes.set (Atomic.get kinds) id kind;
+          Atomic.set map (SMap.add key id (Atomic.get map));
+          Atomic.set next (id + 1);
+          id)
 
 let tag s = intern 'T' s
 let value s = intern 'V' s
 let char_value c = intern 'V' (String.make 1 c)
-let find_value s = locked (fun () -> Hashtbl.find_opt table ("V" ^ s))
-let is_value d = Bytes.get !kinds d = 'V'
-let name d = !names.(d)
+let find_value s = SMap.find_opt ("V" ^ s) (Atomic.get map)
+let is_value d = Bytes.get (Atomic.get kinds) d = 'V'
+let name d = (Atomic.get names).(d)
 let equal (a : int) b = a = b
 let compare (a : int) b = Stdlib.compare a b
 let hash (d : int) = d
 let to_int d = d
-let count () = !next
+let count () = Atomic.get next
 
 let pp ppf d =
   if is_value d then Format.fprintf ppf "v(%s)" (name d)

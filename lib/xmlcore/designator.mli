@@ -12,16 +12,17 @@
 
     {2 Thread-safety}
 
-    The intern table is {e not} synchronised: {!tag}, {!value} and
-    {!char_value} may mutate it and must only be called while a single
-    domain is running (parsing, index construction's sequential phases).
-    Parallel phases — [Xseq.build]'s chunked encode and
-    [Xseq.query_batch] — are arranged so that they never intern:
-    construction pre-interns every designator in a deterministic
-    sequential pass, and query instantiation uses the non-interning
-    {!find_value} lookup.  Read-only accessors ({!name}, {!is_value},
-    {!find_value}, …) are safe from any number of domains as long as no
-    interning runs concurrently.  See DESIGN.md §9. *)
+    Reads are lock-free: lookups ({!find_value}, {!name}, {!is_value},
+    …) and re-interning an already-known designator go against an
+    immutable snapshot published through an atomic, so query domains
+    never contend on a lock.  Interning a {e new} designator serialises
+    writers on a private mutex and atomically publishes the extended
+    snapshot.  Determinism of the {e id assignment} still requires the
+    phase discipline of DESIGN.md §9: [Xseq.build] pre-interns every
+    designator in a deterministic sequential pass so that parallel
+    phases only perform (now lock-free) lookups and label assignment is
+    identical to the sequential build.  See DESIGN.md §14 for the
+    snapshot design. *)
 
 type t = private int
 

@@ -2,16 +2,21 @@ module D = Xmlcore.Designator
 module Path = Sequencing.Path
 module Encoder = Sequencing.Encoder
 
+module PMap = Map.Make (Path)
+
 type t = {
   mutable docs : int;
   freq : (Path.t, int) Hashtbl.t; (* #docs containing the path *)
   weights : (Path.t, float) Hashtbl.t;
-  memo : (Path.t, float) Hashtbl.t; (* fallback p_root cache *)
-  memo_lock : Mutex.t;
+  memo : float PMap.t Atomic.t; (* fallback p_root cache *)
       (* [freq] and [weights] are frozen once sequencing starts, but the
          fallback cache is written lazily from whatever domain happens to
          price an unseen path first — during parallel encoding or batched
-         query compilation — so its accesses are serialised. *)
+         query compilation.  It used to be a mutex'd hashtable, which put
+         a lock acquisition on every fallback lookup of every query in a
+         batch; it is now an immutable map published by CAS, so the
+         per-query hot path reads it with a single atomic load and only
+         a genuinely new path pays a (retried) publication. *)
 }
 
 let create () =
@@ -19,8 +24,7 @@ let create () =
     docs = 0;
     freq = Hashtbl.create 1024;
     weights = Hashtbl.create 16;
-    memo = Hashtbl.create 64;
-    memo_lock = Mutex.create ();
+    memo = Atomic.make PMap.empty;
   }
 
 let add_document ?value_mode t doc =
@@ -63,18 +67,21 @@ let rec p_root t path =
     match Hashtbl.find_opt t.freq path with
     | Some n -> float_of_int n /. float_of_int (max 1 t.docs)
     | None ->
-      (* The cache read and write are individually locked; the recursive
-         estimate itself runs unlocked (no deadlock, and a racing domain
-         at worst recomputes the same deterministic value). *)
-      let cached =
-        Mutex.protect t.memo_lock (fun () -> Hashtbl.find_opt t.memo path)
-      in
-      (match cached with
+      (* Lock-free cache probe; the recursive estimate itself runs
+         unsynchronised (a racing domain at worst recomputes the same
+         deterministic value), and publication retries by CAS so a
+         concurrent writer's entries are never lost. *)
+      (match PMap.find_opt path (Atomic.get t.memo) with
        | Some p -> p
        | None ->
          let p = p_root t (Path.parent path) *. 0.1 in
-         Mutex.protect t.memo_lock (fun () ->
-             if not (Hashtbl.mem t.memo path) then Hashtbl.replace t.memo path p);
+         let rec publish () =
+           let cur = Atomic.get t.memo in
+           if PMap.mem path cur then ()
+           else if not (Atomic.compare_and_set t.memo cur (PMap.add path p cur))
+           then publish ()
+         in
+         publish ();
          p)
 
 let p_parent t path =

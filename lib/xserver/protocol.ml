@@ -4,7 +4,10 @@
    input, whatever its shape, can raise out of the codec. *)
 
 let magic = "xQ"
-let version = 1
+
+(* Version 2: document ids (and the doc-count gauge) widened from u32 to
+   u64 — a sharded store tags the shard index into bits 52+ of every id. *)
+let version = 2
 let header_size = 8
 let max_payload = 16 * 1024 * 1024
 
@@ -86,6 +89,7 @@ let code_to_int = function
 (* --- encoding ------------------------------------------------------------- *)
 
 let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_u64 b v = Buffer.add_int64_le b (Int64.of_int v)
 
 let add_str b s =
   add_u32 b (String.length s);
@@ -93,7 +97,7 @@ let add_str b s =
 
 let add_ids b ids =
   add_u32 b (List.length ids);
-  List.iter (fun id -> add_u32 b id) ids
+  List.iter (fun id -> add_u64 b id) ids
 
 let frame op payload =
   let n = String.length payload in
@@ -137,7 +141,7 @@ let encode_request = function
              Buffer.add_uint8 b 1;
              add_str b p))
   | Insert { xml } -> frame op_insert (payload_of (fun b -> add_str b xml))
-  | Delete { id } -> frame op_delete (payload_of (fun b -> add_u32 b id))
+  | Delete { id } -> frame op_delete (payload_of (fun b -> add_u64 b id))
   | Flush -> frame op_flush ""
   | Health -> frame op_health ""
   | Unknown { op } ->
@@ -168,7 +172,7 @@ let encode_response = function
       (payload_of (fun b ->
            Buffer.add_uint8 b (code_to_int code);
            add_str b message))
-  | Inserted { id } -> frame op_inserted (payload_of (fun b -> add_u32 b id))
+  | Inserted { id } -> frame op_inserted (payload_of (fun b -> add_u64 b id))
   | Deleted { existed } ->
     frame op_deleted
       (payload_of (fun b -> Buffer.add_uint8 b (if existed then 1 else 0)))
@@ -180,7 +184,7 @@ let encode_response = function
            Buffer.add_uint8 b (if degraded then 1 else 0);
            add_str b reason;
            add_u32 b generation;
-           add_u32 b doc_count))
+           add_u64 b doc_count))
 
 (* --- decoding ------------------------------------------------------------- *)
 
@@ -205,6 +209,16 @@ let u32 c =
   if v < 0 then bad "negative field %d at %d" v (c.pos - 4);
   v
 
+let u64 c =
+  if c.pos + 8 > c.limit then bad "truncated frame (u64 at %d)" c.pos;
+  let v = Int64.to_int (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  (* The Int64 sign bit (and bit 62, lost to OCaml's tagged int) can
+     only come from a corrupt or hostile frame: ids are non-negative
+     and fit 62 bits by construction. *)
+  if v < 0 then bad "negative field %d at %d" v (c.pos - 8);
+  v
+
 let str c =
   let n = u32 c in
   if n > c.limit - c.pos then
@@ -215,9 +229,9 @@ let str c =
 
 let ids c =
   let n = u32 c in
-  (* Each id costs 4 bytes: reject lying counts before allocating. *)
-  if n > (c.limit - c.pos) / 4 then bad "id count %d overruns frame" n;
-  List.init n (fun _ -> u32 c)
+  (* Each id costs 8 bytes: reject lying counts before allocating. *)
+  if n > (c.limit - c.pos) / 8 then bad "id count %d overruns frame" n;
+  List.init n (fun _ -> u64 c)
 
 let check_header ~dir s =
   let len = String.length s in
@@ -266,7 +280,7 @@ let decode_request s =
       | t -> bad "bad option tag %d in Reload" t
     end
     else if op = op_insert then finish c (Insert { xml = str c })
-    else if op = op_delete then finish c (Delete { id = u32 c })
+    else if op = op_delete then finish c (Delete { id = u64 c })
     else if op = op_flush then finish c Flush
     else if op = op_health then finish c Health
     else
@@ -315,7 +329,7 @@ let decode_response s =
       let message = str c in
       finish c (Error { code; message })
     end
-    else if op = op_inserted then finish c (Inserted { id = u32 c })
+    else if op = op_inserted then finish c (Inserted { id = u64 c })
     else if op = op_deleted then begin
       match u8 c with
       | 0 -> finish c (Deleted { existed = false })
@@ -335,7 +349,7 @@ let decode_response s =
       in
       let reason = str c in
       let generation = u32 c in
-      let doc_count = u32 c in
+      let doc_count = u64 c in
       finish c (Health_status { degraded; reason; generation; doc_count })
     end
     else bad "unknown response opcode 0x%02x" op

@@ -5,14 +5,18 @@
     {v
       offset  size  field
       0       2     magic "xQ"
-      2       1     protocol version (1)
+      2       1     protocol version (2)
       3       1     opcode (requests 0x00-0x7F, responses 0x80-0xFF)
       4       4     payload length, u32 LE, at most {!max_payload}
       8       len   payload (opcode-specific, little-endian throughout)
     v}
 
-    Strings serialise as [u32 length + bytes]; integer lists as
-    [u32 count + count × u32].  Decoding is defensive end to end: every
+    Strings serialise as [u32 length + bytes].  Document ids — and the
+    doc-count gauge — are [u64] since version 2: a sharded store tags
+    the shard index into bits 52+ of every id, far beyond u32 (this is
+    the version-1 → 2 change; counts, generations and timeouts remain
+    u32).  Id lists serialise as [u32 count + count × u64].  Decoding
+    is defensive end to end: every
     read is bounds-checked, every frame must be consumed exactly, and
     malformed input of any shape — bad magic, unknown version or opcode,
     a length field larger than the cap or than the data, truncation at
@@ -24,7 +28,8 @@ val magic : string
 (** ["xQ"] — two bytes. *)
 
 val version : int
-(** Current protocol version (1). *)
+(** Current protocol version (2 — version 1 carried u32 document ids,
+    too narrow for shard-tagged ids). *)
 
 val header_size : int
 (** Bytes before the payload (8). *)

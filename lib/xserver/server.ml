@@ -50,6 +50,7 @@ type source =
   | Snapshot of string
   | Dynamic of Xseq.Dynamic.dyn
   | Live of Xlog.t
+  | Sharded of Xshard.t
 
 type config = {
   workers : int;
@@ -74,18 +75,24 @@ let default_config =
    for the whole request.  A frozen backend's generation is fixed at
    swap time; a live store's structure generation moves underneath us
    (seals, compaction installs), so it is read per request. *)
-type backend = B_index of Xseq.t | B_live of Xlog.t
+type backend = B_index of Xseq.t | B_live of Xlog.t | B_shard of Xshard.t
 
 type serving = { backend : backend; gen : int }
 
 let serving_gen sv =
-  match sv.backend with B_index _ -> sv.gen | B_live log -> Xlog.generation log
+  match sv.backend with
+  | B_index _ -> sv.gen
+  | B_live log -> Xlog.generation log
+  | B_shard sh -> Xshard.generation sh
 
 (* Cached plans carry which compiler produced them; generations are
    allocated from one process-wide sequence ({!Xseq.next_generation}),
    so a key collision across backend kinds cannot happen — the variant
    check is defence in depth. *)
-type plan = Plan_index of Xseq.prepared | Plan_live of Xlog.prepared
+type plan =
+  | Plan_index of Xseq.prepared
+  | Plan_live of Xlog.prepared
+  | Plan_shard of Xshard.prepared
 
 type t = {
   config : config;
@@ -121,6 +128,7 @@ let serving_of_source = function
     let index = Xseq.Dynamic.snapshot dyn in
     { backend = B_index index; gen = Xseq.generation index }
   | Live log -> { backend = B_live log; gen = Xlog.generation log }
+  | Sharded sh -> { backend = B_shard sh; gen = Xshard.generation sh }
 
 let create ?(config = default_config) source =
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
@@ -187,7 +195,7 @@ let answer_pattern t sv stats pattern =
   | B_index index ->
     (match Plan_cache.find t.cache ~generation:sv.gen key with
      | Some (Plan_index plans) -> Xseq.run_prepared ~stats index plans
-     | Some (Plan_live _) | None ->
+     | Some (Plan_live _) | Some (Plan_shard _) | None ->
        (match Xseq.prepare index pattern with
         | plans ->
           Plan_cache.add t.cache ~generation:sv.gen key (Plan_index plans);
@@ -202,13 +210,28 @@ let answer_pattern t sv stats pattern =
     in
     (match Plan_cache.find t.cache ~generation:gen key with
      | Some (Plan_live plan) -> run plan
-     | Some (Plan_index _) | None ->
+     | Some (Plan_index _) | Some (Plan_shard _) | None ->
        (match Xlog.prepare log pattern with
         | plan ->
           Plan_cache.add t.cache ~generation:gen key (Plan_live plan);
           run plan
         | exception Xquery.Instantiate.Too_many _ ->
           Xlog.query ~stats log pattern))
+  | B_shard sh ->
+    let gen = Xshard.generation sh in
+    let run plan =
+      try Xshard.run_prepared ~stats sh plan
+      with Invalid_argument _ -> Xshard.query ~stats sh pattern
+    in
+    (match Plan_cache.find t.cache ~generation:gen key with
+     | Some (Plan_shard plan) -> run plan
+     | Some (Plan_index _) | Some (Plan_live _) | None ->
+       (match Xshard.prepare sh pattern with
+        | plan ->
+          Plan_cache.add t.cache ~generation:gen key (Plan_shard plan);
+          run plan
+        | exception Xquery.Instantiate.Too_many _ ->
+          Xshard.query ~stats sh pattern))
 
 let parse_xpath xpath =
   match Xquery.Xpath_parser.parse xpath with
@@ -310,6 +333,10 @@ let reload ?path t =
           Xlog.flush log;
           ignore (Xlog.compact log : bool);
           serving_of_source source
+        | Sharded sh when path = None ->
+          Xshard.flush sh;
+          ignore (Xshard.compact sh : bool);
+          serving_of_source source
         | s -> serving_of_source s
       in
       t.source <- source;
@@ -328,11 +355,40 @@ let stats_json t =
       (match Xseq.backing_store index with
        | Some s -> (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
        | None -> (0, 0))
-    | B_live _ -> (0, 0)
+    | B_live _ | B_shard _ -> (0, 0)
   in
   let live_extra =
     match sv.backend with
     | B_index _ -> []
+    | B_shard sh ->
+      (* Per-shard state plus the aggregate, so an operator watching
+         Stats sees exactly which shard is degraded or down. *)
+      let infos = Xshard.shard_infos sh in
+      let shard_json (i : Xshard.shard_info) =
+        Printf.sprintf
+          "{\"shard\": %d, \"doc_count\": %d, \"pending\": %d, \
+           \"segments\": %d, \"tombstones\": %d, \"next_local_id\": %d, \
+           \"wal_offset\": %d, \"degraded\": %b, \"degraded_reason\": %S, \
+           \"down\": %b, \"down_reason\": %S}"
+          i.Xshard.shard i.Xshard.docs i.Xshard.pending i.Xshard.segments
+          i.Xshard.tombstones i.Xshard.next_local_id i.Xshard.wal_offset
+          (i.Xshard.degraded <> None)
+          (Option.value i.Xshard.degraded ~default:"")
+          (i.Xshard.down <> None)
+          (Option.value i.Xshard.down ~default:"")
+      in
+      let degraded = Xshard.degraded_shards sh in
+      [
+        ( "sharded",
+          Printf.sprintf
+            "{\"shards\": %d, \"doc_count\": %d, \"degraded_shards\": %d, \
+             \"down_shards\": %d, \"per_shard\": [%s]}"
+            (Xshard.shard_count sh) (Xshard.doc_count sh)
+            (List.length degraded)
+            (List.length (Xshard.down_shards sh))
+            (String.concat ", "
+               (Array.to_list (Array.map shard_json infos))) );
+      ]
     | B_live log ->
       let degraded, reason =
         match Xlog.degraded_reason log with
@@ -376,10 +432,31 @@ let stats_json t =
 
 (* --- dispatch -------------------------------------------------------------- *)
 
+(* The two mutable backends behind one face for the Insert/Delete/Flush
+   arms.  [Xshard.Shard_down] maps to the same wire code as [Degraded]:
+   from the client's point of view both mean "this write is refused
+   until the store heals", and the message names the failed shard. *)
+type live_backend = L_log of Xlog.t | L_shard of Xshard.t
+
 let live_store t =
   match (Atomic.get t.serving).backend with
-  | B_live log -> Some log
+  | B_live log -> Some (L_log log)
+  | B_shard sh -> Some (L_shard sh)
   | B_index _ -> None
+
+let live_insert lb doc =
+  match lb with L_log log -> Xlog.insert log doc | L_shard sh -> Xshard.insert sh doc
+
+let live_remove lb id =
+  match lb with L_log log -> Xlog.remove log id | L_shard sh -> Xshard.remove sh id
+
+let live_flush = function
+  | L_log log -> Xlog.flush log
+  | L_shard sh -> Xshard.flush sh
+
+let live_generation = function
+  | L_log log -> Xlog.generation log
+  | L_shard sh -> Xshard.generation sh
 
 let dispatch t (req : P.request) : string * P.response =
   match req with
@@ -415,13 +492,15 @@ let dispatch t (req : P.request) : string * P.response =
     ( "insert",
       (match live_store t with
        | None -> err P.Bad_request "server is not serving a live store"
-       | Some log ->
+       | Some lb ->
          (match Xmlcore.Xml_parser.parse_string xml with
           | doc ->
-            (match Xlog.insert log doc with
+            (match live_insert lb doc with
              | id -> P.Inserted { id }
              | exception Xlog.Degraded reason ->
                err P.Degraded "store is read-only: %s" reason
+             | exception Xshard.Shard_down (i, reason) ->
+               err P.Degraded "shard %d is down: %s" i reason
              | exception e ->
                err P.Server_error "insert failed: %s" (Printexc.to_string e))
           | exception Xmlcore.Xml_parser.Parse_error { pos; line; msg } ->
@@ -431,22 +510,26 @@ let dispatch t (req : P.request) : string * P.response =
     ( "delete",
       (match live_store t with
        | None -> err P.Bad_request "server is not serving a live store"
-       | Some log ->
-         (match Xlog.remove log id with
+       | Some lb ->
+         (match live_remove lb id with
           | existed -> P.Deleted { existed }
           | exception Xlog.Degraded reason ->
             err P.Degraded "store is read-only: %s" reason
+          | exception Xshard.Shard_down (i, reason) ->
+            err P.Degraded "shard %d is down: %s" i reason
           | exception e ->
             err P.Server_error "delete failed: %s" (Printexc.to_string e))) )
   | P.Flush ->
     ( "flush",
       (match live_store t with
        | None -> err P.Bad_request "server is not serving a live store"
-       | Some log ->
-         (match Xlog.flush log with
-          | () -> P.Flushed { generation = Xlog.generation log }
+       | Some lb ->
+         (match live_flush lb with
+          | () -> P.Flushed { generation = live_generation lb }
           | exception Xlog.Degraded reason ->
             err P.Degraded "store is read-only: %s" reason
+          | exception Xshard.Shard_down (i, reason) ->
+            err P.Degraded "shard %d is down: %s" i reason
           | exception e ->
             err P.Server_error "flush failed: %s" (Printexc.to_string e))) )
   | P.Health ->
@@ -480,6 +563,32 @@ let dispatch t (req : P.request) : string * P.response =
              reason;
              generation = Xlog.generation log;
              doc_count = Xlog.doc_count log;
+           }
+       | B_shard sh ->
+         (* Same probe-on-health contract, per shard: degraded shards
+            get a disk probe, down shards a re-open attempt, so watching
+            Health heals whatever healed underneath.  The report is
+            degraded as soon as any single shard refuses writes — the
+            reason names them all. *)
+         (match Xshard.degraded_shards sh with
+          | [] -> ()
+          | _ -> ignore (Xshard.try_recover sh : bool));
+         let degraded, reason =
+           match Xshard.degraded_shards sh with
+           | [] -> (false, "")
+           | l ->
+             ( true,
+               String.concat "; "
+                 (List.map
+                    (fun (i, r) -> Printf.sprintf "shard %d: %s" i r)
+                    l) )
+         in
+         P.Health_status
+           {
+             degraded;
+             reason;
+             generation = Xshard.generation sh;
+             doc_count = Xshard.doc_count sh;
            }) )
   | P.Unknown { op } ->
     ( "unknown",

@@ -63,6 +63,14 @@ type source =
           the memtable and compacts in place (queries keep answering
           throughout); [Reload (Some p)] switches to the snapshot at
           [p]. *)
+  | Sharded of Xshard.t
+      (** N-shard live store ([serve --shards N]): inserts hash-route to
+          a shard's WAL, queries scatter-gather over every shard.
+          [Health]/[Stats] aggregate per-shard state — the server is
+          degraded as soon as any shard refuses writes, and the Health
+          probe doubles as the per-shard recovery probe (disk re-probe
+          for degraded shards, re-open for fail-stopped ones).  [Reload
+          None] flushes and compacts every shard in place. *)
 
 type config = {
   workers : int;  (** worker domains executing queries (default 2) *)
@@ -103,9 +111,10 @@ val wait : t -> unit
 val metrics : t -> Metrics.t
 
 type plan
-(** A cached compiled query: an {!Xseq.prepared} for frozen backends or
-    an [Xlog.prepared] for live stores.  Generation stamps come from one
-    process-wide sequence, so the two kinds never collide on a cache key
+(** A cached compiled query: an {!Xseq.prepared} for frozen backends, an
+    [Xlog.prepared] for live stores, or an [Xshard.prepared] (one
+    sub-plan per shard) for sharded stores.  Generation stamps come from
+    one process-wide sequence, so the kinds never collide on a cache key
     — and dispatch still checks the variant defensively. *)
 
 val plan_cache : t -> plan Plan_cache.t

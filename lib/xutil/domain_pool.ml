@@ -56,33 +56,55 @@ let run t (thunks : (unit -> 'a) array) : 'a array =
   else begin
     let results : 'a option array = Array.make n None in
     let errors : exn option array = Array.make n None in
+    (* Self-scheduling batch: instead of queueing one job per thunk —
+       a mutex acquisition and a condition signal per item on the shared
+       pool queue — the batch enqueues one {e runner} per worker, and
+       runners claim thunks with a wait-free fetch-and-add on a shared
+       cursor.  Dispatch cost is O(workers) queue operations per batch
+       regardless of batch size, and load balancing is exact: a runner
+       that finishes early keeps stealing from the cursor while slower
+       runners are still working. *)
+    let cursor = Atomic.make 0 in
+    let remaining = Atomic.make n in
     let bm = Mutex.create () in
     let done_cv = Condition.create () in
-    let pending = ref n in
-    let job i () =
-      (match thunks.(i) () with
-       | v -> results.(i) <- Some v
-       | exception e -> errors.(i) <- Some e);
-      Mutex.lock bm;
-      decr pending;
-      if !pending = 0 then Condition.signal done_cv;
-      Mutex.unlock bm
+    let runner () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue := false
+        else begin
+          (match thunks.(i) () with
+           | v -> results.(i) <- Some v
+           | exception e -> errors.(i) <- Some e);
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            (* Last thunk done: wake the caller.  The mutex pairs with
+               the caller's lock so the slot writes above are ordered
+               before its reads. *)
+            Mutex.lock bm;
+            Condition.signal done_cv;
+            Mutex.unlock bm
+          end
+        end
+      done
     in
+    let runners = min t.size n in
     Mutex.lock t.m;
     if t.closed then begin
       Mutex.unlock t.m;
       invalid_arg "Domain_pool.run: pool is shut down"
     end;
-    for i = 0 to n - 1 do
-      Queue.push (job i) t.jobs
+    (* One runner stays in the caller: it participates in the work and
+       doubles as the guarantee that the batch drains even if every
+       worker is busy with other batches. *)
+    for _ = 2 to runners do
+      Queue.push runner t.jobs
     done;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.m;
-    (* The batch mutex orders every worker's slot writes before the
-       caller's reads below (release on the worker's unlock, acquire on
-       the caller's lock). *)
+    runner ();
     Mutex.lock bm;
-    while !pending > 0 do
+    while Atomic.get remaining > 0 do
       Condition.wait done_cv bm
     done;
     Mutex.unlock bm;

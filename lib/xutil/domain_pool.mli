@@ -24,9 +24,17 @@
     phases must be arranged so that they only {e read} those tables (see
     [Xseq.build]'s sequential pre-intern pass and DESIGN.md §9).
 
-    Batches must not be submitted from within a task of the same pool
-    (the caller blocks while workers drain the queue, so nested batches
-    can deadlock once every worker is waiting on a child batch). *)
+    {2 Dispatch}
+
+    Batch dispatch is {e self-scheduling}: a batch enqueues at most one
+    runner per worker, and runners (including one in the caller, which
+    participates in its own batch) claim tasks with a wait-free
+    fetch-and-add on a shared cursor.  Queue traffic is O(workers) per
+    batch regardless of batch size, and a fast runner keeps claiming
+    tasks while slower ones finish — chunked work-stealing without
+    per-item handoff.  Because the caller always participates, a batch
+    completes even when every worker is busy elsewhere, so nested batch
+    submission cannot deadlock (it simply runs with less parallelism). *)
 
 type t
 

@@ -297,6 +297,260 @@ let test_fail_stop_then_recover () =
           let want = List.sort compare !acked in
           Alcotest.(check (list int)) "acked records replay exactly" want got))
 
+(* --- shard isolation: one shard's disk fault stays that shard's ------------ *)
+
+(* Seed a 3-shard store with enough documents that every shard holds
+   some, and return it.  [probe_interval] is disabled: the tests drive
+   recovery explicitly. *)
+let open_seeded_shards dir =
+  let sh =
+    Xshard.open_ ~shards:3 ~probe_interval:no_probe ~max_segments:1000 dir
+  in
+  for i = 0 to 11 do
+    ignore (Xshard.insert sh doc_pool.(i mod Array.length doc_pool) : int)
+  done;
+  sh
+
+(* Keep inserting until [n] inserts succeeded, tolerating refusals from
+   the faulted shard ([allow] decides which exceptions are expected).
+   Returns the accepted ids. *)
+let insert_despite sh ~n ~allow =
+  let got = ref [] in
+  let attempts = ref 0 in
+  while List.length !got < n do
+    incr attempts;
+    if !attempts > 50 then
+      Alcotest.failf "surviving shards refused writes (%d accepted)"
+        (List.length !got);
+    match Xshard.insert sh doc_pool.(0) with
+    | id -> got := id :: !got
+    | exception e -> if not (allow e) then raise e
+  done;
+  !got
+
+let test_shard_enospc_isolates () =
+  with_dir (fun dir ->
+      let sh = open_seeded_shards dir in
+      Fun.protect
+        ~finally:(fun () -> Xshard.close sh)
+        (fun () ->
+          let n0 = Xshard.doc_count sh in
+          (* The routing is deterministic, so the shard the next insert
+             will hit — and therefore the shard whose WAL the injected
+             ENOSPC lands on — is known in advance. *)
+          let target = Xshard.next_route sh in
+          F.install
+            (F.Injector.create [ { F.at = 0; on = F.Write; fault = F.Enospc } ]);
+          (match Xshard.insert sh doc_pool.(0) with
+          | _ -> Alcotest.fail "insert accepted by the faulted shard"
+          | exception Xlog.Degraded _ -> ());
+          F.uninstall ();
+          (* Exactly the routed shard degraded; nothing fail-stopped. *)
+          Alcotest.(check (list int)) "only the target shard degrades" [ target ]
+            (List.map fst (Xshard.degraded_shards sh));
+          Alcotest.(check (list int)) "no shard is down" []
+            (List.map fst (Xshard.down_shards sh));
+          (* A degraded shard is read-only, not gone: answers stay
+             complete across all shards. *)
+          let d = Xshard.query_detail sh (Xseq.Xpath.parse "/P") in
+          Alcotest.(check bool) "answers remain complete" true
+            d.Xshard.complete;
+          Alcotest.(check int) "every document answers" n0
+            (List.length d.Xshard.value);
+          (* The surviving shards keep accepting writes; only inserts
+             routed to the degraded shard are refused. *)
+          let accepted =
+            insert_despite sh ~n:2 ~allow:(function
+              | Xlog.Degraded _ -> true
+              | _ -> false)
+          in
+          List.iter
+            (fun id ->
+              if Xshard.shard_of_id id = target then
+                Alcotest.fail "the degraded shard acknowledged a write")
+            accepted;
+          (* Fault cleared: per-shard recovery re-arms the write path. *)
+          Alcotest.(check bool) "recovery re-arms" true
+            (Xshard.recover_shard sh target);
+          Alcotest.(check (list int)) "no shard degraded after recovery" []
+            (List.map fst (Xshard.degraded_shards sh));
+          Alcotest.(check int) "nothing was lost" (n0 + 2)
+            (Xshard.doc_count sh)))
+
+let test_shard_fail_stop_isolates () =
+  with_dir (fun dir ->
+      let sh = open_seeded_shards dir in
+      Fun.protect
+        ~finally:(fun () -> Xshard.abandon sh)
+        (fun () ->
+          let n0 = Xshard.doc_count sh in
+          let target = Xshard.next_route sh in
+          F.install
+            (F.Injector.create [ { F.at = 0; on = F.Write; fault = F.Fail_stop } ]);
+          (match Xshard.insert sh doc_pool.(0) with
+          | _ -> Alcotest.fail "insert survived a fail-stop"
+          | exception F.Crashed -> ());
+          (* Fail-stop is sticky process-wide: clear it immediately so
+             the surviving shards' I/O runs fault-free. *)
+          F.uninstall ();
+          Alcotest.(check (list int)) "only the target shard is down" [ target ]
+            (List.map fst (Xshard.down_shards sh));
+          (* Queries answer from the survivors and declare the gap. *)
+          let d = Xshard.query_detail sh (Xseq.Xpath.parse "/P") in
+          Alcotest.(check bool) "partial answers flagged" false
+            d.Xshard.complete;
+          Alcotest.(check (list int)) "the gap names the shard" [ target ]
+            (List.map fst d.Xshard.failed_shards);
+          List.iter
+            (fun id ->
+              if Xshard.shard_of_id id = target then
+                Alcotest.fail "a down shard's document answered")
+            d.Xshard.value;
+          (* The survivors keep accepting writes; the down shard refuses
+             loudly. *)
+          let accepted =
+            insert_despite sh ~n:2 ~allow:(function
+              | Xshard.Shard_down (i, _) -> i = target
+              | _ -> false)
+          in
+          Alcotest.(check int) "two accepted by survivors" 2
+            (List.length accepted);
+          (* Re-open the crashed shard from disk: WAL replay brings back
+             every acknowledged record and answers are whole again. *)
+          Alcotest.(check bool) "shard recovery re-arms" true
+            (Xshard.recover_shard sh target);
+          let healed = Xshard.query_detail sh (Xseq.Xpath.parse "/P") in
+          Alcotest.(check bool) "complete after recovery" true
+            healed.Xshard.complete;
+          Alcotest.(check int) "every acked record survived" (n0 + 2)
+            (List.length healed.Xshard.value)))
+
+(* Randomized shard torture: ingest into a 3-shard store under a fault
+   schedule, recover whatever degrades or fail-stops, reopen fault-free
+   and diff against the oracle.  Failures print (seed, schedule, shard)
+   so any draw replays exactly. *)
+let shard_torture_schedule seed =
+  F.random_schedule ~seed ~ops:[ F.Write; F.Fsync; F.Rename; F.Open ]
+    ~horizon:60 ~faults:3 ()
+
+let shard_torture_run seed =
+  let sched = shard_torture_schedule seed in
+  let fault_shard = ref (-1) in (* last shard a fault landed on *)
+  let ctx msg =
+    Printf.sprintf "%s (seed=%d schedule=[%s] shard=%d)" msg seed
+      (F.schedule_to_string sched)
+      !fault_shard
+  in
+  with_dir (fun dir ->
+      let rng = Random.State.make [| seed; 0x54a2d |] in
+      let sh =
+        Xshard.open_ ~shards:3 ~probe_interval:no_probe ~max_segments:1000 dir
+      in
+      let acked = ref [] in
+      let removed = ref [] in
+      let attempted = ref [] in
+      let crashed_once = ref false in
+      (* A fault on shard [i]: clear the injector (fail-stop is sticky)
+         and re-arm that shard — the rest of the run must be normal. *)
+      let on_fault i =
+        fault_shard := i;
+        F.uninstall ();
+        if not (Xshard.recover_shard sh i) then
+          Alcotest.fail (ctx "shard recovery failed with the fault cleared");
+        (* Only the faulted shard may have been touched. *)
+        (match Xshard.degraded_shards sh with
+        | [] -> ()
+        | l ->
+          Alcotest.fail
+            (ctx
+               (Printf.sprintf "shards {%s} degraded after recovery"
+                  (String.concat ","
+                     (List.map (fun (j, _) -> string_of_int j) l)))))
+      in
+      F.install (F.Injector.create sched);
+      for _ = 1 to 40 do
+        match Random.State.int rng 10 with
+        | 0 when !acked <> [] -> (
+          let id, _ =
+            List.nth !acked (Random.State.int rng (List.length !acked))
+          in
+          try
+            ignore (Xshard.remove sh id : bool);
+            removed := id :: !removed
+          with
+          | Xlog.Degraded _ -> on_fault (Xshard.shard_of_id id)
+          | F.Crashed ->
+            crashed_once := true;
+            on_fault (Xshard.shard_of_id id))
+        | 1 -> (
+          try Xshard.flush sh with
+          | Xlog.Degraded _ -> (
+            match Xshard.degraded_shards sh with
+            | (i, _) :: _ -> on_fault i
+            | [] -> on_fault (-1))
+          | F.Crashed -> (
+            crashed_once := true;
+            match Xshard.down_shards sh with
+            | (i, _) :: _ -> on_fault i
+            | [] -> on_fault (-1)))
+        | _ -> (
+          let k = Random.State.int rng (Array.length doc_pool) in
+          let target = Xshard.next_route sh in
+          let infos = Xshard.shard_infos sh in
+          let next_local = infos.(target).Xshard.next_local_id in
+          attempted :=
+            Xshard.encode_id ~shard:target ~local:next_local :: !attempted;
+          try
+            let id = Xshard.insert sh doc_pool.(k) in
+            if Xshard.shard_of_id id <> target then
+              Alcotest.fail (ctx "insert landed on an unpredicted shard");
+            acked := (id, k) :: !acked
+          with
+          | Xlog.Degraded _ -> on_fault target
+          | F.Crashed ->
+            crashed_once := true;
+            on_fault target)
+      done;
+      F.uninstall ();
+      if !crashed_once then Xshard.abandon sh else Xshard.close sh;
+      (* Reopen fault-free: per-shard crash recovery replays the WALs. *)
+      let sh2 = Xshard.open_ ~max_segments:1000 dir in
+      Fun.protect
+        ~finally:(fun () -> Xshard.close sh2)
+        (fun () ->
+          Alcotest.(check int) (ctx "shard count recorded") 3
+            (Xshard.shard_count sh2);
+          let module IS = Set.Make (Int) in
+          let acked_ids = IS.of_list (List.map fst !acked) in
+          let live_acked = IS.diff acked_ids (IS.of_list !removed) in
+          let attempted_ids = IS.of_list !attempted in
+          let recovered = IS.of_list (Xshard.query sh2 (Xseq.Xpath.parse "/P")) in
+          if not (IS.subset live_acked recovered) then
+            Alcotest.fail
+              (ctx
+                 (Printf.sprintf "acked ids lost: {%s}"
+                    (String.concat ","
+                       (List.map string_of_int
+                          (IS.elements (IS.diff live_acked recovered))))));
+          if not (IS.subset recovered attempted_ids) then
+            Alcotest.fail (ctx "recovered ids never attempted");
+          List.iteri
+            (fun pi pat ->
+              let ans = IS.of_list (Xshard.query sh2 pat) in
+              List.iter
+                (fun (id, k) ->
+                  if IS.mem id live_acked then begin
+                    let want = matches.(k).(pi) in
+                    if IS.mem id ans <> want then
+                      Alcotest.fail
+                        (ctx
+                           (Printf.sprintf
+                              "pattern %s disagrees with the oracle on id %d"
+                              (List.nth patterns pi) id))
+                  end)
+                !acked)
+            parsed_patterns))
+
 (* --- randomized torture: ingest under faults, reopen, diff vs oracle ------- *)
 
 let torture_schedule seed =
@@ -420,6 +674,21 @@ let qcheck_torture =
 let test_pinned_seeds () =
   List.iter torture_run [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89 ]
 
+let qcheck_shard_torture =
+  QCheck.Test.make
+    ~count:(max 10 (chaos_iters / 4))
+    ~name:"shard torture: recovery equals oracle"
+    (QCheck.make
+       ~print:(fun seed ->
+         Printf.sprintf "seed=%d schedule=[%s]" seed
+           (F.schedule_to_string (shard_torture_schedule seed)))
+       Gen.(int_bound 1_000_000))
+    (fun seed ->
+      shard_torture_run seed;
+      true)
+
+let test_shard_pinned_seeds () = List.iter shard_torture_run [ 1; 2; 3; 5; 8 ]
+
 let () =
   Alcotest.run "xfault"
     [
@@ -446,9 +715,18 @@ let () =
           Alcotest.test_case "fail-stop then recover" `Quick
             test_fail_stop_then_recover;
         ] );
+      ( "shards",
+        [
+          Alcotest.test_case "ENOSPC isolates to one shard" `Quick
+            test_shard_enospc_isolates;
+          Alcotest.test_case "fail-stop isolates to one shard" `Quick
+            test_shard_fail_stop_isolates;
+        ] );
       ( "torture",
         [
           Alcotest.test_case "pinned seeds" `Quick test_pinned_seeds;
           QCheck_alcotest.to_alcotest qcheck_torture;
+          Alcotest.test_case "shard pinned seeds" `Quick test_shard_pinned_seeds;
+          QCheck_alcotest.to_alcotest qcheck_shard_torture;
         ] );
     ]

@@ -271,6 +271,46 @@ let test_no_double_count () =
     (n * single.Xquery.Matcher.matches)
     stats.Xquery.Matcher.matches
 
+(* Regression for the Stats memo fallback on the batched-query hot path:
+   pricing a never-indexed path during query compilation used to take
+   the memo mutex once per query of every batch; the cache is now an
+   immutable map read with one atomic load and published by CAS.  A
+   compile-heavy batch full of unseen paths — every lookup a fallback,
+   every domain racing to publish — must agree with the sequential
+   answers on a cold cache and again on a warm one, and mixing in seen
+   patterns must not perturb their answers. *)
+let test_memo_fallback_batch () =
+  let index = Lazy.force corpus_index in
+  let runs =
+    [
+      ("1 domain", fun i p -> Xseq.query_batch ~domains:1 i p);
+      ("2 domains", fun i p -> Xseq.query_batch ~pool:(Lazy.force pool2) i p);
+      ("8 domains", fun i p -> Xseq.query_batch ~pool:(Lazy.force pool8) i p);
+    ]
+  in
+  List.iteri
+    (fun r (name, run) ->
+      (* Fresh ghost tags per run: each run starts with its own cold
+         slice of the memo, whatever the previous runs published. *)
+      let patterns =
+        Array.init 48 (fun i ->
+            if i mod 3 = 0 then (workload 5).(i mod 8)
+            else
+              Xseq.Xpath.parse
+                (Printf.sprintf "/ghost%d_%d/phantom%d/wraith%d" r i (i * 7)
+                   (i * 13)))
+      in
+      let sequential = Array.map (fun q -> Xseq.query index q) patterns in
+      let cold = run index patterns in
+      let warm = run index patterns in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cold cache agrees" name)
+        true (cold = sequential);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: warm cache agrees" name)
+        true (warm = sequential))
+    runs
+
 let test_merge_stats () =
   let a = Xquery.Matcher.create_stats () in
   a.Xquery.Matcher.probes <- 3;
@@ -324,6 +364,8 @@ let () =
       ( "accounting",
         [
           Alcotest.test_case "no double counting" `Quick test_no_double_count;
+          Alcotest.test_case "memo fallback off the hot path" `Quick
+            test_memo_fallback_batch;
           Alcotest.test_case "merge_stats" `Quick test_merge_stats;
         ] );
       ( "dynamic",
