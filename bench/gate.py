@@ -55,7 +55,14 @@ def committed(path):
         return None
 
 
-def gate(name, fresh_path, floors_cfg, keys, correctness_key, failures):
+def gate(name, fresh_path, floors_cfg, keys, correctness_key, failures, diff_keys=None):
+    # diff_keys: subset of `keys` to diff against the committed baseline
+    # (defaults to all of them).  Absolute-throughput keys are excluded
+    # for gates whose boxes show multi-x noise swings between runs;
+    # intra-run ratios stay comparable because both halves of a ratio
+    # are measured under the same interference.
+    if diff_keys is None:
+        diff_keys = keys
     fresh = load(fresh_path)
     cores = fresh.get("cores", 1)
     tier = (
@@ -87,13 +94,31 @@ def gate(name, fresh_path, floors_cfg, keys, correctness_key, failures):
                 f"{floor:.2f} (cores={cores})"
             )
 
+    # Ceilings (latency bounds): a metric that must stay *under* its
+    # checked-in limit.  No committed-baseline diff for these — tail
+    # latency on a shared box is too noisy for a ratio check; the
+    # absolute bound is the contract.
+    ceilings = floors_cfg[name].get("ceilings", {}).get(tier, {})
+    for key, ceiling in ceilings.items():
+        got = fresh.get(key)
+        if got is None:
+            failures.append(f"{name}: {fresh_path} lacks {key}")
+            continue
+        status = "ok" if got <= ceiling else "FAIL"
+        print(f"   {key}: {got:.3f} (ceiling {ceiling:.2f}) {status}")
+        if got > ceiling:
+            failures.append(
+                f"{name}: {key} = {got:.3f} is above the {tier} ceiling "
+                f"{ceiling:.2f} (cores={cores})"
+            )
+
     base = committed(fresh_path)
     if base is None:
         print(f"   no committed {fresh_path} baseline; floor-only gate")
         return
     same_cores = base.get("cores") == cores
     frac = floors_cfg.get("regression_fraction", 0.5)
-    for key in keys:
+    for key in diff_keys:
         got, was = fresh.get(key), base.get(key)
         if got is None or was is None or was <= 0:
             continue
@@ -125,6 +150,20 @@ def main():
         ["ingest_speedup_4v1", "query_speedup_4v1"],
         "answers_ok",
         failures,
+    )
+    gate(
+        "server",
+        "BENCH_server.json",
+        floors_cfg,
+        [
+            "best_rps_serial",
+            "best_rps_pipelined",
+            "pipelined_speedup_best",
+            "cache_speedup_best",
+        ],
+        "answers_ok",
+        failures,
+        diff_keys=["pipelined_speedup_best", "cache_speedup_best"],
     )
     if failures:
         print("\nbench gate FAILED:")

@@ -690,14 +690,23 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
 
 (* Closed-loop load generator: [conc] client threads, each with its own
-   connection, each firing its share of [requests] back to back over a
-   repeated-shape workload.  Returns (elapsed, sorted latencies, cache
+   connection, each firing its share of [requests] over a repeated-shape
+   workload.  [`Serial] is one blocking round trip per request (the
+   pre-pipelining client shape); [`Pipelined] writes bursts of
+   [pipeline_depth] requests before reading any response — the shape the
+   event-driven server exists for.  Pipelined latencies are per burst
+   (first byte written to last response read), attributed to every
+   request in the burst.  Returns (elapsed, sorted latencies, cache
    hits, cache misses, all answers correct). *)
-let server_run ~index ~workers ~cache ~sock ~xpaths ~offline ~requests conc =
+let pipeline_depth = 32
+
+let server_run ~index ~workers ~accept_shards ~mode ~cache ~sock ~xpaths
+    ~offline ~requests conc =
   let config =
     {
       Xserver.Server.default_config with
       workers;
+      accept_shards;
       max_pending = 4096;
       plan_cache_capacity = (if cache then 512 else 0);
     }
@@ -710,21 +719,50 @@ let server_run ~index ~workers ~cache ~sock ~xpaths ~offline ~requests conc =
       let per_thread = max 1 (requests / conc) in
       let latencies = Array.make_matrix conc per_thread 0. in
       let ok = Atomic.make true in
+      let serial_thread ti c =
+        for k = 0 to per_thread - 1 do
+          let qi = (ti + (k * conc)) mod Array.length xpaths in
+          let q0 = Unix.gettimeofday () in
+          let ids = Xserver.Client.query c xpaths.(qi) in
+          latencies.(ti).(k) <- Unix.gettimeofday () -. q0;
+          if ids <> offline.(qi) then Atomic.set ok false
+        done
+      in
+      let pipelined_thread ti c =
+        let k = ref 0 in
+        while !k < per_thread do
+          let burst = min pipeline_depth (per_thread - !k) in
+          let qis =
+            List.init burst (fun j ->
+                (ti + ((!k + j) * conc)) mod Array.length xpaths)
+          in
+          let q0 = Unix.gettimeofday () in
+          let answers =
+            Xserver.Client.query_pipeline c
+              (List.map (fun qi -> xpaths.(qi)) qis)
+          in
+          let dt = Unix.gettimeofday () -. q0 in
+          List.iteri
+            (fun j (qi, ids) ->
+              latencies.(ti).(!k + j) <- dt;
+              if ids <> offline.(qi) then Atomic.set ok false)
+            (List.combine qis answers);
+          k := !k + burst
+        done
+      in
       let t0 = Unix.gettimeofday () in
       let threads =
         List.init conc (fun ti ->
             Thread.create
               (fun () ->
-                Xserver.Client.with_connection
-                  (Xserver.Server.Unix_sock sock)
-                  (fun c ->
-                    for k = 0 to per_thread - 1 do
-                      let qi = (ti + (k * conc)) mod Array.length xpaths in
-                      let q0 = Unix.gettimeofday () in
-                      let ids = Xserver.Client.query c xpaths.(qi) in
-                      latencies.(ti).(k) <- Unix.gettimeofday () -. q0;
-                      if ids <> offline.(qi) then Atomic.set ok false
-                    done))
+                try
+                  Xserver.Client.with_connection
+                    (Xserver.Server.Unix_sock sock)
+                    (fun c ->
+                      match mode with
+                      | `Serial -> serial_thread ti c
+                      | `Pipelined -> pipelined_thread ti c)
+                with _ -> Atomic.set ok false)
               ())
       in
       List.iter Thread.join threads;
@@ -739,10 +777,11 @@ let server_run ~index ~workers ~cache ~sock ~xpaths ~offline ~requests conc =
 let server_bench () =
   header
     "Server: concurrent query service over the wire protocol\n\
-     closed-loop load, repeated query shapes; the prepared-plan cache \
-     should lift throughput by skipping wildcard instantiation (see \
-     BENCH_server.json)";
-  let n = n_scaled 4_000 in
+     closed-loop load, repeated query shapes, serial vs pipelined \
+     clients; the event-driven core should make pipelining pay and the \
+     prepared-plan cache should lift throughput by skipping wildcard \
+     instantiation (see BENCH_server.json)";
+  let n = env_int "XSEQ_BENCH_RECORDS" (n_scaled 4_000) in
   let docs = Xdatagen.Dblp_gen.generate n in
   let index = Xseq.build docs in
   (* Prepare-heavy shapes: wildcards and // make compilation the part the
@@ -786,84 +825,153 @@ let server_bench () =
   in
   let xpaths = Array.of_list (List.map fst shapes) in
   let offline = Array.of_list (List.map snd shapes) in
-  let requests = max 200 (int_of_float (2_000. *. !scale)) in
-  let workers = max 2 (min 4 (Domain.recommended_domain_count ())) in
-  let conc_levels = [ 1; 2; 4; 8 ] in
+  (if Sys.getenv_opt "XSEQ_BENCH_EXEC_FLOOR" <> None then
+     let plans =
+       Array.map (fun x -> Xseq.prepare index (Xseq.Xpath.parse x)) xpaths
+     in
+     let per = 125 in
+     let total = ref 0. in
+     Array.iteri
+       (fun si p ->
+         let t0 = Unix.gettimeofday () in
+         for _ = 1 to per do
+           ignore (Xseq.run_prepared index p : int list)
+         done;
+         let dt = Unix.gettimeofday () -. t0 in
+         total := !total +. dt;
+         Printf.printf "  shape %2d: %8.1f us/run  %s\n%!" si
+           (dt /. float_of_int per *. 1e6)
+           xpaths.(si))
+       plans;
+     Printf.printf "exec floor: %.0f plans/s (%.1f us mean)\n%!"
+       (float_of_int (per * Array.length plans) /. !total)
+       (!total /. float_of_int (per * Array.length plans) *. 1e6));
+  let requests =
+    env_int "XSEQ_BENCH_REQUESTS" (max 200 (int_of_float (2_000. *. !scale)))
+  in
+  let cores = Domain.recommended_domain_count () in
+  (* Keep at least two worker domains even on a single core: exec chunks
+     run for milliseconds, and on the loop thread's own domain they would
+     starve every systhread sharing its runtime lock until the 50ms tick
+     (client threads in this closed-loop bench included).  Separate
+     domains get kernel-scheduler preemption instead. *)
+  let workers = env_int "XSEQ_BENCH_WORKERS" (max 2 (min 4 cores)) in
+  let accept_shards = max 1 (min 4 (cores / 2)) in
+  let conc_levels =
+    match Sys.getenv_opt "XSEQ_BENCH_CONCURRENCY" with
+    | None -> [ 1; 2; 4; 8 ]
+    | Some s -> (
+      match
+        String.split_on_char ',' s
+        |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+        |> List.filter (fun c -> c > 0)
+      with
+      | [] -> [ 1; 2; 4; 8 ]
+      | levels -> levels)
+  in
   let sock =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "xseq_bench_%d.sock" (Unix.getpid ()))
   in
   Printf.printf
-    "(%d records, %d distinct shapes, %d requests per run, %d workers)\n" n
-    (Array.length xpaths) requests workers;
-  Printf.printf "%6s %6s %12s %10s %10s %10s %10s %6s\n" "cache" "conc"
-    "throughput" "p50 (ms)" "p95 (ms)" "p99 (ms)" "hit rate" "ok";
+    "(%d records, %d distinct shapes, %d requests per run, %d workers, %d \
+     accept shards, pipeline depth %d)\n"
+    n (Array.length xpaths) requests workers accept_shards pipeline_depth;
+  Printf.printf "%10s %6s %6s %12s %10s %10s %10s %10s %6s\n" "mode" "cache"
+    "conc" "throughput" "p50 (ms)" "p95 (ms)" "p99 (ms)" "hit rate" "ok";
   let rows =
     List.concat_map
-      (fun cache ->
-        List.map
-          (fun conc ->
-            let elapsed, lat, hits, misses, ok =
-              server_run ~index ~workers ~cache ~sock ~xpaths ~offline
-                ~requests conc
-            in
-            let total = Array.length lat in
-            let rps =
-              if elapsed > 0. then float_of_int total /. elapsed else 0.
-            in
-            let p50 = ms (percentile lat 0.50)
-            and p95 = ms (percentile lat 0.95)
-            and p99 = ms (percentile lat 0.99) in
-            let looked = hits + misses in
-            let hit_rate =
-              if looked = 0 then 0.
-              else float_of_int hits /. float_of_int looked
-            in
-            if not ok then
-              Printf.printf "!! server answers diverged from Xseq.query\n";
-            Printf.printf "%6s %6d %10.0f/s %10.3f %10.3f %10.3f %9.1f%% %6b\n%!"
-              (if cache then "on" else "off")
-              conc rps p50 p95 p99 (100. *. hit_rate) ok;
-            (cache, conc, rps, p50, p95, p99, hit_rate, ok))
-          conc_levels)
-      [ true; false ]
+      (fun mode ->
+        List.concat_map
+          (fun cache ->
+            List.map
+              (fun conc ->
+                let elapsed, lat, hits, misses, ok =
+                  server_run ~index ~workers ~accept_shards ~mode ~cache
+                    ~sock ~xpaths ~offline ~requests conc
+                in
+                let total = Array.length lat in
+                let rps =
+                  if elapsed > 0. then float_of_int total /. elapsed else 0.
+                in
+                let p50 = ms (percentile lat 0.50)
+                and p95 = ms (percentile lat 0.95)
+                and p99 = ms (percentile lat 0.99) in
+                let looked = hits + misses in
+                let hit_rate =
+                  if looked = 0 then 0.
+                  else float_of_int hits /. float_of_int looked
+                in
+                if not ok then
+                  Printf.printf "!! server answers diverged from Xseq.query\n";
+                let mode_name =
+                  match mode with `Serial -> "serial" | `Pipelined -> "pipelined"
+                in
+                Printf.printf
+                  "%10s %6s %6d %10.0f/s %10.3f %10.3f %10.3f %9.1f%% %6b\n%!"
+                  mode_name
+                  (if cache then "on" else "off")
+                  conc rps p50 p95 p99 (100. *. hit_rate) ok;
+                (mode_name, cache, conc, rps, p50, p95, p99, hit_rate, ok))
+              conc_levels)
+          [ true; false ])
+      [ `Serial; `Pipelined ]
   in
   let best pred =
     List.fold_left
-      (fun acc (c, _, rps, _, _, _, _, _) -> if c = pred then max acc rps else acc)
+      (fun acc (m, c, _, rps, _, _, _, _, _) ->
+        if pred m c then max acc rps else acc)
       0. rows
   in
-  let on = best true and off = best false in
+  let serial_on = best (fun m c -> m = "serial" && c)
+  and serial_off = best (fun m c -> m = "serial" && not c)
+  and best_serial = best (fun m _ -> m = "serial")
+  and best_pipelined = best (fun m _ -> m = "pipelined") in
+  let cache_speedup =
+    if serial_off > 0. then serial_on /. serial_off else 0.
+  in
+  let pipelined_speedup =
+    if best_serial > 0. then best_pipelined /. best_serial else 0.
+  in
+  let p99_serial_worst =
+    List.fold_left
+      (fun acc (m, _, _, _, _, _, p99, _, _) ->
+        if m = "serial" then Float.max acc p99 else acc)
+      0. rows
+  in
   Printf.printf
-    "best throughput: plan cache on %.0f/s, off %.0f/s (%.2fx); repeated \
-     shapes hit the cache %.1f%% of lookups\n%!"
-    on off
-    (if off > 0. then on /. off else 0.)
-    (100.
-    *. (match List.find_opt (fun (c, _, _, _, _, _, _, _) -> c) rows with
-        | Some (_, _, _, _, _, _, hr, _) -> hr
-        | None -> 0.));
-  let oc = open_out "BENCH_server.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+    "best throughput: serial %.0f/s, pipelined %.0f/s (%.2fx); plan cache \
+     on/off (serial) %.2fx; worst serial p99 %.3fms\n%!"
+    best_serial best_pipelined pipelined_speedup cache_speedup
+    p99_serial_worst;
+  write_json "server" (fun oc ->
       Printf.fprintf oc
-        "{\n  \"records\": %d,\n  \"distinct_queries\": %d,\n  \"requests\": \
-         %d,\n  \"workers\": %d,\n  \"runs\": [\n"
-        n (Array.length xpaths) requests workers;
+        "{\n  \"cores\": %d,\n  \"records\": %d,\n  \"distinct_queries\": \
+         %d,\n  \"requests\": %d,\n  \"workers\": %d,\n  \"accept_shards\": \
+         %d,\n  \"pipeline_depth\": %d,\n  \"runs\": [\n"
+        cores n (Array.length xpaths) requests workers accept_shards
+        pipeline_depth;
       List.iteri
-        (fun i (cache, conc, rps, p50, p95, p99, hit_rate, ok) ->
+        (fun i (mode_name, cache, conc, rps, p50, p95, p99, hit_rate, ok) ->
           Printf.fprintf oc
-            "    {\"plan_cache\": %b, \"concurrency\": %d, \
+            "    {\"mode\": %S, \"plan_cache\": %b, \"concurrency\": %d, \
              \"throughput_rps\": %.0f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
              \"p99_ms\": %.3f, \"cache_hit_rate\": %.4f, \"answers_ok\": \
              %b}%s\n"
-            cache conc rps p50 p95 p99 hit_rate ok
+            mode_name cache conc rps p50 p95 p99 hit_rate ok
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "  ],\n  \"cache_speedup_best\": %.3f\n}\n"
-        (if off > 0. then on /. off else 0.));
+      Printf.fprintf oc
+        "  ],\n\
+        \  \"cache_speedup_best\": %.3f,\n\
+        \  \"best_rps_serial\": %.0f,\n\
+        \  \"best_rps_pipelined\": %.0f,\n\
+        \  \"pipelined_speedup_best\": %.3f,\n\
+        \  \"p99_ms_serial_worst\": %.3f\n\
+         }\n"
+        cache_speedup best_serial best_pipelined pipelined_speedup
+        p99_serial_worst);
   Printf.printf "wrote BENCH_server.json\n%!"
 
 (* ------------------------------------------------------------------ *)

@@ -631,6 +631,17 @@ let serve_cmd =
       & info [ "workers" ] ~docv:"N"
           ~doc:"Worker domains executing queries (default 2).")
   in
+  let accept_shards =
+    Arg.(
+      value & opt int 1
+      & info [ "accept-shards" ] ~docv:"N"
+          ~doc:
+            "Event-loop threads accepting and serving connections \
+             (default 1).  With $(b,--port), each loop gets its own \
+             $(b,SO_REUSEPORT) listener so the kernel spreads incoming \
+             flows across loops; Unix-domain sockets are shared by all \
+             loops.  Pair with $(b,--workers) on multi-core hosts.")
+  in
   let max_pending =
     Arg.(
       value & opt int 64
@@ -724,9 +735,9 @@ let serve_cmd =
             "XML records or a saved index to serve (optional with \
              $(b,--live)).")
   in
-  let run input strategy socket port host workers max_pending plan_cache
-      no_plan_cache timeout_ms metrics_interval dynamic live sync_every
-      memtable_limit shards =
+  let run input strategy socket port host workers accept_shards max_pending
+      plan_cache no_plan_cache timeout_ms metrics_interval dynamic live
+      sync_every memtable_limit shards =
     let addrs =
       (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
       @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
@@ -809,6 +820,7 @@ let serve_cmd =
       {
         Xserver.Server.default_config with
         workers;
+        accept_shards = max 1 accept_shards;
         max_pending;
         plan_cache_capacity = (if no_plan_cache then 0 else plan_cache);
         default_timeout_ms = timeout_ms;
@@ -817,12 +829,12 @@ let serve_cmd =
     let server = Xserver.Server.create ~config source in
     Xserver.Server.start server addrs;
     Printf.eprintf
-      "xseq serve: generation %d on %s (%d workers, %d max pending, plan \
-       cache %d)\n\
+      "xseq serve: generation %d on %s (%d workers, %d accept shards, %d \
+       max pending, plan cache %d)\n\
        %!"
       (Xserver.Server.generation server)
       (String.concat ", " (List.map Xserver.Server.addr_to_string addrs))
-      workers max_pending
+      workers (max 1 accept_shards) max_pending
       (if no_plan_cache then 0 else plan_cache);
     let stop _ = Xserver.Server.request_stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -854,7 +866,7 @@ let serve_cmd =
           --connect) is the matching client).")
     Term.(
       const run $ serve_input $ strategy_arg $ socket $ port $ host $ workers
-      $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
+      $ accept_shards $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
       $ metrics_interval $ dynamic $ live $ sync_every $ memtable_limit
       $ shards)
 

@@ -284,6 +284,81 @@ let flush ?timeout_ms t =
   | P.Flushed { generation } -> generation
   | _ -> unexpected "flush"
 
+(* --- pipelining ------------------------------------------------------------ *)
+
+let pipeline ?(timeout_ms = 0) t reqs =
+  if t.closed then raise (Protocol_error "connection is closed");
+  match reqs with
+  | [] -> []
+  | _ ->
+    let fd =
+      match t.fd with
+      | Some fd -> fd
+      | None ->
+        let fd = connect_fd ~timeout_ms:t.policy.connect_timeout_ms t.addr in
+        t.fd <- Some fd;
+        fd
+    in
+    let timeout_ms =
+      if timeout_ms > 0 then timeout_ms else t.policy.request_timeout_ms
+    in
+    set_io_timeout fd (if timeout_ms > 0 then timeout_ms else max_int);
+    (* Single attempt, deliberately: once part of a burst may have
+       reached the server, replaying it could duplicate non-idempotent
+       requests, and a half-read response stream cannot be resumed.
+       Any failure kills the connection and raises.  Responses come
+       back through the incremental decoder over large reads — a burst
+       costs one write and a handful of recvs, not 2 syscalls per
+       frame. *)
+    (match
+       P.write_frame fd (String.concat "" (List.map P.encode_request reqs));
+       let dec = P.Decoder.create () in
+       let buf = Bytes.create 65536 in
+       let rec read_response () =
+         match P.Decoder.next dec with
+         | P.Decoder.Frame frame -> (
+           match P.decode_response frame with
+           | Error m -> raise (Protocol_error ("malformed response: " ^ m))
+           | Ok resp -> resp)
+         | P.Decoder.Corrupt m ->
+           raise (Protocol_error ("bad response frame: " ^ m))
+         | P.Decoder.Need_more -> (
+           match Xfault.Io.recv fd buf 0 (Bytes.length buf) with
+           | 0 ->
+             raise
+               (Transport
+                  (if P.Decoder.buffered dec = 0 then
+                     "server closed the connection"
+                   else "truncated response frame"))
+           | n ->
+             P.Decoder.feed dec buf 0 n;
+             read_response ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_response ())
+       in
+       List.map (fun _ -> read_response ()) reqs
+     with
+     | resps -> resps
+     | exception e ->
+       kill t;
+       (match e with
+        | Transport msg -> raise (Protocol_error msg)
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          when timeout_ms > 0 ->
+          raise
+            (Timeout
+               (Printf.sprintf "deadline of %dms expired mid-pipeline"
+                  timeout_ms))
+        | e -> raise e))
+
+let query_pipeline ?(timeout_ms = 0) t xpaths =
+  let reqs = List.map (fun xpath -> P.Query { xpath; timeout_ms }) xpaths in
+  List.map
+    (function
+      | P.Result { ids; _ } -> ids
+      | P.Error { code; message } -> raise (Server_error (code, message))
+      | _ -> unexpected "query")
+    (pipeline ~timeout_ms t reqs)
+
 let with_connection ?policy ?seed addr f =
   let t = connect ?policy ?seed addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

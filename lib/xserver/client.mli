@@ -123,4 +123,32 @@ val flush : ?timeout_ms:int -> t -> int
 (** Seals the server's memtable and fsyncs its WAL; returns the new
     structure generation. *)
 
+(** {1 Pipelining}
+
+    The event-driven server answers pipelined requests strictly in
+    request order, so a client may write a whole burst before reading
+    anything — N requests cost one write and one read stream instead of
+    N blocking round trips.  Unlike the synchronous calls above, the
+    pipelined path makes {b one attempt and never retries}: once part
+    of a burst may have reached the server, replaying it could
+    duplicate non-idempotent requests, and a half-read response stream
+    cannot be resumed.  Any transport failure closes the connection
+    (the next synchronous call redials) and raises. *)
+
+val pipeline : ?timeout_ms:int -> t -> Protocol.request list -> Protocol.response list
+(** Writes every request as one burst, then reads exactly one response
+    per request, in order.  Error frames come back as
+    [Protocol.Error { code; message }] {e values} — per-request
+    failures ([Overloaded], [Timeout], …) must not tear down the rest
+    of the burst.  [timeout_ms] arms the socket deadline for the whole
+    burst (and is embedded in any [Query] the caller built with one).
+    @raise Protocol_error on malformed responses, EOF mid-burst, or a
+    closed client.
+    @raise Timeout when the socket deadline expires mid-burst. *)
+
+val query_pipeline : ?timeout_ms:int -> t -> string list -> int list list
+(** {!pipeline} over [Query] requests: one id list per XPath, in query
+    order.  The first error frame raises {!Server_error} (later
+    responses of the burst are discarded with the connection). *)
+
 val with_connection : ?policy:policy -> ?seed:int -> Server.addr -> (t -> 'a) -> 'a

@@ -99,19 +99,24 @@ let add_ids b ids =
   add_u32 b (List.length ids);
   List.iter (fun id -> add_u64 b id) ids
 
-let frame op payload =
+(* Iovec-style framing: header and payload stay separate buffers so a
+   vectored writer can hand both slices to one writev(2) without the
+   concatenation copy.  [frame] is the one-string convenience over it. *)
+let frame_iov op payload =
   let n = String.length payload in
   if n > max_payload then
     invalid_arg
       (Printf.sprintf "Protocol: payload of %d bytes exceeds the %d cap" n
          max_payload);
-  let b = Buffer.create (header_size + n) in
-  Buffer.add_string b magic;
-  Buffer.add_uint8 b version;
-  Buffer.add_uint8 b op;
-  add_u32 b n;
-  Buffer.add_string b payload;
-  Buffer.contents b
+  let h = Bytes.create header_size in
+  Bytes.blit_string magic 0 h 0 2;
+  Bytes.set_uint8 h 2 version;
+  Bytes.set_uint8 h 3 op;
+  Bytes.set_int32_le h 4 (Int32.of_int n);
+  if n = 0 then [ Bytes.unsafe_to_string h ]
+  else [ Bytes.unsafe_to_string h; payload ]
+
+let frame op payload = String.concat "" (frame_iov op payload)
 
 let payload_of f =
   let b = Buffer.create 64 in
@@ -151,40 +156,47 @@ let encode_request = function
       invalid_arg (Printf.sprintf "Protocol: request opcode 0x%x out of range" op);
     frame op ""
 
-let encode_response = function
-  | Pong -> frame op_pong ""
+let response_parts = function
+  | Pong -> (op_pong, "")
   | Result { generation; ids } ->
-    frame op_result
-      (payload_of (fun b ->
-           add_u32 b generation;
-           add_ids b ids))
+    ( op_result,
+      payload_of (fun b ->
+          add_u32 b generation;
+          add_ids b ids) )
   | Batch_result { generation; ids } ->
-    frame op_batch_result
-      (payload_of (fun b ->
-           add_u32 b generation;
-           add_u32 b (Array.length ids);
-           Array.iter (add_ids b) ids))
-  | Stats_json s -> frame op_stats_json (payload_of (fun b -> add_str b s))
+    ( op_batch_result,
+      payload_of (fun b ->
+          add_u32 b generation;
+          add_u32 b (Array.length ids);
+          Array.iter (add_ids b) ids) )
+  | Stats_json s -> (op_stats_json, payload_of (fun b -> add_str b s))
   | Reloaded { generation } ->
-    frame op_reloaded (payload_of (fun b -> add_u32 b generation))
+    (op_reloaded, payload_of (fun b -> add_u32 b generation))
   | Error { code; message } ->
-    frame op_error
-      (payload_of (fun b ->
-           Buffer.add_uint8 b (code_to_int code);
-           add_str b message))
-  | Inserted { id } -> frame op_inserted (payload_of (fun b -> add_u64 b id))
+    ( op_error,
+      payload_of (fun b ->
+          Buffer.add_uint8 b (code_to_int code);
+          add_str b message) )
+  | Inserted { id } -> (op_inserted, payload_of (fun b -> add_u64 b id))
   | Deleted { existed } ->
-    frame op_deleted
-      (payload_of (fun b -> Buffer.add_uint8 b (if existed then 1 else 0)))
+    (op_deleted, payload_of (fun b -> Buffer.add_uint8 b (if existed then 1 else 0)))
   | Flushed { generation } ->
-    frame op_flushed (payload_of (fun b -> add_u32 b generation))
+    (op_flushed, payload_of (fun b -> add_u32 b generation))
   | Health_status { degraded; reason; generation; doc_count } ->
-    frame op_health_status
-      (payload_of (fun b ->
-           Buffer.add_uint8 b (if degraded then 1 else 0);
-           add_str b reason;
-           add_u32 b generation;
-           add_u64 b doc_count))
+    ( op_health_status,
+      payload_of (fun b ->
+          Buffer.add_uint8 b (if degraded then 1 else 0);
+          add_str b reason;
+          add_u32 b generation;
+          add_u64 b doc_count) )
+
+let encode_response r =
+  let op, payload = response_parts r in
+  frame op payload
+
+let encode_response_iov r =
+  let op, payload = response_parts r in
+  frame_iov op payload
 
 (* --- decoding ------------------------------------------------------------- *)
 
@@ -411,3 +423,101 @@ let write_frame fd s =
     end
   in
   go 0
+
+(* --- incremental decoding -------------------------------------------------- *)
+
+module Decoder = struct
+  type item = Need_more | Frame of string | Corrupt of string
+
+  (* A compacting byte window: live data sits in [buf.[head, tail)].
+     [feed] appends; [next] consumes whole frames from the front.  The
+     header is validated the moment its 8 bytes are in — a hostile
+     length field is rejected before one payload byte is read or
+     buffered, exactly like the blocking [read_frame].  Corruption is
+     sticky: a framing stream cannot be resynchronised, so after one
+     [Corrupt] every later [next] repeats it. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable head : int;
+    mutable tail : int;
+    mutable dead : string option;
+  }
+
+  let create () =
+    { buf = Bytes.create 4096; head = 0; tail = 0; dead = None }
+
+  let buffered t = t.tail - t.head
+
+  let ensure_room t n =
+    let live = buffered t in
+    if Bytes.length t.buf - t.tail < n then
+      if Bytes.length t.buf - live >= n then begin
+        (* Compact in place: enough total room, just badly placed. *)
+        Bytes.blit t.buf t.head t.buf 0 live;
+        t.head <- 0;
+        t.tail <- live
+      end
+      else begin
+        let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
+        while !cap - live < n do
+          cap := !cap * 2
+        done;
+        let fresh = Bytes.create !cap in
+        Bytes.blit t.buf t.head fresh 0 live;
+        t.buf <- fresh;
+        t.head <- 0;
+        t.tail <- live
+      end
+
+  let feed t src off len =
+    if off < 0 || len < 0 || off + len > Bytes.length src then
+      invalid_arg "Decoder.feed: slice out of bounds";
+    if t.dead = None && len > 0 then begin
+      ensure_room t len;
+      Bytes.blit src off t.buf t.tail len;
+      t.tail <- t.tail + len
+    end
+
+  let feed_string t src off len =
+    feed t (Bytes.unsafe_of_string src) off len
+
+  let fail t fmt =
+    Printf.ksprintf
+      (fun m ->
+        t.dead <- Some m;
+        (* Poisoned: drop the window so a huge buffered payload is not
+           pinned behind a dead connection. *)
+        t.buf <- Bytes.create 0;
+        t.head <- 0;
+        t.tail <- 0;
+        Corrupt m)
+      fmt
+
+  let next t =
+    match t.dead with
+    | Some m -> Corrupt m
+    | None ->
+      if buffered t < header_size then Need_more
+      else begin
+        let at k = Bytes.get t.buf (t.head + k) in
+        if not (at 0 = magic.[0] && at 1 = magic.[1]) then
+          fail t "bad magic %S" (Printf.sprintf "%c%c" (at 0) (at 1))
+        else if Char.code (at 2) <> version then
+          fail t "unsupported version %d" (Char.code (at 2))
+        else begin
+          let n = Int32.to_int (Bytes.get_int32_le t.buf (t.head + 4)) in
+          if n < 0 || n > max_payload then
+            fail t "payload length %d exceeds the cap" n
+          else if buffered t < header_size + n then Need_more
+          else begin
+            let s = Bytes.sub_string t.buf t.head (header_size + n) in
+            t.head <- t.head + header_size + n;
+            if t.head = t.tail then begin
+              t.head <- 0;
+              t.tail <- 0
+            end;
+            Frame s
+          end
+        end
+      end
+end

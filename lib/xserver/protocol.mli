@@ -104,6 +104,12 @@ val encode_request : request -> string
 
 val encode_response : response -> string
 
+val encode_response_iov : response -> string list
+(** The same frame as {!encode_response}, but as an iovec-style buffer
+    list — header and payload as separate slices, no concatenation copy
+    — for vectored writes ({!Xutil.Evloop.writev}).  Invariant:
+    [String.concat "" (encode_response_iov r) = encode_response r]. *)
+
 val decode_request : string -> (request, string) result
 (** Decodes one complete frame.  [Error msg] describes the first defect
     (bad magic, bad version, response opcode in a request, length lies,
@@ -132,3 +138,47 @@ val read_frame : Unix.file_descr -> (string, read_error) result
 val write_frame : Unix.file_descr -> string -> unit
 (** Writes the whole string, looping over partial writes.
     @raise Unix.Unix_error as the underlying writes do. *)
+
+(** {1 Incremental decoding}
+
+    The event-driven server (and any pipelining peer) cannot block for
+    a whole frame: bytes arrive whenever the socket has them, frames
+    end wherever the length prefix says.  {!Decoder} is the resumable
+    form of {!read_frame}: feed it whatever slice just arrived, then
+    pull zero or more complete frames out.  Defensive exactly like the
+    one-shot path — the header is validated the moment its 8 bytes are
+    buffered (a hostile length field never costs a payload allocation),
+    and no input of any shape raises. *)
+
+module Decoder : sig
+  type item =
+    | Need_more  (** no complete frame buffered; feed more bytes *)
+    | Frame of string
+        (** one complete frame, header included — exactly what
+            {!decode_request} / {!decode_response} consume and what the
+            blocking {!read_frame} would have returned *)
+    | Corrupt of string
+        (** bad magic, unknown version, or a length field beyond
+            {!max_payload}: the stream cannot be resynchronised.
+            Sticky — every later {!next} repeats it. *)
+
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed t buf off len] appends the slice.  Bytes fed after the
+      decoder turned [Corrupt] are discarded.
+      @raise Invalid_argument on an out-of-bounds slice (caller bug,
+      not wire input). *)
+
+  val feed_string : t -> string -> int -> int -> unit
+
+  val next : t -> item
+  (** Extract the next complete frame.  Call repeatedly until
+      [Need_more] — several frames fed in one slice (a pipelining
+      client) come out one by one, byte-for-byte in arrival order. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed as frames (partial frame tail). *)
+end

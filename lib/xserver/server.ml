@@ -1,14 +1,35 @@
 (* The query daemon.  See server.mli for the architecture overview.
 
-   Thread/domain layout:
-   - the accept thread (a systhread on the caller's domain) selects over
-     the listener sockets with a short tick so shutdown requests are
-     noticed promptly;
-   - one systhread per connection reads frames, dispatches, writes
-     responses.  Connection threads never execute queries themselves
-     (except on a 1-worker pool, where [Domain_pool.async] runs inline);
-   - [config.workers] worker domains execute queries pulled from the
-     pool's queue.
+   Thread/domain layout (event-driven core):
+   - [config.accept_shards] event-loop systhreads, each running an
+     {!Xutil.Evloop} (epoll where available).  Every loop owns a set of
+     connections outright: it accepts them, decodes their frames,
+     admits their queries and writes their responses.  Nothing about a
+     connection is ever touched from another loop;
+   - [config.workers] worker domains execute queries (and mutations,
+     reloads, health probes) pulled from the shared {!Xutil.Domain_pool}.
+     Workers never touch sockets: they fill the request's response slot
+     and post a completion to the owning loop, which {!Xutil.Evloop.wakeup}
+     nudges out of its wait;
+   - one coordinator systhread watches [stop_requested] and runs the
+     shutdown sequence (join loops, close listeners, unlink Unix socket
+     files, drain the pool).
+
+   Per-connection state machine (reading -> executing -> writing, all
+   three phases live at once under pipelining):
+   - readable: feed whatever arrived into the incremental
+     {!Protocol.Decoder}, then drain complete frames.  Each frame gets a
+     response {e slot} appended to the connection's FIFO; cheap ops
+     (ping, stats, unsupported) complete inline, queries are admitted
+     now (so [Overloaded] reflects true concurrency) and batched to the
+     pool, mutations ship to the pool individually;
+   - completion: a slot's response arrives (inline or posted by a
+     worker).  Responses are flushed strictly in slot order — a later
+     request finishing first waits for the head of the queue — which is
+     what makes pipelining transparent to clients;
+   - writable: encoded responses accumulate in an output queue of
+     iovec-style slices and leave in batched writev(2) calls; short
+     writes arm write-readiness and resume where the kernel stopped.
 
    Shared state and its discipline:
    - the served index is an [Atomic.t] of an immutable record: readers
@@ -16,10 +37,13 @@
      concurrent [Reload] can never tear a request across two indexes;
    - the plan cache, metrics registry and admission counter each carry
      their own mutex;
+   - a slot's response cell is an [Atomic.t]: the worker fills it, the
+     loop reads it — the completion post (mutex + wakeup) publishes it;
    - [stop_requested] is an [Atomic.t bool] so a signal handler can set
      it without taking locks. *)
 
 module Pool = Xutil.Domain_pool
+module Ev = Xutil.Evloop
 module P = Protocol
 
 type addr = Tcp of string * int | Unix_sock of string
@@ -59,6 +83,8 @@ type config = {
   default_timeout_ms : int;
   drain_timeout_s : float;
   debug_delay_ms : int;
+  accept_shards : int;
+  max_pipeline : int;
 }
 
 let default_config =
@@ -69,6 +95,8 @@ let default_config =
     default_timeout_ms = 0;
     drain_timeout_s = 5.0;
     debug_delay_ms = 0;
+    accept_shards = 1;
+    max_pipeline = 256;
   }
 
 (* What a request executes against: one [Atomic.get] pins the backend
@@ -94,6 +122,53 @@ type plan =
   | Plan_live of Xlog.prepared
   | Plan_shard of Xshard.prepared
 
+(* One pipelined request on one connection.  [sl_op = ""] marks a
+   framing-error slot (an error frame owed for input that never decoded
+   into a request; it counts as an error, not as a request). *)
+type slot = {
+  sl_op : string;
+  sl_t0 : float;
+  sl_resp : P.response option Atomic.t;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : P.Decoder.t;
+  c_slots : slot Queue.t;  (** responses owed, in request order *)
+  c_outq : string Queue.t;  (** encoded slices not yet accepted by the kernel *)
+  mutable c_out_off : int;  (** bytes of [Queue.peek c_outq] already written *)
+  mutable c_paused : bool;  (** reading paused: pipeline cap reached (or draining) *)
+  mutable c_want_read : bool;  (** interest bits currently registered *)
+  mutable c_want_write : bool;
+  mutable c_closed : bool;
+  mutable c_close_after_flush : bool;
+  c_loop : loop;
+}
+
+and loop = {
+  l_id : int;
+  l_ev : Ev.t;
+  l_listeners : Unix.file_descr list;
+  l_conns : (Unix.file_descr, conn) Hashtbl.t;
+  l_m : Mutex.t;  (** guards [l_compl] *)
+  mutable l_compl : conn list;  (** worker-posted completions, reversed *)
+  mutable l_exec : exec_item list;  (** queries admitted this tick, reversed *)
+  mutable l_draining : bool;
+  l_scratch : Bytes.t;
+}
+
+(* A query admitted at decode time, waiting to be micro-batched to the
+   pool at the end of the loop tick.  Batching matters on the write
+   path: a pipelined burst read in one recv becomes one pool handoff,
+   not one mutex/condvar round trip per frame. *)
+and exec_item = {
+  x_conn : conn;
+  x_slot : slot;
+  x_patterns : Xquery.Pattern.t array;
+  x_batch : bool;
+  x_deadline : float option;
+}
+
 type t = {
   config : config;
   mutable source : source; (* guarded by [reload_m] *)
@@ -111,10 +186,8 @@ type t = {
   mutable started : bool;
   mutable stopped : bool;
   mutable listeners : (Unix.file_descr * addr) list;
-  mutable accept_thread : Thread.t option;
-  conns : (int, Unix.file_descr) Hashtbl.t; (* guarded by state_m *)
-  mutable conn_seq : int;
-  mutable conn_threads : Thread.t list; (* guarded by state_m *)
+  mutable loops : loop array;
+  mutable coordinator : Thread.t option;
   reload_m : Mutex.t;
   started_at : float;
 }
@@ -133,6 +206,8 @@ let serving_of_source = function
 let create ?(config = default_config) source =
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
   if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
+  if config.accept_shards < 1 then invalid_arg "Server.create: accept_shards < 1";
+  if config.max_pipeline < 1 then invalid_arg "Server.create: max_pipeline < 1";
   {
     config;
     source;
@@ -148,10 +223,8 @@ let create ?(config = default_config) source =
     started = false;
     stopped = false;
     listeners = [];
-    accept_thread = None;
-    conns = Hashtbl.create 32;
-    conn_seq = 0;
-    conn_threads = [];
+    loops = [||];
+    coordinator = None;
     reload_m = Mutex.create ();
     started_at = Unix.gettimeofday ();
   }
@@ -168,17 +241,16 @@ let pending t =
 
 (* --- admission ------------------------------------------------------------- *)
 
+(* Admission happens on the loop thread at decode time — not when a
+   worker dequeues the job — so [max_pending] bounds true concurrency:
+   queued-but-unexecuted requests hold their permit and later arrivals
+   answer [Overloaded] immediately. *)
 let try_admit t =
   Mutex.lock t.adm_m;
   let ok = t.in_flight < t.config.max_pending in
   if ok then t.in_flight <- t.in_flight + 1;
   Mutex.unlock t.adm_m;
   ok
-
-let release t =
-  Mutex.lock t.adm_m;
-  t.in_flight <- t.in_flight - 1;
-  Mutex.unlock t.adm_m
 
 (* --- query execution ------------------------------------------------------- *)
 
@@ -239,26 +311,6 @@ let parse_xpath xpath =
   | exception Xquery.Xpath_parser.Syntax_error { pos; msg } ->
     Error (Printf.sprintf "%s at position %d in %S" msg pos xpath)
 
-(* Runs [f] on a pool worker and blocks the calling connection thread
-   until the result is back.  The job itself never raises (exceptions are
-   materialised into the slot), honouring the pool's job contract. *)
-let run_on_pool t f =
-  let m = Mutex.create () in
-  let cv = Condition.create () in
-  let slot = ref None in
-  Pool.async t.pool (fun () ->
-      let r = match f () with v -> Ok v | exception e -> Error e in
-      Mutex.lock m;
-      slot := Some r;
-      Condition.signal cv;
-      Mutex.unlock m);
-  Mutex.lock m;
-  while Option.is_none !slot do
-    Condition.wait cv m
-  done;
-  Mutex.unlock m;
-  match Option.get !slot with Ok v -> v | Error e -> raise e
-
 let err code fmt =
   Printf.ksprintf (fun message -> P.Error { code; message }) fmt
 
@@ -273,40 +325,6 @@ let deadline_of t timeout_ms =
 let expired = function
   | Some d -> Unix.gettimeofday () > d
   | None -> false
-
-let exec_queries t ~timeout_ms (xpaths : string array) :
-    (int * int list array, P.response) result =
-  (* Parse before admission: a malformed query is a [Bad_request], not
-     load. *)
-  let patterns = Array.map parse_xpath xpaths in
-  match
-    Array.find_map (function Error m -> Some m | Ok _ -> None) patterns
-  with
-  | Some m -> Error (err P.Bad_request "%s" m)
-  | None ->
-    let patterns =
-      Array.map (function Ok p -> p | Error _ -> assert false) patterns
-    in
-    if not (try_admit t) then
-      Error
-        (err P.Overloaded "server at capacity (%d requests in flight)"
-           t.config.max_pending)
-    else
-      Fun.protect ~finally:(fun () -> release t)
-        (fun () ->
-          let deadline = deadline_of t timeout_ms in
-          run_on_pool t (fun () ->
-              if t.config.debug_delay_ms > 0 then
-                Thread.delay (float_of_int t.config.debug_delay_ms /. 1000.);
-              if expired deadline then
-                Error (err P.Timeout "deadline expired before execution")
-              else begin
-                let sv = Atomic.get t.serving in
-                let stats = Xquery.Matcher.create_stats () in
-                let ids = Array.map (answer_pattern t sv stats) patterns in
-                Metrics.merge_matcher t.metrics stats;
-                Ok (serving_gen sv, ids)
-              end))
 
 (* --- reload ---------------------------------------------------------------- *)
 
@@ -406,6 +424,10 @@ let stats_json t =
             degraded reason );
       ]
   in
+  let event_backend =
+    if Array.length t.loops > 0 then Ev.backend_name t.loops.(0).l_ev
+    else "none"
+  in
   Metrics.to_json
     ~extra:
       ([
@@ -415,6 +437,8 @@ let stats_json t =
         ("pending", string_of_int (pending t));
         ("max_pending", string_of_int t.config.max_pending);
         ("workers", string_of_int t.config.workers);
+        ("accept_shards", string_of_int (max 1 t.config.accept_shards));
+        ("event_backend", Printf.sprintf "%S" event_backend);
         ( "plan_cache",
           Printf.sprintf
             "{\"capacity\": %d, \"entries\": %d, \"hits\": %d, \"misses\": \
@@ -430,7 +454,7 @@ let stats_json t =
       @ live_extra)
     t.metrics
 
-(* --- dispatch -------------------------------------------------------------- *)
+(* --- non-query dispatch ---------------------------------------------------- *)
 
 (* The two mutable backends behind one face for the Insert/Delete/Flush
    arms.  [Xshard.Shard_down] maps to the same wire code as [Degraded]:
@@ -458,338 +482,669 @@ let live_generation = function
   | L_log log -> Xlog.generation log
   | L_shard sh -> Xshard.generation sh
 
-let dispatch t (req : P.request) : string * P.response =
+let op_name : P.request -> string = function
+  | P.Ping -> "ping"
+  | P.Query _ -> "query"
+  | P.Query_batch _ -> "query_batch"
+  | P.Stats -> "stats"
+  | P.Reload _ -> "reload"
+  | P.Insert _ -> "insert"
+  | P.Delete _ -> "delete"
+  | P.Flush -> "flush"
+  | P.Health -> "health"
+  | P.Unknown _ -> "unknown"
+
+(* Everything except queries (which go through admission + the batched
+   exec path) and the inline ops.  Runs on a pool worker. *)
+let run_op t (req : P.request) : P.response =
   match req with
-  | P.Ping -> ("ping", P.Pong)
-  | P.Stats -> ("stats", P.Stats_json (stats_json t))
+  | P.Ping -> P.Pong
+  | P.Stats -> P.Stats_json (stats_json t)
+  | P.Query _ | P.Query_batch _ ->
+    (* routed through [dispatch_query], never here *)
+    err P.Server_error "internal: query reached run_op"
   | P.Reload path ->
-    ( "reload",
-      (match reload ?path t with
-       | gen -> P.Reloaded { generation = gen }
-       | exception Xlog.Degraded reason ->
-         err P.Degraded "store is read-only: %s" reason
-       | exception e ->
-         err P.Server_error "reload failed: %s" (Printexc.to_string e)) )
-  | P.Query { xpath; timeout_ms } ->
-    ( "query",
-      (match exec_queries t ~timeout_ms [| xpath |] with
-       | Ok (generation, ids) -> P.Result { generation; ids = ids.(0) }
-       | Error e -> e
-       | exception e ->
-         err P.Server_error "%s" (Printexc.to_string e)) )
-  | P.Query_batch { xpaths; timeout_ms } ->
-    ( "query_batch",
-      (match exec_queries t ~timeout_ms xpaths with
-       | Ok (generation, ids) -> P.Batch_result { generation; ids }
-       | Error e -> e
-       | exception e ->
-         err P.Server_error "%s" (Printexc.to_string e)) )
-  (* Mutations run on the connection thread: the write path is a WAL
-     append under the store's writer lock (plus an occasional bounded
-     memtable seal), so shipping it to a worker domain would only add a
-     handoff to the serialisation already imposed by the log. *)
+    (match reload ?path t with
+     | gen -> P.Reloaded { generation = gen }
+     | exception Xlog.Degraded reason ->
+       err P.Degraded "store is read-only: %s" reason
+     | exception e ->
+       err P.Server_error "reload failed: %s" (Printexc.to_string e))
   | P.Insert { xml } ->
-    ( "insert",
-      (match live_store t with
-       | None -> err P.Bad_request "server is not serving a live store"
-       | Some lb ->
-         (match Xmlcore.Xml_parser.parse_string xml with
-          | doc ->
-            (match live_insert lb doc with
-             | id -> P.Inserted { id }
-             | exception Xlog.Degraded reason ->
-               err P.Degraded "store is read-only: %s" reason
-             | exception Xshard.Shard_down (i, reason) ->
-               err P.Degraded "shard %d is down: %s" i reason
-             | exception e ->
-               err P.Server_error "insert failed: %s" (Printexc.to_string e))
-          | exception Xmlcore.Xml_parser.Parse_error { pos; line; msg } ->
-            err P.Bad_request "XML parse error at line %d (byte %d): %s" line
-              pos msg)) )
+    (match live_store t with
+     | None -> err P.Bad_request "server is not serving a live store"
+     | Some lb ->
+       (match Xmlcore.Xml_parser.parse_string xml with
+        | doc ->
+          (match live_insert lb doc with
+           | id -> P.Inserted { id }
+           | exception Xlog.Degraded reason ->
+             err P.Degraded "store is read-only: %s" reason
+           | exception Xshard.Shard_down (i, reason) ->
+             err P.Degraded "shard %d is down: %s" i reason
+           | exception e ->
+             err P.Server_error "insert failed: %s" (Printexc.to_string e))
+        | exception Xmlcore.Xml_parser.Parse_error { pos; line; msg } ->
+          err P.Bad_request "XML parse error at line %d (byte %d): %s" line
+            pos msg))
   | P.Delete { id } ->
-    ( "delete",
-      (match live_store t with
-       | None -> err P.Bad_request "server is not serving a live store"
-       | Some lb ->
-         (match live_remove lb id with
-          | existed -> P.Deleted { existed }
-          | exception Xlog.Degraded reason ->
-            err P.Degraded "store is read-only: %s" reason
-          | exception Xshard.Shard_down (i, reason) ->
-            err P.Degraded "shard %d is down: %s" i reason
-          | exception e ->
-            err P.Server_error "delete failed: %s" (Printexc.to_string e))) )
+    (match live_store t with
+     | None -> err P.Bad_request "server is not serving a live store"
+     | Some lb ->
+       (match live_remove lb id with
+        | existed -> P.Deleted { existed }
+        | exception Xlog.Degraded reason ->
+          err P.Degraded "store is read-only: %s" reason
+        | exception Xshard.Shard_down (i, reason) ->
+          err P.Degraded "shard %d is down: %s" i reason
+        | exception e ->
+          err P.Server_error "delete failed: %s" (Printexc.to_string e)))
   | P.Flush ->
-    ( "flush",
-      (match live_store t with
-       | None -> err P.Bad_request "server is not serving a live store"
-       | Some lb ->
-         (match live_flush lb with
-          | () -> P.Flushed { generation = live_generation lb }
-          | exception Xlog.Degraded reason ->
-            err P.Degraded "store is read-only: %s" reason
-          | exception Xshard.Shard_down (i, reason) ->
-            err P.Degraded "shard %d is down: %s" i reason
-          | exception e ->
-            err P.Server_error "flush failed: %s" (Printexc.to_string e))) )
+    (match live_store t with
+     | None -> err P.Bad_request "server is not serving a live store"
+     | Some lb ->
+       (match live_flush lb with
+        | () -> P.Flushed { generation = live_generation lb }
+        | exception Xlog.Degraded reason ->
+          err P.Degraded "store is read-only: %s" reason
+        | exception Xshard.Shard_down (i, reason) ->
+          err P.Degraded "shard %d is down: %s" i reason
+        | exception e ->
+          err P.Server_error "flush failed: %s" (Printexc.to_string e)))
   | P.Health ->
-    ( "health",
-      (let sv = Atomic.get t.serving in
-       match sv.backend with
-       | B_index index ->
-         P.Health_status
-           {
-             degraded = false;
-             reason = "";
-             generation = sv.gen;
-             doc_count = Xseq.doc_count index;
-           }
-       | B_live log ->
-         (* The health probe doubles as the recovery probe: if the store
-            is degraded, test the disk and re-arm the write path when it
-            has healed — so operators watching Health see the recovery
-            happen without waiting for the next write attempt. *)
-         (match Xlog.degraded_reason log with
-          | Some _ -> ignore (Xlog.try_recover log : bool)
-          | None -> ());
-         let degraded, reason =
-           match Xlog.degraded_reason log with
-           | Some reason -> (true, reason)
-           | None -> (false, "")
-         in
-         P.Health_status
-           {
-             degraded;
-             reason;
-             generation = Xlog.generation log;
-             doc_count = Xlog.doc_count log;
-           }
-       | B_shard sh ->
-         (* Same probe-on-health contract, per shard: degraded shards
-            get a disk probe, down shards a re-open attempt, so watching
-            Health heals whatever healed underneath.  The report is
-            degraded as soon as any single shard refuses writes — the
-            reason names them all. *)
-         (match Xshard.degraded_shards sh with
-          | [] -> ()
-          | _ -> ignore (Xshard.try_recover sh : bool));
-         let degraded, reason =
-           match Xshard.degraded_shards sh with
-           | [] -> (false, "")
-           | l ->
-             ( true,
-               String.concat "; "
-                 (List.map
-                    (fun (i, r) -> Printf.sprintf "shard %d: %s" i r)
-                    l) )
-         in
-         P.Health_status
-           {
-             degraded;
-             reason;
-             generation = Xshard.generation sh;
-             doc_count = Xshard.doc_count sh;
-           }) )
+    (let sv = Atomic.get t.serving in
+     match sv.backend with
+     | B_index index ->
+       P.Health_status
+         {
+           degraded = false;
+           reason = "";
+           generation = sv.gen;
+           doc_count = Xseq.doc_count index;
+         }
+     | B_live log ->
+       (* The health probe doubles as the recovery probe: if the store
+          is degraded, test the disk and re-arm the write path when it
+          has healed — so operators watching Health see the recovery
+          happen without waiting for the next write attempt. *)
+       (match Xlog.degraded_reason log with
+        | Some _ -> ignore (Xlog.try_recover log : bool)
+        | None -> ());
+       let degraded, reason =
+         match Xlog.degraded_reason log with
+         | Some reason -> (true, reason)
+         | None -> (false, "")
+       in
+       P.Health_status
+         {
+           degraded;
+           reason;
+           generation = Xlog.generation log;
+           doc_count = Xlog.doc_count log;
+         }
+     | B_shard sh ->
+       (* Same probe-on-health contract, per shard: degraded shards
+          get a disk probe, down shards a re-open attempt, so watching
+          Health heals whatever healed underneath.  The report is
+          degraded as soon as any single shard refuses writes — the
+          reason names them all. *)
+       (match Xshard.degraded_shards sh with
+        | [] -> ()
+        | _ -> ignore (Xshard.try_recover sh : bool));
+       let degraded, reason =
+         match Xshard.degraded_shards sh with
+         | [] -> (false, "")
+         | l ->
+           ( true,
+             String.concat "; "
+               (List.map
+                  (fun (i, r) -> Printf.sprintf "shard %d: %s" i r)
+                  l) )
+       in
+       P.Health_status
+         {
+           degraded;
+           reason;
+           generation = Xshard.generation sh;
+           doc_count = Xshard.doc_count sh;
+         })
   | P.Unknown { op } ->
-    ( "unknown",
-      err P.Unsupported "request opcode 0x%02x is not supported by this server"
-        op )
+    err P.Unsupported "request opcode 0x%02x is not supported by this server"
+      op
 
-(* --- connection handling --------------------------------------------------- *)
+(* --- connection state machine ---------------------------------------------- *)
 
-let tick = 0.25 (* seconds between stop-flag checks in blocking loops *)
+let tick_ms = 250 (* loop wait bound so the stop flag is noticed promptly *)
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let send_response t fd resp =
-  let frame = P.encode_response resp in
-  Metrics.add_bytes t.metrics ~received:0 ~sent:(String.length frame);
-  (match resp with
-   | P.Error { code; _ } ->
-     Metrics.record_error t.metrics ~code:(P.error_code_to_string code)
-   | _ -> ());
-  P.write_frame fd frame
+let close_conn t c =
+  if not c.c_closed then begin
+    c.c_closed <- true;
+    Ev.remove c.c_loop.l_ev c.c_fd;
+    Hashtbl.remove c.c_loop.l_conns c.c_fd;
+    close_quietly c.c_fd;
+    (* Workers still owing completions for this connection post into the
+       loop as usual; the flush path sees [c_closed] and drops them.
+       Their admission permits were released by the worker already. *)
+    Metrics.connection_closed t.metrics
+  end
 
-(* Waits until [fd] is readable, checking the stop flag every [tick]; a
-   server shutting down stops waiting for the next request (in-flight
-   requests were already answered by the time we are back here). *)
-let rec wait_readable t fd =
-  if Atomic.get t.stop_requested then `Stop
-  else
-    match Unix.select [ fd ] [] [] tick with
-    | [], _, _ -> wait_readable t fd
-    | _ :: _, _, _ -> `Readable
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable t fd
-    | exception Unix.Unix_error (Unix.EBADF, _, _) -> `Stop
-
-let handle_connection t fd =
-  Metrics.connection_opened t.metrics;
-  let rec loop () =
-    match wait_readable t fd with
-    | `Stop -> ()
-    | `Readable ->
-      (match P.read_frame fd with
-       | Error P.Eof -> ()
-       | Error P.Truncated ->
-         (* The peer died mid-frame; nobody is listening for an error. *)
-         ()
-       | Error (P.Bad_header msg) ->
-         (* Garbage or an oversized length field: answer an error frame
-            (best effort — the peer may be gone) and drop the connection;
-            the stream cannot be resynchronised. *)
-         (try send_response t fd (err P.Bad_request "bad frame: %s" msg)
-          with Unix.Unix_error _ -> ())
-       | Ok frame ->
-         Metrics.add_bytes t.metrics ~received:(String.length frame) ~sent:0;
-         (match P.decode_request frame with
-          | Error msg ->
-            (try send_response t fd (err P.Bad_request "bad frame: %s" msg)
-             with Unix.Unix_error _ -> ())
-          | Ok req ->
-            let t0 = Unix.gettimeofday () in
-            let op, resp = dispatch t req in
-            Metrics.record_request t.metrics ~op
-              ~latency_s:(Unix.gettimeofday () -. t0);
-            (match send_response t fd resp with
-             | () -> loop ()
-             | exception Unix.Unix_error _ -> ())))
-  in
-  (try loop () with _ -> ());
-  close_quietly fd;
-  Metrics.connection_closed t.metrics
-
-(* --- accept loop / lifecycle ---------------------------------------------- *)
-
-let register_conn t fd =
-  Mutex.lock t.state_m;
-  let id = t.conn_seq in
-  t.conn_seq <- id + 1;
-  Hashtbl.replace t.conns id fd;
-  Mutex.unlock t.state_m;
-  id
-
-let unregister_conn t id =
-  Mutex.lock t.state_m;
-  Hashtbl.remove t.conns id;
-  Condition.broadcast t.state_cv;
-  Mutex.unlock t.state_m
-
-let spawn_connection t fd =
-  let id = register_conn t fd in
-  let th =
-    Thread.create
-      (fun () ->
-        Fun.protect
-          ~finally:(fun () -> unregister_conn t id)
-          (fun () -> handle_connection t fd))
-      ()
-  in
-  Mutex.lock t.state_m;
-  t.conn_threads <- th :: t.conn_threads;
-  Mutex.unlock t.state_m
-
-let shutdown_sequence t =
-  (* 1. Stop accepting: close every listener. *)
-  List.iter (fun (fd, _) -> close_quietly fd) t.listeners;
-  (* 2. Drain: connection threads notice [stop_requested] at their next
-     tick and exit once their current request is answered.  Bounded by
-     [drain_timeout_s]; stragglers get their sockets shut down under
-     them, which turns their blocking reads into EOF. *)
-  let deadline = Unix.gettimeofday () +. t.config.drain_timeout_s in
-  let rec drain () =
-    Mutex.lock t.state_m;
-    let n = Hashtbl.length t.conns in
-    Mutex.unlock t.state_m;
-    if n > 0 && Unix.gettimeofday () < deadline then begin
-      Thread.delay 0.02;
-      drain ()
+(* Keeps the kernel's interest set in sync with the state machine; only
+   issues the syscall when the bits actually changed. *)
+let update_interest c =
+  if not c.c_closed then begin
+    let read = not c.c_paused && not c.c_close_after_flush in
+    let write = not (Queue.is_empty c.c_outq) in
+    if read <> c.c_want_read || write <> c.c_want_write then begin
+      c.c_want_read <- read;
+      c.c_want_write <- write;
+      try Ev.modify c.c_loop.l_ev c.c_fd ~read ~write
+      with Unix.Unix_error _ -> ()
     end
+  end
+
+(* Vectored write of whatever is queued.  Under an active fault
+   injector the batched writev is bypassed — each slice goes through
+   the {!Xfault.Io} shim one at a time, so schedules targeting [Send]
+   still see every server-side socket write. *)
+let send_parts fd (parts : (string * int * int) array) =
+  match Xfault.active () with
+  | None ->
+    Ev.writev fd
+      (Array.map (fun (s, off, len) -> (Bytes.unsafe_of_string s, off, len))
+         parts)
+  | Some _ ->
+    let s, off, len = parts.(0) in
+    Xfault.Io.send_substring fd s off len
+
+let collect_parts c =
+  let parts = ref [] and n = ref 0 in
+  (try
+     Queue.iter
+       (fun s ->
+         if !n >= Ev.iov_max then raise Exit;
+         let off = if !n = 0 then c.c_out_off else 0 in
+         parts := (s, off, String.length s - off) :: !parts;
+         incr n)
+       c.c_outq
+   with Exit -> ());
+  Array.of_list (List.rev !parts)
+
+let advance_outq c n =
+  let left = ref n in
+  while !left > 0 do
+    let head = Queue.peek c.c_outq in
+    let avail = String.length head - c.c_out_off in
+    if !left >= avail then begin
+      ignore (Queue.pop c.c_outq : string);
+      c.c_out_off <- 0;
+      left := !left - avail
+    end
+    else begin
+      c.c_out_off <- c.c_out_off + !left;
+      left := 0
+    end
+  done
+
+(* Writes as much of the output queue as the kernel takes right now;
+   a short write leaves the rest for the next write-readiness event. *)
+let try_write t c =
+  if not c.c_closed then begin
+    let rec go () =
+      if Queue.is_empty c.c_outq then begin
+        if c.c_close_after_flush && Queue.is_empty c.c_slots then
+          close_conn t c
+      end
+      else begin
+        let parts = collect_parts c in
+        let want = Array.fold_left (fun a (_, _, l) -> a + l) 0 parts in
+        match send_parts c.c_fd parts with
+        | n ->
+          advance_outq c n;
+          if n >= want then go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> close_conn t c
+      end
+    in
+    go ();
+    update_interest c
+  end
+
+(* In-order response delivery: flush slots from the head of the queue
+   for as long as their responses have arrived.  A later request that
+   finished early sits behind the head — pipelining stays transparent.
+   Encoded slices go to the output queue; the caller decides when to
+   hit the socket ([try_write]), so a burst of completions becomes one
+   writev. *)
+let rec flush_ready t c =
+  if not c.c_closed then begin
+    let continue = ref true in
+    while
+      !continue
+      && (not (Queue.is_empty c.c_slots))
+      && Atomic.get (Queue.peek c.c_slots).sl_resp <> None
+    do
+      let slot = Queue.pop c.c_slots in
+      match Atomic.get slot.sl_resp with
+      | None -> continue := false (* unreachable: checked above *)
+      | Some resp ->
+        if slot.sl_op <> "" then
+          Metrics.record_request t.metrics ~op:slot.sl_op
+            ~latency_s:(Unix.gettimeofday () -. slot.sl_t0);
+        (match resp with
+         | P.Error { code; _ } ->
+           Metrics.record_error t.metrics ~code:(P.error_code_to_string code)
+         | _ -> ());
+        let parts = P.encode_response_iov resp in
+        Metrics.add_bytes t.metrics ~received:0
+          ~sent:(List.fold_left (fun a s -> a + String.length s) 0 parts);
+        List.iter (fun s -> Queue.push s c.c_outq) parts
+    done;
+    (* The pipeline cap may have cleared: resume reading (frames may
+       already be buffered in the decoder). *)
+    if
+      c.c_paused
+      && (not c.c_loop.l_draining)
+      && Queue.length c.c_slots < t.config.max_pipeline
+    then begin
+      c.c_paused <- false;
+      drain_frames t c
+    end
+  end
+
+and complete t c slot resp =
+  Atomic.set slot.sl_resp (Some resp);
+  flush_ready t c
+
+(* Pull complete frames out of the decoder and open a slot for each.
+   Stops at the pipeline cap (reading resumes as responses flush) and
+   on corrupt input (answer one error frame, then close once it has
+   been written — the stream cannot be resynchronised). *)
+and drain_frames t c =
+  let rec go () =
+    if c.c_closed || c.c_close_after_flush then ()
+    else if Queue.length c.c_slots >= t.config.max_pipeline then
+      c.c_paused <- true
+    else
+      match P.Decoder.next c.c_dec with
+      | P.Decoder.Need_more -> ()
+      | P.Decoder.Corrupt msg ->
+        let slot =
+          { sl_op = ""; sl_t0 = Unix.gettimeofday ();
+            sl_resp = Atomic.make None }
+        in
+        Queue.push slot c.c_slots;
+        c.c_close_after_flush <- true;
+        complete t c slot (err P.Bad_request "bad frame: %s" msg)
+      | P.Decoder.Frame frame ->
+        Metrics.add_bytes t.metrics ~received:(String.length frame) ~sent:0;
+        handle_frame t c frame;
+        go ()
   in
-  drain ();
-  Mutex.lock t.state_m;
-  let stragglers = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
-  let threads = t.conn_threads in
-  t.conn_threads <- [];
-  Mutex.unlock t.state_m;
+  go ()
+
+and handle_frame t c frame =
+  let new_slot op =
+    let s =
+      { sl_op = op; sl_t0 = Unix.gettimeofday (); sl_resp = Atomic.make None }
+    in
+    Queue.push s c.c_slots;
+    s
+  in
+  match P.decode_request frame with
+  | Error msg ->
+    (* A well-framed payload that does not decode: answer and drop the
+       connection, exactly like the blocking server did. *)
+    let slot = new_slot "" in
+    c.c_close_after_flush <- true;
+    complete t c slot (err P.Bad_request "bad frame: %s" msg)
+  | Ok req -> (
+    match req with
+    | P.Ping -> complete t c (new_slot "ping") P.Pong
+    | P.Stats -> complete t c (new_slot "stats") (P.Stats_json (stats_json t))
+    | P.Unknown { op } ->
+      complete t c (new_slot "unknown")
+        (err P.Unsupported
+           "request opcode 0x%02x is not supported by this server" op)
+    | P.Query { xpath; timeout_ms } ->
+      dispatch_query t c ~timeout_ms ~batch:false [| xpath |]
+    | P.Query_batch { xpaths; timeout_ms } ->
+      dispatch_query t c ~timeout_ms ~batch:true xpaths
+    | P.Reload _ | P.Insert _ | P.Delete _ | P.Flush | P.Health ->
+      (* Mutations, reloads and health probes do real disk work; they
+         run on a worker so the loop never blocks.  Pipelined requests
+         behind them may execute concurrently — responses still flush
+         in order. *)
+      let slot = new_slot (op_name req) in
+      Pool.async t.pool (fun () ->
+          let resp =
+            try run_op t req
+            with e -> err P.Server_error "%s" (Printexc.to_string e)
+          in
+          post t c slot resp))
+
+and dispatch_query t c ~timeout_ms ~batch xpaths =
+  let op = if batch then "query_batch" else "query" in
+  let slot =
+    { sl_op = op; sl_t0 = Unix.gettimeofday (); sl_resp = Atomic.make None }
+  in
+  Queue.push slot c.c_slots;
+  (* Parse before admission: a malformed query is a [Bad_request], not
+     load. *)
+  let patterns = Array.map parse_xpath xpaths in
+  match
+    Array.find_map (function Error m -> Some m | Ok _ -> None) patterns
+  with
+  | Some m -> complete t c slot (err P.Bad_request "%s" m)
+  | None ->
+    let patterns =
+      Array.map (function Ok p -> p | Error _ -> assert false) patterns
+    in
+    if not (try_admit t) then
+      complete t c slot
+        (err P.Overloaded "server at capacity (%d requests in flight)"
+           t.config.max_pending)
+    else begin
+      let deadline = deadline_of t timeout_ms in
+      c.c_loop.l_exec <-
+        { x_conn = c; x_slot = slot; x_patterns = patterns; x_batch = batch;
+          x_deadline = deadline }
+        :: c.c_loop.l_exec
+    end
+
+(* Worker side: fill the slot, post the completion, wake the loop. *)
+and post t c slot resp =
+  ignore t;
+  Atomic.set slot.sl_resp (Some resp);
+  let l = c.c_loop in
+  Mutex.lock l.l_m;
+  l.l_compl <- c :: l.l_compl;
+  Mutex.unlock l.l_m;
+  Ev.wakeup l.l_ev
+
+(* Executes one chunk of admitted queries.  Per-response costs are
+   amortised over the chunk: matcher stats merge once, admission
+   permits release once, and completions post with one mutex round and
+   one wakeup per loop — not one per query (a pipelined burst would
+   otherwise pay an eventfd write per response). *)
+let run_exec t items =
+  let stats = Xquery.Matcher.create_stats () in
   List.iter
-    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-    stragglers;
-  List.iter (fun th -> try Thread.join th with _ -> ()) threads;
-  (* 3. Unlink Unix socket files so a clean shutdown leaves nothing
-     behind (the CI smoke checks exactly this). *)
+    (fun x ->
+      let resp =
+        try
+          if t.config.debug_delay_ms > 0 then
+            Thread.delay (float_of_int t.config.debug_delay_ms /. 1000.);
+          if expired x.x_deadline then
+            err P.Timeout "deadline expired before execution"
+          else begin
+            let sv = Atomic.get t.serving in
+            let ids = Array.map (answer_pattern t sv stats) x.x_patterns in
+            let generation = serving_gen sv in
+            if x.x_batch then P.Batch_result { generation; ids }
+            else P.Result { generation; ids = ids.(0) }
+          end
+        with e -> err P.Server_error "%s" (Printexc.to_string e)
+      in
+      Atomic.set x.x_slot.sl_resp (Some resp))
+    items;
+  Metrics.merge_matcher t.metrics stats;
+  Mutex.lock t.adm_m;
+  t.in_flight <- t.in_flight - List.length items;
+  Mutex.unlock t.adm_m;
+  let rec post_all = function
+    | [] -> ()
+    | x :: _ as l ->
+      let loop = x.x_conn.c_loop in
+      let mine, others =
+        List.partition (fun y -> y.x_conn.c_loop == loop) l
+      in
+      Mutex.lock loop.l_m;
+      List.iter (fun y -> loop.l_compl <- y.x_conn :: loop.l_compl) mine;
+      Mutex.unlock loop.l_m;
+      Ev.wakeup loop.l_ev;
+      post_all others
+  in
+  post_all items
+
+(* Ship this tick's admitted queries to the pool in a few chunks:
+   enough jobs to spread over the worker domains, big enough that a
+   pipelined burst does not pay one handoff per frame. *)
+let submit_exec t l =
+  match l.l_exec with
+  | [] -> ()
+  | items ->
+    l.l_exec <- [];
+    let items = List.rev items in
+    let n = List.length items in
+    let chunk_size =
+      max 1 (min 32 ((n + t.config.workers - 1) / t.config.workers))
+    in
+    let rec ship = function
+      | [] -> ()
+      | rest ->
+        let chunk = List.filteri (fun i _ -> i < chunk_size) rest in
+        let rest' = List.filteri (fun i _ -> i >= chunk_size) rest in
+        Pool.async t.pool (fun () -> run_exec t chunk);
+        ship rest'
+    in
+    ship items
+
+let drain_completions t l =
+  Mutex.lock l.l_m;
+  let compl = l.l_compl in
+  l.l_compl <- [];
+  Mutex.unlock l.l_m;
+  (* Reverse for FIFO fairness; flush_ready is idempotent, so a
+     connection posted twice just flushes once and no-ops after. *)
+  List.iter
+    (fun c -> if not c.c_closed then (flush_ready t c; try_write t c))
+    (List.rev compl)
+
+let conn_read t c =
+  let scratch = c.c_loop.l_scratch in
+  let cap = Bytes.length scratch in
+  let rec go budget =
+    if budget > 0 then
+      match Xfault.Io.recv c.c_fd scratch 0 cap with
+      | 0 -> close_conn t c
+      | n ->
+        P.Decoder.feed c.c_dec scratch 0 n;
+        drain_frames t c;
+        if
+          (not c.c_closed) && (not c.c_paused)
+          && (not c.c_close_after_flush)
+          && n = cap
+        then go (budget - 1)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go budget
+      | exception Unix.Unix_error _ -> close_conn t c
+      | exception _ -> close_conn t c
+  in
+  go 4;
+  (* One socket write for everything this readiness produced: inline
+     completions and any worker responses that flushed meanwhile. *)
+  if not c.c_closed then try_write t c
+
+(* --- accept / event loops -------------------------------------------------- *)
+
+let accept_burst t l lfd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true lfd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      (* No-op (EOPNOTSUPP) on Unix-domain sockets. *)
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      let c =
+        {
+          c_fd = fd;
+          c_dec = P.Decoder.create ();
+          c_slots = Queue.create ();
+          c_outq = Queue.create ();
+          c_out_off = 0;
+          c_paused = false;
+          c_want_read = true;
+          c_want_write = false;
+          c_closed = false;
+          c_close_after_flush = false;
+          c_loop = l;
+        }
+      in
+      (match Ev.add l.l_ev fd ~read:true ~write:false with
+       | () ->
+         Hashtbl.replace l.l_conns fd c;
+         Metrics.connection_opened t.metrics
+       | exception Unix.Unix_error _ -> close_quietly fd)
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR),
+           _, _) ->
+      (* EAGAIN includes losing the race for a shared listener to a
+         sibling loop — both are "nothing to accept right now". *)
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* Answer everything already owed — decoded requests and queued output
+   — bounded by [drain_timeout_s], then close what is left. *)
+let loop_drain t l =
+  l.l_draining <- true;
+  Hashtbl.iter
+    (fun _ c ->
+      if not c.c_closed then begin
+        c.c_paused <- true;
+        update_interest c
+      end)
+    l.l_conns;
+  List.iter (fun fd -> Ev.remove l.l_ev fd) l.l_listeners;
+  submit_exec t l;
+  let owed () =
+    Hashtbl.fold
+      (fun _ c acc ->
+        acc || not (Queue.is_empty c.c_slots && Queue.is_empty c.c_outq))
+      l.l_conns false
+  in
+  let deadline = Unix.gettimeofday () +. t.config.drain_timeout_s in
+  while owed () && Unix.gettimeofday () < deadline do
+    let evs = Ev.wait l.l_ev ~timeout_ms:50 in
+    drain_completions t l;
+    List.iter
+      (fun (ev : Ev.event) ->
+        match Hashtbl.find_opt l.l_conns ev.Ev.fd with
+        | Some c when (not c.c_closed) && ev.Ev.writable -> try_write t c
+        | _ -> ())
+      evs
+  done;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) l.l_conns [] in
+  List.iter (fun c -> close_conn t c) conns
+
+let loop_run t l =
+  while not (Atomic.get t.stop_requested) do
+    (try
+       let evs = Ev.wait l.l_ev ~timeout_ms:tick_ms in
+       drain_completions t l;
+       List.iter
+         (fun (ev : Ev.event) ->
+           if List.mem ev.Ev.fd l.l_listeners then begin
+             if ev.Ev.readable then accept_burst t l ev.Ev.fd
+           end
+           else
+             match Hashtbl.find_opt l.l_conns ev.Ev.fd with
+             | None -> ()
+             | Some c ->
+               if ev.Ev.writable && not c.c_closed then try_write t c;
+               if ev.Ev.readable && not c.c_closed then conn_read t c)
+         evs;
+       submit_exec t l
+     with e ->
+       (* A loop must never die under a connection: drop the tick and
+          carry on (individual connection errors close only that
+          connection; anything else reaching here is a bug we survive). *)
+       ignore e)
+  done;
+  loop_drain t l
+
+(* --- lifecycle ------------------------------------------------------------- *)
+
+let bind_tcp ~reuseport host port =
+  let inet =
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+       with Not_found -> Unix.inet_addr_loopback)
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     if reuseport then Unix.setsockopt fd Unix.SO_REUSEPORT true;
+     Unix.bind fd (Unix.ADDR_INET (inet, port));
+     Unix.listen fd 128;
+     Unix.set_nonblock fd
+   with e ->
+     close_quietly fd;
+     raise e);
+  fd
+
+let bind_unix path =
+  (* A previous unclean shutdown may have left the socket file; binding
+     over it is the operator-friendly behaviour. *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 128;
+     Unix.set_nonblock fd
+   with e ->
+     close_quietly fd;
+     raise e);
+  fd
+
+let request_stop t =
+  Atomic.set t.stop_requested true;
+  (* Nudge every loop out of its wait; safe from a signal handler. *)
+  Array.iter (fun l -> Ev.wakeup l.l_ev) t.loops
+
+let coordinator_run t loop_threads =
+  while not (Atomic.get t.stop_requested) do
+    Thread.delay 0.05
+  done;
+  Array.iter (fun l -> Ev.wakeup l.l_ev) t.loops;
+  List.iter (fun th -> try Thread.join th with _ -> ()) loop_threads;
+  (* Loops are gone: stop accepting, remove Unix socket files so a
+     clean shutdown leaves nothing behind. *)
+  List.iter (fun (fd, _) -> close_quietly fd) t.listeners;
   List.iter
     (fun (_, addr) ->
       match addr with
       | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
       | Tcp _ -> ())
     t.listeners;
-  (* 4. Let in-pool work finish and join the worker domains. *)
+  (* Let in-pool work finish and join the worker domains; workers may
+     still post completions until here, so the loops' event fds close
+     only after the pool is down. *)
   Pool.shutdown t.pool;
+  Array.iter (fun l -> Ev.close l.l_ev) t.loops;
   Mutex.lock t.state_m;
   t.stopped <- true;
   Condition.broadcast t.state_cv;
   Mutex.unlock t.state_m
-
-let accept_loop t =
-  let fds = List.map fst t.listeners in
-  let rec loop () =
-    if Atomic.get t.stop_requested then ()
-    else begin
-      (match Unix.select fds [] [] tick with
-       | ready, _, _ ->
-         List.iter
-           (fun lfd ->
-             match Unix.accept ~cloexec:true lfd with
-             | fd, _ -> spawn_connection t fd
-             | exception
-                 Unix.Unix_error
-                   ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
-               ()
-             | exception Unix.Unix_error (Unix.EBADF, _, _) -> ())
-           ready
-       | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ());
-      loop ()
-    end
-  in
-  loop ();
-  shutdown_sequence t
-
-let bind_listener addr =
-  match addr with
-  | Tcp (host, port) ->
-    let inet =
-      try Unix.inet_addr_of_string host
-      with Failure _ ->
-        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-         with Not_found -> Unix.inet_addr_loopback)
-    in
-    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try
-       Unix.setsockopt fd Unix.SO_REUSEADDR true;
-       Unix.bind fd (Unix.ADDR_INET (inet, port));
-       Unix.listen fd 128
-     with e ->
-       close_quietly fd;
-       raise e);
-    (fd, addr)
-  | Unix_sock path ->
-    (* A previous unclean shutdown may have left the socket file; binding
-       over it is the operator-friendly behaviour. *)
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try
-       Unix.bind fd (Unix.ADDR_UNIX path);
-       Unix.listen fd 128
-     with e ->
-       close_quietly fd;
-       raise e);
-    (fd, addr)
 
 let start t addrs =
   if addrs = [] then invalid_arg "Server.start: no addresses";
   (* A peer that vanishes mid-response must surface as EPIPE on the
      write, not kill the process.  Idempotent; no-op off Unix. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* SIGTERM triggers the same orderly shutdown as {!request_stop}:
+     drain, close listeners, unlink Unix socket files.  [request_stop]
+     is async-signal-safe (an atomic store + one eventfd write). *)
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t))
    with Invalid_argument _ -> ());
   Mutex.lock t.state_m;
   if t.started then begin
@@ -798,13 +1153,69 @@ let start t addrs =
   end;
   t.started <- true;
   Mutex.unlock t.state_m;
-  t.listeners <- List.map bind_listener addrs;
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ())
-
-let request_stop t = Atomic.set t.stop_requested true
+  let shards = max 1 t.config.accept_shards in
+  (* Unix-domain listeners are shared: one socket registered in every
+     loop's readiness set (the kernel wakes whichever loops it likes;
+     losers see EAGAIN).  TCP listeners shard with SO_REUSEPORT — one
+     socket per loop, kernel-hashed flow steering, no thundering herd —
+     falling back to a shared socket where the option is refused. *)
+  let shared = ref [] in
+  let dedicated = Array.make shards [] in
+  let record = ref [] in
+  List.iter
+    (fun addr ->
+      match addr with
+      | Unix_sock path ->
+        let fd = bind_unix path in
+        shared := fd :: !shared;
+        record := (fd, addr) :: !record
+      | Tcp (host, port) ->
+        if shards = 1 then begin
+          let fd = bind_tcp ~reuseport:false host port in
+          shared := fd :: !shared;
+          record := (fd, addr) :: !record
+        end
+        else begin
+          match bind_tcp ~reuseport:true host port with
+          | fd0 ->
+            dedicated.(0) <- fd0 :: dedicated.(0);
+            record := (fd0, addr) :: !record;
+            for i = 1 to shards - 1 do
+              let fd = bind_tcp ~reuseport:true host port in
+              dedicated.(i) <- fd :: dedicated.(i);
+              record := (fd, addr) :: !record
+            done
+          | exception Unix.Unix_error _ ->
+            let fd = bind_tcp ~reuseport:false host port in
+            shared := fd :: !shared;
+            record := (fd, addr) :: !record
+        end)
+    addrs;
+  t.listeners <- List.rev !record;
+  t.loops <-
+    Array.init shards (fun i ->
+        let ev = Ev.create () in
+        let lfds = !shared @ dedicated.(i) in
+        List.iter (fun fd -> Ev.add ev fd ~read:true ~write:false) lfds;
+        {
+          l_id = i;
+          l_ev = ev;
+          l_listeners = lfds;
+          l_conns = Hashtbl.create 64;
+          l_m = Mutex.create ();
+          l_compl = [];
+          l_exec = [];
+          l_draining = false;
+          l_scratch = Bytes.create 65536;
+        });
+  let loop_threads =
+    Array.to_list
+      (Array.map (fun l -> Thread.create (fun () -> loop_run t l) ()) t.loops)
+  in
+  t.coordinator <- Some (Thread.create (fun () -> coordinator_run t loop_threads) ())
 
 let wait t =
-  match t.accept_thread with
+  match t.coordinator with
   | None -> ()
   | Some th ->
     Mutex.lock t.state_m;
@@ -815,12 +1226,12 @@ let wait t =
     (try Thread.join th with _ -> ())
 
 let stop t =
-  (match t.accept_thread with
-   | None ->
-     (* Never started: there is nothing to drain, but the pool still owns
-        worker domains. *)
-     request_stop t;
-     Pool.shutdown t.pool
-   | Some _ ->
-     request_stop t;
-     wait t)
+  match t.coordinator with
+  | None ->
+    (* Never started: there is nothing to drain, but the pool still owns
+       worker domains. *)
+    request_stop t;
+    Pool.shutdown t.pool
+  | Some _ ->
+    request_stop t;
+    wait t

@@ -3,13 +3,21 @@
 
     {2 Architecture}
 
-    One accept loop (a [select] tick over every listener) hands each
-    connection to a dedicated systhread; connection threads decode
-    frames and feed query execution into a shared
-    {!Xutil.Domain_pool} of worker domains via {!Xutil.Domain_pool.async}
-    (so matching runs in parallel on real cores while connection threads
-    only block on I/O and completion signalling).  Everything else is
-    bookkeeping:
+    An event-driven core: [accept_shards] event-loop threads, each
+    running an {!Xutil.Evloop} (epoll(7) on Linux, [select] elsewhere)
+    and owning its connections outright.  Each connection is a
+    non-blocking state machine — reading, executing and writing live
+    at once, so clients may {e pipeline}: write N requests before
+    reading any response, and responses come back strictly in request
+    order.  Incremental frame decoding ({!Protocol.Decoder}) turns
+    whatever bytes arrived into requests; cheap ops answer inline on
+    the loop; queries and mutations execute on a shared
+    {!Xutil.Domain_pool} of worker domains (queries micro-batched per
+    tick to amortise the handoff), and workers post completions back
+    through an eventfd wakeup.  Responses leave in batched writev(2)
+    calls.  TCP listeners shard across loops with [SO_REUSEPORT];
+    Unix-domain listeners are shared by every loop.  Everything else
+    is bookkeeping:
 
     - {b Admission control}: at most [max_pending] query requests may be
       in flight (queued or executing) at once.  A request arriving beyond
@@ -81,6 +89,13 @@ type config = {
   debug_delay_ms : int;
       (** artificial per-query delay before the deadline check — test
           instrumentation for overload/timeout scenarios (default 0) *)
+  accept_shards : int;
+      (** event-loop threads; TCP listeners get one [SO_REUSEPORT]
+          socket per loop, Unix-domain listeners are shared (default 1) *)
+  max_pipeline : int;
+      (** per-connection cap on decoded-but-unanswered requests; at the
+          cap the server stops reading that connection until responses
+          flush — backpressure, not an error (default 256) *)
 }
 
 val default_config : config
@@ -91,8 +106,11 @@ val create : ?config:config -> source -> t
 
 val start : t -> addr list -> unit
 (** Binds every address (Unix socket paths are unlinked first, so a
-    stale file from a crashed server never blocks a restart), spawns the
-    accept thread, and returns immediately.
+    stale file from a crashed server never blocks a restart), spawns
+    the event-loop threads and the shutdown coordinator, and returns
+    immediately.  Also installs a [SIGTERM] handler that triggers
+    {!request_stop}, so a terminated server drains, closes its
+    listeners and unlinks its Unix socket files on the way out.
     @raise Invalid_argument if [addrs] is empty or the server was
     already started.
     @raise Unix.Unix_error if a bind fails. *)

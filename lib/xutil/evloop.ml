@@ -1,0 +1,214 @@
+(* Readiness abstraction: epoll where available, select fallback.
+   See evloop.mli for the contract. *)
+
+external epoll_create : unit -> Unix.file_descr = "xseq_epoll_create"
+
+external epoll_ctl : Unix.file_descr -> int -> Unix.file_descr -> int -> unit
+  = "xseq_epoll_ctl"
+
+external epoll_wait_stub :
+  Unix.file_descr -> int -> (Unix.file_descr * int) array = "xseq_epoll_wait"
+
+external eventfd : unit -> Unix.file_descr = "xseq_eventfd"
+
+external writev_stub : Unix.file_descr -> (Bytes.t * int * int) array -> int
+  = "xseq_writev"
+
+(* Interest / readiness bits; keep in sync with evloop_stubs.c. *)
+let bit_read = 1
+let bit_write = 2
+let bit_error = 4
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool }
+
+type backend =
+  | Epoll of Unix.file_descr
+  | Select  (** interests live in [interests] below *)
+
+type t = {
+  backend : backend;
+  (* The select backend's interest set; also kept for epoll so [modify]
+     can be add-or-mod and [remove] idempotent without guessing. *)
+  interests : (Unix.file_descr, int) Hashtbl.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;  (** = [wake_r] for an eventfd *)
+  wake_is_eventfd : bool;
+  mutable closed : bool;
+}
+
+let interest_bits ~read ~write =
+  (if read then bit_read else 0) lor if write then bit_write else 0
+
+let create ?(force_select = false) () =
+  let backend =
+    if force_select then Select
+    else match epoll_create () with ep -> Epoll ep | exception _ -> Select
+  in
+  let wake_r, wake_w, wake_is_eventfd =
+    match eventfd () with
+    | fd -> (fd, fd, true)
+    | exception _ ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock r;
+      Unix.set_nonblock w;
+      (r, w, false)
+  in
+  let t =
+    { backend; interests = Hashtbl.create 64; wake_r; wake_w;
+      wake_is_eventfd = (match backend with _ -> wake_is_eventfd); closed = false }
+  in
+  (match backend with
+   | Epoll ep -> epoll_ctl ep 0 wake_r bit_read
+   | Select -> ());
+  t
+
+let backend_name t = match t.backend with Epoll _ -> "epoll" | Select -> "select"
+
+let add t fd ~read ~write =
+  let bits = interest_bits ~read ~write in
+  (match t.backend with
+   | Epoll ep -> epoll_ctl ep 0 fd bits
+   | Select -> ());
+  Hashtbl.replace t.interests fd bits
+
+let modify t fd ~read ~write =
+  let bits = interest_bits ~read ~write in
+  (match t.backend with
+   | Epoll ep ->
+     if Hashtbl.mem t.interests fd then epoll_ctl ep 1 fd bits
+     else epoll_ctl ep 0 fd bits
+   | Select -> ());
+  Hashtbl.replace t.interests fd bits
+
+let remove t fd =
+  if Hashtbl.mem t.interests fd then begin
+    Hashtbl.remove t.interests fd;
+    match t.backend with
+    | Epoll ep -> (
+      (* The kernel already dropped the fd from the set if it was
+         closed; EBADF/ENOENT here are the expected race, not errors. *)
+      try epoll_ctl ep 2 fd 0 with Unix.Unix_error _ -> ())
+    | Select -> ()
+  end
+
+(* Drains the wakeup channel; nonblocking fds, so one loop to EAGAIN. *)
+let drain_wakeup t =
+  let buf = Bytes.create 8 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 8 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wakeup t =
+  if not t.closed then begin
+    let payload =
+      if t.wake_is_eventfd then begin
+        (* eventfd counters are 8-byte little-endian adds. *)
+        let b = Bytes.make 8 '\000' in
+        Bytes.set b 0 '\001';
+        b
+      end
+      else Bytes.make 1 '\001'
+    in
+    try ignore (Unix.write t.wake_w payload 0 (Bytes.length payload) : int)
+    with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      () (* a wakeup is already pending: coalesced *)
+    | Unix.Unix_error _ -> ()
+  end
+
+let wait t ~timeout_ms =
+  match t.backend with
+  | Epoll ep ->
+    let raw = epoll_wait_stub ep timeout_ms in
+    let events = ref [] in
+    let woken = ref false in
+    Array.iter
+      (fun (fd, bits) ->
+        if fd = t.wake_r then woken := true
+        else
+          events :=
+            {
+              fd;
+              (* An error condition must surface as readability so the
+                 owner's read observes the EOF/errno and reaps the fd. *)
+              readable = bits land (bit_read lor bit_error) <> 0;
+              writable = bits land bit_write <> 0;
+            }
+            :: !events)
+      raw;
+    if !woken then drain_wakeup t;
+    List.rev !events
+  | Select ->
+    let rl = ref [ t.wake_r ] and wl = ref [] in
+    Hashtbl.iter
+      (fun fd bits ->
+        if bits land bit_read <> 0 then rl := fd :: !rl;
+        if bits land bit_write <> 0 then wl := fd :: !wl)
+      t.interests;
+    let tmo = if timeout_ms < 0 then -1. else float_of_int timeout_ms /. 1000. in
+    (match Unix.select !rl !wl [] tmo with
+     | r, w, _ ->
+       if List.memq t.wake_r r then drain_wakeup t;
+       let wset = w in
+       let events =
+         List.filter_map
+           (fun fd ->
+             if fd = t.wake_r then None
+             else
+               Some { fd; readable = true; writable = List.memq fd wset })
+           r
+       in
+       let events =
+         events
+         @ List.filter_map
+             (fun fd ->
+               if List.memq fd r then None
+               else Some { fd; readable = false; writable = true })
+             w
+       in
+       events
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+     | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+       (* A registered fd was closed behind our back: prune the corpses
+          so the next wait survives.  (Owners normally [remove] before
+          closing; this is belt and braces.) *)
+       let dead =
+         Hashtbl.fold
+           (fun fd _ acc ->
+             match Unix.fstat fd with
+             | _ -> acc
+             | exception Unix.Unix_error _ -> fd :: acc)
+           t.interests []
+       in
+       List.iter (Hashtbl.remove t.interests) dead;
+       [])
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.backend with
+     | Epoll ep -> (try Unix.close ep with Unix.Unix_error _ -> ())
+     | Select -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    if not t.wake_is_eventfd then
+      try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  end
+
+let iov_max = 64
+
+let writev fd parts =
+  match writev_stub fd parts with
+  | n -> n
+  | exception Unix.Unix_error (Unix.ENOSYS, _, _) ->
+    (* No writev on this platform: write the first slice only — the
+       caller's flush loop carries on from wherever the count lands. *)
+    (match parts with
+     | [||] -> 0
+     | _ ->
+       let buf, off, len = parts.(0) in
+       Unix.write fd buf off len)

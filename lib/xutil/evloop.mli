@@ -1,0 +1,72 @@
+(** A minimal readiness-driven event loop: epoll(7) where the kernel
+    offers it, [Unix.select] everywhere else, behind one interface —
+    and a thread-safe wakeup channel (eventfd(2), self-pipe fallback)
+    so worker domains can nudge a loop blocked in {!wait}.
+
+    This is deliberately {e not} an async runtime: no fibres, no
+    promises, no timers.  It answers exactly one question — "which of
+    these descriptors are ready?" — and leaves the state machines to
+    the caller ({!Xserver.Server} drives per-connection non-blocking
+    state machines over it).  No new opam dependency is involved: the
+    epoll/eventfd/writev bindings are local C stubs over libc, and on
+    platforms without them every entry point degrades to portable
+    [Unix] calls.
+
+    Thread-safety: {!wakeup} (and nothing else) may be called from any
+    thread or domain, including a signal handler — it is one [write]
+    on an eventfd/pipe.  All other operations belong to the single
+    thread running the loop. *)
+
+type t
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;  (** data, EOF, hangup or error — reading will not block *)
+  writable : bool;
+}
+
+val create : ?force_select:bool -> unit -> t
+(** A fresh loop.  [force_select] skips the epoll probe (test hook for
+    exercising the portable backend on Linux). *)
+
+val backend_name : t -> string
+(** ["epoll"] or ["select"], for logs and stats. *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register a descriptor.  The same fd may be registered in several
+    loops (accept sharding over one listener relies on this).
+    @raise Unix.Unix_error as epoll_ctl does (e.g. on a double add). *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change the interest set of a registered descriptor. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister; never raises (removing an already-closed or never-added
+    fd is a no-op — close(2) already purged it from the kernel set). *)
+
+val wait : t -> timeout_ms:int -> event list
+(** Blocks until at least one registered descriptor is ready, the
+    timeout elapses ([-1] = forever), or {!wakeup} is called; returns
+    the ready events (possibly none).  The wakeup channel is drained
+    internally and never surfaces as an event.  [EINTR] yields an empty
+    list rather than raising. *)
+
+val wakeup : t -> unit
+(** Make the current (or next) {!wait} return promptly.  Safe from any
+    thread, domain or signal handler; coalesces — N wakeups before the
+    next [wait] cost one return. *)
+
+val close : t -> unit
+(** Release the loop's own descriptors (not the registered ones).
+    Idempotent. *)
+
+val writev : Unix.file_descr -> (Bytes.t * int * int) array -> int
+(** Vectored write: at most 64 [(buffer, offset, length)] slices in one
+    writev(2), returning the byte count the kernel took.  Falls back to
+    a single-slice [Unix.write] where writev is unavailable.  Intended
+    for non-blocking descriptors; raises [Unix.Unix_error] ([EAGAIN],
+    [EPIPE], …) exactly like [Unix.write]. *)
+
+val iov_max : int
+(** Slices {!writev} consumes per call (64); extra slices are ignored
+    (the caller loops). *)

@@ -1,0 +1,155 @@
+/* C stubs for Xutil.Evloop: epoll(7), eventfd(2) and writev(2).
+
+   Everything here is Linux- (epoll, eventfd) or POSIX- (writev)
+   specific; on platforms without the call the stub raises ENOSYS and
+   the OCaml side falls back to select / a self-pipe / plain writes.
+   No opam dependency is involved — only libc. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <string.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#endif
+
+#ifndef _WIN32
+#include <sys/uio.h>
+#include <limits.h>
+#endif
+
+/* Interest / readiness bits shared with evloop.ml.  Keep in sync. */
+#define XSEQ_EV_READ 1
+#define XSEQ_EV_WRITE 2
+#define XSEQ_EV_ERROR 4
+
+CAMLprim value xseq_epoll_create(value unit)
+{
+  CAMLparam1(unit);
+#ifdef __linux__
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) caml_uerror("epoll_create1", Nothing);
+  CAMLreturn(Val_int(fd));
+#else
+  caml_unix_error(ENOSYS, "epoll_create1", Nothing);
+  CAMLreturn(Val_int(-1)); /* not reached */
+#endif
+}
+
+/* op: 0 = add, 1 = mod, 2 = del; interest: XSEQ_EV_* bits. */
+CAMLprim value xseq_epoll_ctl(value vep, value vop, value vfd, value vinterest)
+{
+  CAMLparam4(vep, vop, vfd, vinterest);
+#ifdef __linux__
+  struct epoll_event ev;
+  int op;
+  memset(&ev, 0, sizeof ev);
+  ev.data.fd = Int_val(vfd);
+  if (Int_val(vinterest) & XSEQ_EV_READ) ev.events |= EPOLLIN | EPOLLRDHUP;
+  if (Int_val(vinterest) & XSEQ_EV_WRITE) ev.events |= EPOLLOUT;
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev) == -1)
+    caml_uerror("epoll_ctl", Nothing);
+  CAMLreturn(Val_unit);
+#else
+  caml_unix_error(ENOSYS, "epoll_ctl", Nothing);
+  CAMLreturn(Val_unit); /* not reached */
+#endif
+}
+
+#define XSEQ_EPOLL_MAX_EVENTS 512
+
+/* Returns an array of (fd, readiness-bits) pairs.  Releases the
+   runtime lock for the duration of the wait. */
+CAMLprim value xseq_epoll_wait(value vep, value vtimeout_ms)
+{
+  CAMLparam2(vep, vtimeout_ms);
+#ifdef __linux__
+  CAMLlocal2(result, pair);
+  struct epoll_event evs[XSEQ_EPOLL_MAX_EVENTS];
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout_ms);
+  int n;
+
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, XSEQ_EPOLL_MAX_EVENTS, timeout);
+  caml_acquire_runtime_system();
+
+  if (n == -1) {
+    if (errno == EINTR) n = 0;
+    else caml_uerror("epoll_wait", Nothing);
+  }
+  result = caml_alloc(n, 0);
+  for (int i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLPRI))
+      bits |= XSEQ_EV_READ;
+    if (evs[i].events & EPOLLOUT) bits |= XSEQ_EV_WRITE;
+    if (evs[i].events & EPOLLERR) bits |= XSEQ_EV_ERROR;
+    pair = caml_alloc_tuple(2);
+    Field(pair, 0) = Val_int(evs[i].data.fd);
+    Field(pair, 1) = Val_int(bits);
+    Store_field(result, i, pair);
+  }
+  CAMLreturn(result);
+#else
+  caml_unix_error(ENOSYS, "epoll_wait", Nothing);
+  CAMLreturn(Atom(0)); /* not reached */
+#endif
+}
+
+/* Non-blocking close-on-exec eventfd; ENOSYS off Linux (the OCaml side
+   then uses a self-pipe). */
+CAMLprim value xseq_eventfd(value unit)
+{
+  CAMLparam1(unit);
+#ifdef __linux__
+  int fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fd == -1) caml_uerror("eventfd", Nothing);
+  CAMLreturn(Val_int(fd));
+#else
+  caml_unix_error(ENOSYS, "eventfd", Nothing);
+  CAMLreturn(Val_int(-1)); /* not reached */
+#endif
+}
+
+#define XSEQ_IOV_MAX 64
+
+/* writev over an array of (string, offset, length) triples.  The
+   runtime lock is deliberately NOT released: the strings would move
+   under the kernel's feet if the GC ran, and every caller hands in a
+   non-blocking fd, so the syscall cannot stall the runtime. */
+CAMLprim value xseq_writev(value vfd, value vparts)
+{
+  CAMLparam2(vfd, vparts);
+#ifndef _WIN32
+  struct iovec iov[XSEQ_IOV_MAX];
+  int n = Wosize_val(vparts);
+  ssize_t written;
+  if (n > XSEQ_IOV_MAX) n = XSEQ_IOV_MAX;
+  for (int i = 0; i < n; i++) {
+    value part = Field(vparts, i);
+    iov[i].iov_base =
+        (char *)Bytes_val(Field(part, 0)) + Long_val(Field(part, 1));
+    iov[i].iov_len = Long_val(Field(part, 2));
+  }
+  written = writev(Int_val(vfd), iov, n);
+  if (written == -1) caml_uerror("writev", Nothing);
+  CAMLreturn(Val_long(written));
+#else
+  caml_unix_error(ENOSYS, "writev", Nothing);
+  CAMLreturn(Val_long(-1)); /* not reached */
+#endif
+}

@@ -626,6 +626,218 @@ let test_live_reload_compacts () =
           Alcotest.(check (list int)) "post-compaction answer" want
             (Client.query c q)))
 
+(* --- pipelining -------------------------------------------------------------- *)
+
+(* N requests written on one connection before any response is read:
+   the responses come back strictly in request order, each one the
+   oracle's answer for its position.  Raw fd on purpose — no client
+   machinery between the test and the wire contract. *)
+let test_pipeline_in_order () =
+  with_server (Server.Static index_a) (fun _srv addr ->
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = 40 in
+          let reqs =
+            List.init n (fun i ->
+                if i mod 7 = 3 then P.Ping
+                else
+                  P.Query
+                    {
+                      xpath = List.nth xpaths (i mod List.length xpaths);
+                      timeout_ms = 0;
+                    })
+          in
+          (* One burst: every frame hits the socket before the first
+             response is read. *)
+          send_all fd (String.concat "" (List.map P.encode_request reqs));
+          List.iteri
+            (fun i req ->
+              match P.read_frame fd with
+              | Error _ -> Alcotest.failf "no response %d" i
+              | Ok frame -> (
+                match (req, P.decode_response frame) with
+                | P.Ping, Ok P.Pong -> ()
+                | P.Query { xpath; _ }, Ok (P.Result { ids; _ }) ->
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "response %d (%s)" i xpath)
+                    (List.assoc xpath expected)
+                    ids
+                | _, Ok _ ->
+                  Alcotest.failf "response %d out of order or wrong kind" i
+                | _, Error m -> Alcotest.failf "response %d malformed: %s" i m))
+            reqs);
+      (* The client-side pipelining API sees the same contract. *)
+      Client.with_connection addr (fun c ->
+          let qs = List.concat [ xpaths; List.rev xpaths; xpaths ] in
+          let got = Client.query_pipeline c qs in
+          List.iter2
+            (fun q ids ->
+              Alcotest.(check (list int)) ("pipelined " ^ q)
+                (List.assoc q expected)
+                ids)
+            qs got))
+
+(* A hot swap in the middle of a pipelined burst: every query answer is
+   old-consistent or new-consistent — never torn — and the burst's
+   responses still arrive in request order. *)
+let test_pipeline_hot_swap () =
+  let path_a = Filename.temp_file "xseq_pipe_a" ".idx" in
+  let path_b = Filename.temp_file "xseq_pipe_b" ".idx" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path_a; path_b ])
+    (fun () ->
+      let q = "/P/L/S" in
+      Xseq.save index_a path_a;
+      let index_b = Xseq.build (Array.append docs_a [| extra_doc |]) in
+      Xseq.save index_b path_b;
+      let want_a = Xseq.query_xpath index_a q in
+      let want_b = Xseq.query_xpath index_b q in
+      with_server (Server.Snapshot path_a) (fun srv addr ->
+          let gen_a = Server.generation srv in
+          Client.with_connection addr (fun c ->
+              let query = P.Query { xpath = q; timeout_ms = 0 } in
+              let burst =
+                [ query; query; P.Reload (Some path_b); query; query; query ]
+              in
+              let resps = Client.pipeline c burst in
+              Alcotest.(check int) "one response per request"
+                (List.length burst) (List.length resps);
+              let gen_b = ref (-1) in
+              List.iteri
+                (fun i (req, resp) ->
+                  match (req, resp) with
+                  | P.Reload _, P.Reloaded { generation } ->
+                    Alcotest.(check bool) "swap advanced the generation" true
+                      (generation <> gen_a);
+                    gen_b := generation
+                  | P.Query _, P.Result { generation; ids } ->
+                    if
+                      not
+                        ((generation = gen_a && ids = want_a)
+                        || (generation <> gen_a && ids = want_b))
+                    then
+                      Alcotest.failf
+                        "torn mid-pipeline observation at %d: generation %d \
+                         with ids [%s]"
+                        i generation
+                        (String.concat ";" (List.map string_of_int ids))
+                  | _ ->
+                    Alcotest.failf "response %d out of order or wrong kind" i)
+                (List.combine burst resps);
+              (* After the burst the swap is complete: a synchronous query
+                 answers against the new index. *)
+              let gen, ids = Client.query_full c q in
+              Alcotest.(check int) "serving the new index" !gen_b gen;
+              Alcotest.(check (list int)) "new answer" want_b ids)))
+
+(* The store flips to degraded in the middle of a burst: the mutating
+   requests answer [Degraded] error frames *as values*, the queries
+   around them keep answering the oracle, and the response order still
+   matches the request order.  One connection, one write, no retries. *)
+let test_pipeline_degraded_flip () =
+  with_live_server ~probe_interval:infinity (fun _srv addr _log ->
+      Client.with_connection addr (fun c ->
+          Array.iter (fun d -> ignore (Client.insert c (xml_of d) : int)) docs_a;
+          let q = "/P/L/S" in
+          let want = List.assoc q expected in
+          let rules =
+            List.init 10 (fun i ->
+                { Xfault.at = i; on = Xfault.Write; fault = Xfault.Enospc })
+            @ List.init 5 (fun i ->
+                  { Xfault.at = i; on = Xfault.Fsync; fault = Xfault.Enospc })
+            @ List.init 5 (fun i ->
+                  { Xfault.at = i; on = Xfault.Open; fault = Xfault.Enospc })
+          in
+          Xfault.install (Xfault.Injector.create rules);
+          Fun.protect ~finally:Xfault.uninstall (fun () ->
+              let query = P.Query { xpath = q; timeout_ms = 0 } in
+              let burst =
+                [
+                  query;
+                  P.Insert { xml = "<P/>" };
+                  query;
+                  P.Delete { id = 0 };
+                  query;
+                ]
+              in
+              match Client.pipeline c burst with
+              | [
+               P.Result { ids = r1; _ };
+               P.Error { code = c1; _ };
+               P.Result { ids = r2; _ };
+               P.Error { code = c2; _ };
+               P.Result { ids = r3; _ };
+              ] ->
+                List.iter
+                  (fun ids ->
+                    Alcotest.(check (list int)) "query answers through the flip"
+                      want ids)
+                  [ r1; r2; r3 ];
+                Alcotest.(check bool) "insert refused as Degraded" true
+                  (c1 = P.Degraded);
+                Alcotest.(check bool) "delete refused as Degraded" true
+                  (c2 = P.Degraded)
+              | resps ->
+                Alcotest.failf "unexpected response sequence (%d frames)"
+                  (List.length resps));
+          (* Fault cleared: the health probe re-arms the write path and
+             the refused insert consumed no id. *)
+          let h = Client.health c in
+          Alcotest.(check bool) "recovered" false h.Client.degraded;
+          Alcotest.(check int) "no id leaked by the refused insert"
+            (Array.length docs_a)
+            (Client.insert c "<P/>")))
+
+(* Several accept shards over a shared Unix-domain listener: every loop
+   owns its own readiness set and connections spread across them; the
+   answers and the configuration gauge are unchanged. *)
+let test_accept_shards_serving () =
+  let config = { Server.default_config with accept_shards = 3 } in
+  with_server ~config (Server.Static index_a) (fun srv addr ->
+      let failures = ref [] in
+      let fm = Mutex.create () in
+      let querier k () =
+        try
+          Client.with_connection addr (fun c ->
+              for i = 0 to 19 do
+                let q = List.nth xpaths ((i + k) mod List.length xpaths) in
+                if Client.query c q <> List.assoc q expected then begin
+                  Mutex.lock fm;
+                  failures := Printf.sprintf "thread %d: %s wrong" k q :: !failures;
+                  Mutex.unlock fm
+                end
+              done)
+        with ex ->
+          Mutex.lock fm;
+          failures := Printexc.to_string ex :: !failures;
+          Mutex.unlock fm
+      in
+      let threads = List.init 6 (fun k -> Thread.create (querier k) ()) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string)) "no failures" [] !failures;
+      let json = Server.stats_json srv in
+      Alcotest.(check int) "accept_shards gauge" 3
+        (find_int json "accept_shards"))
+
+(* SIGTERM triggers the same orderly shutdown as [stop]: listeners
+   close, the Unix socket file is unlinked, and [wait] returns. *)
+let test_sigterm_shutdown () =
+  let path = tmp_sock () in
+  let srv = Server.create (Server.Static index_a) in
+  Server.start srv [ Server.Unix_sock path ];
+  Client.with_connection (Server.Unix_sock path) (fun c -> Client.ping c);
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Server.wait srv;
+  Alcotest.(check bool) "socket unlinked on SIGTERM" false
+    (Sys.file_exists path);
+  (* stop after the signal-driven shutdown is a harmless no-op *)
+  Server.stop srv
+
 (* --- health, degradation, fault tolerance ----------------------------------- *)
 
 (* The Health op round-trips: a static backend is never degraded and
@@ -864,6 +1076,19 @@ let () =
           Alcotest.test_case "snapshot swap is consistent" `Quick
             test_reload_hot_swap;
           Alcotest.test_case "dynamic source reload" `Quick test_dynamic_reload;
+        ] );
+      ( "pipelining",
+        [
+          Alcotest.test_case "responses in request order" `Quick
+            test_pipeline_in_order;
+          Alcotest.test_case "hot swap mid-pipeline" `Quick
+            test_pipeline_hot_swap;
+          Alcotest.test_case "degraded flip mid-pipeline" `Quick
+            test_pipeline_degraded_flip;
+          Alcotest.test_case "accept shards serve correctly" `Quick
+            test_accept_shards_serving;
+          Alcotest.test_case "SIGTERM unlinks and stops" `Quick
+            test_sigterm_shutdown;
         ] );
       ( "live ingestion",
         [

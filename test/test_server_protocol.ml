@@ -262,6 +262,148 @@ let qcheck_mutations_never_raise =
        | Ok _ | Error _ -> ());
       true)
 
+(* --- incremental decoder -------------------------------------------------- *)
+
+(* Drain everything the decoder can currently produce.  Returns the
+   decoded frames in order plus the corruption verdict, if any. *)
+let drain dec =
+  let rec go acc =
+    match P.Decoder.next dec with
+    | P.Decoder.Frame f -> go (f :: acc)
+    | P.Decoder.Need_more -> (List.rev acc, None)
+    | P.Decoder.Corrupt why -> (List.rev acc, Some why)
+  in
+  go []
+
+let sample_stream =
+  String.concat "" (List.map P.encode_request sample_requests)
+
+(* Feeding one byte at a time must produce exactly the frames that were
+   encoded, byte for byte, in order — and each one must agree with the
+   one-shot decoder. *)
+let test_decoder_byte_at_a_time () =
+  let dec = P.Decoder.create () in
+  let out = ref [] in
+  String.iteri
+    (fun i _ ->
+      P.Decoder.feed_string dec sample_stream i 1;
+      let frames, corrupt = drain dec in
+      Alcotest.(check bool) "no corruption in a valid stream" true
+        (corrupt = None);
+      out := !out @ frames)
+    sample_stream;
+  Alcotest.(check int) "nothing left buffered" 0 (P.Decoder.buffered dec);
+  let want = List.map P.encode_request sample_requests in
+  Alcotest.(check (list string)) "frames byte-for-byte" want !out;
+  List.iter2
+    (fun frame req ->
+      Alcotest.(check bool) "agrees with one-shot decoder" true
+        (P.decode_request frame = Ok req))
+    !out sample_requests
+
+(* Every proper prefix of a valid frame is Need_more — never a frame,
+   never corruption — and the byte count is accounted exactly. *)
+let test_decoder_truncation_everywhere () =
+  List.iter
+    (fun r ->
+      let frame = P.encode_request r in
+      for k = 0 to String.length frame - 1 do
+        let dec = P.Decoder.create () in
+        P.Decoder.feed_string dec frame 0 k;
+        (match P.Decoder.next dec with
+         | P.Decoder.Need_more -> ()
+         | P.Decoder.Frame _ ->
+           Alcotest.fail (Printf.sprintf "frame from a %d-byte prefix" k)
+         | P.Decoder.Corrupt why ->
+           Alcotest.fail
+             (Printf.sprintf "corrupt from a %d-byte prefix: %s" k why));
+        Alcotest.(check int) "buffered = bytes fed" k (P.Decoder.buffered dec)
+      done)
+    sample_requests
+
+(* A hostile header is reported as Corrupt as soon as it is complete,
+   and the verdict is sticky: feeding more bytes never revives the
+   connection's stream. *)
+let test_decoder_corrupt_sticky () =
+  let dec = P.Decoder.create () in
+  P.Decoder.feed_string dec "GARBAGE!" 0 8;
+  (match P.Decoder.next dec with
+   | P.Decoder.Corrupt _ -> ()
+   | _ -> Alcotest.fail "want Corrupt for a garbage header");
+  P.Decoder.feed_string dec sample_stream 0 (String.length sample_stream);
+  match P.Decoder.next dec with
+  | P.Decoder.Corrupt _ -> ()
+  | _ -> Alcotest.fail "Corrupt must be sticky"
+
+(* Random chunking: however a pipelined byte stream is sliced by the
+   kernel, the decoded frames are identical. *)
+let qcheck_decoder_chunking =
+  QCheck.Test.make ~count:300 ~name:"random chunks decode identically"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) arb_request)
+        (list_of_size Gen.(int_range 0 40) (int_range 1 64)))
+    (fun (reqs, cuts) ->
+      QCheck.assume (reqs <> []);
+      let stream = String.concat "" (List.map P.encode_request reqs) in
+      let dec = P.Decoder.create () in
+      let out = ref [] in
+      let pos = ref 0 in
+      let cuts = ref (cuts @ [ String.length stream ]) in
+      while !pos < String.length stream do
+        let step =
+          match !cuts with
+          | c :: rest ->
+            cuts := rest;
+            min c (String.length stream - !pos)
+          | [] -> String.length stream - !pos
+        in
+        P.Decoder.feed_string dec stream !pos step;
+        pos := !pos + step;
+        let frames, corrupt = drain dec in
+        if corrupt <> None then QCheck.Test.fail_report "corrupt valid stream";
+        out := !out @ frames
+      done;
+      !out = List.map P.encode_request reqs)
+
+(* Bit flips anywhere in the stream: the decoder may report frames (a
+   flip inside a string payload can still parse) or Corrupt, but it
+   never raises and never loops. *)
+let qcheck_decoder_bitflip_never_raises =
+  QCheck.Test.make ~count:500 ~name:"bit flips never make the decoder raise"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 5) arb_request)
+        (pair small_nat small_nat))
+    (fun (reqs, (pos, byte)) ->
+      let stream =
+        Bytes.of_string (String.concat "" (List.map P.encode_request reqs))
+      in
+      Bytes.set stream
+        (pos mod Bytes.length stream)
+        (Char.chr (byte mod 256));
+      let dec = P.Decoder.create () in
+      P.Decoder.feed dec stream 0 (Bytes.length stream);
+      (* Bounded by construction: every Frame consumes >= header_size
+         bytes, Need_more/Corrupt terminate. *)
+      ignore (drain dec);
+      true)
+
+(* The iovec encoder is the same bytes as the contiguous one. *)
+let qcheck_iov_concat =
+  QCheck.Test.make ~count:500 ~name:"iov concat = contiguous encoding"
+    arb_response (fun r ->
+      String.concat "" (P.encode_response_iov r) = P.encode_response r)
+
+let test_iov_concat_exhaustive () =
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        "iov concat = encode_response"
+        (P.encode_response r)
+        (String.concat "" (P.encode_response_iov r)))
+    sample_responses
+
 (* --- framed I/O over a real socketpair ----------------------------------- *)
 
 let with_socketpair f =
@@ -338,6 +480,19 @@ let () =
           Alcotest.test_case "length field lies" `Quick test_length_lies;
           QCheck_alcotest.to_alcotest qcheck_never_raises;
           QCheck_alcotest.to_alcotest qcheck_mutations_never_raise;
+        ] );
+      ( "incremental decoder",
+        [
+          Alcotest.test_case "byte at a time" `Quick
+            test_decoder_byte_at_a_time;
+          Alcotest.test_case "truncation at every byte" `Quick
+            test_decoder_truncation_everywhere;
+          Alcotest.test_case "corrupt is sticky" `Quick
+            test_decoder_corrupt_sticky;
+          QCheck_alcotest.to_alcotest qcheck_decoder_chunking;
+          QCheck_alcotest.to_alcotest qcheck_decoder_bitflip_never_raises;
+          Alcotest.test_case "iov exhaustive" `Quick test_iov_concat_exhaustive;
+          QCheck_alcotest.to_alcotest qcheck_iov_concat;
         ] );
       ("framed io", [ Alcotest.test_case "read_frame" `Quick test_read_frame ]);
     ]

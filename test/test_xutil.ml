@@ -152,6 +152,105 @@ let prop_pool_map =
       let f x = (x * 7) mod 13 in
       Pool.with_pool ~domains (fun p -> Pool.map p f arr = Array.map f arr))
 
+(* --- event loop ------------------------------------------------------------ *)
+
+module Ev = Xutil.Evloop
+
+(* One battery run against both backends: readiness semantics must be
+   identical whether the kernel offers epoll or only select. *)
+let evloop_battery ~force_select () =
+  let ev = Ev.create ~force_select () in
+  Fun.protect
+    ~finally:(fun () -> Ev.close ev)
+    (fun () ->
+      if force_select then
+        Alcotest.(check string) "forced backend" "select" (Ev.backend_name ev);
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ())
+        (fun () ->
+          Ev.add ev a ~read:true ~write:false;
+          (* Nothing buffered: a bounded wait returns no events. *)
+          Alcotest.(check int) "idle wait is empty" 0
+            (List.length (Ev.wait ev ~timeout_ms:10));
+          (* A byte lands: the fd reports readable. *)
+          ignore (Unix.write_substring b "x" 0 1);
+          (match Ev.wait ev ~timeout_ms:1000 with
+           | [ { Ev.fd; readable = true; _ } ] when fd = a -> ()
+           | evs -> Alcotest.failf "want [a readable], got %d events"
+                      (List.length evs));
+          ignore (Unix.read a (Bytes.create 8) 0 8);
+          (* Interest flips to write-only: a socket with buffer space is
+             immediately writable, and the pending-read edge is gone. *)
+          Ev.modify ev a ~read:false ~write:true;
+          (match Ev.wait ev ~timeout_ms:1000 with
+           | [ { Ev.fd; writable = true; _ } ] when fd = a -> ()
+           | _ -> Alcotest.fail "want [a writable]");
+          (* Removed: silence, even with data pending. *)
+          ignore (Unix.write_substring b "y" 0 1);
+          Ev.remove ev a;
+          Alcotest.(check int) "removed fd is silent" 0
+            (List.length (Ev.wait ev ~timeout_ms:10));
+          (* Removing twice (or an unknown fd) is a no-op, not an error. *)
+          Ev.remove ev a;
+          (* EOF surfaces as readable (read will not block: it returns 0). *)
+          Ev.add ev a ~read:true ~write:false;
+          Unix.close b;
+          (match Ev.wait ev ~timeout_ms:1000 with
+           | { Ev.fd; readable = true; _ } :: _ when fd = a -> ()
+           | _ -> Alcotest.fail "want EOF readability");
+          Ev.remove ev a);
+      (* Wakeup from another thread interrupts a long wait promptly, is
+         drained internally, and coalesces. *)
+      let t0 = Unix.gettimeofday () in
+      let waker =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.05;
+            Ev.wakeup ev;
+            Ev.wakeup ev)
+          ()
+      in
+      let evs = Ev.wait ev ~timeout_ms:5000 in
+      let dt = Unix.gettimeofday () -. t0 in
+      Thread.join waker;
+      Alcotest.(check int) "wakeup surfaces no event" 0 (List.length evs);
+      Alcotest.(check bool) "wakeup was prompt" true (dt < 2.0);
+      (* Both wakeups were coalesced and drained: the next wait times
+         out instead of spinning on a stale wakeup byte. *)
+      Alcotest.(check int) "wakeup drained" 0
+        (List.length (Ev.wait ev ~timeout_ms:10)))
+
+let test_evloop_native () = evloop_battery ~force_select:false ()
+let test_evloop_select () = evloop_battery ~force_select:true ()
+
+let test_evloop_writev () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Scattered slices — including offsets and a zero-length one —
+         land as one contiguous byte stream. *)
+      let slices =
+        [|
+          (Bytes.of_string "xxhello", 2, 5);
+          (Bytes.of_string " ", 0, 1);
+          (Bytes.of_string "", 0, 0);
+          (Bytes.of_string "worldyy", 0, 5);
+        |]
+      in
+      let n = Ev.writev a slices in
+      Alcotest.(check int) "all bytes taken" 11 n;
+      let buf = Bytes.create 32 in
+      let got = Unix.read b buf 0 32 in
+      Alcotest.(check string) "stream order preserved" "hello world"
+        (Bytes.sub_string buf 0 got);
+      Alcotest.(check bool) "iov_max sane" true (Ev.iov_max >= 1))
+
 let () =
   Alcotest.run "xutil"
     [
@@ -172,5 +271,11 @@ let () =
             test_pool_exception_lowest_index;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
           QCheck_alcotest.to_alcotest prop_pool_map;
+        ] );
+      ( "evloop",
+        [
+          Alcotest.test_case "native backend" `Quick test_evloop_native;
+          Alcotest.test_case "select backend" `Quick test_evloop_select;
+          Alcotest.test_case "writev" `Quick test_evloop_writev;
         ] );
     ]
