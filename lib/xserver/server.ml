@@ -30,6 +30,10 @@
    - writable: encoded responses accumulate in an output queue of
      iovec-style slices and leave in batched writev(2) calls; short
      writes arm write-readiness and resume where the kernel stopped.
+     The output queue is bounded by backpressure: once its unsent
+     bytes cross a high-water mark the connection stops reading, so a
+     peer that pipelines queries but never drains its socket caps the
+     memory it can pin rather than growing it without bound.
 
    Shared state and its discipline:
    - the served index is an [Atomic.t] of an immutable record: readers
@@ -137,7 +141,10 @@ type conn = {
   c_slots : slot Queue.t;  (** responses owed, in request order *)
   c_outq : string Queue.t;  (** encoded slices not yet accepted by the kernel *)
   mutable c_out_off : int;  (** bytes of [Queue.peek c_outq] already written *)
-  mutable c_paused : bool;  (** reading paused: pipeline cap reached (or draining) *)
+  mutable c_outq_bytes : int;  (** unsent bytes across [c_outq] (backpressure) *)
+  mutable c_paused : bool;
+      (** reading paused: pipeline cap or output high-water mark reached
+          (or draining) *)
   mutable c_want_read : bool;  (** interest bits currently registered *)
   mutable c_want_write : bool;
   mutable c_closed : bool;
@@ -616,6 +623,18 @@ let run_op t (req : P.request) : P.response =
 
 let tick_ms = 250 (* loop wait bound so the stop flag is noticed promptly *)
 
+(* Write-side backpressure high-water mark.  A connection whose unsent
+   output exceeds this stops reading — the pipeline cap alone is not
+   enough, because a slot is popped the moment its response is encoded,
+   so a peer pipelining small queries with large results while never
+   draining its socket would otherwise regrow the slot budget forever
+   and pin unbounded memory.  Reading resumes once the kernel has
+   accepted enough bytes to fall back under the mark.  Worst case a
+   connection holds the mark plus the responses of slots already open
+   when it tripped: bounded, and only a peer ignoring its own replies
+   ever gets near it. *)
+let outq_hwm = 1 lsl 20
+
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let close_conn t c =
@@ -631,17 +650,20 @@ let close_conn t c =
   end
 
 (* Keeps the kernel's interest set in sync with the state machine; only
-   issues the syscall when the bits actually changed. *)
-let update_interest c =
+   issues the syscall when the bits actually changed.  The cached bits
+   are updated only after the syscall succeeds: caching an interest the
+   kernel never registered would strand the connection (no events ever
+   fire, nothing closes it), so a failed modify closes it instead. *)
+let update_interest t c =
   if not c.c_closed then begin
     let read = not c.c_paused && not c.c_close_after_flush in
     let write = not (Queue.is_empty c.c_outq) in
-    if read <> c.c_want_read || write <> c.c_want_write then begin
-      c.c_want_read <- read;
-      c.c_want_write <- write;
-      try Ev.modify c.c_loop.l_ev c.c_fd ~read ~write
-      with Unix.Unix_error _ -> ()
-    end
+    if read <> c.c_want_read || write <> c.c_want_write then
+      match Ev.modify c.c_loop.l_ev c.c_fd ~read ~write with
+      | () ->
+        c.c_want_read <- read;
+        c.c_want_write <- write
+      | exception Unix.Unix_error _ -> close_conn t c
   end
 
 (* Vectored write of whatever is queued.  Under an active fault
@@ -672,6 +694,7 @@ let collect_parts c =
   Array.of_list (List.rev !parts)
 
 let advance_outq c n =
+  c.c_outq_bytes <- c.c_outq_bytes - n;
   let left = ref n in
   while !left > 0 do
     let head = Queue.peek c.c_outq in
@@ -688,8 +711,10 @@ let advance_outq c n =
   done
 
 (* Writes as much of the output queue as the kernel takes right now;
-   a short write leaves the rest for the next write-readiness event. *)
-let try_write t c =
+   a short write leaves the rest for the next write-readiness event.
+   Mutually recursive with the read side: a write that drains the
+   output queue under the backpressure mark resumes reading. *)
+let rec try_write t c =
   if not c.c_closed then begin
     let rec go () =
       if Queue.is_empty c.c_outq then begin
@@ -710,7 +735,8 @@ let try_write t c =
       end
     in
     go ();
-    update_interest c
+    maybe_resume t c;
+    update_interest t c
   end
 
 (* In-order response delivery: flush slots from the head of the queue
@@ -719,7 +745,7 @@ let try_write t c =
    Encoded slices go to the output queue; the caller decides when to
    hit the socket ([try_write]), so a burst of completions becomes one
    writev. *)
-let rec flush_ready t c =
+and flush_ready t c =
   if not c.c_closed then begin
     let continue = ref true in
     while
@@ -734,25 +760,52 @@ let rec flush_ready t c =
         if slot.sl_op <> "" then
           Metrics.record_request t.metrics ~op:slot.sl_op
             ~latency_s:(Unix.gettimeofday () -. slot.sl_t0);
+        (* A response too large to frame (a query matching ~2M+ ids
+           overflows [P.max_payload]) must not strand the client or
+           leak past this slot: substitute a Server_error response the
+           peer can actually receive.  The slot is already popped, so
+           in-order delivery is preserved for everything behind it. *)
+        let resp, parts =
+          match P.encode_response_iov resp with
+          | parts -> (resp, parts)
+          | exception Invalid_argument _ ->
+            let resp =
+              err P.Server_error
+                "result exceeds the %d byte response payload cap"
+                P.max_payload
+            in
+            (resp, P.encode_response_iov resp)
+        in
         (match resp with
          | P.Error { code; _ } ->
            Metrics.record_error t.metrics ~code:(P.error_code_to_string code)
          | _ -> ());
-        let parts = P.encode_response_iov resp in
         Metrics.add_bytes t.metrics ~received:0
           ~sent:(List.fold_left (fun a s -> a + String.length s) 0 parts);
-        List.iter (fun s -> Queue.push s c.c_outq) parts
+        List.iter
+          (fun s ->
+            c.c_outq_bytes <- c.c_outq_bytes + String.length s;
+            Queue.push s c.c_outq)
+          parts
     done;
     (* The pipeline cap may have cleared: resume reading (frames may
        already be buffered in the decoder). *)
-    if
-      c.c_paused
-      && (not c.c_loop.l_draining)
-      && Queue.length c.c_slots < t.config.max_pipeline
-    then begin
-      c.c_paused <- false;
-      drain_frames t c
-    end
+    maybe_resume t c
+  end
+
+(* Resume reading iff every pause reason has cleared: pipeline slots
+   below the cap AND queued output back under the backpressure mark
+   (and the loop is not draining).  Called from both the completion
+   path (slots freed) and the write path (bytes drained). *)
+and maybe_resume t c =
+  if
+    c.c_paused
+    && (not c.c_loop.l_draining)
+    && Queue.length c.c_slots < t.config.max_pipeline
+    && c.c_outq_bytes <= outq_hwm
+  then begin
+    c.c_paused <- false;
+    drain_frames t c
   end
 
 and complete t c slot resp =
@@ -760,14 +813,17 @@ and complete t c slot resp =
   flush_ready t c
 
 (* Pull complete frames out of the decoder and open a slot for each.
-   Stops at the pipeline cap (reading resumes as responses flush) and
-   on corrupt input (answer one error frame, then close once it has
-   been written — the stream cannot be resynchronised). *)
+   Stops at the pipeline cap or the output high-water mark (reading
+   resumes as responses flush and the peer drains them) and on corrupt
+   input (answer one error frame, then close once it has been written —
+   the stream cannot be resynchronised). *)
 and drain_frames t c =
   let rec go () =
     if c.c_closed || c.c_close_after_flush then ()
-    else if Queue.length c.c_slots >= t.config.max_pipeline then
-      c.c_paused <- true
+    else if
+      Queue.length c.c_slots >= t.config.max_pipeline
+      || c.c_outq_bytes > outq_hwm
+    then c.c_paused <- true
     else
       match P.Decoder.next c.c_dec with
       | P.Decoder.Need_more -> ()
@@ -988,6 +1044,7 @@ let accept_burst t l lfd =
           c_slots = Queue.create ();
           c_outq = Queue.create ();
           c_out_off = 0;
+          c_outq_bytes = 0;
           c_paused = false;
           c_want_read = true;
           c_want_write = false;
@@ -1019,7 +1076,7 @@ let loop_drain t l =
     (fun _ c ->
       if not c.c_closed then begin
         c.c_paused <- true;
-        update_interest c
+        update_interest t c
       end)
     l.l_conns;
   List.iter (fun fd -> Ev.remove l.l_ev fd) l.l_listeners;
@@ -1162,52 +1219,80 @@ let start t addrs =
   let shared = ref [] in
   let dedicated = Array.make shards [] in
   let record = ref [] in
-  List.iter
-    (fun addr ->
-      match addr with
-      | Unix_sock path ->
-        let fd = bind_unix path in
-        shared := fd :: !shared;
-        record := (fd, addr) :: !record
-      | Tcp (host, port) ->
-        if shards = 1 then begin
-          let fd = bind_tcp ~reuseport:false host port in
-          shared := fd :: !shared;
-          record := (fd, addr) :: !record
-        end
-        else begin
-          match bind_tcp ~reuseport:true host port with
-          | fd0 ->
-            dedicated.(0) <- fd0 :: dedicated.(0);
-            record := (fd0, addr) :: !record;
-            for i = 1 to shards - 1 do
-              let fd = bind_tcp ~reuseport:true host port in
-              dedicated.(i) <- fd :: dedicated.(i);
-              record := (fd, addr) :: !record
-            done
-          | exception Unix.Unix_error _ ->
-            let fd = bind_tcp ~reuseport:false host port in
-            shared := fd :: !shared;
-            record := (fd, addr) :: !record
-        end)
-    addrs;
+  let evs = ref [] in
+  (* A bind or loop-setup failure partway through (say the port taken
+     between two SO_REUSEPORT binds, or an fd limit hit creating the
+     i-th epoll) must not leak the listeners already bound or leave
+     [t.started] stuck: release everything acquired so far and return
+     the server to its never-started state before re-raising, so the
+     caller sees one exception and a still-usable object. *)
+  let abort_start e =
+    List.iter Ev.close !evs;
+    List.iter
+      (fun (fd, addr) ->
+        close_quietly fd;
+        match addr with
+        | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Tcp _ -> ())
+      !record;
+    t.listeners <- [];
+    t.loops <- [||];
+    Mutex.lock t.state_m;
+    t.started <- false;
+    Mutex.unlock t.state_m;
+    raise e
+  in
+  (try
+     List.iter
+       (fun addr ->
+         match addr with
+         | Unix_sock path ->
+           let fd = bind_unix path in
+           shared := fd :: !shared;
+           record := (fd, addr) :: !record
+         | Tcp (host, port) ->
+           if shards = 1 then begin
+             let fd = bind_tcp ~reuseport:false host port in
+             shared := fd :: !shared;
+             record := (fd, addr) :: !record
+           end
+           else begin
+             match bind_tcp ~reuseport:true host port with
+             | fd0 ->
+               dedicated.(0) <- fd0 :: dedicated.(0);
+               record := (fd0, addr) :: !record;
+               for i = 1 to shards - 1 do
+                 let fd = bind_tcp ~reuseport:true host port in
+                 dedicated.(i) <- fd :: dedicated.(i);
+                 record := (fd, addr) :: !record
+               done
+             | exception Unix.Unix_error _ ->
+               let fd = bind_tcp ~reuseport:false host port in
+               shared := fd :: !shared;
+               record := (fd, addr) :: !record
+           end)
+       addrs
+   with e -> abort_start e);
   t.listeners <- List.rev !record;
-  t.loops <-
-    Array.init shards (fun i ->
-        let ev = Ev.create () in
-        let lfds = !shared @ dedicated.(i) in
-        List.iter (fun fd -> Ev.add ev fd ~read:true ~write:false) lfds;
-        {
-          l_id = i;
-          l_ev = ev;
-          l_listeners = lfds;
-          l_conns = Hashtbl.create 64;
-          l_m = Mutex.create ();
-          l_compl = [];
-          l_exec = [];
-          l_draining = false;
-          l_scratch = Bytes.create 65536;
-        });
+  (try
+     t.loops <-
+       Array.init shards (fun i ->
+           let ev = Ev.create () in
+           evs := ev :: !evs;
+           let lfds = !shared @ dedicated.(i) in
+           List.iter (fun fd -> Ev.add ev fd ~read:true ~write:false) lfds;
+           {
+             l_id = i;
+             l_ev = ev;
+             l_listeners = lfds;
+             l_conns = Hashtbl.create 64;
+             l_m = Mutex.create ();
+             l_compl = [];
+             l_exec = [];
+             l_draining = false;
+             l_scratch = Bytes.create 65536;
+           })
+   with e -> abort_start e);
   let loop_threads =
     Array.to_list
       (Array.map (fun l -> Thread.create (fun () -> loop_run t l) ()) t.loops)

@@ -679,6 +679,81 @@ let test_pipeline_in_order () =
                 ids)
             qs got))
 
+(* A hostile peer pipelines a burst whose responses far exceed the
+   write-side backpressure mark, reading nothing until the whole burst
+   is sent.  The server must pause the connection instead of buffering
+   without bound, then — once the peer finally drains its socket —
+   resume from the write path: every response arrives in order and the
+   connection still answers new requests afterwards (a stranded pause
+   would hang the final ping). *)
+let test_backpressure_resume () =
+  let big_index =
+    Xseq.build (Array.init 3000 (fun _ -> e "P" [ e "L" [ e "S" [] ] ]))
+  in
+  let q = "/P/L/S" in
+  let want = Xseq.query_xpath big_index q in
+  (* The whole burst is admitted at decode time, before any worker gets
+     to run: max_pending must cover it or the tail answers Overloaded. *)
+  let config = { Server.default_config with max_pending = 128 } in
+  with_server ~config (Server.Static big_index) (fun _srv addr ->
+      let fd = raw_connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* A stranded server means reads block forever; fail instead. *)
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+          let n = 100 in
+          (* ~24 KB of ids per response: the burst owes ~2.4 MB, well
+             past the 1 MiB high-water mark plus the socket buffers.
+             The requests themselves are a few KB, so this send cannot
+             deadlock against the paused server. *)
+          let req = P.encode_request (P.Query { xpath = q; timeout_ms = 0 }) in
+          send_all fd (String.concat "" (List.init n (fun _ -> req)));
+          for i = 0 to n - 1 do
+            match P.read_frame fd with
+            | Error _ -> Alcotest.failf "no response %d" i
+            | Ok frame -> (
+              match P.decode_response frame with
+              | Ok (P.Result { ids; _ }) ->
+                if ids <> want then
+                  Alcotest.failf "response %d has wrong ids (%d of them)" i
+                    (List.length ids)
+              | Ok _ -> Alcotest.failf "response %d is not a Result" i
+              | Error m -> Alcotest.failf "response %d malformed: %s" i m)
+          done;
+          (* The peer has drained everything: reading must have resumed. *)
+          send_all fd (P.encode_request P.Ping);
+          match P.read_frame fd with
+          | Error _ -> Alcotest.fail "no pong after backpressure"
+          | Ok frame -> (
+            match P.decode_response frame with
+            | Ok P.Pong -> ()
+            | _ -> Alcotest.fail "expected Pong after backpressure")))
+
+(* A single request whose result cannot fit a response frame (a batch
+   matching > max_payload bytes of ids) answers a [Server_error] frame
+   instead of stranding the client, and the connection stays usable for
+   the requests pipelined behind it. *)
+let test_oversized_result () =
+  let big_index =
+    Xseq.build (Array.init 3000 (fun _ -> e "P" [ e "L" [ e "S" [] ] ]))
+  in
+  let q = "/P/L/S" in
+  let want = Xseq.query_xpath big_index q in
+  with_server (Server.Static big_index) (fun _srv addr ->
+      Client.with_connection addr (fun c ->
+          (* 800 sub-queries x 3000 ids x 8 bytes ≈ 19 MB > the 16 MiB
+             payload cap. *)
+          (match Client.query_batch c (Array.make 800 q) with
+           | _ -> Alcotest.fail "expected Server_error for oversized result"
+           | exception Client.Server_error (P.Server_error, msg) ->
+             Alcotest.(check bool) "message names the cap" true
+               (String.length msg > 0));
+          (* The connection survives: the slot was answered, not leaked. *)
+          Client.ping c;
+          Alcotest.(check (list int)) "normal query still answers" want
+            (Client.query c q)))
+
 (* A hot swap in the middle of a pipelined burst: every query answer is
    old-consistent or new-consistent — never torn — and the burst's
    responses still arrive in request order. *)
@@ -1085,6 +1160,10 @@ let () =
             test_pipeline_hot_swap;
           Alcotest.test_case "degraded flip mid-pipeline" `Quick
             test_pipeline_degraded_flip;
+          Alcotest.test_case "backpressure pauses and resumes" `Quick
+            test_backpressure_resume;
+          Alcotest.test_case "oversized result answers Server_error" `Quick
+            test_oversized_result;
           Alcotest.test_case "accept shards serve correctly" `Quick
             test_accept_shards_serving;
           Alcotest.test_case "SIGTERM unlinks and stops" `Quick
