@@ -18,10 +18,12 @@ bench:
 # (BENCH_storage.json), query-server throughput/latency with the
 # plan cache A/B'd (BENCH_server.json), the durable ingestion path —
 # fsync batching, query latency under concurrent ingest, recovery time
-# (BENCH_ingest.json) — and the fault-injection shim's overhead plus
-# the degrade/recover cycle cost (BENCH_faults.json).
+# (BENCH_ingest.json) — the fault-injection shim's overhead plus
+# the degrade/recover cycle cost (BENCH_faults.json) — and the
+# replicated pair's shipping lag / follower read throughput
+# (BENCH_repl.json).
 bench-json:
-	dune exec bench/main.exe -- parallel shard storage server ingest faults
+	dune exec bench/main.exe -- parallel shard storage server ingest faults repl
 
 # Perf regression gate: rerun the parallel + shard experiments at their
 # default (env-tunable) sizes and hold the speedups to the checked-in
@@ -30,14 +32,19 @@ bench-json:
 # floors on >=4 cores, parity floors (catching serialization
 # regressions) on smaller boxes.
 bench-gate:
-	dune exec bench/main.exe -- parallel shard server
+	dune exec bench/main.exe -- parallel shard server repl
 	python3 bench/gate.py
 
 # Seeded fault-injection torture suite at chaos intensity: many more
 # randomized (seed, schedule) runs than the default test pass.
-# Failures print the (seed, schedule) pair to replay them.
+# Failures print the (seed, schedule) pair to replay them.  Plus the
+# multi-process failover smoke: kill -9 the primary of a semi-sync
+# pair mid-workload, promote the follower, prove no acked record lost
+# and reads never stalled.
 chaos:
 	XSEQ_CHAOS_ITERS=400 dune exec test/test_fault.exe -- test torture
+	dune build bin/xseq_cli.exe
+	sh test/repl_failover_smoke.sh
 
 examples:
 	dune exec examples/quickstart.exe

@@ -165,6 +165,14 @@ def main():
         failures,
         diff_keys=["pipelined_speedup_best", "cache_speedup_best"],
     )
+    gate(
+        "repl",
+        "BENCH_repl.json",
+        floors_cfg,
+        ["follower_read_ratio"],
+        "answers_ok",
+        failures,
+    )
     if failures:
         print("\nbench gate FAILED:")
         for f in failures:

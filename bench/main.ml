@@ -1348,6 +1348,184 @@ let shard_bench () =
       Printf.fprintf oc "  \"query_speedup_4v1\": %.3f\n}\n" query_speedup)
 
 (* ------------------------------------------------------------------ *)
+(* Replication: WAL shipping lag under sustained ingest, and follower  *)
+(* read throughput against the primary's — the two numbers a follower  *)
+(* deployment buys or costs (see BENCH_repl.json).                     *)
+(* ------------------------------------------------------------------ *)
+
+let repl_bench () =
+  header
+    "Replication: shipping lag under ingest, catch-up time, follower \
+     read throughput vs the primary (see BENCH_repl.json)";
+  let n = env_int "XSEQ_BENCH_RECORDS" (n_scaled 4_000) in
+  let n_queries =
+    env_int "XSEQ_BENCH_REQUESTS" (max 200 (int_of_float (2_000. *. !scale)))
+  in
+  let cores = Domain.recommended_domain_count () in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  let xpaths = [| "//author"; "//title"; "/article/author" |] in
+  with_store_dir "repl-p" (fun pdir ->
+      with_store_dir "repl-f" (fun fdir ->
+          let sock name =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "xseq_bench_repl_%s_%d.sock" name (Unix.getpid ()))
+          in
+          let sock_p = sock "p" and sock_f = sock "f" in
+          let ep_p = "unix:" ^ sock_p and ep_f = "unix:" ^ sock_f in
+          let start dir sock_path ep follow =
+            let log = Xlog.open_ ~sync_every:8 ~memtable_limit:256 dir in
+            let node =
+              Xrepl.Node.create
+                { Xrepl.Node.default_config with advertise = ep; follow }
+                log
+            in
+            let config =
+              {
+                Xserver.Server.default_config with
+                workers = 2;
+                repl = Some (Xrepl.Node.hooks node);
+              }
+            in
+            let srv = Xserver.Server.create ~config (Xserver.Server.Live log) in
+            Xserver.Server.start srv [ Xserver.Server.Unix_sock sock_path ];
+            Xrepl.Node.start node;
+            (log, node, srv)
+          in
+          let plog, pnode, psrv = start pdir sock_p ep_p None in
+          let flog, fnode, fsrv = start fdir sock_f ep_f (Some ep_p) in
+          Fun.protect
+            ~finally:(fun () ->
+              Xrepl.Node.stop fnode;
+              Xrepl.Node.stop pnode;
+              Xserver.Server.stop fsrv;
+              Xserver.Server.stop psrv;
+              Xlog.close flog;
+              Xlog.close plog;
+              List.iter
+                (fun s -> try Sys.remove s with Sys_error _ -> ())
+                [ sock_p; sock_f ])
+            (fun () ->
+              (* A: ingest everything on the primary while the follower
+                 streams; sample the byte lag as we go, then time how
+                 long the follower needs to drain to the primary's
+                 durable end once the ingest stops. *)
+              let lag_samples = ref [] in
+              let sample_every = max 1 (n / 64) in
+              let (), ingest_dt =
+                time (fun () ->
+                    Array.iteri
+                      (fun i d ->
+                        ignore (Xlog.insert plog d : int);
+                        if i mod sample_every = 0 then begin
+                          let p = Xlog.wal_position plog
+                          and f = Xlog.wal_durable_position flog in
+                          (* byte lag is only well-defined within one
+                             WAL file; cross-file samples (rotation in
+                             flight) are skipped *)
+                          if p.Xlog.Wal.file = f.Xlog.Wal.file then
+                            lag_samples :=
+                              max 0 (p.Xlog.Wal.off - f.Xlog.Wal.off)
+                              :: !lag_samples
+                        end)
+                      docs;
+                    Xlog.sync plog)
+              in
+              let target = Xlog.wal_durable_position plog in
+              let (), catchup_dt =
+                time (fun () ->
+                    let rec wait () =
+                      if
+                        Xlog.Wal.position_compare
+                          (Xlog.wal_durable_position flog)
+                          target
+                        < 0
+                      then begin
+                        Thread.delay 0.002;
+                        wait ()
+                      end
+                    in
+                    wait ())
+              in
+              let ingest_rps =
+                if ingest_dt > 0. then float_of_int n /. ingest_dt else 0.
+              in
+              let lag = Array.of_list !lag_samples in
+              let lag_mean =
+                if Array.length lag = 0 then 0.
+                else
+                  float_of_int (Array.fold_left ( + ) 0 lag)
+                  /. float_of_int (Array.length lag)
+              in
+              let lag_max = Array.fold_left max 0 lag in
+              Printf.printf
+                "ingest %.0f records/s with a live subscriber; shipping lag \
+                 mean %.0f bytes, max %d bytes; catch-up after ingest %.1f \
+                 ms\n\
+                 %!"
+                ingest_rps lag_mean lag_max (ms catchup_dt);
+              (* B: identical closed-loop read sweeps against each node.
+                 The follower serves its replica of the same store, so
+                 the ratio is the cost of reading behind replication —
+                 the number the follower-reads feature sells. *)
+              let offline = Array.map (fun q -> Xlog.query_xpath plog q) xpaths in
+              let read_sweep sock_path =
+                let ok = ref true in
+                let lats = Array.make n_queries 0. in
+                let (), dt =
+                  time (fun () ->
+                      Xserver.Client.with_connection
+                        (Xserver.Server.Unix_sock sock_path)
+                        (fun c ->
+                          for k = 0 to n_queries - 1 do
+                            let qi = k mod Array.length xpaths in
+                            let q0 = Unix.gettimeofday () in
+                            let ids = Xserver.Client.query c xpaths.(qi) in
+                            lats.(k) <- Unix.gettimeofday () -. q0;
+                            if ids <> offline.(qi) then ok := false
+                          done))
+                in
+                Array.sort compare lats;
+                let rps =
+                  if dt > 0. then float_of_int n_queries /. dt else 0.
+                in
+                (rps, ms (percentile lats 0.50), ms (percentile lats 0.95), !ok)
+              in
+              let p_rps, p_p50, p_p95, p_ok = read_sweep sock_p in
+              let f_rps, f_p50, f_p95, f_ok = read_sweep sock_f in
+              let ratio = if p_rps > 0. then f_rps /. p_rps else 0. in
+              let answers_ok = p_ok && f_ok in
+              Printf.printf
+                "reads: primary %.0f/s (p50 %.3f ms, p95 %.3f ms), follower \
+                 %.0f/s (p50 %.3f ms, p95 %.3f ms) -> ratio %.2fx; \
+                 answers_ok %b\n\
+                 %!"
+                p_rps p_p50 p_p95 f_rps f_p50 f_p95 ratio answers_ok;
+              write_json "repl" (fun oc ->
+                  Printf.fprintf oc
+                    "{\n\
+                    \  \"cores\": %d,\n\
+                    \  \"records\": %d,\n\
+                    \  \"requests\": %d,\n\
+                    \  \"ingest_rps\": %.0f,\n\
+                    \  \"lag_bytes_mean\": %.0f,\n\
+                    \  \"lag_bytes_max\": %d,\n\
+                    \  \"catchup_ms\": %.1f,\n\
+                    \  \"primary_read_rps\": %.0f,\n\
+                    \  \"primary_p50_ms\": %.3f,\n\
+                    \  \"primary_p95_ms\": %.3f,\n\
+                    \  \"follower_read_rps\": %.0f,\n\
+                    \  \"follower_p50_ms\": %.3f,\n\
+                    \  \"follower_p95_ms\": %.3f,\n\
+                    \  \"follower_read_ratio\": %.3f,\n\
+                    \  \"runs\": [{\"answers_ok\": %b}],\n\
+                    \  \"answers_ok\": %b\n\
+                     }\n"
+                    cores n n_queries ingest_rps lag_mean lag_max
+                    (ms catchup_dt) p_rps p_p50 p_p95 f_rps f_p50 f_p95 ratio
+                    answers_ok answers_ok))))
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1488,6 +1666,7 @@ let experiments =
     ("server", server_bench);
     ("ingest", ingest_bench);
     ("faults", faults_bench);
+    ("repl", repl_bench);
     ("verify", verify);
     ("micro", micro);
   ]

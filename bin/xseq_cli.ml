@@ -197,12 +197,15 @@ let parse_xpath_or_exit q =
      2  cannot reach the server, or the transport/protocol broke
      3  the request deadline expired
      4  the server is up but degraded (read-only store refused a write)
+     5  the server is a replication follower and refused the operation
+        (the message carries the primary's endpoint)
 
    Documented in each command's EXIT STATUS man section and in the
    README. *)
 let exit_unreachable = 2
 let exit_timeout = 3
 let exit_degraded = 4
+let exit_not_primary = 5
 
 let remote_exits =
   Cmd.Exit.info ~doc:"on success." 0
@@ -224,6 +227,14 @@ let remote_exits =
           read-only after a disk fault and refused the write.  Probe \
           with $(b,xseq query --connect ADDR --health)."
        exit_degraded
+  :: Cmd.Exit.info
+       ~doc:
+         "when the server answered $(b,not primary): it is a \
+          replication follower and the operation belongs on the \
+          primary.  The error message names the primary's endpoint \
+          (retry there, or use $(b,--endpoints) to chase it \
+          automatically)."
+       exit_not_primary
   :: Cmd.Exit.defaults
 
 (* Map a failed client call onto the exit-code scheme above.  Wraps
@@ -237,6 +248,11 @@ let handle_client_errors f =
   | Xserver.Client.Server_error (Xserver.Protocol.Timeout, msg) ->
     Printf.eprintf "server timeout: %s\n" msg;
     exit exit_timeout
+  | Xserver.Client.Server_error (Xserver.Protocol.Not_primary, hint) ->
+    Printf.eprintf "server is a follower%s\n"
+      (if hint = "" then " (primary unknown)"
+       else Printf.sprintf "; the primary is %s" hint);
+    exit exit_not_primary
   | Xserver.Client.Server_error (code, msg) ->
     Printf.eprintf "server error (%s): %s\n"
       (Xserver.Protocol.error_code_to_string code)
@@ -449,6 +465,45 @@ let run_live_queries dir strategy queries =
         answer_all (fun pattern -> Xlog.query log pattern))
   end
 
+(* Queries against a replicated group: fan reads over the endpoint list
+   with failover, optionally bounded-staleness via the primary's
+   watermark.  Cluster's [Failure] means every endpoint failed. *)
+let run_cluster eps queries max_staleness timeout_ms verbose =
+  if queries = [] then begin
+    Printf.eprintf "missing XPATH query\n";
+    exit 1
+  end;
+  match Xserver.Cluster.create eps with
+  | Error msg ->
+    Printf.eprintf "--endpoints: %s\n" msg;
+    exit 1
+  | Ok cluster ->
+    Fun.protect
+      ~finally:(fun () -> Xserver.Cluster.close cluster)
+      (fun () ->
+        List.iter
+          (fun q ->
+            handle_client_errors (fun () ->
+                try
+                  let t0 = Unix.gettimeofday () in
+                  let ids =
+                    Xserver.Cluster.query ~timeout_ms ?max_staleness cluster q
+                  in
+                  let dt = Unix.gettimeofday () -. t0 in
+                  if verbose || List.length queries > 1 then
+                    Printf.printf "%-48s %6d matches (%.2f ms)\n" q
+                      (List.length ids) (dt *. 1000.)
+                  else
+                    Printf.printf "%d matching records (%.2f ms)\n"
+                      (List.length ids) (dt *. 1000.);
+                  if not verbose || List.length queries = 1 then
+                    Printf.printf "ids: %s\n"
+                      (String.concat " " (List.map string_of_int ids))
+                with Failure msg ->
+                  Printf.eprintf "%s\n" msg;
+                  exit exit_unreachable))
+          queries)
+
 let query_cmd =
   let args =
     Arg.(
@@ -532,8 +587,50 @@ let query_cmd =
              DIR (crash-recovering it first); every positional argument \
              is a query.")
   in
+  let endpoints =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "endpoints" ] ~docv:"ADDR,ADDR,..."
+          ~doc:
+            "Fan the queries over a replicated group: each read goes to \
+             whichever endpoint answers (round-robin with failover), \
+             and $(b,Not_primary) redirects are chased.  Every \
+             positional argument is a query.")
+  in
+  let max_staleness =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-staleness" ] ~docv:"N"
+          ~doc:
+            "With $(b,--endpoints): bound follower staleness — the \
+             answering replica must hold all but the last N documents \
+             of the primary's current watermark (0 = exactly caught \
+             up).")
+  in
   let run args strategy show io paged connect verbose server_stats reload
-      timeout health live =
+      timeout health live endpoints max_staleness =
+    (match endpoints with
+     | Some eps ->
+       if connect <> None || live <> None then begin
+         Printf.eprintf "--endpoints is mutually exclusive with --connect/--live\n";
+         exit 1
+       end;
+       if show > 0 || io || paged || server_stats || reload <> None || health
+       then begin
+         Printf.eprintf
+           "--show/--io/--paged/--server-stats/--reload/--health do not \
+            apply with --endpoints\n";
+         exit 1
+       end;
+       run_cluster eps args max_staleness timeout verbose;
+       exit 0
+     | None ->
+       if max_staleness <> None then begin
+         Printf.eprintf "--max-staleness requires --endpoints\n";
+         exit 1
+       end);
     match (live, connect) with
     | Some _, Some _ ->
       Printf.eprintf "--live and --connect are mutually exclusive\n";
@@ -603,7 +700,8 @@ let query_cmd =
           share one index and are compiled once each.")
     Term.(
       const run $ args $ strategy_arg $ show $ io $ paged $ connect $ verbose
-      $ server_stats $ reload $ timeout $ health $ live)
+      $ server_stats $ reload $ timeout $ health $ live $ endpoints
+      $ max_staleness)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -735,9 +833,76 @@ let serve_cmd =
             "XML records or a saved index to serve (optional with \
              $(b,--live)).")
   in
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"ADDR"
+          ~doc:
+            "Run as a replication follower of the primary at ADDR \
+             ($(b,unix:PATH) or $(b,HOST:PORT)): subscribe to its WAL, \
+             mirror every record into the local $(b,--live) store, and \
+             serve reads from it.  Mutations answer $(b,not primary) \
+             with the leader's endpoint.")
+  in
+  let advertise =
+    Arg.(
+      value & opt string ""
+      & info [ "advertise" ] ~docv:"ADDR"
+          ~doc:
+            "How peers and clients reach this node — the leader hint it \
+             hands out when promoted, and its identity in elections.")
+  in
+  let peers =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "peers" ] ~docv:"ADDR,ADDR,..."
+          ~doc:
+            "The other replicas' endpoints — the electorate consulted \
+             by $(b,--auto-promote) before a follower promotes itself.")
+  in
+  let sync_replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "sync-replicas" ] ~docv:"N"
+          ~doc:
+            "Primary: acknowledge a mutation only once N subscribed \
+             followers durably hold it (0 = asynchronous replication).  \
+             Pair with $(b,--sync-every 1).")
+  in
+  let ack_timeout_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "ack-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "With $(b,--sync-replicas): how long a mutation may wait \
+             for follower acknowledgements before answering a timeout \
+             (the write is applied locally; its replication is \
+             indeterminate).")
+  in
+  let heartbeat_timeout_ms =
+    Arg.(
+      value & opt int 3000
+      & info [ "heartbeat-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Follower: presume the primary dead after this much silence \
+             (no batch, no heartbeat) and reconnect — or, with \
+             $(b,--auto-promote), run an election.")
+  in
+  let auto_promote =
+    Arg.(
+      value & flag
+      & info [ "auto-promote" ]
+          ~doc:
+            "Follower: on primary silence, probe $(b,--peers) and \
+             promote self if no primary answers and no peer holds a \
+             higher durable WAL position.")
+  in
   let run input strategy socket port host workers accept_shards max_pending
       plan_cache no_plan_cache timeout_ms metrics_interval dynamic live
-      sync_every memtable_limit shards =
+      sync_every memtable_limit shards follow advertise peers sync_replicas
+      ack_timeout_ms heartbeat_timeout_ms auto_promote =
     let addrs =
       (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
       @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
@@ -750,6 +915,21 @@ let serve_cmd =
       Printf.eprintf "serve: --shards applies to --live only\n";
       exit 1
     end;
+    let repl_wanted =
+      follow <> None || advertise <> "" || peers <> [] || sync_replicas > 0
+      || auto_promote
+    in
+    (match (repl_wanted, live) with
+     | true, None ->
+       Printf.eprintf
+         "serve: --follow/--advertise/--peers/--sync-replicas/\
+          --auto-promote require --live DIR (replication ships the \
+          store's WAL)\n";
+       exit 1
+     | true, Some dir when shards <> None || Xshard.is_sharded_dir dir ->
+       Printf.eprintf "serve: replication does not support --shards yet\n";
+       exit 1
+     | _ -> ());
     let log_store = ref None in
     let shard_store = ref None in
     let source =
@@ -816,6 +996,26 @@ let serve_cmd =
           | None -> Xserver.Server.Static (Xseq.build ~config docs)
         end
     in
+    let repl_node =
+      if not repl_wanted then None
+      else
+        match !log_store with
+        | None -> assert false (* repl_wanted implies an unsharded --live *)
+        | Some log ->
+          Some
+            (Xrepl.Node.create
+               {
+                 Xrepl.Node.default_config with
+                 advertise;
+                 follow;
+                 peers;
+                 sync_replicas;
+                 ack_timeout_ms;
+                 heartbeat_timeout_ms;
+                 auto_promote;
+               }
+               log)
+    in
     let config =
       {
         Xserver.Server.default_config with
@@ -824,10 +1024,23 @@ let serve_cmd =
         max_pending;
         plan_cache_capacity = (if no_plan_cache then 0 else plan_cache);
         default_timeout_ms = timeout_ms;
+        repl = Option.map Xrepl.Node.hooks repl_node;
       }
     in
     let server = Xserver.Server.create ~config source in
     Xserver.Server.start server addrs;
+    (match repl_node with
+     | Some node ->
+       Xrepl.Node.start node;
+       Printf.eprintf "xseq serve: replication %s, epoch %d%s\n%!"
+         (match Xrepl.Node.role node with
+          | `Primary -> "primary"
+          | `Follower -> "follower")
+         (Xrepl.Node.epoch node)
+         (match follow with
+          | Some ep -> Printf.sprintf ", following %s" ep
+          | None -> "")
+     | None -> ());
     Printf.eprintf
       "xseq serve: generation %d on %s (%d workers, %d accept shards, %d \
        max pending, plan cache %d)\n\
@@ -853,6 +1066,7 @@ let serve_cmd =
              loop ())
            ());
     Xserver.Server.wait server;
+    (match repl_node with Some node -> Xrepl.Node.stop node | None -> ());
     (match !log_store with Some log -> Xlog.close log | None -> ());
     (match !shard_store with Some sh -> Xshard.close sh | None -> ());
     Printf.eprintf "xseq serve: stopped cleanly\n"
@@ -868,7 +1082,8 @@ let serve_cmd =
       const run $ serve_input $ strategy_arg $ socket $ port $ host $ workers
       $ accept_shards $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
       $ metrics_interval $ dynamic $ live $ sync_every $ memtable_limit
-      $ shards)
+      $ shards $ follow $ advertise $ peers $ sync_replicas $ ack_timeout_ms
+      $ heartbeat_timeout_ms $ auto_promote)
 
 (* --- ingest ---------------------------------------------------------------- *)
 
@@ -1126,6 +1341,98 @@ let ingest_cmd =
       const run $ files $ strategy_arg $ connect $ live $ sync_every
       $ throttle_ms $ do_flush $ do_compact $ deletes $ shards)
 
+(* --- promote / repl-status ------------------------------------------------ *)
+
+let promote_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "The replica to promote ($(b,unix:PATH) or $(b,HOST:PORT)).")
+  in
+  let timeout =
+    Arg.(
+      value & opt int 10_000
+      & info [ "timeout-ms" ] ~doc:"Request deadline (default 10s).")
+  in
+  let run addr timeout =
+    let client = connect_or_exit addr in
+    Fun.protect
+      ~finally:(fun () -> Xserver.Client.close client)
+      (fun () ->
+        handle_client_errors (fun () ->
+            let epoch = Xserver.Client.promote ~timeout_ms:timeout client in
+            Printf.printf "promoted; epoch %d\n" epoch))
+  in
+  Cmd.v
+    (Cmd.info "promote" ~exits:remote_exits
+       ~doc:
+         "Promote a replica to primary: it bumps the replication epoch, \
+          starts accepting mutations, and fences the old primary (whose \
+          stale-epoch stream followers now refuse).  Point clients at \
+          it, or let $(b,--endpoints) readers chase the new leader \
+          hint.")
+    Term.(const run $ addr $ timeout)
+
+let repl_status_cmd =
+  let addrs =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ADDR..."
+          ~doc:"Replica endpoints to probe ($(b,unix:PATH) or $(b,HOST:PORT)).")
+  in
+  let run addrs =
+    List.iter
+      (fun addr_s ->
+        match Xserver.Server.addr_of_string addr_s with
+        | Error msg -> Printf.printf "%-28s bad address: %s\n" addr_s msg
+        | Ok addr -> (
+          match Xserver.Client.connect addr with
+          | exception e ->
+            Printf.printf "%-28s unreachable: %s\n" addr_s
+              (match e with
+               | Unix.Unix_error (er, _, _) -> Unix.error_message er
+               | Xserver.Client.Timeout m -> m
+               | e -> Printexc.to_string e)
+          | client ->
+            Fun.protect
+              ~finally:(fun () -> Xserver.Client.close client)
+              (fun () ->
+                match Xserver.Client.repl_status ~timeout_ms:5000 client with
+                | st ->
+                  Printf.printf
+                    "%-28s %-8s epoch %-4d durable %06d:%d  next id %d%s\n"
+                    addr_s
+                    (match st.Xserver.Client.role with
+                     | `Primary -> "primary"
+                     | `Follower -> "follower")
+                    st.Xserver.Client.epoch
+                    st.Xserver.Client.durable.Xlog.Wal.file
+                    st.Xserver.Client.durable.Xlog.Wal.off
+                    st.Xserver.Client.repl_next_id
+                    (if st.Xserver.Client.leader_hint = "" then ""
+                     else
+                       Printf.sprintf "  (primary: %s)"
+                         st.Xserver.Client.leader_hint)
+                | exception Xserver.Client.Server_error (code, msg) ->
+                  Printf.printf "%-28s error (%s): %s\n" addr_s
+                    (Xserver.Protocol.error_code_to_string code)
+                    msg
+                | exception e ->
+                  Printf.printf "%-28s %s\n" addr_s (Printexc.to_string e))))
+      addrs
+  in
+  Cmd.v
+    (Cmd.info "repl-status"
+       ~doc:
+         "Print each replica's role, epoch, durable WAL position and \
+          document watermark — one line per endpoint, unreachable ones \
+          reported inline (the command itself always exits 0 unless an \
+          address is malformed).")
+    Term.(const run $ addrs)
+
 (* --- query-batch ---------------------------------------------------------- *)
 
 let query_batch_cmd =
@@ -1366,4 +1673,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ gen_cmd; index_cmd; info_cmd; stats_cmd; paths_cmd; sequence_cmd;
-         query_cmd; query_batch_cmd; explain_cmd; serve_cmd; ingest_cmd ]))
+         query_cmd; query_batch_cmd; explain_cmd; serve_cmd; ingest_cmd;
+         promote_cmd; repl_status_cmd ]))

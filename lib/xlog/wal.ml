@@ -203,6 +203,199 @@ let scan_file ?offset path =
   | exception Unix.Unix_error (e, fn, _) ->
     Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 
+let scan_records s =
+  let len = String.length s in
+  let ops = ref [] in
+  let pos = ref 0 in
+  match
+    while !pos < len do
+      if !pos + header_size > len then bad "truncated record header at byte %d" !pos;
+      let n = Int32.to_int (String.get_int32_le s !pos) in
+      if n < 1 || n > max_record then
+        bad "implausible record length %d at byte %d" n !pos;
+      if n > len - !pos - header_size then
+        bad "truncated record payload at byte %d" !pos;
+      let stored = String.get_int64_le s (!pos + 4) in
+      if not (Int64.equal stored (checksum s (!pos + header_size) n)) then
+        bad "record checksum mismatch at byte %d" !pos;
+      (match decode_op (String.sub s (!pos + header_size) n) with
+      | Ok op -> ops := op :: !ops
+      | Error m -> bad "undecodable record at byte %d (%s)" !pos m);
+      pos := !pos + header_size + n
+    done
+  with
+  | () -> Ok (List.rev !ops)
+  | exception Malformed m -> Error m
+
+(* --- positions and tailing ---------------------------------------------- *)
+
+type position = { file : int; off : int }
+
+let start_position = { file = 0; off = String.length magic }
+
+let position_compare a b =
+  if a.file <> b.file then Stdlib.compare a.file b.file
+  else Stdlib.compare a.off b.off
+
+let position_to_string p = Printf.sprintf "(%d, %d)" p.file p.off
+let file_name i = Printf.sprintf "wal-%06d.log" i
+
+let list_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           match Scanf.sscanf_opt name "wal-%06d.log%!" Fun.id with
+           | Some i -> Some (i, Filename.concat dir name)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+type batch = { b_records : string; b_count : int; b_next : position }
+
+type tail_error =
+  | Position_pruned of { earliest : position }
+  | Tail_error of string
+
+let tail_error_to_string = function
+  | Position_pruned { earliest } ->
+    Printf.sprintf "position pruned; earliest retained is %s"
+      (position_to_string earliest)
+  | Tail_error msg -> msg
+
+let default_tail_bytes = 256 * 1024
+
+let read_range path ~off ~len =
+  let fd = Xfault.Io.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET : int);
+      let buf = Bytes.create len in
+      let pos = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !pos < len do
+        let n = retry_eintr (fun () -> Xfault.Io.read fd buf !pos (len - !pos)) in
+        if n = 0 then eof := true else pos := !pos + n
+      done;
+      Bytes.sub_string buf 0 !pos)
+
+(* Walk complete, checksum-valid records in [data] (a window read from
+   [file_off] of a file [size] bytes long).  Returns the byte length of
+   the good prefix, how many records it holds, and why the walk stopped:
+   [`More] — the next record exists in the file but overruns the window;
+   [`Eof] — clean end of file; [`End] — a torn, in-flight or garbage
+   record (never shipped; rotation decides whether to skip it). *)
+let walk_records data ~file_off ~size =
+  let win = String.length data in
+  let rec go p count =
+    if p + header_size > win then
+      if file_off + p = size then (p, count, `Eof)
+      else if file_off + p + header_size <= size then (p, count, `More)
+      else (p, count, `End)
+    else begin
+      let n = Int32.to_int (String.get_int32_le data p) in
+      if n < 1 || n > max_record then (p, count, `End)
+      else if p + header_size + n > win then
+        if file_off + p + header_size + n <= size then (p, count, `More)
+        else (p, count, `End)
+      else begin
+        let stored = String.get_int64_le data (p + 4) in
+        if not (Int64.equal stored (checksum data (p + header_size) n)) then
+          (p, count, `End)
+        else go (p + header_size + n) (count + 1)
+      end
+    end
+  in
+  go 0 0
+
+let tail ~dir ?(max_bytes = default_tail_bytes) pos =
+  let max_bytes = max max_bytes 4096 in
+  let files = list_files dir in
+  let next_file_after seq =
+    List.find_map (fun (i, _) -> if i > seq then Some i else None) files
+  in
+  let advance seq =
+    Ok { b_records = ""; b_count = 0; b_next = { file = seq; off = String.length magic } }
+  in
+  let wait () = Ok { b_records = ""; b_count = 0; b_next = pos } in
+  match files with
+  | [] -> Error (Tail_error (Printf.sprintf "no WAL files in %s" dir))
+  | (earliest, _) :: _ ->
+    if pos.file < earliest then
+      Error (Position_pruned { earliest = { file = earliest; off = String.length magic } })
+    else if pos.off < String.length magic then
+      Error
+        (Tail_error
+           (Printf.sprintf "position %s is inside the magic" (position_to_string pos)))
+    else begin
+      match List.assoc_opt pos.file files with
+      | None -> (
+        (* A file that never materialised (a failed rotation during a
+           degraded episode).  If the log moved past it, skip ahead;
+           otherwise the position is beyond the end of the log. *)
+        match next_file_after pos.file with
+        | Some seq -> advance seq
+        | None ->
+          Error
+            (Tail_error
+               (Printf.sprintf "position %s is beyond the end of the log"
+                  (position_to_string pos))))
+      | Some path -> (
+        match (Unix.stat path).Unix.st_size with
+        | exception Unix.Unix_error (e, fn, _) ->
+          Error (Tail_error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+        | size ->
+          if pos.off > size then begin
+            match next_file_after pos.file with
+            | Some seq -> advance seq (* dead file: skip its garbage *)
+            | None ->
+              if pos.off = String.length magic then wait () (* mid-create *)
+              else
+                Error
+                  (Tail_error
+                     (Printf.sprintf "position %s is beyond the end of %s (%d bytes)"
+                        (position_to_string pos) (Filename.basename path) size))
+          end
+          else begin
+            let rec attempt window =
+              match read_range path ~off:pos.off ~len:(min window (size - pos.off)) with
+              | exception Sys_error msg -> Error (Tail_error msg)
+              | exception Unix.Unix_error (e, fn, _) ->
+                Error (Tail_error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+              | data -> (
+                let good, count, reason = walk_records data ~file_off:pos.off ~size in
+                if count > 0 then
+                  Ok
+                    {
+                      b_records = String.sub data 0 good;
+                      b_count = count;
+                      b_next = { pos with off = pos.off + good };
+                    }
+                else
+                  match reason with
+                  | `More ->
+                    (* The first record alone overruns the window: widen
+                       to exactly that record (bounded by max_record). *)
+                    let need =
+                      if String.length data >= header_size then
+                        header_size + Int32.to_int (String.get_int32_le data 0)
+                      else header_size + max_record
+                    in
+                    if need > window then attempt need else wait ()
+                  | `Eof | `End -> (
+                    (* Caught up, or stalled on a torn/in-flight tail.
+                       If the log already rotated past this file, the
+                       unread tail bytes are unacknowledged garbage —
+                       skip to the next file; otherwise poll again. *)
+                    match next_file_after pos.file with
+                    | Some seq -> advance seq
+                    | None -> wait ()))
+            in
+            attempt max_bytes
+          end)
+    end
+
 (* --- appending ---------------------------------------------------------- *)
 
 type writer = {
@@ -211,6 +404,7 @@ type writer = {
   sync_every : int;
   mutable unsynced : int; (* records appended since the last fsync *)
   mutable off : int; (* logical end of log, buffered bytes included *)
+  mutable durable : int; (* offset covered by the last successful fsync *)
   mutable closed : bool;
 }
 
@@ -263,7 +457,15 @@ let create ?(sync_every = 1) path =
     end
   with
   | off ->
-    { fd; buf = Buffer.create 4096; sync_every; unsynced = 0; off; closed = false }
+    {
+      fd;
+      buf = Buffer.create 4096;
+      sync_every;
+      unsynced = 0;
+      off;
+      durable = off;
+      closed = false;
+    }
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
@@ -271,7 +473,8 @@ let create ?(sync_every = 1) path =
 let sync w =
   flush_buf w;
   retry_eintr (fun () -> Xfault.Io.fsync w.fd);
-  w.unsynced <- 0
+  w.unsynced <- 0;
+  w.durable <- w.off
 
 let append w op =
   if w.closed then invalid_arg "Xlog.Wal.append: closed";
@@ -282,7 +485,18 @@ let append w op =
   if w.sync_every > 0 && w.unsynced >= w.sync_every then sync w
   else if Buffer.length w.buf >= 1 lsl 20 then flush_buf w
 
+let append_raw w ?(records = 1) s =
+  if w.closed then invalid_arg "Xlog.Wal.append_raw: closed";
+  if String.length s > 0 then begin
+    Buffer.add_string w.buf s;
+    w.off <- w.off + String.length s;
+    w.unsynced <- w.unsynced + records;
+    if w.sync_every > 0 && w.unsynced >= w.sync_every then sync w
+    else if Buffer.length w.buf >= 1 lsl 20 then flush_buf w
+  end
+
 let offset w = w.off
+let durable_offset w = w.durable
 
 let close w =
   if not w.closed then begin

@@ -69,6 +69,71 @@ val scan_string : ?offset:int -> string -> (scan, string) result
 val scan_file : ?offset:int -> string -> (scan, string) result
 (** {!scan_string} over a file's contents.  Missing file is [Error]. *)
 
+val scan_records : string -> (op list, string) result
+(** Decodes a bare run of records — headers + payloads, {e no} magic —
+    such as a replication batch.  Total: truncation, a checksum mismatch
+    or trailing bytes are all [Error] (a batch that arrived over a
+    checksummed stream must decode perfectly or be refused whole).
+    Never raises. *)
+
+(** {1 Positions and tailing}
+
+    A replication cursor is a [(file_seq, byte_offset)] pair naming a
+    point in the store's WAL {e file sequence} — [wal-000017.log] at
+    byte 128 is [{ file = 17; off = 128 }].  Followers mirror the
+    primary's files byte-for-byte at the same sequence numbers, so
+    positions mean the same thing on every node and survive failover. *)
+
+type position = { file : int;  (** WAL file sequence number *) off : int }
+
+val start_position : position
+(** File 0, just past the magic: where a fresh store's log begins. *)
+
+val position_compare : position -> position -> int
+(** Lexicographic: file first, then offset. *)
+
+val position_to_string : position -> string
+(** ["(17, 128)"] — for errors, stats and logs. *)
+
+val file_name : int -> string
+(** ["wal-%06d.log"] — the WAL file naming scheme, shared with the
+    store. *)
+
+val list_files : string -> (int * string) list
+(** WAL files in a store directory as [(seq, path)], ascending.  Empty
+    if the directory is missing or holds none. *)
+
+type batch = {
+  b_records : string;
+      (** zero or more complete records, raw header+payload bytes —
+          exactly what {!append_raw} replays on a follower *)
+  b_count : int;  (** records in [b_records] *)
+  b_next : position;  (** resume position just past them *)
+}
+
+type tail_error =
+  | Position_pruned of { earliest : position }
+      (** the requested file was pruned by compaction; the oldest
+          retained log starts at [earliest] — the follower must re-seed
+          from a checkpoint snapshot, no byte replay can reach it *)
+  | Tail_error of string
+      (** the position is beyond the end of the log, inside a record
+          boundary, or the directory/file could not be read *)
+
+val tail_error_to_string : tail_error -> string
+
+val tail : dir:string -> ?max_bytes:int -> position -> (batch, tail_error) result
+(** Reads committed records from [pos], at most [max_bytes] (default
+    256 KiB) of them, validating every checksum — a torn or in-flight
+    tail record is never shipped.  Resumable across rotations: when the
+    current file is exhausted and a higher-sequence file exists, the
+    batch's [b_next] advances to the next file's first record (skipping
+    any torn garbage a dead file's tail may carry — those bytes were
+    never acknowledged).  An empty batch with [b_next = pos] means
+    "caught up, poll again".  A position older than the oldest retained
+    file is {!Position_pruned}, {e not} an exception — WAL pruning must
+    never crash the shipping path.  Never raises. *)
+
 (** {1 Appending}
 
     Every physical read, write and fsync below (and in {!scan_file})
@@ -89,12 +154,24 @@ val create : ?sync_every:int -> string -> writer
 val append : writer -> op -> unit
 (** Appends one record and applies the [sync_every] policy. *)
 
+val append_raw : writer -> ?records:int -> string -> unit
+(** Appends pre-encoded record bytes verbatim — the follower side of
+    WAL mirroring: a {!tail} batch's [b_records] lands on the replica
+    at exactly the primary's offsets.  The caller vouches the bytes are
+    whole records ({!scan_records} validates); [records] (default 1)
+    feeds the [sync_every] accounting. *)
+
 val sync : writer -> unit
 (** Flushes buffered records and [fsync]s the file. *)
 
 val offset : writer -> int
 (** Current end-of-log offset (magic + records appended or recovered),
     i.e. the replay position a checkpoint should record. *)
+
+val durable_offset : writer -> int
+(** Offset up to which records have reached stable storage (the last
+    successful {!sync}).  What a replication heartbeat may advertise:
+    bytes past it can still be lost by a crash. *)
 
 val close : writer -> unit
 (** {!sync} then close the fd.  Idempotent. *)

@@ -8,8 +8,14 @@ module Iset = Set.Make (Int)
 
 let ckp_magic = "xlogckp1"
 let ckp_version = 1
-let wal_file dir i = Filename.concat dir (Printf.sprintf "wal-%06d.log" i)
+let wal_file dir i = Filename.concat dir (Wal.file_name i)
 let base_file i = Printf.sprintf "base-%06d.xseq" i
+
+(* No-rotation (replica) compaction cuts mid-file, so the WAL index alone
+   cannot name the snapshot; a per-open monotone cut counter keeps the
+   names unique — a snapshot file is never overwritten while a checkpoint
+   might still reference it. *)
+let cut_base_file wal_index cut = Printf.sprintf "base-%06d-%06d.xseq" wal_index cut
 
 (* --- view --------------------------------------------------------------- *)
 
@@ -45,6 +51,10 @@ type t = {
   mutable compacting : bool;
   mutable bg : Thread.t option;
   mutable closed : bool;
+  mutable cut_seq : int;  (** next no-rotation snapshot serial *)
+  mutable retain_wal : unit -> int option;
+      (** replication retention hook: [Some seq] keeps WAL files [>= seq]
+          through pruning (live subscriptions still need them) *)
   sync_every : int;
   memtable_limit : int;
   max_segments : int;
@@ -339,40 +349,62 @@ let seal_locked t =
       }
   end
 
-let rotate_locked t =
+let rotate_to_locked t target =
   (try Wal.close t.wal
    with Unix.Unix_error (e, fn, _) ->
      (* The final flush failed: the old fd is useless.  Drop it (the
         records are still in the view) and degrade. *)
      Wal.abort t.wal;
      degrade_and_raise t ~what:"wal rotate (close)" e fn);
-  t.wal_index <- t.wal_index + 1;
+  t.wal_index <- target;
   try t.wal <- Wal.create ~sync_every:t.sync_every (wal_file t.dirname t.wal_index)
   with Unix.Unix_error (e, fn, _) ->
     degrade_and_raise t ~what:"wal rotate (create)" e fn
 
+let rotate_locked t = rotate_to_locked t (t.wal_index + 1)
+
 type snapshot = {
   s_view : view;
-  s_wal_index : int;  (** replay starts here: the freshly rotated WAL *)
+  s_wal_index : int;  (** replay starts in this WAL file... *)
+  s_wal_offset : int;  (** ...at this offset (just past the magic after
+                           a rotation; mid-file for a no-rotation cut) *)
+  s_base_name : string;  (** snapshot file to write, "" if no live docs *)
   s_next_id : int;
 }
 
-(* Must be called with [writer_m] held.  Seals the memtable and rotates
-   the WAL so that every record in files >= [s_wal_index] post-dates the
-   snapshot, then hands the cut to the (possibly backgrounded) rebuild. *)
-let compact_cut_locked t =
+(* Must be called with [writer_m] held.  Seals the memtable and cuts the
+   WAL — by rotating to a fresh file (the primary shape: every record in
+   files >= [s_wal_index] post-dates the snapshot), or, with
+   [rotate = false] (the replica shape: the file sequence must mirror the
+   primary's byte-for-byte, so a follower may never invent a rotation),
+   by syncing and recording the mid-file offset — then hands the cut to
+   the (possibly backgrounded) rebuild. *)
+let compact_cut_locked ?(rotate = true) t =
   if t.compacting then None
   else begin
     t.compacting <- true;
     match
       seal_locked t;
-      rotate_locked t
+      if rotate then rotate_locked t else wal_sync t
     with
     | () ->
+      let s_wal_offset =
+        if rotate then String.length Wal.magic else Wal.offset t.wal
+      in
+      let s_base_name =
+        if rotate then base_file t.wal_index
+        else begin
+          let name = cut_base_file t.wal_index t.cut_seq in
+          t.cut_seq <- t.cut_seq + 1;
+          name
+        end
+      in
       Some
         {
           s_view = Atomic.get t.view;
           s_wal_index = t.wal_index;
+          s_wal_offset;
+          s_base_name;
           s_next_id = t.next_id;
         }
     | exception e ->
@@ -387,6 +419,17 @@ let rec drop_prefix prefix l =
   | _ -> invalid_arg "Xlog: segment list diverged from compaction snapshot"
 
 let prune_files t keep_wal_from keep_base =
+  (* Live replication subscriptions may still be shipping files older
+     than the checkpoint cut; the retention hook holds them back.  (A
+     pruned follower is not lost — {!Wal.tail} answers Position_pruned
+     and it re-seeds — but not pruning under an active stream is far
+     cheaper.) *)
+  let keep_wal_from =
+    match t.retain_wal () with
+    | Some seq -> min seq keep_wal_from
+    | None -> keep_wal_from
+    | exception _ -> keep_wal_from
+  in
   Array.iter
     (fun name ->
       let doomed =
@@ -422,7 +465,7 @@ let compact_finish t snap =
         else begin
           let ids = Array.map fst live in
           let seg = build_seg t ids (Array.map snd live) in
-          let name = base_file snap.s_wal_index in
+          let name = snap.s_base_name in
           let path = Filename.concat t.dirname name in
           Xseq.save seg.index path;
           fsync_path path;
@@ -430,11 +473,11 @@ let compact_finish t snap =
         end
       in
       (* Commit point: once the checkpoint renames into place, WALs before
-         the rotation and older base snapshots are garbage. *)
+         the cut and older base snapshots are garbage. *)
       write_checkpoint t.dirname
         {
           c_wal_index = snap.s_wal_index;
-          c_wal_offset = String.length Wal.magic;
+          c_wal_offset = snap.s_wal_offset;
           c_next_id = snap.s_next_id;
           c_base = name;
           c_ids = ids;
@@ -485,11 +528,11 @@ let spawn_compaction t snap =
                (Printexc.to_string e))
          ())
 
-let compact ?(wait = true) t =
+let compact ?(wait = true) ?(rotate = true) t =
   match
     locked t (fun () ->
         check_writable t;
-        let cut = compact_cut_locked t in
+        let cut = compact_cut_locked ~rotate t in
         (match cut with
         | Some snap when not wait -> spawn_compaction t snap
         | _ -> ());
@@ -599,6 +642,87 @@ let flush t =
       seal_locked t;
       wal_sync t)
 
+(* --- replication (follower side) -----------------------------------------
+
+   A follower's store is a byte-for-byte mirror of the primary's WAL
+   file sequence: batches land at exactly the offsets the primary wrote
+   them, rotations are replayed as rotations, so a (file, offset)
+   position means the same thing on every node — the follower's own log
+   end doubles as its resume cursor across restarts (open_'s torn-tail
+   truncation trims any half-received batch back to a record boundary),
+   and after a promotion the new primary simply keeps appending where
+   the mirror ends. *)
+
+let replica_apply t ~from ~next records =
+  locked t (fun () ->
+      check_writable t;
+      let cur = { Wal.file = t.wal_index; off = Wal.offset t.wal } in
+      if Wal.position_compare from cur <> 0 then
+        Error
+          (Printf.sprintf "batch from %s but the log ends at %s"
+             (Wal.position_to_string from)
+             (Wal.position_to_string cur))
+      else begin
+        match Wal.scan_records records with
+        | Error msg -> Error ("refused batch: " ^ msg)
+        | Ok ops ->
+          if String.length records > 0 then begin
+            (try Wal.append_raw t.wal ~records:(List.length ops) records
+             with Unix.Unix_error (e, fn, _) ->
+               degrade_and_raise t ~what:"replica append" e fn);
+            List.iter
+              (fun op ->
+                match op with
+                | Wal.Insert (id, doc) ->
+                  if id >= t.next_id then t.next_id <- id + 1;
+                  let v = Atomic.get t.view in
+                  Atomic.set t.view
+                    {
+                      v with
+                      pending = (id, doc) :: v.pending;
+                      npending = v.npending + 1;
+                    }
+                | Wal.Remove id ->
+                  let v = Atomic.get t.view in
+                  Atomic.set t.view { v with tombs = Iset.add id v.tombs })
+              ops;
+            if (Atomic.get t.view).npending >= t.memtable_limit then begin
+              seal_locked t;
+              if
+                List.length (Atomic.get t.view).segs > t.max_segments
+                && not t.compacting
+              then
+                (* Replicas checkpoint without rotating: the file
+                   sequence must keep mirroring the primary's. *)
+                match compact_cut_locked ~rotate:false t with
+                | Some snap -> spawn_compaction t snap
+                | None -> ()
+            end
+          end;
+          if next.Wal.file > t.wal_index then begin
+            if next.Wal.off <> String.length Wal.magic then
+              Error
+                (Printf.sprintf "rotation to mid-file position %s"
+                   (Wal.position_to_string next))
+            else begin
+              rotate_to_locked t next.Wal.file;
+              Ok { Wal.file = t.wal_index; off = Wal.durable_offset t.wal }
+            end
+          end
+          else if
+            next.Wal.file < t.wal_index || next.Wal.off <> Wal.offset t.wal
+          then
+            Error
+              (Printf.sprintf "batch advertised %s but the log ends at %s"
+                 (Wal.position_to_string next)
+                 (Wal.position_to_string
+                    { Wal.file = t.wal_index; off = Wal.offset t.wal }))
+          else begin
+            wal_sync t;
+            Ok { Wal.file = t.wal_index; off = Wal.durable_offset t.wal }
+          end
+      end)
+
 let sync t =
   locked t (fun () ->
       check_writable t;
@@ -652,18 +776,32 @@ let segments t = List.length (Atomic.get t.view).segs
 let tombstones t = Iset.cardinal (Atomic.get t.view).tombs
 let generation t = (Atomic.get t.view).stamp
 let wal_offset t = locked t (fun () -> Wal.offset t.wal)
+
+let wal_position t =
+  locked t (fun () -> { Wal.file = t.wal_index; off = Wal.offset t.wal })
+
+let wal_durable_position t =
+  locked t (fun () -> { Wal.file = t.wal_index; off = Wal.durable_offset t.wal })
+
+let set_wal_retention t f = locked t (fun () -> t.retain_wal <- f)
 let dir t = t.dirname
 let recovery t = t.recovery_info
 
 (* --- open / recovery ---------------------------------------------------- *)
 
-let list_wals dirname =
-  Sys.readdir dirname |> Array.to_list
-  |> List.filter_map (fun name ->
-         match Scanf.sscanf_opt name "wal-%06d.log%!" Fun.id with
-         | Some i -> Some (i, Filename.concat dirname name)
-         | None -> None)
-  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+let list_wals = Wal.list_files
+
+(* The next unused no-rotation snapshot serial: one past any left by a
+   previous incarnation, so a name a checkpoint may still reference is
+   never overwritten. *)
+let scan_cut_seq dirname =
+  Array.fold_left
+    (fun acc name ->
+      match Scanf.sscanf_opt name "base-%06d-%06d.xseq%!" (fun _ c -> c) with
+      | Some c -> max acc (c + 1)
+      | None -> acc)
+    0
+    (try Sys.readdir dirname with Sys_error _ -> [||])
 
 let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
     ?(domains = 1) ?pool ?(config = Xseq.default_config)
@@ -761,6 +899,8 @@ let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
       compacting = false;
       bg = None;
       closed = false;
+      cut_seq = scan_cut_seq dirname;
+      retain_wal = (fun () -> None);
       sync_every;
       memtable_limit = max 1 memtable_limit;
       max_segments = max 1 max_segments;

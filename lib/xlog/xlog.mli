@@ -101,13 +101,17 @@ val flush : t -> unit
 (** Seals the memtable into a delta segment (if non-empty) and fsyncs
     the WAL. *)
 
-val compact : ?wait:bool -> t -> bool
+val compact : ?wait:bool -> ?rotate:bool -> t -> bool
 (** Rebuilds base ⊎ deltas minus tombstones, checkpoints, prunes WALs
     and installs the result.  With [wait = false] the heavy rebuild runs
     on a background thread (the memtable seal and WAL rotation still
-    happen synchronously, so the snapshot cut is well defined).  [false]
-    if a compaction was already in flight — at most one runs at a
-    time. *)
+    happen synchronously, so the snapshot cut is well defined).
+    [rotate = false] (the {e replica} shape) cuts mid-file instead of
+    rotating: a follower's WAL file sequence must stay a byte-for-byte
+    mirror of the primary's, so it may never invent a rotation of its
+    own — the checkpoint records the mid-file replay offset and pruning
+    keeps the current file.  [false] if a compaction was already in
+    flight — at most one runs at a time. *)
 
 val query : ?stats:Xquery.Matcher.stats -> t -> Pattern.t -> int list
 (** Live ids of the documents containing the pattern, sorted — answers
@@ -189,6 +193,48 @@ val tombstones : t -> int
 
 val wal_offset : t -> int
 (** End-of-log offset of the current WAL file. *)
+
+(** {1 Replication}
+
+    The WAL doubles as the replication stream: a primary's log is
+    shipped record-for-record and a follower {e mirrors} it —
+    {!replica_apply} lands each batch at exactly the (file, offset) the
+    primary wrote it and replays rotations as rotations, so positions
+    are cluster-universal, the follower's own log end is its resume
+    cursor across restarts (torn-tail truncation trims any half-received
+    batch), and promotion needs no data movement: the new primary keeps
+    appending where the mirror ends.  Follower-side compaction must use
+    [compact ~rotate:false].  See [Xrepl] for the engine built on
+    these. *)
+
+val wal_position : t -> Wal.position
+(** End of the WAL file sequence — what {!Wal.tail} resumes from, and
+    the [from] a mirroring follower must present. *)
+
+val wal_durable_position : t -> Wal.position
+(** Like {!wal_position} but only counting bytes fsynced to stable
+    storage — what heartbeats advertise and promotion elections
+    compare. *)
+
+val replica_apply :
+  t -> from:Wal.position -> next:Wal.position -> string -> (Wal.position, string) result
+(** Applies one {!Wal.tail} batch to a follower: validates every record
+    checksum, appends the raw bytes at [from] (which must equal
+    {!wal_position} — a mismatch is an [Error], the subscriber's cue to
+    resubscribe from the real log end), updates the visible view
+    (inserts land in the memtable under their {e original} ids, removes
+    tombstone), seals/compacts exactly as the primary's ingest path
+    does, mirrors the rotation when [next] names a later file, and
+    syncs.  Returns the new durable position — what the follower may
+    acknowledge upstream.
+    @raise Degraded if the replica's own disk refuses the write. *)
+
+val set_wal_retention : t -> (unit -> int option) -> unit
+(** Installs the pruning retention hook: called before each
+    checkpoint's WAL pruning, [Some seq] keeps files [>= seq] alive
+    (a primary's live subscriptions still reading them).  Pruning
+    beyond an active cursor is not fatal — {!Wal.tail} answers
+    [Position_pruned] and the follower re-seeds — just expensive. *)
 
 val dir : t -> string
 

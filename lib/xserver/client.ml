@@ -123,8 +123,15 @@ let connect ?(policy = default_policy) ?seed (addr : Server.addr) =
    touching any state, so it rides along.  Everything else (Insert,
    Delete, Flush, Reload) must never be sent twice. *)
 let idempotent = function
-  | P.Ping | P.Query _ | P.Query_batch _ | P.Stats | P.Health | P.Unknown _ ->
-    true
+  | P.Ping | P.Query _ | P.Query_batch _ | P.Stats | P.Health | P.Unknown _
+  | P.Repl_status | P.Query_bounded _ -> true
+  (* Promote is idempotent by contract: promoting a primary again just
+     answers its current epoch. *)
+  | P.Promote -> true
+  (* Subscribe/Wal_ack never travel through the request/response path
+     (the replication engine drives them over a raw stream); classified
+     non-retryable defensively. *)
+  | P.Subscribe _ | P.Wal_ack _ -> false
   | P.Reload _ | P.Insert _ | P.Delete _ | P.Flush -> false
 
 (* Transport failures worth a reconnect-and-retry; anything else (bad
@@ -283,6 +290,32 @@ let flush ?timeout_ms t =
   match roundtrip ?timeout_ms t P.Flush with
   | P.Flushed { generation } -> generation
   | _ -> unexpected "flush"
+
+(* --- replication ----------------------------------------------------------- *)
+
+type repl_state = {
+  role : [ `Primary | `Follower ];
+  epoch : int;
+  durable : Xlog.Wal.position;
+  repl_next_id : int;
+  leader_hint : string;
+}
+
+let promote ?timeout_ms t =
+  match roundtrip ?timeout_ms t P.Promote with
+  | P.Promoted { epoch } -> epoch
+  | _ -> unexpected "promote"
+
+let repl_status ?timeout_ms t =
+  match roundtrip ?timeout_ms t P.Repl_status with
+  | P.Repl_state { role; epoch; durable; next_id; leader_hint } ->
+    { role; epoch; durable; repl_next_id = next_id; leader_hint }
+  | _ -> unexpected "repl_status"
+
+let query_bounded ?(timeout_ms = 0) ~min_gen t xpath =
+  match roundtrip ~timeout_ms t (P.Query_bounded { xpath; timeout_ms; min_gen }) with
+  | P.Result { generation; ids } -> (generation, ids)
+  | _ -> unexpected "query_bounded"
 
 (* --- pipelining ------------------------------------------------------------ *)
 

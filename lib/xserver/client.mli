@@ -123,6 +123,32 @@ val flush : ?timeout_ms:int -> t -> int
 (** Seals the server's memtable and fsyncs its WAL; returns the new
     structure generation. *)
 
+(** {1 Replication}
+
+    Probes and controls for replicated deployments; servers without a
+    replication role answer [Unsupported].  For topology-aware fan-out
+    (read failover, leader chasing) use {!Cluster} — these are the
+    single-endpoint primitives it builds on. *)
+
+type repl_state = {
+  role : [ `Primary | `Follower ];
+  epoch : int;  (** fencing epoch; grows by one per promotion *)
+  durable : Xlog.Wal.position;  (** the node's fsynced log end *)
+  repl_next_id : int;  (** id watermark — the staleness generation *)
+  leader_hint : string;  (** known primary endpoint, "" if none/self *)
+}
+
+val promote : ?timeout_ms:int -> t -> int
+(** Makes the node the primary (bumping the epoch) and returns the new
+    epoch.  Idempotent on a primary, hence retried like a read. *)
+
+val repl_status : ?timeout_ms:int -> t -> repl_state
+
+val query_bounded : ?timeout_ms:int -> min_gen:int -> t -> string -> int * int list
+(** Bounded-staleness read: the node answers only if it has applied at
+    least [min_gen] document ids; otherwise it raises {!Server_error}
+    with [Protocol.Not_primary] whose message is the leader hint. *)
+
 (** {1 Pipelining}
 
     The event-driven server answers pipelined requests strictly in

@@ -1,0 +1,292 @@
+(* Topology-aware client: read fan-out with failover, mutation leader
+   chasing.  See cluster.mli for the at-most-once contract. *)
+
+module P = Protocol
+
+type member = {
+  ep : string;
+  addr : Server.addr;
+  mutable cli : Client.t option;  (** dialled lazily, dropped on failure *)
+}
+
+type t = {
+  policy : Client.policy;
+  seed : int option;
+  mutable members : member array;
+  mutable rr : int;  (** read fan-out rotation *)
+  mutable leader_idx : int option;  (** last proven/hinted primary *)
+  mutable closed : bool;
+}
+
+let create ?(policy = Client.default_policy) ?seed eps =
+  if eps = [] then Error "no endpoints"
+  else
+    let rec parse acc = function
+      | [] -> Ok (List.rev acc)
+      | ep :: rest -> (
+        match Server.addr_of_string ep with
+        | Ok addr -> parse ({ ep; addr; cli = None } :: acc) rest
+        | Error m -> Error m)
+    in
+    match parse [] eps with
+    | Error m -> Error m
+    | Ok members ->
+      Ok
+        {
+          policy;
+          seed;
+          members = Array.of_list members;
+          rr = 0;
+          leader_idx = None;
+          closed = false;
+        }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun m ->
+        match m.cli with
+        | Some c ->
+          m.cli <- None;
+          Client.close c
+        | None -> ())
+      t.members
+  end
+
+let endpoints t = Array.to_list (Array.map (fun m -> m.ep) t.members)
+
+let leader t =
+  match t.leader_idx with
+  | Some i when i < Array.length t.members -> Some t.members.(i).ep
+  | _ -> None
+
+let drop_member m =
+  match m.cli with
+  | Some c ->
+    m.cli <- None;
+    Client.close c
+  | None -> ()
+
+(* Connect-stage failures are safe to route around — nothing was sent. *)
+let member_client t m =
+  if t.closed then Error "cluster is closed"
+  else
+    match m.cli with
+    | Some c -> Ok c
+    | None -> (
+      match Client.connect ~policy:t.policy ?seed:t.seed m.addr with
+      | c ->
+        m.cli <- Some c;
+        Ok c
+      | exception e -> Error (Printexc.to_string e))
+
+(* Leader hints may name endpoints the cluster was never configured
+   with; learn them on the fly. *)
+let find_or_add t ep =
+  let n = Array.length t.members in
+  let rec scan i =
+    if i >= n then None
+    else if t.members.(i).ep = ep then Some i
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | Some i -> Some i
+  | None -> (
+    match Server.addr_of_string ep with
+    | Error _ -> None
+    | Ok addr ->
+      t.members <- Array.append t.members [| { ep; addr; cli = None } |];
+      Some n)
+
+let transport_failure = function
+  | Client.Timeout _ | Client.Protocol_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+(* --- reads ----------------------------------------------------------------- *)
+
+(* One pass over the members starting at the rotation point; [run]
+   performs the read against a connected client.  A [Not_primary]
+   answer is a redirect, not a failure of the group — skip and let a
+   fresher member answer. *)
+let read_over t ~what run =
+  let n = Array.length t.members in
+  let start = t.rr in
+  t.rr <- (t.rr + 1) mod n;
+  let failures = ref [] in
+  let rec go k =
+    if k >= n then
+      raise
+        (Failure
+           (Printf.sprintf "%s failed on every endpoint: %s" what
+              (String.concat "; " (List.rev !failures))))
+    else
+      let m = t.members.((start + k) mod n) in
+      match member_client t m with
+      | Error msg ->
+        failures := Printf.sprintf "%s: %s" m.ep msg :: !failures;
+        go (k + 1)
+      | Ok c -> (
+        match run c with
+        | v -> v
+        | exception Client.Server_error (P.Not_primary, hint) ->
+          failures := Printf.sprintf "%s: not answerable here" m.ep :: !failures;
+          (match if hint = "" then None else find_or_add t hint with
+           | Some j -> t.leader_idx <- Some j
+           | None -> ());
+          go (k + 1)
+        | exception e when transport_failure e ->
+          drop_member m;
+          failures :=
+            Printf.sprintf "%s: %s" m.ep (Printexc.to_string e) :: !failures;
+          go (k + 1))
+  in
+  go 0
+
+(* The primary's id watermark, for pinning bounded reads.  Prefer the
+   cached leader; fall back to probing the group. *)
+let primary_watermark t ~timeout_ms =
+  let probe m =
+    match member_client t m with
+    | Error _ -> None
+    | Ok c -> (
+      match Client.repl_status ~timeout_ms c with
+      | st when st.Client.role = `Primary -> Some st.Client.repl_next_id
+      | _ -> None
+      | exception Client.Server_error _ -> None
+      | exception e when transport_failure e ->
+        drop_member m;
+        None)
+  in
+  let cached =
+    match t.leader_idx with
+    | Some i when i < Array.length t.members -> probe t.members.(i)
+    | _ -> None
+  in
+  match cached with
+  | Some w -> Some w
+  | None ->
+    let n = Array.length t.members in
+    let rec scan i =
+      if i >= n then None
+      else
+        match probe t.members.(i) with
+        | Some w ->
+          t.leader_idx <- Some i;
+          Some w
+        | None -> scan (i + 1)
+    in
+    scan 0
+
+let query ?(timeout_ms = 0) ?max_staleness t xpath =
+  match max_staleness with
+  | None -> read_over t ~what:"query" (fun c -> Client.query ~timeout_ms c xpath)
+  | Some slack -> (
+    let probe_ms = if timeout_ms > 0 then timeout_ms else 2000 in
+    match primary_watermark t ~timeout_ms:probe_ms with
+    | None -> raise (Failure "bounded read: no reachable primary to pin against")
+    | Some watermark ->
+      let min_gen = max 0 (watermark - max 0 slack) in
+      read_over t ~what:"bounded query" (fun c ->
+          snd (Client.query_bounded ~timeout_ms ~min_gen c xpath)))
+
+(* --- mutations ------------------------------------------------------------- *)
+
+(* One pass chasing the leader.  Only two events route a mutation to
+   another endpoint: a connect-stage failure (nothing sent) and a
+   served [Not_primary] (the mutation did not execute).  Transport
+   failures after the send propagate — indeterminate, never replayed. *)
+let mutate_round t op =
+  let n = Array.length t.members in
+  let order =
+    match t.leader_idx with
+    | Some i when i < n ->
+      i :: List.filter (fun j -> j <> i) (List.init n Fun.id)
+    | _ -> List.init n (fun k -> (t.rr + k) mod n)
+  in
+  let rec go hops = function
+    | [] -> None
+    | i :: rest ->
+      if hops > n + 4 then None
+      else
+        let m = t.members.(i) in
+        (match member_client t m with
+         | Error _ -> go (hops + 1) rest
+         | Ok c -> (
+           match op c with
+           | v ->
+             t.leader_idx <- Some i;
+             Some v
+           | exception Client.Server_error (P.Not_primary, hint) -> (
+             match if hint = "" then None else find_or_add t hint with
+             | Some j when j <> i ->
+               t.leader_idx <- Some j;
+               go (hops + 1) (j :: List.filter (fun k -> k <> j) rest)
+             | _ ->
+               t.leader_idx <- None;
+               go (hops + 1) rest)))
+  in
+  go 0 order
+
+let mutate ?(timeout_ms = 0) t ~what op =
+  let budget_ms = if timeout_ms > 0 then timeout_ms else 10_000 in
+  let deadline = Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.) in
+  let rec rounds () =
+    match mutate_round t op with
+    | Some v -> v
+    | None ->
+      if Unix.gettimeofday () >= deadline then
+        raise
+          (Failure
+             (Printf.sprintf
+                "%s: no endpoint accepted the mutation within %dms (no \
+                 reachable primary)"
+                what budget_ms))
+      else begin
+        (* Failover window: the old primary is gone and nobody has been
+           promoted yet.  Poll gently until someone is. *)
+        Thread.delay 0.1;
+        rounds ()
+      end
+  in
+  rounds ()
+
+let insert ?timeout_ms t xml =
+  mutate ?timeout_ms t ~what:"insert" (fun c -> Client.insert ?timeout_ms c xml)
+
+let delete ?timeout_ms t id =
+  mutate ?timeout_ms t ~what:"delete" (fun c -> Client.delete ?timeout_ms c id)
+
+let flush ?timeout_ms t =
+  mutate ?timeout_ms t ~what:"flush" (fun c -> Client.flush ?timeout_ms c)
+
+(* --- control --------------------------------------------------------------- *)
+
+let promote ?timeout_ms t ep =
+  match find_or_add t ep with
+  | None -> raise (Failure (Printf.sprintf "promote: bad endpoint %S" ep))
+  | Some i -> (
+    let m = t.members.(i) in
+    match member_client t m with
+    | Error msg -> raise (Failure (Printf.sprintf "promote: %s: %s" ep msg))
+    | Ok c ->
+      let epoch = Client.promote ?timeout_ms c in
+      t.leader_idx <- Some i;
+      epoch)
+
+let statuses t =
+  Array.to_list
+    (Array.mapi
+       (fun i m ->
+         match member_client t m with
+         | Error msg -> (m.ep, Error msg)
+         | Ok c -> (
+           match Client.repl_status ~timeout_ms:2000 c with
+           | st ->
+             if st.Client.role = `Primary then t.leader_idx <- Some i;
+             (m.ep, Ok st)
+           | exception Client.Server_error (_, msg) -> (m.ep, Error msg)
+           | exception e when transport_failure e ->
+             drop_member m;
+             (m.ep, Error (Printexc.to_string e))))
+       t.members)

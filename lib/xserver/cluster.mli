@@ -1,0 +1,75 @@
+(** Topology-aware client for a replicated xseq deployment.
+
+    A {!t} holds the endpoint list of a primary/follower group and
+    routes each operation to the right member:
+
+    - {b Reads} ({!query}) fan out over the endpoints round-robin and
+      fail over: an endpoint that cannot be reached (connect failure,
+      transport error, timeout) is skipped and the next one tried.
+      With [~max_staleness] the read becomes bounded: the client pins
+      the primary's current id watermark, asks followers with
+      [Query_bounded { min_gen = watermark - max_staleness }], and
+      chases [Not_primary] redirects — so the answer is never more than
+      [max_staleness] documents behind the primary at call time.
+    - {b Mutations} ({!insert}, {!delete}, {!flush}) chase the leader:
+      a [Not_primary] answer carries the leader endpoint hint, and the
+      client re-issues the request there (learning endpoints it was
+      never configured with).  At-most-once is preserved across
+      promotion: the only failover trigger is a {e served} [Not_primary]
+      answer — proof the mutation did not execute — or a connect-stage
+      failure before anything was sent.  A transport failure after the
+      request may have reached a server propagates as indeterminate,
+      exactly like {!Client}.
+    - During a failover window (old primary dead, new one not yet
+      promoted) mutations poll the group with a short sleep between
+      rounds until the deadline expires — reads never stall on
+      promotion, they just prefer whoever answers.
+
+    Not thread-safe (it wraps per-endpoint {!Client.t}s, which are
+    not): give each thread its own cluster handle. *)
+
+type t
+
+val create :
+  ?policy:Client.policy -> ?seed:int -> string list -> (t, string) result
+(** [create endpoints] parses every endpoint ("HOST:PORT" or
+    "unix:PATH") and returns a lazy handle — connections are dialled on
+    first use, per endpoint.  [Error] names the first malformed
+    endpoint; an empty list is an error. *)
+
+val close : t -> unit
+(** Closes every open connection.  Idempotent. *)
+
+val endpoints : t -> string list
+(** The current endpoint list — configured plus any learned from
+    [Not_primary] leader hints. *)
+
+val leader : t -> string option
+(** The endpoint last proven (or hinted) to be the primary, if any. *)
+
+val query : ?timeout_ms:int -> ?max_staleness:int -> t -> string -> int list
+(** Matching ids for one XPath, from whichever endpoint answers first
+    (round-robin with failover).  With [~max_staleness:n] the read is
+    bounded as described above; [n = 0] demands the primary's exact
+    watermark.  [timeout_ms] bounds each endpoint attempt.
+    @raise Client.Server_error when a server answered an error that is
+    not a redirect.
+    @raise Failure when every endpoint failed; the message aggregates
+    the per-endpoint failures. *)
+
+val insert : ?timeout_ms:int -> t -> string -> int
+(** Inserts one XML document on the primary, chasing [Not_primary]
+    hints (and polling through a promotion window).  Returns the
+    assigned id. *)
+
+val delete : ?timeout_ms:int -> t -> int -> bool
+val flush : ?timeout_ms:int -> t -> int
+
+val promote : ?timeout_ms:int -> t -> string -> int
+(** [promote t endpoint] makes [endpoint] (added to the group if new)
+    the primary; returns the new epoch. *)
+
+val statuses :
+  t -> (string * (Client.repl_state, string) result) list
+(** One [Repl_status] probe per endpoint — [Error] is the failure
+    message for unreachable ones.  Updates the cached leader. *)

@@ -18,6 +18,8 @@ type error_code =
   | Server_error
   | Degraded
   | Unsupported
+  | Not_primary
+  | Pruned
 
 let error_code_to_string = function
   | Bad_request -> "bad_request"
@@ -26,6 +28,8 @@ let error_code_to_string = function
   | Server_error -> "server_error"
   | Degraded -> "degraded"
   | Unsupported -> "unsupported"
+  | Not_primary -> "not_primary"
+  | Pruned -> "pruned"
 
 type request =
   | Ping
@@ -37,6 +41,11 @@ type request =
   | Delete of { id : int }
   | Flush
   | Health
+  | Subscribe of { epoch : int; pos : Xlog.Wal.position }
+  | Wal_ack of { pos : Xlog.Wal.position }
+  | Promote
+  | Repl_status
+  | Query_bounded of { xpath : string; timeout_ms : int; min_gen : int }
   | Unknown of { op : int }
 
 type response =
@@ -55,6 +64,22 @@ type response =
       generation : int;
       doc_count : int;
     }
+  | Wal_batch of {
+      epoch : int;
+      from : Xlog.Wal.position;
+      next : Xlog.Wal.position;
+      count : int;
+      records : string;
+    }
+  | Repl_heartbeat of { epoch : int; durable : Xlog.Wal.position; next_id : int }
+  | Promoted of { epoch : int }
+  | Repl_state of {
+      role : [ `Primary | `Follower ];
+      epoch : int;
+      durable : Xlog.Wal.position;
+      next_id : int;
+      leader_hint : string;
+    }
 
 (* --- opcodes -------------------------------------------------------------- *)
 
@@ -67,6 +92,11 @@ let op_insert = 0x05
 let op_delete = 0x06
 let op_flush = 0x07
 let op_health = 0x08
+let op_subscribe = 0x09
+let op_wal_ack = 0x0a
+let op_promote = 0x0b
+let op_repl_status = 0x0c
+let op_query_bounded = 0x0d
 let op_pong = 0x80
 let op_result = 0x81
 let op_batch_result = 0x82
@@ -77,6 +107,10 @@ let op_inserted = 0x86
 let op_deleted = 0x87
 let op_flushed = 0x88
 let op_health_status = 0x89
+let op_wal_batch = 0x8a
+let op_repl_heartbeat = 0x8b
+let op_promoted = 0x8c
+let op_repl_state = 0x8d
 
 let code_to_int = function
   | Bad_request -> 0
@@ -85,6 +119,8 @@ let code_to_int = function
   | Server_error -> 3
   | Degraded -> 4
   | Unsupported -> 5
+  | Not_primary -> 6
+  | Pruned -> 7
 
 (* --- encoding ------------------------------------------------------------- *)
 
@@ -98,6 +134,11 @@ let add_str b s =
 let add_ids b ids =
   add_u32 b (List.length ids);
   List.iter (fun id -> add_u64 b id) ids
+
+(* WAL positions travel as u32 file sequence + u64 byte offset. *)
+let add_pos b (p : Xlog.Wal.position) =
+  add_u32 b p.Xlog.Wal.file;
+  add_u64 b p.Xlog.Wal.off
 
 (* Iovec-style framing: header and payload stay separate buffers so a
    vectored writer can hand both slices to one writev(2) without the
@@ -149,6 +190,20 @@ let encode_request = function
   | Delete { id } -> frame op_delete (payload_of (fun b -> add_u64 b id))
   | Flush -> frame op_flush ""
   | Health -> frame op_health ""
+  | Subscribe { epoch; pos } ->
+    frame op_subscribe
+      (payload_of (fun b ->
+           add_u64 b epoch;
+           add_pos b pos))
+  | Wal_ack { pos } -> frame op_wal_ack (payload_of (fun b -> add_pos b pos))
+  | Promote -> frame op_promote ""
+  | Repl_status -> frame op_repl_status ""
+  | Query_bounded { xpath; timeout_ms; min_gen } ->
+    frame op_query_bounded
+      (payload_of (fun b ->
+           add_u32 b timeout_ms;
+           add_u64 b min_gen;
+           add_str b xpath))
   | Unknown { op } ->
     (* Mostly for tests probing forward-compatibility: a well-formed
        frame carrying an opcode this build does not dispatch. *)
@@ -189,6 +244,29 @@ let response_parts = function
           add_str b reason;
           add_u32 b generation;
           add_u64 b doc_count) )
+  | Wal_batch { epoch; from; next; count; records } ->
+    ( op_wal_batch,
+      payload_of (fun b ->
+          add_u64 b epoch;
+          add_pos b from;
+          add_pos b next;
+          add_u32 b count;
+          add_str b records) )
+  | Repl_heartbeat { epoch; durable; next_id } ->
+    ( op_repl_heartbeat,
+      payload_of (fun b ->
+          add_u64 b epoch;
+          add_pos b durable;
+          add_u64 b next_id) )
+  | Promoted { epoch } -> (op_promoted, payload_of (fun b -> add_u64 b epoch))
+  | Repl_state { role; epoch; durable; next_id; leader_hint } ->
+    ( op_repl_state,
+      payload_of (fun b ->
+          Buffer.add_uint8 b (match role with `Primary -> 0 | `Follower -> 1);
+          add_u64 b epoch;
+          add_pos b durable;
+          add_u64 b next_id;
+          add_str b leader_hint) )
 
 let encode_response r =
   let op, payload = response_parts r in
@@ -245,6 +323,11 @@ let ids c =
   if n > (c.limit - c.pos) / 8 then bad "id count %d overruns frame" n;
   List.init n (fun _ -> u64 c)
 
+let pos_field c =
+  let file = u32 c in
+  let off = u64 c in
+  { Xlog.Wal.file; off }
+
 let check_header ~dir s =
   let len = String.length s in
   if len < header_size then bad "frame shorter than its %d-byte header" header_size;
@@ -295,6 +378,20 @@ let decode_request s =
     else if op = op_delete then finish c (Delete { id = u64 c })
     else if op = op_flush then finish c Flush
     else if op = op_health then finish c Health
+    else if op = op_subscribe then begin
+      let epoch = u64 c in
+      let pos = pos_field c in
+      finish c (Subscribe { epoch; pos })
+    end
+    else if op = op_wal_ack then finish c (Wal_ack { pos = pos_field c })
+    else if op = op_promote then finish c Promote
+    else if op = op_repl_status then finish c Repl_status
+    else if op = op_query_bounded then begin
+      let timeout_ms = u32 c in
+      let min_gen = u64 c in
+      let xpath = str c in
+      finish c (Query_bounded { xpath; timeout_ms; min_gen })
+    end
     else
       (* Forward compatibility: a well-formed frame with a request
          opcode this build does not know is NOT malformed — the server
@@ -336,6 +433,8 @@ let decode_response s =
         | 3 -> Server_error
         | 4 -> Degraded
         | 5 -> Unsupported
+        | 6 -> Not_primary
+        | 7 -> Pruned
         | k -> bad "unknown error code %d" k
       in
       let message = str c in
@@ -363,6 +462,39 @@ let decode_response s =
       let generation = u32 c in
       let doc_count = u64 c in
       finish c (Health_status { degraded; reason; generation; doc_count })
+    end
+    else if op = op_wal_batch then begin
+      let epoch = u64 c in
+      let from = pos_field c in
+      let next = pos_field c in
+      let count = u32 c in
+      let records = str c in
+      (* A batch's records are opaque here (the follower's store
+         re-validates every checksum before applying), but the count
+         must at least be plausible: each record costs 13+ bytes. *)
+      if count > String.length records / 13 then
+        bad "record count %d overruns the batch" count;
+      finish c (Wal_batch { epoch; from; next; count; records })
+    end
+    else if op = op_repl_heartbeat then begin
+      let epoch = u64 c in
+      let durable = pos_field c in
+      let next_id = u64 c in
+      finish c (Repl_heartbeat { epoch; durable; next_id })
+    end
+    else if op = op_promoted then finish c (Promoted { epoch = u64 c })
+    else if op = op_repl_state then begin
+      let role =
+        match u8 c with
+        | 0 -> `Primary
+        | 1 -> `Follower
+        | k -> bad "unknown role tag %d in Repl_state" k
+      in
+      let epoch = u64 c in
+      let durable = pos_field c in
+      let next_id = u64 c in
+      let leader_hint = str c in
+      finish c (Repl_state { role; epoch; durable; next_id; leader_hint })
     end
     else bad "unknown response opcode 0x%02x" op
   with

@@ -50,6 +50,14 @@ type error_code =
   | Unsupported
       (** well-formed frame, but an opcode this build does not dispatch
           — the connection stays open *)
+  | Not_primary
+      (** a mutation (or bounded-staleness read it cannot satisfy)
+          reached a replication follower: the message carries the leader
+          endpoint hint ("" if unknown) — chase it, don't retry here *)
+  | Pruned
+      (** a [Subscribe] position older than the oldest retained WAL
+          file: byte replay cannot reach it, the follower must re-seed
+          from a snapshot.  The message names the earliest position. *)
 
 val error_code_to_string : error_code -> string
 
@@ -70,6 +78,29 @@ type request =
   | Health
       (** liveness + degradation probe: always answered, even (and
           especially) while the write path is down *)
+  | Subscribe of { epoch : int; pos : Xlog.Wal.position }
+      (** replication: stream committed WAL records from [pos] (the
+          follower's own log end).  [epoch] is the highest primary
+          epoch the subscriber has seen — a primary receiving a higher
+          one knows it was deposed and steps down (fencing).  The
+          connection leaves the request/response model: the server
+          pushes {!response.Wal_batch} / {!response.Repl_heartbeat}
+          frames indefinitely, and the only frame the subscriber may
+          send is {!Wal_ack}. *)
+  | Wal_ack of { pos : Xlog.Wal.position }
+      (** one-way (no response): the subscriber durably applied the
+          stream up to [pos] — what semi-synchronous mutation
+          acknowledgement waits for *)
+  | Promote
+      (** make this follower the primary: bump the epoch, flip the role,
+          start accepting mutations.  Idempotent on a primary. *)
+  | Repl_status  (** replication role/epoch/position probe *)
+  | Query_bounded of { xpath : string; timeout_ms : int; min_gen : int }
+      (** bounded-staleness read: answer only if this node has applied
+          at least [min_gen] document ids (a follower behind that — or
+          asked for data it may not have yet — answers
+          {!error_code.Not_primary} with the leader hint so the client
+          can redirect) *)
   | Unknown of { op : int }
       (** a {e well-formed} frame whose request opcode this build does
           not know.  Decoding yields this rather than [Error] so the
@@ -96,6 +127,32 @@ type response =
       generation : int;
       doc_count : int;
     }  (** answer to {!request.Health} *)
+  | Wal_batch of {
+      epoch : int;  (** the sending primary's epoch — a follower refuses
+                        batches from a lower epoch than it has seen *)
+      from : Xlog.Wal.position;  (** where these records start *)
+      next : Xlog.Wal.position;  (** resume position just past them; a
+                                     later file than [from] mirrors a
+                                     rotation *)
+      count : int;  (** records in [records] *)
+      records : string;  (** raw WAL record bytes, checksums included *)
+    }  (** one {!Xlog.Wal.tail} batch pushed to a subscriber *)
+  | Repl_heartbeat of {
+      epoch : int;
+      durable : Xlog.Wal.position;  (** primary's fsynced log end *)
+      next_id : int;  (** primary's id watermark — the generation a
+                          bounded-staleness client pins reads to *)
+    }  (** pushed on an idle subscription so followers can tell a quiet
+          primary from a dead one *)
+  | Promoted of { epoch : int }  (** answer to {!request.Promote} *)
+  | Repl_state of {
+      role : [ `Primary | `Follower ];
+      epoch : int;
+      durable : Xlog.Wal.position;
+      next_id : int;
+      leader_hint : string;  (** endpoint of the known primary, "" if
+                                 this node is it or none is known *)
+    }  (** answer to {!request.Repl_status} *)
 
 (** {1 Codec} *)
 

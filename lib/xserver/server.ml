@@ -80,6 +80,32 @@ type source =
   | Live of Xlog.t
   | Sharded of Xshard.t
 
+(* Replication is wired through a hook record rather than a direct
+   dependency on the engine: the server owns the wire mechanics
+   (subscription pumping, ack bookkeeping, role gating) while role,
+   epoch and promotion live with whoever built the hooks ([Xrepl]) —
+   xserver never links against xrepl. *)
+type repl_hooks = {
+  repl_log : Xlog.t;  (** the replicated store — must be the served source *)
+  repl_role : unit -> [ `Primary | `Follower ];
+  repl_epoch : unit -> int;
+  repl_leader_hint : unit -> string;  (** "" when unknown *)
+  repl_promote : unit -> (int, string) result;
+  repl_observe_epoch : int -> unit;
+      (** a subscriber announced this epoch; a primary seeing a higher
+          one was deposed and must step down (fencing) *)
+  repl_lag : unit -> int * int;
+      (** (records, bytes) this node trails its primary; (0, 0) on a
+          primary *)
+  repl_sync_replicas : int;
+      (** mutations are acknowledged only once this many subscribers
+          durably hold them; 0 = asynchronous *)
+  repl_ack_timeout_ms : int;
+      (** parked mutations answer [Timeout] after this long without
+          enough acks (the write {e is} applied locally — the client
+          must treat it as indeterminate, exactly like any timeout) *)
+}
+
 type config = {
   workers : int;
   max_pending : int;
@@ -89,6 +115,7 @@ type config = {
   debug_delay_ms : int;
   accept_shards : int;
   max_pipeline : int;
+  repl : repl_hooks option;
 }
 
 let default_config =
@@ -101,6 +128,7 @@ let default_config =
     debug_delay_ms = 0;
     accept_shards = 1;
     max_pipeline = 256;
+    repl = None;
   }
 
 (* What a request executes against: one [Atomic.get] pins the backend
@@ -149,7 +177,23 @@ type conn = {
   mutable c_want_write : bool;
   mutable c_closed : bool;
   mutable c_close_after_flush : bool;
+  mutable c_sub : sub option;
+      (** [Some _] once the peer subscribed to the WAL stream: the
+          connection has left the request/response model — the server
+          pushes batches and heartbeats, the peer sends only acks *)
   c_loop : loop;
+}
+
+(* One live WAL subscription.  Owned by the connection's loop thread
+   like the rest of the connection state; the subscription {e list}
+   (membership, retention, ack floor) is shared and guarded by
+   [repl.rp_m]. *)
+and sub = {
+  s_conn : conn;
+  mutable s_cursor : Xlog.Wal.position;  (** next byte to ship *)
+  mutable s_acked : Xlog.Wal.position;
+      (** highest position the subscriber durably applied *)
+  mutable s_last_send : float;  (** heartbeat pacing *)
 }
 
 and loop = {
@@ -176,6 +220,25 @@ and exec_item = {
   x_deadline : float option;
 }
 
+(* A mutation response parked until [repl_sync_replicas] subscribers
+   acknowledge the log position it produced (semi-synchronous
+   replication): the client's ack then implies the record survives the
+   primary's death. *)
+type waiter = {
+  w_conn : conn;
+  w_slot : slot;
+  w_resp : P.response;
+  w_pos : Xlog.Wal.position;  (** durable position the record is under *)
+  w_deadline : float;
+}
+
+type repl = {
+  rp_hooks : repl_hooks;
+  rp_m : Mutex.t;  (** guards [rp_subs] and [rp_waiters] *)
+  mutable rp_subs : sub list;
+  mutable rp_waiters : waiter list;
+}
+
 type t = {
   config : config;
   mutable source : source; (* guarded by [reload_m] *)
@@ -183,6 +246,7 @@ type t = {
   cache : plan Plan_cache.t;
   metrics : Metrics.t;
   pool : Pool.t;
+  repl : repl option;
   (* admission *)
   adm_m : Mutex.t;
   mutable in_flight : int;
@@ -215,6 +279,41 @@ let create ?(config = default_config) source =
   if config.max_pending < 1 then invalid_arg "Server.create: max_pending < 1";
   if config.accept_shards < 1 then invalid_arg "Server.create: accept_shards < 1";
   if config.max_pipeline < 1 then invalid_arg "Server.create: max_pipeline < 1";
+  let repl =
+    match config.repl with
+    | None -> None
+    | Some hooks ->
+      (* The replicated log must be what the server serves: the
+         staleness guard compares the served id watermark, and the
+         pump ships the served store's WAL. *)
+      (match source with
+       | Live log when log == hooks.repl_log -> ()
+       | _ ->
+         invalid_arg
+           "Server.create: replication requires serving the replicated \
+            store (Live log)");
+      let r =
+        { rp_hooks = hooks; rp_m = Mutex.create (); rp_subs = [];
+          rp_waiters = [] }
+      in
+      (* Live subscriptions pin the WAL files they still have to read:
+         pruning past a cursor is survivable (Position_pruned + re-seed)
+         but never free, so checkpoints keep them. *)
+      Xlog.set_wal_retention hooks.repl_log (fun () ->
+          Mutex.lock r.rp_m;
+          let keep =
+            List.fold_left
+              (fun acc s ->
+                let f = s.s_cursor.Xlog.Wal.file in
+                match acc with
+                | None -> Some f
+                | Some g -> Some (min g f))
+              None r.rp_subs
+          in
+          Mutex.unlock r.rp_m;
+          keep);
+      Some r
+  in
   {
     config;
     source;
@@ -222,6 +321,7 @@ let create ?(config = default_config) source =
     cache = Plan_cache.create ~capacity:config.plan_cache_capacity;
     metrics = Metrics.create ();
     pool = Pool.create ~domains:config.workers ();
+    repl;
     adm_m = Mutex.create ();
     in_flight = 0;
     stop_requested = Atomic.make false;
@@ -431,6 +531,32 @@ let stats_json t =
             degraded reason );
       ]
   in
+  let repl_extra =
+    match t.repl with
+    | None -> []
+    | Some r ->
+      let h = r.rp_hooks in
+      let lag_records, lag_bytes = h.repl_lag () in
+      Mutex.lock r.rp_m;
+      let nsubs = List.length r.rp_subs
+      and nwait = List.length r.rp_waiters in
+      Mutex.unlock r.rp_m;
+      let d = Xlog.wal_durable_position h.repl_log in
+      [
+        ( "repl",
+          Printf.sprintf
+            "{\"role\": %S, \"epoch\": %d, \"durable_file\": %d, \
+             \"durable_off\": %d, \"next_id\": %d, \"leader_hint\": %S, \
+             \"subscribers\": %d, \"parked_mutations\": %d, \
+             \"repl_lag_records\": %d, \"repl_lag_bytes\": %d}"
+            (match h.repl_role () with
+             | `Primary -> "primary"
+             | `Follower -> "follower")
+            (h.repl_epoch ()) d.Xlog.Wal.file d.Xlog.Wal.off
+            (Xlog.next_id h.repl_log) (h.repl_leader_hint ()) nsubs nwait
+            lag_records lag_bytes );
+      ]
+  in
   let event_backend =
     if Array.length t.loops > 0 then Ev.backend_name t.loops.(0).l_ev
     else "none"
@@ -458,7 +584,7 @@ let stats_json t =
           Printf.sprintf "{\"page_reads\": %d, \"page_hits\": %d}" page_reads
             page_hits );
       ]
-      @ live_extra)
+      @ live_extra @ repl_extra)
     t.metrics
 
 (* --- non-query dispatch ---------------------------------------------------- *)
@@ -499,7 +625,21 @@ let op_name : P.request -> string = function
   | P.Delete _ -> "delete"
   | P.Flush -> "flush"
   | P.Health -> "health"
+  | P.Subscribe _ -> "subscribe"
+  | P.Wal_ack _ -> "wal_ack"
+  | P.Promote -> "promote"
+  | P.Repl_status -> "repl_status"
+  | P.Query_bounded _ -> "query_bounded"
   | P.Unknown _ -> "unknown"
+
+(* [Some hint] when this node is a replication follower: mutations are
+   refused with [Not_primary] whose message {e is} the leader endpoint
+   hint — the client chases it instead of retrying here. *)
+let repl_follower t =
+  match t.repl with
+  | Some r when r.rp_hooks.repl_role () = `Follower ->
+    Some (r.rp_hooks.repl_leader_hint ())
+  | _ -> None
 
 (* Everything except queries (which go through admission + the batched
    exec path) and the inline ops.  Runs on a pool worker. *)
@@ -518,7 +658,10 @@ let run_op t (req : P.request) : P.response =
      | exception e ->
        err P.Server_error "reload failed: %s" (Printexc.to_string e))
   | P.Insert { xml } ->
-    (match live_store t with
+    (match repl_follower t with
+     | Some hint -> err P.Not_primary "%s" hint
+     | None ->
+     match live_store t with
      | None -> err P.Bad_request "server is not serving a live store"
      | Some lb ->
        (match Xmlcore.Xml_parser.parse_string xml with
@@ -535,7 +678,10 @@ let run_op t (req : P.request) : P.response =
           err P.Bad_request "XML parse error at line %d (byte %d): %s" line
             pos msg))
   | P.Delete { id } ->
-    (match live_store t with
+    (match repl_follower t with
+     | Some hint -> err P.Not_primary "%s" hint
+     | None ->
+     match live_store t with
      | None -> err P.Bad_request "server is not serving a live store"
      | Some lb ->
        (match live_remove lb id with
@@ -547,7 +693,10 @@ let run_op t (req : P.request) : P.response =
         | exception e ->
           err P.Server_error "delete failed: %s" (Printexc.to_string e)))
   | P.Flush ->
-    (match live_store t with
+    (match repl_follower t with
+     | Some hint -> err P.Not_primary "%s" hint
+     | None ->
+     match live_store t with
      | None -> err P.Bad_request "server is not serving a live store"
      | Some lb ->
        (match live_flush lb with
@@ -615,9 +764,77 @@ let run_op t (req : P.request) : P.response =
            generation = Xshard.generation sh;
            doc_count = Xshard.doc_count sh;
          })
+  | P.Promote ->
+    (match t.repl with
+     | None -> err P.Unsupported "this server has no replication role"
+     | Some r ->
+       (match r.rp_hooks.repl_promote () with
+        | Ok epoch -> P.Promoted { epoch }
+        | Error m -> err P.Server_error "promote failed: %s" m
+        | exception e ->
+          err P.Server_error "promote failed: %s" (Printexc.to_string e)))
+  | P.Repl_status ->
+    (match t.repl with
+     | None -> err P.Unsupported "this server has no replication role"
+     | Some r ->
+       let h = r.rp_hooks in
+       P.Repl_state
+         {
+           role = h.repl_role ();
+           epoch = h.repl_epoch ();
+           durable = Xlog.wal_durable_position h.repl_log;
+           next_id = Xlog.next_id h.repl_log;
+           leader_hint = h.repl_leader_hint ();
+         })
+  | P.Subscribe _ | P.Wal_ack _ | P.Query_bounded _ ->
+    (* handled inline on the loop thread, never here *)
+    err P.Server_error "internal: replication op reached run_op"
   | P.Unknown { op } ->
     err P.Unsupported "request opcode 0x%02x is not supported by this server"
       op
+
+(* Which requests change the store — the ones whose completion (with
+   replication on) should wake the loops so subscription pumps ship the
+   new records without waiting out a tick. *)
+let repl_mutation = function
+  | P.Insert _ | P.Delete _ | P.Flush -> true
+  | _ -> false
+
+let nudge_loops t = Array.iter (fun l -> Ev.wakeup l.l_ev) t.loops
+
+(* Semi-sync parking decision, made on the worker after the mutation
+   applied: force the record to stable storage locally (the position a
+   follower acks must exist durably on both sides), then hold the
+   response until {!release_waiters} sees enough acks.  A failed sync
+   skips parking — the response goes out as-is and the local degrade
+   machinery has already flipped the store read-only. *)
+let repl_parking t req (resp : P.response) =
+  match t.repl with
+  | Some r
+    when r.rp_hooks.repl_sync_replicas > 0
+         && repl_mutation req
+         && (match resp with P.Error _ -> false | _ -> true)
+         && r.rp_hooks.repl_role () = `Primary -> (
+    match Xlog.sync r.rp_hooks.repl_log with
+    | () -> Some (r, Xlog.wal_durable_position r.rp_hooks.repl_log)
+    | exception _ -> None)
+  | _ -> None
+
+let park_waiter r c slot resp ~pos =
+  let w =
+    {
+      w_conn = c;
+      w_slot = slot;
+      w_resp = resp;
+      w_pos = pos;
+      w_deadline =
+        Unix.gettimeofday ()
+        +. (float_of_int (max 1 r.rp_hooks.repl_ack_timeout_ms) /. 1000.);
+    }
+  in
+  Mutex.lock r.rp_m;
+  r.rp_waiters <- w :: r.rp_waiters;
+  Mutex.unlock r.rp_m
 
 (* --- connection state machine ---------------------------------------------- *)
 
@@ -640,6 +857,16 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 let close_conn t c =
   if not c.c_closed then begin
     c.c_closed <- true;
+    (match (c.c_sub, t.repl) with
+     | Some sub, Some r ->
+       (* Dead subscriber: stop pinning its WAL files and drop its ack
+          from the semi-sync floor (parked mutations now waiting on a
+          replica that no longer exists time out). *)
+       c.c_sub <- None;
+       Mutex.lock r.rp_m;
+       r.rp_subs <- List.filter (fun s -> s != sub) r.rp_subs;
+       Mutex.unlock r.rp_m
+     | _ -> ());
     Ev.remove c.c_loop.l_ev c.c_fd;
     Hashtbl.remove c.c_loop.l_conns c.c_fd;
     close_quietly c.c_fd;
@@ -869,7 +1096,24 @@ and handle_frame t c frame =
       dispatch_query t c ~timeout_ms ~batch:false [| xpath |]
     | P.Query_batch { xpaths; timeout_ms } ->
       dispatch_query t c ~timeout_ms ~batch:true xpaths
-    | P.Reload _ | P.Insert _ | P.Delete _ | P.Flush | P.Health ->
+    | P.Subscribe { epoch; pos } -> handle_subscribe t c ~epoch ~pos
+    | P.Wal_ack { pos } -> handle_wal_ack t c pos
+    | P.Query_bounded { xpath; timeout_ms; min_gen } -> (
+      (* The staleness guard runs on the loop thread — it is one atomic
+         id-watermark read; only queries that pass pay admission. *)
+      match t.repl with
+      | None ->
+        complete t c (new_slot "query_bounded")
+          (err P.Unsupported
+             "this server has no replication role (bounded-staleness \
+              reads need one)")
+      | Some r ->
+        if Xlog.next_id r.rp_hooks.repl_log < min_gen then
+          complete t c (new_slot "query_bounded")
+            (err P.Not_primary "%s" (r.rp_hooks.repl_leader_hint ()))
+        else dispatch_query t c ~timeout_ms ~batch:false [| xpath |])
+    | P.Reload _ | P.Insert _ | P.Delete _ | P.Flush | P.Health
+    | P.Promote | P.Repl_status ->
       (* Mutations, reloads and health probes do real disk work; they
          run on a worker so the loop never blocks.  Pipelined requests
          behind them may execute concurrently — responses still flush
@@ -880,7 +1124,16 @@ and handle_frame t c frame =
             try run_op t req
             with e -> err P.Server_error "%s" (Printexc.to_string e)
           in
-          post t c slot resp))
+          match repl_parking t req resp with
+          | Some (r, pos) ->
+            park_waiter r c slot resp ~pos;
+            (* Wake the loops twice over: pumps ship the new record to
+               subscribers now, and their acks release the parked
+               response. *)
+            nudge_loops t
+          | None ->
+            post t c slot resp;
+            if t.repl <> None && repl_mutation req then nudge_loops t))
 
 and dispatch_query t c ~timeout_ms ~batch xpaths =
   let op = if batch then "query_batch" else "query" in
@@ -920,6 +1173,233 @@ and post t c slot resp =
   l.l_compl <- c :: l.l_compl;
   Mutex.unlock l.l_m;
   Ev.wakeup l.l_ev
+
+(* --- replication: subscription pump + semi-sync ---------------------------- *)
+
+(* Encode a pushed (slot-less) frame straight onto the output queue.
+   Same oversize fallback as {!flush_ready}; the caller decides when to
+   hit the socket. *)
+and push_response t c resp =
+  let parts =
+    match P.encode_response_iov resp with
+    | parts -> parts
+    | exception Invalid_argument _ ->
+      P.encode_response_iov
+        (err P.Server_error "result exceeds the %d byte response payload cap"
+           P.max_payload)
+  in
+  Metrics.add_bytes t.metrics ~received:0
+    ~sent:(List.fold_left (fun a s -> a + String.length s) 0 parts);
+  List.iter
+    (fun s ->
+      c.c_outq_bytes <- c.c_outq_bytes + String.length s;
+      Queue.push s c.c_outq)
+    parts
+
+and drop_sub r sub =
+  sub.s_conn.c_sub <- None;
+  Mutex.lock r.rp_m;
+  r.rp_subs <- List.filter (fun s -> s != sub) r.rp_subs;
+  Mutex.unlock r.rp_m
+
+and handle_subscribe t c ~epoch ~pos =
+  let slot op =
+    let s =
+      { sl_op = op; sl_t0 = Unix.gettimeofday (); sl_resp = Atomic.make None }
+    in
+    Queue.push s c.c_slots;
+    s
+  in
+  match t.repl with
+  | None ->
+    complete t c (slot "subscribe")
+      (err P.Unsupported "this server has no replication role")
+  | Some r ->
+    let h = r.rp_hooks in
+    (* Fencing, server side: a subscriber that has seen a higher epoch
+       proves this primary was deposed while it was away — step down
+       before deciding the role answer below. *)
+    h.repl_observe_epoch epoch;
+    if h.repl_role () <> `Primary then
+      complete t c (slot "subscribe")
+        (err P.Not_primary "%s" (h.repl_leader_hint ()))
+    else if c.c_sub <> None then
+      complete t c (slot "subscribe")
+        (err P.Bad_request "connection is already subscribed")
+    else begin
+      let sub =
+        { s_conn = c; s_cursor = pos; s_acked = pos; s_last_send = 0. }
+      in
+      c.c_sub <- Some sub;
+      Mutex.lock r.rp_m;
+      r.rp_subs <- sub :: r.rp_subs;
+      Mutex.unlock r.rp_m;
+      (* One immediate heartbeat — the subscriber learns the primary's
+         epoch and durable end before the first batch — then whatever
+         the log already holds past its cursor. *)
+      push_response t c
+        (P.Repl_heartbeat
+           {
+             epoch = h.repl_epoch ();
+             durable = Xlog.wal_durable_position h.repl_log;
+             next_id = Xlog.next_id h.repl_log;
+           });
+      sub.s_last_send <- Unix.gettimeofday ();
+      pump_sub t r sub
+    end
+
+(* The subscriber durably applied the stream up to [pos]: one-way, no
+   response slot.  On a connection that never subscribed the frame is
+   meaningless and dropped (a build with no replication at all answers
+   [Unsupported] instead, so a misdirected client is not silently
+   ignored). *)
+and handle_wal_ack t c pos =
+  match (t.repl, c.c_sub) with
+  | None, _ ->
+    let s =
+      { sl_op = "wal_ack"; sl_t0 = Unix.gettimeofday ();
+        sl_resp = Atomic.make None }
+    in
+    Queue.push s c.c_slots;
+    complete t c s (err P.Unsupported "this server has no replication role")
+  | Some r, Some sub ->
+    if Xlog.Wal.position_compare pos sub.s_acked > 0 then sub.s_acked <- pos;
+    release_waiters t r
+  | Some _, None -> ()
+
+(* Ship everything committed past the cursor, bounded by the write-side
+   backpressure mark: a slow subscriber pins at most the high-water mark
+   of encoded batches, and the pump resumes from its cursor once the
+   kernel drains them.  Runs on the connection's owning loop only. *)
+and pump_sub t r sub =
+  let c = sub.s_conn in
+  let still_current () =
+    match c.c_sub with Some s -> s == sub | None -> false
+  in
+  if (not c.c_closed) && still_current () then begin
+    let h = r.rp_hooks in
+    if h.repl_role () <> `Primary then begin
+      (* Deposed mid-stream: the subscriber must chase the new leader. *)
+      push_response t c (err P.Not_primary "%s" (h.repl_leader_hint ()));
+      drop_sub r sub;
+      c.c_close_after_flush <- true;
+      try_write t c
+    end
+    else begin
+      let dir = Xlog.dir h.repl_log in
+      let continue = ref true in
+      let sent = ref false in
+      while !continue && (not c.c_closed) && c.c_outq_bytes <= outq_hwm do
+        match Xlog.Wal.tail ~dir sub.s_cursor with
+        | Ok b ->
+          if
+            b.Xlog.Wal.b_count > 0
+            || Xlog.Wal.position_compare b.Xlog.Wal.b_next sub.s_cursor <> 0
+          then begin
+            (* A zero-record batch that still advances mirrors a file
+               rotation — the follower must replay it as one. *)
+            push_response t c
+              (P.Wal_batch
+                 {
+                   epoch = h.repl_epoch ();
+                   from = sub.s_cursor;
+                   next = b.Xlog.Wal.b_next;
+                   count = b.Xlog.Wal.b_count;
+                   records = b.Xlog.Wal.b_records;
+                 });
+            sub.s_cursor <- b.Xlog.Wal.b_next;
+            sent := true
+          end
+          else continue := false
+        | Error (Xlog.Wal.Position_pruned { earliest }) ->
+          push_response t c
+            (err P.Pruned
+               "wal pruned past the subscription; earliest retained \
+                position is %s"
+               (Xlog.Wal.position_to_string earliest));
+          drop_sub r sub;
+          c.c_close_after_flush <- true;
+          continue := false
+        | Error (Xlog.Wal.Tail_error m) ->
+          push_response t c (err P.Server_error "wal tail: %s" m);
+          drop_sub r sub;
+          c.c_close_after_flush <- true;
+          continue := false
+      done;
+      let now = Unix.gettimeofday () in
+      if !sent then sub.s_last_send <- now
+      else if
+        (not c.c_closed) && still_current () && now -. sub.s_last_send > 1.0
+      then begin
+        (* Idle heartbeat: lets the follower tell a quiet primary from a
+           dead one, and keeps its staleness watermark fresh. *)
+        push_response t c
+          (P.Repl_heartbeat
+             {
+               epoch = h.repl_epoch ();
+               durable = Xlog.wal_durable_position h.repl_log;
+               next_id = Xlog.next_id h.repl_log;
+             });
+        sub.s_last_send <- now
+      end;
+      try_write t c
+    end
+  end
+
+(* Release parked mutations: the semi-sync floor is the k-th highest
+   subscriber ack (k = [repl_sync_replicas]); everything at or under it
+   is replicated widely enough to acknowledge.  Expired waiters answer
+   [Timeout] — the write applied locally but the replicas are silent,
+   the same indeterminate verdict as any timeout. *)
+and release_waiters t r =
+  let now = Unix.gettimeofday () in
+  Mutex.lock r.rp_m;
+  let k = r.rp_hooks.repl_sync_replicas in
+  let floor =
+    let acks =
+      List.sort
+        (fun a b -> Xlog.Wal.position_compare b a)
+        (List.map (fun s -> s.s_acked) r.rp_subs)
+    in
+    if k > 0 && List.length acks >= k then Some (List.nth acks (k - 1))
+    else None
+  in
+  let ready, expired, keep =
+    List.fold_left
+      (fun (rd, ex, kp) w ->
+        match floor with
+        | Some f when Xlog.Wal.position_compare w.w_pos f <= 0 ->
+          (w :: rd, ex, kp)
+        | _ ->
+          if now > w.w_deadline then (rd, w :: ex, kp) else (rd, ex, w :: kp))
+      ([], [], []) r.rp_waiters
+  in
+  r.rp_waiters <- List.rev keep;
+  Mutex.unlock r.rp_m;
+  List.iter (fun w -> post t w.w_conn w.w_slot w.w_resp) ready;
+  List.iter
+    (fun w ->
+      post t w.w_conn w.w_slot
+        (err P.Timeout
+           "replicated to fewer than %d replica(s) within %dms (the write \
+            is applied locally; its replication is indeterminate)"
+           r.rp_hooks.repl_sync_replicas r.rp_hooks.repl_ack_timeout_ms))
+    expired
+
+(* Per-tick replication work for one loop: pump the subscriptions this
+   loop owns (connection state is loop-affine), and sweep the semi-sync
+   waiters for expiry — acks release them promptly from the ack path;
+   the tick only bounds how late a timeout verdict can be. *)
+let repl_tick t l =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+    Mutex.lock r.rp_m;
+    let subs = List.filter (fun s -> s.s_conn.c_loop == l) r.rp_subs in
+    let have_waiters = r.rp_waiters <> [] in
+    Mutex.unlock r.rp_m;
+    List.iter (fun sub -> pump_sub t r sub) subs;
+    if have_waiters then release_waiters t r
 
 (* Executes one chunk of admitted queries.  Per-response costs are
    amortised over the chunk: matcher stats merge once, admission
@@ -1050,6 +1530,7 @@ let accept_burst t l lfd =
           c_want_write = false;
           c_closed = false;
           c_close_after_flush = false;
+          c_sub = None;
           c_loop = l;
         }
       in
@@ -1118,7 +1599,8 @@ let loop_run t l =
                if ev.Ev.writable && not c.c_closed then try_write t c;
                if ev.Ev.readable && not c.c_closed then conn_read t c)
          evs;
-       submit_exec t l
+       submit_exec t l;
+       repl_tick t l
      with e ->
        (* A loop must never die under a connection: drop the tick and
           carry on (individual connection errors close only that
@@ -1198,10 +1680,14 @@ let start t addrs =
      write, not kill the process.  Idempotent; no-op off Unix. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  (* SIGTERM triggers the same orderly shutdown as {!request_stop}:
-     drain, close listeners, unlink Unix socket files.  [request_stop]
-     is async-signal-safe (an atomic store + one eventfd write). *)
+  (* SIGTERM and SIGINT trigger the same orderly shutdown as
+     {!request_stop}: drain, close listeners, unlink Unix socket files —
+     an operator's Ctrl-C must not leave stale socket files behind.
+     [request_stop] is async-signal-safe (an atomic store + one eventfd
+     write). *)
   (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t))
+   with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t))
    with Invalid_argument _ -> ());
   Mutex.lock t.state_m;
   if t.started then begin

@@ -80,6 +80,45 @@ type source =
           for degraded shards, re-open for fail-stopped ones).  [Reload
           None] flushes and compacts every shard in place. *)
 
+(** {2 Replication hooks}
+
+    A replicated node is an ordinary server whose config carries
+    {!repl_hooks}.  The server then owns the {e wire} half of
+    replication — [Subscribe] turns a connection into a long-lived WAL
+    stream (batches and heartbeats pushed under the same write-side
+    backpressure as every other response), [Wal_ack] feeds the
+    semi-sync ack floor, mutations are gated on role and, with
+    [repl_sync_replicas > 0], parked until enough subscribers durably
+    hold them — while role, epoch, promotion and leader discovery stay
+    with the hook provider ([Xrepl.Node]).  Servers without hooks
+    answer [Unsupported] on every replication opcode. *)
+
+type repl_hooks = {
+  repl_log : Xlog.t;
+      (** the replicated store; must be the server's [Live] source *)
+  repl_role : unit -> [ `Primary | `Follower ];
+  repl_epoch : unit -> int;  (** current fencing epoch *)
+  repl_leader_hint : unit -> string;
+      (** endpoint of the known primary, "" if unknown — the payload of
+          every [Not_primary] answer *)
+  repl_promote : unit -> (int, string) result;
+      (** flip to primary, bumping the epoch; [Ok epoch] (idempotent on
+          a primary), [Error] if persisting the role failed *)
+  repl_observe_epoch : int -> unit;
+      (** a subscriber announced this epoch; an implementation must step
+          a primary down when it is higher (fencing) *)
+  repl_lag : unit -> int * int;
+      (** (records, bytes) this node trails its primary; (0,0) on a
+          primary — surfaced as [repl_lag_records]/[repl_lag_bytes] in
+          [Stats] *)
+  repl_sync_replicas : int;
+      (** acknowledge mutations only once this many subscribers durably
+          hold them; 0 = fully asynchronous replication *)
+  repl_ack_timeout_ms : int;
+      (** parked mutations answer [Timeout] after this long — the write
+          is applied locally, its replication indeterminate *)
+}
+
 type config = {
   workers : int;  (** worker domains executing queries (default 2) *)
   max_pending : int;  (** admission bound on in-flight queries (default 64) *)
@@ -96,6 +135,8 @@ type config = {
       (** per-connection cap on decoded-but-unanswered requests; at the
           cap the server stops reading that connection until responses
           flush — backpressure, not an error (default 256) *)
+  repl : repl_hooks option;
+      (** replication role; [None] (the default) serves a plain node *)
 }
 
 val default_config : config
@@ -108,9 +149,10 @@ val start : t -> addr list -> unit
 (** Binds every address (Unix socket paths are unlinked first, so a
     stale file from a crashed server never blocks a restart), spawns
     the event-loop threads and the shutdown coordinator, and returns
-    immediately.  Also installs a [SIGTERM] handler that triggers
-    {!request_stop}, so a terminated server drains, closes its
-    listeners and unlinks its Unix socket files on the way out.
+    immediately.  Also installs [SIGTERM] and [SIGINT] handlers that
+    trigger {!request_stop}, so a terminated (or Ctrl-C'd) server
+    drains, closes its listeners and unlinks its Unix socket files on
+    the way out.
     @raise Invalid_argument if [addrs] is empty or the server was
     already started.
     @raise Unix.Unix_error if a bind fails. *)

@@ -1,0 +1,133 @@
+#!/bin/sh
+# Kill -9 failover smoke, driven through the installed CLI as separate
+# OS processes (the in-process suite in test_repl.ml cannot model a
+# SIGKILL'd primary — the whole point here is that the primary gets no
+# chance to clean up).
+#
+# Topology: primary + follower over Unix sockets, semi-sync
+# (--sync-replicas 1), one record per ingest invocation so the shell
+# can count *acknowledged* writes from exit codes.  Then:
+#
+#   1. kill -9 the primary;
+#   2. reads via the multi-endpoint client must keep answering during
+#      the dead-primary window (never stall on the corpse);
+#   3. a mutation against the dead group must fail, not hang;
+#   4. promote the follower, ingest more records there;
+#   5. every acknowledged record must be present on the survivor —
+#      semi-sync means an acked write was durable on the follower
+#      before the client saw the ack, so kill -9 loses nothing acked.
+#
+# Exit 0 on success, 1 with a message on any violation.
+set -u
+
+XSEQ=${XSEQ:-_build/default/bin/xseq_cli.exe}
+N_BEFORE=${N_BEFORE:-12}
+N_AFTER=${N_AFTER:-6}
+
+work=$(mktemp -d /tmp/xseq_failover.XXXXXX)
+p_pid=""
+f_pid=""
+
+cleanup() {
+  [ -n "$p_pid" ] && kill -9 "$p_pid" 2>/dev/null
+  [ -n "$f_pid" ] && kill -9 "$f_pid" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- primary log ---" >&2
+  cat "$work/primary.log" >&2 2>/dev/null
+  echo "--- follower log ---" >&2
+  cat "$work/follower.log" >&2 2>/dev/null
+  exit 1
+}
+
+wait_sock() {
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "socket $1 never appeared"
+}
+
+# Follower's applied-id watermark, scraped from repl-status.
+next_id() {
+  "$XSEQ" repl-status "$1" 2>/dev/null | grep -o 'next id [0-9]*' \
+    | awk '{print $3}'
+}
+
+P="unix:$work/p.sock"
+F="unix:$work/f.sock"
+
+for i in $(seq 1 $((N_BEFORE + N_AFTER))); do
+  "$XSEQ" gen --kind dblp -n 1 --seed "$i" -o "$work/rec$i.xml" 2>/dev/null \
+    || fail "gen rec$i"
+done
+
+"$XSEQ" serve --live "$work/primary" --socket "$work/p.sock" \
+  --advertise "$P" --sync-replicas 1 --ack-timeout-ms 4000 \
+  >"$work/primary.log" 2>&1 &
+p_pid=$!
+wait_sock "$work/p.sock"
+
+"$XSEQ" serve --live "$work/follower" --socket "$work/f.sock" \
+  --advertise "$F" --follow "$P" \
+  >"$work/follower.log" 2>&1 &
+f_pid=$!
+wait_sock "$work/f.sock"
+
+# --- acked writes under semi-sync ------------------------------------------
+acked=0
+i=1
+while [ "$i" -le "$N_BEFORE" ]; do
+  if "$XSEQ" ingest --connect "$P" "$work/rec$i.xml" >/dev/null 2>&1; then
+    acked=$((acked + 1))
+  fi
+  i=$((i + 1))
+done
+[ "$acked" -ge 1 ] || fail "no write was ever acknowledged"
+
+# --- kill -9 the primary ----------------------------------------------------
+kill -9 "$p_pid" || fail "could not kill the primary"
+p_pid=""
+
+# Reads must keep answering off the follower while the primary is a corpse.
+"$XSEQ" query --endpoints "$P,$F" --timeout-ms 5000 '//author' >/dev/null 2>&1 \
+  || fail "reads stalled during the dead-primary window"
+
+# A mutation against the headless group must fail promptly, not hang.
+if "$XSEQ" ingest --connect "$P" "$work/rec1.xml" >/dev/null 2>&1; then
+  fail "ingest against the killed primary succeeded"
+fi
+
+# --- promote the survivor ---------------------------------------------------
+"$XSEQ" promote "$F" >/dev/null 2>&1 || fail "promote failed"
+
+got=$(next_id "$F")
+[ -n "$got" ] || fail "repl-status unreadable after promotion"
+[ "$got" -ge "$acked" ] \
+  || fail "acked write lost: follower has $got records, $acked were acked"
+
+# The new primary takes writes again.
+i=$((N_BEFORE + 1))
+while [ "$i" -le $((N_BEFORE + N_AFTER)) ]; do
+  "$XSEQ" ingest --connect "$F" "$work/rec$i.xml" >/dev/null 2>&1 \
+    || fail "new primary rejected rec$i after promotion"
+  i=$((i + 1))
+done
+
+# Bounded reads work against the single-member group.
+"$XSEQ" query --endpoints "$F" --max-staleness 0 --timeout-ms 5000 \
+  '//author' >/dev/null 2>&1 \
+  || fail "bounded read against the new primary failed"
+
+final=$(next_id "$F")
+want=$((acked + N_AFTER))
+[ "$final" -ge "$want" ] \
+  || fail "post-promotion count short: have $final, want >= $want"
+
+echo "failover smoke OK: $acked acked before kill -9, none lost," \
+  "$N_AFTER ingested after promotion (survivor at $final records)"

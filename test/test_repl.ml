@@ -1,0 +1,365 @@
+(* Replication end-to-end tests: an in-process primary/follower pair
+   over real Unix sockets.
+
+   Covers the acceptance surface of the replication subsystem: a plain
+   (role-less) server answers [Unsupported] — not a dropped connection
+   — on every replication opcode; a follower catches up from an empty
+   store, mirrors live traffic, serves reads, and guards bounded reads
+   by its document watermark; mutations on a follower answer
+   [Not_primary] with the leader hint; manual promotion bumps the
+   epoch and a Subscribe carrying the higher epoch fences the old
+   primary down; the Cluster client chases the leader for mutations
+   and fans reads; and semi-sync mutations release on follower acks or
+   answer [Timeout] once the followers are gone. *)
+
+module T = Xmlcore.Xml_tree
+module P = Xserver.Protocol
+module Server = Xserver.Server
+module Client = Xserver.Client
+module Cluster = Xserver.Cluster
+module Node = Xrepl.Node
+
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+(* --- scaffolding ----------------------------------------------------------- *)
+
+let tmp_path suffix =
+  let path = Filename.temp_file "xseq_repl" suffix in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let doc i =
+  Printf.sprintf "<article><author>writer%d</author><id>%d</id></article>" i i
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    if i + n > h then false
+    else String.sub hay i n = needle || go (i + 1)
+  in
+  n = 0 || go 0
+
+(* Poll until [cond ()] or fail after [timeout] seconds. *)
+let wait_for ?(timeout = 10.) what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail (Printf.sprintf "timed out waiting for %s" what)
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+type member = {
+  ep : string;
+  sock : string;
+  dir : string;
+  log : Xlog.t;
+  node : Node.t;
+  srv : Server.t;
+}
+
+let start_member ?(sync_replicas = 0) ?(ack_timeout_ms = 5000) ~follow () =
+  let sock = tmp_path ".sock" in
+  let dir = tmp_path ".store" in
+  let ep = "unix:" ^ sock in
+  let log = Xlog.open_ ~sync_every:1 dir in
+  let node =
+    Node.create
+      {
+        Node.default_config with
+        advertise = ep;
+        follow;
+        sync_replicas;
+        ack_timeout_ms;
+      }
+      log
+  in
+  let config =
+    { Server.default_config with workers = 1; repl = Some (Node.hooks node) }
+  in
+  let srv = Server.create ~config (Server.Live log) in
+  Server.start srv [ Server.Unix_sock sock ];
+  Node.start node;
+  { ep; sock; dir; log; node; srv }
+
+let stop_member m =
+  Node.stop m.node;
+  Server.stop m.srv;
+  Xlog.close m.log;
+  (try Sys.remove m.sock with Sys_error _ -> ());
+  rm_rf m.dir
+
+let with_pair ?sync_replicas ?ack_timeout_ms f =
+  let p = start_member ?sync_replicas ?ack_timeout_ms ~follow:None () in
+  let q = start_member ~follow:(Some p.ep) () in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_member q;
+      stop_member p)
+    (fun () -> f p q)
+
+let with_client ep f =
+  match Server.addr_of_string ep with
+  | Error m -> Alcotest.fail m
+  | Ok addr ->
+    let c = Client.connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let follower_next_id ep =
+  with_client ep (fun c -> (Client.repl_status c).Client.repl_next_id)
+
+(* --- plain servers and old clients ---------------------------------------- *)
+
+(* The regression the wire protocol must hold: a server built without a
+   replication role answers [Unsupported] on every replication opcode
+   and keeps the connection alive — an old server never hangs up on a
+   newer client, and vice versa. *)
+let test_plain_server_unsupported () =
+  let docs = [| T.elt "article" [ T.elt "author" [ T.text "writer" ] ] |] in
+  let sock = tmp_path ".sock" in
+  let srv = Server.create (Server.Static (Xseq.build docs)) in
+  Server.start srv [ Server.Unix_sock sock ];
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let pos = { Xlog.Wal.file = 0; off = 8 } in
+          let repl_ops =
+            [
+              ("subscribe", P.Subscribe { epoch = 0; pos });
+              ("wal_ack", P.Wal_ack { pos });
+              ("promote", P.Promote);
+              ("repl_status", P.Repl_status);
+              ( "query_bounded",
+                P.Query_bounded { xpath = "//author"; timeout_ms = 0; min_gen = 1 }
+              );
+            ]
+          in
+          List.iter
+            (fun (name, req) ->
+              P.write_frame fd (P.encode_request req);
+              match P.read_frame fd with
+              | Error _ ->
+                Alcotest.fail
+                  (Printf.sprintf "%s: connection dropped instead of answering"
+                     name)
+              | Ok frame -> (
+                match P.decode_response frame with
+                | Ok (P.Error { code = P.Unsupported; _ }) -> ()
+                | Ok r ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s: want Unsupported, got %s" name
+                       (match r with
+                        | P.Error { code; _ } -> P.error_code_to_string code
+                        | _ -> "a success response"))
+                | Error m -> Alcotest.fail (name ^ ": " ^ m)))
+            repl_ops;
+          (* The connection must still serve ordinary traffic. *)
+          P.write_frame fd (P.encode_request P.Ping);
+          match P.read_frame fd with
+          | Ok frame ->
+            Alcotest.(check bool)
+              "ping still answers after repl opcodes" true
+              (P.decode_response frame = Ok P.Pong)
+          | Error _ -> Alcotest.fail "connection dead after repl opcodes"))
+
+(* --- catch-up, follower reads, staleness guard ----------------------------- *)
+
+let test_catchup_and_follower_reads () =
+  with_pair (fun p q ->
+      let n = 20 in
+      with_client p.ep (fun c ->
+          for i = 0 to n - 1 do
+            ignore (Client.insert c (doc i) : int)
+          done);
+      wait_for "follower catch-up" (fun () -> follower_next_id q.ep = n);
+      (* Plain reads answer from the follower's own store. *)
+      with_client q.ep (fun c ->
+          Alcotest.(check int)
+            "follower serves all replicated records" n
+            (List.length (Client.query c "//author"));
+          (* A bounded read the follower satisfies... *)
+          let _, ids = Client.query_bounded ~min_gen:n c "//author" in
+          Alcotest.(check int) "bounded read within watermark" n
+            (List.length ids);
+          (* ...and one demanding documents it cannot have yet. *)
+          (match Client.query_bounded ~min_gen:(n + 5) c "//author" with
+           | _ -> Alcotest.fail "want Not_primary for an unmet min_gen"
+           | exception Client.Server_error (P.Not_primary, hint) ->
+             Alcotest.(check string)
+               "staleness rejection carries the leader hint" p.ep hint);
+          (* Mutations on a follower answer [Not_primary] + hint. *)
+          match Client.insert c (doc 999) with
+          | _ -> Alcotest.fail "follower accepted a mutation"
+          | exception Client.Server_error (P.Not_primary, hint) ->
+            Alcotest.(check string) "mutation rejection carries the hint" p.ep
+              hint);
+      (* Live traffic keeps streaming after catch-up. *)
+      with_client p.ep (fun c -> ignore (Client.insert c (doc n) : int));
+      wait_for "live record replicates" (fun () ->
+          follower_next_id q.ep = n + 1))
+
+(* --- promotion and fencing ------------------------------------------------- *)
+
+let test_promote_and_fence () =
+  with_pair (fun p q ->
+      with_client p.ep (fun c ->
+          for i = 0 to 4 do
+            ignore (Client.insert c (doc i) : int)
+          done);
+      wait_for "follower catch-up" (fun () -> follower_next_id q.ep = 5);
+      (* Manual promotion: epoch bumps, mutations land on the new
+         primary. *)
+      let epoch = with_client q.ep (fun c -> Client.promote c) in
+      Alcotest.(check int) "promotion bumps the epoch" 1 epoch;
+      with_client q.ep (fun c ->
+          Alcotest.(check int)
+            "promotion is idempotent" 1 (Client.promote c);
+          ignore (Client.insert c (doc 5) : int);
+          Alcotest.(check int)
+            "new primary serves its own write" 6
+            (List.length (Client.query c "//author")));
+      (* Fencing: the deposed primary steps down the moment it observes
+         the higher epoch (here: via a Subscribe announcing it). *)
+      (match Server.addr_of_string p.ep with
+       | Error m -> Alcotest.fail m
+       | Ok addr ->
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (match addr with
+          | Server.Unix_sock path -> Unix.connect fd (Unix.ADDR_UNIX path)
+          | Server.Tcp _ -> Alcotest.fail "tests use unix sockets");
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             P.write_frame fd
+               (P.encode_request
+                  (P.Subscribe
+                     { epoch; pos = { Xlog.Wal.file = 0; off = 8 } }));
+             match P.read_frame fd with
+             | Ok frame -> (
+               match P.decode_response frame with
+               | Ok (P.Error { code = P.Not_primary; _ }) -> ()
+               | Ok _ -> Alcotest.fail "deposed primary accepted a subscriber"
+               | Error m -> Alcotest.fail m)
+             | Error _ -> Alcotest.fail "no answer from the deposed primary"));
+      wait_for "old primary steps down" (fun () ->
+          with_client p.ep (fun c ->
+              let st = Client.repl_status c in
+              st.Client.role = `Follower && st.Client.epoch = epoch));
+      (* A mutation on the deposed node now answers Not_primary. *)
+      with_client p.ep (fun c ->
+          match Client.insert c (doc 6) with
+          | _ -> Alcotest.fail "deposed primary accepted a mutation"
+          | exception Client.Server_error (P.Not_primary, _) -> ()))
+
+(* --- cluster client -------------------------------------------------------- *)
+
+let test_cluster_chases_leader () =
+  with_pair (fun p q ->
+      (* Endpoints deliberately follower-first: every mutation has to
+         chase the [Not_primary] hint to land. *)
+      match Cluster.create [ q.ep; p.ep ] with
+      | Error m -> Alcotest.fail m
+      | Ok cl ->
+        Fun.protect
+          ~finally:(fun () -> Cluster.close cl)
+          (fun () ->
+            for i = 0 to 9 do
+              ignore (Cluster.insert cl (doc i) : int)
+            done;
+            Alcotest.(check (option string))
+              "the cluster learned the leader" (Some p.ep) (Cluster.leader cl);
+            wait_for "follower catch-up" (fun () -> follower_next_id q.ep = 10);
+            (* Unbounded reads answer from whoever gets them; bounded
+               reads pin the primary's watermark. *)
+            Alcotest.(check int)
+              "fan-out read" 10
+              (List.length (Cluster.query cl "//author"));
+            Alcotest.(check int)
+              "bounded read at staleness 0" 10
+              (List.length (Cluster.query ~max_staleness:0 cl "//author"));
+            let statuses = Cluster.statuses cl in
+            Alcotest.(check int) "both members answer status" 2
+              (List.length
+                 (List.filter (fun (_, r) -> Result.is_ok r) statuses))))
+
+(* --- semi-sync ------------------------------------------------------------- *)
+
+let test_semi_sync () =
+  with_pair ~sync_replicas:1 ~ack_timeout_ms:600 (fun p q ->
+      (* With a live follower the parked mutation releases on its ack. *)
+      with_client p.ep (fun c ->
+          for i = 0 to 4 do
+            ignore (Client.insert c (doc i) : int)
+          done);
+      wait_for "follower holds the acknowledged writes" (fun () ->
+          follower_next_id q.ep = 5);
+      (* Stop the follower: acknowledgements stop, so a mutation must
+         answer [Timeout] after the ack bound — applied locally,
+         replication indeterminate. *)
+      Node.stop q.node;
+      wait_for "subscription torn down" (fun () ->
+          with_client p.ep (fun c ->
+              contains (Client.stats c) "\"subscribers\": 0"));
+      let t0 = Unix.gettimeofday () in
+      with_client p.ep (fun c ->
+          match Client.insert ~timeout_ms:5000 c (doc 99) with
+          | _ -> Alcotest.fail "unreplicated write was acknowledged"
+          | exception Client.Server_error (P.Timeout, msg) ->
+            let dt = Unix.gettimeofday () -. t0 in
+            Alcotest.(check bool)
+              "timeout mentions replication" true (contains msg "replica");
+            Alcotest.(check bool)
+              (Printf.sprintf "timeout near the ack bound (%.0f ms)"
+                 (dt *. 1000.))
+              true
+              (dt >= 0.45 && dt < 4.0));
+      (* The write did apply locally. *)
+      with_client p.ep (fun c ->
+          Alcotest.(check int)
+            "parked write is visible locally" 6
+            (List.length (Client.query c "//author"))))
+
+let () =
+  Alcotest.run "xrepl"
+    [
+      ( "compatibility",
+        [
+          Alcotest.test_case "plain server answers Unsupported" `Quick
+            test_plain_server_unsupported;
+        ] );
+      ( "pair",
+        [
+          Alcotest.test_case "catch-up, follower reads, staleness guard"
+            `Quick test_catchup_and_follower_reads;
+          Alcotest.test_case "promotion and epoch fencing" `Quick
+            test_promote_and_fence;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "mutations chase the leader" `Quick
+            test_cluster_chases_leader;
+        ] );
+      ( "semi-sync",
+        [ Alcotest.test_case "ack release and timeout" `Quick test_semi_sync ] );
+    ]

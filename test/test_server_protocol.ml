@@ -13,6 +13,11 @@ module Gen = QCheck.Gen
 let gen_string = Gen.(string_size ~gen:printable (int_bound 40))
 let gen_small_int = Gen.int_bound 1_000_000
 
+let gen_pos =
+  Gen.map2
+    (fun file off -> { Xlog.Wal.file; off })
+    (Gen.int_bound 1000) gen_small_int
+
 let gen_request =
   Gen.oneof
     [
@@ -31,9 +36,17 @@ let gen_request =
       Gen.map (fun id -> P.Delete { id }) gen_small_int;
       Gen.return P.Flush;
       Gen.return P.Health;
-      (* Opcodes this build does not know: 0x09..0x7f are all currently
+      Gen.map2 (fun epoch pos -> P.Subscribe { epoch; pos }) gen_small_int gen_pos;
+      Gen.map (fun pos -> P.Wal_ack { pos }) gen_pos;
+      Gen.return P.Promote;
+      Gen.return P.Repl_status;
+      Gen.map3
+        (fun xpath timeout_ms min_gen ->
+          P.Query_bounded { xpath; timeout_ms; min_gen })
+        gen_string gen_small_int gen_small_int;
+      (* Opcodes this build does not know: 0x0e..0x7f are all currently
          unassigned on the request side. *)
-      Gen.map (fun op -> P.Unknown { op }) (Gen.int_range 0x09 0x7f);
+      Gen.map (fun op -> P.Unknown { op }) (Gen.int_range 0x0e 0x7f);
     ]
 
 let gen_ids = Gen.(list_size (int_bound 20) gen_small_int)
@@ -65,6 +78,8 @@ let gen_response =
              P.Server_error;
              P.Degraded;
              P.Unsupported;
+             P.Not_primary;
+             P.Pruned;
            ])
         gen_string;
       Gen.map2
@@ -72,6 +87,25 @@ let gen_response =
           P.Health_status { degraded; reason; generation; doc_count })
         Gen.(pair bool gen_string)
         Gen.(pair gen_small_int gen_small_int);
+      Gen.map3
+        (fun epoch (from, next) (count, records) ->
+          (* the decoder insists each record costs >= 13 bytes *)
+          P.Wal_batch
+            { epoch; from; next;
+              count = min count (String.length records / 13); records })
+        gen_small_int
+        Gen.(pair gen_pos gen_pos)
+        Gen.(pair (int_bound 100) gen_string);
+      Gen.map3
+        (fun epoch durable next_id -> P.Repl_heartbeat { epoch; durable; next_id })
+        gen_small_int gen_pos gen_small_int;
+      Gen.map (fun epoch -> P.Promoted { epoch }) gen_small_int;
+      Gen.map3
+        (fun (role, epoch) durable (next_id, leader_hint) ->
+          P.Repl_state { role; epoch; durable; next_id; leader_hint })
+        Gen.(pair (oneofl [ `Primary; `Follower ]) gen_small_int)
+        gen_pos
+        Gen.(pair gen_small_int gen_string);
     ]
 
 let arb_request = QCheck.make ~print:(fun r -> P.encode_request r |> String.escaped) gen_request
@@ -103,6 +137,13 @@ let sample_requests =
     P.Delete { id = 123456 };
     P.Flush;
     P.Health;
+    P.Subscribe { epoch = 0; pos = { Xlog.Wal.file = 0; off = 8 } };
+    P.Subscribe { epoch = 7; pos = { Xlog.Wal.file = 12; off = 987654 } };
+    P.Wal_ack { pos = { Xlog.Wal.file = 3; off = 4096 } };
+    P.Promote;
+    P.Repl_status;
+    P.Query_bounded { xpath = "//author"; timeout_ms = 250; min_gen = 42 };
+    P.Query_bounded { xpath = ""; timeout_ms = 0; min_gen = 0 };
     P.Unknown { op = 0x42 };
   ]
 
@@ -125,6 +166,8 @@ let sample_responses =
     P.Error { code = P.Server_error; message = "boom" };
     P.Error { code = P.Degraded; message = "wal append: No space left on device" };
     P.Error { code = P.Unsupported; message = "opcode 0x42" };
+    P.Error { code = P.Not_primary; message = "unix:/tmp/primary.sock" };
+    P.Error { code = P.Pruned; message = "earliest retained is (4, 8)" };
     P.Health_status
       { degraded = false; reason = ""; generation = 4; doc_count = 100 };
     P.Health_status
@@ -133,6 +176,41 @@ let sample_responses =
         reason = "wal append: I/O error";
         generation = 9;
         doc_count = 3;
+      };
+    P.Wal_batch
+      {
+        epoch = 2;
+        from = { Xlog.Wal.file = 0; off = 8 };
+        next = { Xlog.Wal.file = 0; off = 275 };
+        count = 3;
+        records = String.init 267 (fun i -> Char.chr (i land 0xff));
+      };
+    P.Wal_batch
+      {
+        epoch = 0;
+        from = { Xlog.Wal.file = 5; off = 13738 };
+        next = { Xlog.Wal.file = 6; off = 8 };
+        count = 0;
+        records = "";
+      };
+    P.Repl_heartbeat
+      { epoch = 3; durable = { Xlog.Wal.file = 1; off = 999 }; next_id = 57 };
+    P.Promoted { epoch = 4 };
+    P.Repl_state
+      {
+        role = `Primary;
+        epoch = 9;
+        durable = { Xlog.Wal.file = 2; off = 512 };
+        next_id = 1000;
+        leader_hint = "";
+      };
+    P.Repl_state
+      {
+        role = `Follower;
+        epoch = 1;
+        durable = { Xlog.Wal.file = 0; off = 8 };
+        next_id = 0;
+        leader_hint = "unix:/tmp/primary.sock";
       };
   ]
 

@@ -480,6 +480,247 @@ let test_corrupt_checkpoint_refused () =
         Xlog.close log;
         Alcotest.fail "corrupt checkpoint accepted")
 
+(* --- WAL tail cursor + replication mirror ----------------------------------- *)
+
+(* Drain the WAL of [src] (a store directory) into the follower store
+   [dst] by tailing from the follower's own log end — the resume
+   contract replication relies on. *)
+let catch_up ?(max_bytes = 4096) ~src dst =
+  let rec go guard =
+    if guard = 0 then Alcotest.fail "catch_up: no progress";
+    let pos = Xlog.wal_position dst in
+    match Wal.tail ~dir:src ~max_bytes pos with
+    | Error e -> Alcotest.failf "tail %s: %s" (Wal.position_to_string pos)
+                   (Wal.tail_error_to_string e)
+    | Ok b ->
+      if Wal.position_compare b.Wal.b_next pos = 0 then ()
+      else begin
+        (match
+           Xlog.replica_apply dst ~from:pos ~next:b.Wal.b_next b.Wal.b_records
+         with
+        | Ok _ -> ()
+        | Error m -> Alcotest.failf "replica_apply: %s" m);
+        go (guard - 1)
+      end
+  in
+  go 10_000
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The mirror contract, literally: identical WAL file sequences, modulo
+   the torn garbage a dead primary file may carry past the follower's
+   copy (never the case in these tests). *)
+let check_wal_mirror primary_dir follower_dir =
+  let p = Wal.list_files primary_dir and f = Wal.list_files follower_dir in
+  Alcotest.(check (list int)) "same WAL file sequence" (List.map fst p)
+    (List.map fst f);
+  List.iter2
+    (fun (i, pp) (_, fp) ->
+      if not (String.equal (read_whole pp) (read_whole fp)) then
+        Alcotest.failf "wal-%06d.log diverges between primary and follower" i)
+    p f
+
+let test_tail_basic () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~sync_every:1 ~memtable_limit:1024 dir in
+      let docs = List.init 20 (fun i -> e "P" [ e "L" [ v (string_of_int i) ] ]) in
+      List.iter (fun d -> ignore (Xlog.insert log d : int)) docs;
+      (* Tail from the start: every record comes back, checksum-valid. *)
+      let rec drain pos acc =
+        match Wal.tail ~dir pos with
+        | Error e -> Alcotest.failf "tail: %s" (Wal.tail_error_to_string e)
+        | Ok b ->
+          if Wal.position_compare b.Wal.b_next pos = 0 then (pos, acc)
+          else begin
+            (match Wal.scan_records b.Wal.b_records with
+            | Ok ops -> drain b.Wal.b_next (acc @ ops)
+            | Error m -> Alcotest.failf "scan_records: %s" m)
+          end
+      in
+      let final, ops = drain Wal.start_position [] in
+      Alcotest.(check int) "all records shipped" 20 (List.length ops);
+      Alcotest.(check int) "cursor at the log end" 0
+        (Wal.position_compare final (Xlog.wal_position log));
+      (* Caught up: an empty batch that stays put. *)
+      (match Wal.tail ~dir final with
+      | Ok { Wal.b_count = 0; b_next; _ } when Wal.position_compare b_next final = 0
+        -> ()
+      | Ok _ -> Alcotest.fail "expected an empty caught-up batch"
+      | Error e -> Alcotest.failf "tail: %s" (Wal.tail_error_to_string e));
+      (* A position beyond the end of the log is a typed error. *)
+      (match Wal.tail ~dir { Wal.file = 99; off = 8 } with
+      | Error (Wal.Tail_error _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "position beyond the log accepted");
+      (* Rotation: compaction rotates, new records land in the new file,
+         and the cursor follows across the boundary.  (Retention holds
+         the old file for our live cursor, as a serving primary would.) *)
+      Xlog.set_wal_retention log (fun () -> Some final.Wal.file);
+      ignore (Xlog.compact ~wait:true log : bool);
+      ignore (Xlog.insert log (e "P" [ e "S" [] ]) : int);
+      let final2, ops2 = drain final [] in
+      Alcotest.(check int) "post-rotation record shipped" 1 (List.length ops2);
+      Alcotest.(check int) "cursor followed the rotation" 0
+        (Wal.position_compare final2 (Xlog.wal_position log));
+      Alcotest.(check bool) "cursor is in a later file" true
+        (final2.Wal.file > final.Wal.file);
+      Xlog.close log)
+
+(* The satellite contract: a pruned position is a typed error naming the
+   earliest retained file — never a Sys_error. *)
+let test_tail_pruned_position () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~sync_every:1 dir in
+      for i = 0 to 9 do
+        ignore (Xlog.insert log (e "P" [ e "L" [ v (string_of_int i) ] ]) : int)
+      done;
+      (* Compaction rotates and prunes wal-000000.log. *)
+      ignore (Xlog.compact ~wait:true log : bool);
+      Alcotest.(check bool) "old WAL actually pruned" false
+        (Sys.file_exists (Filename.concat dir "wal-000000.log"));
+      (match Wal.tail ~dir Wal.start_position with
+      | Error (Wal.Position_pruned { earliest }) ->
+        Alcotest.(check bool) "earliest is past the pruned file" true
+          (earliest.Wal.file > 0)
+      | Ok _ -> Alcotest.fail "pruned position answered a batch"
+      | Error (Wal.Tail_error m) ->
+        Alcotest.failf "pruned position was not typed: %s" m);
+      (* The retention hook holds pruning back. *)
+      Xlog.set_wal_retention log (fun () -> Some 0);
+      ignore (Xlog.insert log (e "P" []) : int);
+      ignore (Xlog.compact ~wait:true log : bool);
+      let kept = List.map fst (Wal.list_files dir) in
+      Alcotest.(check bool) "retention kept the old files" true
+        (List.length kept >= 2);
+      Xlog.close log)
+
+let test_replica_mirror () =
+  with_dir (fun pdir ->
+      with_dir (fun fdir ->
+          let primary = Xlog.open_ ~sync_every:1 ~memtable_limit:8 pdir in
+          let follower = Xlog.open_ ~sync_every:1 ~memtable_limit:8 fdir in
+          (* What a serving primary does for its live subscriptions: hold
+             WAL files back from pruning up to the follower's cursor. *)
+          Xlog.set_wal_retention primary (fun () ->
+              Some (Xlog.wal_position follower).Wal.file);
+          let docs =
+            List.init 30 (fun i ->
+                e "P"
+                  [
+                    e "L" [ v (if i mod 2 = 0 then "x" else "y") ];
+                    (if i mod 3 = 0 then e "S" [] else e "B" []);
+                  ])
+          in
+          let live = ref [] in
+          List.iteri
+            (fun i d ->
+              let id = Xlog.insert primary d in
+              live := !live @ [ (id, d) ];
+              if i mod 7 = 6 then begin
+                ignore (Xlog.remove primary (id - 2) : bool);
+                live := List.remove_assoc (id - 2) !live
+              end;
+              (* Ship continuously, including across the rotation below. *)
+              catch_up ~src:pdir follower)
+            docs;
+          (* A rotation mid-stream: the follower must mirror it. *)
+          ignore (Xlog.compact ~wait:true primary : bool);
+          ignore (Xlog.insert primary (e "P" [ e "M" [ v "x" ] ]) : int);
+          live := !live @ [ (Xlog.next_id primary - 1, e "P" [ e "M" [ v "x" ] ]) ];
+          catch_up ~src:pdir follower;
+          Alcotest.(check int) "same next_id" (Xlog.next_id primary)
+            (Xlog.next_id follower);
+          Alcotest.(check int) "cursor equality" 0
+            (Wal.position_compare
+               (Xlog.wal_position primary)
+               (Xlog.wal_position follower));
+          check_against_oracle "follower answers" follower !live;
+          check_wal_mirror pdir fdir;
+          (* Restart the follower: its own log end is the resume cursor,
+             and the stream continues seamlessly. *)
+          Xlog.close follower;
+          let follower = Xlog.open_ ~sync_every:1 ~memtable_limit:8 fdir in
+          ignore (Xlog.insert primary (e "Q" [ e "L" [] ]) : int);
+          live := !live @ [ (Xlog.next_id primary - 1, e "Q" [ e "L" [] ]) ];
+          catch_up ~src:pdir follower;
+          check_against_oracle "follower after restart" follower !live;
+          (* A continuity violation is an Error, not corruption: applying
+             the same batch twice is refused. *)
+          let pos = Xlog.wal_position follower in
+          ignore (Xlog.insert primary (e "Q" []) : int);
+          (match Wal.tail ~dir:pdir pos with
+          | Ok b ->
+            (match
+               Xlog.replica_apply follower ~from:pos ~next:b.Wal.b_next
+                 b.Wal.b_records
+             with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "first apply refused: %s" m);
+            (match
+               Xlog.replica_apply follower ~from:pos ~next:b.Wal.b_next
+                 b.Wal.b_records
+             with
+            | Ok _ -> Alcotest.fail "duplicate batch accepted"
+            | Error _ -> ())
+          | Error e -> Alcotest.failf "tail: %s" (Wal.tail_error_to_string e));
+          Xlog.close primary;
+          Xlog.close follower))
+
+(* Follower-side compaction must not rotate — the file sequence keeps
+   mirroring the primary's — and its mid-file checkpoint must recover. *)
+let test_replica_compaction_no_rotate () =
+  with_dir (fun pdir ->
+      with_dir (fun fdir ->
+          let primary = Xlog.open_ ~sync_every:1 ~memtable_limit:4 pdir in
+          let follower =
+            Xlog.open_ ~sync_every:1 ~memtable_limit:4 ~max_segments:2 fdir
+          in
+          let live = ref [] in
+          for i = 0 to 39 do
+            let d = e "P" [ e "L" [ v (string_of_int i) ] ] in
+            let id = Xlog.insert primary d in
+            live := !live @ [ (id, d) ];
+            catch_up ~src:pdir follower
+          done;
+          (* The follower sealed and auto-compacted along the way (its
+             max_segments is small); none of that may rotate its WAL. *)
+          let rec wait_bg n =
+            if n = 0 then ()
+            else if Xlog.segments follower > 2 then begin
+              Thread.delay 0.01;
+              wait_bg (n - 1)
+            end
+          in
+          wait_bg 200;
+          ignore (Xlog.compact ~wait:true ~rotate:false follower : bool);
+          Alcotest.(check int) "no invented rotation" 0
+            (Wal.position_compare
+               (Xlog.wal_position primary)
+               (Xlog.wal_position follower));
+          check_wal_mirror pdir fdir;
+          check_against_oracle "follower post-compaction" follower !live;
+          (* Mid-file checkpoint recovers: close, reopen, stream on. *)
+          Xlog.close follower;
+          let follower = Xlog.open_ ~sync_every:1 ~memtable_limit:4 fdir in
+          check_against_oracle "follower reopened on mid-file checkpoint"
+            follower !live;
+          ignore (Xlog.insert primary (e "Q" []) : int);
+          live := !live @ [ (Xlog.next_id primary - 1, e "Q" []) ];
+          catch_up ~src:pdir follower;
+          check_against_oracle "stream resumed" follower !live;
+          (* Promotion is free at this layer: the mirror's writer already
+             sits at the log end with the right next id. *)
+          Xlog.close primary;
+          let d = e "P" [ e "S" [] ] in
+          let id = Xlog.insert follower d in
+          Alcotest.(check int) "promoted id continues the sequence" 41 id;
+          live := !live @ [ (id, d) ];
+          check_against_oracle "promoted follower serves writes" follower !live;
+          Xlog.close follower))
+
 (* --- prepared plans ---------------------------------------------------------- *)
 
 let test_prepared_stamps () =
@@ -590,6 +831,15 @@ let () =
           Alcotest.test_case "insert/remove/flush/compact/reopen" `Quick
             test_basic_store;
           QCheck_alcotest.to_alcotest qcheck_schedules_match_oracle;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "tail cursor" `Quick test_tail_basic;
+          Alcotest.test_case "pruned position is typed" `Quick
+            test_tail_pruned_position;
+          Alcotest.test_case "replica mirror" `Quick test_replica_mirror;
+          Alcotest.test_case "replica compaction keeps the mirror" `Quick
+            test_replica_compaction_no_rotate;
         ] );
       ( "crash recovery",
         [
