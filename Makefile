@@ -32,7 +32,7 @@ bench-json:
 # floors on >=4 cores, parity floors (catching serialization
 # regressions) on smaller boxes.
 bench-gate:
-	dune exec bench/main.exe -- parallel shard server repl
+	dune exec bench/main.exe -- parallel shard storage server repl
 	python3 bench/gate.py
 
 # Seeded fault-injection torture suite at chaos intensity: many more

@@ -152,6 +152,14 @@ def main():
         failures,
     )
     gate(
+        "storage",
+        "BENCH_storage.json",
+        floors_cfg,
+        ["compression_ratio"],
+        "answers_ok",
+        failures,
+    )
+    gate(
         "server",
         "BENCH_server.json",
         floors_cfg,

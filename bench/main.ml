@@ -588,9 +588,11 @@ let parallel () =
 
 let storage () =
   header
-    "Storage: heap arrays vs columnar flat buffers vs disk pages\n\
-     one index, three physical backings, identical answers required \
+    "Storage: heap arrays vs columnar flat buffers vs disk pages vs \
+     compressed columns\n\
+     one index, five physical backings, identical answers required \
      (see BENCH_storage.json)";
+  let cores = Domain.recommended_domain_count () in
   let n = n_scaled 8_000 in
   let docs = Xdatagen.Dblp_gen.generate n in
   let index = Xseq.build docs in
@@ -600,15 +602,29 @@ let storage () =
          ~seed:31)
   in
   let tmp = Filename.temp_file "xseq_storage" ".idx" in
+  let tmpz = Filename.temp_file "xseq_storage" ".idxz" in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ tmp; tmpz ])
     (fun () ->
       Xseq.save index tmp;
+      Xseq.save ~format:Xstorage.Store.Col2 index tmpz;
       let paged = Xseq.load ~mode:Xstorage.Store.Paged ~pool_pages:64 tmp in
-      let file_bytes =
-        match Xseq.backing_store paged with
+      let zres = Xseq.load tmpz in
+      let zpaged = Xseq.load ~mode:Xstorage.Store.Paged ~pool_pages:64 tmpz in
+      let store_bytes ix =
+        match Xseq.backing_store ix with
         | Some s -> Xstorage.Store.file_bytes s
         | None -> 0
+      in
+      let file_bytes = store_bytes paged in
+      let compressed_bytes = store_bytes zpaged in
+      let ratio =
+        if compressed_bytes > 0 then
+          float_of_int file_bytes /. float_of_int compressed_bytes
+        else 0.
       in
       (* All variants run the very same compiled pipeline; only the
          physical column backing differs. *)
@@ -622,11 +638,17 @@ let storage () =
             Xseq.value_mode index, None );
           ( "paged", Xseq.labeled paged, Xseq.strategy paged,
             Xseq.value_mode paged, Xseq.backing_store paged );
+          ( "compressed", Xseq.labeled zres, Xseq.strategy zres,
+            Xseq.value_mode zres, None );
+          ( "compressed-paged", Xseq.labeled zpaged, Xseq.strategy zpaged,
+            Xseq.value_mode zpaged, Xseq.backing_store zpaged );
         ]
       in
-      Printf.printf "(%d records, %d queries, snapshot %d bytes)\n" n
-        (Array.length queries) file_bytes;
-      Printf.printf "%10s %12s %12s %14s %12s %12s\n" "backend" "batch (ms)"
+      Printf.printf
+        "(%d records, %d queries, snapshot %d bytes, compressed %d bytes, \
+         %.2fx smaller)\n"
+        n (Array.length queries) file_bytes compressed_bytes ratio;
+      Printf.printf "%16s %12s %12s %14s %12s %12s\n" "backend" "batch (ms)"
         "probes" "probes/s" "page reads" "pool hits";
       let reference = ref None in
       let rows =
@@ -641,12 +663,17 @@ let storage () =
                         q)
                     queries)
             in
-            (match !reference with
-             | None -> reference := Some answers
-             | Some r ->
-               if answers <> r then
-                 Printf.printf "!! backend %s diverged from heap answers\n"
-                   name);
+            let ok =
+              match !reference with
+              | None ->
+                reference := Some answers;
+                true
+              | Some r ->
+                if answers <> r then
+                  Printf.printf "!! backend %s diverged from heap answers\n"
+                    name;
+                answers = r
+            in
             let probes = stats.Xquery.Matcher.probes in
             let pps = if t > 0. then float_of_int probes /. t else 0. in
             let reads, hits =
@@ -655,29 +682,43 @@ let storage () =
                 (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
               | None -> (0, 0)
             in
-            Printf.printf "%10s %12.1f %12d %14.0f %12d %12d\n%!" name (ms t)
+            Printf.printf "%16s %12.1f %12d %14.0f %12d %12d\n%!" name (ms t)
               probes pps reads hits;
-            (name, t, probes, pps, reads, hits))
+            (name, t, probes, pps, reads, hits, ok))
           variants
       in
-      let oc = open_out "BENCH_storage.json" in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
+      let time_of want =
+        match List.find_opt (fun (nm, _, _, _, _, _, _) -> nm = want) rows with
+        | Some (_, t, _, _, _, _, _) -> t
+        | None -> 0.
+      in
+      (* Intra-run latency ratio: both halves measured under the same
+         box interference, so it gates stably where absolute times
+         would not. *)
+      let zpaged_vs_heap =
+        if time_of "heap" > 0. then time_of "compressed-paged" /. time_of "heap"
+        else 0.
+      in
+      Printf.printf "compressed-paged vs heap: %.2fx slower\n" zpaged_vs_heap;
+      write_json "storage" (fun oc ->
           Printf.fprintf oc
-            "{\n  \"records\": %d,\n  \"queries\": %d,\n  \"snapshot_bytes\": \
-             %d,\n  \"runs\": [\n"
-            n (Array.length queries) file_bytes;
+            "{\n  \"cores\": %d,\n  \"records\": %d,\n  \"queries\": %d,\n\
+            \  \"snapshot_bytes\": %d,\n  \"compressed_bytes\": %d,\n\
+            \  \"runs\": [\n"
+            cores n (Array.length queries) file_bytes compressed_bytes;
           List.iteri
-            (fun i (name, t, probes, pps, reads, hits) ->
+            (fun i (name, t, probes, pps, reads, hits, ok) ->
               Printf.fprintf oc
                 "    {\"backend\": %S, \"batch_ms\": %.2f, \"probes\": %d, \
                  \"probes_per_s\": %.0f, \"page_reads\": %d, \"pool_hits\": \
-                 %d}%s\n"
-                name (ms t) probes pps reads hits
+                 %d, \"answers_ok\": %b}%s\n"
+                name (ms t) probes pps reads hits ok
                 (if i = List.length rows - 1 then "" else ","))
             rows;
-          Printf.fprintf oc "  ]\n}\n");
+          Printf.fprintf oc "  ],\n";
+          Printf.fprintf oc "  \"compression_ratio\": %.3f,\n" ratio;
+          Printf.fprintf oc "  \"compressed_paged_vs_heap\": %.3f\n}\n"
+            zpaged_vs_heap);
       Printf.printf "wrote BENCH_storage.json\n%!")
 
 (* ------------------------------------------------------------------ *)

@@ -14,14 +14,15 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* An input is either a saved index (columnar store magic) or an XML
-   record file. *)
+(* An input is either a saved index (columnar store magic, plain or
+   compressed) or an XML record file. *)
 let is_index_file path =
-  let magic = "xseqcol1" in
   match open_in_bin path with
   | ic ->
     let ok =
-      try really_input_string ic (String.length magic) = magic
+      try
+        let m = really_input_string ic 8 in
+        m = "xseqcol1" || m = "xseqcol2"
       with End_of_file -> false
     in
     close_in ic;
@@ -531,6 +532,15 @@ let query_cmd =
             "When FILE is a saved index, leave its columns on disk and \
              answer through the buffer pool; reports real page reads.")
   in
+  let pool_pages =
+    Arg.(
+      value & opt int 256
+      & info [ "pool-pages" ] ~docv:"N"
+          ~doc:
+            "With $(b,--paged): buffer-pool capacity in pages (default \
+             256).  Smaller pools model smaller RAM; evictions show up \
+             as extra page reads.")
+  in
   let connect =
     Arg.(
       value
@@ -609,8 +619,8 @@ let query_cmd =
              of the primary's current watermark (0 = exactly caught \
              up).")
   in
-  let run args strategy show io paged connect verbose server_stats reload
-      timeout health live endpoints max_staleness =
+  let run args strategy show io paged pool_pages connect verbose server_stats
+      reload timeout health live endpoints max_staleness =
     (match endpoints with
      | Some eps ->
        if connect <> None || live <> None then begin
@@ -673,7 +683,7 @@ let query_cmd =
              Xseq.load
                ~mode:
                  (if paged then Xstorage.Store.Paged else Xstorage.Store.Resident)
-               input
+               ~pool_pages input
            else begin
              if paged then begin
                Printf.eprintf "--paged requires a saved index file\n";
@@ -699,9 +709,9 @@ let query_cmd =
           against a running server with $(b,--connect).  Several queries \
           share one index and are compiled once each.")
     Term.(
-      const run $ args $ strategy_arg $ show $ io $ paged $ connect $ verbose
-      $ server_stats $ reload $ timeout $ health $ live $ endpoints
-      $ max_staleness)
+      const run $ args $ strategy_arg $ show $ io $ paged $ pool_pages
+      $ connect $ verbose $ server_stats $ reload $ timeout $ health $ live
+      $ endpoints $ max_staleness)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -771,6 +781,23 @@ let serve_cmd =
       value & opt float 0.
       & info [ "metrics-interval" ] ~docv:"SECONDS"
           ~doc:"Dump the metrics JSON to stderr every SECONDS (0 = never).")
+  in
+  let paged =
+    Arg.(
+      value & flag
+      & info [ "paged" ]
+          ~doc:
+            "Serve the snapshot off disk through the buffer pool instead \
+             of materialising it in RAM (FILE must be a saved index).  \
+             $(b,Stats) then reports page reads, hits and pool size.")
+  in
+  let pool_pages =
+    Arg.(
+      value & opt int 256
+      & info [ "pool-pages" ] ~docv:"N"
+          ~doc:
+            "With $(b,--paged): buffer-pool capacity in pages (default \
+             256).  Bounds the resident column-data footprint.")
   in
   let dynamic =
     Arg.(
@@ -900,9 +927,9 @@ let serve_cmd =
              higher durable WAL position.")
   in
   let run input strategy socket port host workers accept_shards max_pending
-      plan_cache no_plan_cache timeout_ms metrics_interval dynamic live
-      sync_every memtable_limit shards follow advertise peers sync_replicas
-      ack_timeout_ms heartbeat_timeout_ms auto_promote =
+      plan_cache no_plan_cache timeout_ms metrics_interval paged pool_pages
+      dynamic live sync_every memtable_limit shards follow advertise peers
+      sync_replicas ack_timeout_ms heartbeat_timeout_ms auto_promote =
     let addrs =
       (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
       @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
@@ -913,6 +940,17 @@ let serve_cmd =
     end;
     if shards <> None && live = None then begin
       Printf.eprintf "serve: --shards applies to --live only\n";
+      exit 1
+    end;
+    if
+      paged
+      && (live <> None || dynamic <> None
+         ||
+         match input with
+         | Some f -> not (is_index_file f)
+         | None -> true)
+    then begin
+      Printf.eprintf "serve: --paged requires a saved index snapshot FILE\n";
       exit 1
     end;
     let repl_wanted =
@@ -1024,6 +1062,9 @@ let serve_cmd =
         max_pending;
         plan_cache_capacity = (if no_plan_cache then 0 else plan_cache);
         default_timeout_ms = timeout_ms;
+        snapshot_mode =
+          (if paged then Xstorage.Store.Paged else Xstorage.Store.Resident);
+        snapshot_pool_pages = pool_pages;
         repl = Option.map Xrepl.Node.hooks repl_node;
       }
     in
@@ -1081,7 +1122,8 @@ let serve_cmd =
     Term.(
       const run $ serve_input $ strategy_arg $ socket $ port $ host $ workers
       $ accept_shards $ max_pending $ plan_cache $ no_plan_cache $ timeout_ms
-      $ metrics_interval $ dynamic $ live $ sync_every $ memtable_limit
+      $ metrics_interval $ paged $ pool_pages $ dynamic $ live $ sync_every
+      $ memtable_limit
       $ shards $ follow $ advertise $ peers $ sync_replicas $ ack_timeout_ms
       $ heartbeat_timeout_ms $ auto_promote)
 
@@ -1603,7 +1645,9 @@ let info_cmd =
       required
       & pos 0 (some file) None
       & info [] ~docv:"SNAPSHOT"
-          ~doc:"A saved index written by $(b,xseq index) (xseqcol1 format).")
+          ~doc:
+            "A saved index written by $(b,xseq index) (xseqcol1 or \
+             compressed xseqcol2 format).")
   in
   let run input =
     if not (is_index_file input) then begin
@@ -1615,8 +1659,13 @@ let info_cmd =
     (* Counts straight from the regions — no document re-interning. *)
     let xmeta = Store.to_array (Store.ints store "xseq_meta") in
     let imeta = Store.to_array (Store.ints store "meta") in
+    let regions = Store.regions store in
+    let logical = List.fold_left (fun a r -> a + r.Store.r_bytes) 0 regions in
+    let stored = List.fold_left (fun a r -> a + r.Store.r_stored) 0 regions in
+    let compressed = Store.file_format store = Store.Col2 in
     Printf.printf "file:            %s\n" input;
-    Printf.printf "format:          xseqcol1 v1, %d-byte pages, %d bytes\n"
+    Printf.printf "format:          %s v1, %d-byte pages, %d bytes\n"
+      (Store.format_name (Store.file_format store))
       (Store.page_size store) (Store.file_bytes store);
     Printf.printf "records:         %d\n" xmeta.(8);
     Printf.printf "trie nodes:      %d\n" imeta.(0);
@@ -1626,20 +1675,28 @@ let info_cmd =
       (Store.length (Store.ints store "doc_pre"));
     Printf.printf "query layout:    %d bytes (links + doc table, simulated)\n"
       imeta.(2);
-    Printf.printf "\n%-16s %-5s %12s %12s %8s %12s\n" "region" "kind"
-      "elements" "bytes" "pages" "offset";
+    if compressed then
+      Printf.printf "column bytes:    %d stored / %d logical (%.2fx compression)\n"
+        stored logical
+        (if stored > 0 then float_of_int logical /. float_of_int stored else 0.)
+    else Printf.printf "column bytes:    %d\n" logical;
+    Printf.printf "\n%-16s %-5s %12s %12s %12s %8s %12s\n" "region" "kind"
+      "elements" "bytes" "stored" "pages" "offset";
     List.iter
       (fun r ->
-        Printf.printf "%-16s %-5s %12d %12d %8d %12d\n" r.Store.r_name
+        Printf.printf "%-16s %-5s %12d %12d %12d %8d %12d\n" r.Store.r_name
           (match r.Store.r_kind with `Ints -> "ints" | `Blob -> "blob")
-          r.Store.r_count r.Store.r_bytes r.Store.r_pages r.Store.r_offset)
-      (Store.regions store);
+          r.Store.r_count r.Store.r_bytes r.Store.r_stored r.Store.r_pages
+          r.Store.r_offset)
+      regions;
     Store.close store
   in
   Cmd.v
     (Cmd.info "info"
        ~doc:"Print a saved index's on-disk table of contents: every region \
-             with its element count, byte size, page count and file offset.")
+             with its element count, logical and stored byte sizes, page \
+             count and file offset — plus the whole-file compression ratio \
+             for xseqcol2 snapshots.")
     Term.(const run $ input)
 
 (* --- index (build + save) ------------------------------------------------ *)
@@ -1651,11 +1708,24 @@ let index_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the index.")
   in
-  let run input strategy output =
+  let compress =
+    Arg.(
+      value & flag
+      & info [ "compress" ]
+          ~doc:
+            "Write the compressed $(b,xseqcol2) format: delta-packed \
+             label columns, dictionary-coded designators and \
+             front-coded trie edges — typically 4-10x smaller, loadable \
+             by every reader (plain or $(b,--paged)).")
+  in
+  let run input strategy output compress =
     let docs = load_documents input in
     let t0 = Unix.gettimeofday () in
     let index = Xseq.build ~config:(config_of_strategy strategy) docs in
-    Xseq.save index output;
+    let format =
+      if compress then Xstorage.Store.Col2 else Xstorage.Store.Col1
+    in
+    Xseq.save ~format index output;
     Printf.printf "indexed %d records into %d trie nodes; saved to %s (%.0f ms)\n"
       (Xseq.doc_count index) (Xseq.node_count index) output
       ((Unix.gettimeofday () -. t0) *. 1000.)
@@ -1664,7 +1734,7 @@ let index_cmd =
     (Cmd.info "index"
        ~doc:"Build an index over the records and save it to disk; $(b,query) \
              and $(b,stats) accept the saved file in place of the XML input.")
-    Term.(const run $ input_arg $ strategy_arg $ output)
+    Term.(const run $ input_arg $ strategy_arg $ output $ compress)
 
 let () =
   let doc = "sequence-based XML indexing with constraint sequences (ICDE 2005)" in

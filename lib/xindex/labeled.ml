@@ -390,10 +390,52 @@ let dict_regions t store =
   Store.add_ints store "dict_name_off" (Store.heap name_off);
   Store.add_blob store "dict_names" (Buffer.contents names)
 
-let add_to_store t store =
+(* Compact dictionary: trie edges are (parent entry, designator id); the
+   designators themselves are deduplicated into a (kind, name) table
+   whose names — sorted, hence prefix-heavy — are front-coded.  A DBLP
+   trie has thousands of edges over a few dozen distinct tags, so the
+   edge cost drops from one spelled-out name per entry to one small
+   id. *)
+let dict_regions_compact t store =
+  let n = Array.length t.paths in
+  let parent = Array.make n (-1) in
+  let desig = Array.make n (-1) in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace index_of p i) t.paths;
+  let uniq = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      if not (Path.equal p Path.epsilon) then begin
+        let d = Path.tag p in
+        let k = if Xmlcore.Designator.is_value d then 1 else 0 in
+        Hashtbl.replace uniq (Xmlcore.Designator.name d, k) ()
+      end)
+    t.paths;
+  let pairs =
+    List.sort Stdlib.compare (Hashtbl.fold (fun kv () acc -> kv :: acc) uniq [])
+  in
+  let id_of = Hashtbl.create (List.length pairs) in
+  List.iteri (fun i kv -> Hashtbl.replace id_of kv i) pairs;
+  Array.iteri
+    (fun i p ->
+      if not (Path.equal p Path.epsilon) then begin
+        let d = Path.tag p in
+        let k = if Xmlcore.Designator.is_value d then 1 else 0 in
+        parent.(i) <- Hashtbl.find index_of (Path.parent p);
+        desig.(i) <- Hashtbl.find id_of (Xmlcore.Designator.name d, k)
+      end)
+    t.paths;
+  Store.add_ints store "dict_parent" (Store.heap parent);
+  Store.add_ints store "dict_desig" (Store.heap desig);
+  Store.add_ints store "desig_kind"
+    (Store.heap (Array.of_list (List.map snd pairs)));
+  Store.add_blob store "desig_names"
+    (Xsuccinct.Frontcode.encode (Array.of_list (List.map fst pairs)))
+
+let add_to_store ?(compact = false) t store =
   Store.add_ints store "meta"
     (Store.heap [| t.n; t.doc_base; t.total_bytes |]);
-  dict_regions t store;
+  (if compact then dict_regions_compact else dict_regions) t store;
   Store.add_ints store "node_pre" t.pre;
   Store.add_ints store "node_post" t.post;
   Store.add_ints store "node_path" t.node_path;
@@ -417,30 +459,66 @@ let of_store store =
   if Array.length meta <> 3 then corrupt "meta region size";
   let n = meta.(0) and doc_base = meta.(1) and total_bytes = meta.(2) in
   if n < 0 || doc_base < 0 || total_bytes < 0 then corrupt "negative meta field";
-  (* Re-intern the dictionary (parents precede children by construction). *)
+  (* Re-intern the dictionary (parents precede children by construction).
+     Compact (xseqcol2) snapshots carry deduplicated designator ids over
+     a front-coded name table; legacy snapshots spell each entry out. *)
   let parent = Store.to_array (Store.ints store "dict_parent") in
-  let kind = Store.to_array (Store.ints store "dict_kind") in
-  let name_off = Store.to_array (Store.ints store "dict_name_off") in
-  let names = Store.blob store "dict_names" in
   let ndict = Array.length parent in
-  if Array.length kind <> ndict || Array.length name_off <> ndict + 1 then
-    corrupt "dictionary region sizes";
   let paths = Array.make (max 1 ndict) Path.epsilon in
-  for i = 0 to ndict - 1 do
-    let lo = name_off.(i) and hi = name_off.(i + 1) in
-    if lo < 0 || hi < lo || hi > String.length names then
-      corrupt "dictionary name offsets";
-    if parent.(i) < 0 then paths.(i) <- Path.epsilon
-    else begin
-      if parent.(i) >= i then corrupt "dictionary parent order";
-      let name = String.sub names lo (hi - lo) in
-      let d =
-        if kind.(i) = 1 then Xmlcore.Designator.value name
-        else Xmlcore.Designator.tag name
-      in
-      paths.(i) <- Path.child paths.(parent.(i)) d
-    end
-  done;
+  if Store.mem store "dict_desig" then begin
+    let desig = Store.to_array (Store.ints store "dict_desig") in
+    let dkind = Store.to_array (Store.ints store "desig_kind") in
+    let dnames =
+      try
+        Xsuccinct.Frontcode.decode
+          ~name:"Labeled.of_store: inconsistent snapshot: designator names"
+          (Store.blob store "desig_names")
+      with Invalid_argument _ -> corrupt "designator name table"
+    in
+    let ndesig = Array.length dnames in
+    if Array.length desig <> ndict || Array.length dkind <> ndesig then
+      corrupt "dictionary region sizes";
+    let desigs =
+      Array.init ndesig (fun i ->
+          if dkind.(i) = 1 then Xmlcore.Designator.value dnames.(i)
+          else if dkind.(i) = 0 then Xmlcore.Designator.tag dnames.(i)
+          else corrupt "designator kind out of range")
+    in
+    for i = 0 to ndict - 1 do
+      if parent.(i) < 0 then begin
+        if desig.(i) >= 0 then corrupt "root entry with a designator";
+        paths.(i) <- Path.epsilon
+      end
+      else begin
+        if parent.(i) >= i then corrupt "dictionary parent order";
+        if desig.(i) < 0 || desig.(i) >= ndesig then
+          corrupt "designator id out of range";
+        paths.(i) <- Path.child paths.(parent.(i)) desigs.(desig.(i))
+      end
+    done
+  end
+  else begin
+    let kind = Store.to_array (Store.ints store "dict_kind") in
+    let name_off = Store.to_array (Store.ints store "dict_name_off") in
+    let names = Store.blob store "dict_names" in
+    if Array.length kind <> ndict || Array.length name_off <> ndict + 1 then
+      corrupt "dictionary region sizes";
+    for i = 0 to ndict - 1 do
+      let lo = name_off.(i) and hi = name_off.(i + 1) in
+      if lo < 0 || hi < lo || hi > String.length names then
+        corrupt "dictionary name offsets";
+      if parent.(i) < 0 then paths.(i) <- Path.epsilon
+      else begin
+        if parent.(i) >= i then corrupt "dictionary parent order";
+        let name = String.sub names lo (hi - lo) in
+        let d =
+          if kind.(i) = 1 then Xmlcore.Designator.value name
+          else Xmlcore.Designator.tag name
+        in
+        paths.(i) <- Path.child paths.(parent.(i)) d
+      end
+    done
+  end;
   let paths = Array.sub paths 0 ndict in
   let pre = Store.ints store "node_pre" in
   let post = Store.ints store "node_post" in

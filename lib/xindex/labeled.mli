@@ -145,17 +145,20 @@ val distinct_paths : t -> int
     {!Xstorage.Store.write} re-interns cleanly in any process — and, in
     paged mode, answers queries straight off disk. *)
 
-val add_to_store : t -> Xstorage.Store.t -> unit
+val add_to_store : ?compact:bool -> t -> Xstorage.Store.t -> unit
 (** Registers every index region with the store.  Region names are
     reserved; combine with other regions freely as long as names do not
-    clash. *)
+    clash.  With [~compact:true] the path dictionary is written in its
+    compact form — trie edges as (parent, designator id) pairs over a
+    deduplicated, front-coded designator name table — the layout
+    compressed (xseqcol2) snapshots use; {!of_store} reads either. *)
 
 val of_store : Xstorage.Store.t -> t
 (** Rebuilds the index view over the store's regions, re-interning the
     path dictionary into the current process.  Columns keep whatever
-    backing the store has — resident buffers or disk pages behind the
-    buffer pool — so opening a snapshot in paged mode yields an index
-    that reads pages on demand.
+    backing the store has — resident buffers, disk pages behind the
+    buffer pool, or compressed blocks decoded on probe — so opening a
+    snapshot in paged mode yields an index that reads pages on demand.
 
     @raise Invalid_argument naming the inconsistency if the regions are
     missing, mis-sized, or internally contradictory.  Validation covers

@@ -399,7 +399,7 @@ let decode_docs blob ndocs =
   if !pos <> len then corrupt ();
   docs
 
-let save t path =
+let save ?(format = Store.Col1) t path =
   let docs =
     match t.docs with
     | Some docs -> docs
@@ -438,8 +438,11 @@ let save t path =
          t.ndocs;
        |]);
   Store.add_blob store "docs" (encode_docs docs);
-  Xindex.Labeled.add_to_store t.labeled store;
-  Store.write store path
+  Xindex.Labeled.add_to_store ~compact:(format = Store.Col2) t.labeled store;
+  (* Compressed regions are small; 4 KiB alignment would waste a large
+     fraction of the file (and of the buffer pool) on padding. *)
+  let page_size = match format with Store.Col1 -> 4096 | Store.Col2 -> 1024 in
+  Store.write ~page_size ~format store path
 
 let load ?mode ?pool_pages ?verify path =
   let store = Store.open_file ?mode ?pool_pages ?verify path in

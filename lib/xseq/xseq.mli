@@ -208,9 +208,14 @@ val stats : t -> Xschema.Stats.t option
     disk: index columns stay in the file and are read page by page
     through the store's buffer pool. *)
 
-val save : t -> string -> unit
+val save : ?format:Xstorage.Store.file_format -> t -> string -> unit
 (** [save t path] writes the index to [path] in the
-    {!Xstorage.Store} file format.
+    {!Xstorage.Store} file format.  [format] (default
+    {!Xstorage.Store.Col1}) selects the container:
+    {!Xstorage.Store.Col2} writes the compressed form — delta+varint
+    label columns, LZ document blob, compact front-coded path
+    dictionary — typically several times smaller and loadable by the
+    same {!load} (which dispatches on the file's magic).
     @raise Invalid_argument for indexes built with [keep_documents =
     false] or with a [Custom]/[Probability_weighted] strategy (closures
     cannot be persisted). *)
@@ -219,9 +224,10 @@ val load :
   ?mode:Xstorage.Store.mode -> ?pool_pages:int -> ?verify:bool -> string -> t
 (** [load path] restores a saved index; queries answer exactly as on the
     original.  [mode] (default [Resident]) materialises every column in
-    memory; [Paged] leaves the index columns on disk behind a buffer pool
-    of [pool_pages] pages (default 256).  [verify] (default [true])
-    checks every region checksum up front.
+    memory (compressed snapshots stay compressed, decoding blocks on
+    probe); [Paged] leaves the index columns on disk behind a buffer
+    pool of [pool_pages] pages (default 256).  [verify] (default
+    [true]) checks every region checksum up front.
     @raise Invalid_argument on a corrupt or incompatible file, naming
     the failing part (magic, version, checksum, region). *)
 

@@ -115,6 +115,8 @@ type config = {
   debug_delay_ms : int;
   accept_shards : int;
   max_pipeline : int;
+  snapshot_mode : Xstorage.Store.mode;
+  snapshot_pool_pages : int;
   repl : repl_hooks option;
 }
 
@@ -128,6 +130,8 @@ let default_config =
     debug_delay_ms = 0;
     accept_shards = 1;
     max_pipeline = 256;
+    snapshot_mode = Xstorage.Store.Resident;
+    snapshot_pool_pages = 256;
     repl = None;
   }
 
@@ -263,10 +267,13 @@ type t = {
   started_at : float;
 }
 
-let serving_of_source = function
+let serving_of_source config = function
   | Static index -> { backend = B_index index; gen = Xseq.generation index }
   | Snapshot path ->
-    let index = Xseq.load path in
+    let index =
+      Xseq.load ~mode:config.snapshot_mode
+        ~pool_pages:config.snapshot_pool_pages path
+    in
     { backend = B_index index; gen = Xseq.generation index }
   | Dynamic dyn ->
     let index = Xseq.Dynamic.snapshot dyn in
@@ -317,7 +324,7 @@ let create ?(config = default_config) source =
   {
     config;
     source;
-    serving = Atomic.make (serving_of_source source);
+    serving = Atomic.make (serving_of_source config source);
     cache = Plan_cache.create ~capacity:config.plan_cache_capacity;
     metrics = Metrics.create ();
     pool = Pool.create ~domains:config.workers ();
@@ -457,12 +464,12 @@ let reload ?path t =
         | Live log when path = None ->
           Xlog.flush log;
           ignore (Xlog.compact log : bool);
-          serving_of_source source
+          serving_of_source t.config source
         | Sharded sh when path = None ->
           Xshard.flush sh;
           ignore (Xshard.compact sh : bool);
-          serving_of_source source
-        | s -> serving_of_source s
+          serving_of_source t.config source
+        | s -> serving_of_source t.config s
       in
       t.source <- source;
       Atomic.set t.serving sv;
@@ -474,13 +481,16 @@ let stats_json t =
   let sv = Atomic.get t.serving in
   let hits = Plan_cache.hits t.cache and misses = Plan_cache.misses t.cache in
   let looked = hits + misses in
-  let page_reads, page_hits =
+  let page_reads, page_hits, pool_pages =
     match sv.backend with
     | B_index index ->
       (match Xseq.backing_store index with
-       | Some s -> (Xstorage.Store.page_reads s, Xstorage.Store.page_hits s)
-       | None -> (0, 0))
-    | B_live _ | B_shard _ -> (0, 0)
+       | Some s ->
+         ( Xstorage.Store.page_reads s,
+           Xstorage.Store.page_hits s,
+           Xstorage.Store.pool_capacity s )
+       | None -> (0, 0, 0))
+    | B_live _ | B_shard _ -> (0, 0, 0)
   in
   let live_extra =
     match sv.backend with
@@ -581,8 +591,9 @@ let stats_json t =
             hits misses
             (if looked = 0 then 0. else float_of_int hits /. float_of_int looked) );
         ( "store",
-          Printf.sprintf "{\"page_reads\": %d, \"page_hits\": %d}" page_reads
-            page_hits );
+          Printf.sprintf
+            "{\"page_reads\": %d, \"page_hits\": %d, \"pool_pages\": %d}"
+            page_reads page_hits pool_pages );
       ]
       @ live_extra @ repl_extra)
     t.metrics

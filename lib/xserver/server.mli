@@ -135,6 +135,14 @@ type config = {
       (** per-connection cap on decoded-but-unanswered requests; at the
           cap the server stops reading that connection until responses
           flush — backpressure, not an error (default 256) *)
+  snapshot_mode : Xstorage.Store.mode;
+      (** how {!Snapshot} sources (including reload targets) are opened:
+          [Resident] (default) materialises the index, [Paged] serves
+          it off disk through the buffer pool — Stats then reports
+          [store.page_reads] / [store.page_hits] / [store.pool_pages] *)
+  snapshot_pool_pages : int;
+      (** buffer-pool capacity for [Paged] snapshot serving
+          (default 256) *)
   repl : repl_hooks option;
       (** replication role; [None] (the default) serves a plain node *)
 }

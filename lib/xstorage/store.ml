@@ -1,10 +1,15 @@
 (* Columnar flat-buffer storage engine: see store.mli for the format. *)
 
 let magic = "xseqcol1"
+let magic_packed = "xseqcol2"
 let format_version = 1
 let header_fixed = 40 (* bytes before the TOC *)
 let toc_entry_bytes = 64
 let name_max = 31
+
+type file_format = Col1 | Col2
+
+let format_name = function Col1 -> "xseqcol1" | Col2 -> "xseqcol2"
 
 (* --- checksums ---------------------------------------------------------- *)
 
@@ -41,10 +46,26 @@ type reader = {
   mutable closed : bool;
 }
 
+(* A compressed column: parsed skip tables resident, delta blocks
+   fetched on demand (from an in-memory string or through the buffer
+   pool) and decoded through a small direct-mapped cache of decoded
+   blocks.  The cache is an array of [Atomic] slots holding immutable
+   (block, elements) pairs: concurrent probes may race to fill a slot,
+   which wastes a decode but never corrupts — [Atomic.set] publishes a
+   fully built array. *)
+type packed_col = {
+  ph : Xsuccinct.Packed.t;
+  p_fetch : int -> int -> string; (* region-relative byte fetch *)
+  p_cache : (int * int array) Atomic.t array;
+  p_mask : int;
+  p_paged : bool;
+}
+
 type column =
   | Heap of int array
   | Flat of flat
   | Paged of { r : reader; off : int; len : int }
+  | Packed of packed_col
 
 let heap a = Heap a
 
@@ -57,8 +78,45 @@ let length = function
   | Heap a -> Array.length a
   | Flat b -> Bigarray.Array1.dim b
   | Paged { len; _ } -> len
+  | Packed p -> Xsuccinct.Packed.count p.ph
 
-let is_paged = function Paged _ -> true | Heap _ | Flat _ -> false
+let is_paged = function
+  | Paged _ -> true
+  | Packed p -> p.p_paged
+  | Heap _ | Flat _ -> false
+
+let is_packed = function Packed _ -> true | Heap _ | Flat _ | Paged _ -> false
+
+(* Decoded-block cache: enough slots to hold the hot set of a
+   range-restricted binary search (a handful of link lists at a time),
+   bounded so a resident store of many columns stays small-RAM. *)
+let cache_slots nblocks =
+  let want = min 256 (max 1 nblocks) in
+  let s = ref 1 in
+  while !s < want do
+    s := !s * 2
+  done;
+  !s
+
+let packed_col ~paged ph fetch =
+  let slots = cache_slots (Xsuccinct.Packed.nblocks ph) in
+  {
+    ph;
+    p_fetch = fetch;
+    p_cache = Array.init slots (fun _ -> Atomic.make (-1, [||]));
+    p_mask = slots - 1;
+    p_paged = paged;
+  }
+
+let packed_block p b =
+  let slot = Array.unsafe_get p.p_cache (b land p.p_mask) in
+  let bid, arr = Atomic.get slot in
+  if bid = b then arr
+  else begin
+    let arr = Xsuccinct.Packed.decode_block p.ph ~fetch:p.p_fetch b in
+    Atomic.set slot (b, arr);
+    arr
+  end
 
 (* Fetch the page holding byte [pos] of the file, through the buffer pool.
    Serialised: a paged store may be shared across query domains. *)
@@ -88,6 +146,24 @@ let page_bytes r page =
         end;
         b)
 
+(* Assemble an arbitrary byte range from buffer-pool pages. *)
+let read_via_pool r pos0 len =
+  if len = 0 then ""
+  else begin
+    let b = Bytes.create len in
+    let pos = ref pos0 and dst = ref 0 in
+    while !dst < len do
+      let page = !pos / r.r_page_size in
+      let pb = page_bytes r page in
+      let in_page = !pos - (page * r.r_page_size) in
+      let n = min (len - !dst) (r.r_page_size - in_page) in
+      Bytes.blit pb in_page b !dst n;
+      pos := !pos + n;
+      dst := !dst + n
+    done;
+    Bytes.unsafe_to_string b
+  end
+
 let get c i =
   match c with
   | Heap a -> a.(i)
@@ -98,12 +174,24 @@ let get c i =
     let page = byte / r.r_page_size in
     let b = page_bytes r page in
     Int64.to_int (Bytes.get_int64_le b (byte - (page * r.r_page_size)))
+  | Packed p ->
+    if i < 0 || i >= Xsuccinct.Packed.count p.ph then
+      invalid_arg "Store.get: index out of bounds";
+    let bs = Xsuccinct.Packed.block_size p.ph in
+    let b = i / bs in
+    let r = i - (b * bs) in
+    (* Block heads live in the resident skip table: no fetch, no
+       decode — these are the sampled skip pointers the binary search
+       lands on first. *)
+    if r = 0 then Xsuccinct.Packed.first p.ph b
+    else Array.unsafe_get (packed_block p b) r
 
 let to_array c =
   match c with
   | Heap a -> Array.copy a
   | Flat b -> Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
   | Paged { len; _ } -> Array.init len (fun i -> get c i)
+  | Packed p -> Xsuccinct.Packed.decode_all p.ph ~fetch:p.p_fetch
 
 (* --- stores ------------------------------------------------------------- *)
 
@@ -114,6 +202,7 @@ type t = {
   tbl : (string, region) Hashtbl.t;
   infos : (string, region_info) Hashtbl.t; (* file stores only *)
   reader : reader option;
+  s_format : file_format;
   s_page_size : int;
   mutable s_file_bytes : int; (* -1 = recompute (memory store) *)
 }
@@ -123,6 +212,7 @@ and region_info = {
   r_kind : [ `Ints | `Blob ];
   r_count : int;
   r_bytes : int;
+  r_stored : int;
   r_offset : int;
   r_pages : int;
 }
@@ -133,6 +223,7 @@ let memory () =
     tbl = Hashtbl.create 16;
     infos = Hashtbl.create 16;
     reader = None;
+    s_format = Col1;
     s_page_size = 4096;
     s_file_bytes = -1;
   }
@@ -175,17 +266,33 @@ let round_up page_size n = (n + page_size - 1) / page_size * page_size
 
 (* --- writing ------------------------------------------------------------ *)
 
-let serialise_region page_size region =
-  let raw = region_raw_bytes region in
-  let padded = max page_size (round_up page_size raw) in
-  let b = Bytes.make padded '\000' in
-  (match region with
-   | R_ints c ->
-     for i = 0 to length c - 1 do
-       Bytes.set_int64_le b (8 * i) (Int64.of_int (get c i))
-     done
-   | R_blob s -> Bytes.blit_string s 0 b 0 (String.length s));
-  b
+(* Disk kind bytes.  0 and 1 are the only kinds xseqcol1 knows; 2 and 3
+   are the compressed encodings introduced by xseqcol2. *)
+let k_ints = 0
+let k_blob = 1
+let k_ints_packed = 2
+let k_blob_lz = 3
+
+(* Serialise one region for [format].  Returns the disk kind, the TOC
+   count field (elements for int columns, raw bytes for blobs) and the
+   un-padded stored bytes. *)
+let encode_region format region =
+  match format, region with
+  | Col1, R_ints c ->
+    let n = length c in
+    let b = Bytes.create (8 * n) in
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le b (8 * i) (Int64.of_int (get c i))
+    done;
+    (k_ints, n, Bytes.unsafe_to_string b)
+  | Col1, R_blob s -> (k_blob, String.length s, s)
+  | Col2, R_ints c ->
+    (k_ints_packed, length c, Xsuccinct.Packed.encode (to_array c))
+  | Col2, R_blob s ->
+    (* Keep whichever form is smaller; decoders accept both. *)
+    let z = Xsuccinct.Lz.compress s in
+    if String.length z < String.length s then (k_blob_lz, String.length s, z)
+    else (k_blob, String.length s, s)
 
 let layout ?(page_size = 4096) t =
   if page_size <= 0 || page_size mod 8 <> 0 then
@@ -208,35 +315,55 @@ let layout ?(page_size = 4096) t =
   in
   (payload_off, placed, !off)
 
-let write ?(page_size = 4096) t path =
-  let payload_off, placed, total = layout ~page_size t in
-  (* Serialise and checksum every region first. *)
+let write ?(page_size = 4096) ?(format = Col1) t path =
+  if page_size <= 0 || page_size mod 8 <> 0 then
+    invalid_arg "Store.write: page_size must be a positive multiple of 8";
+  let names = names t in
+  let payload_off =
+    round_up page_size (header_fixed + (toc_entry_bytes * List.length names))
+  in
+  (* Serialise, pad and checksum every region first; compressed sizes
+     are only known once encoded. *)
+  let off = ref payload_off in
   let payloads =
     List.map
-      (fun (name, region, off, _padded) ->
-        let b = serialise_region page_size region in
-        (name, region, off, b, checksum_bytes b 0 (Bytes.length b)))
-      placed
+      (fun name ->
+        let region = find t name in
+        let dkind, cnt, data = encode_region format region in
+        let stored = String.length data in
+        let padded = max page_size (round_up page_size stored) in
+        let b = Bytes.make padded '\000' in
+        Bytes.blit_string data 0 b 0 stored;
+        let o = !off in
+        off := o + padded;
+        (name, dkind, cnt, stored, o, b, checksum_bytes b 0 padded))
+      names
   in
+  let total = !off in
   (* Header block: fixed fields + TOC, zero-padded to the payload. *)
   let header = Bytes.make payload_off '\000' in
-  Bytes.blit_string magic 0 header 0 8;
+  Bytes.blit_string
+    (match format with Col1 -> magic | Col2 -> magic_packed)
+    0 header 0 8;
   Bytes.set_int32_le header 8 (Int32.of_int format_version);
   Bytes.set_int32_le header 12 (Int32.of_int page_size);
-  Bytes.set_int32_le header 16 (Int32.of_int (List.length placed));
+  Bytes.set_int32_le header 16 (Int32.of_int (List.length payloads));
   Bytes.set_int32_le header 20 (Int32.of_int payload_off);
   Bytes.set_int64_le header 24 (Int64.of_int total);
   List.iteri
-    (fun i (name, region, off, _b, crc) ->
+    (fun i (name, dkind, cnt, stored, off, _b, crc) ->
       let e = header_fixed + (i * toc_entry_bytes) in
       Bytes.set_uint8 header e (String.length name);
       Bytes.blit_string name 0 header (e + 1) (String.length name);
-      Bytes.set_uint8 header (e + 32)
-        (match region with R_ints _ -> 0 | R_blob _ -> 1);
+      Bytes.set_uint8 header (e + 32) dkind;
+      (* xseqcol2 entries carry the stored (compressed) byte length;
+         xseqcol1 derives it from the count and leaves these bytes
+         zero, keeping its files byte-identical to earlier builds. *)
+      (match format with
+       | Col1 -> ()
+       | Col2 -> Bytes.set_int32_le header (e + 36) (Int32.of_int stored));
       Bytes.set_int64_le header (e + 40) (Int64.of_int off);
-      Bytes.set_int64_le header (e + 48)
-        (Int64.of_int
-           (match region with R_ints c -> length c | R_blob s -> String.length s));
+      Bytes.set_int64_le header (e + 48) (Int64.of_int cnt);
       Bytes.set_int64_le header (e + 56) crc)
     payloads;
   (* Header checksum covers everything but its own slot [32, 40). *)
@@ -266,9 +393,11 @@ let write ?(page_size = 4096) t path =
         done
       in
       write_all header;
-      List.iter (fun (_, _, _, b, _) -> write_all b) payloads)
+      List.iter (fun (_, _, _, _, _, b, _) -> write_all b) payloads)
 
-(* [file_bytes] of a memory store: what [write] would produce. *)
+(* [file_bytes] of a memory store: what [write] (xseqcol1) would
+   produce.  Compressed sizes exist only after encoding, so the
+   prediction stays format-free. *)
 let file_bytes t =
   if t.s_file_bytes >= 0 then t.s_file_bytes
   else begin
@@ -278,12 +407,17 @@ let file_bytes t =
   end
 
 let page_size t = t.s_page_size
+let file_format t = t.s_format
 
 (* --- opening ------------------------------------------------------------ *)
 
 type mode = Resident | Paged
 
 let fail fmt = Printf.ksprintf invalid_arg ("Store.open_file: " ^^ fmt)
+
+(* Context string handed to the xsuccinct decoders: their diagnostics
+   come out as "Store: region \"l_pre\": <what broke>". *)
+let codec_name name = Printf.sprintf "Store: region %S" name
 
 let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
   (* The open is routed through {!Xfault.Io} (so schedules can refuse or
@@ -300,8 +434,12 @@ let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
       if actual_len < header_fixed then fail "truncated file (no header)";
       let header_prefix = Bytes.create header_fixed in
       really_input ic header_prefix 0 header_fixed;
-      if Bytes.sub_string header_prefix 0 8 <> magic then
-        fail "bad magic (not an xseq columnar snapshot)";
+      let format =
+        match Bytes.sub_string header_prefix 0 8 with
+        | s when String.equal s magic -> Col1
+        | s when String.equal s magic_packed -> Col2
+        | _ -> fail "bad magic (not an xseq columnar snapshot)"
+      in
       let version = Int32.to_int (Bytes.get_int32_le header_prefix 8) in
       if version <> format_version then
         fail "unsupported version %d (this build reads version %d)" version
@@ -341,22 +479,34 @@ let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
             if name_len = 0 || name_len > name_max then
               fail "malformed TOC entry %d (name length %d)" i name_len;
             let name = Bytes.sub_string header (e + 1) name_len in
-            let kind =
-              match Bytes.get_uint8 header (e + 32) with
-              | 0 -> `Ints
-              | 1 -> `Blob
-              | k -> fail "malformed TOC entry %S (unknown kind %d)" name k
-            in
+            let dkind = Bytes.get_uint8 header (e + 32) in
+            (match format, dkind with
+             | _, (0 | 1) -> ()
+             | Col2, (2 | 3) -> ()
+             | _, k -> fail "malformed TOC entry %S (unknown kind %d)" name k);
             let off = Int64.to_int (Bytes.get_int64_le header (e + 40)) in
             let cnt = Int64.to_int (Bytes.get_int64_le header (e + 48)) in
             let crc = Bytes.get_int64_le header (e + 56) in
-            let raw = match kind with `Ints -> 8 * cnt | `Blob -> cnt in
-            let padded = max page_size (round_up page_size raw) in
-            if cnt < 0 || off < payload_off || off mod page_size <> 0 then
-              fail "malformed TOC entry %S (offset %d)" name off;
+            let raw = if dkind land 1 = 0 then 8 * cnt else cnt in
+            let stored =
+              match format with
+              | Col1 -> raw
+              | Col2 ->
+                let s = Int32.to_int (Bytes.get_int32_le header (e + 36)) in
+                if (dkind = k_ints || dkind = k_blob) && s <> 0 && s <> raw
+                then
+                  fail "malformed TOC entry %S (stored length %d for %d raw \
+                        bytes)"
+                    name s raw;
+                if dkind = k_ints || dkind = k_blob then raw else s
+            in
+            let padded = max page_size (round_up page_size stored) in
+            if cnt < 0 || stored < 0 || off < payload_off
+               || off mod page_size <> 0
+            then fail "malformed TOC entry %S (offset %d)" name off;
             if off + padded > file_len then
               fail "truncated file (region %S extends past the end)" name;
-            (name, kind, off, cnt, raw, padded, crc))
+            (name, dkind, off, cnt, raw, stored, padded, crc))
       in
       (* Verify / load region payloads.  Blobs are always materialised. *)
       let reader =
@@ -383,13 +533,15 @@ let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
           tbl = Hashtbl.create 16;
           infos = Hashtbl.create 16;
           reader = (if mode = Paged then Some (Lazy.force reader) else None);
+          s_format = format;
           s_page_size = page_size;
           s_file_bytes = file_len;
         }
       in
       List.iter
-        (fun (name, kind, off, cnt, raw, padded, crc) ->
-          let want_bytes = verify || mode = Resident || kind = `Blob in
+        (fun (name, dkind, off, cnt, raw, stored, padded, crc) ->
+          let is_blob = dkind = k_blob || dkind = k_blob_lz in
+          let want_bytes = verify || mode = Resident || is_blob in
           let payload =
             if want_bytes then begin
               let b = Bytes.create padded in
@@ -403,11 +555,54 @@ let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
             end
             else None
           in
+          let stored_string () =
+            Bytes.sub_string (Option.get payload) 0 stored
+          in
+          (* Parse a packed column's header, from the materialised
+             payload when we have it, straight from the channel when a
+             no-verify paged open skipped the region scan.  Probe-time
+             block fetches go through the buffer pool either way. *)
+          let parse_packed () =
+            let fetch =
+              match payload with
+              | Some b ->
+                fun o l ->
+                  if o < 0 || l < 0 || o + l > stored then
+                    fail "region %S packed header overruns the region" name;
+                  Bytes.sub_string b o l
+              | None ->
+                fun o l ->
+                  if o < 0 || l < 0 || o + l > stored then
+                    fail "region %S packed header overruns the region" name;
+                  let b = Bytes.create l in
+                  seek_in ic (off + o);
+                  (try really_input ic b 0 l
+                   with End_of_file ->
+                     fail "truncated file (region %S cut short)" name);
+                  Bytes.unsafe_to_string b
+            in
+            let ph =
+              Xsuccinct.Packed.parse ~name:(codec_name name) ~fetch
+                ~length:stored
+            in
+            if Xsuccinct.Packed.count ph <> cnt then
+              fail "region %S packed header claims %d elements, TOC says %d"
+                name (Xsuccinct.Packed.count ph) cnt;
+            ph
+          in
           let region =
-            match kind, mode with
-            | `Blob, _ ->
-              R_blob (Bytes.sub_string (Option.get payload) 0 raw)
-            | `Ints, Resident ->
+            match dkind, mode with
+            | 1, _ -> R_blob (stored_string ())
+            | 3, _ ->
+              let raw_s =
+                Xsuccinct.Lz.decompress ~name:(codec_name name)
+                  (stored_string ())
+              in
+              if String.length raw_s <> raw then
+                fail "region %S decompressed to %d bytes, TOC says %d" name
+                  (String.length raw_s) raw;
+              R_blob raw_s
+            | 0, Resident ->
               let b = Option.get payload in
               let fb = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cnt in
               for i = 0 to cnt - 1 do
@@ -415,16 +610,30 @@ let open_file ?(mode = Resident) ?(pool_pages = 256) ?(verify = true) path =
                   (Int64.to_int (Bytes.get_int64_le b (8 * i)))
               done;
               R_ints (Flat fb)
-            | `Ints, Paged ->
+            | 0, Paged ->
               R_ints (Paged { r = Lazy.force reader; off; len = cnt })
+            | 2, Resident ->
+              (* Stays compressed in memory: skip tables resident,
+                 blocks decoded on probe through the block cache. *)
+              let data = stored_string () in
+              let ph = parse_packed () in
+              let fetch o l = String.sub data o l in
+              R_ints (Packed (packed_col ~paged:false ph fetch))
+            | 2, Paged ->
+              let ph = parse_packed () in
+              let r = Lazy.force reader in
+              let fetch o l = read_via_pool r (off + o) l in
+              R_ints (Packed (packed_col ~paged:true ph fetch))
+            | k, _ -> fail "malformed TOC entry %S (unknown kind %d)" name k
           in
           add t name region;
           Hashtbl.replace t.infos name
             {
               r_name = name;
-              r_kind = kind;
+              r_kind = (if is_blob then `Blob else `Ints);
               r_count = cnt;
               r_bytes = raw;
+              r_stored = stored;
               r_offset = off;
               r_pages = padded / page_size;
             })
@@ -456,6 +665,7 @@ let regions t =
              | R_ints c -> length c
              | R_blob s -> String.length s);
           r_bytes = raw;
+          r_stored = raw;
           r_offset = -1;
           r_pages = padded / t.s_page_size;
         })
@@ -463,6 +673,9 @@ let regions t =
 
 let page_reads t = match t.reader with Some r -> r.reads | None -> 0
 let page_hits t = match t.reader with Some r -> r.hits | None -> 0
+
+let pool_capacity t =
+  match t.reader with Some r -> Pager.Lru.capacity r.pool | None -> 0
 
 let close t =
   match t.reader with
@@ -475,5 +688,15 @@ let close t =
         if not r.closed then begin
           r.closed <- true;
           Hashtbl.reset r.pages;
-          close_in_noerr r.ic
+          close_in_noerr r.ic;
+          (* Drop decoded-block caches of paged packed columns: a
+             closed handle must refuse every probe, not answer the
+             cached subset and raise on the rest. *)
+          Hashtbl.iter
+            (fun _ region ->
+              match region with
+              | R_ints (Packed p) when p.p_paged ->
+                Array.iter (fun slot -> Atomic.set slot (-1, [||])) p.p_cache
+              | _ -> ())
+            t.tbl
         end)

@@ -11,7 +11,11 @@
       structure-of-arrays, and exactly the bytes that go to disk;
     - {b Paged}: a region of an open snapshot file, read on demand through
       a real buffer pool (page cache + {!Pager.Lru} eviction), so queries
-      can run straight off disk without materialising the column.
+      can run straight off disk without materialising the column;
+    - {b Packed}: a delta+varint compressed column ([Xsuccinct.Packed])
+      probed in compressed form — resident skip tables, blocks decoded
+      on demand through a small lock-free cache, block bytes served
+      from memory or through the same buffer pool.
 
     {2 File format (version 1)}
 
@@ -40,6 +44,25 @@
     as [Invalid_argument] with the failing part named — never decoded as
     garbage.
 
+    {2 Compressed container (xseqcol2)}
+
+    {!write} with [~format:Col2] emits the same container with magic
+    ["xseqcol2"] and two extra region kinds: int columns stored as
+    block-wise delta + varint with sampled skip pointers
+    ([Xsuccinct.Packed], kind 2) and blobs stored LZ-compressed
+    ([Xsuccinct.Lz], kind 3, used only when it wins).  Compressed TOC
+    entries additionally carry the stored (compressed) byte length in
+    the u32 at entry offset 36 — bytes that are zero padding in
+    xseqcol1, whose files remain byte-identical to earlier builds.
+    Checksums cover the {e stored} bytes, so the corruption guarantees
+    are format-independent; {!open_file} dispatches on the magic.
+
+    Opening a compressed snapshot [Resident] keeps the columns
+    compressed in memory (skip tables plus delta bytes) and decodes
+    blocks on probe; [Paged] additionally leaves the delta bytes on
+    disk behind the buffer pool, so the resident cost of a column is
+    its skip tables plus the decoded-block cache.
+
     {2 Buffer-pool discipline}
 
     The file backend reads whole pages ({!open_file}'s [page_size] is
@@ -66,6 +89,11 @@ val to_array : column -> int array
 (** Materialises the column (reads a paged column in full). *)
 
 val is_paged : column -> bool
+(** True when probes may touch the file (a Paged column, or a Packed
+    column whose delta blocks live behind the buffer pool). *)
+
+val is_packed : column -> bool
+(** True for compressed (decode-on-probe) columns. *)
 
 (** {1 Stores} *)
 
@@ -96,13 +124,23 @@ val mem : t -> string -> bool
 
 (** {1 Persistence} *)
 
-val write : ?page_size:int -> t -> string -> unit
+type file_format =
+  | Col1  (** xseqcol1: raw 8-byte little-endian elements *)
+  | Col2  (** xseqcol2: delta+varint columns, LZ blobs *)
+
+val format_name : file_format -> string
+(** The on-disk magic string: ["xseqcol1"] / ["xseqcol2"]. *)
+
+val write : ?page_size:int -> ?format:file_format -> t -> string -> unit
 (** [write t path] serialises every region to [path] in the format above.
     [page_size] defaults to 4096 and must be a positive multiple of 8 (so
-    an 8-byte element never straddles a page). *)
+    an 8-byte element never straddles a page).  [format] (default
+    {!Col1}) selects the container: {!Col2} writes compressed regions. *)
 
 type mode =
-  | Resident  (** copy every region into flat in-memory buffers *)
+  | Resident
+      (** copy every region into memory: flat buffers for xseqcol1,
+          still-compressed columns for xseqcol2 *)
   | Paged  (** leave int columns on disk behind the buffer pool *)
 
 val open_file : ?mode:mode -> ?pool_pages:int -> ?verify:bool -> string -> t
@@ -123,7 +161,10 @@ type region_info = {
   r_name : string;
   r_kind : [ `Ints | `Blob ];
   r_count : int;  (** elements for ints, bytes for blobs *)
-  r_bytes : int;  (** raw payload bytes (before page padding) *)
+  r_bytes : int;  (** logical (uncompressed) payload bytes *)
+  r_stored : int;
+      (** bytes actually stored before page padding; equals [r_bytes]
+          for uncompressed regions *)
   r_offset : int;  (** byte offset in the file; -1 for memory stores *)
   r_pages : int;  (** pages the padded region occupies *)
 }
@@ -132,6 +173,11 @@ val regions : t -> region_info list
 (** In registration (= file TOC) order. *)
 
 val page_size : t -> int
+
+val file_format : t -> file_format
+(** The container an opened store came from; {!Col1} for memory
+    stores. *)
+
 val file_bytes : t -> int
 (** Total serialised size: actual file size for file stores, the exact
     size {!write} would produce for memory stores. *)
@@ -142,6 +188,9 @@ val page_reads : t -> int
 
 val page_hits : t -> int
 (** Buffer-pool hits since open. *)
+
+val pool_capacity : t -> int
+(** Buffer-pool capacity in pages; 0 for memory/resident stores. *)
 
 val close : t -> unit
 (** Closes the underlying file, if any.  Further paged reads raise. *)

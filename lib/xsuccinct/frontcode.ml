@@ -1,0 +1,59 @@
+let fail name fmt =
+  Printf.ksprintf (fun s -> invalid_arg (name ^ ": " ^ s)) fmt
+
+let add_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let lcp a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do
+    incr i
+  done;
+  !i
+
+let encode names =
+  let count = Array.length names in
+  let buf = Buffer.create (64 + (count * 8)) in
+  add_u32 buf count;
+  Array.iteri
+    (fun i s ->
+      let prev = if i = 0 then "" else names.(i - 1) in
+      if i > 0 && String.compare prev s > 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Frontcode.encode: input not sorted at entry %d (%S > %S)" i prev
+             s);
+      let shared = lcp prev s in
+      Varint.add_uvarint buf shared;
+      Varint.add_uvarint buf (String.length s - shared);
+      Buffer.add_substring buf s shared (String.length s - shared))
+    names;
+  Buffer.contents buf
+
+let decode ~name s =
+  let len = String.length s in
+  if len < 4 then fail name "front-coded blob of %d bytes lacks a header" len;
+  let b i = Char.code (String.unsafe_get s i) in
+  let count = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  if count < 0 || count > len then
+    fail name "front-coded entry count %d is implausible for %d bytes" count
+      len;
+  let pos = ref 4 in
+  let out = Array.make count "" in
+  for i = 0 to count - 1 do
+    let shared = Varint.uvarint ~name s ~pos ~limit:len in
+    let fresh = Varint.uvarint ~name s ~pos ~limit:len in
+    let prev = if i = 0 then "" else out.(i - 1) in
+    if shared > String.length prev then
+      fail name "entry %d shares %d bytes with a %d-byte predecessor" i
+        shared (String.length prev);
+    if fresh < 0 || !pos + fresh > len then
+      fail name "entry %d's %d-byte suffix overruns the blob" i fresh;
+    out.(i) <- String.sub prev 0 shared ^ String.sub s !pos fresh;
+    pos := !pos + fresh
+  done;
+  if !pos <> len then fail name "%d trailing bytes after last entry" (len - !pos);
+  out

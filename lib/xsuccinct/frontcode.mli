@@ -1,0 +1,20 @@
+(** Front coding (incremental encoding) of sorted string lists.
+
+    Consecutive entries of a lexicographically sorted list share long
+    prefixes — in a path trie's edge labels, almost all of them.  Each
+    entry is stored as (shared-prefix length, fresh suffix), both
+    varint-coded, so the dictionary costs roughly one suffix per
+    distinct name instead of one full string per trie edge.
+
+    Layout: [u32 count] then per entry [uvarint lcp, uvarint suffix_len,
+    suffix bytes].  Decoding bounds-checks everything and raises
+    [Invalid_argument] naming the caller's context on corrupt input. *)
+
+val encode : string array -> string
+(** [encode names] serializes [names], which must be sorted
+    (duplicates allowed).  Raises [Invalid_argument] if unsorted — the
+    decoder could not reproduce the order-dependent prefixes. *)
+
+val decode : name:string -> string -> string array
+(** Inverse of {!encode}.  Raises [Invalid_argument] (mentioning
+    [name]) on truncated, trailing or inconsistent bytes. *)

@@ -1,0 +1,24 @@
+(** A small self-contained LZ77 byte compressor for blob regions.
+
+    Snapshot blobs (serialized documents, dictionary names) are full of
+    repeated tag text; a greedy hash-chained LZ77 with varint-coded
+    (literal-run, match) tokens shrinks them several-fold with no
+    external dependency.  This is a storage codec, not a competitor to
+    real compressors — the point is that blob regions stop dominating
+    compressed snapshots.
+
+    Layout: [u32 raw_len] then tokens.  Each token is [uvarint lit_len]
+    + literal bytes, followed — unless output is complete — by
+    [uvarint (match_len - 4), uvarint distance].  Matches copy from the
+    already-produced output (overlap allowed), so decoding is a single
+    forward pass, bounds-checked throughout; corrupt input raises
+    [Invalid_argument] naming the caller's context. *)
+
+val compress : string -> string
+(** Compress [s].  Always decodable by {!decompress}; output may be
+    larger than the input for incompressible data (worst case a few
+    bytes per 2^15 of input, plus the 4-byte header). *)
+
+val decompress : name:string -> string -> string
+(** Inverse of {!compress}.  Raises [Invalid_argument] (mentioning
+    [name]) on truncated or inconsistent input. *)

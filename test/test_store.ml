@@ -34,6 +34,20 @@ let tiny_store () =
   Store.add_blob s "blob" "hello, store";
   s
 
+(* A store that stresses the compressed codecs: full-range ints (delta
+   wrap-around across min_int/max_int), a multi-block column, and a
+   blob with enough repetition for LZ to bite. *)
+let extremes = [| 0; 1; -1; 42; -1000; max_int; min_int; max_int; 17 |]
+let spread = Array.init 400 (fun i -> (i * 7919 mod 2003) - 1001)
+
+let tiny_store2 () =
+  let s = Store.memory () in
+  Store.add_ints s "col" (Store.heap (Array.copy extremes));
+  Store.add_ints s "flat" (Store.flat_of_array (Array.copy spread));
+  Store.add_blob s "blob"
+    (String.concat ";" (List.init 60 (fun i -> Printf.sprintf "entry-%d" i)));
+  s
+
 (* --- round trips --------------------------------------------------------- *)
 
 let test_roundtrip_resident () =
@@ -101,6 +115,75 @@ let test_roundtrip_paged () =
       | _ -> Alcotest.fail "read after close succeeded"
       | exception Invalid_argument _ -> ())
 
+(* Compressed (xseqcol2) round trip: packed int columns and LZ blobs
+   survive resident and paged reopening, element for element, including
+   full-range values whose deltas wrap. *)
+let test_roundtrip_compressed () =
+  with_temp "store_c2" (fun path ->
+      Store.write ~page_size:16 ~format:Store.Col2 (tiny_store2 ()) path;
+      Alcotest.(check string)
+        "compressed magic" "xseqcol2"
+        (String.sub (read_all path) 0 8);
+      List.iter
+        (fun (what, mode, pool_pages) ->
+          let s = Store.open_file ~mode ~pool_pages path in
+          Alcotest.(check bool)
+            (what ^ " reports Col2") true
+            (Store.file_format s = Store.Col2);
+          let col = Store.ints s "col" in
+          Alcotest.(check (list int))
+            (what ^ " extremes to_array")
+            (Array.to_list extremes)
+            (Array.to_list (Store.to_array col));
+          Array.iteri
+            (fun i want ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s extreme element %d" what i)
+                want (Store.get col i))
+            extremes;
+          let flat = Store.ints s "flat" in
+          (* Random probes — the paged reader must assemble block bytes
+             across page boundaries. *)
+          List.iter
+            (fun i ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s spread element %d" what i)
+                spread.(i) (Store.get flat i))
+            [ 0; 1; 127; 128; 129; 255; 256; 399 ];
+          Alcotest.(check (list int))
+            (what ^ " spread to_array")
+            (Array.to_list spread)
+            (Array.to_list (Store.to_array flat));
+          Alcotest.(check string)
+            (what ^ " blob") (Store.blob (tiny_store2 ()) "blob" |> Fun.id)
+            (Store.blob s "blob");
+          (* Compression must actually have happened somewhere. *)
+          let logical, stored =
+            List.fold_left
+              (fun (l, st) r -> (l + r.Store.r_bytes, st + r.Store.r_stored))
+              (0, 0) (Store.regions s)
+          in
+          Alcotest.(check bool)
+            (what ^ " stored < logical") true (stored < logical);
+          (match mode with
+          | Store.Paged ->
+            Alcotest.(check bool)
+              (what ^ " pages were read") true
+              (Store.page_reads s > 0)
+          | Store.Resident -> ());
+          Store.close s;
+          match mode with
+          | Store.Paged -> (
+            match Store.get flat 200 with
+            | _ -> Alcotest.fail (what ^ ": read after close succeeded")
+            | exception Invalid_argument _ -> ())
+          | Store.Resident -> ())
+        [
+          ("resident", Store.Resident, 256);
+          ("paged", Store.Paged, 2);
+          ("paged-big-pool", Store.Paged, 64);
+        ])
+
 let test_api_errors () =
   let s = Store.memory () in
   Store.add_ints s "dup" (Store.heap [| 1 |]);
@@ -120,11 +203,19 @@ let test_api_errors () =
 
 (* --- corruption ---------------------------------------------------------- *)
 
+(* Both formats run the same batteries: the plain store and the
+   compressed one whose regions go through the xsuccinct codecs. *)
+let battery_write format path =
+  let store =
+    match format with Store.Col1 -> tiny_store () | Store.Col2 -> tiny_store2 ()
+  in
+  Store.write ~page_size:16 ~format store path
+
 (* Every byte of the file is covered by a checksum (header + per-region),
    so flipping any single bit anywhere must be rejected at open. *)
-let test_bitflip_every_byte () =
+let test_bitflip_every_byte format () =
   with_temp "store_flip" (fun path ->
-      Store.write ~page_size:16 (tiny_store ()) path;
+      battery_write format path;
       let pristine = read_all path in
       let n = String.length pristine in
       with_temp "store_flip_mut" (fun mut ->
@@ -136,13 +227,14 @@ let test_bitflip_every_byte () =
             match Store.open_file mut with
             | s ->
               Store.close s;
-              Alcotest.failf "bit flip at byte %d went undetected" i
+              Alcotest.failf "%s: bit flip at byte %d went undetected"
+                (Store.format_name format) i
             | exception Invalid_argument _ -> ()
           done))
 
-let test_truncations () =
+let test_truncations format () =
   with_temp "store_trunc" (fun path ->
-      Store.write ~page_size:16 (tiny_store ()) path;
+      battery_write format path;
       let pristine = read_all path in
       let n = String.length pristine in
       with_temp "store_trunc_mut" (fun mut ->
@@ -153,13 +245,14 @@ let test_truncations () =
               match Store.open_file mut with
               | s ->
                 Store.close s;
-                Alcotest.failf "truncation to %d bytes went undetected" len
+                Alcotest.failf "%s: truncation to %d bytes went undetected"
+                  (Store.format_name format) len
               | exception Invalid_argument _ -> ())
             (lens @ [ n - 1 ])))
 
-let check_diagnostic name mutate expect =
+let check_diagnostic format name mutate expect =
   with_temp ("store_" ^ name) (fun path ->
-      Store.write ~page_size:16 (tiny_store ()) path;
+      battery_write format path;
       let b = Bytes.of_string (read_all path) in
       mutate b;
       write_all path (Bytes.to_string b);
@@ -182,16 +275,136 @@ let check_diagnostic name mutate expect =
         then Alcotest.failf "%s: diagnostic %S names none of %s" name msg
                (String.concat "/" expect))
 
-let test_diagnostics () =
-  check_diagnostic "bad magic"
+let test_diagnostics format () =
+  check_diagnostic format "bad magic"
     (fun b -> Bytes.set b 0 'Z')
     [ "magic" ];
-  check_diagnostic "wrong version"
+  check_diagnostic format "wrong version"
     (fun b -> Bytes.set_int32_le b 8 99l)
     [ "version" ];
-  check_diagnostic "flipped region byte"
+  check_diagnostic format "flipped region byte"
     (fun b -> Bytes.set b (Bytes.length b - 1) '\xff')
     [ "checksum" ]
+
+(* --- xsuccinct codecs ----------------------------------------------------- *)
+
+module Varint = Xsuccinct.Varint
+module Packed = Xsuccinct.Packed
+module Frontcode = Xsuccinct.Frontcode
+module Lz = Xsuccinct.Lz
+
+let fetch_of s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "fetch out of range"
+  else String.sub s off len
+
+let test_varint_extremes () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Varint.add_uvarint buf (Varint.zigzag v);
+      let s = Buffer.contents buf in
+      let pos = ref 0 in
+      let got =
+        Varint.unzigzag
+          (Varint.uvarint ~name:"t" s ~pos ~limit:(String.length s))
+      in
+      Alcotest.(check int) (string_of_int v) v got;
+      Alcotest.(check int) "consumed exactly" (String.length s) !pos)
+    [ 0; 1; -1; 63; 64; -64; -65; 8191; max_int; min_int; min_int + 1 ];
+  match Varint.uvarint ~name:"t" "\xff" ~pos:(ref 0) ~limit:1 with
+  | _ -> Alcotest.fail "truncated varint accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_packed_unit () =
+  let xs = Array.append extremes (Array.init 300 (fun i -> (i * i) - 7)) in
+  let s = Packed.encode ~block:16 xs in
+  let p =
+    Packed.parse ~name:"t" ~fetch:(fetch_of s) ~length:(String.length s)
+  in
+  Alcotest.(check int) "count" (Array.length xs) (Packed.count p);
+  Alcotest.(check (list int))
+    "decode_all inverts encode" (Array.to_list xs)
+    (Array.to_list (Packed.decode_all p ~fetch:(fetch_of s)));
+  (* Skip pointers answer block-first probes from the resident table. *)
+  for b = 0 to Packed.nblocks p - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "first of block %d" b)
+      xs.(b * 16) (Packed.first p b)
+  done;
+  match
+    Packed.parse ~name:"t"
+      ~fetch:(fetch_of (String.sub s 0 (String.length s - 1)))
+      ~length:(String.length s - 1)
+  with
+  | _ -> Alcotest.fail "truncated packed column accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_frontcode_unit () =
+  let names = [| ""; "a"; "ab"; "ab"; "abc"; "abd"; "b" |] in
+  let s = Frontcode.encode names in
+  Alcotest.(check (array string))
+    "decode inverts encode" names
+    (Frontcode.decode ~name:"t" s);
+  (match Frontcode.encode [| "b"; "a" |] with
+  | _ -> Alcotest.fail "unsorted input accepted"
+  | exception Invalid_argument _ -> ());
+  match Frontcode.decode ~name:"t" (String.sub s 0 (String.length s - 1)) with
+  | _ -> Alcotest.fail "truncated frontcode accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_lz_unit () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        (Printf.sprintf "round trip (%d bytes)" (String.length s))
+        s
+        (Lz.decompress ~name:"t" (Lz.compress s)))
+    [
+      "";
+      "a";
+      String.make 10_000 'x';
+      String.concat "" (List.init 200 (fun i -> Printf.sprintf "<e%d>" (i mod 7)));
+      String.init 997 (fun i -> Char.chr (i * 131 mod 256));
+    ];
+  (* raw_len promises 5 bytes but no tokens follow. *)
+  match Lz.decompress ~name:"t" "\x05\x00\x00\x00" with
+  | _ -> Alcotest.fail "truncated lz stream accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_packed_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"packed: decode_all inverts encode"
+       (QCheck.make
+          Gen.(pair (array_size (int_range 0 400) int) (int_range 1 50)))
+       (fun (xs, block) ->
+         let s = Packed.encode ~block xs in
+         let p =
+           Packed.parse ~name:"q" ~fetch:(fetch_of s)
+             ~length:(String.length s)
+         in
+         Packed.decode_all p ~fetch:(fetch_of s) = xs))
+
+let prop_frontcode_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"frontcode: decode inverts encode"
+       (QCheck.make
+          Gen.(
+            array_size (int_range 0 60)
+              (string_size ~gen:printable (int_range 0 10))))
+       (fun names ->
+         Array.sort compare names;
+         Frontcode.decode ~name:"q" (Frontcode.encode names) = names))
+
+let prop_lz_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"lz: decompress inverts compress"
+       (QCheck.make
+          Gen.(
+            string_size
+              ~gen:(map Char.chr (int_range 97 101))
+              (int_range 0 2000)))
+       (fun s -> Lz.decompress ~name:"q" (Lz.compress s) = s))
 
 (* --- backend-equivalence oracle ------------------------------------------ *)
 
@@ -257,20 +470,27 @@ let run_variant labeled ~strategy ~value_mode q =
       }
 
 (* Every physical backend — heap arrays, flat buffers, a reloaded resident
-   snapshot, and a paged snapshot read through the buffer pool — must
-   produce identical ids, identical matcher counters and identical
-   simulated page counts; and the ids must agree with the brute-force
-   embedding oracle. *)
+   snapshot, a paged snapshot read through the buffer pool, and the
+   compressed (xseqcol2) snapshot both resident and paged — must produce
+   identical ids, identical matcher counters and identical simulated page
+   counts; and the ids must agree with the brute-force embedding oracle. *)
 let prop_backend_oracle (docs, seed) =
   let docs = Array.of_list docs in
   let index = Xseq.build docs in
   let path = Filename.temp_file "xseq_oracle" ".idx" in
+  let zpath = Filename.temp_file "xseq_oracle" ".idxz" in
   Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; zpath ])
     (fun () ->
       Xseq.save index path;
+      Xseq.save ~format:Store.Col2 index zpath;
       let resident = Xseq.load path in
       let paged = Xseq.load ~mode:Store.Paged ~pool_pages:4 path in
+      let zresident = Xseq.load zpath in
+      let zpaged = Xseq.load ~mode:Store.Paged ~pool_pages:4 zpath in
       let variants =
         [
           ( "heap",
@@ -282,6 +502,10 @@ let prop_backend_oracle (docs, seed) =
            Xseq.value_mode resident);
           ("paged", Xseq.labeled paged, Xseq.strategy paged,
            Xseq.value_mode paged);
+          ("compressed", Xseq.labeled zresident, Xseq.strategy zresident,
+           Xseq.value_mode zresident);
+          ("compressed-paged", Xseq.labeled zpaged, Xseq.strategy zpaged,
+           Xseq.value_mode zpaged);
         ]
       in
       List.for_all
@@ -323,18 +547,19 @@ let prop_backend_oracle (docs, seed) =
           | [] -> true)
         (queries_of ~seed docs))
 
-(* Snapshot round trip across both value modes: a reloaded index — resident
-   or paged — answers exactly like the one that was saved. *)
+(* Snapshot round trip across both value modes and both file formats: a
+   reloaded index — resident or paged, plain or compressed — answers
+   exactly like the one that was saved. *)
 let test_roundtrip_value_modes () =
   let docs = Xdatagen.Dblp_gen.generate 60 in
   List.iter
-    (fun (name, value_mode) ->
+    (fun (name, value_mode, format) ->
       let index =
         Xseq.build ~config:{ Xseq.default_config with value_mode } docs
       in
       let queries = queries_of ~seed:17 docs in
       with_temp ("xseq_vm_" ^ name) (fun path ->
-          Xseq.save index path;
+          Xseq.save ~format index path;
           let resident = Xseq.load path in
           let paged = Xseq.load ~mode:Store.Paged ~pool_pages:16 path in
           List.iter
@@ -353,7 +578,12 @@ let test_roundtrip_value_modes () =
               "paged index actually read pages" true
               (Store.page_reads store > 0)
           | None -> Alcotest.fail "paged index lost its store"))
-    [ ("hashed", Sequencing.Encoder.Hashed); ("text", Sequencing.Encoder.Text) ]
+    [
+      ("hashed", Sequencing.Encoder.Hashed, Store.Col1);
+      ("text", Sequencing.Encoder.Text, Store.Col1);
+      ("hashed-z", Sequencing.Encoder.Hashed, Store.Col2);
+      ("text-z", Sequencing.Encoder.Text, Store.Col2);
+    ]
 
 (* Loading rejects snapshots whose regions disagree with each other even
    when every checksum is valid. *)
@@ -388,6 +618,78 @@ let test_inconsistent_snapshot () =
           "diagnostic names the inconsistency" true
           (String.length msg > 0))
 
+(* The compact dictionary's cross-region invariants: a designator id
+   pointing outside the name table must be rejected even though every
+   checksum is valid. *)
+let test_inconsistent_compact_dict () =
+  let docs = Xdatagen.Dblp_gen.generate 10 in
+  let index = Xseq.build docs in
+  with_temp "xseq_bad_dict" (fun path ->
+      let tmp = Filename.temp_file "xseq_src2" ".idx" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          Xseq.save ~format:Store.Col2 index tmp;
+          let src = Store.open_file tmp in
+          let s = Store.memory () in
+          List.iter
+            (fun r ->
+              match (r.Store.r_name, r.Store.r_kind) with
+              | "dict_desig", _ ->
+                let m = Store.to_array (Store.ints src "dict_desig") in
+                Alcotest.(check bool)
+                  "compact dictionary present" true (Array.length m > 1);
+                m.(1) <- 1_000_000;
+                Store.add_ints s "dict_desig" (Store.heap m)
+              | name, `Ints -> Store.add_ints s name (Store.ints src name)
+              | name, `Blob -> Store.add_blob s name (Store.blob src name))
+            (Store.regions src);
+          Store.write ~format:Store.Col2 s path;
+          Store.close src);
+      match Xseq.load path with
+      | _ -> Alcotest.fail "tampered compact dictionary accepted"
+      | exception Invalid_argument _ -> ())
+
+(* Compressed saves under fault injection: hard faults (ENOSPC, EIO)
+   escape and the partial file is rejected with a diagnostic on load;
+   absorbed faults (short writes, EINTR storms) leave a perfect file. *)
+let test_compressed_save_faults () =
+  let docs = Xdatagen.Dblp_gen.generate 20 in
+  let index = Xseq.build docs in
+  let q = List.hd (queries_of ~seed:3 docs) in
+  let want = Xseq.query index q in
+  with_temp "xseq_c2_fault" (fun path ->
+      (match
+         Xfault.with_injector
+           (Xfault.Injector.create
+              [ { Xfault.at = 3; on = Xfault.Write; fault = Xfault.Enospc } ])
+           (fun () -> Xseq.save ~format:Store.Col2 index path)
+       with
+      | () -> Alcotest.fail "ENOSPC mid-save did not escape"
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+      (match Xseq.load path with
+      | _ -> Alcotest.fail "partial compressed snapshot accepted"
+      | exception Invalid_argument _ -> ());
+      Xfault.with_injector
+        (Xfault.Injector.create
+           [
+             { Xfault.at = 0; on = Xfault.Write; fault = Xfault.Short 3 };
+             { Xfault.at = 2; on = Xfault.Write; fault = Xfault.Eintr 2 };
+             { Xfault.at = 5; on = Xfault.Write; fault = Xfault.Short 1 };
+           ])
+        (fun () -> Xseq.save ~format:Store.Col2 index path);
+      let loaded = Xseq.load path in
+      Alcotest.(check (list int))
+        "absorbed faults round trip" want (Xseq.query loaded q);
+      match
+        Xfault.with_injector
+          (Xfault.Injector.create
+             [ { Xfault.at = 0; on = Xfault.Open; fault = Xfault.Eio } ])
+          (fun () -> Xseq.load path)
+      with
+      | _ -> Alcotest.fail "open EIO swallowed"
+      | exception Unix.Unix_error (Unix.EIO, _, _) -> ())
+
 let mk_prop name ~count f =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name ~count (QCheck.make ~print:case_print case_gen) f)
@@ -400,21 +702,46 @@ let () =
           Alcotest.test_case "resident round trip" `Quick
             test_roundtrip_resident;
           Alcotest.test_case "paged round trip" `Quick test_roundtrip_paged;
+          Alcotest.test_case "compressed round trip" `Quick
+            test_roundtrip_compressed;
           Alcotest.test_case "api errors" `Quick test_api_errors;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "varint extremes" `Quick test_varint_extremes;
+          Alcotest.test_case "packed unit" `Quick test_packed_unit;
+          Alcotest.test_case "frontcode unit" `Quick test_frontcode_unit;
+          Alcotest.test_case "lz unit" `Quick test_lz_unit;
+          prop_packed_roundtrip;
+          prop_frontcode_roundtrip;
+          prop_lz_roundtrip;
         ] );
       ( "corruption",
         [
-          Alcotest.test_case "bit flip in every byte" `Quick
-            test_bitflip_every_byte;
-          Alcotest.test_case "truncations" `Quick test_truncations;
-          Alcotest.test_case "diagnostics name the failure" `Quick
-            test_diagnostics;
+          Alcotest.test_case "bit flip in every byte (xseqcol1)" `Quick
+            (test_bitflip_every_byte Store.Col1);
+          Alcotest.test_case "bit flip in every byte (xseqcol2)" `Quick
+            (test_bitflip_every_byte Store.Col2);
+          Alcotest.test_case "truncations (xseqcol1)" `Quick
+            (test_truncations Store.Col1);
+          Alcotest.test_case "truncations (xseqcol2)" `Quick
+            (test_truncations Store.Col2);
+          Alcotest.test_case "diagnostics name the failure (xseqcol1)" `Quick
+            (test_diagnostics Store.Col1);
+          Alcotest.test_case "diagnostics name the failure (xseqcol2)" `Quick
+            (test_diagnostics Store.Col2);
           Alcotest.test_case "inconsistent regions" `Quick
             test_inconsistent_snapshot;
+          Alcotest.test_case "inconsistent compact dictionary" `Quick
+            test_inconsistent_compact_dict;
+          Alcotest.test_case "compressed save under fault injection" `Quick
+            test_compressed_save_faults;
         ] );
       ( "oracle",
         [
-          mk_prop "heap = columnar = resident = paged (ids, counters, pages)"
+          mk_prop
+            "heap = columnar = resident = paged = compressed (ids, \
+             counters, pages)"
             ~count:60 prop_backend_oracle;
           Alcotest.test_case "value-mode round trips" `Quick
             test_roundtrip_value_modes;
