@@ -22,8 +22,10 @@ bench:
 # the degrade/recover cycle cost (BENCH_faults.json) — and the
 # replicated pair's shipping lag / follower read throughput
 # (BENCH_repl.json).
+# ... and the anti-entropy scrub's overhead on a mixed serving
+# workload (BENCH_scrub.json).
 bench-json:
-	dune exec bench/main.exe -- parallel shard storage server ingest faults repl
+	dune exec bench/main.exe -- parallel shard storage server ingest faults repl scrub
 
 # Perf regression gate: rerun the parallel + shard experiments at their
 # default (env-tunable) sizes and hold the speedups to the checked-in
@@ -32,19 +34,29 @@ bench-json:
 # floors on >=4 cores, parity floors (catching serialization
 # regressions) on smaller boxes.
 bench-gate:
-	dune exec bench/main.exe -- parallel shard storage server repl
+	dune exec bench/main.exe -- parallel shard storage server repl scrub
 	python3 bench/gate.py
 
 # Seeded fault-injection torture suite at chaos intensity: many more
 # randomized (seed, schedule) runs than the default test pass.
 # Failures print the (seed, schedule) pair to replay them.  Plus the
-# multi-process failover smoke: kill -9 the primary of a semi-sync
-# pair mid-workload, promote the follower, prove no acked record lost
-# and reads never stalled.
+# multi-process smokes:
+#   - failover: kill -9 the primary of a semi-sync pair mid-workload,
+#     promote the follower, prove no acked record lost and reads never
+#     stalled;
+#   - reseed: wipe-and-reseed and prune-and-reseed followers converge
+#     byte-identically via snapshot transfer, and the offline scrub
+#     catches a flipped byte with exit 4;
+#   - partition: seeded black-hole (SIGSTOP + XSEQ_FAULT_SCHEDULE) ->
+#     heartbeat timeout -> auto-promote -> heal -> the old primary
+#     fences.
 chaos:
 	XSEQ_CHAOS_ITERS=400 dune exec test/test_fault.exe -- test torture
+	dune exec test/test_fault.exe -- test partition
 	dune build bin/xseq_cli.exe
 	sh test/repl_failover_smoke.sh
+	sh test/reseed_smoke.sh
+	sh test/partition_chaos_smoke.sh
 
 examples:
 	dune exec examples/quickstart.exe

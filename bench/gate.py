@@ -181,6 +181,14 @@ def main():
         "answers_ok",
         failures,
     )
+    gate(
+        "scrub",
+        "BENCH_scrub.json",
+        floors_cfg,
+        [],
+        "answers_ok",
+        failures,
+    )
     if failures:
         print("\nbench gate FAILED:")
         for f in failures:

@@ -1567,6 +1567,97 @@ let repl_bench () =
                     answers_ok answers_ok))))
 
 (* ------------------------------------------------------------------ *)
+(* Scrub: what continuous anti-entropy re-verification costs the       *)
+(* serving workload.  Same mixed ingest+query run twice — background   *)
+(* scrubber off, then on at an aggressive cadence — and the wall-time  *)
+(* ratio is the overhead the --scrub-interval flag buys into.          *)
+(* ------------------------------------------------------------------ *)
+
+let scrub_bench () =
+  header
+    "Scrub: anti-entropy overhead — mixed ingest+query workload with \
+     the background scrubber off vs on (see BENCH_scrub.json)";
+  let cores = Domain.recommended_domain_count () in
+  let n = n_scaled 1_500 in
+  let docs = Xdatagen.Dblp_gen.generate n in
+  let xpaths = [| "//author"; "//title"; "/article/author" |] in
+  let workload scrub_on =
+    with_store_dir
+      (if scrub_on then "scrub-on" else "scrub-off")
+      (fun dir ->
+        let log = Xlog.open_ ~sync_every:8 ~memtable_limit:128 dir in
+        (* Seed half and checkpoint, so the scrubber walks a real
+           checkpoint + base snapshot + WAL corpus, not an empty dir. *)
+        let seed = n / 2 in
+        for i = 0 to seed - 1 do
+          ignore (Xlog.insert log docs.(i) : int)
+        done;
+        Xlog.flush log;
+        ignore (Xlog.compact ~wait:true log : bool);
+        let sc =
+          if not scrub_on then None
+          else begin
+            let sc = Xlog.Scrub.create ~interval:0.01 ~rate_mb_s:32. log in
+            Xlog.Scrub.start sc;
+            Some sc
+          end
+        in
+        let (), dt =
+          time (fun () ->
+              for i = seed to n - 1 do
+                ignore (Xlog.insert log docs.(i) : int);
+                if i mod 16 = 0 then
+                  Array.iter
+                    (fun q -> ignore (Xlog.query_xpath log q : int list))
+                    xpaths
+              done;
+              Xlog.sync log)
+        in
+        let passes, errors =
+          match sc with
+          | None -> (0, 0)
+          | Some sc ->
+            Xlog.Scrub.stop sc;
+            let s = Xlog.Scrub.stats sc in
+            (s.Xlog.Scrub.passes, s.Xlog.Scrub.errors_found)
+        in
+        let oracle = Xseq.build docs in
+        let ok =
+          Array.for_all
+            (fun q ->
+              Xlog.query_xpath log q = Xseq.query oracle (Xseq.Xpath.parse q))
+            xpaths
+        in
+        Xlog.close log;
+        (dt, passes, errors, ok))
+  in
+  let dt_off, _, _, ok_off = workload false in
+  let dt_on, passes, errors, ok_on = workload true in
+  let overhead = if dt_off > 0. then dt_on /. dt_off else 0. in
+  let answers_ok = ok_off && ok_on && errors = 0 in
+  Printf.printf
+    "scrub off %.1f ms, on %.1f ms (%d passes, %d errors) -> overhead \
+     %.2fx; answers_ok %b\n\
+     %!"
+    (ms dt_off) (ms dt_on) passes errors overhead answers_ok;
+  write_json "scrub" (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"cores\": %d,\n\
+        \  \"records\": %d,\n\
+        \  \"wall_ms_scrub_off\": %.1f,\n\
+        \  \"wall_ms_scrub_on\": %.1f,\n\
+        \  \"scrub_passes\": %d,\n\
+        \  \"scrub_errors\": %d,\n\
+        \  \"scrub_overhead\": %.3f,\n\
+        \  \"runs\": [{\"answers_ok\": %b}],\n\
+        \  \"answers_ok\": %b\n\
+         }\n"
+        cores n (ms dt_off) (ms dt_on) passes errors overhead answers_ok
+        answers_ok);
+  Printf.printf "wrote BENCH_scrub.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Soak verification: engine vs brute-force oracle at bench scale.     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1708,6 +1799,7 @@ let experiments =
     ("ingest", ingest_bench);
     ("faults", faults_bench);
     ("repl", repl_bench);
+    ("scrub", scrub_bench);
     ("verify", verify);
     ("micro", micro);
   ]

@@ -926,10 +926,35 @@ let serve_cmd =
              promote self if no primary answers and no peer holds a \
              higher durable WAL position.")
   in
+  let scrub_interval =
+    Arg.(
+      value & opt float 0.
+      & info [ "scrub-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,--live): anti-entropy scrub — a background pass \
+             re-verifying every at-rest checksum (checkpoint, base \
+             snapshot regions, WAL record CRCs) every SECONDS (0 = \
+             off).  Silent corruption quarantines the store (degraded, \
+             read-only) instead of waiting for a query to trip over \
+             it; on a follower the quarantine also triggers a snapshot \
+             re-seed from the primary, and a clean pass afterwards \
+             lifts it.  Counters appear under $(b,scrub) in \
+             $(b,query --server-stats).")
+  in
+  let scrub_rate =
+    Arg.(
+      value & opt float 32.
+      & info [ "scrub-rate-mb-s" ] ~docv:"MB"
+          ~doc:
+            "With $(b,--scrub-interval): scrub read-bandwidth cap in \
+             MiB/s, so the scrubber never starves serving I/O \
+             (default 32).")
+  in
   let run input strategy socket port host workers accept_shards max_pending
       plan_cache no_plan_cache timeout_ms metrics_interval paged pool_pages
       dynamic live sync_every memtable_limit shards follow advertise peers
-      sync_replicas ack_timeout_ms heartbeat_timeout_ms auto_promote =
+      sync_replicas ack_timeout_ms heartbeat_timeout_ms auto_promote
+      scrub_interval scrub_rate =
     let addrs =
       (match socket with Some p -> [ Xserver.Server.Unix_sock p ] | None -> [])
       @ (match port with Some p -> [ Xserver.Server.Tcp (host, p) ] | None -> [])
@@ -1054,6 +1079,30 @@ let serve_cmd =
                }
                log)
     in
+    let scrubber =
+      if scrub_interval <= 0. then None
+      else
+        match !log_store with
+        | None ->
+          Printf.eprintf
+            "serve: --scrub-interval requires an unsharded --live DIR\n";
+          exit 1
+        | Some log ->
+          let sc =
+            Xlog.Scrub.create ~interval:scrub_interval ~rate_mb_s:scrub_rate
+              ~log:(fun m -> Printf.eprintf "xseq serve: scrub: %s\n%!" m)
+              log
+          in
+          (match repl_node with
+           | Some node ->
+             (* peer-connected repair: a quarantined follower re-seeds
+                itself from the primary's snapshot; the next clean pass
+                lifts the quarantine and counts the repair *)
+             Xlog.Scrub.set_repair sc (fun _diag ->
+                 Xrepl.Node.request_reseed node)
+           | None -> ());
+          Some sc
+    in
     let config =
       {
         Xserver.Server.default_config with
@@ -1066,10 +1115,17 @@ let serve_cmd =
           (if paged then Xstorage.Store.Paged else Xstorage.Store.Resident);
         snapshot_pool_pages = pool_pages;
         repl = Option.map Xrepl.Node.hooks repl_node;
+        scrub = scrubber;
       }
     in
     let server = Xserver.Server.create ~config source in
     Xserver.Server.start server addrs;
+    (match scrubber with
+     | Some sc ->
+       Xlog.Scrub.start sc;
+       Printf.eprintf "xseq serve: scrubbing every %.0fs (%.0f MiB/s cap)\n%!"
+         scrub_interval scrub_rate
+     | None -> ());
     (match repl_node with
      | Some node ->
        Xrepl.Node.start node;
@@ -1107,6 +1163,7 @@ let serve_cmd =
              loop ())
            ());
     Xserver.Server.wait server;
+    (match scrubber with Some sc -> Xlog.Scrub.stop sc | None -> ());
     (match repl_node with Some node -> Xrepl.Node.stop node | None -> ());
     (match !log_store with Some log -> Xlog.close log | None -> ());
     (match !shard_store with Some sh -> Xshard.close sh | None -> ());
@@ -1125,7 +1182,7 @@ let serve_cmd =
       $ metrics_interval $ paged $ pool_pages $ dynamic $ live $ sync_every
       $ memtable_limit
       $ shards $ follow $ advertise $ peers $ sync_replicas $ ack_timeout_ms
-      $ heartbeat_timeout_ms $ auto_promote)
+      $ heartbeat_timeout_ms $ auto_promote $ scrub_interval $ scrub_rate)
 
 (* --- ingest ---------------------------------------------------------------- *)
 
@@ -1445,7 +1502,7 @@ let repl_status_cmd =
                 match Xserver.Client.repl_status ~timeout_ms:5000 client with
                 | st ->
                   Printf.printf
-                    "%-28s %-8s epoch %-4d durable %06d:%d  next id %d%s\n"
+                    "%-28s %-8s epoch %-4d durable %06d:%d  next id %d%s%s\n"
                     addr_s
                     (match st.Xserver.Client.role with
                      | `Primary -> "primary"
@@ -1454,6 +1511,11 @@ let repl_status_cmd =
                     st.Xserver.Client.durable.Xlog.Wal.file
                     st.Xserver.Client.durable.Xlog.Wal.off
                     st.Xserver.Client.repl_next_id
+                    (if st.Xserver.Client.role = `Follower then
+                       Printf.sprintf "  lag %d records (%d bytes)"
+                         st.Xserver.Client.lag_records
+                         st.Xserver.Client.lag_bytes
+                     else "")
                     (if st.Xserver.Client.leader_hint = "" then ""
                      else
                        Printf.sprintf "  (primary: %s)"
@@ -1469,11 +1531,86 @@ let repl_status_cmd =
   Cmd.v
     (Cmd.info "repl-status"
        ~doc:
-         "Print each replica's role, epoch, durable WAL position and \
-          document watermark — one line per endpoint, unreachable ones \
+         "Print each replica's role, epoch, durable WAL position, \
+          document watermark and — for followers — replication lag in \
+          records and bytes; one line per endpoint, unreachable ones \
           reported inline (the command itself always exits 0 unless an \
           address is malformed).")
     Term.(const run $ addrs)
+
+(* --- scrub ----------------------------------------------------------------- *)
+
+let scrub_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR|SNAPSHOT"
+          ~doc:
+            "A live-store directory (checkpoint + base snapshot + WAL \
+             files) or a single saved index snapshot.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate-mb-s" ] ~docv:"MB"
+          ~doc:
+            "Read-bandwidth cap in MiB/s (0 = unlimited).  A running \
+             server scrubs itself with $(b,serve --scrub-interval); \
+             this command is the offline twin.")
+  in
+  let scrub_exits =
+    Cmd.Exit.info ~doc:"when every checksum verified." 0
+    :: Cmd.Exit.info ~doc:"on usage errors (no such file or directory)." 1
+    :: Cmd.Exit.info
+         ~doc:
+           "when corruption was found; every bad region is listed on \
+            stdout."
+         exit_degraded
+    :: Cmd.Exit.defaults
+  in
+  let run target rate =
+    if not (Sys.file_exists target) then begin
+      Printf.eprintf "scrub: %s: no such file or directory\n" target;
+      exit 1
+    end;
+    if Sys.is_directory target then begin
+      let r = Xlog.Scrub.scrub_dir ~rate_mb_s:rate target in
+      Printf.printf "scrubbed %d files, %d bytes\n" r.Xlog.Scrub.files_scanned
+        r.Xlog.Scrub.bytes_scanned;
+      if r.Xlog.Scrub.errors = [] then print_endline "clean"
+      else begin
+        List.iter
+          (fun (f, diag) -> Printf.printf "CORRUPT %s: %s\n" f diag)
+          r.Xlog.Scrub.errors;
+        exit exit_degraded
+      end
+    end
+    else begin
+      (* A single snapshot: opening paged with verification walks every
+         region checksum without materialising the index. *)
+      match
+        Xstorage.Store.open_file ~mode:Xstorage.Store.Paged ~pool_pages:16
+          ~verify:true target
+      with
+      | store ->
+        let bytes = Xstorage.Store.file_bytes store in
+        Xstorage.Store.close store;
+        Printf.printf "scrubbed 1 file, %d bytes\nclean\n" bytes
+      | exception e ->
+        Printf.printf "CORRUPT %s: %s\n" target (Printexc.to_string e);
+        exit exit_degraded
+    end
+  in
+  Cmd.v
+    (Cmd.info "scrub" ~exits:scrub_exits
+       ~doc:
+         "Re-verify every at-rest checksum of a store directory (or a \
+          single saved snapshot) — checkpoint header, base snapshot \
+          regions, WAL record CRCs — and list what is corrupt.  Exits \
+          4 when anything failed, so cron jobs and CI can gate on \
+          silent corruption.")
+    Term.(const run $ target $ rate)
 
 (* --- query-batch ---------------------------------------------------------- *)
 
@@ -1736,7 +1873,25 @@ let index_cmd =
              and $(b,stats) accept the saved file in place of the XML input.")
     Term.(const run $ input_arg $ strategy_arg $ output $ compress)
 
+(* Deterministic fault injection for chaos harnesses: a schedule in the
+   environment (as printed by a failing torture run, or built by the
+   partition-chaos smoke) arms the I/O shim before any subsystem runs —
+   the whole process, sockets included, then lives under that weather. *)
+let install_fault_schedule_from_env () =
+  match Sys.getenv_opt "XSEQ_FAULT_SCHEDULE" with
+  | None | Some "" -> ()
+  | Some s -> (
+    match Xfault.schedule_of_string s with
+    | Ok schedule ->
+      Xfault.install (Xfault.Injector.create schedule);
+      Printf.eprintf "xseq: fault schedule armed: %s\n%!"
+        (Xfault.schedule_to_string schedule)
+    | Error msg ->
+      Printf.eprintf "XSEQ_FAULT_SCHEDULE: %s\n" msg;
+      exit 1)
+
 let () =
+  install_fault_schedule_from_env ();
   let doc = "sequence-based XML indexing with constraint sequences (ICDE 2005)" in
   let info = Cmd.info "xseq" ~version:"1.0.0" ~doc in
   exit
@@ -1744,4 +1899,4 @@ let () =
        (Cmd.group info
        [ gen_cmd; index_cmd; info_cmd; stats_cmd; paths_cmd; sequence_cmd;
          query_cmd; query_batch_cmd; explain_cmd; serve_cmd; ingest_cmd;
-         promote_cmd; repl_status_cmd ]))
+         promote_cmd; repl_status_cmd; scrub_cmd ]))

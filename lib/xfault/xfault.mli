@@ -45,6 +45,19 @@ type fault =
   | Fail_stop
       (** raise {!Crashed}; the injector then refuses every further
           operation with {!Crashed} — simulated power loss *)
+  | Black_hole of int
+      (** partition: this and the next [n-1] calls of the class vanish
+          into the network.  [Send] claims full success while moving no
+          bytes (the peer hears silence — heartbeat timeouts, not
+          errors); [Recv] and [Connect] raise [ETIMEDOUT]; the file
+          classes raise [EIO] *)
+  | Half_open of int
+      (** the peer died without a FIN: [Send] is swallowed claiming
+          success, [Recv] reports a clean end of stream, [Connect]
+          raises [ECONNREFUSED] — for [n] calls of the class *)
+  | Slow_link of float * int
+      (** degraded link: sleep this many seconds before each of the
+          next [n] calls of the class, then proceed normally *)
 
 type rule = { at : int; on : op; fault : fault }
 (** Fire [fault] at the [at]-th shimmed operation of class [on]
@@ -63,6 +76,29 @@ val fault_to_string : fault -> string
 val schedule_to_string : schedule -> string
 (** One line, machine-readable enough to paste into a regression test:
     [write@17:enospc fsync@3:eio ...]. *)
+
+val schedule_of_string : string -> (schedule, string) result
+(** Inverse of {!schedule_to_string} — whitespace-separated rules (or
+    ["(empty)"]).  How a failing torture run's printed schedule, or the
+    [XSEQ_FAULT_SCHEDULE] environment variable the CLI honours, comes
+    back to life.  [Error] names the first malformed token. *)
+
+val socket_ops : op list
+(** [[Send; Recv; Connect]] — the classes a partition schedule targets. *)
+
+val random_partition_schedule :
+  seed:int ->
+  ?ops:op list ->
+  ?horizon:int ->
+  ?faults:int ->
+  unit ->
+  schedule
+(** Network weather, reproducibly: [faults] rules (default 6) over the
+    first [horizon] socket operations (default 400) of the given
+    classes (default {!socket_ops}), weighted towards partitions —
+    black-hole bursts, half-open peers, slow links — with resets and
+    short writes mixed in and never a [Fail_stop].  The same seed
+    always yields the same schedule. *)
 
 val random_schedule :
   seed:int ->

@@ -68,6 +68,11 @@ type t = {
           writer lock (health checks must not contend with writers). *)
   last_probe : float Atomic.t;
   probe_interval : float;
+  quarantined : bool Atomic.t;
+      (** Scrub found at-rest corruption: the degraded state is sticky
+          against the WAL-rotation probe (a working disk says nothing
+          about bit rot).  Only a clean scrub pass or a {!reseed} lifts
+          it. *)
 }
 
 exception Degraded of string
@@ -551,6 +556,11 @@ let try_recover t =
         check_open t;
         match Atomic.get t.degraded with
         | None -> `Healthy
+        | Some _ when Atomic.get t.quarantined ->
+          (* A scrub quarantine: the disk works, the bytes are wrong.
+             Rotating the WAL proves nothing — stay down until a clean
+             scrub pass or a snapshot re-seed replaces the bad region. *)
+          `Still_degraded
         | Some _ when t.compacting -> `Busy
         | Some _ -> (
           (* Probe the disk: rotate to a fresh WAL file.  {!Wal.create}
@@ -787,6 +797,460 @@ let set_wal_retention t f = locked t (fun () -> t.retain_wal <- f)
 let dir t = t.dirname
 let recovery t = t.recovery_info
 
+(* --- snapshot transfer -------------------------------------------------- *)
+
+module Transfer = struct
+  (* A transfer stream is immutable for the lifetime of one checkpoint:
+     a manifest header, then the checkpoint file, the base snapshot it
+     names, and the WAL *prefix* [0, c_wal_offset) of file c_wal_index —
+     exactly the bytes the checkpoint covers, nothing past the cut.
+     Records past the cut ship through normal tailing after install, so
+     every byte of the stream is stable and a resume cursor (or a
+     mid-transfer reconnect) picks up where it left off.  The token is
+     the checkpoint's own checksum rendered as hex: a new checkpoint ⇒
+     a new token ⇒ the client restarts, never splices two snapshots. *)
+
+  let stream_magic = "xseqxfr1"
+  let tmp_dir dir = Filename.concat dir "xfer.tmp"
+  let ready_dir dir = Filename.concat dir "xfer.ready"
+  let manifest_file = "MANIFEST"
+  let max_entries = 100_000
+
+  type entry = { e_name : string; e_size : int }
+
+  type manifest = {
+    x_token : string;
+    x_entries : entry list;
+    x_header : string;  (** encoded header, byte 0 of the stream *)
+    x_total : int;  (** header + every entry *)
+    x_wal_index : int;  (** WAL files >= this must survive pruning *)
+  }
+
+  let encode_header entries =
+    let b = Buffer.create 256 in
+    Buffer.add_string b stream_magic;
+    Buffer.add_int32_le b 0l (* header length, patched below *);
+    Buffer.add_int32_le b (Int32.of_int (List.length entries));
+    List.iter
+      (fun e ->
+        Buffer.add_int32_le b (Int32.of_int (String.length e.e_name));
+        Buffer.add_string b e.e_name;
+        Buffer.add_int64_le b (Int64.of_int e.e_size))
+      entries;
+    let s = Bytes.of_string (Buffer.contents b) in
+    Bytes.set_int32_le s 8 (Int32.of_int (Bytes.length s));
+    Bytes.unsafe_to_string s
+
+  (* [Ok None]: fewer bytes than a complete header — feed more.  Names
+     are validated here so a hostile stream can never escape the staging
+     directory or smuggle a MANIFEST in. *)
+  let decode_header s =
+    let len = String.length s in
+    if len < 16 then Ok None
+    else if not (String.equal (String.sub s 0 8) stream_magic) then
+      Error "bad transfer magic"
+    else begin
+      let hlen = Int32.to_int (String.get_int32_le s 8) in
+      if hlen < 16 || hlen > 1 lsl 20 then Error "implausible header length"
+      else if len < hlen then Ok None
+      else begin
+        let count = Int32.to_int (String.get_int32_le s 12) in
+        if count < 0 || count > max_entries then Error "implausible file count"
+        else begin
+          let pos = ref 16 in
+          let exception Bad of string in
+          try
+            let entries =
+              List.init count (fun _ ->
+                  if !pos + 4 > hlen then raise (Bad "truncated header");
+                  let nlen = Int32.to_int (String.get_int32_le s !pos) in
+                  pos := !pos + 4;
+                  if nlen <= 0 || nlen > hlen - !pos then
+                    raise (Bad "bad name length");
+                  let name = String.sub s !pos nlen in
+                  pos := !pos + nlen;
+                  if
+                    String.contains name '/'
+                    || String.equal name ".."
+                    || String.equal name manifest_file
+                  then raise (Bad ("illegal file name " ^ name));
+                  if !pos + 8 > hlen then raise (Bad "truncated header");
+                  let raw = String.get_int64_le s !pos in
+                  pos := !pos + 8;
+                  let size = Int64.to_int raw in
+                  if (not (Int64.equal (Int64.of_int size) raw)) || size < 0
+                  then raise (Bad "bad file size");
+                  { e_name = name; e_size = size })
+            in
+            if !pos <> hlen then Error "trailing header bytes"
+            else Ok (Some (entries, hlen))
+          with Bad m -> Error m
+        end
+      end
+    end
+
+  let manifest_of_dir dir =
+    let ckp_path = Filename.concat dir "checkpoint" in
+    match
+      if not (Sys.file_exists ckp_path) then Ok ""
+      else begin
+        let ic = open_in_bin ckp_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+      end
+    with
+    | exception Sys_error m -> Error ("checkpoint unreadable: " ^ m)
+    | Error m -> Error m
+    | Ok "" ->
+      (* No checkpoint yet: an empty stream.  The receiver installs
+         nothing and tails from the log start. *)
+      let header = encode_header [] in
+      Ok
+        {
+          x_token = "empty";
+          x_entries = [];
+          x_header = header;
+          x_total = String.length header;
+          x_wal_index = 0;
+        }
+    | Ok ckp_bytes -> (
+      match read_checkpoint ckp_path with
+      | Error m -> Error ("checkpoint: " ^ m)
+      | Ok None -> Error "checkpoint vanished mid-read"
+      | Ok (Some c) -> (
+        let stat_size name =
+          match Unix.stat (Filename.concat dir name) with
+          | s -> Ok s.Unix.st_size
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "%s: %s" name (Unix.error_message e))
+        in
+        let base_entries =
+          if String.equal c.c_base "" then Ok []
+          else
+            match stat_size c.c_base with
+            | Error m -> Error m
+            | Ok n -> Ok [ { e_name = c.c_base; e_size = n } ]
+        in
+        let wal_name = Wal.file_name c.c_wal_index in
+        match (base_entries, stat_size wal_name) with
+        | Error m, _ | _, Error m -> Error m
+        | Ok base_entries, Ok wal_size ->
+          if wal_size < c.c_wal_offset then
+            Error
+              (Printf.sprintf "%s shorter than the checkpoint cut" wal_name)
+          else begin
+            let entries =
+              { e_name = "checkpoint"; e_size = String.length ckp_bytes }
+              :: base_entries
+              @ [ { e_name = wal_name; e_size = c.c_wal_offset } ]
+            in
+            let header = encode_header entries in
+            let total =
+              List.fold_left
+                (fun acc e -> acc + e.e_size)
+                (String.length header) entries
+            in
+            Ok
+              {
+                x_token =
+                  Printf.sprintf "%016Lx"
+                    (Xstorage.Store.checksum_string ckp_bytes 0
+                       (String.length ckp_bytes));
+                x_entries = entries;
+                x_header = header;
+                x_total = total;
+                x_wal_index = c.c_wal_index;
+              }
+          end))
+
+  (* Read [len] bytes of the stream starting at absolute offset [off].
+     Short only at the end of the stream. *)
+  let read_slice dir m ~off ~len =
+    if off < 0 || len < 0 then Error "negative slice"
+    else begin
+      let b = Buffer.create (min len 65536) in
+      let want = min len (m.x_total - off) in
+      let exception Fail of string in
+      let read_file_part name ~foff ~n =
+        let path = Filename.concat dir name in
+        match Xfault.Io.openfile path [ Unix.O_RDONLY ] 0 with
+        | exception Unix.Unix_error (e, _, _) ->
+          raise (Fail (Printf.sprintf "%s: %s" name (Unix.error_message e)))
+        | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              ignore (Unix.lseek fd foff Unix.SEEK_SET : int);
+              let buf = Bytes.create (min n 65536) in
+              let left = ref n in
+              while !left > 0 do
+                let k =
+                  retry_eintr (fun () ->
+                      Xfault.Io.read fd buf 0 (min !left (Bytes.length buf)))
+                in
+                if k = 0 then
+                  raise
+                    (Fail
+                       (Printf.sprintf "%s truncated under the manifest" name));
+                Buffer.add_subbytes b buf 0 k;
+                left := !left - k
+              done)
+      in
+      try
+        let pos = ref 0 (* stream offset of the current piece *) in
+        let piece name size reader =
+          let lo = max off !pos and hi = min (off + want) (!pos + size) in
+          if hi > lo then reader name ~foff:(lo - !pos) ~n:(hi - lo);
+          pos := !pos + size
+        in
+        piece "(header)" (String.length m.x_header) (fun _ ~foff ~n ->
+            Buffer.add_substring b m.x_header foff n);
+        List.iter (fun e -> piece e.e_name e.e_size read_file_part) m.x_entries;
+        Ok (Buffer.contents b)
+      with Fail m -> Error m
+    end
+
+  (* --- receiver --------------------------------------------------------- *)
+
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun n -> rm_rf (Filename.concat path n))
+        (try Sys.readdir path with Sys_error _ -> [||]);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+  type receiver = {
+    rv_dir : string;
+    rv_tmp : string;
+    rv_header : Buffer.t;  (** bytes until the header decodes *)
+    mutable rv_entries : entry list option;  (** decoded header *)
+    mutable rv_queue : entry list;  (** entries not yet fully written *)
+    mutable rv_written : int;  (** bytes of the queue head on disk *)
+    mutable rv_fd : Unix.file_descr option;
+    mutable rv_got : int;  (** stream bytes consumed *)
+  }
+
+  let recv_create dir =
+    rm_rf (tmp_dir dir);
+    rm_rf (ready_dir dir);
+    Unix.mkdir (tmp_dir dir) 0o755;
+    {
+      rv_dir = dir;
+      rv_tmp = tmp_dir dir;
+      rv_header = Buffer.create 256;
+      rv_entries = None;
+      rv_queue = [];
+      rv_written = 0;
+      rv_fd = None;
+      rv_got = 0;
+    }
+
+  let recv_got rv = rv.rv_got
+
+  let recv_abort rv =
+    (match rv.rv_fd with
+    | Some fd ->
+      rv.rv_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    rm_rf rv.rv_tmp
+
+  let close_entry rv fd =
+    retry_eintr (fun () -> Xfault.Io.fsync fd);
+    rv.rv_fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+  (* Pop queue entries the written cursor has completed; open the next
+     file lazily.  Zero-size entries complete without a write. *)
+  let rec feed_files rv s off len =
+    match rv.rv_queue with
+    | [] ->
+      if len > 0 then Error "data past the manifest total" else Ok ()
+    | e :: rest ->
+      if rv.rv_written = e.e_size then begin
+        (match rv.rv_fd with Some fd -> close_entry rv fd | None -> ());
+        rv.rv_queue <- rest;
+        rv.rv_written <- 0;
+        feed_files rv s off len
+      end
+      else if len = 0 then Ok ()
+      else begin
+        let fd =
+          match rv.rv_fd with
+          | Some fd -> fd
+          | None ->
+            let fd =
+              Xfault.Io.openfile
+                (Filename.concat rv.rv_tmp e.e_name)
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+                0o644
+            in
+            rv.rv_fd <- Some fd;
+            fd
+        in
+        let n = min len (e.e_size - rv.rv_written) in
+        let w = ref 0 in
+        while !w < n do
+          w :=
+            !w
+            + retry_eintr (fun () ->
+                  Xfault.Io.write_substring fd s (off + !w) (n - !w))
+        done;
+        rv.rv_written <- rv.rv_written + n;
+        feed_files rv s (off + n) (len - n)
+      end
+
+  (* Feed one chunk of stream bytes (must arrive in order). *)
+  let recv_write rv s =
+    let slen = String.length s in
+    rv.rv_got <- rv.rv_got + slen;
+    match rv.rv_entries with
+    | Some _ -> feed_files rv s 0 slen
+    | None -> (
+      Buffer.add_string rv.rv_header s;
+      match decode_header (Buffer.contents rv.rv_header) with
+      | Error m -> Error m
+      | Ok None -> Ok ()
+      | Ok (Some (entries, hlen)) ->
+        rv.rv_entries <- Some entries;
+        rv.rv_queue <- entries;
+        rv.rv_written <- 0;
+        let buffered = Buffer.contents rv.rv_header in
+        feed_files rv buffered hlen (String.length buffered - hlen))
+
+  (* Every staged file re-verifies its own checksums — the per-chunk
+     transport CRC only catches wire damage, not a corrupt source. *)
+  let verify_entry rv e =
+    let path = Filename.concat rv.rv_tmp e.e_name in
+    if String.equal e.e_name "checkpoint" then
+      match read_checkpoint path with
+      | Ok (Some _) -> Ok ()
+      | Ok None -> Error "staged checkpoint missing"
+      | Error m -> Error ("staged checkpoint: " ^ m)
+    else if
+      Scanf.sscanf_opt e.e_name "wal-%06d.log%!" (fun i -> i) <> None
+    then
+      match Wal.scan_file path with
+      | Error m -> Error (e.e_name ^ ": " ^ m)
+      | Ok scan -> (
+        match scan.Wal.torn with
+        | Some diag -> Error (Printf.sprintf "%s: torn (%s)" e.e_name diag)
+        | None ->
+          if scan.Wal.good_bytes <> e.e_size then
+            Error (Printf.sprintf "%s: %d good bytes, expected %d" e.e_name
+                     scan.Wal.good_bytes e.e_size)
+          else Ok ())
+    else if Filename.check_suffix e.e_name ".xseq" then
+      match
+        Xstorage.Store.open_file ~mode:Xstorage.Store.Paged ~pool_pages:16
+          ~verify:true path
+      with
+      | st ->
+        Xstorage.Store.close st;
+        Ok ()
+      | exception e2 -> Error (e.e_name ^ ": " ^ Printexc.to_string e2)
+    else Error ("unexpected staged file " ^ e.e_name)
+
+  (* The stream is complete: verify every staged file, persist the
+     manifest (the re-runnable install reads it — a directory listing
+     would forget files already moved), and commit the staging dir to
+     [xfer.ready] with a rename.  After this returns [Ok], installation
+     survives kill -9 at any point. *)
+  let recv_finish rv =
+    (* Trailing zero-size entries complete without any data byte. *)
+    (match feed_files rv "" 0 0 with Ok () -> () | Error _ -> ());
+    match rv.rv_entries with
+    | None -> Error "stream ended before the header"
+    | Some entries ->
+      if rv.rv_queue <> [] || rv.rv_fd <> None then
+        Error "stream ended mid-file"
+      else begin
+        let rec verify = function
+          | [] -> Ok ()
+          | e :: rest -> (
+            match verify_entry rv e with
+            | Ok () -> verify rest
+            | Error _ as err -> err)
+        in
+        match verify entries with
+        | Error _ as err -> err
+        | Ok () -> (
+          try
+            write_file_sync
+              (Filename.concat rv.rv_tmp manifest_file)
+              (String.concat "\n" (List.map (fun e -> e.e_name) entries));
+            fsync_path rv.rv_tmp;
+            Xfault.Io.rename rv.rv_tmp (ready_dir rv.rv_dir);
+            fsync_path rv.rv_dir;
+            Ok ()
+          with
+          | Unix.Unix_error (e, _, _) ->
+            Error ("commit: " ^ Unix.error_message e)
+          | Sys_error m -> Error ("commit: " ^ m))
+      end
+
+  let is_data_file name =
+    String.equal name "checkpoint"
+    || Scanf.sscanf_opt name "wal-%06d.log%!" (fun i -> i) <> None
+    || (String.length name > 5
+        && String.equal (String.sub name 0 5) "base-"
+        && Filename.check_suffix name ".xseq")
+
+  (* Idempotent install of a committed [xfer.ready]: replace the data
+     files with the staged set.  Interruptible anywhere — rerunning from
+     [open_]/[reseed] completes it, because the manifest (not the
+     directory listing) names the staged set and every step tolerates
+     "already done".  Returns [true] iff a snapshot was installed. *)
+  let install_ready dir =
+    rm_rf (tmp_dir dir);
+    let ready = ready_dir dir in
+    if not (Sys.file_exists ready) then false
+    else begin
+      let manifest = Filename.concat ready manifest_file in
+      match
+        let ic = open_in_bin manifest in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error _ ->
+        (* Committed dirs always carry a manifest: this is pre-commit
+           debris from a crashed rename — discard it. *)
+        rm_rf ready;
+        false
+      | names_blob ->
+        let names =
+          List.filter
+            (fun n -> not (String.equal n ""))
+            (String.split_on_char '\n' names_blob)
+        in
+        let member n = List.exists (String.equal n) names in
+        (* 1. Drop current data files the snapshot does not carry. *)
+        Array.iter
+          (fun n ->
+            if is_data_file n && not (member n) then
+              try Unix.unlink (Filename.concat dir n)
+              with Unix.Unix_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        (* 2. Move the staged set in (files already moved are absent
+           from [ready] — skip them). *)
+        List.iter
+          (fun n ->
+            let src = Filename.concat ready n in
+            if Sys.file_exists src then
+              Xfault.Io.rename src (Filename.concat dir n))
+          names;
+        fsync_path dir;
+        rm_rf ready;
+        true
+    end
+end
+
 (* --- open / recovery ---------------------------------------------------- *)
 
 let list_wals = Wal.list_files
@@ -803,12 +1267,17 @@ let scan_cut_seq dirname =
     0
     (try Sys.readdir dirname with Sys_error _ -> [||])
 
-let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
-    ?(domains = 1) ?pool ?(config = Xseq.default_config)
-    ?(probe_interval = 1.0) dirname =
-  let config = { config with Xseq.keep_documents = true } in
-  (try Unix.mkdir dirname 0o755
-   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+(* Everything [open_] learns from the directory: shared with [reseed],
+   which re-runs recovery in place after a snapshot install. *)
+type loaded = {
+  ld_view : view;
+  ld_wal : Wal.writer;
+  ld_wal_index : int;
+  ld_next_id : int;
+  ld_recovery : recovery;
+}
+
+let load_dir ~sync_every dirname =
   let ckp =
     match read_checkpoint (Filename.concat dirname "checkpoint") with
     | Ok c -> c
@@ -879,23 +1348,44 @@ let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
     match List.rev wals with (i, _) :: _ -> i | [] -> ckp_wal_index
   in
   let wal = Wal.create ~sync_every (wal_file dirname wal_index) in
+  {
+    ld_view =
+      {
+        base;
+        segs = [];
+        pending = !pending;
+        npending = !npending;
+        tombs = !tombs;
+        stamp = fresh_stamp ();
+      };
+    ld_wal = wal;
+    ld_wal_index = wal_index;
+    ld_next_id = !next_id;
+    ld_recovery =
+      {
+        replayed = !replayed;
+        recovered_pending = !npending;
+        torn = List.rev !torn;
+      };
+  }
+
+let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
+    ?(domains = 1) ?pool ?(config = Xseq.default_config)
+    ?(probe_interval = 1.0) dirname =
+  let config = { config with Xseq.keep_documents = true } in
+  (try Unix.mkdir dirname 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* Finish any snapshot install a crash interrupted before reading. *)
+  ignore (Transfer.install_ready dirname : bool);
+  let ld = load_dir ~sync_every dirname in
   let t =
     {
       dirname;
-      view =
-        Atomic.make
-          {
-            base;
-            segs = [];
-            pending = !pending;
-            npending = !npending;
-            tombs = !tombs;
-            stamp = fresh_stamp ();
-          };
+      view = Atomic.make ld.ld_view;
       writer_m = Mutex.create ();
-      wal;
-      wal_index;
-      next_id = !next_id;
+      wal = ld.ld_wal;
+      wal_index = ld.ld_wal_index;
+      next_id = ld.ld_next_id;
       compacting = false;
       bg = None;
       closed = false;
@@ -907,17 +1397,308 @@ let open_ ?(sync_every = 1) ?(memtable_limit = 256) ?(max_segments = 8)
       domains;
       pool;
       config;
-      recovery_info =
-        {
-          replayed = !replayed;
-          recovered_pending = !npending;
-          torn = List.rev !torn;
-        };
+      recovery_info = ld.ld_recovery;
       degraded = Atomic.make None;
       last_probe = Atomic.make 0.0;
       probe_interval = Stdlib.max 0.0 probe_interval;
+      quarantined = Atomic.make false;
     }
   in
   (* A long replay should not leave queries scanning a huge memtable. *)
-  if !npending >= t.memtable_limit then locked t (fun () -> seal_locked t);
+  if ld.ld_view.npending >= t.memtable_limit then
+    locked t (fun () -> seal_locked t);
   t
+
+(* Swap in a freshly staged snapshot without reopening the handle: the
+   server keeps serving through the same [t].  The caller must have
+   quiesced writers (a re-seeding follower has no local writers by
+   definition).  On success the store's entire state — view, WAL writer,
+   id watermark — is the staged snapshot's. *)
+let reseed t =
+  locked t (fun () ->
+      check_open t;
+      if t.compacting then Error "compaction in progress"
+      else if not (Transfer.install_ready t.dirname) then
+        Error "no staged snapshot to install"
+      else begin
+        Wal.abort t.wal;
+        match load_dir ~sync_every:t.sync_every t.dirname with
+        | exception e ->
+          let msg = "reseed: " ^ Printexc.to_string e in
+          Atomic.set t.degraded (Some msg);
+          Error msg
+        | ld ->
+          t.wal <- ld.ld_wal;
+          t.wal_index <- ld.ld_wal_index;
+          t.next_id <- ld.ld_next_id;
+          t.cut_seq <- scan_cut_seq t.dirname;
+          Atomic.set t.view ld.ld_view;
+          Atomic.set t.quarantined false;
+          Atomic.set t.degraded None;
+          if ld.ld_view.npending >= t.memtable_limit then seal_locked t;
+          Ok ()
+      end)
+
+(* --- anti-entropy scrub -------------------------------------------------- *)
+
+module Scrub = struct
+  (* Re-walk every at-rest checksum — checkpoint header, snapshot file
+     regions, WAL records — at a configurable rate.  Detection is the
+     easy half; the value is in what happens next: a live store that
+     fails a pass is quarantined (degraded state — mutations refuse,
+     queries over the in-memory view keep working) until a repair
+     callback, typically a snapshot re-fetch from the primary, clears
+     it.  Everything here reads through {!Xfault.Io} where it matters,
+     so scrub behaviour under injected faults is replayable too. *)
+
+  type report = {
+    files_scanned : int;
+    bytes_scanned : int;
+    errors : (string * string) list;  (** file, diagnosis *)
+  }
+
+  let rate_sleep ~rate_mb_s bytes =
+    if rate_mb_s > 0. && bytes > 0 then
+      Thread.delay (float_of_int bytes /. (rate_mb_s *. 1024. *. 1024.))
+
+  (* [durable]: on a live store, the WAL tail past the durable offset of
+     the active file is legitimately in flux — stop there.  Offline
+     (no [durable]), a torn tail on the *highest* WAL file is what crash
+     recovery truncates, not corruption; torn middles always count. *)
+  let scrub_dir ?(rate_mb_s = 0.) ?durable dirname =
+    let files = ref 0 and bytes = ref 0 and errors = ref [] in
+    let fail name diag = errors := (name, diag) :: !errors in
+    let scanned name n =
+      incr files;
+      bytes := !bytes + n;
+      rate_sleep ~rate_mb_s n;
+      ignore name
+    in
+    let file_size path =
+      try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+    in
+    let ckp_path = Filename.concat dirname "checkpoint" in
+    let ckp =
+      match read_checkpoint ckp_path with
+      | Ok c ->
+        if c <> None then scanned "checkpoint" (file_size ckp_path);
+        c
+      | Error m ->
+        fail "checkpoint" m;
+        None
+    in
+    (match ckp with
+    | Some c when not (String.equal c.c_base "") -> (
+      let path = Filename.concat dirname c.c_base in
+      match
+        Xstorage.Store.open_file ~mode:Xstorage.Store.Paged ~pool_pages:16
+          ~verify:true path
+      with
+      | st ->
+        Xstorage.Store.close st;
+        scanned c.c_base (file_size path)
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        fail c.c_base "missing"
+      | exception e -> fail c.c_base (Printexc.to_string e))
+    | _ -> ());
+    let ckp_index = match ckp with Some c -> c.c_wal_index | None -> 0 in
+    (* Every listed WAL file, not just the recovery suffix: files below
+       the checkpoint survive only while retention pins them for a live
+       subscriber — and those are exactly the bytes still being shipped,
+       so a flip there matters as much as one in the replay window. *)
+    let wals = Wal.list_files dirname in
+    let last_index =
+      List.fold_left (fun acc (i, _) -> max acc i) ckp_index wals
+    in
+    List.iter
+      (fun (i, path) ->
+        let name = Filename.basename path in
+        let limit =
+          match durable with
+          | Some (dfile, doff) when i = dfile -> Some doff
+          | Some (dfile, _) when i > dfile -> Some 0
+          | _ -> None
+        in
+        if limit = Some 0 then ()
+        else
+          match Wal.scan_file path with
+          | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+            (* Pruned between listing and scanning: not corruption. *)
+            ()
+          | Error m -> fail name m
+          | Ok scan -> (
+            let upto = match limit with Some l -> l | None -> max_int in
+            scanned name (min scan.Wal.good_bytes upto);
+            match scan.Wal.torn with
+            | None -> ()
+            | Some diag -> (
+              match limit with
+              | Some l when scan.Wal.good_bytes >= l ->
+                (* The tear sits past the durable cursor: in-flight
+                   bytes, not damage. *)
+                ()
+              | Some _ -> fail name diag
+              | None -> (
+                if i <> last_index then fail name diag
+                else
+                  (* Newest file, no live durable cursor: normally a
+                     recoverable torn tail — except behind the
+                     checkpoint's covered offset, where the checkpoint
+                     itself proves the bytes were once durable. *)
+                  match ckp with
+                  | Some c
+                    when i = c.c_wal_index
+                         && scan.Wal.good_bytes < c.c_wal_offset ->
+                    fail name diag
+                  | _ -> ()))))
+      wals;
+    { files_scanned = !files; bytes_scanned = !bytes; errors = List.rev !errors }
+
+  (* Scrub a live store.  A compaction finishing mid-pass replaces the
+     files under us (stale checkpoint, vanished snapshots): detect it by
+     re-reading the checkpoint and rerun instead of crying wolf. *)
+  let scrub_store ?rate_mb_s t =
+    let ckp_bytes () =
+      let path = Filename.concat t.dirname "checkpoint" in
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error _ -> ""
+    in
+    let rec run attempts =
+      let before = ckp_bytes () in
+      let d = wal_durable_position t in
+      let r = scrub_dir ?rate_mb_s ~durable:(d.Wal.file, d.Wal.off) t.dirname in
+      if r.errors = [] then r
+      else if not (String.equal before (ckp_bytes ())) && attempts > 0 then
+        run (attempts - 1)
+      else r
+    in
+    let r = run 3 in
+    (match r.errors with
+    | [] ->
+      if Atomic.get t.quarantined then begin
+        Atomic.set t.quarantined false;
+        Atomic.set t.degraded None
+      end
+    | (name, diag) :: _ ->
+      Atomic.set t.quarantined true;
+      Atomic.set t.degraded
+        (Some (Printf.sprintf "scrub: %s: %s" name diag)));
+    r
+
+  type stats = {
+    passes : int;
+    files : int;
+    bytes : int;
+    errors_found : int;
+    repairs : int;
+    quarantined : bool;
+    last_error : string;  (** "" if the latest pass was clean *)
+  }
+
+  type scrubber = {
+    sc_store : t;
+    sc_interval : float;
+    sc_rate_mb_s : float;
+    sc_log : string -> unit;
+    sc_passes : int Atomic.t;
+    sc_files : int Atomic.t;
+    sc_bytes : int Atomic.t;
+    sc_errors : int Atomic.t;
+    sc_repairs : int Atomic.t;
+    sc_quarantined : bool Atomic.t;
+    sc_last : string Atomic.t;
+    sc_stop : bool Atomic.t;
+    mutable sc_repair : (string -> unit) option;
+    mutable sc_thread : Thread.t option;
+  }
+
+  let create ?(interval = 60.) ?(rate_mb_s = 32.) ?(log = fun _ -> ()) store =
+    {
+      sc_store = store;
+      sc_interval = Stdlib.max 0.05 interval;
+      sc_rate_mb_s = rate_mb_s;
+      sc_log = log;
+      sc_passes = Atomic.make 0;
+      sc_files = Atomic.make 0;
+      sc_bytes = Atomic.make 0;
+      sc_errors = Atomic.make 0;
+      sc_repairs = Atomic.make 0;
+      sc_quarantined = Atomic.make false;
+      sc_last = Atomic.make "";
+      sc_stop = Atomic.make false;
+      sc_repair = None;
+      sc_thread = None;
+    }
+
+  let set_repair sc f = sc.sc_repair <- Some f
+
+  let run_once sc =
+    let r = scrub_store ~rate_mb_s:sc.sc_rate_mb_s sc.sc_store in
+    Atomic.incr sc.sc_passes;
+    Atomic.set sc.sc_files (Atomic.get sc.sc_files + r.files_scanned);
+    Atomic.set sc.sc_bytes (Atomic.get sc.sc_bytes + r.bytes_scanned);
+    (match r.errors with
+    | [] ->
+      Atomic.set sc.sc_last "";
+      if Atomic.get sc.sc_quarantined then begin
+        (* The damage a previous pass quarantined is gone — the repair
+           (snapshot re-fetch, operator copy) took. *)
+        Atomic.set sc.sc_quarantined false;
+        Atomic.incr sc.sc_repairs;
+        Atomic.set (sc.sc_store.degraded) None;
+        sc.sc_log "scrub: clean pass after quarantine, store repaired"
+      end
+    | (name, diag) :: _ as errs ->
+      Atomic.set sc.sc_errors (Atomic.get sc.sc_errors + List.length errs);
+      Atomic.set sc.sc_last (Printf.sprintf "%s: %s" name diag);
+      Atomic.set sc.sc_quarantined true;
+      sc.sc_log
+        (Printf.sprintf "scrub: QUARANTINE %s: %s (%d error%s)" name diag
+           (List.length errs)
+           (if List.length errs = 1 then "" else "s"));
+      match sc.sc_repair with
+      | Some repair -> repair (name ^ ": " ^ diag)
+      | None -> ());
+    r
+
+  let start sc =
+    if sc.sc_thread <> None then invalid_arg "Xlog.Scrub.start: already running";
+    sc.sc_thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get sc.sc_stop) do
+               (try ignore (run_once sc : report)
+                with e ->
+                  sc.sc_log ("scrub: pass failed: " ^ Printexc.to_string e));
+               (* Interruptible sleep: check the stop flag every 50ms. *)
+               let slept = ref 0. in
+               while
+                 (not (Atomic.get sc.sc_stop)) && !slept < sc.sc_interval
+               do
+                 Thread.delay 0.05;
+                 slept := !slept +. 0.05
+               done
+             done)
+           ())
+
+  let stop sc =
+    Atomic.set sc.sc_stop true;
+    (match sc.sc_thread with Some th -> Thread.join th | None -> ());
+    sc.sc_thread <- None
+
+  let stats sc =
+    {
+      passes = Atomic.get sc.sc_passes;
+      files = Atomic.get sc.sc_files;
+      bytes = Atomic.get sc.sc_bytes;
+      errors_found = Atomic.get sc.sc_errors;
+      repairs = Atomic.get sc.sc_repairs;
+      quarantined = Atomic.get sc.sc_quarantined;
+      last_error = Atomic.get sc.sc_last;
+    }
+end

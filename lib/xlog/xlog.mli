@@ -244,3 +244,161 @@ val sync : t -> unit
 val close : t -> unit
 (** Waits for any background compaction, syncs and closes the WAL.
     Idempotent; further mutations raise [Invalid_argument]. *)
+
+(** {1 Snapshot transfer}
+
+    The re-seed path for a follower whose cursor fell behind WAL pruning
+    (or one starting from an empty directory): stream the primary's
+    latest checkpointed state, install it atomically, resume tailing.
+
+    A transfer {e stream} is a deterministic byte sequence derived from
+    one checkpoint: a manifest header, then the checkpoint file, the
+    base snapshot it names, and the WAL {e prefix} [0, c_wal_offset) of
+    file [c_wal_index] — exactly the bytes the checkpoint covers.
+    Records past that cut are not in the stream; they arrive through
+    normal tailing once the snapshot is installed.  Because every byte
+    is fixed once the checkpoint is written, a resume cursor is stable:
+    reconnecting mid-transfer continues at the same offset as long as
+    the token (the checkpoint's checksum in hex) still matches.
+
+    Installation is crash-safe by construction: bytes stage into
+    [xfer.tmp/]; on completion every staged file's own checksums are
+    verified, a [MANIFEST] naming the staged set is persisted, and the
+    directory is renamed to [xfer.ready/] (the commit point).  {!open_}
+    and {!reseed} run {!Transfer.install_ready} first, which replays a
+    committed install idempotently — [kill -9] anywhere leaves either
+    the old state or, after the rename, a completed install on the next
+    open.  Pre-commit debris is discarded. *)
+
+module Transfer : sig
+  type entry = { e_name : string; e_size : int }
+
+  type manifest = {
+    x_token : string;
+        (** identity of the snapshot: checkpoint checksum in hex
+            (["empty"] for a store with no checkpoint yet) *)
+    x_entries : entry list;
+    x_header : string;  (** encoded stream header (byte 0 onwards) *)
+    x_total : int;  (** total stream bytes, header included *)
+    x_wal_index : int;
+        (** WAL files [>= this] must survive pruning while the transfer
+            is live — what the sender pins via {!set_wal_retention} *)
+  }
+
+  val manifest_of_dir : string -> (manifest, string) result
+  (** Builds the stream description for a store directory's current
+      checkpoint.  Cheap — [stat] calls plus one checkpoint read, no
+      checksumming of data files (the receiver verifies those). *)
+
+  val read_slice : string -> manifest -> off:int -> len:int -> (string, string) result
+  (** [read_slice dir m ~off ~len] reads stream bytes [off, off+len)
+      (short only at the end of the stream).  [Error] when a file
+      changed under the manifest — rebuild and compare tokens. *)
+
+  type receiver
+
+  val recv_create : string -> receiver
+  (** Starts (or restarts) receiving into [dir/xfer.tmp], discarding any
+      previous staging state. *)
+
+  val recv_write : receiver -> string -> (unit, string) result
+  (** Feeds the next in-order chunk of stream bytes. *)
+
+  val recv_got : receiver -> int
+  (** Stream bytes consumed so far — the resume cursor. *)
+
+  val recv_finish : receiver -> (unit, string) result
+  (** The stream is complete: verify every staged file end to end
+      (checkpoint codec, snapshot region checksums, WAL record
+      checksums) and commit the staging directory to [xfer.ready].
+      After [Ok], {!install_ready} (or the next {!open_}) completes the
+      install even across crashes. *)
+
+  val recv_abort : receiver -> unit
+  (** Discards the staging directory. *)
+
+  val install_ready : string -> bool
+  (** Idempotently completes a committed install in [dir]: removes data
+      files the staged snapshot does not carry, moves the staged set in,
+      cleans up.  [true] iff a snapshot was installed.  Must not be
+      called on a directory with a live store handle — use {!reseed}
+      for that. *)
+end
+
+val reseed : t -> (unit, string) result
+(** Installs a committed snapshot ([xfer.ready], see {!Transfer}) into a
+    {e live} store handle: aborts the current WAL writer, runs the
+    install, and re-runs recovery in place — same [t], new state, and
+    the degraded flag (a quarantined scrub, a stranded cursor) is
+    cleared on success.  The caller must have quiesced local writers; a
+    re-seeding follower has none.  [Error] if no committed snapshot is
+    staged or a compaction is in flight. *)
+
+(** {1 Anti-entropy scrub}
+
+    Background re-verification of every at-rest checksum, so silent
+    corruption is found by the scrubber — not by the first query that
+    trips over it.  A failing pass {e quarantines} the store (degraded
+    state: mutations raise {!Degraded}, queries keep serving the
+    in-memory view, health reports the reason) and fires the repair
+    callback; a later clean pass — after a snapshot re-fetch from the
+    primary, say — lifts the quarantine and counts a repair. *)
+
+module Scrub : sig
+  type report = {
+    files_scanned : int;
+    bytes_scanned : int;
+    errors : (string * string) list;  (** (file, diagnosis), oldest first *)
+  }
+
+  val scrub_dir :
+    ?rate_mb_s:float ->
+    ?durable:int * int ->
+    string ->
+    report
+  (** One offline pass over a store directory: checkpoint header, base
+      snapshot regions, WAL record checksums.  [rate_mb_s] (default
+      unlimited) sleeps between files to bound read bandwidth.
+      [durable = (file, off)] marks the live fsync frontier: bytes past
+      it in the active WAL file are in flux and a tear there is not an
+      error (offline, a torn tail on the {e newest} file is recoverable
+      and also not an error — unless it sits behind the checkpoint's
+      covered offset, which proves those bytes were once durable; torn
+      middles always are). *)
+
+  val scrub_store : ?rate_mb_s:float -> t -> report
+  (** One pass over a live store.  Races with compaction are detected
+      (the checkpoint changed under the pass) and retried instead of
+      reported.  A persistent error quarantines the store: degraded
+      state is set to the first diagnosis, and the quarantine is sticky
+      — the automatic WAL-rotation recovery probe does {e not} lift it
+      (a working disk says nothing about bit rot).  Only a later clean
+      pass or a {!reseed} does. *)
+
+  type stats = {
+    passes : int;
+    files : int;  (** cumulative files scanned *)
+    bytes : int;  (** cumulative bytes scanned *)
+    errors_found : int;
+    repairs : int;  (** quarantines lifted by a later clean pass *)
+    quarantined : bool;
+    last_error : string;  (** "" if the latest pass was clean *)
+  }
+
+  type scrubber
+
+  val create :
+    ?interval:float -> ?rate_mb_s:float -> ?log:(string -> unit) -> t -> scrubber
+  (** A periodic scrubber over a live store.  [interval] (default 60s)
+      between passes, [rate_mb_s] (default 32) read-bandwidth cap. *)
+
+  val set_repair : scrubber -> (string -> unit) -> unit
+  (** Called (with the diagnosis) when a pass quarantines the store —
+      the hook a peer-connected node uses to request a snapshot re-fetch
+      from its primary. *)
+
+  val start : scrubber -> unit
+  val stop : scrubber -> unit
+  val run_once : scrubber -> report
+  val stats : scrubber -> stats
+end

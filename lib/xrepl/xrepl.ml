@@ -86,7 +86,16 @@ module Node = struct
     mutable epoch : int;
     mutable leader : string;  (* known primary endpoint, "" unknown *)
     mutable lag : int * int;  (* (records, bytes) behind the primary *)
+    mutable watermark : int * Xlog.Wal.position;
+        (* the primary's (next_id, durable) per its last heartbeat —
+           lag is recomputed against it after every applied batch, so a
+           caught-up follower reads 0 without waiting for the next
+           heartbeat *)
     mutable err : string option;
+    mutable reseed_req : bool;
+        (* a repair (scrub quarantine, operator) asked for a full
+           re-seed from the primary before the next subscription *)
+    mutable reseeds : int;  (* completed snapshot installs *)
     mutable stop_flag : bool;
     mutable thread : Thread.t option;
     mutable sub_fd : Unix.file_descr option;
@@ -122,7 +131,10 @@ module Node = struct
         epoch;
         leader = Option.value cfg.follow ~default:"";
         lag = (0, 0);
+        watermark = (0, Xlog.Wal.start_position);
         err = None;
+        reseed_req = false;
+        reseeds = 0;
         stop_flag = false;
         thread = None;
         sub_fd = None;
@@ -134,7 +146,22 @@ module Node = struct
   let role t = locked t (fun () -> t.role)
   let epoch t = locked t (fun () -> t.epoch)
   let lag t = locked t (fun () -> t.lag)
+
+  (* [t.m] held.  Distance to the primary's last announced watermark;
+     bytes only compare within the same file (cross-file gaps are
+     reported in records). *)
+  let update_lag_locked t =
+    let pn, pd = t.watermark in
+    let local = Xlog.wal_durable_position t.log in
+    let bytes =
+      if pd.Xlog.Wal.file = local.Xlog.Wal.file then
+        max 0 (pd.Xlog.Wal.off - local.Xlog.Wal.off)
+      else 0
+    in
+    t.lag <- (max 0 (pn - Xlog.next_id t.log), bytes)
   let last_error t = locked t (fun () -> t.err)
+  let reseeds t = locked t (fun () -> t.reseeds)
+  let request_reseed t = locked t (fun () -> t.reseed_req <- true)
 
   let leader_hint t =
     locked t (fun () -> match t.role with `Primary -> "" | `Follower -> t.leader)
@@ -263,6 +290,7 @@ module Node = struct
             if e > mine then observe_epoch t e;
             match Xlog.replica_apply t.log ~from ~next records with
             | Ok durable -> (
+              locked t (fun () -> update_lag_locked t);
               match
                 P.write_frame fd (P.encode_request (P.Wal_ack { pos = durable }))
               with
@@ -282,24 +310,18 @@ module Node = struct
           if e < mine then finish `Refused
           else begin
             if e > mine then observe_epoch t e;
-            let local = Xlog.wal_durable_position t.log in
-            let bytes =
-              if durable.Xlog.Wal.file = local.Xlog.Wal.file then
-                max 0 (durable.Xlog.Wal.off - local.Xlog.Wal.off)
-              else 0
-            in
             locked t (fun () ->
-                t.lag <- (max 0 (next_id - Xlog.next_id t.log), bytes);
+                t.watermark <- (next_id, durable);
+                update_lag_locked t;
                 t.err <- None);
             recv_loop ()
           end
         | P.Error { code = P.Not_primary; message = hint } ->
           finish (`Redirect hint)
         | P.Error { code = P.Pruned; message } ->
-          finish
-            (`Fatal
-               ("subscription position pruned — re-seed this follower from \
-                 a primary snapshot: " ^ message))
+          (* the primary compacted past our cursor: WAL replay cannot
+             reach us any more — fall back to a snapshot transfer *)
+          finish (`Reseed message)
         | P.Error { code; message } ->
           locked t (fun () ->
               t.err <-
@@ -374,6 +396,42 @@ module Node = struct
         | Error m ->
           locked t (fun () -> t.err <- Some ("auto-promotion failed: " ^ m))
 
+  (* --- snapshot re-seed ---------------------------------------------------- *)
+
+  let reseed_policy =
+    {
+      Client.default_policy with
+      attempts = 5;
+      connect_timeout_ms = 2000;
+      request_timeout_ms = 0;
+    }
+
+  (* Pull the primary's latest checkpoint into the staging area
+     ([Client.fetch_snapshot] resumes across transport failures and
+     commits to [xfer.ready]), then install it over the live store.
+     On success the WAL cursor is the snapshot cut: the next
+     subscription resumes tailing exactly where the stream stopped. *)
+  let reseed_from t ep =
+    match Server.addr_of_string ep with
+    | Error m -> Error (Printf.sprintf "reseed: bad endpoint %S: %s" ep m)
+    | Ok addr -> (
+      match Client.connect ~policy:reseed_policy addr with
+      | exception e -> Error ("reseed: " ^ Printexc.to_string e)
+      | c ->
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.fetch_snapshot c ~dir:(Xlog.dir t.log) with
+            | exception e -> Error ("reseed fetch: " ^ Printexc.to_string e)
+            | _bytes -> (
+              match Xlog.reseed t.log with
+              | Ok () ->
+                locked t (fun () ->
+                    t.reseeds <- t.reseeds + 1;
+                    t.err <- None);
+                Ok ()
+              | Error m -> Error ("reseed install: " ^ m))))
+
   (* --- lifecycle ---------------------------------------------------------- *)
 
   let run t =
@@ -402,7 +460,17 @@ module Node = struct
           retry ()
         end
         else
-          match follow_once t target with
+          let wants_reseed =
+            locked t (fun () ->
+                let w = t.reseed_req in
+                t.reseed_req <- false;
+                w)
+          in
+          let verdict =
+            if wants_reseed then `Reseed "repair requested"
+            else follow_once t target
+          in
+          match verdict with
           | `Stopped -> ()
           | `Redirect hint ->
             locked t (fun () -> t.leader <- hint);
@@ -415,6 +483,15 @@ module Node = struct
           | `Silent | `Dead ->
             if t.cfg.auto_promote then try_elect t;
             retry ()
+          | `Reseed why -> (
+            locked t (fun () ->
+                t.err <- Some ("re-seeding from " ^ target ^ ": " ^ why));
+            match reseed_from t target with
+            | Ok () -> ()  (* loop: resubscribe from the snapshot cut *)
+            | Error m ->
+              locked t (fun () -> t.err <- Some m);
+              retry ();
+              retry ())
           | `Fatal msg ->
             locked t (fun () -> t.err <- Some msg);
             retry ();

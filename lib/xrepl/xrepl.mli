@@ -106,5 +106,21 @@ module Node : sig
 
   val last_error : t -> string option
   (** Sticky diagnostic of the last replication failure needing an
-      operator (e.g. a pruned subscription that requires re-seeding). *)
+      operator (e.g. a reseed attempt that could not reach the
+      primary). *)
+
+  val request_reseed : t -> unit
+  (** Asks the follower thread to replace its store with a fresh
+      primary snapshot before the next subscription — the scrub
+      repair hook: a quarantined region that re-verification cannot
+      clear is healed by re-fetching the whole checkpoint.  No-op on a
+      primary (the flag is consumed only while following). *)
+
+  val reseeds : t -> int
+  (** Completed snapshot installs over this node's lifetime.  A
+      follower whose subscription position was pruned by the primary
+      (or that was asked via {!request_reseed}) streams the primary's
+      latest checkpoint ({!Xserver.Client.fetch_snapshot}), installs
+      it atomically ({!Xlog.reseed}) and resumes WAL tailing from the
+      snapshot cut — this counts those round trips. *)
 end

@@ -125,6 +125,9 @@ let connect ?(policy = default_policy) ?seed (addr : Server.addr) =
 let idempotent = function
   | P.Ping | P.Query _ | P.Query_batch _ | P.Stats | P.Health | P.Unknown _
   | P.Repl_status | P.Query_bounded _ -> true
+  (* Re-requesting a snapshot stream restarts (or resumes) it — the
+     receiver's cursor makes the replay safe. *)
+  | P.Fetch_snapshot _ -> true
   (* Promote is idempotent by contract: promoting a primary again just
      answers its current epoch. *)
   | P.Promote -> true
@@ -299,6 +302,8 @@ type repl_state = {
   durable : Xlog.Wal.position;
   repl_next_id : int;
   leader_hint : string;
+  lag_records : int;
+  lag_bytes : int;
 }
 
 let promote ?timeout_ms t =
@@ -308,9 +313,112 @@ let promote ?timeout_ms t =
 
 let repl_status ?timeout_ms t =
   match roundtrip ?timeout_ms t P.Repl_status with
-  | P.Repl_state { role; epoch; durable; next_id; leader_hint } ->
-    { role; epoch; durable; repl_next_id = next_id; leader_hint }
+  | P.Repl_state
+      { role; epoch; durable; next_id; leader_hint; lag_records; lag_bytes } ->
+    { role; epoch; durable; repl_next_id = next_id; leader_hint; lag_records;
+      lag_bytes }
   | _ -> unexpected "repl_status"
+
+(* --- snapshot transfer ----------------------------------------------------- *)
+
+(* Stream the server's snapshot into [dir]'s staging area and commit it
+   ([Xlog.Transfer.recv_finish]); the caller (or the next [Xlog.open_])
+   installs it.  Resumes across transport failures from the receiver's
+   own cursor; a token change (the server checkpointed meanwhile)
+   restarts the staging from scratch. *)
+let fetch_snapshot ?(timeout_ms = 0) t ~dir =
+  if t.closed then raise (Protocol_error "connection is closed");
+  let rv = ref (Xlog.Transfer.recv_create dir) in
+  let token = ref "" in
+  let rec attempt used =
+    match
+      let fd =
+        match t.fd with
+        | Some fd -> fd
+        | None ->
+          let fd = connect_fd ~timeout_ms:t.policy.connect_timeout_ms t.addr in
+          t.fd <- Some fd;
+          fd
+      in
+      set_io_timeout fd (if timeout_ms > 0 then timeout_ms else max_int);
+      P.write_frame fd
+        (P.encode_request
+           (P.Fetch_snapshot
+              { token = !token; cursor = Xlog.Transfer.recv_got !rv }));
+      let rec read_chunks () =
+        match P.read_frame fd with
+        | Error P.Eof | Error P.Truncated ->
+          raise (Transport "connection lost mid-transfer")
+        | Error (P.Bad_header m) ->
+          raise (Protocol_error ("bad response frame: " ^ m))
+        | Ok frame -> (
+          match P.decode_response frame with
+          | Error m -> raise (Protocol_error ("malformed response: " ^ m))
+          | Ok (P.Error { code; message }) ->
+            raise (Server_error (code, message))
+          | Ok (P.Snapshot_chunk { token = tk; offset; last; crc; data; _ })
+            ->
+            if not (String.equal tk !token) then begin
+              (* A different snapshot than the one we were resuming:
+                 discard partial state and restart under the new
+                 token. *)
+              token := tk;
+              if Xlog.Transfer.recv_got !rv > 0 then begin
+                Xlog.Transfer.recv_abort !rv;
+                rv := Xlog.Transfer.recv_create dir
+              end
+            end;
+            if offset <> Xlog.Transfer.recv_got !rv then
+              raise
+                (Protocol_error
+                   (Printf.sprintf
+                      "snapshot chunk at offset %d, expected %d" offset
+                      (Xlog.Transfer.recv_got !rv)));
+            if
+              not
+                (Int64.equal crc
+                   (Xstorage.Store.checksum_string data 0
+                      (String.length data)))
+            then raise (Transport "snapshot chunk failed its checksum");
+            (match Xlog.Transfer.recv_write !rv data with
+            | Ok () -> ()
+            | Error m -> raise (Protocol_error ("snapshot stream: " ^ m)));
+            if last then
+              match Xlog.Transfer.recv_finish !rv with
+              | Ok () -> ()
+              | Error m -> raise (Protocol_error ("snapshot verify: " ^ m))
+            else read_chunks ()
+          | Ok _ -> unexpected "fetch_snapshot")
+      in
+      read_chunks ()
+    with
+    | () ->
+      t.prev_sleep_ms <- 0;
+      Xlog.Transfer.recv_got !rv
+    | exception e ->
+      kill t;
+      let retryable =
+        match e with
+        | Transport _ -> true
+        | Unix.Unix_error (errno, _, _) -> retryable_errno errno
+        | _ -> false
+      in
+      if retryable && used + 1 < t.policy.attempts then begin
+        let sleep =
+          Backoff.next t.policy.backoff t.rng ~prev_ms:t.prev_sleep_ms
+        in
+        t.prev_sleep_ms <- sleep;
+        if sleep > 0 then Thread.delay (float_of_int sleep /. 1000.);
+        attempt (used + 1)
+      end
+      else begin
+        Xlog.Transfer.recv_abort !rv;
+        match e with
+        | Transport msg -> raise (Protocol_error msg)
+        | e -> raise e
+      end
+  in
+  attempt 0
 
 let query_bounded ?(timeout_ms = 0) ~min_gen t xpath =
   match roundtrip ~timeout_ms t (P.Query_bounded { xpath; timeout_ms; min_gen }) with

@@ -136,6 +136,10 @@ type repl_state = {
   durable : Xlog.Wal.position;  (** the node's fsynced log end *)
   repl_next_id : int;  (** id watermark — the staleness generation *)
   leader_hint : string;  (** known primary endpoint, "" if none/self *)
+  lag_records : int;
+      (** WAL records this node trails its primary's durable position by
+          (0 on a primary) — the stalled-subscription gauge *)
+  lag_bytes : int;  (** same lag in bytes *)
 }
 
 val promote : ?timeout_ms:int -> t -> int
@@ -148,6 +152,18 @@ val query_bounded : ?timeout_ms:int -> min_gen:int -> t -> string -> int * int l
 (** Bounded-staleness read: the node answers only if it has applied at
     least [min_gen] document ids; otherwise it raises {!Server_error}
     with [Protocol.Not_primary] whose message is the leader hint. *)
+
+val fetch_snapshot : ?timeout_ms:int -> t -> dir:string -> int
+(** Streams the server's latest snapshot into [dir]'s staging area
+    ([xfer.tmp]), verifies it and commits it to [xfer.ready]
+    ({!Xlog.Transfer.recv_finish}); returns the stream bytes received.
+    The snapshot is {e not} installed — the next [Xlog.open_] on [dir]
+    (or [Xlog.reseed] on a live handle) completes the install, which is
+    the crash-safe half of the contract.  Transport failures resume
+    from the receiver's cursor (up to [policy.attempts]); a server that
+    checkpointed mid-transfer restarts the staging under its new token.
+    @raise Server_error when the server refuses (not a live store, or
+    the stream raced a compaction — retry from the top). *)
 
 (** {1 Pipelining}
 

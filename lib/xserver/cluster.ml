@@ -12,6 +12,8 @@ type member = {
 type t = {
   policy : Client.policy;
   seed : int option;
+  rng : Random.State.t;  (** failover-window backoff jitter *)
+  mutable prev_ms : int;  (** last failover sleep, 0 = fresh schedule *)
   mutable members : member array;
   mutable rr : int;  (** read fan-out rotation *)
   mutable leader_idx : int option;  (** last proven/hinted primary *)
@@ -31,10 +33,19 @@ let create ?(policy = Client.default_policy) ?seed eps =
     match parse [] eps with
     | Error m -> Error m
     | Ok members ->
+      let rng =
+        match seed with
+        | Some s -> Random.State.make [| s; 0x636c7573 |]
+        | None ->
+          Random.State.make
+            [| Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) |]
+      in
       Ok
         {
           policy;
           seed;
+          rng;
+          prev_ms = 0;
           members = Array.of_list members;
           rr = 0;
           leader_idx = None;
@@ -233,9 +244,12 @@ let mutate ?(timeout_ms = 0) t ~what op =
   let deadline = Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.) in
   let rec rounds () =
     match mutate_round t op with
-    | Some v -> v
+    | Some v ->
+      t.prev_ms <- 0;
+      v
     | None ->
-      if Unix.gettimeofday () >= deadline then
+      let now = Unix.gettimeofday () in
+      if now >= deadline then
         raise
           (Failure
              (Printf.sprintf
@@ -244,8 +258,17 @@ let mutate ?(timeout_ms = 0) t ~what op =
                 what budget_ms))
       else begin
         (* Failover window: the old primary is gone and nobody has been
-           promoted yet.  Poll gently until someone is. *)
-        Thread.delay 0.1;
+           promoted yet.  Back off with jitter (the same decorrelated
+           schedule single-endpoint retries use) so a fleet of writers
+           doesn't hammer the survivors in lockstep, bounded by the
+           remaining deadline. *)
+        let sleep_ms =
+          Backoff.next t.policy.Client.backoff t.rng ~prev_ms:t.prev_ms
+        in
+        t.prev_ms <- sleep_ms;
+        let remaining_ms = int_of_float ((deadline -. now) *. 1000.) in
+        let sleep_ms = max 1 (min sleep_ms remaining_ms) in
+        Thread.delay (float_of_int sleep_ms /. 1000.);
         rounds ()
       end
   in

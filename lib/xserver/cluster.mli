@@ -21,9 +21,12 @@
       request may have reached a server propagates as indeterminate,
       exactly like {!Client}.
     - During a failover window (old primary dead, new one not yet
-      promoted) mutations poll the group with a short sleep between
-      rounds until the deadline expires — reads never stall on
-      promotion, they just prefer whoever answers.
+      promoted) mutations poll the group, sleeping between rounds per
+      the policy's {!Backoff} schedule (decorrelated jitter, reset on
+      the first round that lands) until the deadline expires — so a
+      fleet of writers spreads out instead of hammering the survivors
+      in lockstep.  Reads never stall on promotion, they just prefer
+      whoever answers.  [?seed] fixes the jitter stream for tests.
 
     Not thread-safe (it wraps per-endpoint {!Client.t}s, which are
     not): give each thread its own cluster handle. *)

@@ -46,6 +46,7 @@ type request =
   | Promote
   | Repl_status
   | Query_bounded of { xpath : string; timeout_ms : int; min_gen : int }
+  | Fetch_snapshot of { token : string; cursor : int }
   | Unknown of { op : int }
 
 type response =
@@ -79,6 +80,16 @@ type response =
       durable : Xlog.Wal.position;
       next_id : int;
       leader_hint : string;
+      lag_records : int;
+      lag_bytes : int;
+    }
+  | Snapshot_chunk of {
+      token : string;
+      total : int;
+      offset : int;
+      last : bool;
+      crc : int64;
+      data : string;
     }
 
 (* --- opcodes -------------------------------------------------------------- *)
@@ -97,6 +108,7 @@ let op_wal_ack = 0x0a
 let op_promote = 0x0b
 let op_repl_status = 0x0c
 let op_query_bounded = 0x0d
+let op_fetch_snapshot = 0x0e
 let op_pong = 0x80
 let op_result = 0x81
 let op_batch_result = 0x82
@@ -111,6 +123,7 @@ let op_wal_batch = 0x8a
 let op_repl_heartbeat = 0x8b
 let op_promoted = 0x8c
 let op_repl_state = 0x8d
+let op_snapshot_chunk = 0x8e
 
 let code_to_int = function
   | Bad_request -> 0
@@ -126,6 +139,9 @@ let code_to_int = function
 
 let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
 let add_u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+(* Raw 64-bit value — checksums use every bit, including the sign. *)
+let add_i64 b (v : int64) = Buffer.add_int64_le b v
 
 let add_str b s =
   add_u32 b (String.length s);
@@ -204,6 +220,11 @@ let encode_request = function
            add_u32 b timeout_ms;
            add_u64 b min_gen;
            add_str b xpath))
+  | Fetch_snapshot { token; cursor } ->
+    frame op_fetch_snapshot
+      (payload_of (fun b ->
+           add_u64 b cursor;
+           add_str b token))
   | Unknown { op } ->
     (* Mostly for tests probing forward-compatibility: a well-formed
        frame carrying an opcode this build does not dispatch. *)
@@ -259,14 +280,25 @@ let response_parts = function
           add_pos b durable;
           add_u64 b next_id) )
   | Promoted { epoch } -> (op_promoted, payload_of (fun b -> add_u64 b epoch))
-  | Repl_state { role; epoch; durable; next_id; leader_hint } ->
+  | Repl_state { role; epoch; durable; next_id; leader_hint; lag_records; lag_bytes } ->
     ( op_repl_state,
       payload_of (fun b ->
           Buffer.add_uint8 b (match role with `Primary -> 0 | `Follower -> 1);
           add_u64 b epoch;
           add_pos b durable;
           add_u64 b next_id;
-          add_str b leader_hint) )
+          add_str b leader_hint;
+          add_u64 b lag_records;
+          add_u64 b lag_bytes) )
+  | Snapshot_chunk { token; total; offset; last; crc; data } ->
+    ( op_snapshot_chunk,
+      payload_of (fun b ->
+          add_str b token;
+          add_u64 b total;
+          add_u64 b offset;
+          Buffer.add_uint8 b (if last then 1 else 0);
+          add_i64 b crc;
+          add_str b data) )
 
 let encode_response r =
   let op, payload = response_parts r in
@@ -307,6 +339,12 @@ let u64 c =
      only come from a corrupt or hostile frame: ids are non-negative
      and fit 62 bits by construction. *)
   if v < 0 then bad "negative field %d at %d" v (c.pos - 8);
+  v
+
+let i64 c =
+  if c.pos + 8 > c.limit then bad "truncated frame (i64 at %d)" c.pos;
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
   v
 
 let str c =
@@ -391,6 +429,11 @@ let decode_request s =
       let min_gen = u64 c in
       let xpath = str c in
       finish c (Query_bounded { xpath; timeout_ms; min_gen })
+    end
+    else if op = op_fetch_snapshot then begin
+      let cursor = u64 c in
+      let token = str c in
+      finish c (Fetch_snapshot { token; cursor })
     end
     else
       (* Forward compatibility: a well-formed frame with a request
@@ -494,7 +537,28 @@ let decode_response s =
       let durable = pos_field c in
       let next_id = u64 c in
       let leader_hint = str c in
-      finish c (Repl_state { role; epoch; durable; next_id; leader_hint })
+      let lag_records = u64 c in
+      let lag_bytes = u64 c in
+      finish c
+        (Repl_state
+           { role; epoch; durable; next_id; leader_hint; lag_records; lag_bytes })
+    end
+    else if op = op_snapshot_chunk then begin
+      let token = str c in
+      let total = u64 c in
+      let offset = u64 c in
+      let last =
+        match u8 c with
+        | 0 -> false
+        | 1 -> true
+        | t -> bad "bad boolean tag %d in Snapshot_chunk" t
+      in
+      let crc = i64 c in
+      let data = str c in
+      if offset + String.length data > total then
+        bad "chunk at %d + %d bytes overruns the announced %d-byte stream"
+          offset (String.length data) total;
+      finish c (Snapshot_chunk { token; total; offset; last; crc; data })
     end
     else bad "unknown response opcode 0x%02x" op
   with

@@ -101,6 +101,16 @@ type request =
           asked for data it may not have yet — answers
           {!error_code.Not_primary} with the leader hint so the client
           can redirect) *)
+  | Fetch_snapshot of { token : string; cursor : int }
+      (** snapshot transfer: stream the serving store's latest durable
+          snapshot (checkpoint + base files + retained WAL) from byte
+          [cursor] of the transfer stream.  The server pushes
+          {!response.Snapshot_chunk} frames until the stream ends, under
+          the same write-side backpressure as every other push.  [token]
+          identifies the snapshot being resumed ([""] on a first fetch);
+          a server whose current snapshot differs answers with its own
+          token and a chunk at offset 0 — the client must discard
+          partial state and restart *)
   | Unknown of { op : int }
       (** a {e well-formed} frame whose request opcode this build does
           not know.  Decoding yields this rather than [Error] so the
@@ -152,7 +162,24 @@ type response =
       next_id : int;
       leader_hint : string;  (** endpoint of the known primary, "" if
                                  this node is it or none is known *)
+      lag_records : int;
+          (** WAL records this node trails its primary's durable
+              position by (0 on a primary) *)
+      lag_bytes : int;  (** same lag in bytes *)
     }  (** answer to {!request.Repl_status} *)
+  | Snapshot_chunk of {
+      token : string;
+          (** identity of the snapshot this chunk belongs to; changes
+              when the primary checkpoints mid-transfer — a client
+              holding a different token must restart from offset 0 *)
+      total : int;  (** total bytes in the transfer stream *)
+      offset : int;  (** where [data] sits in the stream *)
+      last : bool;  (** final chunk of the stream *)
+      crc : int64;  (** FNV-1a 64 of [data] — transport-level check;
+                        the installed files re-verify their own
+                        checksums end to end *)
+      data : string;
+    }  (** one slice of a snapshot transfer ({!request.Fetch_snapshot}) *)
 
 (** {1 Codec} *)
 

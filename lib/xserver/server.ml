@@ -118,6 +118,9 @@ type config = {
   snapshot_mode : Xstorage.Store.mode;
   snapshot_pool_pages : int;
   repl : repl_hooks option;
+  scrub : Xlog.Scrub.scrubber option;
+      (** an anti-entropy scrubber whose counters belong in Stats JSON;
+          the server only reports it — start/stop stay with the owner *)
 }
 
 let default_config =
@@ -133,6 +136,7 @@ let default_config =
     snapshot_mode = Xstorage.Store.Resident;
     snapshot_pool_pages = 256;
     repl = None;
+    scrub = None;
   }
 
 (* What a request executes against: one [Atomic.get] pins the backend
@@ -185,7 +189,20 @@ type conn = {
       (** [Some _] once the peer subscribed to the WAL stream: the
           connection has left the request/response model — the server
           pushes batches and heartbeats, the peer sends only acks *)
+  mutable c_xfer : xfer option;
+      (** [Some _] while a snapshot transfer is streaming out: chunks
+          refill the output queue as the kernel drains it, under the
+          same high-water mark as every other push *)
   c_loop : loop;
+}
+
+(* One outbound snapshot transfer.  Owned by the connection's loop
+   thread; the transfer {e list} (WAL retention pinning) is shared and
+   guarded by [repl.rp_m]. *)
+and xfer = {
+  xf_dir : string;
+  xf_manifest : Xlog.Transfer.manifest;
+  mutable xf_offset : int;  (** next stream byte to ship *)
 }
 
 (* One live WAL subscription.  Owned by the connection's loop thread
@@ -238,9 +255,12 @@ type waiter = {
 
 type repl = {
   rp_hooks : repl_hooks;
-  rp_m : Mutex.t;  (** guards [rp_subs] and [rp_waiters] *)
+  rp_m : Mutex.t;  (** guards [rp_subs], [rp_waiters] and [rp_xfers] *)
   mutable rp_subs : sub list;
   mutable rp_waiters : waiter list;
+  mutable rp_xfers : xfer list;
+      (** live snapshot transfers: their manifests pin the WAL file the
+          stream still has to read through the retention hook *)
 }
 
 type t = {
@@ -301,21 +321,28 @@ let create ?(config = default_config) source =
             store (Live log)");
       let r =
         { rp_hooks = hooks; rp_m = Mutex.create (); rp_subs = [];
-          rp_waiters = [] }
+          rp_waiters = []; rp_xfers = [] }
       in
       (* Live subscriptions pin the WAL files they still have to read:
          pruning past a cursor is survivable (Position_pruned + re-seed)
-         but never free, so checkpoints keep them. *)
+         but never free, so checkpoints keep them.  Snapshot transfers
+         pin the file their manifest's WAL prefix lives in — pruning it
+         mid-stream would only force the fetcher to restart. *)
       Xlog.set_wal_retention hooks.repl_log (fun () ->
           Mutex.lock r.rp_m;
+          let min_opt acc f =
+            match acc with None -> Some f | Some g -> Some (min g f)
+          in
           let keep =
             List.fold_left
-              (fun acc s ->
-                let f = s.s_cursor.Xlog.Wal.file in
-                match acc with
-                | None -> Some f
-                | Some g -> Some (min g f))
+              (fun acc s -> min_opt acc s.s_cursor.Xlog.Wal.file)
               None r.rp_subs
+          in
+          let keep =
+            List.fold_left
+              (fun acc x ->
+                min_opt acc x.xf_manifest.Xlog.Transfer.x_wal_index)
+              keep r.rp_xfers
           in
           Mutex.unlock r.rp_m;
           keep);
@@ -567,6 +594,22 @@ let stats_json t =
             lag_records lag_bytes );
       ]
   in
+  let scrub_extra =
+    match t.config.scrub with
+    | None -> []
+    | Some sc ->
+      let s = Xlog.Scrub.stats sc in
+      [
+        ( "scrub",
+          Printf.sprintf
+            "{\"passes\": %d, \"files\": %d, \"bytes\": %d, \
+             \"errors_found\": %d, \"repairs\": %d, \"quarantined\": %b, \
+             \"last_error\": %S}"
+            s.Xlog.Scrub.passes s.Xlog.Scrub.files s.Xlog.Scrub.bytes
+            s.Xlog.Scrub.errors_found s.Xlog.Scrub.repairs
+            s.Xlog.Scrub.quarantined s.Xlog.Scrub.last_error );
+      ]
+  in
   let event_backend =
     if Array.length t.loops > 0 then Ev.backend_name t.loops.(0).l_ev
     else "none"
@@ -595,7 +638,7 @@ let stats_json t =
             "{\"page_reads\": %d, \"page_hits\": %d, \"pool_pages\": %d}"
             page_reads page_hits pool_pages );
       ]
-      @ live_extra @ repl_extra)
+      @ live_extra @ repl_extra @ scrub_extra)
     t.metrics
 
 (* --- non-query dispatch ---------------------------------------------------- *)
@@ -641,6 +684,7 @@ let op_name : P.request -> string = function
   | P.Promote -> "promote"
   | P.Repl_status -> "repl_status"
   | P.Query_bounded _ -> "query_bounded"
+  | P.Fetch_snapshot _ -> "fetch_snapshot"
   | P.Unknown _ -> "unknown"
 
 (* [Some hint] when this node is a replication follower: mutations are
@@ -789,6 +833,7 @@ let run_op t (req : P.request) : P.response =
      | None -> err P.Unsupported "this server has no replication role"
      | Some r ->
        let h = r.rp_hooks in
+       let lag_records, lag_bytes = h.repl_lag () in
        P.Repl_state
          {
            role = h.repl_role ();
@@ -796,8 +841,10 @@ let run_op t (req : P.request) : P.response =
            durable = Xlog.wal_durable_position h.repl_log;
            next_id = Xlog.next_id h.repl_log;
            leader_hint = h.repl_leader_hint ();
+           lag_records;
+           lag_bytes;
          })
-  | P.Subscribe _ | P.Wal_ack _ | P.Query_bounded _ ->
+  | P.Subscribe _ | P.Wal_ack _ | P.Query_bounded _ | P.Fetch_snapshot _ ->
     (* handled inline on the loop thread, never here *)
     err P.Server_error "internal: replication op reached run_op"
   | P.Unknown { op } ->
@@ -863,6 +910,11 @@ let tick_ms = 250 (* loop wait bound so the stop flag is noticed promptly *)
    ever gets near it. *)
 let outq_hwm = 1 lsl 20
 
+(* Snapshot-transfer chunk size: a few chunks fit under [outq_hwm], so
+   the stream refills in kernel-drain-sized steps without ever parking
+   more than the mark. *)
+let xfer_chunk = 256 * 1024
+
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let close_conn t c =
@@ -878,6 +930,16 @@ let close_conn t c =
        r.rp_subs <- List.filter (fun s -> s != sub) r.rp_subs;
        Mutex.unlock r.rp_m
      | _ -> ());
+    (match c.c_xfer with
+     | Some xf ->
+       c.c_xfer <- None;
+       (match t.repl with
+        | Some r ->
+          Mutex.lock r.rp_m;
+          r.rp_xfers <- List.filter (fun x -> x != xf) r.rp_xfers;
+          Mutex.unlock r.rp_m
+        | None -> ())
+     | None -> ());
     Ev.remove c.c_loop.l_ev c.c_fd;
     Hashtbl.remove c.c_loop.l_conns c.c_fd;
     close_quietly c.c_fd;
@@ -973,6 +1035,16 @@ let rec try_write t c =
       end
     in
     go ();
+    (* A live snapshot transfer refills the output queue as the kernel
+       drains it: produce strictly behind the backpressure mark, write,
+       repeat until the mark is hit or the stream ends. *)
+    let continue = ref (c.c_xfer <> None) in
+    while
+      !continue && (not c.c_closed) && c.c_outq_bytes <= outq_hwm
+      && c.c_xfer <> None
+    do
+      if fill_xfer t c then go () else continue := false
+    done;
     maybe_resume t c;
     update_interest t c
   end
@@ -1109,6 +1181,8 @@ and handle_frame t c frame =
       dispatch_query t c ~timeout_ms ~batch:true xpaths
     | P.Subscribe { epoch; pos } -> handle_subscribe t c ~epoch ~pos
     | P.Wal_ack { pos } -> handle_wal_ack t c pos
+    | P.Fetch_snapshot { token; cursor } ->
+      handle_fetch_snapshot t c ~token ~cursor
     | P.Query_bounded { xpath; timeout_ms; min_gen } -> (
       (* The staleness guard runs on the loop thread — it is one atomic
          id-watermark read; only queries that pass pay admission. *)
@@ -1212,6 +1286,110 @@ and drop_sub r sub =
   Mutex.lock r.rp_m;
   r.rp_subs <- List.filter (fun s -> s != sub) r.rp_subs;
   Mutex.unlock r.rp_m
+
+(* --- snapshot transfer (sender side) ---------------------------------- *)
+
+and unpin_xfer t xf =
+  match t.repl with
+  | Some r ->
+    Mutex.lock r.rp_m;
+    r.rp_xfers <- List.filter (fun x -> x != xf) r.rp_xfers;
+    Mutex.unlock r.rp_m
+  | None -> ()
+
+(* Enqueue stream chunks up to the backpressure mark.  No socket calls
+   here — the caller ([try_write]) owns the write side.  [true] iff
+   anything was enqueued. *)
+and fill_xfer t c =
+  match c.c_xfer with
+  | None -> false
+  | Some xf ->
+    let m = xf.xf_manifest in
+    let filled = ref false in
+    let continue = ref true in
+    while !continue && (not c.c_closed) && c.c_outq_bytes <= outq_hwm do
+      let len = min xfer_chunk (m.Xlog.Transfer.x_total - xf.xf_offset) in
+      match Xlog.Transfer.read_slice xf.xf_dir m ~off:xf.xf_offset ~len with
+      | Error msg ->
+        (* The files moved under the manifest (a compaction pruned the
+           WAL prefix mid-stream): fail this transfer; the fetcher
+           re-requests and restarts under a fresh token. *)
+        push_response t c (err P.Server_error "snapshot transfer: %s" msg);
+        c.c_xfer <- None;
+        unpin_xfer t xf;
+        filled := true;
+        continue := false
+      | Ok data ->
+        let dlen = String.length data in
+        let last = xf.xf_offset + dlen >= m.Xlog.Transfer.x_total in
+        push_response t c
+          (P.Snapshot_chunk
+             {
+               token = m.Xlog.Transfer.x_token;
+               total = m.Xlog.Transfer.x_total;
+               offset = xf.xf_offset;
+               last;
+               crc = Xstorage.Store.checksum_string data 0 dlen;
+               data;
+             });
+        xf.xf_offset <- xf.xf_offset + dlen;
+        filled := true;
+        if last then begin
+          c.c_xfer <- None;
+          unpin_xfer t xf;
+          continue := false
+        end
+    done;
+    !filled
+
+and handle_fetch_snapshot t c ~token ~cursor =
+  let answer resp =
+    let s =
+      { sl_op = "fetch_snapshot"; sl_t0 = Unix.gettimeofday ();
+        sl_resp = Atomic.make None }
+    in
+    Queue.push s c.c_slots;
+    complete t c s resp
+  in
+  if c.c_sub <> None then
+    answer (err P.Bad_request "connection is subscribed to the WAL stream")
+  else
+    match (Atomic.get t.serving).backend with
+    | B_index _ | B_shard _ ->
+      answer
+        (err P.Unsupported "snapshot transfer requires serving a live store")
+    | B_live log -> (
+      (* A re-request supersedes any transfer already streaming on this
+         connection — the resume/restart decision is the client's. *)
+      (match c.c_xfer with
+       | Some xf ->
+         c.c_xfer <- None;
+         unpin_xfer t xf
+       | None -> ());
+      let dir = Xlog.dir log in
+      match Xlog.Transfer.manifest_of_dir dir with
+      | Error m -> answer (err P.Server_error "snapshot transfer: %s" m)
+      | Ok man ->
+        (* Resume only when the fetcher holds the current snapshot's
+           token and a sane cursor; anything else restarts at 0 under
+           the (possibly new) token. *)
+        let offset =
+          if
+            String.equal token man.Xlog.Transfer.x_token
+            && cursor >= 0
+            && cursor <= man.Xlog.Transfer.x_total
+          then cursor
+          else 0
+        in
+        let xf = { xf_dir = dir; xf_manifest = man; xf_offset = offset } in
+        c.c_xfer <- Some xf;
+        (match t.repl with
+         | Some r ->
+           Mutex.lock r.rp_m;
+           r.rp_xfers <- xf :: r.rp_xfers;
+           Mutex.unlock r.rp_m
+         | None -> ());
+        try_write t c)
 
 and handle_subscribe t c ~epoch ~pos =
   let slot op =
@@ -1542,6 +1720,7 @@ let accept_burst t l lfd =
           c_closed = false;
           c_close_after_flush = false;
           c_sub = None;
+          c_xfer = None;
           c_loop = l;
         }
       in

@@ -145,6 +145,11 @@ type config = {
           (default 256) *)
   repl : repl_hooks option;
       (** replication role; [None] (the default) serves a plain node *)
+  scrub : Xlog.Scrub.scrubber option;
+      (** anti-entropy scrubber to surface in Stats JSON (the [scrub]
+          block: passes, bytes, errors, repairs, quarantined).  The
+          server only reports its counters; starting and stopping the
+          scrubber stays with whoever created it (default [None]) *)
 }
 
 val default_config : config

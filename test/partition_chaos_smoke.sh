@@ -1,0 +1,173 @@
+#!/bin/sh
+# Partition chaos smoke: a deterministic network partition against a
+# live semi-sync pair, driven through the installed CLI as separate OS
+# processes.
+#
+#   1. primary + auto-promoting follower, semi-sync (--sync-replicas 1);
+#   2. a deterministic client-side black hole (XSEQ_FAULT_SCHEDULE) on
+#      the first connect: the multi-endpoint client must rotate past the
+#      black-holed endpoint and still answer;
+#   3. black-hole the primary itself (SIGSTOP: the socket stays open,
+#      nothing flows — a partition, not a crash), wait out the
+#      heartbeat timeout: the follower must auto-promote on a bumped
+#      epoch and take writes;
+#   4. heal the partition (SIGCONT): the old primary has no follower
+#      left, so a semi-sync mutation against it must FAIL (no
+#      split-brain ack), not land;
+#   5. re-seat the old primary as a follower of the new one (the
+#      operator drill for a deposed node): it converges and answers
+#      mutations with Not_primary (exit 5) — fenced.
+#
+# Exit 0 on success, 1 with a message on any violation.  The fault
+# schedule in play is printed on every failure so the run replays.
+set -u
+
+XSEQ=${XSEQ:-_build/default/bin/xseq_cli.exe}
+N_BEFORE=${N_BEFORE:-8}
+N_AFTER=${N_AFTER:-4}
+SCHEDULE=${SCHEDULE:-connect@0:black_hole:1}
+
+work=$(mktemp -d /tmp/xseq_partition.XXXXXX)
+p_pid=""
+f_pid=""
+
+cleanup() {
+  [ -n "$p_pid" ] && kill -9 "$p_pid" 2>/dev/null
+  [ -n "$f_pid" ] && kill -9 "$f_pid" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "FAIL: $* (schedule: $SCHEDULE)" >&2
+  echo "--- primary log ---" >&2
+  cat "$work/primary.log" >&2 2>/dev/null
+  echo "--- follower log ---" >&2
+  cat "$work/follower.log" >&2 2>/dev/null
+  exit 1
+}
+
+wait_sock() {
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "socket $1 never appeared"
+}
+
+next_id() {
+  "$XSEQ" repl-status "$1" 2>/dev/null | grep -o 'next id [0-9]*' \
+    | awk '{print $3}'
+}
+
+role_of() {
+  "$XSEQ" repl-status "$1" 2>/dev/null | awk '{print $2}'
+}
+
+epoch_of() {
+  "$XSEQ" repl-status "$1" 2>/dev/null | grep -o 'epoch [0-9]*' \
+    | awk '{print $2}'
+}
+
+P="unix:$work/p.sock"
+F="unix:$work/f.sock"
+
+for i in $(seq 1 $((N_BEFORE + N_AFTER))); do
+  "$XSEQ" gen --kind dblp -n 1 --seed "$i" -o "$work/rec$i.xml" 2>/dev/null \
+    || fail "gen rec$i"
+done
+
+"$XSEQ" serve --live "$work/primary" --socket "$work/p.sock" \
+  --advertise "$P" --peers "$F" --sync-replicas 1 --ack-timeout-ms 2000 \
+  >"$work/primary.log" 2>&1 &
+p_pid=$!
+wait_sock "$work/p.sock"
+
+"$XSEQ" serve --live "$work/follower" --socket "$work/f.sock" \
+  --advertise "$F" --follow "$P" --peers "$P" \
+  --auto-promote --heartbeat-timeout-ms 1000 \
+  >"$work/follower.log" 2>&1 &
+f_pid=$!
+wait_sock "$work/f.sock"
+
+# --- converge the pair -------------------------------------------------------
+i=1
+while [ "$i" -le "$N_BEFORE" ]; do
+  "$XSEQ" ingest --connect "$P" "$work/rec$i.xml" >/dev/null 2>&1 \
+    || fail "semi-sync ingest rec$i"
+  i=$((i + 1))
+done
+for _ in $(seq 1 100); do
+  got=$(next_id "$F")
+  [ -n "$got" ] && [ "$got" -eq "$N_BEFORE" ] && break
+  sleep 0.1
+done
+[ "$(next_id "$F")" -eq "$N_BEFORE" ] || fail "follower never caught up"
+
+# --- a deterministic client-side black hole ----------------------------------
+# The armed schedule times out the client's first connect (the primary
+# endpoint); the rotation must land the read on the follower anyway.
+XSEQ_FAULT_SCHEDULE="$SCHEDULE" \
+  "$XSEQ" query --endpoints "$P,$F" --timeout-ms 8000 '//author' \
+  >/dev/null 2>&1 \
+  || fail "client did not rotate past the black-holed endpoint"
+
+# --- partition the primary ---------------------------------------------------
+kill -STOP "$p_pid" || fail "could not SIGSTOP the primary"
+
+# Heartbeat timeout -> election -> self-promotion on a bumped epoch.
+promoted=""
+for _ in $(seq 1 150); do
+  if [ "$(role_of "$F")" = "primary" ]; then promoted=1; break; fi
+  sleep 0.1
+done
+[ -n "$promoted" ] || fail "follower never auto-promoted behind the partition"
+new_epoch=$(epoch_of "$F")
+[ "${new_epoch:-0}" -ge 1 ] || fail "promotion did not bump the epoch"
+
+# The new primary takes writes.
+i=$((N_BEFORE + 1))
+while [ "$i" -le $((N_BEFORE + N_AFTER)) ]; do
+  "$XSEQ" ingest --connect "$F" "$work/rec$i.xml" >/dev/null 2>&1 \
+    || fail "new primary rejected rec$i after auto-promotion"
+  i=$((i + 1))
+done
+
+# --- heal the partition ------------------------------------------------------
+kill -CONT "$p_pid" || fail "could not SIGCONT the primary"
+
+# The deposed primary has no follower: a semi-sync mutation against it
+# must fail (timeout, never a split-brain ack).
+if "$XSEQ" ingest --connect "$P" "$work/rec1.xml" >/dev/null 2>&1; then
+  fail "deposed primary acknowledged a write after the heal (split brain)"
+fi
+
+# --- re-seat the old primary under the new one -------------------------------
+kill -9 "$p_pid" 2>/dev/null
+p_pid=""
+rm -f "$work/p.sock"
+rm -rf "$work/primary"
+
+"$XSEQ" serve --live "$work/primary" --socket "$work/p.sock" \
+  --advertise "$P" --follow "$F" >"$work/primary.log" 2>&1 &
+p_pid=$!
+wait_sock "$work/p.sock"
+
+want=$(next_id "$F")
+for _ in $(seq 1 100); do
+  got=$(next_id "$P")
+  [ -n "$got" ] && [ "$got" -eq "$want" ] && break
+  sleep 0.1
+done
+[ "$(next_id "$P")" -eq "$want" ] || fail "re-seated node never converged"
+[ "$(role_of "$P")" = "follower" ] || fail "re-seated node is not a follower"
+
+# Fenced: mutations against it answer Not_primary (exit 5).
+"$XSEQ" ingest --connect "$P" "$work/rec1.xml" >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 5 ] || fail "fenced node answered a mutation with exit $rc, want 5"
+
+echo "partition chaos smoke OK: black-holed client rotated, follower" \
+  "auto-promoted to epoch $new_epoch, deposed primary refused writes and" \
+  "re-seated as a fenced follower at watermark $want"

@@ -1,0 +1,190 @@
+#!/bin/sh
+# Rebuild-a-dead-follower smoke, driven through the installed CLI as
+# separate OS processes.  Two ways a follower can be unable to replay
+# history and must stream a snapshot instead:
+#
+#   A. wipe-and-reseed: a brand-new empty data dir joins with --follow
+#      a primary whose early WAL is already pruned;
+#   B. prune-and-reseed: an existing follower falls behind, the primary
+#      checkpoints and prunes past its cursor, the follower rejoins.
+#
+# Both must converge to the primary: same applied watermark, identical
+# query answers, WAL files byte-for-byte equal, zero reported lag, and
+# no staging residue (xfer.tmp / xfer.ready) left behind.  Finally the
+# follower's store must pass an offline scrub — and a deliberately
+# flipped byte must fail it with exit 4.
+#
+# Exit 0 on success, 1 with a message on any violation.
+set -u
+
+XSEQ=${XSEQ:-_build/default/bin/xseq_cli.exe}
+N_SEED=${N_SEED:-24}
+N_LIVE=${N_LIVE:-8}
+N_MORE=${N_MORE:-8}
+
+work=$(mktemp -d /tmp/xseq_reseed.XXXXXX)
+p_pid=""
+f_pid=""
+
+cleanup() {
+  [ -n "$p_pid" ] && kill -9 "$p_pid" 2>/dev/null
+  [ -n "$f_pid" ] && kill -9 "$f_pid" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- primary log ---" >&2
+  cat "$work/primary.log" >&2 2>/dev/null
+  echo "--- follower log ---" >&2
+  cat "$work/follower.log" >&2 2>/dev/null
+  exit 1
+}
+
+wait_sock() {
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "socket $1 never appeared"
+}
+
+next_id() {
+  "$XSEQ" repl-status "$1" 2>/dev/null | grep -o 'next id [0-9]*' \
+    | awk '{print $3}'
+}
+
+P="unix:$work/p.sock"
+F="unix:$work/f.sock"
+
+for i in $(seq 1 $((N_SEED + N_LIVE + N_MORE))); do
+  "$XSEQ" gen --kind dblp -n 1 --seed "$i" -o "$work/rec$i.xml" 2>/dev/null \
+    || fail "gen rec$i"
+done
+
+# --- a primary whose early history is gone ----------------------------------
+# Build the store offline and compact: the checkpoint prunes the first
+# WAL file, so a from-scratch subscriber gets Pruned, not a replay.
+seed_files=""
+for i in $(seq 1 "$N_SEED"); do seed_files="$seed_files $work/rec$i.xml"; done
+# shellcheck disable=SC2086
+"$XSEQ" ingest --live "$work/primary" $seed_files --compact \
+  >/dev/null 2>&1 || fail "offline seed ingest"
+[ -e "$work/primary/wal-000000.log" ] \
+  && fail "compaction did not prune the first WAL file"
+
+"$XSEQ" serve --live "$work/primary" --socket "$work/p.sock" \
+  --advertise "$P" >"$work/primary.log" 2>&1 &
+p_pid=$!
+wait_sock "$work/p.sock"
+
+# A WAL suffix past the snapshot cut, so the reseed has to tail too.
+for i in $(seq $((N_SEED + 1)) $((N_SEED + N_LIVE))); do
+  "$XSEQ" ingest --connect "$P" "$work/rec$i.xml" >/dev/null 2>&1 \
+    || fail "live ingest rec$i"
+done
+want=$(next_id "$P")
+[ -n "$want" ] || fail "primary repl-status unreadable"
+
+# --- A: wipe-and-reseed ------------------------------------------------------
+"$XSEQ" serve --live "$work/follower" --socket "$work/f.sock" \
+  --advertise "$F" --follow "$P" >"$work/follower.log" 2>&1 &
+f_pid=$!
+wait_sock "$work/f.sock"
+
+converged() {
+  got=$(next_id "$F")
+  [ -n "$got" ] && [ "$got" -eq "$1" ]
+}
+
+wait_converged() {
+  for _ in $(seq 1 100); do
+    converged "$1" && return 0
+    sleep 0.1
+  done
+  fail "$2 (want watermark $1, have $(next_id "$F"))"
+}
+
+check_identical() {
+  # Same answers, byte for byte.
+  "$XSEQ" query --endpoints "$P" '//author' 2>/dev/null | grep '^ids:' \
+    >"$work/p.ids" || fail "$1: query primary"
+  "$XSEQ" query --endpoints "$F" '//author' 2>/dev/null | grep '^ids:' \
+    >"$work/f.ids" || fail "$1: query follower"
+  cmp -s "$work/p.ids" "$work/f.ids" || fail "$1: query answers diverge"
+  # Zero reported lag once converged.
+  lag=$("$XSEQ" repl-status "$F" 2>/dev/null | grep -o 'lag [0-9]*' \
+    | awk '{print $2}')
+  [ "${lag:-0}" -eq 0 ] || fail "$1: follower still reports lag $lag"
+  # The mirror contract: every WAL file the follower holds is
+  # byte-identical to the primary's file of the same name.
+  for w in "$work"/follower/wal-*.log; do
+    [ -e "$w" ] || fail "$1: follower has no WAL files"
+    b=$(basename "$w")
+    cmp -s "$w" "$work/primary/$b" \
+      || fail "$1: $b diverges between primary and follower"
+  done
+  # No staging residue survives a completed transfer.
+  [ -e "$work/follower/xfer.tmp" ] && fail "$1: stale xfer.tmp left behind"
+  [ -e "$work/follower/xfer.ready" ] && fail "$1: stale xfer.ready left behind"
+}
+
+wait_converged "$want" "wipe-and-reseed never converged"
+check_identical "wipe-and-reseed"
+
+# --- B: prune-and-reseed -----------------------------------------------------
+# Take the follower down, advance and compact the primary past the
+# follower's cursor, then let it rejoin with its now-pruned position.
+kill -9 "$f_pid" 2>/dev/null
+f_pid=""
+kill -9 "$p_pid" 2>/dev/null
+p_pid=""
+# kill -9 leaves the socket files behind; clear them so wait_sock sees
+# the restarted servers, not the corpses'.
+rm -f "$work/p.sock" "$work/f.sock"
+
+more_files=""
+for i in $(seq $((N_SEED + N_LIVE + 1)) $((N_SEED + N_LIVE + N_MORE))); do
+  more_files="$more_files $work/rec$i.xml"
+done
+# shellcheck disable=SC2086
+"$XSEQ" ingest --live "$work/primary" $more_files --compact \
+  >/dev/null 2>&1 || fail "offline advance ingest"
+
+"$XSEQ" serve --live "$work/primary" --socket "$work/p.sock" \
+  --advertise "$P" >"$work/primary.log" 2>&1 &
+p_pid=$!
+wait_sock "$work/p.sock"
+
+"$XSEQ" serve --live "$work/follower" --socket "$work/f.sock" \
+  --advertise "$F" --follow "$P" >"$work/follower.log" 2>&1 &
+f_pid=$!
+wait_sock "$work/f.sock"
+
+want=$(next_id "$P")
+[ -n "$want" ] || fail "primary repl-status unreadable after restart"
+wait_converged "$want" "prune-and-reseed never converged"
+check_identical "prune-and-reseed"
+
+# --- the rebuilt store passes an offline scrub -------------------------------
+kill -9 "$f_pid" 2>/dev/null
+f_pid=""
+"$XSEQ" scrub "$work/follower" >/dev/null 2>&1 \
+  || fail "rebuilt follower store fails the scrub"
+
+# ...and a flipped byte fails it with the degraded exit code.
+victim=$(ls "$work"/follower/base-*.xseq 2>/dev/null | head -n 1)
+[ -n "$victim" ] || fail "no base snapshot in the rebuilt follower"
+orig=$(dd if="$victim" bs=1 skip=100 count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+flipped=$(( (orig + 1) % 256 ))
+# shellcheck disable=SC2059
+printf "$(printf '\\%03o' "$flipped")" \
+  | dd of="$victim" bs=1 seek=100 conv=notrunc 2>/dev/null
+"$XSEQ" scrub "$work/follower" >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 4 ] || fail "scrub of a corrupted store exited $rc, want 4"
+
+echo "reseed smoke OK: wipe-and-reseed and prune-and-reseed both" \
+  "converged byte-identically (watermark $want); scrub catches corruption"

@@ -718,9 +718,131 @@ let qcheck_shard_torture =
 
 let test_shard_pinned_seeds () = List.iter shard_torture_run [ 1; 2; 3; 5; 8 ]
 
+(* --- partition weather ------------------------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      F.uninstall ();
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+(* The printed form of every partition fault must survive the
+   string round trip — it is how a failing chaos run's schedule
+   comes back to life (XSEQ_FAULT_SCHEDULE). *)
+let test_partition_schedule_roundtrip () =
+  let sched =
+    [
+      { F.at = 3; on = F.Send; fault = F.Black_hole 5 };
+      { F.at = 0; on = F.Recv; fault = F.Half_open 2 };
+      { F.at = 7; on = F.Connect; fault = F.Slow_link (0.25, 4) };
+      { F.at = 11; on = F.Send; fault = F.Conn_reset };
+      { F.at = 2; on = F.Send; fault = F.Short 1 };
+    ]
+  in
+  let s = F.schedule_to_string sched in
+  (match F.schedule_of_string s with
+   | Ok back -> Alcotest.(check bool) "round trips" true (back = sched)
+   | Error m -> Alcotest.failf "parse %S: %s" s m);
+  (* And the empty schedule. *)
+  match F.schedule_of_string (F.schedule_to_string []) with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty schedule did not round trip"
+
+let test_partition_schedule_replay () =
+  for seed = 0 to 19 do
+    let a = F.random_partition_schedule ~seed () in
+    let b = F.random_partition_schedule ~seed () in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d replays" seed)
+      true (a = b);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "socket class only" true
+          (List.mem r.F.on F.socket_ops);
+        match r.F.fault with
+        | F.Fail_stop -> Alcotest.fail "partition schedule contains Fail_stop"
+        | _ -> ())
+      a;
+    (* The string form round trips too — chaos scripts pass it through
+       the environment. *)
+    match F.schedule_of_string (F.schedule_to_string a) with
+    | Ok back -> Alcotest.(check bool) "string round trip" true (back = a)
+    | Error m -> Alcotest.failf "seed %d: %s" seed m
+  done
+
+(* A black-holed send claims success while moving no bytes — the peer
+   hears silence, exactly the shape a heartbeat timeout needs. *)
+let test_black_hole_socket () =
+  with_socketpair (fun a b ->
+      F.install (F.Injector.create [ { F.at = 0; on = F.Send; fault = F.Black_hole 2 } ]);
+      let payload = Bytes.of_string "hello" in
+      let n1 = F.Io.send a payload 0 5 in
+      let n2 = F.Io.send a payload 0 5 in
+      Alcotest.(check int) "swallowed send claims success" 5 n1;
+      Alcotest.(check int) "second swallowed send too" 5 n2;
+      Unix.set_nonblock b;
+      let buf = Bytes.create 16 in
+      (match Unix.recv b buf 0 16 [] with
+       | n -> Alcotest.failf "peer received %d black-holed bytes" n
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+      Unix.clear_nonblock b;
+      (* The burst is over: the third send really moves bytes. *)
+      let n3 = F.Io.send a payload 0 5 in
+      Alcotest.(check int) "link healed" 5 n3;
+      Alcotest.(check int) "peer hears the healed link" 5 (Unix.recv b buf 0 16 []))
+
+let test_half_open_socket () =
+  with_socketpair (fun a _b ->
+      F.install
+        (F.Injector.create [ { F.at = 0; on = F.Recv; fault = F.Half_open 1 } ]);
+      let buf = Bytes.create 16 in
+      (* The peer "died without a FIN": recv reports clean end of stream
+         even though the socket is alive. *)
+      Alcotest.(check int) "half-open recv reports EOF" 0 (F.Io.recv a buf 0 16));
+  with_socketpair (fun a _b ->
+      F.install
+        (F.Injector.create
+           [ { F.at = 0; on = F.Connect; fault = F.Half_open 1 } ]);
+      match F.Io.connect a (Unix.ADDR_UNIX "/nonexistent-xfault-test.sock") with
+      | () -> Alcotest.fail "half-open connect succeeded"
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Alcotest.failf "want ECONNREFUSED, got %s" (Unix.error_message e))
+
+let test_slow_link_socket () =
+  with_socketpair (fun a b ->
+      F.install
+        (F.Injector.create
+           [ { F.at = 0; on = F.Send; fault = F.Slow_link (0.05, 2) } ]);
+      let payload = Bytes.of_string "x" in
+      let t0 = Unix.gettimeofday () in
+      ignore (F.Io.send a payload 0 1 : int);
+      ignore (F.Io.send a payload 0 1 : int);
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "two slowed sends took %.0f ms" (dt *. 1000.))
+        true (dt >= 0.09);
+      (* The bytes still arrive — a slow link delays, never drops. *)
+      let buf = Bytes.create 4 in
+      Alcotest.(check int) "bytes arrive" 2 (Unix.recv b buf 0 4 []))
+
 let () =
   Alcotest.run "xfault"
     [
+      ( "partition",
+        [
+          Alcotest.test_case "schedule string round trip" `Quick
+            test_partition_schedule_roundtrip;
+          Alcotest.test_case "partition schedules replay from seeds" `Quick
+            test_partition_schedule_replay;
+          Alcotest.test_case "black hole swallows sends" `Quick
+            test_black_hole_socket;
+          Alcotest.test_case "half-open peer" `Quick test_half_open_socket;
+          Alcotest.test_case "slow link delays" `Quick test_slow_link_socket;
+        ] );
       ( "injector",
         [
           Alcotest.test_case "pass-through without injector" `Quick

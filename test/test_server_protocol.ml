@@ -44,9 +44,12 @@ let gen_request =
         (fun xpath timeout_ms min_gen ->
           P.Query_bounded { xpath; timeout_ms; min_gen })
         gen_string gen_small_int gen_small_int;
-      (* Opcodes this build does not know: 0x0e..0x7f are all currently
+      Gen.map2
+        (fun token cursor -> P.Fetch_snapshot { token; cursor })
+        gen_string gen_small_int;
+      (* Opcodes this build does not know: 0x0f..0x7f are all currently
          unassigned on the request side. *)
-      Gen.map (fun op -> P.Unknown { op }) (Gen.int_range 0x0e 0x7f);
+      Gen.map (fun op -> P.Unknown { op }) (Gen.int_range 0x0f 0x7f);
     ]
 
 let gen_ids = Gen.(list_size (int_bound 20) gen_small_int)
@@ -101,11 +104,41 @@ let gen_response =
         gen_small_int gen_pos gen_small_int;
       Gen.map (fun epoch -> P.Promoted { epoch }) gen_small_int;
       Gen.map3
-        (fun (role, epoch) durable (next_id, leader_hint) ->
-          P.Repl_state { role; epoch; durable; next_id; leader_hint })
+        (fun (role, epoch) durable ((next_id, leader_hint), (lr, lb)) ->
+          P.Repl_state
+            {
+              role;
+              epoch;
+              durable;
+              next_id;
+              leader_hint;
+              lag_records = lr;
+              lag_bytes = lb;
+            })
         Gen.(pair (oneofl [ `Primary; `Follower ]) gen_small_int)
         gen_pos
-        Gen.(pair gen_small_int gen_string);
+        Gen.(
+          pair
+            (pair gen_small_int gen_string)
+            (pair gen_small_int gen_small_int));
+      Gen.map3
+        (fun token (total, offset) (last, data) ->
+          (* keep the chunk inside the announced stream — the decoder
+             rejects overruns (tested separately below) *)
+          let dlen = String.length data in
+          let total = offset + dlen + (total mod 64) in
+          P.Snapshot_chunk
+            {
+              token;
+              total;
+              offset;
+              last;
+              crc = Int64.of_int (Hashtbl.hash data);
+              data;
+            })
+        gen_string
+        Gen.(pair gen_small_int gen_small_int)
+        Gen.(pair bool gen_string);
     ]
 
 let arb_request = QCheck.make ~print:(fun r -> P.encode_request r |> String.escaped) gen_request
@@ -144,6 +177,8 @@ let sample_requests =
     P.Repl_status;
     P.Query_bounded { xpath = "//author"; timeout_ms = 250; min_gen = 42 };
     P.Query_bounded { xpath = ""; timeout_ms = 0; min_gen = 0 };
+    P.Fetch_snapshot { token = ""; cursor = 0 };
+    P.Fetch_snapshot { token = "00deadbeef00cafe"; cursor = 1 lsl 20 };
     P.Unknown { op = 0x42 };
   ]
 
@@ -203,6 +238,8 @@ let sample_responses =
         durable = { Xlog.Wal.file = 2; off = 512 };
         next_id = 1000;
         leader_hint = "";
+        lag_records = 0;
+        lag_bytes = 0;
       };
     P.Repl_state
       {
@@ -211,6 +248,26 @@ let sample_responses =
         durable = { Xlog.Wal.file = 0; off = 8 };
         next_id = 0;
         leader_hint = "unix:/tmp/primary.sock";
+        lag_records = 37;
+        lag_bytes = 98304;
+      };
+    P.Snapshot_chunk
+      {
+        token = "0123456789abcdef";
+        total = 1024;
+        offset = 0;
+        last = false;
+        crc = 0xdeadbeefL;
+        data = String.make 512 '\x7f';
+      };
+    P.Snapshot_chunk
+      {
+        token = "empty";
+        total = 12;
+        offset = 12;
+        last = true;
+        crc = Int64.minus_one;
+        data = "";
       };
   ]
 
@@ -316,6 +373,25 @@ let test_length_lies () =
   Bytes.set_int32_le b 12 1_000_000l;
   Alcotest.(check bool) "lying id count rejected" true
     (is_error (P.decode_response (Bytes.to_string b)))
+
+(* A snapshot chunk whose data overruns the announced stream total is
+   corruption, not forward compatibility — the receiver would write
+   past the staging bounds. *)
+let test_chunk_overrun_rejected () =
+  let frame =
+    P.encode_response
+      (P.Snapshot_chunk
+         {
+           token = "t";
+           total = 10;
+           offset = 8;
+           last = true;
+           crc = 0L;
+           data = "abc";
+         })
+  in
+  Alcotest.(check bool) "chunk overrunning its stream rejected" true
+    (is_error (P.decode_response frame))
 
 (* No byte string of any shape may make the decoder raise. *)
 let qcheck_never_raises =
@@ -556,6 +632,8 @@ let () =
             test_truncation_everywhere;
           Alcotest.test_case "bad magic/version/opcode" `Quick test_bad_header;
           Alcotest.test_case "length field lies" `Quick test_length_lies;
+          Alcotest.test_case "snapshot chunk overrun" `Quick
+            test_chunk_overrun_rejected;
           QCheck_alcotest.to_alcotest qcheck_never_raises;
           QCheck_alcotest.to_alcotest qcheck_mutations_never_raise;
         ] );

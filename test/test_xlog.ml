@@ -569,6 +569,79 @@ let test_tail_basic () =
         (final2.Wal.file > final.Wal.file);
       Xlog.close log)
 
+(* Edges of the tail contract: a WAL with no records yet answers a
+   caught-up empty batch at the start position, not an error. *)
+let test_tail_empty_wal () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~sync_every:1 dir in
+      (match Wal.tail ~dir Wal.start_position with
+      | Ok { Wal.b_count = 0; b_records = ""; b_next; _ } ->
+        Alcotest.(check int) "cursor stays at the start" 0
+          (Wal.position_compare b_next Wal.start_position)
+      | Ok b ->
+        Alcotest.failf "empty WAL shipped %d records" b.Wal.b_count
+      | Error err ->
+        Alcotest.failf "empty WAL: %s" (Wal.tail_error_to_string err));
+      Xlog.close log)
+
+(* A cursor parked exactly at the end of a rotated-away file: the next
+   tail must step into the successor file, not report a tear or stall. *)
+let test_tail_at_rotation_boundary () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~sync_every:1 dir in
+      for i = 0 to 4 do
+        ignore (Xlog.insert log (e "P" [ e "L" [ v (string_of_int i) ] ]) : int)
+      done;
+      let boundary = Xlog.wal_position log in
+      (* Hold every file, rotate, append past the boundary. *)
+      Xlog.set_wal_retention log (fun () -> Some 0);
+      ignore (Xlog.compact ~wait:true log : bool);
+      ignore (Xlog.insert log (e "P" [ e "S" [] ]) : int);
+      (* The step across the boundary may be its own (empty) batch;
+         drain until the cursor stops moving. *)
+      let rec drain pos count =
+        match Wal.tail ~dir pos with
+        | Error err ->
+          Alcotest.failf "boundary cursor: %s" (Wal.tail_error_to_string err)
+        | Ok b ->
+          if Wal.position_compare b.Wal.b_next pos = 0 then (pos, count)
+          else drain b.Wal.b_next (count + b.Wal.b_count)
+      in
+      let final, count = drain boundary 0 in
+      Alcotest.(check bool) "stepped into the next file" true
+        (final.Wal.file > boundary.Wal.file);
+      Alcotest.(check int) "the post-rotation record shipped" 1 count;
+      Alcotest.(check int) "cursor reached the log end" 0
+        (Wal.position_compare final (Xlog.wal_position log));
+      Xlog.close log)
+
+(* A cursor strictly inside a file the checkpoint pruned: still the
+   typed [Position_pruned], not a phantom batch from the successor. *)
+let test_tail_mid_pruned_file () =
+  with_dir (fun dir ->
+      let log = Xlog.open_ ~sync_every:1 dir in
+      for i = 0 to 9 do
+        ignore (Xlog.insert log (e "P" [ e "L" [ v (string_of_int i) ] ]) : int)
+      done;
+      (* A cursor a few records into wal-000000.log. *)
+      let mid =
+        match Wal.tail ~dir ~max_bytes:64 Wal.start_position with
+        | Ok b -> b.Wal.b_next
+        | Error err -> Alcotest.failf "tail: %s" (Wal.tail_error_to_string err)
+      in
+      Alcotest.(check int) "cursor still in the first file" 0 mid.Wal.file;
+      ignore (Xlog.compact ~wait:true log : bool);
+      Alcotest.(check bool) "first file pruned" false
+        (Sys.file_exists (Filename.concat dir "wal-000000.log"));
+      (match Wal.tail ~dir mid with
+      | Error (Wal.Position_pruned { earliest }) ->
+        Alcotest.(check bool) "earliest names a survivor" true
+          (earliest.Wal.file > mid.Wal.file)
+      | Ok _ -> Alcotest.fail "mid-pruned-file cursor answered a batch"
+      | Error (Wal.Tail_error m) ->
+        Alcotest.failf "mid-pruned-file cursor was not typed: %s" m);
+      Xlog.close log)
+
 (* The satellite contract: a pruned position is a typed error naming the
    earliest retained file — never a Sys_error. *)
 let test_tail_pruned_position () =
@@ -835,6 +908,11 @@ let () =
       ( "replication",
         [
           Alcotest.test_case "tail cursor" `Quick test_tail_basic;
+          Alcotest.test_case "tail of an empty WAL" `Quick test_tail_empty_wal;
+          Alcotest.test_case "tail at a rotation boundary" `Quick
+            test_tail_at_rotation_boundary;
+          Alcotest.test_case "tail inside a pruned file" `Quick
+            test_tail_mid_pruned_file;
           Alcotest.test_case "pruned position is typed" `Quick
             test_tail_pruned_position;
           Alcotest.test_case "replica mirror" `Quick test_replica_mirror;
